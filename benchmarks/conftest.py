@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures (as an
+aligned text table / series) and both prints it and writes it to
+``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can cite concrete runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def save_exhibit():
+    """Returns ``save(name, text)``: print and persist a reproduced
+    exhibit."""
+
+    def save(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return save
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20260704)

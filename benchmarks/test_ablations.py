@@ -1,0 +1,138 @@
+"""ABL — ablations of the design choices DESIGN.md calls out.
+
+1. Capacity constraint on/off under the naive remap schedule — without
+   it the destination contention cost disappears (showing the clause is
+   load-bearing, Section 5.3's claim).
+2. The Section 3.1 simplification o := max(o, g): measured inflation of
+   the point-to-point stream across the parameter grid, against the
+   paper's "conservative by at most a factor of two".
+3. Barrier-interval sweep for the drifting remap: too-frequent barriers
+   pay synchronization, too-rare ones readmit drift.
+"""
+
+import numpy as np
+
+from repro.core import LogPParams, pipelined_stream_exact
+from repro.machines import GaussianJitter, cm5
+from repro.algorithms.fft import simulate_remap
+from repro.sim import LogPMachine, Recv, Send, run_programs
+from repro.viz import format_table
+
+
+def test_ablation_capacity_constraint(benchmark, save_exhibit):
+    """Naive remap with and without the ceil(L/g) constraint."""
+    machine = cm5(P=32)
+    p = machine.params_us()
+    cal = machine.calibration
+    n = 2**13
+
+    def run():
+        on = simulate_remap(p, n, "naive", point_cost=cal.point_us)
+        # Re-run the same program with enforcement off.
+        from repro.algorithms import fft as fft_mod
+
+        per_dst = n // (p.P * p.P)
+        k = on.messages_per_proc
+
+        def factory(rank, P):
+            def prog():
+                from repro.sim.program import Compute, Poll
+
+                order = [d for d in range(P) if d != rank]
+                for dst in order:
+                    for _ in range(per_dst):
+                        yield Compute(cal.point_us)
+                        yield Poll()
+                        yield Send(dst, tag="remap")
+                for _ in range(k):
+                    yield Recv(tag="remap")
+                return None
+
+            return prog()
+
+        off = LogPMachine(p, enforce_capacity=False, trace=False).run(factory)
+        return on, off
+
+    on, off = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["capacity constraint", "naive remap makespan (us)", "stall time"],
+        [
+            ["enforced (ceil(L/g))", on.makespan, on.total_stall],
+            ["disabled", off.makespan, off.total_stall_time],
+        ],
+        floatfmt=".6g",
+        title="Ablation: the capacity constraint is what makes the naive "
+        "schedule expensive",
+    )
+    save_exhibit("ablation_capacity", table)
+    assert off.makespan < 0.55 * on.makespan
+    assert off.total_stall_time == 0
+
+
+def test_ablation_merge_overhead_into_gap(benchmark, save_exhibit):
+    """Section 3.1's o := max(o, g) rule: measured inflation factors."""
+
+    def sweep():
+        rows = []
+        for L, o, g in [(6, 2, 4), (5, 2, 4), (20, 1, 2), (2, 4, 1),
+                        (1, 1, 8), (0, 0, 4), (12, 3, 3)]:
+            p = LogPParams(L=L, o=o, g=g, P=2)
+            m = p.merge_overhead_into_gap()
+            k = 10
+            orig = pipelined_stream_exact(p, k)
+            merged = pipelined_stream_exact(m, k)
+            regime = "2g<=L+4o" if 2 * g <= L + 4 * o else "outside"
+            rows.append(
+                [f"L{L} o{o} g{g}", orig, merged,
+                 round(merged / orig, 3) if orig else float("inf"), regime]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    table = format_table(
+        ["machine", "10-msg stream", "with o:=max(o,g)", "inflation",
+         "factor-2 regime"],
+        rows,
+        floatfmt=".4g",
+        title="Ablation: the o := max(o, g) simplification "
+        "('conservative by at most a factor of two' holds whenever "
+        "2g <= L + 4o)",
+    )
+    save_exhibit("ablation_merge_o_g", table)
+    for row in rows:
+        if row[4] == "2g<=L+4o" and np.isfinite(row[3]):
+            assert row[3] <= 2.0 + 1e-9
+
+
+def test_ablation_barrier_interval(benchmark, save_exhibit):
+    """Sweep the resynchronization interval of the drifting remap."""
+    machine = cm5(P=16)
+    p = machine.params_us()
+    cal = machine.calibration
+    n = 2**13
+    natural = n // (p.P * p.P)  # the paper's choice: every n/P^2 sends
+
+    def sweep():
+        rows = []
+        for every in (natural // 4, natural, natural * 4, None):
+            r = simulate_remap(
+                p, n, "staggered", point_cost=cal.point_us,
+                jitter=GaussianJitter(0.5, seed=11), barrier_every=every,
+            )
+            label = "none" if every is None else str(every)
+            rows.append([label, r.makespan, r.total_stall])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["barrier every (sends)", "makespan (us)", "stall (us)"],
+        rows,
+        floatfmt=".6g",
+        title=f"Ablation: barrier interval for the drifting remap "
+        f"(paper barriers every n/P^2 = {natural})",
+    )
+    save_exhibit("ablation_barrier_interval", table)
+    # Barriers cap stall relative to no barriers.
+    none_stall = rows[-1][2]
+    paper_stall = rows[1][2]
+    assert paper_stall <= none_stall + 1e-9

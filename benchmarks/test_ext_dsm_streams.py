@@ -1,0 +1,131 @@
+"""EXT — shared memory costs (Section 3.2) and streamed broadcasts
+(Section 3.1), measured on the simulator.
+
+1. The remote-read cost ``2L + 4o`` and the prefetch pipeline: issuing
+   reads ahead "can be issued every g cycles and cost 2o units of
+   processing time", hiding latency up to the capacity limit.
+2. The k-item broadcast structure crossover: the single-item optimal
+   tree loses to a pipeline once the stream is long ("in some
+   algorithms messages are sent in long streams which are pipelined
+   through the network, so that message transmission time is dominated
+   by the inter-message gaps").
+"""
+
+from repro.core import LogPParams
+from repro.algorithms.broadcast import (
+    best_pipelined_tree,
+    binomial_tree,
+    linear_tree,
+    optimal_broadcast_tree,
+    pipelined_broadcast_program,
+    pipelined_tree_time,
+)
+from repro.sim import (
+    AwaitPrefetch,
+    Compute,
+    Now,
+    Prefetch,
+    Read,
+    run_dsm,
+    run_programs,
+)
+from repro.viz import format_table
+
+
+def test_ext_dsm_prefetch_pipeline(benchmark, save_exhibit):
+    p = LogPParams(L=6, o=2, g=4, P=2)
+    n_reads = 8
+
+    def blocking(rank, P):
+        if rank == 0:
+            t0 = yield Now()
+            acc = 0
+            for i in range(8, 8 + n_reads):
+                acc += (yield Read(i))
+            t1 = yield Now()
+            return t1 - t0
+        return None
+        yield
+
+    def prefetched(rank, P):
+        if rank == 0:
+            t0 = yield Now()
+            hs = []
+            for i in range(8, 8 + n_reads):
+                hs.append((yield Prefetch(i)))
+            acc = 0
+            for h in hs:
+                acc += (yield AwaitPrefetch(h))
+            t1 = yield Now()
+            return t1 - t0
+        return None
+        yield
+
+    def run_both():
+        data = list(range(16))
+        return (
+            run_dsm(p, blocking, data).values[0],
+            run_dsm(p, prefetched, data).values[0],
+        )
+
+    t_block, t_pref = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    table = format_table(
+        ["strategy", f"cycles for {n_reads} remote reads", "per read"],
+        [
+            ["blocking (2L+4o each)", t_block, t_block / n_reads],
+            ["prefetch pipeline", t_pref, t_pref / n_reads],
+            ["model: one round trip", p.remote_read(), "-"],
+        ],
+        floatfmt=".4g",
+        title="Section 3.2: shared-memory reads on LogP — prefetching "
+        "pipelines the round trips",
+    )
+    save_exhibit("ext_dsm_prefetch", table)
+    assert t_block == n_reads * p.remote_read()
+    assert t_pref < 0.5 * t_block
+
+
+def test_ext_stream_broadcast_crossover(benchmark, save_exhibit):
+    p = LogPParams(L=6, o=2, g=4, P=16)
+    trees = {
+        "optimal-single": optimal_broadcast_tree(p).children,
+        "binomial": binomial_tree(16),
+        "chain": linear_tree(16),
+    }
+
+    def sweep():
+        rows = []
+        for k in (1, 2, 8, 32, 128):
+            preds = {
+                name: pipelined_tree_time(p, ch, k)
+                for name, ch in trees.items()
+            }
+            sim = run_programs(
+                p,
+                pipelined_broadcast_program(
+                    trees[best_pipelined_tree(p, k)[0]], list(range(k))
+                ),
+            ).makespan
+            rows.append(
+                [k, preds["optimal-single"], preds["binomial"],
+                 preds["chain"], best_pipelined_tree(p, k)[0], sim]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["items k", "optimal-single", "binomial", "chain",
+         "best structure", "best simulated"],
+        rows,
+        floatfmt=".5g",
+        title="Section 3.1: k-item broadcast (P=16, L=6 o=2 g=4) — the "
+        "right tree depends on the stream length",
+    )
+    save_exhibit("ext_stream_broadcast", table)
+    assert rows[0][4] == "optimal-single"
+    assert rows[-1][4] == "chain"
+    for row in rows:
+        # The chosen structure's simulation matches its prediction.
+        predicted = {"optimal-single": row[1], "binomial": row[2],
+                     "chain": row[3]}[row[4]]
+        assert row[5] == predicted

@@ -1,0 +1,202 @@
+"""EXT — the paper's extension hooks, made concrete and measured.
+
+1. **Long messages (Section 5.4 / LogGP).**  "The processor overhead for
+   setting up that [DMA] device is paid once and a part of sending and
+   receiving long messages can be overlapped with computation ...
+   Providing a separate network processor ... can at best double the
+   performance of each node."  We compare sending k words as k small
+   messages vs one bulk message, and verify the at-best-2x claim for a
+   balanced compute/communicate node.
+
+2. **Multiple g's (Section 5.6).**  "A possible extension of the LogP
+   model ... would be to provide multiple g's, where the one appropriate
+   to the particular communication pattern is used in the analysis."
+   We *measure* per-pattern effective gaps on the packet-level network
+   substrate and feed them back into the standard h-relation analysis.
+
+3. **SUMMA matrix multiply** (Section 6.6 names matrix multiplication
+   among the examples) — panels as long messages; panel-width sweep.
+"""
+
+import numpy as np
+
+from repro.core import (
+    LogGPParams,
+    LogPParams,
+    h_relation,
+    long_message_time,
+    pipelined_stream_exact,
+)
+from repro.algorithms.matmul import run_summa, summa_time
+from repro.sim import Compute, Recv, Send, run_programs
+from repro.topology import (
+    PatternGaps,
+    bit_reverse_pattern,
+    effective_gap,
+    grid_route,
+    hotspot_pattern,
+    hypercube_route,
+    shift_pattern,
+    transpose_pattern,
+    uniform_pattern,
+)
+from repro.viz import format_table
+
+GP = LogGPParams(L=6, o=2, g=4, G=0.5, P=2)
+
+
+def test_ext_long_messages(benchmark, save_exhibit):
+    def sweep():
+        rows = []
+        for k in (1, 4, 16, 64, 256):
+            rows.append(
+                [
+                    k,
+                    pipelined_stream_exact(GP, k),
+                    long_message_time(GP, k),
+                    k * GP.o,
+                    GP.o,
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    table = format_table(
+        ["words", "k small msgs (time)", "one bulk msg (time)",
+         "small: processor cycles", "bulk: processor cycles"],
+        rows,
+        floatfmt=".5g",
+        title="Section 5.4 extension: long messages via a network "
+        "processor (L=6 o=2 g=4 G=0.5)",
+    )
+    save_exhibit("ext_long_messages", table)
+    for k, frag_t, bulk_t, frag_o, bulk_o in rows:
+        assert bulk_t <= frag_t
+        assert bulk_o <= frag_o
+
+
+def test_ext_network_processor_at_best_doubles(benchmark, save_exhibit):
+    """A node alternating equal compute and per-word communication work:
+    offloading the words to the network processor at most halves its
+    busy time — the paper's "can at best double the performance".
+
+    The claim is about processor occupancy, so the machine here is
+    overhead-bound (g <= o): each small message costs the processor o.
+    """
+    k = 64
+    gp = LogGPParams(L=6, o=2, g=2, G=0.05, P=2)
+
+    def run_both():
+        def frag(rank, P):
+            if rank == 0:
+                # compute matched to the communication processor time.
+                yield Compute(k * gp.o)
+                for _ in range(k):
+                    yield Send(1, tag="w")
+            else:
+                for _ in range(k):
+                    yield Recv(tag="w")
+            return None
+
+        def bulk(rank, P):
+            if rank == 0:
+                yield Compute(k * gp.o)
+                yield Send(1, words=k, tag="w")
+            else:
+                yield Recv(tag="w")
+            return None
+
+        return run_programs(gp, frag), run_programs(gp, bulk)
+
+    res_f, res_b = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    speedup = res_f.makespan / res_b.makespan
+    table = format_table(
+        ["strategy", "makespan", "speedup vs per-word"],
+        [
+            ["per-word overhead (basic model)", res_f.makespan, 1.0],
+            ["network processor (bulk send)", res_b.makespan, speedup],
+        ],
+        floatfmt=".4g",
+        title="Section 5.4: 'a separate network processor ... can at "
+        "best double the performance of each node'",
+    )
+    save_exhibit("ext_network_processor", table)
+    assert 1.0 < speedup <= 2.0 + 1e-9
+
+
+def test_ext_multiple_gaps_measured(benchmark, save_exhibit):
+    """Per-pattern effective gaps measured on an 8x8 torus."""
+    K = 8
+
+    def route(s, d):
+        return [
+            c[0] * K + c[1]
+            for c in grid_route((s // K, s % K), (d // K, d % K), (K, K), wrap=True)
+        ]
+
+    patterns = {
+        "shift(+1)": shift_pattern(64),
+        "uniform-perm": uniform_pattern(64, seed=4),
+        "transpose": transpose_pattern(64),
+        "bit-reverse": bit_reverse_pattern(64),
+        "hot-spot": hotspot_pattern(64),
+    }
+
+    def measure():
+        out = {}
+        for name, pat in patterns.items():
+            out[name] = effective_gap(64, route, pat, seed=5)
+        return out
+
+    gaps = benchmark.pedantic(measure, rounds=1, iterations=1)
+    base = LogPParams(L=6, o=2, g=gaps["shift(+1)"], P=64)
+    pg = PatternGaps(base, gaps)
+    rows = [
+        [name, g, h_relation(pg.params_for(name), 16)]
+        for name, g in gaps.items()
+    ]
+    table = format_table(
+        ["pattern", "measured effective g (cycles/msg)",
+         "16-relation cost with that g"],
+        rows,
+        floatfmt=".3g",
+        title="Section 5.6 extension: multiple g's measured on an 8x8 "
+        "torus (dimension-order routing)",
+    )
+    save_exhibit("ext_multiple_gaps", table)
+    assert gaps["hot-spot"] > 3 * gaps["shift(+1)"]
+    assert gaps["transpose"] >= gaps["shift(+1)"] - 1e-9
+    assert pg.worst_pattern() == "hot-spot"
+
+
+def test_ext_summa_panel_sweep(benchmark, save_exhibit, rng):
+    gp = LogGPParams(L=6, o=2, g=4, G=0.25, P=4)
+    A = rng.standard_normal((32, 32))
+    B = rng.standard_normal((32, 32))
+
+    def sweep():
+        rows = []
+        for b in (1, 2, 4, 8, 16):
+            C, res = run_summa(gp, A, B, b=b)
+            assert np.allclose(C, A @ B)
+            rows.append(
+                [b, res.makespan, summa_time(gp, 32, b), res.total_messages]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["panel width b", "simulated cycles", "predicted cycles", "messages"],
+        rows,
+        floatfmt=".6g",
+        title="SUMMA 32x32 on a 2x2 grid, panels as long messages "
+        "(blocking amortizes o and L — the paper's footnote 9 theme)",
+    )
+    save_exhibit("ext_summa_panels", table)
+    times = [r[1] for r in rows]
+    # Blocking never loses meaningfully (compute dominates at this
+    # size; the message-count reduction is the real win).
+    assert times[-1] <= times[0] * 1.01
+    assert rows[-1][3] < rows[0][3] / 4
+    for b, sim, pred, _ in rows:
+        assert 0.7 * pred <= sim <= 1.15 * pred

@@ -1,0 +1,28 @@
+"""FIG2 — Figure 2: microprocessor performance 1987-1992.
+
+Regenerates the two SPEC-vs-VAX series and their fitted annual growth
+rates; the paper reports ~97 %/year floating point and ~54 %/year
+integer.
+"""
+
+from repro.machines import FIGURE2_DATA, figure2_growth_rates
+from repro.viz import format_table
+
+
+def test_fig2_growth_rates(benchmark, save_exhibit):
+    rates = benchmark(figure2_growth_rates)
+
+    rows = [
+        [p.year, p.machine, p.integer, p.floating] for p in FIGURE2_DATA
+    ]
+    rows.append(["fit", "annual growth", f"{rates['integer']:.0%}", f"{rates['floating']:.0%}"])
+    table = format_table(
+        ["year", "machine", "integer (xVAX)", "floating (xVAX)"],
+        rows,
+        title="Figure 2: microprocessor performance over time "
+        "(paper: FP ~97 %/yr, int ~54 %/yr)",
+    )
+    save_exhibit("fig2_micro_trends", table)
+
+    assert abs(rates["floating"] - 0.97) < 0.06
+    assert abs(rates["integer"] - 0.54) < 0.06

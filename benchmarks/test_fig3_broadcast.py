@@ -1,0 +1,79 @@
+"""FIG3 — Figure 3: the optimal broadcast tree for P=8, L=6, g=4, o=2.
+
+Regenerates both panels — the tree with its per-node receive times
+(left) and the per-processor activity timeline (right) — plus the
+completion-time row the paper quotes (last value received at t=24),
+cross-checked by full simulation.
+"""
+
+from repro.core import LogPParams
+from repro.algorithms.broadcast import (
+    binomial_tree,
+    broadcast_program,
+    broadcast_schedule,
+    flat_tree,
+    linear_tree,
+    optimal_broadcast_tree,
+    tree_delivery_times,
+)
+from repro.sim import run_programs
+from repro.viz import format_table, render_broadcast_tree, render_gantt
+
+FIG3 = LogPParams(L=6, o=2, g=4, P=8)
+
+
+def test_fig3_optimal_tree(benchmark, save_exhibit):
+    tree = benchmark(optimal_broadcast_tree, FIG3)
+    res = run_programs(FIG3, broadcast_program(tree, "datum"))
+
+    sections = [
+        "Figure 3: optimal broadcast tree, P=8 L=6 g=4 o=2",
+        "",
+        render_broadcast_tree(tree),
+        "",
+        render_gantt(broadcast_schedule(tree), width=72, show_flight=True),
+        "",
+        format_table(
+            ["quantity", "paper", "reproduced"],
+            [
+                ["completion time (analysis)", 24, tree.completion_time],
+                ["completion time (simulated)", 24, res.makespan],
+                ["root children recv times", "10,14,18,22",
+                 ",".join(f"{tree.recv_time[c]:g}" for c in tree.children[0])],
+            ],
+        ),
+    ]
+    save_exhibit("fig3_broadcast", "\n".join(sections))
+
+    assert tree.completion_time == 24
+    assert res.makespan == 24
+
+
+def test_fig3_tree_family_sweep(benchmark, save_exhibit):
+    """How the optimal tree compares with oblivious trees as P grows."""
+
+    def sweep():
+        rows = []
+        for P in (2, 4, 8, 16, 32, 64, 128):
+            p = LogPParams(L=6, o=2, g=4, P=P)
+            opt = optimal_broadcast_tree(p).completion_time
+            rows.append(
+                [
+                    P,
+                    opt,
+                    max(tree_delivery_times(p, binomial_tree(P))),
+                    max(tree_delivery_times(p, flat_tree(P))),
+                    max(tree_delivery_times(p, linear_tree(P))),
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    table = format_table(
+        ["P", "optimal", "binomial", "flat", "linear"],
+        rows,
+        title="Broadcast completion times by tree family (L=6 g=4 o=2)",
+    )
+    save_exhibit("fig3_tree_family", table)
+    for row in rows:
+        assert row[1] <= min(row[2:]) + 1e-9

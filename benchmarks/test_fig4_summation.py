@@ -1,0 +1,69 @@
+"""FIG4 — Figure 4: optimal summation for T=28, P=8, L=5, g=4, o=2.
+
+Regenerates the communication tree with per-node deadlines (the figure's
+node labels 28; 18, 14, 10, 6; 8, 4; 4), the unequal input distribution,
+and the capacity function C(T), all cross-checked by simulation with
+real data.
+"""
+
+import numpy as np
+
+from repro.core import LogPParams
+from repro.algorithms.summation import (
+    balanced_reduction_time,
+    distribute_inputs,
+    optimal_summation_tree,
+    summation_capacity,
+    summation_program,
+)
+from repro.sim import run_programs
+from repro.viz import format_table, render_summation_tree
+
+FIG4 = LogPParams(L=5, o=2, g=4, P=8)
+
+
+def test_fig4_summation_schedule(benchmark, save_exhibit, rng):
+    tree = benchmark(optimal_summation_tree, FIG4, 28)
+    values = rng.standard_normal(tree.total_values)
+    res = run_programs(FIG4, summation_program(tree, distribute_inputs(tree, values)))
+
+    sections = [
+        "Figure 4: optimal summation tree, T=28 P=8 L=5 g=4 o=2",
+        "",
+        render_summation_tree(tree),
+        "",
+        format_table(
+            ["quantity", "paper", "reproduced"],
+            [
+                ["child deadlines of root", "18,14,10,6",
+                 ",".join(f"{tree.nodes[c].deadline:g}" for c in tree.nodes[0].children)],
+                ["values summed C(28)", "(not stated)", tree.total_values],
+                ["simulated makespan", 28, res.makespan],
+                ["sum correct", True, bool(np.isclose(res.value(0), values.sum()))],
+                ["balanced-baseline time for same n", "-",
+                 balanced_reduction_time(FIG4, tree.total_values)],
+            ],
+        ),
+    ]
+    save_exhibit("fig4_summation", "\n".join(sections))
+
+    assert res.makespan == 28
+    assert tree.total_values == 79
+
+
+def test_fig4_capacity_function(benchmark, save_exhibit):
+    def sweep():
+        return [[T, summation_capacity(FIG4, T)] for T in range(0, 61, 4)]
+
+    rows = benchmark(sweep)
+    table = format_table(
+        ["T", "C(T)"],
+        rows,
+        title="Summation capacity C(T) on the Figure 4 machine "
+        "(serial below L+2o+1=10, exponential beyond)",
+    )
+    save_exhibit("fig4_capacity", table)
+    caps = [c for _, c in rows]
+    assert all(a <= b for a, b in zip(caps, caps[1:]))
+    # Parallel growth well past the serial bound of T+1 values.
+    assert caps[-1] > 4 * 61

@@ -1,0 +1,85 @@
+"""PERF — throughput of the reproduction's own machinery.
+
+Not a paper exhibit: these benchmarks time the simulation substrate
+itself (event-engine dispatch, message round-trips through the LogP
+machine, cache-simulator block processing, packet-level network steps)
+so regressions in the infrastructure are visible.  These use
+pytest-benchmark's statistical timing directly.
+"""
+
+import numpy as np
+
+from repro.core import LogPParams
+from repro.memory.cache import Cache
+from repro.sim import Engine, Recv, Send, run_programs
+from repro.topology import grid_route, simulate_load
+
+
+def test_perf_engine_dispatch(benchmark):
+    """Raw event-queue throughput."""
+
+    def run():
+        e = Engine()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+
+        for t in range(20_000):
+            e.schedule(float(t), tick)
+        e.run()
+        return count
+
+    assert benchmark(run) == 20_000
+
+
+def test_perf_machine_message_stream(benchmark):
+    """End-to-end simulated messages per second (trace off)."""
+    p = LogPParams(L=6, o=2, g=4, P=2)
+    k = 2_000
+
+    def prog(rank, P):
+        if rank == 0:
+            for _ in range(k):
+                yield Send(1)
+        else:
+            for _ in range(k):
+                yield Recv()
+        return None
+
+    def run():
+        return run_programs(p, prog, trace=False).total_messages
+
+    assert benchmark(run) == k
+
+
+def test_perf_cache_block_path(benchmark):
+    """Vectorized direct-mapped cache throughput."""
+    rng = np.random.default_rng(0)
+    addrs = rng.integers(0, 1 << 22, 200_000)
+
+    def run():
+        c = Cache(64 * 1024, 32)
+        c.access_block(addrs)
+        return c.stats.accesses
+
+    assert benchmark(run) == 200_000
+
+
+def test_perf_packet_network(benchmark):
+    """Packet-level network simulator step rate."""
+    K = 8
+
+    def route(s, d):
+        return [
+            c[0] * K + c[1]
+            for c in grid_route((s // K, s % K), (d // K, d % K), (K, K), wrap=True)
+        ]
+
+    def run():
+        return simulate_load(
+            64, route, 0.3, horizon=400, warmup=100, seed=1
+        ).delivered
+
+    assert benchmark(run) > 0

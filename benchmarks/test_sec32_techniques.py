@@ -1,0 +1,150 @@
+"""SEC32/SEC415 — techniques the model rewards, measured.
+
+1. **Multithreading (Section 3.2):** "the capacity constraint allows
+   multithreading to be employed only up to a limit of L/g virtual
+   processors."  A requester keeps v round-trip requests in flight to
+   one server; throughput rises with v and saturates at the capacity
+   knee.
+2. **Overlapping communication with computation (Section 4.1.5):**
+   "if o is small compared to g, each processor idles for g - 2o cycles
+   between successive transmissions during the remap.  The remap can be
+   merged into the computation phases ... this eliminates idling."
+   We compare compute-then-remap against the merged schedule on a
+   small-o machine.
+3. **DRAM trend (Section 2):** "quadrupling in size every three years"
+   — the 59 %/year fit over the DRAM generations.
+"""
+
+import pytest
+
+from repro.core import LogPParams
+from repro.machines import cm5
+from repro.machines.trends import DRAM_CAPACITY_DATA, dram_growth_rate
+from repro.algorithms.fft import simulate_remap
+from repro.sim import Compute, Recv, Send, run_programs
+from repro.viz import format_table
+
+
+def _multithread_throughput(p: LogPParams, v: int, rounds: int) -> float:
+    """``v`` virtual processors per physical one, each with a single
+    outstanding remote operation (it resumes when its message is
+    delivered, ``L + 2o`` after issue).  Returns operations per cycle —
+    the paper's accounting for latency-masking multithreading.
+    """
+    import heapq
+
+    op_latency = p.L + 2 * p.o
+
+    def prog(rank, P):
+        from repro.sim import Now, Sleep
+
+        if rank == 0:
+            total = v * rounds
+            ready = [(0.0, vp) for vp in range(v)]
+            heapq.heapify(ready)
+            for _ in range(total):
+                t_ready, vp = heapq.heappop(ready)
+                now = yield Now()
+                if t_ready > now:
+                    yield Sleep(t_ready - now)
+                yield Send(1, tag="op")
+                now = yield Now()
+                heapq.heappush(ready, (now - p.o + op_latency, vp))
+            t = yield Now()
+            return (total, t)
+        else:
+            for _ in range(v * rounds):
+                yield Recv(tag="op")
+        return None
+
+    res = run_programs(p, prog)
+    total, t = res.value(0)
+    return total / t
+
+
+def test_sec32_multithreading_limit(benchmark, save_exhibit):
+    # The paper's idealization: negligible overhead, so a virtual
+    # processor's operation completes L after issue and the knee sits
+    # exactly at L/g in-flight operations.
+    p = LogPParams(L=16, o=0, g=4, P=2)  # capacity L/g = 4
+
+    def sweep():
+        return [
+            [v, _multithread_throughput(p, v, rounds=40)]
+            for v in (1, 2, 3, 4, 6, 8, 12)
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["virtual processors v", "remote ops per cycle"],
+        rows,
+        floatfmt=".4g",
+        title="Section 3.2: multithreading masks latency only up to "
+        f"L/g = {p.capacity} virtual processors (L=16 o=0 g=4; "
+        "bandwidth ceiling 1/g = 0.25)",
+    )
+    save_exhibit("sec32_multithreading", table)
+    tp = dict((int(v), x) for v, x in rows)
+    # Linear growth region: v/L ops per cycle.
+    assert tp[2] == pytest.approx(2 / 16, rel=0.1)
+    # Knee at v = L/g = 4: the bandwidth ceiling 1/g.
+    assert tp[4] == pytest.approx(1 / 4, rel=0.1)
+    # Flat beyond the capacity limit.
+    assert abs(tp[8] - tp[4]) < 0.05 * tp[4]
+    assert abs(tp[12] - tp[4]) < 0.05 * tp[4]
+
+
+def test_sec415_overlap_communication_computation(benchmark, save_exhibit):
+    """Merged remap+compute vs sequential phases on a small-o machine."""
+    machine = cm5(P=16)
+    cal = machine.calibration
+    # A future CM-5: o cut 8x, as Section 4.1.5 anticipates.
+    p = LogPParams(L=6.0, o=0.25, g=4.0, P=16, name="small-o CM-5")
+    n = 2**12
+    per_point_compute = 3.0  # cycles of butterfly work folded per point
+
+    def run_both():
+        k = n // p.P - n // (p.P * p.P)
+        # Sequential: all compute, then a bare remap.
+        seq_remap = simulate_remap(p, n, "staggered", point_cost=0.0)
+        sequential = (n // p.P) * per_point_compute + seq_remap.makespan
+        # Merged: the same compute interleaved into the send loop.
+        merged = simulate_remap(
+            p, n, "staggered", point_cost=per_point_compute
+        ).makespan
+        return sequential, merged, seq_remap.makespan, k
+
+    sequential, merged, remap_only, k = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    idle_per_msg = max(0.0, p.g - 2 * p.o)
+    table = format_table(
+        ["schedule", "total time (us)"],
+        [
+            ["compute phase then remap (sequential)", sequential],
+            ["remap merged into computation", merged],
+            ["bare remap alone", remap_only],
+            [f"idle per message in bare remap (g - 2o)", idle_per_msg],
+        ],
+        floatfmt=".5g",
+        title="Section 4.1.5: overlapping communication with computation "
+        "(o=0.25, g=4): merging hides compute in the g - 2o gaps",
+    )
+    save_exhibit("sec415_overlap", table)
+    assert merged < sequential
+    # The merged schedule hides a large share of the compute.
+    hidden = sequential - merged
+    assert hidden > 0.5 * (n // p.P) * per_point_compute
+
+
+def test_sec2_dram_trend(benchmark, save_exhibit):
+    rate = benchmark(dram_growth_rate)
+    rows = [[y, b // 1024] for y, b in DRAM_CAPACITY_DATA]
+    rows.append(["fit", f"{rate:.0%}/yr (4x per 3yr = 59%)"])
+    table = format_table(
+        ["year", "DRAM Kbit per chip"],
+        rows,
+        title="Section 2: 'quadrupling in size every three years'",
+    )
+    save_exhibit("sec2_dram_trend", table)
+    assert abs(rate - (4 ** (1 / 3) - 1)) < 0.03

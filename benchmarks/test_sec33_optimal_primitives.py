@@ -1,0 +1,113 @@
+"""SEC33 — Section 3.3: optimal broadcast and summation across the
+machine parameter space.
+
+The paper's point is that the optimal communication structure *adapts*
+to (L, o, g): latency-dominated machines want flat trees, gap-dominated
+machines want deep ones.  This benchmark sweeps the space and reports
+the optimal times, tree shapes, and the margins over oblivious trees —
+plus the simulated-vs-analytic agreement for both primitives.
+"""
+
+import numpy as np
+
+from repro.core import LogPParams
+from repro.algorithms.broadcast import (
+    binomial_tree,
+    broadcast_program,
+    optimal_broadcast_tree,
+    tree_delivery_times,
+)
+from repro.algorithms.summation import (
+    balanced_reduction_time,
+    distribute_inputs,
+    optimal_summation_tree,
+    summation_program,
+    summation_time,
+)
+from repro.sim import run_programs
+from repro.viz import format_table
+
+SWEEP = [
+    LogPParams(L=2, o=1, g=1, P=16),     # cheap network
+    LogPParams(L=6, o=2, g=4, P=16),     # the Figure 3 regime
+    LogPParams(L=40, o=1, g=2, P=16),    # latency-dominated
+    LogPParams(L=4, o=1, g=16, P=16),    # bandwidth-starved
+    LogPParams(L=10, o=8, g=2, P=16),    # overhead-dominated
+]
+
+
+def test_sec33_broadcast_adaptation(benchmark, save_exhibit):
+    def sweep():
+        rows = []
+        for p in SWEEP:
+            tree = optimal_broadcast_tree(p)
+            sim = run_programs(p, broadcast_program(tree, 0)).makespan
+            binom = max(tree_delivery_times(p, binomial_tree(p.P)))
+            rows.append(
+                [
+                    f"L{p.L:g} o{p.o:g} g{p.g:g}",
+                    tree.completion_time,
+                    sim,
+                    tree.fanout(0),
+                    tree.depth(),
+                    binom / tree.completion_time,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["machine (P=16)", "optimal time", "simulated", "root fanout",
+         "depth", "binomial/optimal"],
+        rows,
+        floatfmt=".3g",
+        title="Section 3.3: optimal broadcast adapts its tree to (L,o,g)",
+    )
+    save_exhibit("sec33_broadcast_sweep", table)
+    for row in rows:
+        assert row[1] == row[2]  # analysis == simulation, exactly
+        assert row[5] >= 1.0  # optimal never loses to binomial
+    fanouts = {r[0]: r[3] for r in rows}
+    assert fanouts["L40 o1 g2"] > fanouts["L4 o1 g16"]
+
+
+def test_sec33_summation_adaptation(benchmark, save_exhibit):
+    rng = np.random.default_rng(5)
+
+    def sweep():
+        rows = []
+        for p in SWEEP:
+            n = 200
+            t_opt = summation_time(p, n)
+            t_bal = balanced_reduction_time(p, n)
+            tree = optimal_summation_tree(p, t_opt)
+            values = rng.standard_normal(tree.total_values)
+            res = run_programs(
+                p, summation_program(tree, distribute_inputs(tree, values))
+            )
+            rows.append(
+                [
+                    f"L{p.L:g} o{p.o:g} g{p.g:g}",
+                    t_opt,
+                    res.makespan,
+                    t_bal,
+                    tree.processors_used,
+                    bool(np.isclose(res.value(0), values.sum())),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["machine (P=16)", "optimal T for n=200", "simulated makespan",
+         "balanced baseline", "procs used", "sum exact"],
+        rows,
+        floatfmt=".4g",
+        title="Section 3.3: optimal summation of 200 values vs the "
+        "oblivious balanced reduction",
+    )
+    save_exhibit("sec33_summation_sweep", table)
+    for row in rows:
+        assert row[2] <= row[1] + 1e-9
+        assert row[1] <= row[3] + 1e-9
+        assert row[5]

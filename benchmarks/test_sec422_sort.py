@@ -1,0 +1,85 @@
+"""SEC422 — Section 4.2.2: parallel sorting.
+
+"Sort algorithms can be designed with a basic structure of alternating
+phases of local computation and general communication ... splitter
+sort[7] follows this compute-remap-compute pattern even more closely."
+
+Benchmarks splitter (sample) sort against bitonic sort, both executed
+with real keys on the simulator and both predicted analytically; the
+single-remap structure wins as P grows.
+"""
+
+import numpy as np
+
+from repro.core import LogPParams
+from repro.algorithms.sort import (
+    bitonic_sort_time,
+    column_sort_time,
+    run_bitonic_sort,
+    run_column_sort,
+    run_splitter_sort,
+    splitter_sort_time,
+)
+from repro.viz import format_table
+
+
+def test_sec422_simulated_sorts(benchmark, save_exhibit, rng):
+    p = LogPParams(L=6, o=2, g=4, P=8)
+    data = rng.standard_normal(1024)
+    truth = np.sort(data)
+
+    def run():
+        sp = run_splitter_sort(p, data)
+        bi = run_bitonic_sort(p, data)
+        cs = run_column_sort(p, data)
+        return sp, bi, cs
+
+    sp, bi, cs = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["algorithm", "simulated cycles", "predicted cycles",
+         "max bucket", "sorted correctly"],
+        [
+            ["splitter sort", sp.makespan, splitter_sort_time(p, 1024),
+             sp.max_bucket, bool(np.array_equal(sp.sorted_values, truth))],
+            ["column sort", cs.makespan, column_sort_time(p, 1024),
+             cs.max_bucket, bool(np.array_equal(cs.sorted_values, truth))],
+            ["bitonic sort", bi.makespan, bitonic_sort_time(p, 1024),
+             bi.max_bucket, bool(np.array_equal(bi.sorted_values, truth))],
+        ],
+        floatfmt=".5g",
+        title="Section 4.2.2: sorting 1024 keys on L=6 o=2 g=4 P=8 "
+        "(the compute-remap-compute pattern vs the bitonic network)",
+    )
+    save_exhibit("sec422_sort_sim", table)
+    assert np.array_equal(sp.sorted_values, truth)
+    assert np.array_equal(bi.sorted_values, truth)
+    assert np.array_equal(cs.sorted_values, truth)
+    assert sp.makespan < bi.makespan  # one remap beats log^2 P rounds
+
+
+def test_sec422_analytic_crossover(benchmark, save_exhibit):
+    """Where splitter sort's one remap overtakes bitonic's rounds."""
+
+    def sweep():
+        n = 2**16
+        rows = []
+        for P in (4, 16, 64, 256):
+            p = LogPParams(L=6, o=2, g=4, P=P)
+            rows.append(
+                [P, splitter_sort_time(p, n), bitonic_sort_time(p, n)]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    table = format_table(
+        ["P", "splitter (cycles)", "bitonic (cycles)"],
+        rows,
+        floatfmt=".5g",
+        title="Sorting n=65536 keys: compute-remap-compute vs the "
+        "bitonic network as P grows",
+    )
+    save_exhibit("sec422_sort_model", table)
+    # Splitter's advantage grows with P.
+    adv = [b / s for _, s, b in rows]
+    assert adv[-1] > adv[0]
+    assert adv[-1] > 2.0

@@ -1,0 +1,55 @@
+"""SEC7 — parameter determination, closed loop.
+
+"This will require refining the process of parameter determination and
+evaluating a large number of machines."  The microbenchmark suite of
+`repro.machines.fit` measures a machine knowing nothing but its program
+API; run against simulated machines with hidden parameters, it must
+hand them back.
+"""
+
+import math
+
+from repro.core import LogPParams
+from repro.machines.fit import measure_logp
+from repro.viz import format_table
+
+MACHINES = [
+    LogPParams(L=6, o=2, g=4, P=8, name="figure-3"),
+    LogPParams(L=1.3, o=0.44, g=0.89, P=8, name="CM-5 (cycles)"),
+    LogPParams(L=16, o=1, g=4, P=4, name="latency-heavy"),
+    LogPParams(L=5, o=3, g=1, P=4, name="overhead-bound"),
+]
+
+
+def test_sec7_parameter_recovery(benchmark, save_exhibit):
+    def sweep():
+        rows = []
+        for p in MACHINES:
+            m = measure_logp(p)
+            rows.append(
+                [
+                    p.name,
+                    f"{p.L:g}/{m.L:g}",
+                    f"{p.o:g}/{m.o:g}",
+                    f"{max(p.g, p.o):g}/{m.effective_g:g}",
+                    m.pipeline_depth,
+                    math.ceil((p.L + 2 * p.o) / max(p.g, p.o)),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["machine", "L true/measured", "o true/measured",
+         "eff. g true/measured", "knee measured", "knee predicted"],
+        rows,
+        title="Section 7: LogP parameter determination by microbenchmark "
+        "(send clock, empty RTT, receiver saturation, outstanding-ops "
+        "knee) — closed loop against hidden parameters",
+    )
+    save_exhibit("sec7_parameter_fit", table)
+    for row in rows:
+        for cell in row[1:4]:
+            true, measured = cell.split("/")
+            assert abs(float(true) - float(measured)) < 1e-6
+        assert abs(row[4] - row[5]) <= 1

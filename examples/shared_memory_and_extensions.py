@@ -1,0 +1,130 @@
+"""Shared memory on LogP, long messages, and per-pattern gaps.
+
+Three shorter studies rounding out the model's reach:
+
+1. **Shared memory** (Section 3.2): remote reads cost exactly
+   ``2L + 4o``; prefetching hides that latency behind computation up to
+   the capacity limit of ``L/g`` outstanding requests.
+2. **Long messages** (Section 5.4): one bulk message vs per-word sends —
+   the network-processor extension in action.
+3. **Streams** (Section 3.1): broadcasting many items flips the optimal
+   structure from the bushy single-item tree to a pipeline.
+
+Run:  python examples/shared_memory_and_extensions.py
+"""
+
+import numpy as np
+
+from repro.core import LogGPParams, LogPParams, long_message_time, pipelined_stream_exact
+from repro.algorithms.broadcast import (
+    best_pipelined_tree,
+    binomial_tree,
+    linear_tree,
+    optimal_broadcast_tree,
+    pipelined_tree_time,
+)
+from repro.sim import (
+    AwaitPrefetch,
+    Compute,
+    Now,
+    Prefetch,
+    Read,
+    run_dsm,
+)
+from repro.viz import format_table
+
+
+def shared_memory_study() -> None:
+    p = LogPParams(L=6, o=2, g=4, P=2)
+
+    def eager(rank, P):
+        """Read 8 remote values one blocking read at a time."""
+        if rank == 0:
+            t0 = yield Now()
+            total = 0
+            for i in range(8, 16):
+                total += (yield Read(i))
+                yield Compute(5)
+            t1 = yield Now()
+            return t1 - t0
+        return None
+        yield
+
+    def prefetching(rank, P):
+        """Issue all prefetches up front, then compute, then consume."""
+        if rank == 0:
+            t0 = yield Now()
+            handles = []
+            for i in range(8, 16):
+                handles.append((yield Prefetch(i)))
+            total = 0
+            for h in handles:
+                total += (yield AwaitPrefetch(h))
+                yield Compute(5)
+            t1 = yield Now()
+            return t1 - t0
+        return None
+        yield
+
+    data = list(range(16))
+    t_eager = run_dsm(p, eager, data).values[0]
+    t_pref = run_dsm(p, prefetching, data).values[0]
+    print(
+        format_table(
+            ["strategy", "cycles for 8 remote reads + compute"],
+            [
+                ["blocking reads (2L+4o each)", t_eager],
+                ["prefetch pipeline (2o issue each)", t_pref],
+            ],
+            title="Section 3.2: shared-memory reads on LogP (L=6 o=2 g=4)",
+        )
+    )
+    print()
+
+
+def long_message_study() -> None:
+    gp = LogGPParams(L=6, o=2, g=4, G=0.5, P=2)
+    rows = [
+        [k, pipelined_stream_exact(gp, k), long_message_time(gp, k)]
+        for k in (1, 8, 64, 512)
+    ]
+    print(
+        format_table(
+            ["words", "k small messages", "one bulk message (G=0.5)"],
+            rows,
+            floatfmt=".5g",
+            title="Section 5.4: the long-message extension",
+        )
+    )
+    print()
+
+
+def stream_study() -> None:
+    p = LogPParams(L=6, o=2, g=4, P=8)
+    trees = {
+        "optimal-single": optimal_broadcast_tree(p).children,
+        "binomial": binomial_tree(8),
+        "chain": linear_tree(8),
+    }
+    rows = []
+    for k in (1, 4, 16, 64):
+        row = [k] + [
+            pipelined_tree_time(p, ch, k) for ch in trees.values()
+        ]
+        row.append(best_pipelined_tree(p, k)[0])
+        rows.append(row)
+    print(
+        format_table(
+            ["items k", *trees.keys(), "best structure"],
+            rows,
+            floatfmt=".5g",
+            title="Section 3.1: streaming k items — the optimal structure "
+            "flips from bushy tree to pipeline",
+        )
+    )
+
+
+if __name__ == "__main__":
+    shared_memory_study()
+    long_message_study()
+    stream_study()

@@ -1,0 +1,10 @@
+"""Shim so `pip install -e .` works without the `wheel` package.
+
+The environment has setuptools but no `wheel`, so the PEP 660 editable
+path is unavailable; this file lets pip fall back to the legacy
+`setup.py develop` route.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

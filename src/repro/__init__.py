@@ -1,0 +1,38 @@
+"""logp-repro: a reproduction of *LogP: Towards a Realistic Model of
+Parallel Computation* (Culler, Karp, Patterson, Sahay, Schauser, Santos,
+Subramonian, von Eicken — PPOPP 1993).
+
+The package provides:
+
+* :mod:`repro.core` — the LogP model itself: the (L, o, g, P) parameter
+  set, closed-form costs for communication primitives, and the paper's
+  algorithm-level analyses;
+* :mod:`repro.sim` — a discrete-event simulator that enforces the model's
+  semantics exactly (overhead, gaps, latency bound, capacity constraint)
+  and runs real programs with real data;
+* :mod:`repro.algorithms` — the paper's algorithm suite: optimal broadcast
+  and summation, the FFT layout/schedule study, LU decomposition layouts,
+  sorting, connected components;
+* :mod:`repro.topology` — real-network substrate for Section 5: topology
+  metrics, unloaded message timing, packet-level saturation;
+* :mod:`repro.models` — the competing models of Section 6 (PRAM, BSP,
+  postal, delay) as executable baselines;
+* :mod:`repro.machines` — the machine database (Table 1, the CM-5 FFT
+  calibration, the Figure 2 microprocessor trend data);
+* :mod:`repro.memory` — the cache simulator behind the Figure 7 study;
+* :mod:`repro.viz` — ASCII Gantt charts, trees and tables.
+
+Quickstart::
+
+    from repro import LogPParams
+    from repro.algorithms.broadcast import optimal_broadcast_tree
+
+    cm5ish = LogPParams(L=6, o=2, g=4, P=8)
+    tree = optimal_broadcast_tree(cm5ish)
+    print(tree.completion_time)   # 24, as in Figure 3
+"""
+
+from .core import LogPParams
+
+__version__ = "1.0.0"
+__all__ = ["LogPParams", "__version__"]

@@ -1,0 +1,30 @@
+"""The paper's algorithm suite (Sections 3.3 and 4).
+
+* :mod:`repro.algorithms.broadcast` — optimal single-item broadcast
+  (Figure 3) plus linear/flat/binomial baselines;
+* :mod:`repro.algorithms.summation` — optimal summation with the
+  unequal input distribution (Figure 4);
+* :mod:`repro.algorithms.fft` — the hybrid-layout FFT, remap schedules,
+  and the remap-phase simulations behind Figures 5, 6 and 8;
+* :mod:`repro.algorithms.lu` — LU decomposition layouts (Section 4.2.1);
+* :mod:`repro.algorithms.sort` — splitter and bitonic sort (4.2.2);
+* :mod:`repro.algorithms.components` — connected components with the
+  contention study (4.2.3);
+* :mod:`repro.algorithms.matmul` — SUMMA matrix multiply with
+  long-message panels (Section 6.6's list);
+* :mod:`repro.algorithms.stencil` — 1-D/2-D Jacobi stencils and the
+  surface-to-volume argument (Section 6.4).
+"""
+
+from . import broadcast, components, fft, lu, matmul, sort, stencil, summation
+
+__all__ = [
+    "broadcast",
+    "summation",
+    "fft",
+    "lu",
+    "sort",
+    "components",
+    "matmul",
+    "stencil",
+]

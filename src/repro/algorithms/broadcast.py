@@ -1,0 +1,321 @@
+"""Optimal single-item broadcast under LogP (Section 3.3, Figure 3).
+
+"The main idea is simple: all processors that have received the datum
+transmit it as quickly as possible, while ensuring that no processor
+receives more than one message."  The source injects a message every
+``max(g, o)`` cycles; each message lands ``L + 2o`` after its send
+starts; every recipient immediately becomes the root of a smaller
+broadcast tree.  The resulting optimal tree is *unbalanced*, with
+fan-out determined by the relative values of L, o and g.
+
+This module builds that tree by greedy earliest-delivery construction
+(provably optimal for single-item broadcast: the k-th earliest possible
+delivery time is achieved by giving the k-th message to the sender that
+can deliver soonest), renders it as an explicit
+:class:`~repro.core.schedule.Schedule` for the Figure 3 Gantt panel, and
+provides the baseline trees (linear chain, flat, binomial) the ablation
+benchmark compares against.
+
+For the paper's example — ``P=8, L=6, g=4, o=2`` — the tree delivers to
+the last processor at time 24, with the root's children receiving at
+10, 14, 18, 22 (Figure 3's node labels).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..core.params import LogPParams
+from ..core.schedule import Activity, MessageRecord, Schedule
+
+__all__ = [
+    "BroadcastTree",
+    "optimal_broadcast_tree",
+    "optimal_broadcast_time",
+    "tree_delivery_times",
+    "linear_tree",
+    "flat_tree",
+    "binomial_tree",
+    "broadcast_schedule",
+    "broadcast_program",
+    "pipelined_tree_time",
+    "pipelined_broadcast_program",
+    "best_pipelined_tree",
+]
+
+
+@dataclass(slots=True)
+class BroadcastTree:
+    """An explicit broadcast tree with its delivery schedule.
+
+    Attributes:
+        params: the machine the tree was built for.
+        root: the source processor.
+        parent: ``parent[r]`` is r's parent (``None`` for the root).
+        children: ``children[r]`` lists r's children in send order.
+        recv_time: ``recv_time[r]`` is when r has the datum and can begin
+            sending it on (0 for the root) — the node labels of Figure 3.
+        send_start: ``send_start[(src, dst)]`` is when src begins the
+            o-cycle injection of the message to dst.
+    """
+
+    params: LogPParams
+    root: int
+    parent: list[int | None]
+    children: list[list[int]]
+    recv_time: list[float]
+    send_start: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    @property
+    def completion_time(self) -> float:
+        """Time at which the last processor has received the datum."""
+        return max(self.recv_time)
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path (in messages)."""
+        best = 0
+        for r in range(self.params.P):
+            d = 0
+            node: int | None = r
+            while self.parent[node] is not None:  # type: ignore[index]
+                node = self.parent[node]  # type: ignore[index]
+                d += 1
+            best = max(best, d)
+        return best
+
+    def fanout(self, rank: int) -> int:
+        return len(self.children[rank])
+
+
+def optimal_broadcast_tree(p: LogPParams, root: int = 0) -> BroadcastTree:
+    """Build the optimal broadcast tree by greedy earliest delivery.
+
+    Maintains a priority queue keyed by the earliest time an informed
+    processor can *start its next send*; each pop delivers the datum to
+    the next uninformed processor at ``start + L + 2o``, which then joins
+    the queue itself.  Ranks are assigned in delivery order (the root's
+    first child is processor ``root+1``, etc.), which reproduces the
+    layout of Figure 3 up to the paper's arbitrary processor naming.
+    """
+    if not 0 <= root < p.P:
+        raise ValueError(f"root {root} out of range for P={p.P}")
+    P = p.P
+    parent: list[int | None] = [None] * P
+    children: list[list[int]] = [[] for _ in range(P)]
+    recv_time = [0.0] * P
+    send_start: dict[tuple[int, int], float] = {}
+    if P == 1:
+        return BroadcastTree(p, root, parent, children, recv_time, send_start)
+
+    interval = p.send_interval
+    deliver = p.L + 2 * p.o
+    # Heap of (next send start, tiebreak, sender rank).
+    heap: list[tuple[float, int, int]] = [(0.0, 0, root)]
+    tie = 1
+    # Unassigned ranks, in the order they will be named.
+    pending = [r for r in range(P) if r != root]
+    for new in pending:
+        start, _, sender = heapq.heappop(heap)
+        parent[new] = sender
+        children[sender].append(new)
+        recv_time[new] = start + deliver
+        send_start[(sender, new)] = start
+        heapq.heappush(heap, (start + interval, tie, sender))
+        tie += 1
+        heapq.heappush(heap, (recv_time[new], tie, new))
+        tie += 1
+    return BroadcastTree(p, root, parent, children, recv_time, send_start)
+
+
+def optimal_broadcast_time(p: LogPParams) -> float:
+    """Completion time of the optimal broadcast (24 for the Figure 3
+    parameters ``P=8, L=6, g=4, o=2``)."""
+    return optimal_broadcast_tree(p).completion_time
+
+
+def tree_delivery_times(
+    p: LogPParams, children: list[list[int]], root: int = 0
+) -> list[float]:
+    """Delivery times for an arbitrary explicit tree.
+
+    ``children[r]`` is in send order; r's k-th send starts
+    ``k * max(g, o)`` after r is ready, and lands ``L + 2o`` later.
+    """
+    P = p.P
+    recv_time = [0.0] * P
+    interval = p.send_interval
+    deliver = p.L + 2 * p.o
+    seen = {root}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for k, child in enumerate(children[node]):
+            if child in seen:
+                raise ValueError(f"node {child} appears twice in the tree")
+            seen.add(child)
+            recv_time[child] = recv_time[node] + k * interval + deliver
+            stack.append(child)
+    if len(seen) != P:
+        raise ValueError(
+            f"tree reaches {len(seen)} of {P} processors"
+        )
+    return recv_time
+
+
+def linear_tree(P: int, root: int = 0) -> list[list[int]]:
+    """Chain: root -> next -> next ... (the worst reasonable tree)."""
+    children: list[list[int]] = [[] for _ in range(P)]
+    order = [root] + [r for r in range(P) if r != root]
+    for a, b in zip(order, order[1:]):
+        children[a].append(b)
+    return children
+
+
+def flat_tree(P: int, root: int = 0) -> list[list[int]]:
+    """Star: the root sends to everyone itself (gap-bound)."""
+    children: list[list[int]] = [[] for _ in range(P)]
+    children[root] = [r for r in range(P) if r != root]
+    return children
+
+
+def binomial_tree(P: int, root: int = 0) -> list[list[int]]:
+    """The classic parameter-oblivious binomial broadcast tree."""
+    from ..sim.collectives import binomial_children
+
+    return [binomial_children(r, P, root) for r in range(P)]
+
+
+def broadcast_schedule(tree: BroadcastTree) -> Schedule:
+    """Render a broadcast tree as an explicit activity schedule — the
+    right-hand panel of Figure 3 (send/receive overhead bars per
+    processor, messages in flight between them)."""
+    p = tree.params
+    sched = Schedule(p)
+    for (src, dst), start in sorted(tree.send_start.items(), key=lambda kv: kv[1]):
+        inject = start + p.o
+        arrive = inject + p.L
+        recv_start = arrive
+        recv_end = arrive + p.o
+        sched.add_interval(src, start, start + p.o, Activity.SEND, f"->{dst}")
+        sched.add_interval(dst, recv_start, recv_end, Activity.RECV, f"<-{src}")
+        sched.add_message(
+            MessageRecord(
+                src=src,
+                dst=dst,
+                send_start=start,
+                inject=inject,
+                arrive=arrive,
+                recv_start=recv_start,
+                recv_end=recv_end,
+                tag="bcast",
+            )
+        )
+    sched.sort_all()
+    return sched
+
+
+def pipelined_tree_time(
+    p: LogPParams, children: list[list[int]], k: int, root: int = 0
+) -> float:
+    """Predicted time to broadcast ``k`` items over an explicit tree
+    with pipelining (Section 3.1's "long streams ... pipelined through
+    the network").
+
+    Steady-state throughput at a node with fanout ``f`` that also
+    receives the stream is one item per
+    ``max(g, f * max(g, o), o * (f + 1))`` cycles (its send port, its
+    send overhead for f copies, plus the receive overhead share); the
+    stream's completion is the single-item delivery time of the last
+    leaf plus ``(k-1)`` periods of the bottleneck node.
+
+    Exact (verified against the simulator across the test grid) when
+    each relay can interleave one receive and its sends smoothly per
+    period — in particular whenever ``max(g, o) >= 2o`` for fanout-1
+    relays.  When ``g < 2o`` relays fall into receive/send bursts that
+    add up to ``~(2o - g)`` of pipeline skew per hop, and this closed
+    form is a lower bound.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    single = max(tree_delivery_times(p, children, root))
+    period = 0.0
+    for r in range(p.P):
+        f = len(children[r])
+        if f == 0:
+            continue
+        recv_o = 0.0 if r == root else p.o
+        node_period = max(
+            p.g, f * max(p.g, p.o), f * p.o + recv_o
+        )
+        period = max(period, node_period)
+    return single + (k - 1) * period
+
+
+def pipelined_broadcast_program(children: list[list[int]], items, root: int = 0):
+    """Program factory: stream ``items`` down an explicit tree.
+
+    Every non-root node alternates receive/forward per item; items are
+    tagged with their index so ordering is preserved under any latency
+    model.  Programs return the received item list (the root returns the
+    original items).
+    """
+    items = list(items)
+
+    def factory(rank: int, P: int):
+        from ..sim.program import Recv, Send
+
+        def run():
+            got = list(items) if rank == root else []
+            for idx in range(len(items)):
+                if rank != root:
+                    msg = yield Recv(tag=("pipe", idx))
+                    got.append(msg.payload)
+                for child in children[rank]:
+                    yield Send(child, payload=got[idx], tag=("pipe", idx))
+            return got
+
+        return run()
+
+    return factory
+
+
+def best_pipelined_tree(
+    p: LogPParams, k: int, root: int = 0
+) -> tuple[str, list[list[int]]]:
+    """Pick the best of {optimal single-item tree, binomial, chain} for
+    a ``k``-item pipelined broadcast, by predicted time.
+
+    Captures the paper's point that the right structure depends on the
+    message-stream length: latency-optimal (bushy) trees win for one
+    item, deep low-fanout trees win for long streams.
+    """
+    candidates = {
+        "optimal-single": optimal_broadcast_tree(p, root).children,
+        "binomial": binomial_tree(p.P, root),
+        "chain": linear_tree(p.P, root),
+    }
+    best = min(
+        candidates,
+        key=lambda name: pipelined_tree_time(p, candidates[name], k, root),
+    )
+    return best, candidates[best]
+
+
+def broadcast_program(tree: BroadcastTree, value):
+    """Program factory that executes ``tree`` on the simulator.
+
+    Returns a factory suitable for
+    :func:`repro.sim.machine.run_programs`; every processor's program
+    returns the broadcast value, and the run's makespan equals
+    ``tree.completion_time`` on a deterministic machine.
+    """
+    from ..sim.collectives import tree_broadcast
+
+    children = tree.children
+
+    def factory(rank: int, P: int):
+        return tree_broadcast(rank, P, value if rank == tree.root else None,
+                              children, root=tree.root)
+
+    return factory

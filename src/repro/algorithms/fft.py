@@ -1,0 +1,494 @@
+"""The FFT case study (Section 4.1, Figures 5-8).
+
+The paper works through the n-input butterfly: data placement (cyclic,
+blocked, and the hybrid layout that turns ``log P`` exchange phases into
+one all-to-all remap), the communication *schedule* for that remap
+(naive = everyone floods destination 0 first; staggered = processor i
+starts at destination i+1 and wraps), and a quantitative CM-5 prediction.
+
+This module implements all of it with real numerics:
+
+* a from-scratch radix-2 decimation-in-frequency FFT whose stage
+  structure *is* the paper's butterfly (column 1 pairs rows differing in
+  the most significant bit; outputs emerge in bit-reversed order, as the
+  paper notes);
+* the three layouts, with remote-reference counting per column — the
+  Figure 5 exhibit;
+* a multi-processor in-memory execution of the hybrid algorithm (for
+  numerical validation against ``numpy.fft``) and a full data-carrying
+  execution on the discrete-event simulator (for timing validation);
+* the remap-phase simulation used by the Figure 6 and Figure 8
+  benchmarks: per-point send loops with naive/staggered destination
+  order, optional per-processor compute jitter (the "processors
+  gradually drift out of sync" effect), optional hardware barrier every
+  ``n/P**2`` messages (the paper's fix), and a double-network ``g/2``
+  variant.
+
+All butterfly work is charged at 1 cycle per node, matching the model's
+convention; the CM-5 calibration (4.5 us per butterfly, Section 4.1.4)
+lives in :mod:`repro.machines.cm5`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.params import LogPParams
+from ..sim.latency import LatencyModel
+from ..sim.machine import LogPMachine, MachineResult
+from ..sim.program import Barrier, Compute, Poll, Recv, Send
+
+__all__ = [
+    "bit_reverse_permutation",
+    "fft_dif",
+    "fft_natural",
+    "cyclic_proc",
+    "blocked_proc",
+    "cyclic_rows",
+    "blocked_rows",
+    "LayoutColumnCost",
+    "remote_reference_profile",
+    "hybrid_fft_inmemory",
+    "distributed_fft_program",
+    "run_distributed_fft",
+    "RemapResult",
+    "simulate_remap",
+    "remap_message_count",
+]
+
+
+# ----------------------------------------------------------------------
+# Local FFT kernel (the butterfly itself)
+# ----------------------------------------------------------------------
+
+
+def _check_pow2(n: int, name: str = "n") -> int:
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"{name} must be a power of two >= 1, got {n}")
+    return int(math.log2(n))
+
+
+def bit_reverse_permutation(n: int) -> np.ndarray:
+    """Indices ``rev`` such that ``x[rev]`` bit-reverses ``log2 n``-bit
+    row numbers (the reordering the paper notes FFT outputs need)."""
+    bits = _check_pow2(n)
+    rev = np.zeros(n, dtype=np.int64)
+    for b in range(bits):
+        rev = (rev << 1) | ((np.arange(n) >> b) & 1)
+    return rev
+
+
+def fft_dif(x: np.ndarray) -> np.ndarray:
+    """Radix-2 decimation-in-frequency FFT; output in bit-reversed order.
+
+    Stage ``s`` (0-based) pairs rows differing in bit ``log2(n)-1-s`` —
+    stage 0 pairs rows differing in the most significant bit, exactly the
+    paper's butterfly column 1.  One stage costs ``n`` butterfly node
+    updates (``n/2`` butterflies), 10 flops each for complex data.
+    """
+    x = np.asarray(x, dtype=np.complex128).copy()
+    n = x.shape[0]
+    bits = _check_pow2(n)
+    for s in range(bits):
+        m = n >> s
+        half = m >> 1
+        blocks = x.reshape(-1, m)
+        u = blocks[:, :half].copy()
+        v = blocks[:, half:].copy()
+        w = np.exp(-2j * np.pi * np.arange(half) / m)
+        blocks[:, :half] = u + v
+        blocks[:, half:] = (u - v) * w
+    return x
+
+
+def fft_natural(x: np.ndarray) -> np.ndarray:
+    """DIF FFT with the bit-reversal applied — directly comparable to
+    ``numpy.fft.fft``."""
+    out = fft_dif(x)
+    return out[bit_reverse_permutation(out.shape[0])]
+
+
+def _dif_stage_rows(
+    values: np.ndarray, rows: np.ndarray, s: int, n: int
+) -> None:
+    """Apply DIF stage ``s`` in place to a subset of rows.
+
+    ``rows`` (sorted, globally numbered) must be closed under flipping
+    bit ``log2(n)-1-s`` — i.e. the stage must be local to this
+    processor's layout, which is exactly what the layout analysis
+    guarantees for the phases each layout keeps local.
+    """
+    bits = _check_pow2(n)
+    if not 0 <= s < bits:
+        raise ValueError(f"stage {s} out of range for n={n}")
+    m = n >> s
+    half = m >> 1
+    lower = (rows & half) == 0
+    low_rows = rows[lower]
+    partner_pos = np.searchsorted(rows, low_rows | half)
+    if partner_pos.max(initial=-1) >= len(rows) or not np.array_equal(
+        rows[partner_pos], low_rows | half
+    ):
+        raise ValueError(
+            f"stage {s} is not local to this row set (bit {bits - 1 - s})"
+        )
+    low_pos = np.flatnonzero(lower)
+    u = values[low_pos]
+    v = values[partner_pos]
+    w = np.exp(-2j * np.pi * (low_rows & (half - 1)) / m)
+    values[low_pos] = u + v
+    values[partner_pos] = (u - v) * w
+
+
+# ----------------------------------------------------------------------
+# Layouts (Section 4.1.1, Figure 5)
+# ----------------------------------------------------------------------
+
+
+def cyclic_proc(r: int | np.ndarray, n: int, P: int):
+    """Cyclic layout: row ``r`` lives on processor ``r mod P``."""
+    return r % P
+
+
+def blocked_proc(r: int | np.ndarray, n: int, P: int):
+    """Blocked layout: row ``r`` lives on processor ``r // (n/P)``."""
+    return r // (n // P)
+
+
+def cyclic_rows(rank: int, n: int, P: int) -> np.ndarray:
+    """Rows owned by ``rank`` under the cyclic layout (sorted)."""
+    return np.arange(rank, n, P, dtype=np.int64)
+
+
+def blocked_rows(rank: int, n: int, P: int) -> np.ndarray:
+    """Rows owned by ``rank`` under the blocked layout (sorted)."""
+    chunk = n // P
+    return np.arange(rank * chunk, (rank + 1) * chunk, dtype=np.int64)
+
+
+@dataclass(frozen=True, slots=True)
+class LayoutColumnCost:
+    """Remote-reference count for one butterfly column under one layout."""
+
+    column: int  # 1-based, as in Figure 5
+    remote_nodes: int  # nodes needing a remote datum (whole machine)
+    local_nodes: int
+
+
+def remote_reference_profile(
+    n: int, P: int, layout: str, remap_col: int | None = None
+) -> list[LayoutColumnCost]:
+    """Per-column remote-reference counts — the quantitative content of
+    Figure 5.
+
+    Under ``"cyclic"`` the first ``log(n/P)`` columns are fully local and
+    the last ``log P`` fully remote; ``"blocked"`` is the mirror image;
+    ``"hybrid"`` is local everywhere, with the single remap between
+    columns ``remap_col`` and ``remap_col + 1`` (default ``log P``).
+    """
+    bits = _check_pow2(n)
+    pbits = _check_pow2(P, "P")
+    if P > n:
+        raise ValueError(f"P={P} exceeds n={n}")
+    out: list[LayoutColumnCost] = []
+    for c in range(1, bits + 1):
+        # Column c pairs rows differing in bit (bits - c) — MSB first.
+        bit = bits - c
+        if layout == "cyclic":
+            remote = bit < pbits  # low bits determine the owner
+        elif layout == "blocked":
+            remote = bit >= bits - pbits
+        elif layout == "hybrid":
+            rc = pbits if remap_col is None else remap_col
+            if not pbits <= rc <= bits - pbits:
+                raise ValueError(
+                    f"remap column {rc} outside [log P, log(n/P)] = "
+                    f"[{pbits}, {bits - pbits}]"
+                )
+            remote = bit < pbits if c <= rc else bit >= bits - pbits
+        else:
+            raise ValueError(f"unknown layout {layout!r}")
+        out.append(
+            LayoutColumnCost(
+                column=c,
+                remote_nodes=n if remote else 0,
+                local_nodes=0 if remote else n,
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Hybrid algorithm, in-memory (numerical ground truth)
+# ----------------------------------------------------------------------
+
+
+def hybrid_fft_inmemory(
+    x: np.ndarray, P: int, remap_col: int | None = None
+) -> np.ndarray:
+    """Run the hybrid-layout FFT as ``P`` cooperating memory regions.
+
+    Phase I: every "processor" applies the first ``remap_col`` stages to
+    its cyclic rows (all local).  Remap: cyclic -> blocked exchange.
+    Phase III: remaining stages on blocked rows (all local).  Returns
+    the transform in natural order; agrees with ``numpy.fft.fft`` to
+    machine precision.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[0]
+    bits = _check_pow2(n)
+    pbits = _check_pow2(P, "P")
+    if n < P * P and P > 1:
+        raise ValueError(f"hybrid layout needs n >= P**2 (n={n}, P={P})")
+    rc = pbits if remap_col is None else remap_col
+    if not pbits <= rc <= bits - pbits:
+        raise ValueError(
+            f"remap column {rc} outside [log P, log(n/P)]"
+        )
+
+    # Phase I on cyclic rows.
+    parts = []
+    for rank in range(P):
+        rows = cyclic_rows(rank, n, P)
+        vals = x[rows].copy()
+        for s in range(rc):
+            _dif_stage_rows(vals, rows, s, n)
+        parts.append((rows, vals))
+
+    # Remap: reassemble globally, redistribute blocked.
+    full = np.empty(n, dtype=np.complex128)
+    for rows, vals in parts:
+        full[rows] = vals
+
+    # Phase III on blocked rows.
+    out = np.empty(n, dtype=np.complex128)
+    for rank in range(P):
+        rows = blocked_rows(rank, n, P)
+        vals = full[rows].copy()
+        for s in range(rc, bits):
+            _dif_stage_rows(vals, rows, s, n)
+        out[rows] = vals
+
+    return out[bit_reverse_permutation(n)]
+
+
+# ----------------------------------------------------------------------
+# Full data-carrying execution on the simulator
+# ----------------------------------------------------------------------
+
+
+def distributed_fft_program(
+    x: np.ndarray,
+    stagger: bool = True,
+    remap_col: int | None = None,
+    cost_per_node: float = 1.0,
+):
+    """Program factory: the hybrid FFT with real data on the simulator.
+
+    Each processor computes phase I on its cyclic rows (charged
+    ``cost_per_node`` cycles per butterfly node), sends each migrating
+    ``(row, value)`` point-to-point during the remap (naive or staggered
+    destination order), computes phase III, and returns its
+    ``(rows, values)`` chunk.  Use :func:`run_distributed_fft` to
+    assemble and verify.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[0]
+    bits = _check_pow2(n)
+
+    def factory(rank: int, P: int):
+        pbits = _check_pow2(P, "P")
+        rc = pbits if remap_col is None else remap_col
+
+        def run():
+            rows = cyclic_rows(rank, n, P)
+            vals = x[rows].copy()
+            for s in range(rc):
+                _dif_stage_rows(vals, rows, s, n)
+                yield Compute(cost_per_node * len(rows), label=f"phaseI-s{s}")
+
+            # Remap to blocked layout.
+            my_block = blocked_rows(rank, n, P)
+            dest = blocked_proc(rows, n, P)
+            keep = dest == rank
+            outgoing: dict[int, list[tuple[int, complex]]] = {}
+            for r, v, d in zip(rows[~keep], vals[~keep], dest[~keep]):
+                outgoing.setdefault(int(d), []).append((int(r), complex(v)))
+            expected = len(my_block) - int(keep.sum())
+
+            order = (
+                [(rank + k) % P for k in range(1, P)]
+                if stagger
+                else [d for d in range(P) if d != rank]
+            )
+            for dst in order:
+                for item in outgoing.get(dst, ()):
+                    yield Send(dst, payload=item, tag="remap")
+
+            new_vals = np.empty(len(my_block), dtype=np.complex128)
+            base = my_block[0]
+            new_vals[rows[keep] - base] = vals[keep]
+            for _ in range(expected):
+                msg = yield Recv(tag="remap")
+                r, v = msg.payload
+                new_vals[r - base] = v
+
+            for s in range(rc, bits):
+                _dif_stage_rows(new_vals, my_block, s, n)
+                yield Compute(
+                    cost_per_node * len(my_block), label=f"phaseIII-s{s}"
+                )
+            return (my_block, new_vals)
+
+        return run()
+
+    return factory
+
+
+def run_distributed_fft(
+    params: LogPParams,
+    x: np.ndarray,
+    stagger: bool = True,
+    remap_col: int | None = None,
+    cost_per_node: float = 1.0,
+    **machine_kwargs,
+) -> tuple[np.ndarray, MachineResult]:
+    """Execute the distributed FFT on the simulator and assemble the
+    natural-order result.  Returns ``(transform, machine_result)``."""
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[0]
+    machine = LogPMachine(params, **machine_kwargs)
+    res = machine.run(
+        distributed_fft_program(x, stagger, remap_col, cost_per_node)
+    )
+    full = np.empty(n, dtype=np.complex128)
+    for rank in range(params.P):
+        rows, vals = res.value(rank)
+        full[rows] = vals
+    return full[bit_reverse_permutation(n)], res
+
+
+# ----------------------------------------------------------------------
+# Remap-phase simulation (Figures 6 and 8)
+# ----------------------------------------------------------------------
+
+
+def remap_message_count(n: int, P: int) -> int:
+    """Messages each processor sends during the remap:
+    ``n/P - n/P**2`` (``n/P**2`` to each of the other ``P-1``)."""
+    _check_pow2(n)
+    _check_pow2(P, "P")
+    if n < P * P and P > 1:
+        raise ValueError(f"remap needs n >= P**2 (n={n}, P={P})")
+    return n // P - n // (P * P)
+
+
+@dataclass(frozen=True, slots=True)
+class RemapResult:
+    """Outcome of one remap-phase simulation."""
+
+    params: LogPParams
+    n: int
+    schedule: str
+    makespan: float  # cycles
+    messages_per_proc: int
+    total_stall: float
+    cycles_per_point: float  # makespan / (n/P)
+
+    def rate(self, bytes_per_message: float, cycle_seconds: float) -> float:
+        """Per-processor communication rate in bytes/second given the
+        machine's cycle length (Figure 8's MB/s axis)."""
+        if self.makespan == 0:
+            return 0.0
+        sent = self.messages_per_proc * bytes_per_message
+        return sent / (self.makespan * cycle_seconds)
+
+
+def simulate_remap(
+    params: LogPParams,
+    n: int,
+    schedule: str = "staggered",
+    *,
+    point_cost: float = 0.0,
+    jitter=None,
+    barrier_every: int | None = None,
+    latency: LatencyModel | None = None,
+    double_net: bool = False,
+    trace: bool = False,
+    max_events: int = 200_000_000,
+) -> RemapResult:
+    """Simulate the cyclic->blocked remap phase in isolation.
+
+    Args:
+        params: machine parameters (``P`` from here).
+        n: FFT size (``n >= P**2``).
+        schedule: ``"staggered"`` (contention-free, Section 4.1.2) or
+            ``"naive"`` (all processors walk destinations 0,1,2,...).
+        point_cost: cycles of local work per point before its send — the
+            paper's ~1 us/point load/store loop.
+        jitter: optional ``f(rank, cycles) -> cycles`` compute jitter;
+            models the processor drift that degrades the staggered
+            schedule at large n (Figure 8).
+        barrier_every: insert a hardware barrier after this many sends
+            per processor (the paper barriers every ``n/P**2`` messages).
+        latency: alternative latency model (drift can also enter here).
+        double_net: halve ``g`` — the paper's both-fat-trees experiment.
+            Improvement is small when the remap is overhead-limited.
+        trace: keep the full schedule (memory-heavy for big runs).
+    """
+    if schedule not in ("staggered", "naive"):
+        raise ValueError(f"schedule must be 'staggered' or 'naive', got {schedule!r}")
+    p = params
+    if double_net:
+        from dataclasses import replace
+
+        p = replace(p, g=p.g / 2, name=p._tag("2net"))
+    per_dst = n // (p.P * p.P)
+    k = remap_message_count(n, p.P)
+
+    def factory(rank: int, P: int):
+        def run():
+            order = (
+                [(rank + j) % P for j in range(1, P)]
+                if schedule == "staggered"
+                else [d for d in range(P) if d != rank]
+            )
+            sent = 0
+            for dst in order:
+                for i in range(per_dst):
+                    if point_cost > 0:
+                        yield Compute(point_cost, label="point-loop")
+                    # Active-message discipline: poll the network each
+                    # iteration so reception interleaves with the send
+                    # loop (the CM-5 communication layer's behaviour).
+                    yield Poll()
+                    yield Send(dst, payload=None, tag="remap")
+                    sent += 1
+                    if barrier_every and sent % barrier_every == 0:
+                        yield Barrier()
+            for _ in range(k):
+                yield Recv(tag="remap")
+            return None
+
+        return run()
+
+    machine = LogPMachine(
+        p,
+        latency=latency,
+        compute_jitter=jitter,
+        trace=trace,
+        max_events=max_events,
+    )
+    res = machine.run(factory)
+    return RemapResult(
+        params=p,
+        n=n,
+        schedule=schedule,
+        makespan=res.makespan,
+        messages_per_proc=k,
+        total_stall=res.total_stall_time,
+        cycles_per_point=res.makespan / (n / p.P),
+    )

@@ -1,0 +1,179 @@
+"""Distributed matrix multiplication under LogP (Section 6.6 names it
+among the algorithms whose communication reduces to a small primitive
+set once data is laid out per processor).
+
+Implements **SUMMA** (scalable universal matrix multiply): with C = A@B
+block-distributed over a sqrt(P) x sqrt(P) grid, each panel step
+broadcasts a column panel of A along processor rows and a row panel of
+B along processor columns, then every processor accumulates a local
+outer product.  The panels travel as *long messages* (the Section 5.4 /
+LogGP extension), so this algorithm also exercises the bulk-transfer
+machinery; real numerics are verified against numpy.
+
+The panel width ``b`` is the classic communication/computation knob (the
+paper's footnote 9 on blocked decompositions): larger panels amortize
+``o`` and ``L`` over more words; the analytic model shows the tradeoff
+and :func:`best_panel_width` picks the knee.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.params import LogPParams
+from ..sim.machine import LogPMachine, MachineResult
+
+__all__ = [
+    "summa_program",
+    "run_summa",
+    "summa_time",
+    "best_panel_width",
+]
+
+
+def _grid(P: int) -> int:
+    root = math.isqrt(P)
+    if root * root != P:
+        raise ValueError(f"SUMMA needs a square processor count, got {P}")
+    return root
+
+
+def summa_time(
+    p: LogPParams, n: int, b: int, flop_cost: float = 1.0
+) -> float:
+    """Predicted SUMMA time in cycles for an ``n x n`` multiply with
+    panel width ``b`` on a sqrt(P) x sqrt(P) grid.
+
+    Per step (there are ``n/b``): two binomial broadcasts of an
+    ``(n/sqrt(P)) * b``-word panel over ``sqrt(P)`` processors — depth
+    ``ceil(log2 sqrt(P))`` long-message hops of ``o + (k-1)G + L + o``
+    — plus the local rank-b update ``2 b (n/sqrt(P))**2`` flops.
+    """
+    root = _grid(p.P)
+    if n % root or (n // root) % 1:
+        raise ValueError(f"n={n} must be divisible by sqrt(P)={root}")
+    if b < 1 or (n // root) % b:
+        raise ValueError(f"panel width {b} must divide the block {n // root}")
+    G = getattr(p, "G", p.g)
+    k = (n // root) * b  # panel words
+    hop = p.o + (k - 1) * G + p.L + p.o
+    depth = math.ceil(math.log2(root)) if root > 1 else 0
+    steps = n // b
+    per_step = 2 * depth * hop + flop_cost * 2 * b * (n // root) ** 2
+    return steps * per_step
+
+
+def best_panel_width(p: LogPParams, n: int, flop_cost: float = 1.0) -> int:
+    """The panel width minimizing :func:`summa_time` (among divisors of
+    the local block side)."""
+    root = _grid(p.P)
+    block = n // root
+    candidates = [b for b in range(1, block + 1) if block % b == 0]
+    return min(candidates, key=lambda b: summa_time(p, n, b, flop_cost))
+
+
+def summa_program(
+    A: np.ndarray, B: np.ndarray, b: int, flop_cost: float = 1.0
+):
+    """Program factory: SUMMA with real blocks on the simulator.
+
+    Rank ``r`` is grid position ``(r // root, r % root)`` and owns the
+    corresponding blocks of A, B and C.  Each program returns its C
+    block; assemble with :func:`run_summa`.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    n = A.shape[0]
+    if A.shape != (n, n) or B.shape != (n, n):
+        raise ValueError("A and B must be square and equally sized")
+
+    def factory(rank: int, P: int):
+        from ..sim.collectives import group_broadcast
+        from ..sim.program import Compute
+
+        root = _grid(P)
+        block = n // root
+        if block % b:
+            raise ValueError(f"panel width {b} must divide block {block}")
+        row, col = rank // root, rank % root
+
+        def run():
+            rows = slice(row * block, (row + 1) * block)
+            cols = slice(col * block, (col + 1) * block)
+            myA = A[rows, cols].copy()
+            myB = B[rows, cols].copy()
+            myC = np.zeros((block, block))
+            row_members = [row * root + c for c in range(root)]
+            col_members = [r * root + col for r in range(root)]
+            steps = n // b
+            for s in range(steps):
+                owner = (s * b) // block  # grid column/row holding panel s
+                within = (s * b) % block
+                # Panel of A: columns s*b .. s*b+b of my block-row.
+                a_panel = (
+                    myA[:, within : within + b].copy()
+                    if col == owner
+                    else None
+                )
+                a_panel = yield from group_broadcast(
+                    rank,
+                    row_members,
+                    a_panel,
+                    root=row * root + owner,
+                    tag=("A", s),
+                    words=block * b,
+                )
+                b_panel = (
+                    myB[within : within + b, :].copy()
+                    if row == owner
+                    else None
+                )
+                b_panel = yield from group_broadcast(
+                    rank,
+                    col_members,
+                    b_panel,
+                    root=owner * root + col,
+                    tag=("B", s),
+                    words=block * b,
+                )
+                myC += a_panel @ b_panel
+                yield Compute(
+                    flop_cost * 2 * b * block * block, label=f"update-{s}"
+                )
+            return (row, col, myC)
+
+        return run()
+
+    return factory
+
+
+def run_summa(
+    params: LogPParams,
+    A: np.ndarray,
+    B: np.ndarray,
+    b: int | None = None,
+    flop_cost: float = 1.0,
+    **machine_kwargs,
+) -> tuple[np.ndarray, MachineResult]:
+    """Run SUMMA on the simulator; returns ``(C, machine_result)`` with
+    ``C == A @ B`` to machine precision.
+
+    Long-message panels need a machine with a bulk gap: pass
+    :class:`~repro.core.loggp.LogGPParams` (or panels of width such that
+    ``block*b == 1``).
+    """
+    A = np.asarray(A, dtype=np.float64)
+    n = A.shape[0]
+    root = _grid(params.P)
+    if b is None:
+        b = best_panel_width(params, n, flop_cost)
+    machine = LogPMachine(params, **machine_kwargs)
+    res = machine.run(summa_program(A, B, b, flop_cost))
+    block = n // root
+    C = np.empty((n, n))
+    for rank in range(params.P):
+        row, col, blockC = res.value(rank)
+        C[row * block : (row + 1) * block, col * block : (col + 1) * block] = blockC
+    return C, res

@@ -1,0 +1,458 @@
+"""Parallel sorting under LogP (Section 4.2.2).
+
+"Since processors handle large subproblems, sort algorithms can be
+designed with a basic structure of alternating phases of local
+computation and general communication."  Two algorithms:
+
+* **Splitter sort** (the paper's [7], a.k.a. sample sort): a fast global
+  step identifies ``P-1`` splitter values dividing the data into ``P``
+  nearly equal chunks; the data is remapped using the splitters; each
+  processor then sorts locally.  Exactly the compute-remap-compute shape
+  of the hybrid FFT.
+* **Bitonic sort**: the classic network algorithm as the structured-
+  communication baseline — ``log P (log P + 1)/2`` compare-split rounds,
+  each exchanging whole ``n/P``-element chunks between partners.
+
+Both run with real keys on the discrete-event simulator and both have
+closed-form LogP predictions.  The splitter sort's sample size follows
+the standard oversampling analysis (``s`` samples per processor bound
+the largest bucket by roughly ``n/P (1 + 1/s)``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.params import LogPParams
+from ..sim.machine import LogPMachine, MachineResult
+
+__all__ = [
+    "splitter_sort_time",
+    "bitonic_sort_time",
+    "column_sort_time",
+    "splitter_sort_program",
+    "run_splitter_sort",
+    "bitonic_sort_program",
+    "run_bitonic_sort",
+    "column_sort_program",
+    "run_column_sort",
+    "SortOutcome",
+]
+
+
+# ----------------------------------------------------------------------
+# Analysis
+# ----------------------------------------------------------------------
+
+
+def splitter_sort_time(
+    p: LogPParams, n: int, oversample: int = 8, compare_cost: float = 1.0
+) -> float:
+    """Predicted splitter-sort time in cycles.
+
+    Local sort ``(n/P) log2(n/P)`` comparisons, a gather of ``s*P``
+    samples + splitter broadcast (two ``log P``-depth tree phases), the
+    key remap as a ``g*(n/P) + L`` h-relation, and the final local sort
+    of an ``(n/P)(1 + 1/s)``-sized bucket.
+    """
+    if n < p.P:
+        raise ValueError(f"n={n} smaller than P={p.P}")
+    m = n / p.P
+    depth = math.ceil(math.log2(p.P)) if p.P > 1 else 0
+    local1 = compare_cost * m * max(1.0, math.log2(max(m, 2)))
+    sample_gather = depth * (p.L + 2 * p.o) + oversample * p.P * p.g
+    splitter_bcast = depth * (p.L + 2 * p.o) + (p.P - 1) * p.g
+    remap = p.g * m + p.L
+    bucket = m * (1 + 1.0 / oversample)
+    local2 = compare_cost * bucket * max(1.0, math.log2(max(bucket, 2)))
+    return local1 + sample_gather + splitter_bcast + remap + local2
+
+
+def bitonic_sort_time(
+    p: LogPParams, n: int, compare_cost: float = 1.0
+) -> float:
+    """Predicted bitonic-sort time in cycles.
+
+    After a local sort, ``log P (log P + 1)/2`` compare-split rounds each
+    exchange a full ``n/P``-chunk (``g*(n/P) + L``) and merge
+    (``n/P`` comparisons).
+    """
+    if n < p.P:
+        raise ValueError(f"n={n} smaller than P={p.P}")
+    m = n / p.P
+    lp = int(math.log2(p.P)) if p.P > 1 else 0
+    rounds = lp * (lp + 1) // 2
+    local = compare_cost * m * max(1.0, math.log2(max(m, 2)))
+    per_round = p.g * m + p.L + compare_cost * m
+    return local + rounds * per_round
+
+
+# ----------------------------------------------------------------------
+# Splitter (sample) sort on the simulator
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class SortOutcome:
+    """Result of a simulated parallel sort."""
+
+    sorted_values: np.ndarray
+    makespan: float
+    machine: MachineResult
+    max_bucket: int  # largest per-processor bucket after the remap
+
+
+def splitter_sort_program(
+    chunks: list[np.ndarray], oversample: int = 8, compare_cost: float = 1.0
+):
+    """Program factory for splitter sort with real keys.
+
+    ``chunks[r]`` is rank r's initial data.  Phases: local sort; every
+    rank sends ``oversample`` regular samples to rank 0; rank 0 sorts the
+    sample and broadcasts ``P-1`` splitters; keys are redistributed with
+    the irregular :func:`~repro.sim.collectives.exchange`; each rank
+    merges its bucket.  Returns rank r's final sorted bucket (bucket
+    boundaries are the splitters, so concatenation in rank order is the
+    globally sorted sequence).
+    """
+
+    def factory(rank: int, P: int):
+        from ..sim.collectives import binomial_broadcast, exchange
+        from ..sim.program import Compute, Recv, Send
+
+        def run():
+            keys = np.sort(np.asarray(chunks[rank], dtype=np.float64))
+            m = len(keys)
+            if m:
+                yield Compute(
+                    compare_cost * m * max(1.0, math.log2(max(m, 2))),
+                    label="local-sort",
+                )
+            # Regular sampling.
+            s = min(oversample, m) if m else 0
+            if s:
+                idx = (np.arange(s) * m) // s
+                sample = keys[idx]
+            else:
+                sample = np.empty(0)
+            if rank != 0:
+                for v in sample:
+                    yield Send(0, payload=float(v), tag="sample")
+                splitters = None
+            else:
+                collected = list(sample)
+                # Rank 0 can't know how many samples others hold only if
+                # chunks are empty; send counts first for robustness.
+                for _ in range(P - 1):
+                    msg = yield Recv(tag="sample-count")
+                    for _ in range(msg.payload):
+                        smsg = yield Recv(tag="sample")
+                        collected.append(smsg.payload)
+                allsamp = np.sort(np.asarray(collected))
+                cut = [
+                    allsamp[(len(allsamp) * j) // P] for j in range(1, P)
+                ] if len(allsamp) else []
+                yield Compute(
+                    max(1.0, len(allsamp) * math.log2(max(len(allsamp), 2))),
+                    label="sort-samples",
+                )
+                splitters = np.asarray(cut)
+            splitters = yield from binomial_broadcast(
+                rank, P, splitters, root=0, tag="splitters"
+            )
+            # Partition local keys by splitter bucket and redistribute.
+            bucket_of = np.searchsorted(splitters, keys, side="right")
+            outgoing: dict[int, list[float]] = {}
+            mine: list[float] = []
+            for v, b in zip(keys, bucket_of):
+                if int(b) == rank:
+                    mine.append(float(v))
+                else:
+                    outgoing.setdefault(int(b), []).append(float(v))
+            received = yield from exchange(rank, P, outgoing, tag="keys")
+            bucket = np.asarray(mine + [v for _, v in received])
+            if len(bucket):
+                yield Compute(
+                    compare_cost
+                    * len(bucket)
+                    * max(1.0, math.log2(max(len(bucket), 2))),
+                    label="final-sort",
+                )
+            return np.sort(bucket)
+
+        def run_with_counts():
+            # Wrap: ranks != 0 must announce their sample count first.
+            if rank != 0:
+                from ..sim.program import Send as S
+
+                m = len(chunks[rank])
+                s = min(oversample, m) if m else 0
+                yield S(0, payload=s, tag="sample-count")
+            result = yield from run()
+            return result
+
+        return run_with_counts()
+
+    return factory
+
+
+def run_splitter_sort(
+    params: LogPParams,
+    data: np.ndarray,
+    oversample: int = 8,
+    **machine_kwargs,
+) -> SortOutcome:
+    """Split ``data`` evenly, run splitter sort on the simulator, and
+    return the verified globally sorted array."""
+    data = np.asarray(data, dtype=np.float64)
+    chunks = [np.array(c) for c in np.array_split(data, params.P)]
+    machine = LogPMachine(params, **machine_kwargs)
+    res = machine.run(splitter_sort_program(chunks, oversample))
+    buckets = [res.value(r) for r in range(params.P)]
+    merged = np.concatenate(buckets) if buckets else np.empty(0)
+    return SortOutcome(
+        sorted_values=merged,
+        makespan=res.makespan,
+        machine=res,
+        max_bucket=max((len(b) for b in buckets), default=0),
+    )
+
+
+# ----------------------------------------------------------------------
+# Bitonic sort on the simulator
+# ----------------------------------------------------------------------
+
+
+def bitonic_sort_program(chunks: list[np.ndarray], compare_cost: float = 1.0):
+    """Program factory for bitonic sort (hypercube compare-split).
+
+    Requires power-of-two ``P`` and equal chunk sizes.  Each round, rank
+    r exchanges its whole chunk with partner ``r ^ bit`` and keeps the
+    lower or upper half of the merged sequence according to the bitonic
+    direction rule; rank order then yields the sorted sequence.
+    """
+    sizes = {len(c) for c in chunks}
+    if len(sizes) != 1:
+        raise ValueError("bitonic sort needs equal chunk sizes")
+
+    def factory(rank: int, P: int):
+        if P & (P - 1):
+            raise ValueError(f"bitonic sort needs power-of-two P, got {P}")
+        from ..sim.program import Compute, Recv, Send
+
+        def run():
+            keys = np.sort(np.asarray(chunks[rank], dtype=np.float64))
+            m = len(keys)
+            if m:
+                yield Compute(
+                    compare_cost * m * max(1.0, math.log2(max(m, 2))),
+                    label="local-sort",
+                )
+            lp = int(math.log2(P))
+            for stage in range(1, lp + 1):
+                for step in range(stage - 1, -1, -1):
+                    partner = rank ^ (1 << step)
+                    ascending = ((rank >> stage) & 1) == 0
+                    for v in keys:
+                        yield Send(partner, payload=float(v), tag=("bt", stage, step))
+                    other = np.empty(m)
+                    for i in range(m):
+                        msg = yield Recv(tag=("bt", stage, step))
+                        other[i] = msg.payload
+                    merged = np.sort(np.concatenate([keys, other]))
+                    keep_low = (rank < partner) == ascending
+                    keys = merged[:m] if keep_low else merged[m:]
+                    yield Compute(compare_cost * 2 * m, label="merge-split")
+            return keys
+
+        return run()
+
+    return factory
+
+
+# ----------------------------------------------------------------------
+# Column sort (Leighton) on the simulator
+# ----------------------------------------------------------------------
+
+
+def column_sort_time(
+    p: LogPParams, n: int, compare_cost: float = 1.0
+) -> float:
+    """Predicted columnsort time: four local sorts, two all-to-all
+    transposes (each an ``n/P``-relation like the FFT remap), and two
+    half-column shifts to a neighbour."""
+    if n < p.P:
+        raise ValueError(f"n={n} smaller than P={p.P}")
+    r = n / p.P
+    local = compare_cost * r * max(1.0, math.log2(max(r, 2)))
+    transpose = p.g * r * (1 - 1 / p.P) + p.L
+    shift = p.g * (r / 2) + p.L
+    return 4 * local + 2 * transpose + 2 * shift
+
+
+def column_sort_program(chunks: list[np.ndarray], compare_cost: float = 1.0):
+    """Program factory for Leighton's columnsort.
+
+    The paper names it directly: "column sort consists of a series of
+    local sorts and remap steps, similar to our FFT algorithm."  Rank j
+    owns column j of an r x s matrix (s = P, r = len(chunk)); the eight
+    steps are: sort columns; transpose-reshape (an all-to-all remap);
+    sort; untranspose (the inverse remap); sort; shift by r/2 with
+    +/-inf boundaries (a neighbour exchange); sort; unshift.  Requires
+    ``r >= 2 (s-1)**2``; the concatenation of the final columns in rank
+    order is the sorted sequence.
+    """
+    sizes = {len(c) for c in chunks}
+    if len(sizes) != 1:
+        raise ValueError("column sort needs equal chunk sizes")
+    r = sizes.pop()
+    s = len(chunks)
+    if r % 2:
+        raise ValueError(f"column height r={r} must be even")
+    if r < 2 * (s - 1) ** 2:
+        raise ValueError(
+            f"columnsort needs r >= 2(s-1)^2: r={r}, s={s}"
+        )
+
+    def factory(rank: int, P: int):
+        from ..sim.collectives import exchange
+        from ..sim.program import Compute
+
+        def run():
+            col = np.sort(np.asarray(chunks[rank], dtype=np.float64))
+
+            def charge_sort(length):
+                return Compute(
+                    compare_cost * length * max(1.0, math.log2(max(length, 2))),
+                    label="col-sort",
+                )
+
+            yield charge_sort(r)
+
+            # Step 2: transpose-reshape.  Column-major position of my
+            # element i is m = rank*r + i; it moves to column m % s,
+            # height m // s.
+            out: dict[int, list] = {}
+            keep: list[tuple[int, float]] = []
+            for i, v in enumerate(col):
+                m = rank * r + i
+                dst, pos = m % s, m // s
+                if dst == rank:
+                    keep.append((pos, float(v)))
+                else:
+                    out.setdefault(dst, []).append((pos, float(v)))
+            got = yield from exchange(rank, P, out, tag="cs-T")
+            col = np.empty(r)
+            for pos, v in keep + [pv for _, pv in got]:
+                col[pos] = v
+            col.sort()  # step 3
+            yield charge_sort(r)
+
+            # Step 4: untranspose.  My element at height i sits at
+            # row-major-ish position m = i*s + rank; it returns to
+            # column m // r, height m % r.
+            out, keep = {}, []
+            for i, v in enumerate(col):
+                m = i * s + rank
+                dst, pos = m // r, m % r
+                if dst == rank:
+                    keep.append((pos, float(v)))
+                else:
+                    out.setdefault(dst, []).append((pos, float(v)))
+            got = yield from exchange(rank, P, out, tag="cs-U")
+            col = np.empty(r)
+            for pos, v in keep + [pv for _, pv in got]:
+                col[pos] = v
+            col.sort()  # step 5
+            yield charge_sort(r)
+
+            # Step 6: shift by r/2.  Shifted column j holds the lower
+            # half of column j-1 on top of the upper half of column j;
+            # rank s-1 also owns the overflow column (lower half of
+            # column s-1 plus +inf padding); virtual -inf padding fills
+            # shifted column 0's top.
+            half = r // 2
+            out = {}
+            if rank + 1 < s:
+                out[rank + 1] = [("low", col[half:].tolist())]
+            got = yield from exchange(rank, P, out, tag="cs-S")
+            prev_low = (
+                got[0][1][1] if got else [-math.inf] * half
+            )
+            mine = np.asarray(list(prev_low) + col[:half].tolist())
+            mine.sort()  # step 7 on my shifted column
+            yield charge_sort(r)
+            overflow = None
+            if rank == s - 1:
+                overflow = np.asarray(
+                    col[half:].tolist() + [math.inf] * half
+                )
+                overflow.sort()
+                yield charge_sort(r)
+
+            # Step 8: unshift — shifted column j returns its top half to
+            # column j-1's bottom; the overflow column's finite values
+            # return to column s-1's bottom.
+            out = {}
+            if rank > 0:
+                out[rank - 1] = [("top", mine[:half].tolist())]
+            got = yield from exchange(rank, P, out, tag="cs-V")
+            if rank == s - 1:
+                low_back = overflow[:half].tolist()
+            else:
+                low_back = got[0][1][1]
+            col = np.asarray(mine[half:].tolist() + list(low_back))
+            return col
+
+        return run()
+
+    return factory
+
+
+def run_column_sort(
+    params: LogPParams, data: np.ndarray, **machine_kwargs
+) -> SortOutcome:
+    """Split ``data`` into P equal columns and columnsort it on the
+    simulator; returns the verified globally sorted array."""
+    data = np.asarray(data, dtype=np.float64)
+    P = params.P
+    if len(data) % P:
+        raise ValueError(f"data length {len(data)} must divide P={P}")
+    chunks = list(data.reshape(P, -1))
+    machine = LogPMachine(params, **machine_kwargs)
+    res = machine.run(column_sort_program(chunks))
+    merged = np.concatenate([res.value(rank) for rank in range(P)])
+    return SortOutcome(
+        sorted_values=merged,
+        makespan=res.makespan,
+        machine=res,
+        max_bucket=len(data) // P,
+    )
+
+
+def run_bitonic_sort(
+    params: LogPParams, data: np.ndarray, **machine_kwargs
+) -> SortOutcome:
+    """Pad, split, and bitonic-sort ``data`` on the simulator.
+
+    Pads with ``+inf`` to a multiple of ``P`` (padding removed from the
+    returned array).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    P = params.P
+    pad = (-len(data)) % P
+    padded = np.concatenate([data, np.full(pad, np.inf)])
+    chunks = list(padded.reshape(P, -1))
+    machine = LogPMachine(params, **machine_kwargs)
+    res = machine.run(bitonic_sort_program(chunks))
+    merged = np.concatenate([res.value(r) for r in range(P)])
+    merged = merged[np.isfinite(merged)]
+    return SortOutcome(
+        sorted_values=merged,
+        makespan=res.makespan,
+        machine=res,
+        max_bucket=len(padded) // P,
+    )

@@ -1,0 +1,258 @@
+"""Stencil computations and the surface-to-volume argument (Section 6.4).
+
+"Wherever problems have a local, regular communication pattern, such as
+stencil calculation on a grid, it is easy to lay the data out so that
+only a diminishing fraction of the communication is external to the
+processor.  Basically, the interprocessor communication diminishes like
+the surface to volume ratio and with large enough problem sizes, the
+cost of communication becomes trivial."
+
+Implemented here:
+
+* a 1-D Jacobi relaxation on a ring of processors (one halo cell per
+  neighbour per iteration);
+* a 2-D five-point Jacobi on a sqrt(P) x sqrt(P) processor grid with
+  halo rows/columns sent as long messages (LogGP machines) or element
+  streams (plain LogP);
+* closed-form per-iteration costs and the surface-to-volume
+  communication share, which the benchmark sweeps against block size.
+
+Real values flow through the halos; results are verified against serial
+reference relaxations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.params import LogPParams
+from ..sim.machine import LogPMachine, MachineResult
+
+__all__ = [
+    "stencil1d_iteration_time",
+    "stencil2d_iteration_time",
+    "communication_share",
+    "run_stencil1d",
+    "run_stencil2d",
+    "reference_stencil1d",
+    "reference_stencil2d",
+]
+
+_W_CENTER = 0.5
+_W_SIDE = 0.125  # 2D five-point: center 1/2, four neighbours 1/8
+_W_SIDE_1D = 0.25  # 1D: center 1/2, two neighbours 1/4
+
+
+# ----------------------------------------------------------------------
+# Analysis
+# ----------------------------------------------------------------------
+
+
+def stencil1d_iteration_time(
+    p: LogPParams, cells_per_proc: int, flop_cost: float = 1.0
+) -> float:
+    """Per-iteration cost of the 1-D ring stencil: two halo messages
+    (sent back to back) + the relaxation of the local block."""
+    if cells_per_proc < 1:
+        raise ValueError("cells_per_proc must be >= 1")
+    halo = 2 * p.o + max(p.g, p.o) + p.L + 2 * p.o  # 2 sends, 2 recvs
+    return halo + flop_cost * cells_per_proc
+
+
+def stencil2d_iteration_time(
+    p: LogPParams, block_side: int, flop_cost: float = 1.0, G: float | None = None
+) -> float:
+    """Per-iteration cost of the 2-D five-point stencil on a processor
+    grid: four halo edges of ``block_side`` words + the local update.
+
+    With a bulk gap ``G`` each edge is one long message
+    (``o + (b-1)G + L + o``); otherwise each halo cell is a small
+    message paced at ``max(g, o)``.
+    """
+    if block_side < 1:
+        raise ValueError("block_side must be >= 1")
+    b = block_side
+    if G is not None:
+        # Four bulk edges: o of setup + o of reception each, with the
+        # longest stream tail and one flight paid once (edges overlap).
+        halo = 4 * 2 * p.o + (b - 1) * G + p.L
+    else:
+        # Element streams: 4b messages paced at max(g, o).
+        halo = 4 * b * max(p.g, p.o) + p.L + 2 * p.o
+    return halo + flop_cost * b * b
+
+
+def communication_share(
+    p: LogPParams, block_side: int, flop_cost: float = 1.0, G: float | None = None
+) -> float:
+    """Fraction of a 2-D stencil iteration spent on halo exchange —
+    the surface-to-volume ratio in time units, ~ 1/block_side."""
+    total = stencil2d_iteration_time(p, block_side, flop_cost, G)
+    compute = flop_cost * block_side * block_side
+    return (total - compute) / total
+
+
+# ----------------------------------------------------------------------
+# Reference kernels
+# ----------------------------------------------------------------------
+
+
+def reference_stencil1d(values: np.ndarray, iterations: int) -> np.ndarray:
+    """Serial 1-D periodic Jacobi: u <- w_c*u + w_s*(left + right)."""
+    u = np.array(values, dtype=float)
+    for _ in range(iterations):
+        u = _W_CENTER * u + _W_SIDE_1D * (np.roll(u, 1) + np.roll(u, -1))
+    return u
+
+
+def reference_stencil2d(grid: np.ndarray, iterations: int) -> np.ndarray:
+    """Serial 2-D periodic five-point Jacobi."""
+    u = np.array(grid, dtype=float)
+    for _ in range(iterations):
+        u = _W_CENTER * u + _W_SIDE * (
+            np.roll(u, 1, 0) + np.roll(u, -1, 0)
+            + np.roll(u, 1, 1) + np.roll(u, -1, 1)
+        )
+    return u
+
+
+# ----------------------------------------------------------------------
+# Simulator programs
+# ----------------------------------------------------------------------
+
+
+def run_stencil1d(
+    params: LogPParams,
+    values: np.ndarray,
+    iterations: int,
+    flop_cost: float = 1.0,
+    **machine_kwargs,
+) -> tuple[np.ndarray, MachineResult]:
+    """Distributed 1-D periodic Jacobi on a ring; returns the relaxed
+    array (verified against :func:`reference_stencil1d` in tests)."""
+    values = np.asarray(values, dtype=float)
+    P = params.P
+    if len(values) % P:
+        raise ValueError(f"array length {len(values)} must divide P={P}")
+    chunks = values.reshape(P, -1)
+
+    def factory(rank: int, PP: int):
+        from ..sim.program import Compute, Recv, Send
+
+        def run():
+            u = chunks[rank].copy()
+            left, right = (rank - 1) % PP, (rank + 1) % PP
+            for it in range(iterations):
+                if PP > 1:
+                    yield Send(left, payload=float(u[0]), tag=("h", it, "L"))
+                    yield Send(right, payload=float(u[-1]), tag=("h", it, "R"))
+                    from_right = yield Recv(tag=("h", it, "L"))
+                    from_left = yield Recv(tag=("h", it, "R"))
+                    lpad, rpad = from_left.payload, from_right.payload
+                else:
+                    lpad, rpad = float(u[-1]), float(u[0])
+                padded = np.concatenate([[lpad], u, [rpad]])
+                u = _W_CENTER * padded[1:-1] + _W_SIDE_1D * (
+                    padded[:-2] + padded[2:]
+                )
+                yield Compute(flop_cost * len(u), label=f"relax-{it}")
+            return u
+
+        return run()
+
+    machine = LogPMachine(params, **machine_kwargs)
+    res = machine.run(factory)
+    out = np.concatenate([res.value(r) for r in range(P)])
+    return out, res
+
+
+def run_stencil2d(
+    params: LogPParams,
+    grid: np.ndarray,
+    iterations: int,
+    flop_cost: float = 1.0,
+    **machine_kwargs,
+) -> tuple[np.ndarray, MachineResult]:
+    """Distributed 2-D periodic five-point Jacobi on a sqrt(P) x sqrt(P)
+    processor grid.  Halo edges travel as long messages when the machine
+    has a bulk gap (LogGPParams), else as element streams."""
+    grid = np.asarray(grid, dtype=float)
+    n = grid.shape[0]
+    if grid.shape != (n, n):
+        raise ValueError("grid must be square")
+    root = math.isqrt(params.P)
+    if root * root != params.P:
+        raise ValueError(f"2-D stencil needs square P, got {params.P}")
+    if n % root:
+        raise ValueError(f"grid side {n} must divide sqrt(P)={root}")
+    b = n // root
+    bulk = getattr(params, "G", None) is not None
+
+    def factory(rank: int, PP: int):
+        from ..sim.program import Compute, Recv, Send
+
+        r0, c0 = rank // root, rank % root
+
+        def neighbor(dr: int, dc: int) -> int:
+            return ((r0 + dr) % root) * root + (c0 + dc) % root
+
+        def send_edge(dst, edge, tag):
+            if dst == rank:
+                return
+                yield  # pragma: no cover
+            if bulk:
+                yield Send(dst, payload=edge.tolist(), tag=tag, words=len(edge))
+            else:
+                for i, v in enumerate(edge):
+                    yield Send(dst, payload=(i, float(v)), tag=tag)
+
+        def recv_edge(src, tag, mine):
+            if src == rank:
+                return mine
+                yield  # pragma: no cover
+            if bulk:
+                msg = yield Recv(tag=tag)
+                return np.asarray(msg.payload)
+            out = np.empty(b)
+            for _ in range(b):
+                msg = yield Recv(tag=tag)
+                i, v = msg.payload
+                out[i] = v
+            return out
+
+        def run():
+            u = grid[r0 * b : (r0 + 1) * b, c0 * b : (c0 + 1) * b].copy()
+            up, down = neighbor(-1, 0), neighbor(1, 0)
+            leftp, rightp = neighbor(0, -1), neighbor(0, 1)
+            for it in range(iterations):
+                yield from send_edge(up, u[0, :], ("n", it, "U"))
+                yield from send_edge(down, u[-1, :], ("n", it, "D"))
+                yield from send_edge(leftp, u[:, 0], ("n", it, "L"))
+                yield from send_edge(rightp, u[:, -1], ("n", it, "R"))
+                from_down = yield from recv_edge(down, ("n", it, "U"), u[0, :])
+                from_up = yield from recv_edge(up, ("n", it, "D"), u[-1, :])
+                from_right = yield from recv_edge(rightp, ("n", it, "L"), u[:, 0])
+                from_left = yield from recv_edge(leftp, ("n", it, "R"), u[:, -1])
+                padded = np.pad(u, 1)
+                padded[0, 1:-1] = from_up
+                padded[-1, 1:-1] = from_down
+                padded[1:-1, 0] = from_left
+                padded[1:-1, -1] = from_right
+                u = _W_CENTER * padded[1:-1, 1:-1] + _W_SIDE * (
+                    padded[:-2, 1:-1] + padded[2:, 1:-1]
+                    + padded[1:-1, :-2] + padded[1:-1, 2:]
+                )
+                yield Compute(flop_cost * b * b, label=f"relax-{it}")
+            return u
+
+        return run()
+
+    machine = LogPMachine(params, **machine_kwargs)
+    res = machine.run(factory)
+    out = np.empty((n, n))
+    for rank in range(params.P):
+        r0, c0 = rank // root, rank % root
+        out[r0 * b : (r0 + 1) * b, c0 * b : (c0 + 1) * b] = res.value(rank)
+    return out, res

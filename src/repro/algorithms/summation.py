@@ -1,0 +1,313 @@
+"""Optimal summation under LogP (Section 3.3, Figure 4).
+
+The problem: sum as many values as possible within a deadline ``T``
+("to obtain an optimal algorithm for the summation of n input values we
+first consider how to sum as many values as possible within a fixed
+amount of time T").  The communication pattern is a tree with the same
+shape as the optimal broadcast tree, time-reversed:
+
+* a node whose partial sum must be complete at time ``d`` receives from
+  its j-th child a partial sum whose reception+add ends at
+  ``d - j*step`` (``step = max(g, o+1)``: the receive gap, or the
+  ``o``-cycle reception plus the 1-cycle add, whichever binds);
+* that child must therefore have *sent* — i.e. completed its own sum —
+  at ``d - (L + 2o + 1) - j*step``;
+* between receptions the parent performs ``step - o - 1`` additions of
+  local input values, and before its earliest reception it sums a
+  leading chain of local inputs from time 0;
+* a child is only worth having if its transmitted partial sum represents
+  at least ``o`` additions (otherwise receiving it costs more than
+  summing locally) — the paper's pruning rule;
+* the inputs are *not* equally distributed over processors: each node's
+  local input count falls out of its schedule.
+
+For the paper's example — ``T=28, P=8, L=5, g=4, o=2`` — the tree has
+root deadline 28, root children at deadlines 18, 14, 10, 6, grandchild
+deadlines 8 and 4 under the first child and 4 under the second — exactly
+the node labels of Figure 4 — and sums 79 input values.
+
+The whole schedule is executable on the simulator
+(:func:`summation_program`), where real floats flow up the tree and the
+makespan must equal ``T`` exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from ..core.params import LogPParams
+
+__all__ = [
+    "SummationNode",
+    "SummationTree",
+    "optimal_summation_tree",
+    "summation_capacity",
+    "summation_time",
+    "balanced_reduction_time",
+    "summation_program",
+    "distribute_inputs",
+]
+
+
+def _step(p: LogPParams) -> float:
+    """Spacing between a node's consecutive reception slots.
+
+    Each reception costs ``o`` and is followed by a 1-cycle add, and
+    consecutive receptions must be ``g`` apart — so slots are
+    ``max(g, o + 1)`` apart.  (The paper's ``g - o - 1`` local additions
+    between messages presumes ``g >= o + 1``.)
+    """
+    return max(p.g, p.o + 1)
+
+
+def _child_offset(p: LogPParams) -> float:
+    """A child's completion deadline precedes its parent's receive-add
+    deadline by ``L + 2o + 1``: send overhead + flight + receive overhead
+    + the 1-cycle add ("the remote processor must have sent the value at
+    time T - 1 - L - 2o")."""
+    return p.L + 2 * p.o + 1
+
+
+@dataclass(slots=True)
+class SummationNode:
+    """One processor's role in the summation tree."""
+
+    rank: int
+    deadline: float  # time its partial sum is complete (root: T)
+    parent: int | None
+    children: list[int] = field(default_factory=list)  # receive order: j=0 last
+    local_inputs: int = 0
+    leading_chain: float = 0.0  # cycles of initial local summing
+
+
+@dataclass(slots=True)
+class SummationTree:
+    """The full summation schedule for deadline ``T``.
+
+    ``nodes[r]`` describes processor ``r``; ``nodes[root].deadline == T``.
+    ``total_values`` is the capacity: how many inputs get summed.
+    """
+
+    params: LogPParams
+    T: float
+    root: int
+    nodes: list[SummationNode]
+
+    @property
+    def total_values(self) -> int:
+        return sum(n.local_inputs for n in self.nodes)
+
+    @property
+    def processors_used(self) -> int:
+        return len(self.nodes)
+
+    def deadlines(self) -> list[float]:
+        return [n.deadline for n in self.nodes]
+
+
+def optimal_summation_tree(p: LogPParams, T: float) -> SummationTree:
+    """Build the optimal summation tree for deadline ``T`` on ``p.P``
+    processors, by time-reversing the greedy broadcast construction.
+
+    Candidate child slots are expanded best-deadline-first; a slot is
+    viable while its deadline allows at least ``o`` additions (the
+    pruning rule) and processors remain.
+    """
+    if T < 0:
+        raise ValueError(f"deadline T must be >= 0, got {T}")
+    step = _step(p)
+    offset = _child_offset(p)
+
+    nodes = [SummationNode(rank=0, deadline=float(T), parent=None)]
+    if p.P > 1:
+        # Max-heap (negated deadline) of candidate slots:
+        # (deadline, tiebreak, parent_rank).
+        heap: list[tuple[float, int, int]] = []
+        tie = 0
+        first = T - offset
+        if _viable(first, p):
+            heapq.heappush(heap, (-first, tie, 0))
+            tie += 1
+        while heap and len(nodes) < p.P:
+            neg_d, _, parent = heapq.heappop(heap)
+            d = -neg_d
+            rank = len(nodes)
+            nodes.append(SummationNode(rank=rank, deadline=d, parent=parent))
+            nodes[parent].children.append(rank)
+            # Parent's next (one step earlier) slot.
+            nxt = d - step
+            if _viable(nxt, p):
+                heapq.heappush(heap, (-nxt, tie, parent))
+                tie += 1
+            # New node's own first child slot.
+            child = d - offset
+            if _viable(child, p):
+                heapq.heappush(heap, (-child, tie, rank))
+                tie += 1
+
+    tree = SummationTree(params=p, T=float(T), root=0, nodes=nodes)
+    _fill_schedule(tree)
+    return tree
+
+
+def _viable(deadline: float, p: LogPParams) -> bool:
+    """A subtree rooted at this deadline transmits >= o additions.
+
+    A leaf with deadline ``d`` performs ``floor(d)`` additions; an
+    internal node performs at least as many, so ``d >= o`` (and
+    ``d >= 0``) is the viability test.  With ``o == 0`` a child must
+    still carry at least one value, which any ``d >= 0`` leaf does.
+    """
+    return deadline >= max(p.o, 0.0)
+
+
+def _fill_schedule(tree: SummationTree) -> None:
+    """Compute each node's local input count and leading local chain."""
+    p = tree.params
+    step = _step(p)
+    for node in tree.nodes:
+        m = len(node.children)
+        if m == 0:
+            # Pure local summing for the whole deadline.
+            node.leading_chain = node.deadline
+            node.local_inputs = int(math.floor(node.deadline)) + 1
+            continue
+        # Receive-add for child j ends at deadline - j*step; the earliest
+        # reception (child j = m-1) starts at:
+        first_recv = node.deadline - 1 - (m - 1) * step - p.o
+        if first_recv < 0:
+            raise ValueError(
+                f"infeasible schedule: node {node.rank} deadline "
+                f"{node.deadline} cannot fit {m} receptions"
+            )
+        node.leading_chain = first_recv
+        chain_adds = int(math.floor(first_recv))
+        between = int(step - p.o - 1) * (m - 1)
+        node.local_inputs = (chain_adds + 1) + between
+
+
+def summation_capacity(p: LogPParams, T: float) -> int:
+    """``C(T)``: the maximum number of values ``p.P`` processors can sum
+    in time ``T`` (79 for the Figure 4 parameters)."""
+    return optimal_summation_tree(p, T).total_values
+
+
+def summation_time(p: LogPParams, n: int) -> float:
+    """Minimum deadline ``T`` such that ``n`` values can be summed —
+    the inverse of :func:`summation_capacity`, by binary search over
+    integer deadlines (capacities step at integer T for integer params).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if n == 1:
+        return 0.0
+    lo, hi = 0, 1
+    while summation_capacity(p, hi) < n:
+        lo, hi = hi, hi * 2
+        if hi > 10**9:
+            raise ValueError(f"n={n} unreachable (capacity saturated)")
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if summation_capacity(p, mid) >= n:
+            hi = mid
+        else:
+            lo = mid + 1
+    return float(lo)
+
+
+def balanced_reduction_time(p: LogPParams, n: int) -> float:
+    """Baseline: equal distribution + binomial-tree reduction.
+
+    Every processor sums ``ceil(n/P)`` local values, then a binomial
+    reduction of depth ``ceil(log2 P)`` combines partials.  A level
+    costs ``L + 2o + 1`` (send, fly, receive, add), but on
+    bandwidth-starved machines the receive gap binds instead: a node
+    receives one partial per level, and consecutive receptions must
+    start ``g`` apart, so each level costs at least ``g + o + 1``.
+    This is what a parameter-oblivious implementation does, and what
+    the optimal schedule beats by overlapping local work with
+    reception.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    local = math.ceil(n / p.P) - 1
+    depth = math.ceil(math.log2(p.P)) if p.P > 1 else 0
+    level = max(p.L + 2 * p.o + 1, p.g + p.o + 1)
+    return local + depth * level
+
+
+def distribute_inputs(tree: SummationTree, values) -> list[list[float]]:
+    """Split ``values`` (length ``tree.total_values``) into per-processor
+    input lists following the tree's (unequal) distribution."""
+    values = list(values)
+    if len(values) != tree.total_values:
+        raise ValueError(
+            f"expected {tree.total_values} values, got {len(values)}"
+        )
+    out: list[list[float]] = []
+    pos = 0
+    for node in tree.nodes:
+        out.append(values[pos : pos + node.local_inputs])
+        pos += node.local_inputs
+    return out
+
+
+def summation_program(tree: SummationTree, inputs: list[list[float]]):
+    """Program factory executing the summation schedule on the simulator.
+
+    Processor ``r`` runs node ``r``'s schedule: sum the leading chain of
+    local inputs, then alternately receive a child's partial sum, add it
+    (1 cycle) and sum ``step - o - 1`` more local inputs, finally send
+    the partial to the parent at the node's deadline.  On a deterministic
+    machine the run's makespan equals ``tree.T`` exactly (when the root's
+    schedule is tight) and the root's program returns the true sum.
+
+    Ranks beyond ``tree.processors_used`` idle.
+    """
+    p = tree.params
+    step = _step(p)
+
+    def factory(rank: int, P: int):
+        def idle():
+            return None
+            yield  # pragma: no cover - makes this a generator
+
+        if rank >= len(tree.nodes):
+            return idle()
+        node = tree.nodes[rank]
+        vals = list(inputs[rank])
+
+        def run():
+            from ..sim.program import Compute, Recv, Send
+
+            acc = 0.0
+            m = len(node.children)
+            # Leading chain: sum chain_adds+1 local inputs in
+            # leading_chain cycles (leaves: the whole deadline).
+            chain_adds = int(math.floor(node.leading_chain))
+            take = chain_adds + 1
+            acc = sum(vals[:take])
+            consumed = take
+            if node.leading_chain > 0:
+                yield Compute(node.leading_chain, label="local-chain")
+            # Receive children j = m-1 (earliest) down to j = 0 (last).
+            for idx in range(m):
+                msg = yield Recv(tag="sum")
+                acc += msg.payload
+                yield Compute(1, label="add-partial")
+                if idx != m - 1:
+                    extra = int(step - p.o - 1)
+                    if extra > 0:
+                        acc += sum(vals[consumed : consumed + extra])
+                        consumed += extra
+                        yield Compute(extra, label="local-between")
+            if node.parent is not None:
+                yield Send(node.parent, payload=acc, tag="sum")
+                return None
+            return acc
+
+        return run()
+
+    return factory

@@ -1,0 +1,90 @@
+"""The LogP model core: parameters, primitive costs, schedules, analysis.
+
+This subpackage is the paper's primary contribution rendered as code.
+Everything else in :mod:`repro` — the simulator, the algorithm suite, the
+comparison models — is expressed in terms of the types defined here.
+"""
+
+from .analysis import (
+    efficiency,
+    fft_comm_time_blocked,
+    fft_comm_time_cyclic,
+    fft_comm_time_hybrid,
+    fft_compute_time,
+    fft_optimality_ratio,
+    fft_total_time,
+    lu_active_processors,
+    lu_comm_per_step,
+    lu_compute_per_step,
+    lu_total_time,
+    speedup,
+)
+from .cost import (
+    all_to_all_remap,
+    all_to_all_remap_exact,
+    barrier_cost,
+    capacity_stall_rate,
+    h_relation,
+    h_relation_exact,
+    long_message,
+    pipelined_stream,
+    pipelined_stream_exact,
+    point_to_point,
+    prefetch_issue_cost,
+    protocol_send_recv,
+    remote_read,
+)
+from .loggp import (
+    LogGPParams,
+    fragmentation_crossover,
+    long_message_processor_time,
+    long_message_time,
+)
+from .params import LogPParams
+from .schedule import (
+    Activity,
+    Interval,
+    MessageRecord,
+    ProcessorTimeline,
+    Schedule,
+    merge_intervals,
+)
+
+__all__ = [
+    "LogPParams",
+    "LogGPParams",
+    "long_message_time",
+    "long_message_processor_time",
+    "fragmentation_crossover",
+    "Activity",
+    "Interval",
+    "MessageRecord",
+    "ProcessorTimeline",
+    "Schedule",
+    "merge_intervals",
+    "point_to_point",
+    "remote_read",
+    "prefetch_issue_cost",
+    "pipelined_stream",
+    "pipelined_stream_exact",
+    "h_relation",
+    "h_relation_exact",
+    "all_to_all_remap",
+    "all_to_all_remap_exact",
+    "long_message",
+    "protocol_send_recv",
+    "barrier_cost",
+    "capacity_stall_rate",
+    "fft_compute_time",
+    "fft_comm_time_cyclic",
+    "fft_comm_time_blocked",
+    "fft_comm_time_hybrid",
+    "fft_total_time",
+    "fft_optimality_ratio",
+    "lu_comm_per_step",
+    "lu_compute_per_step",
+    "lu_total_time",
+    "lu_active_processors",
+    "speedup",
+    "efficiency",
+]

@@ -1,0 +1,248 @@
+"""Algorithm-level analytical formulas from Section 4 of the paper.
+
+These closed forms are what the paper derives on paper; the simulator in
+:mod:`repro.sim` executes the corresponding schedules, and the test suite
+asserts the two agree.  Covered here:
+
+* FFT (Section 4.1): compute and communication time under the cyclic,
+  blocked and hybrid layouts, and the hybrid layout's optimality ratio;
+* LU decomposition (Section 4.2.1): per-step and total communication /
+  computation under the bad, column and grid layouts, and the
+  active-processor profiles of blocked vs scattered grid allocation;
+* generic speedup / efficiency helpers.
+
+All times are in cycles of the given :class:`~repro.core.params.LogPParams`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .params import LogPParams
+
+__all__ = [
+    "fft_compute_time",
+    "fft_comm_time_cyclic",
+    "fft_comm_time_blocked",
+    "fft_comm_time_hybrid",
+    "fft_total_time",
+    "fft_optimality_ratio",
+    "lu_comm_per_step",
+    "lu_compute_per_step",
+    "lu_total_time",
+    "lu_active_processors",
+    "speedup",
+    "efficiency",
+]
+
+
+# ----------------------------------------------------------------------
+# FFT (Section 4.1)
+# ----------------------------------------------------------------------
+
+
+def _check_fft_args(n: int, P: int) -> None:
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"n must be a power of two >= 2, got {n}")
+    if P < 1 or P & (P - 1):
+        raise ValueError(f"P must be a power of two >= 1, got {P}")
+    if P > n:
+        raise ValueError(f"P={P} exceeds problem size n={n}")
+
+
+def fft_compute_time(n: int, P: int) -> float:
+    """Per-processor computation time ``(n/P) * log2 n``.
+
+    Each of the ``n log n`` butterfly nodes costs one cycle and the work
+    divides evenly under any of the three layouts (Section 4.1.1).
+    """
+    _check_fft_args(n, P)
+    return (n / P) * math.log2(n)
+
+
+def fft_comm_time_cyclic(p: LogPParams, n: int) -> float:
+    """Communication time under the cyclic (or blocked) layout:
+    ``(g*n/P + L) * log2 P`` (Section 4.1.1, "assuming g >= 2o").
+
+    Cyclic layout: the first ``log(n/P)`` columns are local and each of
+    the last ``log P`` columns needs a remote datum per node — one
+    pipelined exchange phase of ``n/P`` messages per column.
+    """
+    _check_fft_args(n, p.P)
+    if p.P == 1:
+        return 0.0
+    return (p.g * n / p.P + p.L) * math.log2(p.P)
+
+
+def fft_comm_time_blocked(p: LogPParams, n: int) -> float:
+    """Communication time under the blocked layout — identical to the
+    cyclic layout's by symmetry (remote columns are the *first*
+    ``log P`` instead of the last)."""
+    return fft_comm_time_cyclic(p, n)
+
+
+def fft_comm_time_hybrid(p: LogPParams, n: int) -> float:
+    """Communication time under the hybrid (cyclic-then-blocked) layout:
+    ``g*(n/P - n/P**2) + L`` (Section 4.1.1).
+
+    A single all-to-all remap replaces ``log P`` exchange phases — lower
+    by a factor of ``log P``.  Requires ``n >= P**2`` so the remap column
+    can sit between column ``log P`` and column ``log(n/P)``.
+    """
+    _check_fft_args(n, p.P)
+    if p.P == 1:
+        return 0.0
+    if n < p.P**2:
+        raise ValueError(
+            f"hybrid layout needs n >= P**2 (n={n}, P={p.P})"
+        )
+    return p.g * (n / p.P - n / p.P**2) + p.L
+
+
+def fft_total_time(p: LogPParams, n: int, layout: str = "hybrid") -> float:
+    """Total FFT time (compute + communicate) under a layout.
+
+    ``layout`` is one of ``"cyclic"``, ``"blocked"``, ``"hybrid"``.
+    """
+    comm = {
+        "cyclic": fft_comm_time_cyclic,
+        "blocked": fft_comm_time_blocked,
+        "hybrid": fft_comm_time_hybrid,
+    }
+    try:
+        comm_fn = comm[layout]
+    except KeyError:
+        raise ValueError(f"unknown layout {layout!r}") from None
+    return fft_compute_time(n, p.P) + comm_fn(p, n)
+
+
+def fft_optimality_ratio(p: LogPParams, n: int) -> float:
+    """The hybrid layout is within ``1 + g/log n`` of optimal
+    (Section 4.1.1): the remap's ``g n/P`` term against the unavoidable
+    ``(n/P) log n`` compute term."""
+    _check_fft_args(n, p.P)
+    return 1.0 + p.g / math.log2(n)
+
+
+# ----------------------------------------------------------------------
+# LU decomposition (Section 4.2.1)
+# ----------------------------------------------------------------------
+
+_LU_LAYOUTS = ("bad", "column", "grid")
+
+
+def lu_comm_per_step(p: LogPParams, n: int, k: int, layout: str) -> float:
+    """Communication time of elimination step ``k`` (0-based) on an
+    ``n x n`` matrix.
+
+    * ``"bad"``    — every processor fetches the whole pivot row *and*
+      multiplier column: ``2(n-k)g + L``;
+    * ``"column"`` — column layout; only the multiplier column is
+      broadcast: ``(n-k)g + L`` (halves the bad layout's cost);
+    * ``"grid"``   — sqrt(P) x sqrt(P) grid; each processor needs only
+      the ``2(n-k)/sqrt(P)`` pivot/multiplier values covering its
+      submatrix: ``2(n-k)g/sqrt(P) + L`` (the paper's ``sqrt(P)`` gain).
+    """
+    _check_lu_args(n, k, p.P, layout)
+    m = n - 1 - k  # values below/right of the pivot
+    if m == 0:
+        return 0.0
+    if layout == "bad":
+        return 2 * m * p.g + p.L
+    if layout == "column":
+        return m * p.g + p.L
+    root = math.isqrt(p.P)
+    return 2 * (m / root) * p.g + p.L
+
+
+def lu_compute_per_step(n: int, k: int, P: int) -> float:
+    """Computation time of step ``k``: ``2(n-k)**2 / P`` cycles.
+
+    The rank-1 update touches ``(n-1-k)**2`` elements, each a multiply
+    and a subtract, spread over ``P`` processors (perfect balance is the
+    scattered layout's property; blocked allocation degrades this — see
+    :func:`lu_active_processors`).
+    """
+    if not 0 <= k < n:
+        raise ValueError(f"step k={k} out of range for n={n}")
+    if P < 1:
+        raise ValueError(f"P must be >= 1, got {P}")
+    m = n - 1 - k
+    return 2.0 * m * m / P
+
+
+def lu_total_time(p: LogPParams, n: int, layout: str = "grid") -> float:
+    """Total predicted LU time: sum of per-step compute + communicate."""
+    _check_lu_args(n, 0, p.P, layout)
+    total = 0.0
+    for k in range(n - 1):
+        total += lu_compute_per_step(n, k, p.P)
+        total += lu_comm_per_step(p, n, k, layout)
+    return total
+
+
+def lu_active_processors(
+    n: int, P: int, k: int, allocation: str = "scattered"
+) -> int:
+    """Number of processors with remaining work at elimination step ``k``
+    under a sqrt(P) x sqrt(P) grid with ``allocation`` in
+    ``("blocked", "scattered")``.
+
+    Blocked allocation idles a full processor row and column every
+    ``n/sqrt(P)`` steps ("by the time the algorithm completes
+    ``n/sqrt(P)`` elimination steps, ``2 sqrt(P)`` processors would be
+    idle ... only one processor is active for the last ``n/sqrt(P)``
+    steps").  Scattered allocation keeps all ``P`` active until the last
+    ``sqrt(P)`` steps.
+    """
+    root = math.isqrt(P)
+    if root * root != P:
+        raise ValueError(f"P must be a perfect square, got {P}")
+    if not 0 <= k < n:
+        raise ValueError(f"step k={k} out of range for n={n}")
+    remaining = n - 1 - k  # side of the active trailing submatrix
+    if remaining == 0:
+        return 0
+    if allocation == "scattered":
+        # rows (and cols) of the trailing submatrix hit min(remaining, root)
+        # distinct processor rows because consecutive rows are root apart.
+        return min(remaining, root) ** 2
+    if allocation == "blocked":
+        # Each processor owns a contiguous (n/root) x (n/root) tile; only
+        # tiles intersecting the trailing submatrix still have work.
+        tile = math.ceil(n / root)
+        live = math.ceil(remaining / tile)
+        return live * live
+    raise ValueError(f"unknown allocation {allocation!r}")
+
+
+def _check_lu_args(n: int, k: int, P: int, layout: str) -> None:
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0 <= k < n:
+        raise ValueError(f"step k={k} out of range for n={n}")
+    if layout not in _LU_LAYOUTS:
+        raise ValueError(f"layout must be one of {_LU_LAYOUTS}, got {layout!r}")
+    if layout == "grid":
+        root = math.isqrt(P)
+        if root * root != P:
+            raise ValueError(f"grid layout needs square P, got {P}")
+
+
+# ----------------------------------------------------------------------
+# Generic metrics
+# ----------------------------------------------------------------------
+
+
+def speedup(t_serial: float, t_parallel: float) -> float:
+    """Classic speedup ``T1 / TP``."""
+    if t_parallel <= 0:
+        raise ValueError(f"parallel time must be > 0, got {t_parallel}")
+    return t_serial / t_parallel
+
+
+def efficiency(t_serial: float, t_parallel: float, P: int) -> float:
+    """Parallel efficiency ``T1 / (P * TP)``."""
+    if P < 1:
+        raise ValueError(f"P must be >= 1, got {P}")
+    return speedup(t_serial, t_parallel) / P

@@ -1,0 +1,198 @@
+"""Closed-form LogP costs for primitive communication operations.
+
+These are the building blocks the paper composes algorithm analyses from:
+single messages, request/reply pairs, pipelined streams, h-relations,
+the all-to-all data remap at the heart of the FFT study, the long-message
+extension of Section 5.4 and the synchronous send/receive protocol cost
+noted under Table 1.
+
+Every function takes a :class:`~repro.core.params.LogPParams` as its first
+argument and returns a time in cycles.  Functions come in two flavours
+where the paper's own accounting differs from the exact schedule:
+
+* ``*_exact`` — the precise makespan of the event schedule the simulator
+  executes (sender busy ``o`` per message, injections ``max(g, o)``
+  apart, last message takes ``L`` then ``o`` to receive);
+* the unsuffixed form — the paper's (slightly coarser) formula, kept so
+  benchmarks can print exactly the expressions from the text.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .params import LogPParams
+
+__all__ = [
+    "point_to_point",
+    "remote_read",
+    "prefetch_issue_cost",
+    "pipelined_stream",
+    "pipelined_stream_exact",
+    "h_relation",
+    "h_relation_exact",
+    "all_to_all_remap",
+    "all_to_all_remap_exact",
+    "long_message",
+    "protocol_send_recv",
+    "barrier_cost",
+    "capacity_stall_rate",
+]
+
+
+def point_to_point(p: LogPParams) -> float:
+    """One small message end to end: ``L + 2o`` (Section 5)."""
+    return p.point_to_point()
+
+
+def remote_read(p: LogPParams) -> float:
+    """Read a remote location: ``2L + 4o`` (Section 3.2)."""
+    return p.remote_read()
+
+
+def prefetch_issue_cost(p: LogPParams) -> float:
+    """Processing time consumed issuing one prefetch: ``2o`` (Section 3.2).
+
+    "Prefetch operations, which initiate a read and continue, can be
+    issued every g cycles and cost 2o units of processing time": ``o`` to
+    send the request now plus ``o`` to receive the reply later.
+    """
+    return 2 * p.o
+
+
+def pipelined_stream(p: LogPParams, k: int) -> float:
+    """Paper-style cost of streaming ``k`` messages between one pair:
+    ``g*k + L`` (gap-dominated pipelining, Section 3.1/6.5.1).
+
+    Valid for ``k >= 1``; the paper folds both overheads into the gap
+    term, which is exact when ``g >= 2o`` is interpreted per Section 4.1.
+    """
+    _require_count(k)
+    return p.g * k + p.L
+
+
+def pipelined_stream_exact(p: LogPParams, k: int) -> float:
+    """Exact makespan of ``k`` back-to-back messages between one pair.
+
+    The first injection completes at ``o``; subsequent injections are
+    spaced ``max(g, o)`` apart; the final message needs ``L`` to cross the
+    network and ``o`` to be received:
+    ``o + (k-1)*max(g,o) + L + o``.
+
+    Capacity stalls cannot occur in a single-pair stream: the receiver
+    drains at the same rate ``max(g, o)`` the sender injects at.
+    """
+    _require_count(k)
+    return p.o + (k - 1) * p.send_interval + p.L + p.o
+
+
+def h_relation(p: LogPParams, h: int) -> float:
+    """Paper-style cost of an h-relation: ``g*h + L``.
+
+    An *h-relation* (BSP terminology, Section 6.3) is a communication
+    pattern in which every processor sends at most ``h`` messages and
+    receives at most ``h`` messages.  Under a contention-free schedule
+    each processor injects one message per ``g``, and the tail message
+    takes ``L`` to land.
+    """
+    _require_count(h)
+    return p.g * h + p.L
+
+
+def h_relation_exact(p: LogPParams, h: int) -> float:
+    """Exact contention-free h-relation makespan:
+    ``o + (h-1)*max(g,o) + L + o``."""
+    _require_count(h)
+    return p.o + (h - 1) * p.send_interval + p.L + p.o
+
+
+def all_to_all_remap(p: LogPParams, n: int) -> float:
+    """Paper formula for the FFT cyclic-to-blocked remap of ``n`` points:
+    ``g*(n/P - n/P**2) + L`` (Section 4.1.1).
+
+    Each processor holds ``n/P`` points and keeps ``n/P**2`` of them
+    local, so it sends ``n/P - n/P**2`` messages — ``n/P**2`` to every
+    other processor.  With the staggered (contention-free) schedule the
+    cost is one gap per message plus the trailing latency.
+    """
+    _require_count(n)
+    per_proc = n / p.P - n / p.P**2
+    return p.g * per_proc + p.L
+
+
+def all_to_all_remap_exact(p: LogPParams, n: int) -> float:
+    """Exact staggered-remap makespan for ``n`` points over ``P``
+    processors (``n`` divisible by ``P**2`` for an exact schedule).
+
+    Sends per processor ``k = n/P - n/P**2`` are injected ``max(g, o)``
+    apart starting at ``o``; the receive side is symmetric.
+    """
+    _require_count(n)
+    k = n // p.P - n // p.P**2
+    if k <= 0:
+        return 0.0
+    return p.o + (k - 1) * p.send_interval + p.L + p.o
+
+
+def long_message(p: LogPParams, n_words: int) -> float:
+    """Cost of an ``n_words``-word message under the basic model
+    (Section 5.4): the overhead ``o`` is paid per word.
+
+    "Our basic model assumes that each node consists only of one
+    processor that is also responsible for sending and receiving
+    messages.  Therefore the overhead o is paid for each word (or small
+    number of words)."  The words pipeline through the network, so:
+    ``o + (n-1)*max(g,o) + L + o``.
+    """
+    _require_count(n_words)
+    return pipelined_stream_exact(p, n_words)
+
+
+def protocol_send_recv(p: LogPParams, n_words: int) -> float:
+    """Synchronous send/receive protocol cost: ``3(L + 2o) + n*g``.
+
+    Table 1's discussion: the CM-5 vendor library's synchronous
+    send/receive "involves a pair of messages before transmitting the
+    first data element.  This protocol is easily modeled in terms of our
+    parameters as 3(L + 2o) + ng, where n is the number of words sent."
+    """
+    _require_count(n_words)
+    return 3 * (p.L + 2 * p.o) + n_words * p.g
+
+
+def barrier_cost(p: LogPParams) -> float:
+    """Software barrier cost over a binomial gather + broadcast tree.
+
+    LogP has no synchronization primitive ("In our model all
+    synchronization is done by messages", Section 6.3): a barrier is a
+    reduction to processor 0 followed by a broadcast, each a
+    ``ceil(log2 P)``-depth tree of ``L + 2o`` hops.
+    """
+    depth = math.ceil(math.log2(p.P)) if p.P > 1 else 0
+    return 2 * depth * (p.L + 2 * p.o + p.send_interval)
+
+
+def capacity_stall_rate(p: LogPParams, targets: int, rate: float) -> float:
+    """Fraction of injection attempts that stall at a destination, under
+    an open-loop model where ``targets`` senders each inject toward one
+    destination every ``1/rate`` cycles.
+
+    The destination drains one message per ``g`` cycles and tolerates
+    ``ceil(L/g)`` in flight; offered load beyond ``1/g`` stalls senders.
+    Returns the stalled fraction ``max(0, 1 - (1/g)/(targets*rate))``
+    inverted into a per-attempt stall probability.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    if targets < 1:
+        raise ValueError(f"targets must be >= 1, got {targets}")
+    offered = targets * rate
+    service = p.bandwidth
+    if offered <= service:
+        return 0.0
+    return 1.0 - service / offered
+
+
+def _require_count(k: int) -> None:
+    if k < 1:
+        raise ValueError(f"count must be >= 1, got {k}")

@@ -1,0 +1,107 @@
+"""The long-message extension: LogGP (Section 5.4's "simple extension").
+
+The basic model charges the overhead ``o`` "for each word (or small
+number of words)" of a long message — sending ``k`` words costs ``k``
+small messages.  Section 5.4 observes that real machines add DMA
+hardware so that "a part of sending and receiving long messages can be
+overlapped with computation", which "can simply be modeled as two
+processors at each node" — a network processor streaming the payload
+while the compute processor continues.
+
+The standard way the literature crystallized this observation (Alexandrov,
+Ionescu, Schauser & Scheiman's LogGP, a direct successor of this paper)
+adds one parameter:
+
+``G``
+    the *Gap per byte/word* for long messages: after the ``o``-cycle
+    setup, each additional word enters the network ``G`` cycles apart,
+    with the processor free.  A ``k``-word message costs the sender
+    ``o`` of processor time and occupies its network port for
+    ``(k-1) G``; end to end it takes ``o + (k-1)G + L + o``.
+
+:class:`LogGPParams` carries the extra parameter and the cost algebra;
+:mod:`repro.sim` accepts ``Send(..., words=k)`` on a machine built with
+``G`` and enforces the port occupancy.  ``G = g`` recovers the basic
+per-word model with the processor freed; ``G -> 0`` models an ideal DMA
+engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .params import LogPParams
+
+__all__ = [
+    "LogGPParams",
+    "long_message_time",
+    "long_message_processor_time",
+    "fragmentation_crossover",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LogGPParams(LogPParams):
+    """LogP plus the long-message Gap ``G`` (cycles per additional word).
+
+    ``G <= g`` on any sensible machine: the whole point of the bulk
+    interface is that streaming words is cheaper than sending them as
+    individual messages.
+    """
+
+    G: float = 0.0
+
+    def __post_init__(self) -> None:
+        # slots=True dataclasses recreate the class, breaking zero-arg
+        # super(); call the base validator explicitly.
+        LogPParams.__post_init__(self)
+        if self.G < 0:
+            raise ValueError(f"G must be >= 0, got {self.G}")
+        if not math.isfinite(self.G):
+            raise ValueError(f"G must be finite, got {self.G}")
+
+    @property
+    def bulk_bandwidth(self) -> float:
+        """Long-message bandwidth in words/cycle (``1/G``)."""
+        return math.inf if self.G == 0 else 1.0 / self.G
+
+    def as_logp(self) -> LogPParams:
+        """Drop the extension (for code paths that want plain LogP)."""
+        return LogPParams(L=self.L, o=self.o, g=self.g, P=self.P, name=self.name)
+
+
+def long_message_time(p: LogGPParams, k: int) -> float:
+    """End-to-end time of one ``k``-word message:
+    ``o + (k-1)G + L + o``."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return p.o + (k - 1) * p.G + p.L + p.o
+
+
+def long_message_processor_time(p: LogGPParams, k: int) -> float:
+    """Processor cycles consumed at the *sender*: just the setup ``o`` —
+    the stream is driven by the network interface ("overlapped with
+    computation")."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return p.o
+
+
+def fragmentation_crossover(p: LogGPParams) -> float:
+    """Message size (words) above which one bulk message beats sending
+    the words as individual small messages.
+
+    Small messages: ``o + (k-1) max(g, o) + L + o`` end to end and
+    ``k*o`` of processor time; bulk: ``o + (k-1)G + L + o`` and ``o``.
+    End to end the bulk message wins for every ``k >= 2`` whenever
+    ``G <= max(g, o)``; this function returns the break-even ``k`` for
+    general parameter settings (``inf`` if bulk never wins).
+    """
+    small_slope = p.send_interval
+    bulk_slope = p.G
+    if bulk_slope < small_slope:
+        return 2.0
+    if bulk_slope == small_slope:
+        return 2.0  # tie on time; bulk still wins on processor cycles
+    return math.inf

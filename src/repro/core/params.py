@@ -1,0 +1,197 @@
+"""The four LogP machine parameters and derived quantities.
+
+The LogP model (Culler et al., PPOPP 1993, Section 3) characterizes a
+distributed-memory machine by:
+
+``L``
+    an upper bound on the *latency* incurred communicating a small message
+    from its source module to its target module;
+``o``
+    the *overhead*: the length of time a processor is engaged in the
+    transmission or reception of each message, during which it can do no
+    other work;
+``g``
+    the *gap*: the minimum interval between consecutive message
+    transmissions — or consecutive receptions — at a single processor
+    (``1/g`` is the available per-processor communication bandwidth);
+``P``
+    the number of processor/memory modules.
+
+Local operations take unit time (one *cycle*); ``L``, ``o`` and ``g`` are
+expressed in cycles.  The network has finite capacity: at most
+``ceil(L/g)`` messages may be in transit from any processor, or to any
+processor, at one time; a sender that would exceed this stalls.
+
+:class:`LogPParams` is an immutable value object used by every other layer
+of this package — the analytical cost formulas (:mod:`repro.core.cost`),
+the discrete-event simulator (:mod:`repro.sim`) and the algorithm suite
+(:mod:`repro.algorithms`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = ["LogPParams"]
+
+
+@dataclass(frozen=True, slots=True)
+class LogPParams:
+    """An immutable set of LogP machine parameters.
+
+    Parameters are expressed in processor cycles (fractional values are
+    allowed; Section 4.1.4 of the paper calibrates the CM-5 at
+    ``o = 0.44`` cycles when a "cycle" is one FFT butterfly).
+
+    Args:
+        L: network latency upper bound, in cycles (``>= 0``).
+        o: per-message send/receive overhead, in cycles (``>= 0``).
+        g: minimum gap between sends (or receives) at one processor,
+            in cycles (``>= 0``).  ``g == 0`` models infinite bandwidth.
+        P: number of processors (``>= 1``).
+        name: optional human-readable label (e.g. ``"CM-5"``).
+
+    Examples:
+        >>> m = LogPParams(L=6, o=2, g=4, P=8)
+        >>> m.point_to_point()
+        10
+        >>> m.capacity
+        2
+    """
+
+    L: float
+    o: float
+    g: float
+    P: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.L < 0:
+            raise ValueError(f"L must be >= 0, got {self.L}")
+        if self.o < 0:
+            raise ValueError(f"o must be >= 0, got {self.o}")
+        if self.g < 0:
+            raise ValueError(f"g must be >= 0, got {self.g}")
+        if not isinstance(self.P, int) or isinstance(self.P, bool):
+            raise TypeError(f"P must be an int, got {type(self.P).__name__}")
+        if self.P < 1:
+            raise ValueError(f"P must be >= 1, got {self.P}")
+        for field in ("L", "o", "g"):
+            v = getattr(self, field)
+            if not math.isfinite(v):
+                raise ValueError(f"{field} must be finite, got {v}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Network capacity ``ceil(L/g)``: the maximum number of messages
+        in transit from any processor or to any processor (Section 3).
+
+        With ``g == 0`` (infinite bandwidth) capacity is unbounded and a
+        large sentinel is returned.
+        """
+        if self.g == 0:
+            return 2**62
+        return max(1, math.ceil(self.L / self.g))
+
+    @property
+    def send_interval(self) -> float:
+        """Effective interval between message injections at one processor.
+
+        A processor is busy for ``o`` cycles per send and may inject at
+        most one message per ``g`` cycles, so successive sends are spaced
+        by ``max(g, o)``.
+        """
+        return max(self.g, self.o)
+
+    @property
+    def bandwidth(self) -> float:
+        """Per-processor communication bandwidth in messages/cycle
+        (the reciprocal of ``g``; ``inf`` when ``g == 0``)."""
+        return math.inf if self.g == 0 else 1.0 / self.g
+
+    def point_to_point(self) -> float:
+        """Time for one small message end to end: ``L + 2o``.
+
+        ``o`` at the sender, ``L`` in the network, ``o`` at the receiver
+        (Section 5: "the time to transmit a small message will be
+        ``2o + L``").
+        """
+        return self.L + 2 * self.o
+
+    def remote_read(self) -> float:
+        """Time to read a remote location: ``2L + 4o`` (Section 3.2).
+
+        A request message followed by a reply, each costing ``L + 2o``.
+        """
+        return 2 * self.L + 4 * self.o
+
+    def max_virtual_processors(self) -> int:
+        """The multithreading limit ``L/g`` of Section 3.2.
+
+        The capacity constraint allows latency-masking multithreading to
+        be employed only up to ``L/g`` virtual processors per physical
+        processor.
+        """
+        return self.capacity
+
+    # ------------------------------------------------------------------
+    # Simplification rules (Section 3.1)
+    # ------------------------------------------------------------------
+
+    def merge_overhead_into_gap(self) -> "LogPParams":
+        """Apply the Section 3.1 approximation ``o := max(o, g)``.
+
+        "One convenient approximation technique is to increase *o* to be
+        as large as *g*, so *g* can be ignored.  This is conservative by
+        at most a factor of two."  Returns a new parameter set with
+        ``o = max(o, g)`` and ``g = 0`` marked ignored.
+        """
+        merged = max(self.o, self.g)
+        return replace(self, o=merged, g=merged, name=self._tag("o>=g"))
+
+    def ignore_latency(self) -> "LogPParams":
+        """Drop ``L`` (Section 3.1: appropriate when messages are sent in
+        long pipelined streams so transmission is gap-dominated)."""
+        return replace(self, L=0, name=self._tag("L=0"))
+
+    def ignore_bandwidth(self) -> "LogPParams":
+        """Drop ``g`` (Section 3.1: appropriate for algorithms that
+        communicate infrequently)."""
+        return replace(self, g=0, name=self._tag("g=0"))
+
+    def ignore_overhead(self) -> "LogPParams":
+        """Drop ``o`` (the paper "hopes architectures improve to a point
+        where o can be eliminated"; also yields the postal model when
+        combined with ``g = 1``)."""
+        return replace(self, o=0, name=self._tag("o=0"))
+
+    def as_postal(self) -> "LogPParams":
+        """The postal-model special case ``o = 0, g = 1`` of Section 3.3
+        footnote 3 (Bar-Noy & Kipnis broadcast)."""
+        return replace(self, o=0, g=1, name=self._tag("postal"))
+
+    def with_processors(self, P: int) -> "LogPParams":
+        """Return a copy with a different processor count."""
+        return replace(self, P=P)
+
+    def scaled(self, factor: float) -> "LogPParams":
+        """Return a copy with ``L``, ``o`` and ``g`` multiplied by
+        ``factor`` — used when re-expressing parameters in a different
+        cycle unit (e.g. FFT-butterfly cycles vs hardware clock ticks)."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be > 0, got {factor}")
+        return replace(
+            self, L=self.L * factor, o=self.o * factor, g=self.g * factor
+        )
+
+    def _tag(self, suffix: str) -> str:
+        return f"{self.name}[{suffix}]" if self.name else suffix
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"LogP{label}(L={self.L}, o={self.o}, g={self.g}, P={self.P})"

@@ -1,0 +1,249 @@
+"""Explicit event-time schedules shared by analysis, simulation and viz.
+
+The paper's Figures 3 and 4 show, for each processor, *when* it is busy
+sending, receiving or computing.  This module defines the neutral data
+structures those timelines are expressed in:
+
+* :class:`Interval` — one contiguous stretch of processor activity;
+* :class:`ProcessorTimeline` — all intervals of one processor;
+* :class:`MessageRecord` — the life of one message (injection, flight,
+  reception);
+* :class:`Schedule` — a complete picture: parameters, per-processor
+  timelines and the message set, with derived metrics (makespan, busy
+  fractions, overlap statistics).
+
+The analytical schedule builders in :mod:`repro.algorithms` emit these
+directly from closed-form event times; the simulator's trace layer
+(:mod:`repro.sim.trace`) converts execution traces into the same shape,
+so tests can assert that analysis and simulation agree interval for
+interval.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .params import LogPParams
+
+__all__ = [
+    "Activity",
+    "Interval",
+    "MessageRecord",
+    "ProcessorTimeline",
+    "Schedule",
+]
+
+
+class Activity(enum.Enum):
+    """What a processor is doing during an interval."""
+
+    COMPUTE = "compute"
+    SEND = "send"  # paying the send overhead o
+    RECV = "recv"  # paying the receive overhead o
+    STALL = "stall"  # blocked by the capacity constraint or the gap
+    IDLE = "idle"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A contiguous activity interval ``[start, end)`` on one processor.
+
+    ``detail`` carries free-form context (peer processor, message tag,
+    operation name) used by the Gantt renderer and by tests.
+    """
+
+    start: float
+    end: float
+    kind: Activity
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"interval end {self.end} precedes start {self.start}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class MessageRecord:
+    """The full timeline of one message.
+
+    ``send_start``      sender begins the o-cycle injection;
+    ``inject``          message enters the network (``send_start + o``);
+    ``arrive``          last bit reaches the destination module;
+    ``recv_start``      receiver begins the o-cycle reception
+                        (``>= arrive``; later if the receive gap delays it);
+    ``recv_end``        message available to the program.
+    """
+
+    src: int
+    dst: int
+    send_start: float
+    inject: float
+    arrive: float
+    recv_start: float
+    recv_end: float
+    tag: str = ""
+    words: int = 1
+
+    def __post_init__(self) -> None:
+        seq = (
+            self.send_start,
+            self.inject,
+            self.arrive,
+            self.recv_start,
+            self.recv_end,
+        )
+        if any(b < a for a, b in zip(seq, seq[1:])):
+            raise ValueError(f"non-monotone message timeline: {seq}")
+
+    @property
+    def latency(self) -> float:
+        """Network flight time (``arrive - inject``)."""
+        return self.arrive - self.inject
+
+    @property
+    def end_to_end(self) -> float:
+        """Total time from send start to availability at the receiver."""
+        return self.recv_end - self.send_start
+
+
+@dataclass(slots=True)
+class ProcessorTimeline:
+    """All activity intervals of one processor, kept sorted by start."""
+
+    proc: int
+    intervals: list[Interval] = field(default_factory=list)
+
+    def add(self, interval: Interval) -> None:
+        self.intervals.append(interval)
+
+    def sort(self) -> None:
+        self.intervals.sort(key=lambda iv: (iv.start, iv.end))
+
+    def busy_time(self) -> float:
+        """Total time spent in non-IDLE, non-STALL activities."""
+        return sum(
+            iv.duration
+            for iv in self.intervals
+            if iv.kind in (Activity.COMPUTE, Activity.SEND, Activity.RECV)
+        )
+
+    def time_in(self, kind: Activity) -> float:
+        return sum(iv.duration for iv in self.intervals if iv.kind is kind)
+
+    def end_time(self) -> float:
+        return max((iv.end for iv in self.intervals), default=0.0)
+
+    def overlaps(self) -> list[tuple[Interval, Interval]]:
+        """Return pairs of busy intervals that overlap in time.
+
+        A processor can only do one thing at a time, so a valid schedule
+        has no overlapping COMPUTE/SEND/RECV intervals.  Used by the
+        semantic validator.
+        """
+        busy = sorted(
+            (
+                iv
+                for iv in self.intervals
+                if iv.kind in (Activity.COMPUTE, Activity.SEND, Activity.RECV)
+                and iv.duration > 0
+            ),
+            key=lambda iv: iv.start,
+        )
+        bad: list[tuple[Interval, Interval]] = []
+        for a, b in zip(busy, busy[1:]):
+            if b.start < a.end - 1e-12:
+                bad.append((a, b))
+        return bad
+
+
+@dataclass(slots=True)
+class Schedule:
+    """A complete schedule: per-processor timelines plus the message set."""
+
+    params: LogPParams
+    timelines: dict[int, ProcessorTimeline] = field(default_factory=dict)
+    messages: list[MessageRecord] = field(default_factory=list)
+
+    def timeline(self, proc: int) -> ProcessorTimeline:
+        """The timeline for ``proc``, created on first access."""
+        if proc not in self.timelines:
+            if not 0 <= proc < self.params.P:
+                raise ValueError(
+                    f"processor {proc} out of range 0..{self.params.P - 1}"
+                )
+            self.timelines[proc] = ProcessorTimeline(proc)
+        return self.timelines[proc]
+
+    def add_interval(
+        self, proc: int, start: float, end: float, kind: Activity, detail: str = ""
+    ) -> None:
+        self.timeline(proc).add(Interval(start, end, kind, detail))
+
+    def add_message(self, record: MessageRecord) -> None:
+        self.messages.append(record)
+
+    @property
+    def makespan(self) -> float:
+        """Completion time: the latest event across processors and
+        message receptions (the paper's "maximum time used by any
+        processor")."""
+        t = max((tl.end_time() for tl in self.timelines.values()), default=0.0)
+        if self.messages:
+            t = max(t, max(m.recv_end for m in self.messages))
+        return t
+
+    def busy_fraction(self, proc: int) -> float:
+        """Fraction of the makespan during which ``proc`` is busy."""
+        total = self.makespan
+        if total == 0:
+            return 0.0
+        return self.timeline(proc).busy_time() / total
+
+    def total_time_in(self, kind: Activity) -> float:
+        return sum(tl.time_in(kind) for tl in self.timelines.values())
+
+    def messages_between(self, src: int, dst: int) -> list[MessageRecord]:
+        return [m for m in self.messages if m.src == src and m.dst == dst]
+
+    def receive_load(self) -> dict[int, int]:
+        """Messages received per processor — the contention statistic the
+        connected-components study (Section 4.2.3) cares about."""
+        load: dict[int, int] = {}
+        for m in self.messages:
+            load[m.dst] = load.get(m.dst, 0) + 1
+        return load
+
+    def sort_all(self) -> None:
+        for tl in self.timelines.values():
+            tl.sort()
+        self.messages.sort(key=lambda m: (m.send_start, m.src, m.dst))
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
+    """Coalesce adjacent intervals of the same kind (utility for viz)."""
+    out: list[Interval] = []
+    for iv in sorted(intervals, key=lambda i: (i.start, i.end)):
+        if (
+            out
+            and out[-1].kind is iv.kind
+            and abs(out[-1].end - iv.start) < 1e-12
+            and out[-1].detail == iv.detail
+        ):
+            out[-1] = Interval(out[-1].start, iv.end, iv.kind, iv.detail)
+        else:
+            out.append(iv)
+    return out
+
+
+__all__.append("merge_intervals")

@@ -1,0 +1,290 @@
+"""Regenerate the paper's exhibits from the command line, without pytest.
+
+Usage::
+
+    python -m repro.exhibits              # the fast exhibits
+    python -m repro.exhibits --full       # include the heavy simulations
+    python -m repro.exhibits fig3 table1  # a chosen subset
+
+Each exhibit prints the reproduced table/series with the paper's
+reference values alongside.  The pytest-benchmark suite in
+``benchmarks/`` asserts all of these; this runner is for interactive
+inspection.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Callable
+
+import numpy as np
+
+from .core import LogPParams
+from .viz import format_table
+
+__all__ = ["main", "EXHIBITS"]
+
+
+def fig2() -> str:
+    from .machines import FIGURE2_DATA, figure2_growth_rates
+
+    rates = figure2_growth_rates()
+    rows = [[p.year, p.machine, p.integer, p.floating] for p in FIGURE2_DATA]
+    rows.append(
+        ["fit", "annual growth",
+         f"{rates['integer']:.0%} (paper ~54%)",
+         f"{rates['floating']:.0%} (paper ~97%)"]
+    )
+    return format_table(
+        ["year", "machine", "integer", "floating"],
+        rows,
+        title="Figure 2: microprocessor performance (xVAX-11/780)",
+    )
+
+
+def fig3() -> str:
+    from .algorithms.broadcast import (
+        broadcast_program,
+        broadcast_schedule,
+        optimal_broadcast_tree,
+    )
+    from .sim import run_programs
+    from .viz import render_broadcast_tree, render_gantt
+
+    p = LogPParams(L=6, o=2, g=4, P=8)
+    tree = optimal_broadcast_tree(p)
+    res = run_programs(p, broadcast_program(tree, 0))
+    return "\n".join(
+        [
+            "Figure 3: optimal broadcast, P=8 L=6 g=4 o=2 "
+            f"(paper completion 24; reproduced analysis "
+            f"{tree.completion_time:g}, simulated {res.makespan:g})",
+            "",
+            render_broadcast_tree(tree),
+            "",
+            render_gantt(broadcast_schedule(tree), width=72, show_flight=True),
+        ]
+    )
+
+
+def fig4() -> str:
+    from .algorithms.summation import (
+        distribute_inputs,
+        optimal_summation_tree,
+        summation_program,
+    )
+    from .sim import run_programs
+    from .viz import render_summation_tree
+
+    p = LogPParams(L=5, o=2, g=4, P=8)
+    tree = optimal_summation_tree(p, 28)
+    rng = np.random.default_rng(0)
+    values = rng.standard_normal(tree.total_values)
+    res = run_programs(p, summation_program(tree, distribute_inputs(tree, values)))
+    ok = abs(res.value(0) - values.sum()) < 1e-9
+    return "\n".join(
+        [
+            f"Figure 4: optimal summation, T=28 P=8 L=5 g=4 o=2 — sums "
+            f"{tree.total_values} values; simulated makespan "
+            f"{res.makespan:g}; numerically {'exact' if ok else 'WRONG'}",
+            "",
+            render_summation_tree(tree),
+        ]
+    )
+
+
+def fig5() -> str:
+    from .algorithms.fft import remote_reference_profile
+
+    rows = []
+    for layout in ("cyclic", "blocked", "hybrid"):
+        prof = remote_reference_profile(8, 2, layout)
+        rows.append(
+            [layout]
+            + [("remote" if c.remote_nodes else "local") for c in prof]
+        )
+    return format_table(
+        ["layout", "col 1", "col 2", "col 3"],
+        rows,
+        title="Figure 5: butterfly column locality, n=8 P=2",
+    )
+
+
+def fig6() -> str:
+    from .algorithms.fft import simulate_remap
+    from .machines import cm5
+
+    machine = cm5(P=64)
+    p = machine.params_us()
+    cal = machine.calibration
+    rows = []
+    for n in (2**12, 2**14, 2**16):
+        compute_s = (n / p.P) * math.log2(n) * cal.cycle_us * 1e-6
+        stag = simulate_remap(p, n, "staggered", point_cost=cal.point_us)
+        naive = simulate_remap(p, n, "naive", point_cost=cal.point_us)
+        rows.append(
+            [n, compute_s, naive.makespan * 1e-6, stag.makespan * 1e-6,
+             naive.makespan / stag.makespan]
+        )
+    return format_table(
+        ["n", "compute (s)", "naive remap (s)", "staggered remap (s)",
+         "naive/staggered"],
+        rows,
+        floatfmt=".3g",
+        title="Figure 6 (P=64 simulated CM-5)",
+    )
+
+
+def fig7() -> str:
+    from .memory import phase_mflops
+
+    rows = [
+        [n, 16 * (n // 128) // 1024,
+         phase_mflops(n, 128, "I"), phase_mflops(n, 128, "III")]
+        for n in (2**16, 2**18, 2**20, 2**22, 2**24)
+    ]
+    return format_table(
+        ["n", "local KB", "phase I Mflops", "phase III Mflops"],
+        rows,
+        floatfmt=".3g",
+        title="Figure 7 (paper: 2.8 in cache, 2.2 beyond, phase III flat)",
+    )
+
+
+def fig8() -> str:
+    from .algorithms.fft import simulate_remap
+    from .machines import GaussianJitter, cm5
+
+    machine = cm5(P=32)
+    p = machine.params_us()
+    cal = machine.calibration
+    rows = []
+    for i, n in enumerate((2**13, 2**15)):
+        stag = simulate_remap(p, n, "staggered", point_cost=cal.point_us)
+        drift = simulate_remap(
+            p, n, "staggered", point_cost=cal.point_us,
+            jitter=GaussianJitter(0.5, seed=100 + i),
+        )
+        sync = simulate_remap(
+            p, n, "staggered", point_cost=cal.point_us,
+            jitter=GaussianJitter(0.5, seed=100 + i),
+            barrier_every=n // (p.P * p.P),
+        )
+        naive = simulate_remap(p, n, "naive", point_cost=cal.point_us)
+
+        def mb(r):
+            return r.rate(cal.bytes_per_point, 1e-6) / 1e6
+
+        rows.append([n, 3.2, mb(stag), mb(drift), mb(sync), mb(naive)])
+    return format_table(
+        ["n", "predicted", "staggered", "drifting", "synchronized", "naive"],
+        rows,
+        floatfmt=".3g",
+        title="Figure 8 (P=32 simulated CM-5), MB/s per processor",
+    )
+
+
+def table1() -> str:
+    from .machines import TABLE1, TABLE1_PRINTED_T160
+    from .topology import unloaded_time
+
+    rows = [
+        [hw.name, hw.network, unloaded_time(hw, 160),
+         TABLE1_PRINTED_T160[hw.name]]
+        for hw in TABLE1
+    ]
+    return format_table(
+        ["machine", "network", "T(160) recomputed", "T(160) printed"],
+        rows,
+        floatfmt=".5g",
+        title="Table 1: unloaded 160-bit message time (cycles)",
+    )
+
+
+def sec51() -> str:
+    from .topology import PAPER_TOPOLOGIES
+
+    paper = {
+        "Hypercube": 5, "Butterfly": 10, "4deg Fat Tree": 9.33,
+        "3D Torus": 7.5, "3D Mesh": 10, "2D Torus": 16, "2D Mesh": 21,
+    }
+    rows = [
+        [t.name, t.formula, t.average_distance(), paper[t.name]]
+        for t in PAPER_TOPOLOGIES(1024)
+    ]
+    return format_table(
+        ["network", "formula", "reproduced", "paper"],
+        rows,
+        floatfmt=".4g",
+        title="Section 5.1: average distance at P=1024",
+    )
+
+
+def sec53() -> str:
+    from .topology import grid_route, latency_vs_load
+
+    K = 8
+
+    def route(s, d):
+        return [
+            c[0] * K + c[1]
+            for c in grid_route((s // K, s % K), (d // K, d % K), (K, K), wrap=True)
+        ]
+
+    pts = latency_vs_load(
+        64, route, [0.05, 0.2, 0.7, 1.5], horizon=1200, warmup=300, seed=9
+    )
+    rows = [[q.offered_load, q.mean_latency, q.throughput] for q in pts]
+    return format_table(
+        ["offered load", "mean latency", "throughput"],
+        rows,
+        floatfmt=".3g",
+        title="Section 5.3: 8x8 torus saturation (flat, then the knee)",
+    )
+
+
+#: name -> (generator function, heavy?)
+EXHIBITS: dict[str, tuple[Callable[[], str], bool]] = {
+    "fig2": (fig2, False),
+    "fig3": (fig3, False),
+    "fig4": (fig4, False),
+    "fig5": (fig5, False),
+    "fig6": (fig6, True),
+    "fig7": (fig7, False),
+    "fig8": (fig8, True),
+    "table1": (table1, False),
+    "sec51": (sec51, False),
+    "sec53": (sec53, True),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exhibits", description=__doc__
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        choices=[*EXHIBITS, []],
+        help="exhibits to regenerate (default: all fast ones)",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="include the heavy simulations"
+    )
+    args = parser.parse_args(argv)
+
+    names = args.names or [
+        name for name, (_, heavy) in EXHIBITS.items() if args.full or not heavy
+    ]
+    for i, name in enumerate(names):
+        fn, _ = EXHIBITS[name]
+        if i:
+            print("\n" + "=" * 72 + "\n")
+        print(fn())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Machine descriptions and calibration: Table 1's network constants,
+the Figure 2 microprocessor trend data, the CM-5 of the FFT study."""
+
+from .calibrate import (
+    bandwidth_to_g,
+    cycle_from_mflops,
+    logp_from_hardware,
+    normalize_to_cycle,
+)
+from .cm5 import CM5, GaussianJitter, cm5
+from .fit import MeasuredLogP, measure_logp
+from .scaling import (
+    FAT_TREE_FAMILY,
+    HYPERCUBE_FAMILY,
+    MESH_FAMILY,
+    MachineFamily,
+)
+from .database import (
+    CM5_FFT_CALIBRATION,
+    CM5Calibration,
+    TABLE1,
+    TABLE1_PRINTED_T160,
+    table1_machine,
+)
+from .trends import (
+    FIGURE2_DATA,
+    MicroprocessorPoint,
+    figure2_growth_rates,
+    fit_growth_rate,
+)
+
+__all__ = [
+    "MachineFamily",
+    "FAT_TREE_FAMILY",
+    "MESH_FAMILY",
+    "HYPERCUBE_FAMILY",
+    "MeasuredLogP",
+    "measure_logp",
+    "TABLE1",
+    "TABLE1_PRINTED_T160",
+    "table1_machine",
+    "CM5Calibration",
+    "CM5_FFT_CALIBRATION",
+    "CM5",
+    "cm5",
+    "GaussianJitter",
+    "FIGURE2_DATA",
+    "MicroprocessorPoint",
+    "fit_growth_rate",
+    "figure2_growth_rates",
+    "cycle_from_mflops",
+    "normalize_to_cycle",
+    "bandwidth_to_g",
+    "logp_from_hardware",
+]

@@ -1,0 +1,62 @@
+"""Calibration utilities: hardware constants -> LogP parameters.
+
+Section 5.2's closing recipe: "In determining LogP parameters for a
+given machine, it appears reasonable to choose o = (Tsnd + Trcv)/2,
+L = H*r + ceil(M/w), where H is the maximum distance of a route and M is
+the fixed message size being used, and g to be M divided by the per
+processor bisection bandwidth."  Plus the Section 4.1.4 trick of
+calibrating the model's *cycle* from a measured computation rate.
+"""
+
+from __future__ import annotations
+
+from ..core.params import LogPParams
+from ..topology.unloaded import logp_from_hardware
+
+__all__ = [
+    "logp_from_hardware",
+    "cycle_from_mflops",
+    "normalize_to_cycle",
+    "bandwidth_to_g",
+]
+
+
+def cycle_from_mflops(mflops: float, flops_per_op: float) -> float:
+    """Microseconds per model cycle, from a measured rate.
+
+    Section 4.1.4: "At an average of 2.2 Mflops and 10 floating-point
+    operations per butterfly, a cycle corresponds to 4.5 us."
+    """
+    if mflops <= 0 or flops_per_op <= 0:
+        raise ValueError("rates must be positive")
+    return flops_per_op / mflops
+
+
+def normalize_to_cycle(
+    L_us: float, o_us: float, g_us: float, P: int, cycle_us: float, name: str = ""
+) -> LogPParams:
+    """Express microsecond-valued parameters in model cycles."""
+    if cycle_us <= 0:
+        raise ValueError(f"cycle_us must be > 0, got {cycle_us}")
+    return LogPParams(
+        L=L_us / cycle_us, o=o_us / cycle_us, g=g_us / cycle_us, P=P, name=name
+    )
+
+
+def bandwidth_to_g(
+    message_bytes: float, bisection_mb_s_per_proc: float
+) -> float:
+    """``g`` in microseconds from per-processor bisection bandwidth.
+
+    Section 4.1.4: "the bisection bandwidth is 5 MB/s per processor for
+    messages of 16 bytes of data and 4 bytes of address, so we take g to
+    be 4 us" (20 bytes / 5 MB/s).
+    """
+    if message_bytes <= 0 or bisection_mb_s_per_proc <= 0:
+        raise ValueError("sizes and bandwidths must be positive")
+    return message_bytes / bisection_mb_s_per_proc
+
+
+def _selfcheck() -> None:  # pragma: no cover - documentation anchor
+    assert abs(cycle_from_mflops(2.2, 10) - 4.545) < 0.01
+    assert abs(bandwidth_to_g(20, 5) - 4.0) < 1e-12

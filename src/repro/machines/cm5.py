@@ -1,0 +1,122 @@
+"""The simulated CM-5 — the machine the paper's measurements ran on.
+
+Bundles the Section 4.1.4 calibration (:data:`CM5_FFT_CALIBRATION`), the
+64 KB direct-mapped node cache, the hardware barrier (control network),
+the optional second data network (``g/2``), and the compute-jitter model
+standing in for the "cache effects, network collisions, etc." that make
+real processors "gradually drift out of sync" — everything the Figure
+6/7/8 benchmarks need, in one configured object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.params import LogPParams
+from ..memory.cache import Cache
+from ..sim.machine import LogPMachine
+from .database import CM5_FFT_CALIBRATION, CM5Calibration
+
+__all__ = ["GaussianJitter", "CM5", "cm5"]
+
+
+class GaussianJitter:
+    """Multiplicative compute-time noise: each ``Compute(c)`` becomes
+    ``c * max(0, 1 + sigma * z)`` with ``z ~ N(0, 1)``.
+
+    Zero-mean noise accumulates as a random walk across a long send
+    loop, which is exactly the drift mechanism Section 4.1.4 blames for
+    the large-n staggered-schedule degradation; the periodic barrier
+    resets it.
+    """
+
+    def __init__(self, sigma: float, seed: int = 0) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        self.sigma = sigma
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, rank: int, cycles: float) -> float:
+        if cycles <= 0 or self.sigma == 0:
+            return cycles
+        factor = 1.0 + self.sigma * float(self._rng.standard_normal())
+        return cycles * max(0.0, factor)
+
+
+@dataclass(frozen=True)
+class CM5:
+    """A configured simulated CM-5.
+
+    Args:
+        P: processors (the paper's machine had 128).
+        calibration: the Section 4.1.4 constants.
+        double_net: use both data networks (halves ``g``).
+        jitter_sigma: compute-noise level (0 = deterministic).
+        barrier_cost_us: hardware-barrier cost (the control network is
+            fast; a few microseconds).
+    """
+
+    P: int = 128
+    calibration: CM5Calibration = CM5_FFT_CALIBRATION
+    double_net: bool = False
+    jitter_sigma: float = 0.0
+    barrier_cost_us: float = 1.0
+    seed: int = 0
+
+    def params_us(self) -> LogPParams:
+        """LogP parameters in microseconds."""
+        p = self.calibration.logp_us(self.P)
+        if self.double_net:
+            p = replace(p, g=p.g / 2, name=p.name + " (2 nets)")
+        return p
+
+    def params_cycles(self) -> LogPParams:
+        """LogP parameters in FFT-butterfly cycles."""
+        p = self.calibration.logp(self.P)
+        if self.double_net:
+            p = replace(p, g=p.g / 2, name=p.name + " (2 nets)")
+        return p
+
+    def node_cache(self) -> Cache:
+        """The 64 KB direct-mapped write-through node cache."""
+        return Cache(
+            self.calibration.cache_bytes,
+            self.calibration.cache_line_bytes,
+            associativity=1,
+        )
+
+    def machine(self, *, units: str = "us", trace: bool = False, **kw) -> LogPMachine:
+        """Build the discrete-event machine (``units``: "us" or "cycles")."""
+        if units == "us":
+            params = self.params_us()
+            barrier = self.barrier_cost_us
+        elif units == "cycles":
+            params = self.params_cycles()
+            barrier = self.calibration.cycles(self.barrier_cost_us)
+        else:
+            raise ValueError(f"units must be 'us' or 'cycles', got {units!r}")
+        jitter = (
+            GaussianJitter(self.jitter_sigma, self.seed)
+            if self.jitter_sigma > 0
+            else None
+        )
+        return LogPMachine(
+            params,
+            hw_barrier_cost=barrier,
+            compute_jitter=jitter,
+            trace=trace,
+            **kw,
+        )
+
+    def mb_per_second(self, bytes_sent: float, us_elapsed: float) -> float:
+        """Convert a (bytes, microseconds) measurement to MB/s."""
+        if us_elapsed <= 0:
+            raise ValueError(f"elapsed time must be > 0, got {us_elapsed}")
+        return bytes_sent / us_elapsed  # bytes/us == MB/s
+
+
+def cm5(P: int = 128, **kwargs) -> CM5:
+    """Convenience constructor mirroring the paper's 128-node machine."""
+    return CM5(P=P, **kwargs)

@@ -1,0 +1,104 @@
+"""Machine families as curves in the LogP parameter space (Section 7).
+
+"The model defines a four dimensional parameter space of potential
+machines.  The product line offered by a particular vendor may be
+identified with a curve in this space, characterizing the system
+scalability."
+
+A :class:`MachineFamily` holds one design's fixed constants (network
+cycle, channel width, send/receive overhead, per-hop delay, message
+size) plus a topology whose route length and bisection grow with ``P``;
+:meth:`MachineFamily.params` evaluates the family at a configuration,
+giving the curve ``P -> (L, o, g)``:
+
+* ``o`` is fixed by the node interface;
+* ``L(P) = diameter(P) * r + ceil(M/w)`` grows with the topology's
+  route length;
+* ``g(P) = M * (P/2) / (bisection_links(P) * w)`` — with everyone
+  sending across the bisection, each processor's share of the cut
+  bandwidth sets its sustainable message interval.  Full-bisection
+  networks (hypercube, fat tree) keep ``g`` flat; meshes pay
+  ``g ~ sqrt(P)``.
+
+The Section 7 benchmark sweeps two families and shows where each stops
+scaling for each algorithm class.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.params import LogPParams
+from ..topology.topologies import Topology
+
+__all__ = ["MachineFamily", "FAT_TREE_FAMILY", "MESH_FAMILY", "HYPERCUBE_FAMILY"]
+
+
+@dataclass(frozen=True)
+class MachineFamily:
+    """One vendor design evaluated across configurations.
+
+    Attributes:
+        name: family label.
+        topology: ``topology(P) -> Topology`` (diameter and bisection).
+        w: channel width, bits per network cycle.
+        overhead_cycles: ``Tsnd + Trcv`` in network cycles (``o`` is half).
+        r: per-hop routing delay, cycles.
+        M: message size in bits.
+    """
+
+    name: str
+    topology: Callable[[int], Topology]
+    w: int
+    overhead_cycles: float
+    r: float
+    M: int = 160
+
+    def params(self, P: int) -> LogPParams:
+        """The family's LogP point at configuration ``P``."""
+        topo = self.topology(P)
+        L = topo.diameter() * self.r + math.ceil(self.M / self.w)
+        o = self.overhead_cycles / 2
+        bisection_bw = topo.bisection_width() * self.w  # bits/cycle
+        g = self.M * (P / 2) / bisection_bw
+        return LogPParams(L=L, o=o, g=g, P=P, name=f"{self.name}(P={P})")
+
+    def curve(self, sizes) -> list[LogPParams]:
+        """Evaluate the family along a sweep of configurations."""
+        return [self.params(P) for P in sizes]
+
+
+def _fat_tree(P: int) -> Topology:
+    from ..topology.topologies import FatTree
+
+    return FatTree(P)
+
+
+def _mesh2d(P: int) -> Topology:
+    from ..topology.topologies import Mesh2D
+
+    return Mesh2D(P)
+
+
+def _hypercube(P: int) -> Topology:
+    from ..topology.topologies import Hypercube
+
+    return Hypercube(P)
+
+
+#: A CM-5-flavoured fat-tree family: modest overhead, full bisection.
+FAT_TREE_FAMILY = MachineFamily(
+    name="fat-tree", topology=_fat_tree, w=4, overhead_cycles=132, r=8
+)
+
+#: A 2-D mesh family: cheap wires, bisection sqrt(P).
+MESH_FAMILY = MachineFamily(
+    name="2d-mesh", topology=_mesh2d, w=16, overhead_cycles=132, r=2
+)
+
+#: A hypercube family: long wires but full bisection.
+HYPERCUBE_FAMILY = MachineFamily(
+    name="hypercube", topology=_hypercube, w=1, overhead_cycles=132, r=40
+)

@@ -1,0 +1,92 @@
+"""Figure 2: microprocessor performance 1987-1992.
+
+"Microprocessor performance is advancing at a rate of 50 to 100% per
+year ... The floating point SPEC benchmarks improved at about 97% per
+year since 1987, and integer SPEC benchmarks improved at about 54% per
+year."  Performance is expressed as multiples of the VAX-11/780.
+
+The machines Figure 2 labels, with performance read off the plot (the
+paper prints no numeric table, so these are digitizations consistent
+with the stated growth rates and the plot's 0-180 axis):
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MicroprocessorPoint",
+    "FIGURE2_DATA",
+    "DRAM_CAPACITY_DATA",
+    "fit_growth_rate",
+    "figure2_growth_rates",
+    "dram_growth_rate",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class MicroprocessorPoint:
+    """One labeled point of Figure 2 (performance vs VAX-11/780)."""
+
+    year: int
+    machine: str
+    integer: float
+    floating: float
+
+
+FIGURE2_DATA: tuple[MicroprocessorPoint, ...] = (
+    MicroprocessorPoint(1987, "Sun 4/260", 9, 6),
+    MicroprocessorPoint(1988, "MIPS M/120", 13, 12),
+    MicroprocessorPoint(1989, "MIPS M2000", 20, 23),
+    MicroprocessorPoint(1990, "IBM RS6000/540", 30, 44),
+    MicroprocessorPoint(1991, "HP 9000/750", 50, 86),
+    MicroprocessorPoint(1992, "DEC alpha", 77, 160),
+)
+
+
+def fit_growth_rate(years, values) -> float:
+    """Annual growth rate from a log-linear least-squares fit.
+
+    Returns the fractional yearly improvement (0.97 means 97 %/year).
+    """
+    years = np.asarray(years, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if len(years) != len(values) or len(years) < 2:
+        raise ValueError("need >= 2 matching (year, value) points")
+    if np.any(values <= 0):
+        raise ValueError("performance values must be positive")
+    slope, _ = np.polyfit(years - years[0], np.log(values), 1)
+    return float(np.exp(slope) - 1.0)
+
+
+def figure2_growth_rates() -> dict[str, float]:
+    """Fit both Figure 2 series; the paper reports ~0.97 FP, ~0.54 int."""
+    years = [p.year for p in FIGURE2_DATA]
+    return {
+        "floating": fit_growth_rate(years, [p.floating for p in FIGURE2_DATA]),
+        "integer": fit_growth_rate(years, [p.integer for p in FIGURE2_DATA]),
+    }
+
+
+#: Section 2's memory claim: "Memory capacity is increasing at a rate
+#: comparable to the increase in capacity of DRAM chips: quadrupling in
+#: size every three years."  DRAM generations (year of volume
+#: production, bits per chip).
+DRAM_CAPACITY_DATA: tuple[tuple[int, int], ...] = (
+    (1977, 16 * 1024),
+    (1980, 64 * 1024),
+    (1983, 256 * 1024),
+    (1986, 1024 * 1024),
+    (1989, 4 * 1024 * 1024),
+    (1992, 16 * 1024 * 1024),
+)
+
+
+def dram_growth_rate() -> float:
+    """Annual DRAM capacity growth — quadrupling per 3 years is
+    ``4**(1/3) - 1 ~ 59 %`` per year."""
+    years = [y for y, _ in DRAM_CAPACITY_DATA]
+    bits = [b for _, b in DRAM_CAPACITY_DATA]
+    return fit_growth_rate(years, bits)

@@ -1,0 +1,21 @@
+"""Memory-hierarchy substrate: the cache simulator and the FFT locality
+study behind Figure 7."""
+
+from .cache import Cache, CacheStats
+from .fft_locality import (
+    MflopsModel,
+    fft_stage_addresses,
+    phase1_misses_per_node,
+    phase3_misses_per_node,
+    phase_mflops,
+)
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "MflopsModel",
+    "fft_stage_addresses",
+    "phase1_misses_per_node",
+    "phase3_misses_per_node",
+    "phase_mflops",
+]

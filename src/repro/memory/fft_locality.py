@@ -1,0 +1,168 @@
+"""Address traces for the local FFT phases, and the Mflops model
+(Figure 7).
+
+The hybrid algorithm's two computation phases have very different
+locality:
+
+* **Phase I** (cyclic layout): each processor performs *one large FFT*
+  over its ``n/P`` local points — early stages stride half the array,
+  so once ``16 * n/P`` bytes exceed the 64 KB cache every stage streams
+  the whole array through it (capacity misses), and the large power-of-
+  two strides collide in a direct-mapped cache (conflict misses);
+* **Phase III** (blocked layout): the remaining ``log P`` columns
+  decompose into ``n/P**2`` *independent small FFTs of P points* per
+  processor ("the blocked phase which solves many small FFTs") — each
+  only ``16 * P`` bytes, far below cache capacity, so the phase stays
+  fast at every problem size.
+
+This module generates the exact per-stage address streams of those
+phases, counts misses with :class:`repro.memory.cache.Cache`, and maps
+miss rates to Mflops with the paper's two calibration points (2.8
+Mflops in-cache, 2.2 out-of-cache).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cache import Cache
+
+__all__ = [
+    "fft_stage_addresses",
+    "phase1_misses_per_node",
+    "phase3_misses_per_node",
+    "MflopsModel",
+    "phase_mflops",
+]
+
+
+def _check_pow2(n: int, name: str = "n") -> int:
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"{name} must be a power of two >= 2, got {n}")
+    return int(math.log2(n))
+
+
+def fft_stage_addresses(
+    m: int, stage: int, element_bytes: int = 16, base: int = 0
+) -> np.ndarray:
+    """Byte addresses touched by DIF stage ``stage`` of an ``m``-point
+    FFT stored contiguously at ``base``.
+
+    Per butterfly the loop reads both elements and writes both back; the
+    returned stream is the butterfly-ordered ``lo, hi, lo, hi`` element
+    sequence (each element access stands for its read-modify-write,
+    which touches one line).
+    """
+    bits = _check_pow2(m)
+    if not 0 <= stage < bits:
+        raise ValueError(f"stage {stage} out of range for m={m}")
+    span = m >> stage
+    half = span >> 1
+    idx = np.arange(m).reshape(-1, span)
+    lo = idx[:, :half].ravel()
+    hi = idx[:, half:].ravel()
+    inter = np.empty(2 * lo.size, dtype=np.int64)
+    inter[0::2] = lo
+    inter[1::2] = hi
+    return base + inter * element_bytes
+
+
+def phase1_misses_per_node(
+    n: int, P: int, cache: Cache, element_bytes: int = 16
+) -> float:
+    """Misses per butterfly node for phase I: one (n/P)-point local FFT.
+
+    Runs all ``log2(n/P)`` stages of the big local FFT through the cache
+    and divides by the node count ``(n/P) * log2(n/P)``.
+    """
+    m = n // P
+    bits = _check_pow2(m, "n/P")
+    cache.reset()
+    misses = 0
+    for s in range(bits):
+        misses += cache.access_block(fft_stage_addresses(m, s, element_bytes))
+    return misses / (m * bits)
+
+
+def phase3_misses_per_node(
+    n: int, P: int, cache: Cache, element_bytes: int = 16
+) -> float:
+    """Misses per butterfly node for phase III: ``n/P**2`` independent
+    P-point FFTs per processor, run back to back over the blocked chunk.
+    """
+    m = n // P
+    sub = P  # each small FFT spans P points
+    count = m // sub
+    bits_sub = _check_pow2(sub, "P")
+    cache.reset()
+    misses = 0
+    for k in range(count):
+        base = k * sub * element_bytes
+        for s in range(bits_sub):
+            misses += cache.access_block(
+                fft_stage_addresses(sub, s, element_bytes, base=base)
+            )
+    return misses / (m * bits_sub)
+
+
+@dataclass(frozen=True, slots=True)
+class MflopsModel:
+    """Miss-rate -> Mflops mapping calibrated on the paper's endpoints.
+
+    Per butterfly node: ``time_us = base_us + miss_penalty_us * misses``.
+    The two constants are solved from the paper's two operating points:
+    the in-cache regime (compulsory misses only, ~0.07 misses/node on
+    the 64 KB/32 B configuration) runs at ``mflops_cached`` (2.8), and
+    the streaming regime of a cache-overflowing phase-I FFT (~0.65
+    misses/node measured on the same configuration) runs at
+    ``mflops_streaming`` (2.2).  The paper counts 10 flops per butterfly
+    (two node updates), i.e. 5 flops per node.
+    """
+
+    flops_per_node: float = 5.0
+    mflops_cached: float = 2.8
+    mflops_streaming: float = 2.2
+    cached_misses_per_node: float = 0.07
+    streaming_misses_per_node: float = 0.65
+
+    @property
+    def miss_penalty_us(self) -> float:
+        fast = self.flops_per_node / self.mflops_cached
+        slow = self.flops_per_node / self.mflops_streaming
+        return (slow - fast) / (
+            self.streaming_misses_per_node - self.cached_misses_per_node
+        )
+
+    @property
+    def base_us(self) -> float:
+        fast = self.flops_per_node / self.mflops_cached
+        return fast - self.miss_penalty_us * self.cached_misses_per_node
+
+    def mflops(self, misses_per_node: float) -> float:
+        t = self.base_us + self.miss_penalty_us * misses_per_node
+        return self.flops_per_node / t
+
+
+def phase_mflops(
+    n: int,
+    P: int,
+    phase: str,
+    cache: Cache | None = None,
+    model: MflopsModel | None = None,
+) -> float:
+    """Mflops/processor for ``phase`` (``"I"`` or ``"III"``) at FFT size
+    ``n`` on ``P`` processors — one point of a Figure 7 curve."""
+    if cache is None:
+        cache = Cache(64 * 1024, 32, associativity=1)
+    if model is None:
+        model = MflopsModel()
+    if phase == "I":
+        mpn = phase1_misses_per_node(n, P, cache)
+    elif phase == "III":
+        mpn = phase3_misses_per_node(n, P, cache)
+    else:
+        raise ValueError(f"phase must be 'I' or 'III', got {phase!r}")
+    return model.mflops(mpn)

@@ -1,0 +1,77 @@
+"""The competing models of Section 6, as executable baselines:
+PRAM (with concurrency-rule enforcement), BSP (cost model + runtime on
+the LogP simulator), the postal model, and the delay model."""
+
+from .bsp import (
+    BSPParams,
+    bsp_fft_cost,
+    bsp_from_logp,
+    bsp_sum_cost,
+    bsp_superstep,
+    bsp_total,
+    superstep_cost,
+)
+from .delay import (
+    delay_broadcast_time,
+    delay_fft_time,
+    delay_point_to_point,
+    delay_sum_time,
+)
+from .postal import (
+    postal_broadcast_time,
+    postal_equivalent_params,
+    postal_informed,
+)
+from .pram_on_logp import (
+    PramOnLogPResult,
+    pram_slowdown,
+    run_pram_on_logp,
+)
+from .scanmodel import (
+    logp_scan_time,
+    scan_model_broadcast_steps,
+    scan_model_scan_steps,
+    scan_model_sum_steps,
+)
+from .pram import (
+    PRAM,
+    ConcurrencyViolation,
+    PramResult,
+    PramStep,
+    pram_broadcast_program,
+    pram_broadcast_steps,
+    pram_sum_program,
+    pram_sum_steps,
+)
+
+__all__ = [
+    "PRAM",
+    "PramStep",
+    "PramResult",
+    "ConcurrencyViolation",
+    "pram_sum_program",
+    "pram_broadcast_program",
+    "pram_sum_steps",
+    "pram_broadcast_steps",
+    "BSPParams",
+    "bsp_from_logp",
+    "superstep_cost",
+    "bsp_total",
+    "bsp_sum_cost",
+    "bsp_fft_cost",
+    "bsp_superstep",
+    "postal_informed",
+    "postal_broadcast_time",
+    "postal_equivalent_params",
+    "delay_point_to_point",
+    "delay_broadcast_time",
+    "delay_sum_time",
+    "delay_fft_time",
+    "scan_model_scan_steps",
+    "scan_model_sum_steps",
+    "scan_model_broadcast_steps",
+    "logp_scan_time",
+    "PramOnLogPResult",
+    "run_pram_on_logp",
+    "pram_slowdown",
+]

@@ -1,0 +1,147 @@
+"""The Bulk-Synchronous Parallel model (Section 6.3).
+
+BSP was "one of the inspirations" for LogP; a computation is a sequence
+of *supersteps*, each combining local work ``w``, an ``h``-relation, and
+a barrier, at cost ``w + g*h + l``.  The paper's concerns, all
+observable here:
+
+1. a superstep is charged for the most unfavourable h-relation — the
+   schedule inside a step cannot be exploited;
+2. messages sent in a superstep are usable only in the *next* superstep
+   even when the latency is much shorter than the step;
+3. the barrier is assumed in hardware; LogP pays for it with messages.
+
+The module provides the BSP cost calculator, BSP costings of the paper's
+running examples, a parameter bridge from LogP (g_bsp ~ g,
+l_bsp ~ 2L + barrier cost), and a BSP *runtime* on the LogP simulator —
+superstep programs executed with real messages, so the overhead of
+emulating BSP's semantics on a LogP machine is measurable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..core.params import LogPParams
+
+__all__ = [
+    "BSPParams",
+    "bsp_from_logp",
+    "superstep_cost",
+    "bsp_total",
+    "bsp_sum_cost",
+    "bsp_fft_cost",
+    "bsp_superstep",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class BSPParams:
+    """The BSP machine parameters.
+
+    ``g``: time per message under continuous traffic (an h-relation
+    costs ``g*h``); ``l``: the barrier/synchronization periodicity;
+    ``P``: processors.
+    """
+
+    g: float
+    l: float
+    P: int
+
+    def __post_init__(self) -> None:
+        if self.g < 0 or self.l < 0:
+            raise ValueError("g and l must be >= 0")
+        if self.P < 1:
+            raise ValueError(f"P must be >= 1, got {self.P}")
+
+
+def bsp_from_logp(p: LogPParams, hardware_barrier: float | None = None) -> BSPParams:
+    """Derive BSP parameters from LogP ones.
+
+    ``g_bsp = max(g, 2o)`` (BSP's per-message charge must cover the
+    processor's own overhead); ``l = L + barrier`` where the barrier is
+    hardware if given, else the LogP software barrier cost.
+    """
+    from ..core.cost import barrier_cost
+
+    barrier = hardware_barrier if hardware_barrier is not None else barrier_cost(p)
+    return BSPParams(g=max(p.g, 2 * p.o), l=p.L + barrier, P=p.P)
+
+
+def superstep_cost(b: BSPParams, w: float, h: int) -> float:
+    """Cost of one superstep: ``w + g*h + l``."""
+    if w < 0 or h < 0:
+        raise ValueError("w and h must be >= 0")
+    return w + b.g * h + b.l
+
+
+def bsp_total(b: BSPParams, steps: Sequence[tuple[float, int]]) -> float:
+    """Total cost of a superstep sequence of ``(w, h)`` pairs."""
+    return sum(superstep_cost(b, w, h) for w, h in steps)
+
+
+def bsp_sum_cost(b: BSPParams, n: int) -> float:
+    """BSP summation: local sums, then a ``log P``-depth reduction where
+    every superstep is a 1-relation — but each level pays the full
+    ``l``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    local = math.ceil(n / b.P) - 1
+    depth = math.ceil(math.log2(b.P)) if b.P > 1 else 0
+    steps = [(float(local), 0)] + [(1.0, 1)] * depth
+    return bsp_total(b, steps)
+
+
+def bsp_fft_cost(b: BSPParams, n: int) -> float:
+    """BSP hybrid FFT: compute superstep, remap superstep
+    (an ``n/P - n/P**2`` relation), compute superstep.
+
+    BSP "places the scheduling burden on the router which is assumed to
+    be capable of routing any balanced pattern in the desired amount of
+    time" — so naive and staggered schedules cost the same here, which
+    is precisely the distinction LogP exposes.
+    """
+    if n < b.P * b.P:
+        raise ValueError(f"need n >= P**2, got n={n}, P={b.P}")
+    m = n // b.P
+    h = m - n // (b.P * b.P)
+    logn = math.log2(n)
+    rc = math.log2(b.P)
+    return bsp_total(
+        b,
+        [
+            (m * rc, 0),  # phase I columns
+            (0.0, h),  # remap
+            (m * (logn - rc), 0),  # phase III columns
+        ],
+    )
+
+
+def bsp_superstep(
+    rank: int,
+    P: int,
+    work_cycles: float,
+    outgoing: dict[int, list[Any]],
+    step_id: Any,
+    use_hardware_barrier: bool = True,
+):
+    """Run one BSP superstep on the LogP simulator (composable fragment).
+
+    Local compute, send all messages, receive everything addressed here
+    (counts pre-exchanged), then barrier.  Messages become *available*
+    to the caller only after the barrier — BSP's deferred-delivery rule.
+    Returns the received ``(src, payload)`` pairs.
+    """
+    from ..sim.collectives import exchange, software_barrier
+    from ..sim.program import Barrier, Compute
+
+    if work_cycles > 0:
+        yield Compute(work_cycles, label=f"superstep-{step_id}")
+    received = yield from exchange(rank, P, outgoing, tag=("bsp", step_id))
+    if use_hardware_barrier:
+        yield Barrier(name=("bsp", step_id))
+    else:
+        yield from software_barrier(rank, P, tag=("bsp", step_id))
+    return received

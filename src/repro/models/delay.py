@@ -1,0 +1,67 @@
+"""The delay model of Papadimitriou & Yannakakis (Section 6.2, "Latency").
+
+The delay model charges a fixed delay ``d`` between the production of a
+value on one processor and its use on another — and nothing else: no
+overhead, no bandwidth limit, no capacity.  The paper notes the layered
+FFT "is a special case of the 'layered' FFT algorithm proposed in [25]"
+but that the delay model "has no bandwidth limitations and hence no
+contention" — so it cannot rank the naive and staggered remap schedules
+that differ by an order of magnitude on the real machine.
+
+These costings exist as the Section 6 comparison baseline.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "delay_point_to_point",
+    "delay_broadcast_time",
+    "delay_sum_time",
+    "delay_fft_time",
+]
+
+
+def delay_point_to_point(d: float) -> float:
+    """One message: just ``d``."""
+    if d < 0:
+        raise ValueError(f"d must be >= 0, got {d}")
+    return d
+
+
+def delay_broadcast_time(P: int, d: float) -> float:
+    """Optimal delay-model broadcast of one datum to ``P`` processors.
+
+    With no sending cost, an informed processor can inform another every
+    time unit (value production takes the unit); each message takes
+    ``d``.  The informed count obeys the postal recurrence with
+    ``lam = d + 1``; equivalently LogP with ``o=0, g=1, L=d+1...``  For
+    the comparison table we use the standard statement: time
+    ``~ d * log2 P / log2(d+1)`` asymptotically; exactly, the postal
+    bound with integer ``lam = int(d) + 1``.
+    """
+    if P < 1:
+        raise ValueError(f"P must be >= 1, got {P}")
+    from .postal import postal_broadcast_time
+
+    return float(postal_broadcast_time(P, int(d) + 1))
+
+
+def delay_sum_time(n: int, P: int, d: float) -> float:
+    """Delay-model summation: local sums then a combining tree where
+    each level costs ``d + 1``."""
+    if n < 1 or P < 1:
+        raise ValueError("n and P must be >= 1")
+    local = math.ceil(n / P) - 1
+    depth = math.ceil(math.log2(P)) if P > 1 else 0
+    return local + depth * (d + 1)
+
+
+def delay_fft_time(n: int, P: int, d: float) -> float:
+    """Delay-model hybrid FFT: compute + one remap paying a single ``d``
+    (no bandwidth term at all — every message of the all-to-all travels
+    concurrently for free).  Contrast with LogP's ``g*(n/P - n/P**2) + L``."""
+    if n < P * P:
+        raise ValueError(f"need n >= P**2, got n={n}, P={P}")
+    return (n / P) * math.log2(n) + d

@@ -1,0 +1,79 @@
+"""The postal model (Bar-Noy & Kipnis) — Section 3.3, footnote 3.
+
+"A special case of this algorithm with o = 0 and g = 1 appears in [4]."
+In the postal model with latency ``lam``, a sender is busy one time unit
+per message and the message arrives ``lam`` units after the send begins.
+The number of informed processors after broadcasting for ``t`` units
+satisfies the recurrence::
+
+    N(t) = 1                        for 0 <= t < lam
+    N(t) = N(t - 1) + N(t - lam)    otherwise
+
+(each informed processor launches one message per unit; a message
+launched at ``t - lam`` creates a new informed processor at ``t``).
+This module implements the recurrence and the equivalence with the LogP
+optimal broadcast at ``o = 0, g = 1, L = lam`` — a cross-model check the
+tests enforce exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from ..core.params import LogPParams
+
+__all__ = [
+    "postal_informed",
+    "postal_broadcast_time",
+    "postal_equivalent_params",
+]
+
+
+def postal_informed(t: int, lam: int) -> int:
+    """``N(t)``: processors informed after ``t`` units, latency ``lam``.
+
+    ``lam >= 1``; ``lam == 1`` degenerates to doubling (``2**t``).
+    """
+    if lam < 1:
+        raise ValueError(f"lam must be >= 1, got {lam}")
+    if t < 0:
+        raise ValueError(f"t must be >= 0, got {t}")
+    if lam == 1:
+        return 2**t
+
+    @lru_cache(maxsize=None)
+    def N(t: int) -> int:
+        if t < lam:
+            return 1
+        return N(t - 1) + N(t - lam)
+
+    return N(t)
+
+
+def postal_broadcast_time(P: int, lam: int) -> int:
+    """Minimum ``t`` with ``N(t) >= P`` — the optimal postal broadcast
+    time for ``P`` processors."""
+    if P < 1:
+        raise ValueError(f"P must be >= 1, got {P}")
+    t = 0
+    while postal_informed(t, lam) < P:
+        t += 1
+        if t > 64 * lam + 64 + int(4 * math.log2(max(P, 2)) * lam):
+            raise RuntimeError("postal recurrence failed to reach P")
+    return t
+
+
+def postal_equivalent_params(P: int, lam: int) -> LogPParams:
+    """The LogP parameter point equivalent to the postal model:
+    ``o = 0, g = 1, L = lam``.
+
+    With these parameters a LogP sender is free again one unit after a
+    send begins (``max(g, o) = 1``) and the recipient holds the datum
+    ``L + 2o = lam`` after the send begins — exactly postal semantics,
+    so :func:`repro.algorithms.broadcast.optimal_broadcast_time` equals
+    :func:`postal_broadcast_time` for all ``P``.
+    """
+    if lam < 1:
+        raise ValueError(f"lam must be >= 1, got {lam}")
+    return LogPParams(L=lam, o=0, g=1, P=P, name=f"postal(lam={lam})")

@@ -1,0 +1,247 @@
+"""A PRAM simulator — the baseline model LogP argues against (Section 6.1).
+
+The PRAM "assumes that interprocessor communication has infinite
+bandwidth, zero latency, and zero overhead (g = 0, L = 0, o = 0)" and
+that processors run in lockstep against a single shared memory.  This
+module implements that machine faithfully — including the concurrency
+rules of its EREW / CREW / CRCW variants — so that the Section 6
+benchmark can run the *same* algorithms here and on the LogP simulator
+and exhibit the misprediction.
+
+Programs are generators, one per processor; each ``yield`` is one
+synchronous PRAM step::
+
+    def program(pid, n_procs):
+        vals = yield PramStep(reads=[2 * pid, 2 * pid + 1],
+                              write=lambda v: (pid, v[0] + v[1]))
+        ...
+
+Reads happen at the start of the step, writes at the end (the standard
+semantics); the ``write`` callback receives the read values so a step
+can read-modify-write.  Concurrency violations (two readers of one cell
+under EREW; two writers under EREW/CREW; unequal concurrent writes under
+CRCW-common) raise :class:`ConcurrencyViolation`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+__all__ = [
+    "PramStep",
+    "ConcurrencyViolation",
+    "PRAM",
+    "PramResult",
+    "pram_sum_program",
+    "pram_broadcast_program",
+    "pram_sum_steps",
+    "pram_broadcast_steps",
+]
+
+
+class ConcurrencyViolation(RuntimeError):
+    """A read or write pattern forbidden by the PRAM variant."""
+
+
+@dataclass(frozen=True, slots=True)
+class PramStep:
+    """One synchronous step: read cells, then optionally write one cell.
+
+    ``write`` is either ``None``, a ``(addr, value)`` pair, or a callable
+    receiving the list of read values and returning ``(addr, value)`` (or
+    ``None`` to skip the write).
+    """
+
+    reads: tuple[int, ...] = ()
+    write: Any = None
+
+    def __init__(self, reads=(), write=None):
+        object.__setattr__(self, "reads", tuple(reads))
+        object.__setattr__(self, "write", write)
+
+
+@dataclass(slots=True)
+class PramResult:
+    """Outcome of a PRAM run."""
+
+    steps: int
+    memory: list[Any]
+    returns: list[Any]
+
+
+class PRAM:
+    """Synchronous shared-memory machine with concurrency checking.
+
+    Args:
+        n_procs: number of processors.
+        memory_size: shared memory cells (initialized to ``initial`` or 0).
+        mode: ``"EREW"``, ``"CREW"``, ``"CRCW-arbitrary"``,
+            ``"CRCW-common"`` or ``"CRCW-priority"`` (lowest pid wins).
+    """
+
+    _MODES = ("EREW", "CREW", "CRCW-arbitrary", "CRCW-common", "CRCW-priority")
+
+    def __init__(
+        self, n_procs: int, memory_size: int, mode: str = "EREW", initial=None
+    ) -> None:
+        if n_procs < 1:
+            raise ValueError(f"n_procs must be >= 1, got {n_procs}")
+        if memory_size < 0:
+            raise ValueError(f"memory_size must be >= 0, got {memory_size}")
+        if mode not in self._MODES:
+            raise ValueError(f"mode must be one of {self._MODES}, got {mode!r}")
+        self.n_procs = n_procs
+        self.mode = mode
+        self.memory: list[Any] = (
+            list(initial) if initial is not None else [0] * memory_size
+        )
+        if initial is not None and len(self.memory) != memory_size:
+            raise ValueError("initial contents must match memory_size")
+
+    def run(
+        self,
+        factory: Callable[[int, int], Generator],
+        max_steps: int = 1_000_000,
+    ) -> PramResult:
+        """Run one generator per processor to completion, synchronously."""
+        gens = [factory(pid, self.n_procs) for pid in range(self.n_procs)]
+        pending: list[PramStep | None] = [None] * self.n_procs
+        returns: list[Any] = [None] * self.n_procs
+        results: list[Any] = [None] * self.n_procs
+        live = set(range(self.n_procs))
+        steps = 0
+
+        # Prime every program to its first step.
+        for pid in list(live):
+            try:
+                pending[pid] = gens[pid].send(None)
+            except StopIteration as stop:
+                returns[pid] = stop.value
+                live.discard(pid)
+
+        while live:
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError(f"PRAM exceeded {max_steps} steps")
+            # --- read phase ---
+            read_map: dict[int, list[int]] = {}
+            for pid in live:
+                step = pending[pid]
+                for addr in step.reads:
+                    self._check_addr(addr)
+                    read_map.setdefault(addr, []).append(pid)
+            if self.mode == "EREW":
+                for addr, readers in read_map.items():
+                    if len(readers) > 1:
+                        raise ConcurrencyViolation(
+                            f"EREW: cell {addr} read by processors {readers}"
+                        )
+            for pid in live:
+                results[pid] = [self.memory[a] for a in pending[pid].reads]
+            # --- write phase ---
+            writes: dict[int, list[tuple[int, Any]]] = {}
+            for pid in sorted(live):
+                w = pending[pid].write
+                if callable(w):
+                    w = w(results[pid])
+                if w is None:
+                    continue
+                addr, value = w
+                self._check_addr(addr)
+                writes.setdefault(addr, []).append((pid, value))
+            for addr, writers in writes.items():
+                if len(writers) > 1:
+                    if self.mode in ("EREW", "CREW"):
+                        raise ConcurrencyViolation(
+                            f"{self.mode}: cell {addr} written by "
+                            f"processors {[p for p, _ in writers]}"
+                        )
+                    if self.mode == "CRCW-common":
+                        values = {repr(v) for _, v in writers}
+                        if len(values) > 1:
+                            raise ConcurrencyViolation(
+                                f"CRCW-common: unequal writes to cell {addr}"
+                            )
+                # arbitrary -> first in pid order; priority -> lowest pid;
+                # both resolve to writers[0] since pids were sorted.
+                self.memory[addr] = writers[0][1]
+            # --- advance programs ---
+            for pid in list(live):
+                try:
+                    pending[pid] = gens[pid].send(results[pid])
+                except StopIteration as stop:
+                    returns[pid] = stop.value
+                    live.discard(pid)
+
+        return PramResult(steps=steps, memory=self.memory, returns=returns)
+
+    def _check_addr(self, addr: int) -> None:
+        if not 0 <= addr < len(self.memory):
+            raise IndexError(
+                f"address {addr} outside memory of {len(self.memory)} cells"
+            )
+
+
+# ----------------------------------------------------------------------
+# Canonical PRAM algorithms (for the model-comparison benchmark)
+# ----------------------------------------------------------------------
+
+
+def pram_sum_program(n: int):
+    """EREW parallel sum of ``memory[0:n]`` into ``memory[0]`` in
+    ``ceil(log2 n)`` steps with ``n/2`` processors (free communication —
+    the loophole)."""
+
+    def factory(pid: int, P: int):
+        def run():
+            stride = 1
+            while stride < n:
+                a, b = 2 * stride * pid, 2 * stride * pid + stride
+                if b < n:
+                    vals = yield PramStep(
+                        reads=[a, b], write=lambda v, a=a: (a, v[0] + v[1])
+                    )
+                else:
+                    yield PramStep()  # idle, stay in lockstep
+                stride *= 2
+            return None
+
+        return run()
+
+    return factory
+
+
+def pram_broadcast_program(n: int):
+    """EREW broadcast of ``memory[0]`` to cells ``0..n-1`` by recursive
+    doubling in ``ceil(log2 n)`` steps."""
+
+    def factory(pid: int, P: int):
+        def run():
+            have = 1
+            while have < n:
+                src, dst = pid, pid + have
+                if pid < have and dst < n:
+                    vals = yield PramStep(
+                        reads=[src], write=lambda v, dst=dst: (dst, v[0])
+                    )
+                else:
+                    yield PramStep()
+                have *= 2
+            return None
+
+        return run()
+
+    return factory
+
+
+def pram_sum_steps(n: int) -> int:
+    """The PRAM cost model's answer for summing n values: ``ceil(log2 n)``
+    steps, independent of any communication parameter."""
+    return math.ceil(math.log2(n)) if n > 1 else 0
+
+
+def pram_broadcast_steps(n: int) -> int:
+    """PRAM broadcast cost: ``ceil(log2 n)`` (EREW doubling); 1 on CREW."""
+    return math.ceil(math.log2(n)) if n > 1 else 0

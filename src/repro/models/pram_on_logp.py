@@ -1,0 +1,162 @@
+"""Simulating a PRAM on a LogP machine (Section 6.1's warning, measured).
+
+"It has been suggested that the PRAM can serve as a good model for
+expressing the logical structure of parallel algorithms, and that
+implementation of these algorithms can be achieved by general-purpose
+simulations of the PRAM on distributed-memory machines.  However, these
+simulations require powerful interconnection networks, and, even then,
+may be unacceptably slow, especially when network bandwidth and
+processor overhead for sending and receiving messages are properly
+accounted."
+
+This module *is* that general-purpose simulation: it takes an unmodified
+PRAM program (the same generators :class:`repro.models.pram.PRAM` runs)
+and executes it on the LogP machine through the shared-memory layer,
+charging every memory reference and every synchronization at full LogP
+cost.  Each synchronous PRAM step becomes:
+
+1. issue all of the step's reads as prefetches, await them
+   (each remote one a full ``2L + 4o`` round trip, pipelined);
+2. a global fence (reads-before-writes — the PRAM's synchronous
+   semantics);
+3. apply the step's write (an acknowledged remote write);
+4. a second fence (writes complete before the next step's reads).
+
+Concurrent writes resolve in owner arrival order (CRCW-arbitrary);
+programs written for EREW/CREW run unchanged.  The resulting
+*cycles-per-PRAM-step* figure is the slowdown the paper warns about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Sequence
+
+from ..core.params import LogPParams
+from ..sim.dsm import AwaitPrefetch, DSMResult, Fence, Prefetch, Write, run_dsm
+from .pram import PRAM, PramResult, PramStep
+
+__all__ = ["PramOnLogPResult", "run_pram_on_logp", "pram_slowdown"]
+
+
+@dataclass(slots=True)
+class PramOnLogPResult:
+    """Outcome of emulating a PRAM program on the LogP machine."""
+
+    dsm: DSMResult
+    steps: int
+    makespan: float
+    cycles_per_step: float
+    memory: list[Any]
+    returns: list[Any]
+
+
+def _emulated_app(factory: Callable[[int, int], Generator]):
+    def app(rank: int, P: int):
+        gen = factory(rank, P)
+        to_gen: Any = None
+        step_id = 0
+        result: Any = None
+        while True:
+            try:
+                step = gen.send(to_gen)
+            except StopIteration as stop:
+                result = stop.value
+                break
+            if not isinstance(step, PramStep):
+                raise RuntimeError(
+                    f"PRAM programs must yield PramStep, got {step!r}"
+                )
+            # Read phase: pipeline the step's reads as prefetches.
+            handles = []
+            for addr in step.reads:
+                h = yield Prefetch(addr)
+                handles.append(h)
+            vals = []
+            for h in handles:
+                v = yield AwaitPrefetch(h)
+                vals.append(v)
+            yield Fence(("r", step_id))
+            # Write phase.
+            w = step.write
+            if callable(w):
+                w = w(vals)
+            if w is not None:
+                addr, value = w
+                yield Write(addr, value)
+            yield Fence(("w", step_id))
+            to_gen = vals
+            step_id += 1
+        # Drain any remaining fences? Programs are lockstep (the PRAM
+        # machine requires it too), so all ranks exit after the same
+        # number of steps.
+        return (result, step_id)
+
+    return app
+
+
+def run_pram_on_logp(
+    params: LogPParams,
+    factory: Callable[[int, int], Generator],
+    memory_size: int,
+    initial: Sequence[Any] | None = None,
+    **machine_kwargs: Any,
+) -> PramOnLogPResult:
+    """Run one PRAM program per LogP processor (``params.P`` of them)
+    against a block-distributed shared memory of ``memory_size`` cells.
+
+    The program factory is exactly what :meth:`repro.models.pram.PRAM.run`
+    takes; programs must stay in lockstep (yield idle ``PramStep()``
+    when inactive), as on the synchronous machine.
+    """
+    contents = list(initial) if initial is not None else [0] * memory_size
+    if len(contents) != memory_size:
+        raise ValueError("initial contents must match memory_size")
+    dsm = run_dsm(params, _emulated_app(factory), contents, **machine_kwargs)
+    steps = max((v[1] for v in dsm.values), default=0)
+    lockstep = {v[1] for v in dsm.values}
+    if len(lockstep) > 1:
+        raise RuntimeError(
+            f"PRAM programs fell out of lockstep: step counts {lockstep}"
+        )
+    return PramOnLogPResult(
+        dsm=dsm,
+        steps=steps,
+        makespan=dsm.makespan,
+        cycles_per_step=dsm.makespan / steps if steps else 0.0,
+        memory=list(dsm.memory),
+        returns=[v[0] for v in dsm.values],
+    )
+
+
+def pram_slowdown(
+    params: LogPParams,
+    factory: Callable[[int, int], Generator],
+    memory_size: int,
+    initial: Sequence[Any] | None = None,
+    mode: str = "CRCW-arbitrary",
+) -> tuple[PramResult, PramOnLogPResult, float]:
+    """Run the same program on the ideal PRAM and on the LogP machine;
+    returns ``(pram_result, logp_result, cycles_per_pram_step)``.
+
+    The two executions must agree on final memory and return values —
+    the emulation is checked, not assumed.
+    """
+    pram = PRAM(
+        params.P, memory_size, mode=mode,
+        initial=list(initial) if initial is not None else None,
+    )
+    ideal = pram.run(factory)
+    emulated = run_pram_on_logp(params, factory, memory_size, initial)
+    if list(ideal.memory) != list(emulated.memory):
+        raise AssertionError(
+            "PRAM-on-LogP diverged from the ideal PRAM: "
+            f"{ideal.memory} vs {emulated.memory}"
+        )
+    if ideal.returns != emulated.returns:
+        raise AssertionError("return values diverged")
+    if ideal.steps != emulated.steps:
+        raise AssertionError(
+            f"step counts diverged: {ideal.steps} vs {emulated.steps}"
+        )
+    return ideal, emulated, emulated.cycles_per_step

@@ -1,0 +1,62 @@
+"""The scan-model (Section 6.2, "Other primitive parallel operations").
+
+"The scan-model is an EREW PRAM model extended with unit-time scan
+operations (data independent prefix operations), i.e., it assumes that
+certain scan operations can be executed as fast as parallel memory
+references.  For integer scan operations this is approximately the case
+on the CM-2 and CM-5."
+
+As a cost model the scan-model charges one step for any scan (and hence
+for reductions and broadcasts, which are scans plus a read); under LogP
+the same operations cost ``Theta(log P)`` message rounds — see
+:func:`repro.sim.collectives.prefix_scan`.  These functions provide the
+scan-model's predictions for the Section 6 comparison table, plus the
+LogP cost of emulating one scan in software.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.params import LogPParams
+
+__all__ = [
+    "scan_model_scan_steps",
+    "scan_model_sum_steps",
+    "scan_model_broadcast_steps",
+    "logp_scan_time",
+]
+
+
+def scan_model_scan_steps(n: int) -> int:
+    """A scan over any number of elements: one step, by assumption."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return 1
+
+
+def scan_model_sum_steps(n: int) -> int:
+    """Summation = one scan (take the last element): one step."""
+    return scan_model_scan_steps(n)
+
+
+def scan_model_broadcast_steps(n: int) -> int:
+    """Broadcast = one max-scan from the source: one step."""
+    return scan_model_scan_steps(n)
+
+
+def logp_scan_time(p: LogPParams) -> float:
+    """What one scan costs when built from messages under LogP:
+    ``ceil(log2 P)`` recursive-doubling rounds, each a send/fly/receive
+    plus the combine — the price the scan-model assumes away.
+
+    The recursive-doubling schedule's longest chain is through the
+    highest rank: it receives in every round, ``L + 2o + 1`` behind the
+    sender's value each time, with round r's send available ``max(g, o)``
+    after round r-1's receive completes.
+    """
+    rounds = math.ceil(math.log2(p.P)) if p.P > 1 else 0
+    if rounds == 0:
+        return 0.0
+    per_round = p.L + 2 * p.o + 1
+    return rounds * per_round + (rounds - 1) * max(p.g - per_round, 0.0)

@@ -1,0 +1,109 @@
+"""Discrete-event simulator of a LogP machine.
+
+Build a :class:`LogPMachine` from :class:`~repro.core.params.LogPParams`,
+hand it one generator program per processor (see :mod:`repro.sim.program`)
+and run.  The simulator enforces every clause of the model — overhead,
+send/receive gaps, the latency bound, and the ``ceil(L/g)`` capacity
+constraint with sender stalling — and returns both the programs' return
+values (real data flows through messages) and a full activity trace.
+"""
+
+from .collectives import (
+    all_reduce,
+    all_to_all,
+    exchange,
+    binomial_broadcast,
+    binomial_children,
+    binomial_parent,
+    binomial_reduce,
+    group_broadcast,
+    hardware_barrier,
+    prefix_scan,
+    software_barrier,
+    tree_broadcast,
+    tree_reduce,
+)
+from .dsm import (
+    AwaitPrefetch,
+    DSMResult,
+    Fence,
+    Prefetch,
+    Read,
+    Write,
+    block_owner,
+    run_dsm,
+)
+from .engine import Engine, SimulationError
+from .latency import FixedLatency, JitteredLatency, LatencyModel, UniformLatency
+from .machine import LogPMachine, MachineResult, run_programs
+from .program import (
+    Barrier,
+    Compute,
+    Now,
+    Poll,
+    ProgramResult,
+    ReceivedMessage,
+    Recv,
+    Send,
+    Sleep,
+)
+from .trace import (
+    MessageStats,
+    UtilizationBreakdown,
+    communication_rate,
+    message_stats,
+    receive_histogram,
+    utilization,
+)
+from .validate import ValidationReport, Violation, validate_schedule
+
+__all__ = [
+    "Engine",
+    "SimulationError",
+    "LogPMachine",
+    "MachineResult",
+    "run_programs",
+    "Send",
+    "Recv",
+    "Compute",
+    "Sleep",
+    "Now",
+    "Poll",
+    "Barrier",
+    "ReceivedMessage",
+    "ProgramResult",
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "JitteredLatency",
+    "binomial_parent",
+    "binomial_children",
+    "binomial_broadcast",
+    "binomial_reduce",
+    "tree_broadcast",
+    "tree_reduce",
+    "software_barrier",
+    "hardware_barrier",
+    "all_to_all",
+    "all_reduce",
+    "exchange",
+    "Read",
+    "Write",
+    "Prefetch",
+    "AwaitPrefetch",
+    "Fence",
+    "DSMResult",
+    "run_dsm",
+    "block_owner",
+    "group_broadcast",
+    "prefix_scan",
+    "utilization",
+    "UtilizationBreakdown",
+    "message_stats",
+    "MessageStats",
+    "communication_rate",
+    "receive_histogram",
+    "validate_schedule",
+    "ValidationReport",
+    "Violation",
+]

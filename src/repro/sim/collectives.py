@@ -1,0 +1,389 @@
+"""Collective operations built from point-to-point messages.
+
+LogP gives the programmer nothing but sends and receives: "In LogP,
+processors must explicitly send messages to perform these operations"
+(Section 5.5).  These generators are composable program fragments — use
+them inside a processor program with ``yield from``::
+
+    def program(rank, P):
+        value = yield from binomial_broadcast(rank, P, rank == 0 and 42)
+        total = yield from tree_reduce(rank, P, value, operator.add)
+        yield from software_barrier(rank, P, tag="phase1")
+
+Every collective tags its messages so that adjacent collectives in one
+program cannot steal each other's traffic.
+
+The *optimal* LogP broadcast and summation (Section 3.3) need machine-
+parameter-aware trees; those live in :mod:`repro.algorithms.broadcast`
+and :mod:`repro.algorithms.summation` and are executed through
+:func:`tree_broadcast` / explicit schedules.  The binomial forms here are
+the parameter-oblivious baselines.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Generator, Hashable, Sequence
+
+from .program import Barrier, Recv, Send
+
+__all__ = [
+    "binomial_parent",
+    "binomial_children",
+    "binomial_broadcast",
+    "binomial_reduce",
+    "tree_broadcast",
+    "tree_reduce",
+    "software_barrier",
+    "all_to_all",
+    "hardware_barrier",
+    "exchange",
+    "all_reduce",
+    "group_broadcast",
+    "prefix_scan",
+]
+
+Gen = Generator[Any, Any, Any]
+
+
+def binomial_parent(rank: int, P: int, root: int = 0) -> int | None:
+    """Parent of ``rank`` in the binomial broadcast tree rooted at
+    ``root`` (``None`` for the root itself)."""
+    r = (rank - root) % P
+    if r == 0:
+        return None
+    # Clear the highest set bit of r.
+    high = 1 << (r.bit_length() - 1)
+    return ((r - high) + root) % P
+
+
+def binomial_children(rank: int, P: int, root: int = 0) -> list[int]:
+    """Children of ``rank`` in the binomial tree rooted at ``root``,
+    largest subtree first (the order that minimizes completion time)."""
+    r = (rank - root) % P
+    children: list[int] = []
+    bit = 1 << (r.bit_length() if r else 0)
+    # Children of r are r + 2^k for 2^k > r's highest bit, while < P.
+    k = bit
+    while r + k < P:
+        children.append(((r + k) + root) % P)
+        k <<= 1
+    children.reverse()  # largest subtree first
+    return children
+
+
+def binomial_broadcast(
+    rank: int, P: int, value: Any, root: int = 0, tag: Hashable = "bcast"
+) -> Gen:
+    """Broadcast ``value`` (meaningful at ``root`` only) to all ranks via
+    the binomial tree.  Returns the broadcast value on every rank."""
+    if P == 1:
+        return value
+    if rank != root:
+        msg = yield Recv(tag=tag)
+        value = msg.payload
+    for child in binomial_children(rank, P, root):
+        yield Send(child, payload=value, tag=tag)
+    return value
+
+
+def binomial_reduce(
+    rank: int,
+    P: int,
+    value: Any,
+    combine: Callable[[Any, Any], Any] = operator.add,
+    root: int = 0,
+    tag: Hashable = "reduce",
+) -> Gen:
+    """Reduce every rank's ``value`` to ``root`` over the binomial tree.
+
+    Returns the reduction at ``root`` and ``None`` elsewhere.  ``combine``
+    must be associative; commutativity is not required (children are
+    combined in deterministic rank order).
+    """
+    if P == 1:
+        return value
+    acc = value
+    # Receive from children in *reverse* schedule order so the deepest
+    # subtree (sent to first in broadcast) is awaited first here.
+    for child in binomial_children(rank, P, root):
+        msg = yield Recv(tag=(tag, child))
+        acc = combine(acc, msg.payload)
+    parent = binomial_parent(rank, P, root)
+    if parent is not None:
+        yield Send(parent, payload=acc, tag=(tag, rank))
+        return None
+    return acc
+
+
+def tree_broadcast(
+    rank: int,
+    P: int,
+    value: Any,
+    children_of: Sequence[Sequence[int]],
+    root: int = 0,
+    tag: Hashable = "tbcast",
+) -> Gen:
+    """Broadcast over an explicit tree (e.g. the optimal LogP tree).
+
+    ``children_of[r]`` lists r's children in the order they should be
+    sent to (earliest-deadline first for the optimal tree).
+    """
+    if P == 1:
+        return value
+    if rank != root:
+        msg = yield Recv(tag=tag)
+        value = msg.payload
+    for child in children_of[rank]:
+        yield Send(child, payload=value, tag=tag)
+    return value
+
+
+def tree_reduce(
+    rank: int,
+    P: int,
+    value: Any,
+    combine: Callable[[Any, Any], Any] = operator.add,
+    children_of: Sequence[Sequence[int]] | None = None,
+    root: int = 0,
+    tag: Hashable = "treduce",
+) -> Gen:
+    """Reduce over an explicit tree (binomial if ``children_of`` is None).
+
+    Children are awaited in reverse send order: the child sent to last in
+    the mirrored broadcast finishes earliest, so we consume it first.
+    """
+    if P == 1:
+        return value
+    if children_of is None:
+        children = binomial_children(rank, P, root)
+    else:
+        children = list(children_of[rank])
+    acc = value
+    for child in reversed(children):
+        msg = yield Recv(tag=(tag, child))
+        acc = combine(acc, msg.payload)
+    if rank != root:
+        parent = _parent_from_children(rank, P, children_of, root)
+        yield Send(parent, payload=acc, tag=(tag, rank))
+        return None
+    return acc
+
+
+def _parent_from_children(
+    rank: int,
+    P: int,
+    children_of: Sequence[Sequence[int]] | None,
+    root: int,
+) -> int:
+    if children_of is None:
+        parent = binomial_parent(rank, P, root)
+        assert parent is not None
+        return parent
+    for r in range(P):
+        if rank in children_of[r]:
+            return r
+    raise ValueError(f"rank {rank} has no parent in the supplied tree")
+
+
+def software_barrier(rank: int, P: int, tag: Hashable = "barrier") -> Gen:
+    """Barrier from messages alone: binomial reduce then broadcast.
+
+    Costs roughly ``2 ceil(log2 P) (L + 2o)`` — the price Section 6.3
+    notes LogP pays for synchronization relative to BSP's assumed
+    hardware.
+    """
+    if P == 1:
+        return None
+    yield from binomial_reduce(
+        rank, P, 0, operator.add, root=0, tag=("sb-up", tag)
+    )
+    yield from binomial_broadcast(rank, P, None, root=0, tag=("sb-down", tag))
+    return None
+
+
+def hardware_barrier(name: Hashable = None) -> Gen:
+    """The machine's hardware barrier as a composable fragment."""
+    yield Barrier(name=name)
+    return None
+
+
+def all_to_all(
+    rank: int,
+    P: int,
+    outgoing: dict[int, Sequence[Any]],
+    expected: int,
+    stagger: bool = True,
+    tag: Hashable = "a2a",
+) -> Gen:
+    """Personalized all-to-all: send ``outgoing[dst]`` element-wise to
+    each destination, then collect ``expected`` incoming messages.
+
+    ``stagger=True`` uses the contention-free schedule of Section 4.1.2:
+    processor ``i`` starts with destination ``i+1`` and wraps around, so
+    no two processors ever target the same destination in the same gap
+    slot.  ``stagger=False`` is the naive schedule — every processor
+    walks destinations ``0, 1, 2, ...`` in the same order, flooding each
+    destination in turn ("all processors first send data to processor 0,
+    then all to processor 1, and so on").
+
+    Returns the list of received messages (order of reception).
+    """
+    if expected < 0:
+        raise ValueError(f"expected must be >= 0, got {expected}")
+    for dst in outgoing:
+        if dst == rank:
+            raise ValueError("outgoing must not include the local rank")
+        if not 0 <= dst < P:
+            raise ValueError(f"destination {dst} out of range")
+
+    if stagger:
+        order = [(rank + k) % P for k in range(1, P)]
+    else:
+        order = [d for d in range(P) if d != rank]
+
+    for dst in order:
+        for item in outgoing.get(dst, ()):
+            yield Send(dst, payload=item, tag=tag)
+
+    received = []
+    for _ in range(expected):
+        msg = yield Recv(tag=tag)
+        received.append(msg)
+    return received
+
+
+def exchange(
+    rank: int,
+    P: int,
+    outgoing: dict[int, Sequence[Any]],
+    tag: Hashable = "xchg",
+) -> Gen:
+    """Irregular all-to-all where receivers don't know the counts.
+
+    Two staggered sweeps: first every pair exchanges its message *count*
+    (one small message each way, including zeros), then the payloads
+    flow.  This is the standard pattern for data-dependent communication
+    (splitter sort's key redistribution, the connected-components query
+    rounds) where an h-relation's ``h`` is only known at runtime.
+
+    Returns the received ``(src, payload)`` pairs.
+    """
+    counts = {d: len(outgoing.get(d, ())) for d in range(P) if d != rank}
+    order = [(rank + k) % P for k in range(1, P)]
+    for dst in order:
+        yield Send(dst, payload=counts[dst], tag=("xc", tag))
+    expected_from: dict[int, int] = {}
+    for _ in range(P - 1):
+        msg = yield Recv(tag=("xc", tag))
+        expected_from[msg.src] = msg.payload
+    for dst in order:
+        for item in outgoing.get(dst, ()):
+            yield Send(dst, payload=item, tag=("xp", tag))
+    total = sum(expected_from.values())
+    received: list[tuple[int, Any]] = []
+    for _ in range(total):
+        msg = yield Recv(tag=("xp", tag))
+        received.append((msg.src, msg.payload))
+    return received
+
+
+def group_broadcast(
+    rank: int,
+    members: Sequence[int],
+    value: Any,
+    root: int,
+    tag: Hashable = "gbcast",
+    words: int = 1,
+) -> Gen:
+    """Broadcast within an arbitrary subgroup of processors.
+
+    ``members`` lists the participating ranks (the caller must be one of
+    them; non-members must not call this).  A binomial tree is built
+    over the member *indices*, so any subgroup — a processor row of a
+    grid, a fat-tree subtree — works.  ``words`` sends the payload as a
+    long message (LogGP machines).
+
+    Returns the broadcast value on every member.
+    """
+    members = list(members)
+    if rank not in members:
+        raise ValueError(f"rank {rank} is not in the group {members}")
+    if root not in members:
+        raise ValueError(f"root {root} is not in the group {members}")
+    P = len(members)
+    if P == 1:
+        return value
+    index = {m: i for i, m in enumerate(members)}
+    my = index[rank]
+    root_i = index[root]
+    if rank != root:
+        msg = yield Recv(tag=tag)
+        value = msg.payload
+    for child_i in binomial_children(my, P, root_i):
+        yield Send(members[child_i], payload=value, tag=tag, words=words)
+    return value
+
+
+def prefix_scan(
+    rank: int,
+    P: int,
+    value: Any,
+    combine: Callable[[Any, Any], Any] = operator.add,
+    inclusive: bool = True,
+    identity: Any = 0,
+    tag: Hashable = "scan",
+) -> Gen:
+    """Parallel prefix (scan) by recursive doubling.
+
+    Section 5.5 notes some machines offer scans in hardware (the CM-5's
+    control network, the scan-model of Section 6.2 even makes them unit
+    time); under LogP they cost ``ceil(log2 P)`` rounds of messages.
+    Returns the inclusive (default) or exclusive prefix of ``combine``
+    over ranks ``0..rank``.
+    """
+    if P == 1:
+        return value if inclusive else identity
+    acc = value  # inclusive prefix of the window ending at this rank
+    carried = value  # combined value of the window starting at this rank
+    del carried  # recursive doubling needs only the prefix accumulator
+    distance = 1
+    step = 0
+    while distance < P:
+        # Send my current prefix to rank + distance; receive from
+        # rank - distance.  Values always flow upward, so the combine
+        # order is preserved for non-commutative operators.
+        if rank + distance < P:
+            yield Send(rank + distance, payload=acc, tag=(tag, step))
+        if rank - distance >= 0:
+            msg = yield Recv(tag=(tag, step))
+            acc = combine(msg.payload, acc)
+        distance <<= 1
+        step += 1
+    if inclusive:
+        return acc
+    # Exclusive scan: shift the inclusive results up by one rank.
+    if rank + 1 < P:
+        yield Send(rank + 1, payload=acc, tag=(tag, "shift"))
+    if rank > 0:
+        msg = yield Recv(tag=(tag, "shift"))
+        return msg.payload
+    return identity
+
+
+def all_reduce(
+    rank: int,
+    P: int,
+    value: Any,
+    combine: Callable[[Any, Any], Any] = operator.add,
+    tag: Hashable = "allred",
+) -> Gen:
+    """Reduce to rank 0 then broadcast the result — every rank returns
+    the full reduction.  Used for convergence tests (global OR/SUM)."""
+    total = yield from binomial_reduce(
+        rank, P, value, combine, root=0, tag=("ar-up", tag)
+    )
+    total = yield from binomial_broadcast(
+        rank, P, total, root=0, tag=("ar-down", tag)
+    )
+    return total

@@ -1,0 +1,349 @@
+"""Shared memory on message passing — the Section 3.2 reading costs.
+
+"Although the model is stated in terms of primitive message events, we
+do not assume that algorithms must be described in terms of explicit
+message passing operations ... Shared memory models are implemented on
+distributed memory machines through an implicit exchange of messages.
+Under LogP, reading a remote location requires time 2L + 4o.  Prefetch
+operations, which initiate a read and continue, can be issued every g
+cycles and cost 2o units of processing time."
+
+This module provides that layer.  A global array is block-distributed;
+application programs yield DSM operations —
+
+* ``Read(addr)`` — blocking remote (or local) read;
+* ``Write(addr, value)`` — acknowledged remote write;
+* ``Prefetch(addr)`` — issue the request and continue; returns a handle;
+* ``AwaitPrefetch(handle)`` — block until the prefetched value arrived;
+
+— freely mixed with ``Compute`` and the other simulator actions.  Each
+rank's program is wrapped in a *driver* that multiplexes the rank's own
+replies with service of other ranks' requests over a single receive
+loop: whenever the application is waiting (or finished), the processor
+answers incoming requests in arrival order — the active-message server
+discipline.  Termination uses a done-token protocol so every processor
+keeps serving until all applications have completed.
+
+The costs fall out of the machine semantics, not from bespoke charging:
+a remote read on an idle owner takes exactly ``2L + 4o``; a prefetch
+consumes ``2o`` of requester processor time (one send now, one receive
+later); contention at a hot owner emerges as queueing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Sequence
+
+import numpy as np
+
+from ..core.params import LogPParams
+from .machine import LogPMachine, MachineResult
+from .program import Barrier, Compute, Now, Poll, Recv, Send, Sleep
+
+__all__ = [
+    "Read",
+    "Write",
+    "Prefetch",
+    "AwaitPrefetch",
+    "Fence",
+    "DSMResult",
+    "run_dsm",
+    "block_owner",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Read:
+    """Blocking read of global address ``addr``; yields the value."""
+
+    addr: int
+
+
+@dataclass(frozen=True, slots=True)
+class Write:
+    """Acknowledged write of global address ``addr``; yields when the
+    owner has applied it."""
+
+    addr: int
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Prefetch:
+    """Issue a read and continue; yields a handle for AwaitPrefetch."""
+
+    addr: int
+
+
+@dataclass(frozen=True, slots=True)
+class AwaitPrefetch:
+    """Block until the prefetch identified by ``handle`` has landed;
+    yields the value."""
+
+    handle: int
+
+
+@dataclass(frozen=True, slots=True)
+class Fence:
+    """A DSM-aware global barrier.
+
+    Unlike the machine's hardware ``Barrier`` — which would park the
+    driver and deadlock against another rank's pending read — a Fence
+    keeps every waiting processor *serving* remote requests until all P
+    applications have reached the same fence.  This is the
+    synchronization primitive PRAM-on-LogP emulation uses between the
+    read and write phases of each synchronous step.
+
+    ``name`` must be globally unique per fence (e.g. a step counter).
+    """
+
+    name: Any
+
+
+@dataclass(slots=True)
+class DSMResult:
+    """Outcome of a DSM run."""
+
+    machine: MachineResult
+    memory: np.ndarray  # final global array contents
+    values: list[Any]  # application return values
+
+    @property
+    def makespan(self) -> float:
+        return self.machine.makespan
+
+
+def block_owner(addr: int, size: int, P: int) -> int:
+    """Owner of a global address under block distribution."""
+    if not 0 <= addr < size:
+        raise IndexError(f"address {addr} outside global array of {size}")
+    chunk = -(-size // P)
+    return min(addr // chunk, P - 1)
+
+
+_REQ = "dsm-req"
+_REP = "dsm-rep"
+_DONE = "dsm-done"
+_STOP = "dsm-stop"
+_FUP = "dsm-fence-up"
+_FDN = "dsm-fence-down"
+
+
+def run_dsm(
+    params: LogPParams,
+    app_factory: Callable[[int, int], Generator],
+    initial: Sequence[Any],
+    cache_reads: bool = False,
+    **machine_kwargs: Any,
+) -> DSMResult:
+    """Run one DSM application program per processor.
+
+    ``initial`` seeds the block-distributed global array.  Application
+    programs may yield DSM operations plus ``Compute``/``Sleep``/``Now``/
+    ``Poll`` (raw ``Send``/``Recv`` are rejected — the driver owns the
+    message namespace).
+
+    ``cache_reads=True`` models the migration note of Section 3.2
+    ("some recent machines migrate locations to local caches when they
+    are referenced; this would be addressed in algorithm analysis by
+    adjusting which references are remote"): a remote read caches the
+    value locally and repeat reads become local.  No coherence protocol
+    is modeled — a processor's own write invalidates its own cached
+    copy, but remote caches are not invalidated, so enable this only
+    for data that is read-only or single-writer during the cached
+    phase, exactly as the paper's cost-accounting framing implies.
+    """
+    size = len(initial)
+
+    def driver_factory(rank: int, P: int):
+        chunk = -(-size // P)
+        lo = rank * chunk
+        shard = list(initial[lo : min(size, lo + chunk)])
+        app = app_factory(rank, P)
+
+        def owner_of(addr: int) -> int:
+            return block_owner(addr, size, P)
+
+        def run():
+            handles = itertools.count()
+            arrived: dict[int, Any] = {}  # handle -> value
+            read_cache: dict[int, Any] = {}
+            app_value = None
+            app_done = False
+            to_app: Any = None
+            state = {
+                "done_seen": 0,  # rank 0 only
+                "stop": False,
+            }
+            fence_counts: dict[Any, int] = {}  # rank 0 only
+            fence_released: set = set()
+
+            def serve(msg) -> list:
+                """Handle one incoming driver message; returns sends."""
+                kind = msg.payload[0]
+                if kind == "read":
+                    _, addr, handle = msg.payload
+                    return [
+                        Send(
+                            msg.src,
+                            payload=("value", handle, shard[addr - lo]),
+                            tag=_REP,
+                        )
+                    ]
+                if kind == "write":
+                    _, addr, value, handle = msg.payload
+                    shard[addr - lo] = value
+                    return [
+                        Send(msg.src, payload=("ack", handle, None), tag=_REP)
+                    ]
+                raise AssertionError(f"unknown request {msg.payload!r}")
+
+            def pump(done) -> Any:
+                """Serve all driver traffic until ``done()`` is true."""
+                while not done():
+                    msg = yield Recv()
+                    if msg.tag == _REQ:
+                        for action in serve(msg):
+                            yield action
+                    elif msg.tag == _REP:
+                        _, h, value = msg.payload
+                        arrived[h] = value
+                    elif msg.tag == _DONE:
+                        state["done_seen"] += 1
+                    elif msg.tag == _FUP:
+                        fid = msg.payload
+                        fence_counts[fid] = fence_counts.get(fid, 0) + 1
+                    elif msg.tag == _FDN:
+                        fence_released.add(msg.payload)
+                    elif msg.tag == _STOP:
+                        state["stop"] = True
+                    else:  # pragma: no cover - defensive
+                        raise AssertionError(f"stray message {msg.tag!r}")
+
+            def wait_for(handle: int):
+                """Serve the loop until ``handle``'s reply arrives."""
+                yield from pump(lambda: handle in arrived)
+                return arrived.pop(handle)
+
+            def fence(fid) -> Any:
+                """Global DSM barrier that keeps serving while waiting."""
+                if rank == 0:
+                    fence_counts[fid] = fence_counts.get(fid, 0) + 1
+                    yield from pump(lambda: fence_counts.get(fid, 0) >= P)
+                    del fence_counts[fid]
+                    for other in range(1, P):
+                        yield Send(other, payload=fid, tag=_FDN)
+                else:
+                    yield Send(0, payload=fid, tag=_FUP)
+                    yield from pump(lambda: fid in fence_released)
+                    fence_released.discard(fid)
+
+            def issue(addr: int, payload_kind: str, value: Any = None):
+                handle = next(handles)
+                owner = owner_of(addr)
+                if owner == rank:
+                    # Local: serviced by the memory system without
+                    # messages; charge one local access cycle.
+                    if payload_kind == "write":
+                        shard[addr - lo] = value
+                    result = shard[addr - lo]
+                    arrived[handle] = (
+                        None if payload_kind == "write" else result
+                    )
+                    return handle, True
+                if payload_kind == "read":
+                    payload = ("read", addr, handle)
+                else:
+                    payload = ("write", addr, value, handle)
+                return handle, False, Send(owner, payload=payload, tag=_REQ)
+
+            # ---- main loop: advance the app, serving in the gaps ----
+            while not app_done:
+                try:
+                    op = app.send(to_app)
+                except StopIteration as fin:
+                    app_value = fin.value
+                    app_done = True
+                    break
+                to_app = None
+                if isinstance(op, Read):
+                    if cache_reads and op.addr in read_cache:
+                        yield Compute(1, label="cached-read")
+                        to_app = read_cache[op.addr]
+                        continue
+                    out = issue(op.addr, "read")
+                    if out[1]:
+                        yield Compute(1, label="local-read")
+                        to_app = arrived.pop(out[0])
+                    else:
+                        yield out[2]
+                        to_app = yield from wait_for(out[0])
+                        if cache_reads:
+                            read_cache[op.addr] = to_app
+                elif isinstance(op, Write):
+                    read_cache.pop(op.addr, None)
+                    out = issue(op.addr, "write", op.value)
+                    if out[1]:
+                        yield Compute(1, label="local-write")
+                        arrived.pop(out[0])
+                        to_app = None
+                    else:
+                        yield out[2]
+                        yield from wait_for(out[0])
+                        to_app = None
+                elif isinstance(op, Prefetch):
+                    out = issue(op.addr, "read")
+                    if not out[1]:
+                        yield out[2]
+                    to_app = out[0]
+                elif isinstance(op, AwaitPrefetch):
+                    if op.handle in arrived:
+                        to_app = arrived.pop(op.handle)
+                    else:
+                        to_app = yield from wait_for(op.handle)
+                elif isinstance(op, Fence):
+                    yield from fence(op.name)
+                    to_app = None
+                elif isinstance(op, Barrier):
+                    raise RuntimeError(
+                        "DSM applications must use Fence, not the "
+                        "machine Barrier: a parked driver cannot serve "
+                        "remote requests and would deadlock"
+                    )
+                elif isinstance(op, (Compute, Sleep, Now, Poll)):
+                    to_app = yield op
+                elif isinstance(op, (Send, Recv)):
+                    raise RuntimeError(
+                        "DSM applications must not use raw Send/Recv; "
+                        "the driver owns the message namespace"
+                    )
+                else:
+                    raise RuntimeError(f"unknown DSM app action {op!r}")
+
+            # ---- termination: keep serving until everyone is done ----
+            if rank == 0:
+                state["done_seen"] += 1  # self
+                yield from pump(lambda: state["done_seen"] >= P)
+                for other in range(1, P):
+                    yield Send(other, payload=("stop",), tag=_STOP)
+            else:
+                yield Send(0, payload=("done",), tag=_DONE)
+                yield from pump(lambda: state["stop"])
+            return (app_value, shard)
+
+        return run()
+
+    machine = LogPMachine(params, **machine_kwargs)
+    res = machine.run(driver_factory)
+    memory = np.empty(size, dtype=object)
+    values = []
+    chunk = -(-size // params.P)
+    for rank in range(params.P):
+        app_value, shard = res.value(rank)
+        values.append(app_value)
+        lo = rank * chunk
+        for i, v in enumerate(shard):
+            memory[lo + i] = v
+    return DSMResult(machine=res, memory=memory, values=values)

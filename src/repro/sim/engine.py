@@ -1,0 +1,105 @@
+"""A minimal deterministic discrete-event simulation kernel.
+
+The LogP machine simulator (:mod:`repro.sim.machine`) is built on this
+kernel.  It is intentionally tiny: a priority queue of ``(time, seq,
+callback)`` entries with strictly deterministic ordering — ties in time
+are broken by insertion sequence number, so two runs of the same program
+produce bit-identical traces.
+
+No external simulation framework is used; this is the event engine the
+reproduction runs on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+__all__ = ["Engine", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for simulator-level failures: deadlock, exhausted event
+    budget, or events scheduled in the past."""
+
+
+class Engine:
+    """Deterministic event queue.
+
+    Events are zero-argument callables executed in ``(time, seq)`` order.
+    ``seq`` is a global insertion counter, which makes simultaneous
+    events execute in the order they were scheduled.
+
+    Args:
+        max_events: safety valve — :meth:`run` raises
+            :class:`SimulationError` after this many events, which turns
+            accidental infinite zero-delay loops into a clean failure.
+    """
+
+    def __init__(self, max_events: int = 50_000_000) -> None:
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._max_events = max_events
+        self._events_run = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (cycles)."""
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        """Number of events executed so far."""
+        return self._events_run
+
+    def schedule(self, time: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run at absolute ``time``.
+
+        Scheduling at the current time is allowed (the event runs after
+        all previously scheduled events at that time); scheduling in the
+        past is an error.
+        """
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"event scheduled at {time} before current time {self._now}"
+            )
+        heapq.heappush(self._queue, (max(time, self._now), next(self._seq), fn))
+
+    def schedule_after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` to run ``delay`` cycles from now (``delay >= 0``)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule(self._now + delay, fn)
+
+    def run(self, until: float | None = None) -> float:
+        """Run events until the queue drains (or past ``until``).
+
+        Returns the final simulation time.  If ``until`` is given, events
+        at times ``> until`` are left queued and the clock stops at
+        ``until`` (or the last executed event, whichever is later).
+        """
+        while self._queue:
+            time, _, fn = self._queue[0]
+            if until is not None and time > until:
+                self._now = max(self._now, until)
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = time
+            self._events_run += 1
+            if self._events_run > self._max_events:
+                raise SimulationError(
+                    f"event budget of {self._max_events} exhausted at "
+                    f"t={self._now}; likely a zero-delay loop or a "
+                    "runaway program"
+                )
+            fn()
+        return self._now
+
+    def peek(self) -> float | None:
+        """Time of the next queued event, or ``None`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else None
+
+    def empty(self) -> bool:
+        return not self._queue

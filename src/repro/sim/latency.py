@@ -1,0 +1,96 @@
+"""Network latency models.
+
+LogP treats ``L`` as an *upper bound*: "the latency experienced by any
+message is unpredictable, but is bounded above by L in the absence of
+stalls" (Section 3).  The simulator therefore lets the network draw each
+message's flight time from a model:
+
+* :class:`FixedLatency` — every message takes exactly ``L``.  This is the
+  convention the paper's running-time analyses use ("in estimating the
+  running time of an algorithm, we assume that each message incurs a
+  latency of L") and what the analytical/simulated cross-checks rely on.
+* :class:`UniformLatency` — flight times uniform in ``[lo_frac*L, L]``;
+  messages to the same destination may be reordered, exercising the
+  model's out-of-order delivery clause.
+* :class:`JitteredLatency` — ``L`` minus truncated-exponential slack;
+  most messages near the bound, a tail arriving early.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LatencyModel", "FixedLatency", "UniformLatency", "JitteredLatency"]
+
+
+class LatencyModel:
+    """Draws per-message network flight times, all ``<= L``."""
+
+    def __init__(self, L: float) -> None:
+        if L < 0:
+            raise ValueError(f"L must be >= 0, got {L}")
+        self.L = L
+
+    def draw(self, src: int, dst: int) -> float:
+        """Flight time for one message from ``src`` to ``dst``."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restore the initial random state (for reproducible reruns)."""
+
+
+class FixedLatency(LatencyModel):
+    """Every message takes exactly ``L`` cycles (deterministic runs)."""
+
+    def draw(self, src: int, dst: int) -> float:
+        return self.L
+
+
+class UniformLatency(LatencyModel):
+    """Flight times uniform in ``[lo_frac * L, L]``.
+
+    Args:
+        L: the latency bound.
+        lo_frac: lower edge as a fraction of ``L`` (``0 <= lo_frac <= 1``).
+        seed: seed for the dedicated random stream.
+    """
+
+    def __init__(self, L: float, lo_frac: float = 0.5, seed: int = 0) -> None:
+        super().__init__(L)
+        if not 0.0 <= lo_frac <= 1.0:
+            raise ValueError(f"lo_frac must be in [0, 1], got {lo_frac}")
+        self.lo_frac = lo_frac
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def draw(self, src: int, dst: int) -> float:
+        return float(self._rng.uniform(self.lo_frac * self.L, self.L))
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+
+class JitteredLatency(LatencyModel):
+    """``L`` minus an exponential slack truncated at ``L`` — most messages
+    arrive close to the bound, a thin tail arrives early.
+
+    Args:
+        L: the latency bound.
+        scale_frac: mean slack as a fraction of ``L``.
+        seed: seed for the dedicated random stream.
+    """
+
+    def __init__(self, L: float, scale_frac: float = 0.1, seed: int = 0) -> None:
+        super().__init__(L)
+        if scale_frac < 0:
+            raise ValueError(f"scale_frac must be >= 0, got {scale_frac}")
+        self.scale_frac = scale_frac
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def draw(self, src: int, dst: int) -> float:
+        slack = float(self._rng.exponential(self.scale_frac * self.L))
+        return max(0.0, self.L - min(slack, self.L))
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)

@@ -1,0 +1,727 @@
+"""The simulated LogP machine.
+
+:class:`LogPMachine` executes one program (a generator, see
+:mod:`repro.sim.program`) per processor and enforces the model's
+semantics from Section 3 of the paper:
+
+* each send and each receive engages the processor for ``o`` cycles;
+* consecutive sends at one processor start at least ``max(g, o)`` apart,
+  and likewise consecutive receives (the gap ``g`` in both directions);
+* at most ``ceil(L/g)`` messages may be *in transit* from any processor
+  or to any processor; a transmission that would exceed either limit
+  stalls the sender until a slot frees (the capacity constraint);
+* message flight time is drawn from a :class:`~repro.sim.latency.LatencyModel`
+  (exactly ``L`` by default; random ``<= L`` to exercise asynchrony and
+  out-of-order delivery);
+* processors are engaged during ``Compute`` and cannot service messages;
+  while idle, sleeping, stalled or waiting they *drain* arrived messages
+  (paying ``o`` per message, respecting the receive gap) — this is what
+  lets a stalled sender's destination keep accepting one message per
+  ``g`` cycles, the behaviour the paper's naive-FFT-schedule analysis
+  describes ("one will send to processor 0 every g cycles").
+
+Capacity accounting — the reading under which the model is
+self-consistent: a message is *in transit from its source* between
+injection (``send_start + o``) and arrival, so a sender pacing itself at
+``g`` keeps at most ``L/g <= ceil(L/g)`` of its own messages in flight
+and never self-stalls; it is *in transit to its destination* between
+injection and the start of the destination's reception, so a flooded
+destination — which drains at most one message per ``g`` — back-pressures
+its senders, exactly the "all but L/g processors will stall on the first
+send" dynamics of Section 4.1.2.  The capacity check happens at the
+moment of injection ("if a processor attempts to transmit a message that
+would exceed this limit, it stalls until the message can be sent"): the
+send overhead is paid first, then the message waits at the interface —
+with the processor stalled but able to service incoming messages — until
+the network accepts it.
+
+The run produces a :class:`~repro.core.schedule.Schedule` trace that the
+semantic validator (:mod:`repro.sim.validate`) and the figure benchmarks
+consume.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Hashable, Iterable
+
+from ..core.params import LogPParams
+from ..core.schedule import Activity, MessageRecord, Schedule
+from .engine import Engine, SimulationError
+from .latency import FixedLatency, LatencyModel
+from .program import (
+    Barrier,
+    Compute,
+    Now,
+    Poll,
+    ProgramResult,
+    ReceivedMessage,
+    Recv,
+    Send,
+    Sleep,
+)
+
+__all__ = ["LogPMachine", "MachineResult", "run_programs"]
+
+Program = Generator[Any, Any, Any]
+ProgramFactory = Callable[[int, int], Program]
+
+# Processor states
+_RUNNING = "running"
+_BUSY = "busy"
+_WAIT_GAP = "wait_gap"
+_STALL_SEND = "stall_send"
+_WAIT_RECV = "wait_recv"
+_WAIT_BARRIER = "wait_barrier"
+_SLEEPING = "sleeping"
+_POLLING = "polling"
+_DONE = "done"
+
+_DRAINABLE = frozenset(
+    {
+        _WAIT_GAP,
+        _STALL_SEND,
+        _WAIT_RECV,
+        _WAIT_BARRIER,
+        _SLEEPING,
+        _POLLING,
+        _DONE,
+    }
+)
+
+
+@dataclass(slots=True)
+class _Msg:
+    seq: int
+    src: int
+    dst: int
+    payload: Any
+    tag: Hashable
+    send_start: float
+    inject: float
+    arrive: float
+    words: int = 1
+
+
+class _Proc:
+    """Per-processor simulator state."""
+
+    __slots__ = (
+        "rank",
+        "gen",
+        "state",
+        "pending",
+        "resume",
+        "busy_until",
+        "last_send_start",
+        "last_recv_start",
+        "mailbox",
+        "arrived",
+        "stall_started",
+        "result",
+        "activation_scheduled_at",
+        "poll_drained",
+        "pending_inject",
+        "port_free",
+    )
+
+    def __init__(self, rank: int, gen: Program) -> None:
+        self.rank = rank
+        self.gen = gen
+        self.state = _RUNNING
+        self.pending: Any = None
+        self.resume: Any = None
+        self.busy_until = 0.0
+        self.last_send_start = -math.inf
+        self.last_recv_start = -math.inf
+        self.mailbox: deque[ReceivedMessage] = deque()
+        self.arrived: deque[_Msg] = deque()
+        self.stall_started: float | None = None
+        self.result = ProgramResult(rank=rank)
+        self.activation_scheduled_at: float = -1.0
+        self.poll_drained = 0
+        # A committed message (send overhead already paid) waiting for
+        # the network to accept it under the capacity constraint.
+        self.pending_inject: "_Msg | None" = None
+        # When this processor's network port finishes streaming the
+        # current long message (LogGP extension); 1-word messages leave
+        # the port free immediately.
+        self.port_free = 0.0
+
+
+@dataclass(slots=True)
+class MachineResult:
+    """Everything a run produces."""
+
+    params: LogPParams
+    makespan: float
+    results: list[ProgramResult]
+    schedule: Schedule | None
+    total_messages: int
+    total_stall_time: float
+    events_run: int
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def value(self, rank: int) -> Any:
+        """Final return value of processor ``rank``'s program."""
+        return self.results[rank].value
+
+    def values(self) -> list[Any]:
+        return [r.value for r in self.results]
+
+
+class LogPMachine:
+    """A simulated LogP machine.
+
+    Args:
+        params: the four LogP parameters.
+        latency: network flight-time model; defaults to the deterministic
+            ``FixedLatency(params.L)`` the paper's analyses assume.
+        enforce_capacity: apply the ``ceil(L/g)`` constraint (disable for
+            the capacity ablation).  Slots are held per the module
+            docstring: source slots over [inject, arrive), destination
+            slots over [inject, recv_start), checked at injection.
+        capacity: override the in-flight limit (default ``params.capacity``).
+        hw_barrier_cost: cycles a hardware ``Barrier`` costs after the
+            last processor arrives (CM-5 control network, Section 5.5).
+        compute_jitter: optional ``f(rank, cycles) -> actual_cycles``
+            applied to every ``Compute`` — models the processor drift of
+            Section 4.1.4 / Figure 8.
+        trace: record a full :class:`Schedule` (intervals + message
+            records).  Turn off for large runs; summary statistics are
+            kept either way.
+        max_events: event budget passed to the engine.
+    """
+
+    def __init__(
+        self,
+        params: LogPParams,
+        *,
+        latency: LatencyModel | None = None,
+        enforce_capacity: bool = True,
+        capacity: int | None = None,
+        hw_barrier_cost: float = 0.0,
+        compute_jitter: Callable[[int, float], float] | None = None,
+        trace: bool = True,
+        max_events: int = 50_000_000,
+    ) -> None:
+        if hw_barrier_cost < 0:
+            raise ValueError(f"hw_barrier_cost must be >= 0, got {hw_barrier_cost}")
+        self.params = params
+        self.latency = latency if latency is not None else FixedLatency(params.L)
+        if self.latency.L > params.L + 1e-12:
+            raise ValueError(
+                f"latency model bound {self.latency.L} exceeds L={params.L}"
+            )
+        self.enforce_capacity = enforce_capacity
+        self.capacity = params.capacity if capacity is None else capacity
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        self.hw_barrier_cost = hw_barrier_cost
+        self.compute_jitter = compute_jitter
+        self.trace = trace
+        self.max_events = max_events
+        # Long-message Gap (Section 5.4 extension), present when the
+        # machine is built from LogGPParams.
+        self._G: float | None = getattr(params, "G", None)
+
+    # ------------------------------------------------------------------
+
+    def run(self, programs: Iterable[Program] | ProgramFactory) -> MachineResult:
+        """Execute one program per processor and return the result.
+
+        ``programs`` is either a sequence of exactly ``P`` generators or
+        a factory called as ``factory(rank, P)``.
+        """
+        P = self.params.P
+        if callable(programs):
+            gens = [programs(r, P) for r in range(P)]
+        else:
+            gens = list(programs)
+            if len(gens) != P:
+                raise ValueError(
+                    f"expected {P} programs, got {len(gens)}"
+                )
+
+        self._engine = Engine(max_events=self.max_events)
+        self._procs = [_Proc(r, g) for r, g in enumerate(gens)]
+        self._schedule = Schedule(self.params) if self.trace else None
+        self._inflight_from = [0] * P
+        self._inflight_to = [0] * P
+        # Senders stalled on a destination's capacity, FIFO per destination.
+        self._stalled_on_dst: list[deque[int]] = [deque() for _ in range(P)]
+        # Senders stalled on their own outbound capacity.
+        self._stalled_on_src: set[int] = set()
+        self._barrier_waiting: list[int] = []
+        self._barrier_generation = 0
+        self._msg_seq = 0
+        self._total_messages = 0
+        self.latency.reset()
+
+        for r in range(P):
+            self._engine.schedule(0.0, self._make_activation(r))
+
+        self._engine.run()
+        self._check_completion()
+
+        makespan = max(
+            (p.result.finished_at for p in self._procs), default=0.0
+        )
+        if self._schedule is not None:
+            self._schedule.sort_all()
+            makespan = max(makespan, self._schedule.makespan)
+        total_stall = sum(p.result.stall_time for p in self._procs)
+        return MachineResult(
+            params=self.params,
+            makespan=makespan,
+            results=[p.result for p in self._procs],
+            schedule=self._schedule,
+            total_messages=self._total_messages,
+            total_stall_time=total_stall,
+            events_run=self._engine.events_run,
+        )
+
+    # ------------------------------------------------------------------
+    # Activation: advance a processor as far as it can go right now.
+    # ------------------------------------------------------------------
+
+    def _make_activation(self, rank: int) -> Callable[[], None]:
+        return lambda: self._activate(rank)
+
+    def _schedule_activation(self, rank: int, time: float) -> None:
+        proc = self._procs[rank]
+        # Suppress duplicate same-time activations (common when several
+        # wake conditions fire together).
+        if proc.activation_scheduled_at == time:
+            return
+        proc.activation_scheduled_at = time
+        self._engine.schedule(time, self._make_activation(rank))
+
+    def _activate(self, rank: int) -> None:
+        proc = self._procs[rank]
+        now = self._engine.now
+        proc.activation_scheduled_at = -1.0
+
+        while True:
+            if proc.state == _DONE:
+                self._try_drain(proc)
+                return
+            if now < proc.busy_until:
+                self._schedule_activation(rank, proc.busy_until)
+                return
+            if proc.state == _SLEEPING:
+                # Woken early (e.g. by an arrival): drain, stay asleep.
+                self._try_drain(proc)
+                return
+            if proc.state == _WAIT_BARRIER:
+                # Spurious wake while parked at a barrier: only drain.
+                self._try_drain(proc)
+                return
+
+            if proc.pending_inject is not None:
+                # A committed message is waiting at the network interface;
+                # the processor may not proceed (but can service arrivals
+                # while stalled).
+                if self._try_inject(proc):
+                    proc.state = _RUNNING
+                    continue
+                proc.state = _STALL_SEND
+                self._try_drain(proc)
+                return
+
+            if proc.pending is None:
+                try:
+                    proc.pending = proc.gen.send(proc.resume)
+                except StopIteration as stop:
+                    proc.state = _DONE
+                    proc.result.value = stop.value
+                    proc.result.finished_at = now
+                    self._try_drain(proc)
+                    return
+                proc.resume = None
+                if isinstance(proc.pending, Poll):
+                    proc.poll_drained = 0
+
+            act = proc.pending
+
+            if isinstance(act, Now):
+                proc.resume = now
+                proc.pending = None
+                continue
+
+            if isinstance(act, Compute):
+                cycles = act.cycles
+                if self.compute_jitter is not None:
+                    cycles = self.compute_jitter(rank, cycles)
+                    if cycles < 0:
+                        raise SimulationError(
+                            f"compute_jitter returned negative cycles {cycles}"
+                        )
+                proc.state = _BUSY
+                proc.busy_until = now + cycles
+                self._record(rank, now, proc.busy_until, Activity.COMPUTE, act.label)
+                proc.pending = None
+                if cycles > 0:
+                    proc.state = _RUNNING
+                    self._schedule_activation(rank, proc.busy_until)
+                    return
+                proc.state = _RUNNING
+                continue
+
+            if isinstance(act, Sleep):
+                proc.state = _SLEEPING
+                wake = now + act.cycles
+                proc.pending = None
+                self._engine.schedule(wake, self._make_wake(rank, wake))
+                self._try_drain(proc)
+                return
+
+            if isinstance(act, Poll):
+                can = bool(proc.arrived) and (
+                    now >= proc.last_recv_start + self.params.g
+                )
+                if can:
+                    proc.state = _POLLING
+                    self._try_drain(proc)
+                    return
+                proc.resume = proc.poll_drained
+                proc.pending = None
+                proc.state = _RUNNING
+                continue
+
+            if isinstance(act, Send):
+                if not self._try_send(proc, act):
+                    return
+                continue
+
+            if isinstance(act, Recv):
+                msg = self._mailbox_take(proc, act.tag)
+                if msg is not None:
+                    proc.resume = msg
+                    proc.pending = None
+                    proc.state = _RUNNING
+                    continue
+                proc.state = _WAIT_RECV
+                self._try_drain(proc)
+                return
+
+            if isinstance(act, Barrier):
+                proc.pending = None
+                proc.state = _WAIT_BARRIER
+                self._barrier_waiting.append(rank)
+                if len(self._barrier_waiting) == self.params.P:
+                    self._release_barrier()
+                else:
+                    self._try_drain(proc)
+                return
+
+            raise SimulationError(
+                f"processor {rank} yielded unknown action {act!r}"
+            )
+
+    def _make_wake(self, rank: int, wake: float) -> Callable[[], None]:
+        def fire() -> None:
+            proc = self._procs[rank]
+            if proc.state == _SLEEPING and self._engine.now >= wake:
+                # The sleep may have been extended by a drain reception.
+                if self._engine.now < proc.busy_until:
+                    self._engine.schedule(proc.busy_until, fire)
+                    return
+                proc.state = _RUNNING
+                self._activate(rank)
+
+        return fire
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+
+    def _try_send(self, proc: _Proc, act: Send) -> bool:
+        """Attempt the pending send now.  Returns True if the processor
+        should keep running (send committed), False if it blocked."""
+        rank = proc.rank
+        now = self._engine.now
+        dst = act.dst
+        if not 0 <= dst < self.params.P:
+            raise SimulationError(
+                f"processor {rank} sent to invalid destination {dst}"
+            )
+        if dst == rank:
+            raise SimulationError(
+                f"processor {rank} attempted to send to itself"
+            )
+        if act.words > 1 and self._G is None:
+            raise SimulationError(
+                f"processor {rank} sent a {act.words}-word message but the "
+                "machine has no long-message Gap; build it with "
+                "LogGPParams (core.loggp) to use the Section 5.4 extension"
+            )
+
+        earliest = max(
+            now,
+            proc.last_send_start + self.params.send_interval,
+            proc.port_free,
+        )
+        if earliest > now:
+            proc.state = _WAIT_GAP
+            self._schedule_activation(rank, earliest)
+            self._try_drain(proc)
+            return False
+
+        # Commit: pay the overhead now; the message then waits at the
+        # network interface until the capacity constraint admits it
+        # (usually immediately — see _try_inject).
+        o = self.params.o
+        msg = _Msg(
+            seq=self._msg_seq,
+            src=rank,
+            dst=dst,
+            payload=act.payload,
+            tag=act.tag,
+            send_start=now,
+            inject=-1.0,
+            arrive=-1.0,
+            words=act.words,
+        )
+        self._msg_seq += 1
+        self._total_messages += 1
+        proc.last_send_start = now
+        proc.result.sends += 1
+        proc.pending_inject = msg
+        proc.busy_until = max(proc.busy_until, now + o)
+        self._record(rank, now, now + o, Activity.SEND, f"->{dst}")
+        proc.pending = None
+        proc.state = _RUNNING
+        return True
+
+    def _try_inject(self, proc: _Proc) -> bool:
+        """Attempt to hand the committed message to the network now.
+
+        Returns True on success.  On failure the caller stalls the
+        processor; it is re-activated whenever a relevant capacity slot
+        frees.
+        """
+        msg = proc.pending_inject
+        assert msg is not None
+        now = self._engine.now
+        rank, dst = msg.src, msg.dst
+        if self.enforce_capacity:
+            blocked = False
+            if self._inflight_from[rank] >= self.capacity:
+                self._stalled_on_src.add(rank)
+                blocked = True
+            if self._inflight_to[dst] >= self.capacity:
+                if rank not in self._stalled_on_dst[dst]:
+                    self._stalled_on_dst[dst].append(rank)
+                blocked = True
+            if blocked:
+                if proc.stall_started is None:
+                    proc.stall_started = now
+                return False
+
+        if proc.stall_started is not None:
+            proc.result.stall_time += now - proc.stall_started
+            self._record(
+                rank, proc.stall_started, now, Activity.STALL, f"->{dst}"
+            )
+            proc.stall_started = None
+        self._stalled_on_src.discard(rank)
+        try:
+            self._stalled_on_dst[dst].remove(rank)
+        except ValueError:
+            pass
+
+        msg.inject = now
+        stream = (msg.words - 1) * (self._G or 0.0)
+        msg.arrive = now + stream + self.latency.draw(rank, dst)
+        if stream > 0:
+            # The network port streams the tail of the long message;
+            # the processor itself is already free (DMA overlap).
+            proc.port_free = now + stream
+        self._inflight_from[rank] += 1
+        self._inflight_to[dst] += 1
+        proc.pending_inject = None
+        self._engine.schedule(msg.arrive, self._make_arrival(msg))
+        return True
+
+    def _make_arrival(self, msg: _Msg) -> Callable[[], None]:
+        def fire() -> None:
+            # The source's slot frees at arrival.
+            self._inflight_from[msg.src] -= 1
+            if msg.src in self._stalled_on_src:
+                src = self._procs[msg.src]
+                self._schedule_activation(
+                    msg.src, max(self._engine.now, src.busy_until)
+                )
+            dst = self._procs[msg.dst]
+            dst.arrived.append(msg)
+            if dst.state in _DRAINABLE and self._engine.now >= dst.busy_until:
+                self._try_drain(dst)
+            elif dst.state in _DRAINABLE:
+                self._schedule_activation(msg.dst, dst.busy_until)
+
+        return fire
+
+    # ------------------------------------------------------------------
+    # Receive path (drain)
+    # ------------------------------------------------------------------
+
+    def _try_drain(self, proc: _Proc) -> None:
+        """Service one arrived message if the processor is in a state that
+        allows reception and the receive gap permits it now."""
+        if proc.state not in _DRAINABLE or not proc.arrived:
+            return
+        now = self._engine.now
+        if now < proc.busy_until:
+            self._schedule_activation(proc.rank, proc.busy_until)
+            return
+        earliest = max(now, proc.last_recv_start + self.params.g)
+        if earliest > now:
+            self._schedule_activation(proc.rank, earliest)
+            return
+
+        msg = proc.arrived.popleft()
+        o = self.params.o
+        proc.last_recv_start = now
+        proc.busy_until = now + o
+        proc.result.receives += 1
+        self._record(proc.rank, now, now + o, Activity.RECV, f"<-{msg.src}")
+        # The destination's slot frees when reception begins.
+        self._inflight_to[proc.rank] -= 1
+        queue = self._stalled_on_dst[proc.rank]
+        if queue:
+            waiter = queue[0]
+            wp = self._procs[waiter]
+            self._schedule_activation(waiter, max(now, wp.busy_until))
+        self._engine.schedule(now + o, self._make_recv_done(proc.rank, msg, now))
+
+    def _make_recv_done(
+        self, rank: int, msg: _Msg, recv_start: float
+    ) -> Callable[[], None]:
+        def fire() -> None:
+            now = self._engine.now
+            proc = self._procs[rank]
+            received = ReceivedMessage(
+                src=msg.src,
+                payload=msg.payload,
+                tag=msg.tag,
+                sent_at=msg.send_start,
+                received_at=now,
+            )
+            proc.mailbox.append(received)
+            if self._schedule is not None:
+                self._schedule.add_message(
+                    MessageRecord(
+                        src=msg.src,
+                        dst=msg.dst,
+                        send_start=msg.send_start,
+                        inject=msg.inject,
+                        arrive=msg.arrive,
+                        recv_start=recv_start,
+                        recv_end=now,
+                        tag="" if msg.tag is None else str(msg.tag),
+                        words=msg.words,
+                    )
+                )
+            if proc.state == _POLLING:
+                proc.poll_drained += 1
+                # Continue only if another reception can start right now;
+                # Poll never waits.
+                self._activate(rank)
+                return
+            if proc.state == _WAIT_RECV:
+                taken = self._mailbox_take(proc, proc.pending.tag)
+                if taken is not None:
+                    proc.resume = taken
+                    proc.pending = None
+                    proc.state = _RUNNING
+                    self._activate(rank)
+                    return
+            # Keep draining / resume whatever the processor was doing.
+            if proc.state in _DRAINABLE:
+                self._try_drain(proc)
+            if proc.state == _STALL_SEND or proc.state == _WAIT_GAP:
+                self._schedule_activation(rank, max(now, proc.busy_until))
+
+        return fire
+
+    def _mailbox_take(
+        self, proc: _Proc, tag: Hashable
+    ) -> ReceivedMessage | None:
+        if tag is None:
+            return proc.mailbox.popleft() if proc.mailbox else None
+        for i, m in enumerate(proc.mailbox):
+            if m.tag == tag:
+                del proc.mailbox[i]
+                return m
+        return None
+
+    # ------------------------------------------------------------------
+    # Barrier
+    # ------------------------------------------------------------------
+
+    def _release_barrier(self) -> None:
+        release = self._engine.now + self.hw_barrier_cost
+        waiting = self._barrier_waiting
+        self._barrier_waiting = []
+        self._barrier_generation += 1
+        for rank in waiting:
+            proc = self._procs[rank]
+
+            def make(r: int = rank, p: _Proc = proc) -> Callable[[], None]:
+                def fire() -> None:
+                    if p.state == _WAIT_BARRIER:
+                        p.state = _RUNNING
+                        p.resume = None
+                        self._activate(r)
+
+                return fire
+
+            self._engine.schedule(max(release, proc.busy_until), make())
+
+    # ------------------------------------------------------------------
+
+    def _record(
+        self, rank: int, start: float, end: float, kind: Activity, detail: str
+    ) -> None:
+        if self._schedule is not None:
+            self._schedule.add_interval(rank, start, end, kind, detail)
+
+    def _check_completion(self) -> None:
+        blocked = [
+            (p.rank, p.state)
+            for p in self._procs
+            if p.state != _DONE
+        ]
+        if blocked:
+            detail = ", ".join(f"P{r}:{s}" for r, s in blocked[:8])
+            raise SimulationError(
+                f"deadlock: {len(blocked)} processor(s) never finished "
+                f"({detail}{'...' if len(blocked) > 8 else ''}). "
+                "Check for unmatched Recv/Send or mismatched barriers."
+            )
+        undelivered = [
+            p.rank for p in self._procs if p.arrived or p.mailbox
+        ]
+        # Leftover mailbox contents are permitted (programs may ignore
+        # messages), but messages that never completed reception mean the
+        # run ended mid-flight — impossible once all programs are DONE,
+        # since DONE processors drain.  Guard anyway.
+        for p in self._procs:
+            if p.arrived:
+                raise SimulationError(
+                    f"processor {p.rank} ended with {len(p.arrived)} "
+                    "unreceived message(s)"
+                )
+        del undelivered
+
+
+def run_programs(
+    params: LogPParams,
+    programs: Iterable[Program] | ProgramFactory,
+    **machine_kwargs: Any,
+) -> MachineResult:
+    """One-call convenience: build a :class:`LogPMachine` and run it."""
+    return LogPMachine(params, **machine_kwargs).run(programs)

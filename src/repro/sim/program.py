@@ -1,0 +1,179 @@
+"""The program API: how LogP programs are written for the simulator.
+
+A *program* is a Python generator run on one simulated processor.  It
+``yield``\\ s action objects and receives results back, in the style::
+
+    def worker(rank: int, P: int):
+        yield Compute(5)                      # 5 cycles of local work
+        yield Send((rank + 1) % P, payload=rank)
+        msg = yield Recv()                    # blocks; msg.payload, msg.src
+        t = yield Now()                       # current simulated time
+
+Real data flows through ``payload``, so algorithm implementations built
+on the simulator are checked for *numerical* correctness, not just for
+their timing.
+
+Action semantics (enforced by :class:`repro.sim.machine.LogPMachine`):
+
+* ``Send`` — the processor is engaged for ``o`` cycles; consecutive sends
+  at one processor start at least ``max(g, o)`` apart; the send stalls
+  while the capacity constraint (at most ``ceil(L/g)`` outstanding
+  messages from this source or to that destination) would be violated.
+* ``Recv`` — blocks until a message has been received (the ``o``-cycle
+  reception paid, receive gap respected) and returns it.
+* ``Compute`` — the processor is engaged and cannot service messages.
+* ``Barrier`` — the machine's hardware barrier (CM-5-style, Section 5.5);
+  software barriers are built from messages in
+  :mod:`repro.sim.collectives`.
+* ``Now`` — returns the current time without consuming any.
+* ``Sleep`` — idle (not engaged: incoming messages are serviced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+__all__ = [
+    "Send",
+    "Recv",
+    "Compute",
+    "Sleep",
+    "Now",
+    "Poll",
+    "Barrier",
+    "ReceivedMessage",
+    "Action",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Send:
+    """Transmit one message to processor ``dst``.
+
+    Args:
+        dst: destination rank, ``0 <= dst < P`` (sending to self is an
+            error — local data needs no message).
+        payload: arbitrary data carried by the message.
+        tag: optional hashable tag for selective receive.
+        words: message length.  1 (default) is the basic model's small
+            message.  ``words > 1`` uses the long-message extension
+            (Section 5.4 / LogGP): the machine must be built with
+            :class:`repro.core.loggp.LogGPParams`; the sender pays one
+            ``o`` of setup, its network port streams the remaining
+            ``words - 1`` words ``G`` cycles apart (overlapped with
+            computation), and the receiver pays one ``o``.
+    """
+
+    dst: int
+    payload: Any = None
+    tag: Hashable = None
+    words: int = 1
+
+    def __post_init__(self) -> None:
+        if self.words < 1:
+            raise ValueError(f"words must be >= 1, got {self.words}")
+
+
+@dataclass(frozen=True, slots=True)
+class Recv:
+    """Block until one message is available and return it.
+
+    With ``tag=None`` any message is accepted (in reception-completion
+    order).  With a tag, only messages bearing that tag match; others
+    stay queued for later ``Recv`` calls.
+    """
+
+    tag: Hashable = None
+
+
+@dataclass(frozen=True, slots=True)
+class Compute:
+    """Engage the processor for ``cycles`` of local work (``>= 0``)."""
+
+    cycles: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"compute cycles must be >= 0, got {self.cycles}")
+
+
+@dataclass(frozen=True, slots=True)
+class Sleep:
+    """Idle for ``cycles`` — unlike ``Compute``, the processor services
+    incoming messages while sleeping."""
+
+    cycles: float
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"sleep cycles must be >= 0, got {self.cycles}")
+
+
+@dataclass(frozen=True, slots=True)
+class Now:
+    """Yieldable that returns the current simulation time."""
+
+
+@dataclass(frozen=True, slots=True)
+class Poll:
+    """Service immediately available incoming messages, without waiting.
+
+    Receives (paying ``o`` each, respecting the receive gap) every
+    arrived message that can start *now*, stopping as soon as the next
+    reception would require waiting for the gap or for an arrival.
+    Returns the number of messages serviced; they land in the mailbox
+    for later ``Recv`` calls.
+
+    This is the active-message polling discipline of the CM-5
+    communication layer (von Eicken et al., the paper's [33]): a tight
+    send loop calls ``Poll`` each iteration so that reception interleaves
+    with transmission even when the loop is never otherwise idle.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class Barrier:
+    """Hardware barrier: block until every processor has entered the same
+    barrier, then all exit simultaneously (plus the machine's configured
+    barrier cost).  Mirrors the CM-5 control network used by the
+    synchronized FFT schedule in Figure 8."""
+
+    name: Hashable = None
+
+
+Action = Send | Recv | Compute | Sleep | Now | Poll | Barrier
+
+
+@dataclass(frozen=True, slots=True)
+class ReceivedMessage:
+    """What ``yield Recv()`` returns."""
+
+    src: int
+    payload: Any
+    tag: Hashable
+    sent_at: float
+    received_at: float
+
+    @property
+    def in_flight(self) -> float:
+        """End-to-end time this message spent from send start to
+        availability."""
+        return self.received_at - self.sent_at
+
+
+@dataclass(slots=True)
+class ProgramResult:
+    """Final state of one processor's program after the run."""
+
+    rank: int
+    value: Any = None
+    finished_at: float = 0.0
+    sends: int = 0
+    receives: int = 0
+    stall_time: float = 0.0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+
+__all__.append("ProgramResult")

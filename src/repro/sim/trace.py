@@ -1,0 +1,124 @@
+"""Trace post-processing: summary statistics over execution schedules.
+
+The simulator emits a raw :class:`~repro.core.schedule.Schedule`; this
+module condenses it into the quantities the paper's figures report —
+per-processor utilization breakdowns, communication rates, message
+latency distributions — and into rows for the ASCII Gantt renderer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.schedule import Activity, Schedule
+
+__all__ = [
+    "UtilizationBreakdown",
+    "utilization",
+    "message_stats",
+    "MessageStats",
+    "communication_rate",
+    "receive_histogram",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class UtilizationBreakdown:
+    """Where one processor's time went, as fractions of the makespan."""
+
+    proc: int
+    compute: float
+    send_overhead: float
+    recv_overhead: float
+    stall: float
+    idle: float
+
+    @property
+    def busy(self) -> float:
+        return self.compute + self.send_overhead + self.recv_overhead
+
+
+def utilization(schedule: Schedule) -> list[UtilizationBreakdown]:
+    """Per-processor utilization breakdown over the whole run."""
+    span = schedule.makespan
+    out: list[UtilizationBreakdown] = []
+    for rank in range(schedule.params.P):
+        tl = schedule.timelines.get(rank)
+        if tl is None or span == 0:
+            out.append(UtilizationBreakdown(rank, 0.0, 0.0, 0.0, 0.0, 1.0))
+            continue
+        compute = tl.time_in(Activity.COMPUTE) / span
+        send = tl.time_in(Activity.SEND) / span
+        recv = tl.time_in(Activity.RECV) / span
+        stall = tl.time_in(Activity.STALL) / span
+        idle = max(0.0, 1.0 - compute - send - recv - stall)
+        out.append(UtilizationBreakdown(rank, compute, send, recv, stall, idle))
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class MessageStats:
+    """Aggregate message statistics for one run."""
+
+    count: int
+    mean_flight: float
+    max_flight: float
+    mean_end_to_end: float
+    max_end_to_end: float
+    reordered: int  # messages overtaken by a later send to the same dst
+
+
+def message_stats(schedule: Schedule) -> MessageStats:
+    """Latency and ordering statistics over all messages in a schedule."""
+    msgs = schedule.messages
+    if not msgs:
+        return MessageStats(0, 0.0, 0.0, 0.0, 0.0, 0)
+    flights = np.array([m.arrive - m.inject for m in msgs])
+    e2e = np.array([m.recv_end - m.send_start for m in msgs])
+    reordered = 0
+    by_dst: dict[int, list] = {}
+    for m in msgs:
+        by_dst.setdefault(m.dst, []).append(m)
+    for dst_msgs in by_dst.values():
+        dst_msgs.sort(key=lambda m: m.inject)
+        for a, b in zip(dst_msgs, dst_msgs[1:]):
+            if b.arrive < a.arrive:  # later injection arrived earlier
+                reordered += 1
+    return MessageStats(
+        count=len(msgs),
+        mean_flight=float(flights.mean()),
+        max_flight=float(flights.max()),
+        mean_end_to_end=float(e2e.mean()),
+        max_end_to_end=float(e2e.max()),
+        reordered=reordered,
+    )
+
+
+def communication_rate(
+    schedule: Schedule, bytes_per_message: float
+) -> float:
+    """Mean per-processor communication rate in bytes/cycle.
+
+    Figure 8 reports MB/s per processor during the remap; this is the
+    cycle-domain equivalent: total bytes moved divided by (makespan x P).
+    """
+    if bytes_per_message <= 0:
+        raise ValueError(
+            f"bytes_per_message must be > 0, got {bytes_per_message}"
+        )
+    span = schedule.makespan
+    if span == 0:
+        return 0.0
+    total = len(schedule.messages) * bytes_per_message
+    return total / (span * schedule.params.P)
+
+
+def receive_histogram(schedule: Schedule) -> np.ndarray:
+    """Messages received per processor, as an array of length P —
+    the hot-spot statistic of the connected-components study."""
+    hist = np.zeros(schedule.params.P, dtype=np.int64)
+    for m in schedule.messages:
+        hist[m.dst] += 1
+    return hist

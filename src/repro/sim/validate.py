@@ -1,0 +1,230 @@
+"""Semantic validation of execution traces against the LogP rules.
+
+Given a :class:`~repro.core.schedule.Schedule` produced by the simulator
+(or built analytically), :func:`validate_schedule` checks every clause of
+the model:
+
+1. no processor does two things at once (busy intervals never overlap);
+2. consecutive SEND intervals at one processor start ``>= max(g, o)``
+   apart; consecutive RECV intervals start ``>= g`` apart;
+3. every send/receive overhead interval lasts exactly ``o``;
+4. every message's network flight time is ``<= L`` (and exactly ``L``
+   when the run was deterministic);
+5. the capacity constraint: reconstructing in-flight counts from the
+   message records, no more than ``ceil(L/g)`` messages are ever
+   outstanding from one source or to one destination.
+
+The property-based tests run arbitrary random programs through the
+simulator and assert the trace validates — this is the core correctness
+net for the whole simulation layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.params import LogPParams
+from ..core.schedule import Activity, Schedule
+
+__all__ = ["Violation", "ValidationReport", "validate_schedule"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One detected breach of the model semantics."""
+
+    rule: str
+    proc: int
+    time: float
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.rule}] P{self.proc} @ {self.time}: {self.detail}"
+
+
+@dataclass(slots=True)
+class ValidationReport:
+    """All violations found in one schedule."""
+
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, rule: str, proc: int, time: float, detail: str) -> None:
+        self.violations.append(Violation(rule, proc, time, detail))
+
+    def raise_if_invalid(self) -> None:
+        if not self.ok:
+            lines = "\n".join(str(v) for v in self.violations[:20])
+            more = (
+                f"\n... and {len(self.violations) - 20} more"
+                if len(self.violations) > 20
+                else ""
+            )
+            raise AssertionError(
+                f"{len(self.violations)} LogP semantic violation(s):\n"
+                f"{lines}{more}"
+            )
+
+
+def validate_schedule(
+    schedule: Schedule,
+    *,
+    exact_latency: bool = False,
+    check_capacity: bool = True,
+) -> ValidationReport:
+    """Check a schedule against the LogP semantics of its parameters.
+
+    Args:
+        schedule: the trace to validate.
+        exact_latency: require every flight time to equal ``L`` (true for
+            deterministic runs), not merely ``<= L``.
+        check_capacity: verify the ``ceil(L/g)`` constraint (disable when
+            validating an ablation run that turned the constraint off).
+    """
+    p = schedule.params
+    report = ValidationReport()
+    _check_busy_overlap(schedule, report)
+    _check_gaps(schedule, p, report)
+    _check_overheads(schedule, p, report)
+    _check_latency(schedule, p, report, exact=exact_latency)
+    if check_capacity:
+        _check_capacity(schedule, p, report)
+    return report
+
+
+def _check_busy_overlap(schedule: Schedule, report: ValidationReport) -> None:
+    for rank, tl in schedule.timelines.items():
+        for a, b in tl.overlaps():
+            report.add(
+                "busy-overlap",
+                rank,
+                b.start,
+                f"{a.kind}[{a.start},{a.end}) overlaps {b.kind}[{b.start},{b.end})",
+            )
+
+
+def _check_gaps(
+    schedule: Schedule, p: LogPParams, report: ValidationReport
+) -> None:
+    send_spacing = p.send_interval
+    for rank, tl in schedule.timelines.items():
+        sends = sorted(
+            iv.start for iv in tl.intervals if iv.kind is Activity.SEND
+        )
+        for t0, t1 in zip(sends, sends[1:]):
+            if t1 - t0 < send_spacing - _EPS:
+                report.add(
+                    "send-gap",
+                    rank,
+                    t1,
+                    f"sends at {t0} and {t1} are {t1 - t0} apart "
+                    f"(< max(g,o) = {send_spacing})",
+                )
+        recvs = sorted(
+            iv.start for iv in tl.intervals if iv.kind is Activity.RECV
+        )
+        for t0, t1 in zip(recvs, recvs[1:]):
+            if t1 - t0 < p.g - _EPS:
+                report.add(
+                    "recv-gap",
+                    rank,
+                    t1,
+                    f"receives at {t0} and {t1} are {t1 - t0} apart (< g = {p.g})",
+                )
+
+
+def _check_overheads(
+    schedule: Schedule, p: LogPParams, report: ValidationReport
+) -> None:
+    for rank, tl in schedule.timelines.items():
+        for iv in tl.intervals:
+            if iv.kind in (Activity.SEND, Activity.RECV):
+                if abs(iv.duration - p.o) > _EPS:
+                    report.add(
+                        "overhead",
+                        rank,
+                        iv.start,
+                        f"{iv.kind} lasted {iv.duration}, expected o = {p.o}",
+                    )
+
+
+def _check_latency(
+    schedule: Schedule,
+    p: LogPParams,
+    report: ValidationReport,
+    *,
+    exact: bool,
+) -> None:
+    G = getattr(p, "G", 0.0) or 0.0
+    for m in schedule.messages:
+        flight = m.arrive - m.inject
+        stream = (m.words - 1) * G
+        if flight > p.L + stream + _EPS:
+            report.add(
+                "latency-bound",
+                m.src,
+                m.inject,
+                f"{m.words}-word message {m.src}->{m.dst} flew {flight} "
+                f"> L + (words-1)G = {p.L + stream}",
+            )
+        if exact and abs(flight - (p.L + stream)) > _EPS:
+            report.add(
+                "latency-exact",
+                m.src,
+                m.inject,
+                f"message {m.src}->{m.dst} flew {flight}, expected exactly "
+                f"{p.L + stream}",
+            )
+        if m.inject - m.send_start < p.o - _EPS:
+            report.add(
+                "inject-before-overhead",
+                m.src,
+                m.send_start,
+                f"injection {m.inject} only {m.inject - m.send_start} after "
+                f"send start (o = {p.o})",
+            )
+
+
+def _check_capacity(
+    schedule: Schedule, p: LogPParams, report: ValidationReport
+) -> None:
+    """Sweep message lifetime events and track in-flight counts.
+
+    A message occupies a *source* capacity slot while in the network —
+    over ``[inject, arrive)`` — and a *destination* slot from injection
+    until the destination begins its reception, ``[inject, recv_start)``.
+    This is the accounting under which the paper's own schedules (a
+    sender pacing at ``g`` keeps ``L/g <= ceil(L/g)`` of its messages in
+    flight) are exactly feasible while flooded destinations still
+    back-pressure their senders.
+    """
+    cap = p.capacity
+    from_events: list[tuple[float, int, int]] = []  # (time, delta, proc)
+    to_events: list[tuple[float, int, int]] = []
+    for m in schedule.messages:
+        from_events.append((m.inject, +1, m.src))
+        from_events.append((m.arrive, -1, m.src))
+        to_events.append((m.inject, +1, m.dst))
+        to_events.append((m.recv_start, -1, m.dst))
+    # Releases before acquisitions at the same instant.
+    for events, rule, word in (
+        (from_events, "capacity-from", "from"),
+        (to_events, "capacity-to", "to"),
+    ):
+        events.sort(key=lambda e: (e[0], e[1]))
+        count: dict[int, int] = {}
+        for time, delta, proc in events:
+            count[proc] = count.get(proc, 0) + delta
+            if count[proc] > cap:
+                report.add(
+                    rule,
+                    proc,
+                    time,
+                    f"{count[proc]} messages in flight {word} P{proc} "
+                    f"(limit ceil(L/g) = {cap})",
+                )

@@ -1,0 +1,64 @@
+"""Real-network substrate for Section 5: topologies, routing, unloaded
+message timing, packet-level saturation, and communication patterns."""
+
+from .effective_gap import PatternGaps, analytic_pattern_gap, effective_gap
+from .patterns import (
+    bit_reverse_pattern,
+    hotspot_pattern,
+    link_load,
+    max_link_contention,
+    remap_pattern,
+    shift_pattern,
+    transpose_pattern,
+    uniform_pattern,
+)
+from .routing import fat_tree_route, grid_route, hop_count, hypercube_route
+from .saturation import LoadPoint, find_knee, latency_vs_load, simulate_load
+from .topologies import (
+    PAPER_TOPOLOGIES,
+    Butterfly,
+    FatTree,
+    Hypercube,
+    Mesh2D,
+    Mesh3D,
+    Topology,
+    Torus2D,
+    Torus3D,
+    average_distance_exact,
+)
+from .unloaded import NetworkHardware, logp_from_hardware, unloaded_time
+
+__all__ = [
+    "PatternGaps",
+    "analytic_pattern_gap",
+    "effective_gap",
+    "Topology",
+    "Hypercube",
+    "Butterfly",
+    "FatTree",
+    "Mesh2D",
+    "Torus2D",
+    "Mesh3D",
+    "Torus3D",
+    "PAPER_TOPOLOGIES",
+    "average_distance_exact",
+    "hypercube_route",
+    "grid_route",
+    "fat_tree_route",
+    "hop_count",
+    "NetworkHardware",
+    "unloaded_time",
+    "logp_from_hardware",
+    "LoadPoint",
+    "simulate_load",
+    "latency_vs_load",
+    "find_knee",
+    "uniform_pattern",
+    "transpose_pattern",
+    "bit_reverse_pattern",
+    "shift_pattern",
+    "hotspot_pattern",
+    "remap_pattern",
+    "link_load",
+    "max_link_contention",
+]

@@ -1,0 +1,148 @@
+"""Per-pattern gaps — the extension Section 5.6 proposes.
+
+"A possible extension of the LogP model to reflect network performance
+on various communication patterns would be to provide multiple g's,
+where the one appropriate to the particular communication pattern is
+used in the analysis."
+
+This module makes that concrete, and grounds it in the repository's own
+network substrate: the *effective gap* of a (topology, routing, pattern)
+triple is measured by driving the packet-level simulator with that
+pattern at increasing offered load and finding the highest per-node rate
+the network sustains — its reciprocal is the pattern's ``g``.
+
+:class:`PatternGaps` then carries a dictionary of per-pattern gaps plus
+the default, and hands out ordinary :class:`~repro.core.params.LogPParams`
+specialized to a pattern, so all existing analyses apply unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..core.params import LogPParams
+from .patterns import max_link_contention
+from .saturation import RouteFn, simulate_load
+
+__all__ = ["PatternGaps", "effective_gap", "analytic_pattern_gap"]
+
+
+@dataclass(frozen=True)
+class PatternGaps:
+    """A LogP machine with one gap per communication pattern.
+
+    ``base`` supplies L, o, P and the default (uniform-traffic) g;
+    ``gaps`` maps pattern names to their measured/derived gaps.
+    """
+
+    base: LogPParams
+    gaps: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, g in self.gaps.items():
+            if g < 0:
+                raise ValueError(f"gap for {name!r} must be >= 0, got {g}")
+
+    def params_for(self, pattern: str | None = None) -> LogPParams:
+        """The LogP parameters to use when analysing ``pattern``."""
+        if pattern is None or pattern not in self.gaps:
+            return self.base
+        return replace(
+            self.base,
+            g=self.gaps[pattern],
+            name=self.base._tag(pattern),
+        )
+
+    def worst_pattern(self) -> str | None:
+        """The pattern with the largest gap (the network's weak spot —
+        'the goal of the hardware designer should be to make these the
+        exceptional case')."""
+        if not self.gaps:
+            return None
+        return max(self.gaps, key=self.gaps.get)  # type: ignore[arg-type]
+
+    def with_pattern(self, name: str, g: float) -> "PatternGaps":
+        merged = dict(self.gaps)
+        merged[name] = g
+        return PatternGaps(base=self.base, gaps=merged)
+
+
+def analytic_pattern_gap(
+    base_g: float, pattern: Sequence[int], route: RouteFn
+) -> float:
+    """A fast upper-estimate of a permutation's gap from link contention.
+
+    If the busiest link carries ``c`` routes of the pattern, sustained
+    throughput per node can be at most ``1/c`` of a contention-free
+    pattern's, so the effective gap is ``c * base_g``.  (Exact for
+    long-lived permutation traffic on networks whose links serve one
+    packet per ``base_g``.)
+    """
+    if base_g < 0:
+        raise ValueError(f"base_g must be >= 0, got {base_g}")
+    c = max_link_contention(pattern, route)
+    return base_g * max(1, c)
+
+
+def effective_gap(
+    n_nodes: int,
+    route: RouteFn,
+    pattern: Sequence[int],
+    *,
+    r: float = 1.0,
+    target_latency_factor: float = 3.0,
+    loads: Sequence[float] | None = None,
+    horizon: float = 1200.0,
+    warmup: float = 300.0,
+    seed: int = 0,
+) -> float:
+    """Measure a pattern's effective gap on the packet-level simulator.
+
+    Drives the network with the fixed ``pattern`` (node i always sends
+    to ``pattern[i]``) at increasing per-node rates; the effective gap
+    is the reciprocal of the highest offered load whose mean latency
+    stays below ``target_latency_factor`` x the idle-network latency of
+    the same pattern.  Returns ``inf`` if even the lightest probed load
+    saturates.
+    """
+    pattern = np.asarray(pattern)
+    if loads is None:
+        loads = [0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.7, 0.9]
+
+    def chooser(src: int, rng: np.random.Generator) -> int:
+        return int(pattern[src])
+
+    # Idle-network reference latency from a deliberately light probe.
+    probe = simulate_load(
+        n_nodes,
+        route,
+        min(min(loads), 0.01),
+        r=r,
+        horizon=horizon,
+        warmup=warmup,
+        pattern=chooser,
+        seed=seed,
+    )
+    baseline = max(probe.mean_latency, r)
+    best = None
+    for lam in sorted(loads):
+        pt = simulate_load(
+            n_nodes,
+            route,
+            lam,
+            r=r,
+            horizon=horizon,
+            warmup=warmup,
+            pattern=chooser,
+            seed=seed,
+        )
+        if pt.mean_latency <= target_latency_factor * baseline:
+            best = lam
+        else:
+            break
+    if best is None:
+        return float("inf")
+    return 1.0 / best

@@ -1,0 +1,121 @@
+"""Communication patterns, good and bad (Section 5.6).
+
+"By abstracting the internal structure of the network into a few
+performance parameters, the model cannot distinguish between 'good'
+permutations and 'bad' permutations."  This module provides the standard
+patterns as destination maps, plus a link-contention analyzer that, for
+a given topology+routing, reports how unevenly a pattern loads the
+links — quantifying exactly what LogP abstracts away (and what the
+multiple-``g`` extension the paper suggests would parameterize).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "uniform_pattern",
+    "transpose_pattern",
+    "bit_reverse_pattern",
+    "shift_pattern",
+    "hotspot_pattern",
+    "remap_pattern",
+    "link_load",
+    "max_link_contention",
+]
+
+
+def _check_pow2(n: int) -> int:
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"need a power of two >= 2, got {n}")
+    return int(math.log2(n))
+
+
+def uniform_pattern(P: int, seed: int = 0) -> np.ndarray:
+    """A random permutation with no fixed points (derangement by
+    rejection) — the benign baseline."""
+    rng = np.random.default_rng(seed)
+    while True:
+        perm = rng.permutation(P)
+        if not np.any(perm == np.arange(P)):
+            return perm
+
+
+def transpose_pattern(P: int) -> np.ndarray:
+    """Matrix transpose: node (i, j) -> (j, i) on a sqrt(P) grid — a
+    classically bad permutation for meshes and multistage networks."""
+    k = math.isqrt(P)
+    if k * k != P:
+        raise ValueError(f"transpose needs square P, got {P}")
+    idx = np.arange(P)
+    i, j = idx // k, idx % k
+    return j * k + i
+
+
+def bit_reverse_pattern(P: int) -> np.ndarray:
+    """Bit-reversal permutation — pathological on hypercubes with
+    dimension-order routing."""
+    bits = _check_pow2(P)
+    rev = np.zeros(P, dtype=np.int64)
+    for b in range(bits):
+        rev = (rev << 1) | ((np.arange(P) >> b) & 1)
+    return rev
+
+
+def shift_pattern(P: int, k: int = 1) -> np.ndarray:
+    """Cyclic shift by ``k`` — contention-free on rings and tori."""
+    return (np.arange(P) + k) % P
+
+
+def hotspot_pattern(P: int, target: int = 0) -> np.ndarray:
+    """Everyone sends to one node — the degenerate worst case the LogP
+    capacity constraint throttles."""
+    out = np.full(P, target, dtype=np.int64)
+    out[target] = (target + 1) % P
+    return out
+
+
+def remap_pattern(n: int, P: int) -> list[tuple[int, int, int]]:
+    """The FFT cyclic->blocked remap as (src, dst, count) triples:
+    each processor sends ``n/P**2`` points to every other — a balanced
+    all-to-all, not a permutation."""
+    _check_pow2(n)
+    _check_pow2(P)
+    if n < P * P:
+        raise ValueError(f"remap needs n >= P**2, got n={n}, P={P}")
+    per = n // (P * P)
+    return [
+        (s, d, per) for s in range(P) for d in range(P) if s != d
+    ]
+
+
+def link_load(
+    pattern: Sequence[int],
+    route,
+) -> Counter:
+    """Count how many routes cross each directed link under a pattern.
+
+    ``route(src, dst)`` returns the node sequence; returns a Counter of
+    (node, node) -> crossings.
+    """
+    loads: Counter = Counter()
+    for src, dst in enumerate(pattern):
+        if src == int(dst):
+            continue
+        path = list(route(src, int(dst)))
+        for a, b in zip(path, path[1:]):
+            loads[(a, b)] += 1
+    return loads
+
+
+def max_link_contention(pattern: Sequence[int], route) -> int:
+    """The busiest link's crossing count: 1 means the permutation is
+    contention-free under this routing ("repeated transmissions within
+    this pattern can utilize essentially the full bandwidth"); large
+    values mean intermediate routers saturate."""
+    loads = link_load(pattern, route)
+    return max(loads.values(), default=0)

@@ -1,0 +1,118 @@
+"""Deterministic routing on the Section 5 topologies.
+
+Used by the saturation simulator (:mod:`repro.topology.saturation`) and
+by the hop-count cross-checks: e-cube (dimension-order) routing for
+hypercubes, dimension-order with optional wraparound for meshes/tori,
+up-down routing for fat trees.
+
+Routes are returned as node sequences including source and destination;
+the hop count is ``len(route) - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "hypercube_route",
+    "grid_route",
+    "fat_tree_route",
+    "butterfly_route",
+    "hop_count",
+]
+
+
+def hop_count(route: Sequence) -> int:
+    """Number of links a route crosses."""
+    return len(route) - 1
+
+
+def hypercube_route(src: int, dst: int, dim: int) -> list[int]:
+    """E-cube routing: correct differing bits lowest-first.
+
+    Deterministic and deadlock-free; route length equals the Hamming
+    distance.
+    """
+    if not (0 <= src < 2**dim and 0 <= dst < 2**dim):
+        raise ValueError(f"nodes out of range for dim={dim}")
+    route = [src]
+    cur = src
+    for b in range(dim):
+        bit = 1 << b
+        if (cur ^ dst) & bit:
+            cur ^= bit
+            route.append(cur)
+    return route
+
+
+def grid_route(
+    src: tuple[int, ...],
+    dst: tuple[int, ...],
+    shape: tuple[int, ...],
+    wrap: bool = False,
+) -> list[tuple[int, ...]]:
+    """Dimension-order routing on a mesh (or torus with ``wrap``).
+
+    Corrects coordinates dimension by dimension; on a torus each
+    dimension takes the shorter way around (ties go up).
+    """
+    if len(src) != len(shape) or len(dst) != len(shape):
+        raise ValueError("coordinate rank mismatch")
+    for c, k in zip(src + dst, shape + shape):
+        if not 0 <= c < k:
+            raise ValueError(f"coordinate {c} out of range {k}")
+    route = [tuple(src)]
+    cur = list(src)
+    for d, k in enumerate(shape):
+        while cur[d] != dst[d]:
+            if not wrap:
+                step = 1 if dst[d] > cur[d] else -1
+                cur[d] += step
+            else:
+                fwd = (dst[d] - cur[d]) % k
+                back = (cur[d] - dst[d]) % k
+                cur[d] = (cur[d] + (1 if fwd <= back else -1)) % k
+            route.append(tuple(cur))
+    return route
+
+
+def fat_tree_route(src: int, dst: int, height: int) -> list[tuple[int, int]]:
+    """Up-down routing in a 4-ary fat tree of ``height`` levels.
+
+    Climb to the lowest common ancestor, then descend.  Nodes are
+    ``(level, index)``; leaves are level 0.
+    """
+    P = 4**height
+    if not (0 <= src < P and 0 <= dst < P):
+        raise ValueError(f"leaves out of range for height={height}")
+    if src == dst:
+        return [(0, src)]
+    # Find the lowest level l where the two leaves share a 4^l subtree.
+    lca = 1
+    while src // (4**lca) != dst // (4**lca):
+        lca += 1
+    up = [(lvl, src // (4**lvl)) for lvl in range(lca + 1)]
+    down = [(lvl, dst // (4**lvl)) for lvl in range(lca - 1, -1, -1)]
+    return up + down
+
+
+def butterfly_route(src: int, dst: int, dim: int) -> list[tuple[int, int]]:
+    """Forward routing through a ``dim``-stage butterfly.
+
+    The message enters at switch ``(0, src)`` and exits at
+    ``(dim, dst)``; at stage ``c`` the switch either goes straight or
+    crosses, fixing bit ``dim - 1 - c`` of the row to match ``dst``.
+    Every route has exactly ``dim`` hops — which is why the butterfly's
+    average distance in the Section 5.1 table is ``log2 P``.
+    """
+    P = 2**dim
+    if not (0 <= src < P and 0 <= dst < P):
+        raise ValueError(f"nodes out of range for dim={dim}")
+    route = [(0, src)]
+    row = src
+    for c in range(dim):
+        bit = 1 << (dim - 1 - c)
+        if (row ^ dst) & bit:
+            row ^= bit
+        route.append((c + 1, row))
+    return route

@@ -1,0 +1,153 @@
+"""Packet-level network saturation (Section 5.3).
+
+"In a real machine the latency experienced by a message tends to
+increase as a function of the load ... there is typically a saturation
+point at which the latency increases sharply; below the saturation point
+the latency is fairly insensitive to the load.  This characteristic is
+captured by the capacity constraint in LogP."
+
+This module is a from-scratch packet-level simulator over the explicit
+topologies of :mod:`repro.topology.topologies`: store-and-forward
+routing where every directed link serves one packet per ``r`` cycles and
+queues the rest.  Open-loop injection at a per-node rate ``lam`` with a
+configurable traffic pattern produces the latency-vs-offered-load curve,
+whose knee the benchmark compares against the LogP capacity constraint
+``ceil(L/g)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "LoadPoint",
+    "simulate_load",
+    "latency_vs_load",
+    "find_knee",
+    "RouteFn",
+]
+
+RouteFn = Callable[[int, int], Sequence[Hashable]]
+
+
+@dataclass(frozen=True, slots=True)
+class LoadPoint:
+    """One point of the latency/load curve."""
+
+    offered_load: float  # packets per node per cycle
+    mean_latency: float
+    p95_latency: float
+    delivered: int
+    throughput: float  # delivered packets per node per cycle
+
+
+def simulate_load(
+    n_nodes: int,
+    route: RouteFn,
+    lam: float,
+    *,
+    r: float = 1.0,
+    horizon: float = 2000.0,
+    warmup: float = 500.0,
+    pattern: Callable[[int, np.random.Generator], int] | None = None,
+    seed: int = 0,
+) -> LoadPoint:
+    """Run one offered-load level and measure delivered-packet latency.
+
+    Args:
+        n_nodes: processor count.
+        route: ``route(src, dst)`` -> node sequence (src..dst inclusive).
+        lam: injection rate, packets per node per cycle (Poisson).
+        r: per-hop link service time in cycles.
+        horizon: injection stops here; in-flight packets then drain.
+        warmup: packets injected before this are excluded from stats.
+        pattern: destination chooser ``pattern(src, rng) -> dst``
+            (default: uniform random over other nodes).
+        seed: RNG seed.
+    """
+    if lam <= 0:
+        raise ValueError(f"lam must be > 0, got {lam}")
+    rng = np.random.default_rng(seed)
+    if pattern is None:
+
+        def pattern(src: int, rng: np.random.Generator) -> int:
+            dst = int(rng.integers(n_nodes - 1))
+            return dst if dst < src else dst + 1
+
+    # Pre-draw Poisson injection times per node.
+    injections: list[tuple[float, int, int]] = []  # (time, src, dst)
+    for src in range(n_nodes):
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / lam))
+            if t >= horizon:
+                break
+            injections.append((t, src, pattern(src, rng)))
+    injections.sort()
+
+    link_free: dict[tuple[Hashable, Hashable], float] = {}
+    latencies: list[float] = []
+    # Event heap: (time, seq, packet_state); packet advances hop by hop.
+    heap: list[tuple[float, int, float, list, int]] = []
+    seq = 0
+    for t0, src, dst in injections:
+        path = list(route(src, dst))
+        if len(path) < 2:
+            continue
+        heapq.heappush(heap, (t0, seq, t0, path, 0))
+        seq += 1
+
+    while heap:
+        now, _, t0, path, hop = heapq.heappop(heap)
+        link = (path[hop], path[hop + 1])
+        start = max(now, link_free.get(link, 0.0))
+        done = start + r
+        link_free[link] = done
+        if hop + 2 == len(path):
+            if t0 >= warmup:
+                latencies.append(done - t0)
+        else:
+            heapq.heappush(heap, (done, seq, t0, path, hop + 1))
+            seq += 1
+
+    lat = np.asarray(latencies) if latencies else np.asarray([0.0])
+    measured_span = horizon - warmup
+    return LoadPoint(
+        offered_load=lam,
+        mean_latency=float(lat.mean()),
+        p95_latency=float(np.percentile(lat, 95)),
+        delivered=len(latencies),
+        throughput=len(latencies) / (n_nodes * measured_span),
+    )
+
+
+def latency_vs_load(
+    n_nodes: int,
+    route: RouteFn,
+    loads: Sequence[float],
+    **kwargs,
+) -> list[LoadPoint]:
+    """Sweep offered loads and return the latency curve (Section 5.3's
+    exhibit)."""
+    return [simulate_load(n_nodes, route, lam, **kwargs) for lam in loads]
+
+
+def find_knee(points: Sequence[LoadPoint], factor: float = 2.0) -> float:
+    """Estimate the saturation point: the lowest offered load whose mean
+    latency exceeds ``factor`` x the lightest-load latency.  Returns
+    ``inf`` if the curve never saturates over the measured range."""
+    if not points:
+        raise ValueError("no load points supplied")
+    pts = sorted(points, key=lambda q: q.offered_load)
+    base = pts[0].mean_latency
+    if base <= 0:
+        base = min((q.mean_latency for q in pts if q.mean_latency > 0), default=1.0)
+    for q in pts:
+        if q.mean_latency > factor * base:
+            return q.offered_load
+    return math.inf

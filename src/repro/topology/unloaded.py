@@ -1,0 +1,96 @@
+"""Unloaded message time and the LogP calibration recipe (Section 5.2).
+
+"In a real machine, transmission of an M-bit long message in an unloaded
+or lightly loaded network has four parts":
+
+    ``T(M, H) = Tsnd + ceil(M/w) + H*r + Trcv``
+
+— send overhead, channel-width-limited injection of ``M`` bits ``w`` at
+a time, ``H`` hops of per-node delay ``r``, and receive overhead, all in
+machine cycles.  Table 1 evaluates this at ``M = 160`` bits for five
+machines (plus two Active Message rows).
+
+The section then gives the recipe for extracting LogP parameters from
+those constants: ``o = (Tsnd + Trcv)/2``, ``L = H*r + ceil(M/w)`` with
+``H`` the maximum route length and ``M`` the fixed message size in use,
+and ``g`` as the message size divided by per-processor bisection
+bandwidth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.params import LogPParams
+
+__all__ = ["NetworkHardware", "unloaded_time", "logp_from_hardware"]
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkHardware:
+    """Hardware constants of one machine's network (one Table 1 row).
+
+    Attributes:
+        name: machine name.
+        network: topology family label.
+        cycle_ns: network cycle time in nanoseconds.
+        w: channel width in bits per cycle.
+        send_recv_overhead: ``Tsnd + Trcv`` in cycles.
+        r: routing delay through one intermediate node, in cycles.
+        avg_hops: average route length at the quoted configuration.
+        P: the configuration's processor count (1024 in Table 1).
+        max_hops: maximum route length (defaults to ``2 * avg_hops``
+            rounded, a conservative stand-in when the diameter isn't
+            quoted).
+        bisection_bw_bits_per_cycle_per_proc: per-processor bisection
+            bandwidth, in bits/cycle, for the ``g`` calibration
+            (optional).
+    """
+
+    name: str
+    network: str
+    cycle_ns: float
+    w: int
+    send_recv_overhead: float
+    r: float
+    avg_hops: float
+    P: int = 1024
+    max_hops: float | None = None
+    bisection_bw_bits_per_cycle_per_proc: float | None = None
+
+    def __post_init__(self) -> None:
+        if min(self.cycle_ns, self.w, self.r) <= 0:
+            raise ValueError("cycle_ns, w and r must be positive")
+        if self.send_recv_overhead < 0 or self.avg_hops < 0:
+            raise ValueError("overhead and hops must be >= 0")
+
+
+def unloaded_time(hw: NetworkHardware, M: int, hops: float | None = None) -> float:
+    """``T(M, H)`` in cycles for an ``M``-bit message over ``hops``
+    (default: the machine's average route).  Table 1's final column is
+    ``unloaded_time(hw, 160)``."""
+    if M < 1:
+        raise ValueError(f"M must be >= 1 bit, got {M}")
+    H = hw.avg_hops if hops is None else hops
+    return hw.send_recv_overhead + math.ceil(M / hw.w) + H * hw.r
+
+
+def logp_from_hardware(
+    hw: NetworkHardware, M: int = 160
+) -> LogPParams:
+    """Extract LogP parameters per the Section 5.2 recipe.
+
+    ``o = (Tsnd + Trcv)/2``; ``L = H*r + ceil(M/w)`` with ``H`` the
+    maximum route; ``g = M / (per-processor bisection bandwidth)`` when
+    known, else ``g = o`` (overhead-limited machines).  All in network
+    cycles.
+    """
+    o = hw.send_recv_overhead / 2
+    H = hw.max_hops if hw.max_hops is not None else 2 * hw.avg_hops
+    L = H * hw.r + math.ceil(M / hw.w)
+    if hw.bisection_bw_bits_per_cycle_per_proc:
+        g = M / hw.bisection_bw_bits_per_cycle_per_proc
+    else:
+        g = o
+    return LogPParams(L=L, o=o, g=g, P=hw.P, name=hw.name)

@@ -1,0 +1,13 @@
+"""Text rendering: ASCII Gantt charts, tree diagrams, aligned tables."""
+
+from .gantt import activity_char, render_gantt
+from .tables import format_table
+from .tree import render_broadcast_tree, render_summation_tree
+
+__all__ = [
+    "render_gantt",
+    "activity_char",
+    "format_table",
+    "render_broadcast_tree",
+    "render_summation_tree",
+]

@@ -1,0 +1,97 @@
+"""ASCII Gantt charts of processor activity — the Figure 3/4 right-hand
+panels, rendered in text.
+
+Each processor gets one row; time flows left to right in fixed-width
+buckets.  Legend: ``s`` send overhead, ``r`` receive overhead,
+``#`` compute, ``!`` stall, ``.`` idle, ``-`` message in flight
+(drawn on the sender's row between injection and arrival when
+``show_flight`` is set).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.schedule import Activity, Schedule
+
+__all__ = ["render_gantt", "activity_char"]
+
+_CHARS = {
+    Activity.SEND: "s",
+    Activity.RECV: "r",
+    Activity.COMPUTE: "#",
+    Activity.STALL: "!",
+    Activity.IDLE: ".",
+}
+
+
+def activity_char(kind: Activity) -> str:
+    """The single-character glyph for an activity."""
+    return _CHARS[kind]
+
+
+def render_gantt(
+    schedule: Schedule,
+    *,
+    width: int = 72,
+    until: float | None = None,
+    show_flight: bool = False,
+) -> str:
+    """Render a schedule as an ASCII Gantt chart.
+
+    Args:
+        schedule: the trace to draw.
+        width: number of time buckets across the page.
+        until: clip the time axis (default: the makespan).
+        show_flight: overlay ``-`` on the sender's row while its message
+            is in the network (only where the row is otherwise idle).
+    """
+    span = schedule.makespan if until is None else until
+    if span <= 0:
+        return "(empty schedule)"
+    P = schedule.params.P
+    dt = span / width
+    rows: list[list[str]] = [["."] * width for _ in range(P)]
+
+    def paint(proc: int, start: float, end: float, ch: str, force: bool) -> None:
+        if end <= start:
+            # Instantaneous events still deserve one glyph.
+            end = start + dt / 2
+        lo = max(0, int(start / dt))
+        hi = min(width, max(lo + 1, int(math.ceil(end / dt))))
+        for i in range(lo, hi):
+            if force or rows[proc][i] == ".":
+                rows[proc][i] = ch
+
+    if show_flight:
+        for m in schedule.messages:
+            paint(m.src, m.inject, m.arrive, "-", force=False)
+    for rank, tl in sorted(schedule.timelines.items()):
+        for iv in tl.intervals:
+            if iv.start >= span:
+                continue
+            paint(rank, iv.start, min(iv.end, span), _CHARS[iv.kind], force=True)
+
+    header_marks = 6
+    header = [" "] * width
+    label = f"0{'':{width}}"
+    axis = []
+    for k in range(header_marks + 1):
+        t = span * k / header_marks
+        axis.append(f"{t:g}")
+    # Simple axis line: tick labels evenly spaced.
+    slot = max(1, width // header_marks)
+    axis_line = ""
+    for k in range(header_marks):
+        axis_line += f"{span * k / header_marks:<{slot}.4g}"
+    axis_line = axis_line[:width]
+
+    out = [f"t:   {axis_line}| {span:g}"]
+    for rank in range(P):
+        out.append(f"P{rank:<3d} " + "".join(rows[rank]))
+    out.append(
+        "     legend: s=send r=recv #=compute !=stall .=idle"
+        + (" -=in flight" if show_flight else "")
+    )
+    del header, label, axis
+    return "\n".join(out)

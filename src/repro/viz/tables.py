@@ -1,0 +1,61 @@
+"""Aligned text tables — the output format every benchmark prints in."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    floatfmt: str = ".3g",
+    title: str = "",
+) -> str:
+    """Format rows into an aligned monospace table.
+
+    Numbers are right-aligned and formatted with ``floatfmt``; everything
+    else is left-aligned ``str()``.
+    """
+
+    def cell(v: Any) -> str:
+        if isinstance(v, bool) or v is None:
+            return str(v)
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    def is_num(v: Any) -> bool:
+        return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+    texts = [[cell(v) for v in row] for row in rows]
+    ncols = len(headers)
+    for row in texts:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row has {len(row)} cells, header has {ncols}"
+            )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in texts)) if texts else len(headers[c])
+        for c in range(ncols)
+    ]
+    numeric = [
+        all(is_num(row[c]) for row in rows) and bool(rows) for c in range(ncols)
+    ]
+
+    def fmt_row(cells: Sequence[str], nums: Sequence[bool]) -> str:
+        return "  ".join(
+            c.rjust(w) if num else c.ljust(w)
+            for c, w, num in zip(cells, widths, nums)
+        ).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers, [False] * ncols))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in texts:
+        lines.append(fmt_row(row, numeric))
+    return "\n".join(lines)

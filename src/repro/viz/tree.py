@@ -1,0 +1,53 @@
+"""Text rendering of broadcast/summation trees (Figure 3/4 left panels)."""
+
+from __future__ import annotations
+
+from ..algorithms.broadcast import BroadcastTree
+from ..algorithms.summation import SummationTree
+
+__all__ = ["render_broadcast_tree", "render_summation_tree"]
+
+
+def _render(
+    root: int,
+    children_of,
+    label,
+    prefix: str = "",
+) -> list[str]:
+    lines = [f"{prefix}{label(root)}"]
+    kids = children_of(root)
+    for i, child in enumerate(kids):
+        last = i == len(kids) - 1
+        branch = "`-- " if last else "|-- "
+        extension = "    " if last else "|   "
+        sub = _render(child, children_of, label)
+        lines.append(prefix + branch + sub[0].lstrip())
+        lines.extend(prefix + extension + s for s in sub[1:])
+    return lines
+
+
+def render_broadcast_tree(tree: BroadcastTree) -> str:
+    """Render an optimal broadcast tree with per-node receive times —
+    the node labels of Figure 3's left panel."""
+
+    def label(rank: int) -> str:
+        t = tree.recv_time[rank]
+        return f"P{rank} (t={t:g})"
+
+    return "\n".join(_render(tree.root, lambda r: tree.children[r], label))
+
+
+def render_summation_tree(tree: SummationTree) -> str:
+    """Render a summation tree with per-node deadlines and input counts —
+    the Figure 4 left panel."""
+
+    def label(rank: int) -> str:
+        node = tree.nodes[rank]
+        return (
+            f"P{rank} (deadline={node.deadline:g}, "
+            f"inputs={node.local_inputs})"
+        )
+
+    return "\n".join(
+        _render(tree.root, lambda r: tree.nodes[r].children, label)
+    )

@@ -1,0 +1,49 @@
+"""Shared fixtures: canonical parameter sets used throughout the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LogPParams
+
+
+@pytest.fixture
+def fig3_params() -> LogPParams:
+    """The Figure 3 broadcast example: P=8, L=6, g=4, o=2."""
+    return LogPParams(L=6, o=2, g=4, P=8)
+
+
+@pytest.fixture
+def fig4_params() -> LogPParams:
+    """The Figure 4 summation example: P=8, L=5, g=4, o=2."""
+    return LogPParams(L=5, o=2, g=4, P=8)
+
+
+@pytest.fixture
+def small_params() -> LogPParams:
+    """A small machine for fast simulator tests."""
+    return LogPParams(L=6, o=2, g=4, P=4)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+#: Parameter grid used by sweep-style tests: spans o-dominated,
+#: g-dominated, latency-dominated and near-free regimes.
+PARAM_GRID = [
+    LogPParams(L=6, o=2, g=4, P=8),
+    LogPParams(L=5, o=2, g=4, P=8),
+    LogPParams(L=20, o=1, g=2, P=8),
+    LogPParams(L=2, o=4, g=1, P=8),
+    LogPParams(L=10, o=0, g=1, P=16),
+    LogPParams(L=1, o=1, g=8, P=4),
+    LogPParams(L=12, o=3, g=3, P=16),
+]
+
+
+@pytest.fixture(params=PARAM_GRID, ids=lambda p: f"L{p.L}o{p.o}g{p.g}P{p.P}")
+def grid_params(request) -> LogPParams:
+    return request.param

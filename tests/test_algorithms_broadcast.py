@@ -1,0 +1,195 @@
+"""Tests for repro.algorithms.broadcast: the optimal broadcast (Fig 3)."""
+
+import pytest
+
+from repro.core import LogPParams
+from repro.algorithms.broadcast import (
+    binomial_tree,
+    broadcast_program,
+    broadcast_schedule,
+    flat_tree,
+    linear_tree,
+    optimal_broadcast_time,
+    optimal_broadcast_tree,
+    tree_delivery_times,
+)
+from repro.sim import run_programs, validate_schedule
+
+
+class TestFigure3:
+    """The paper's worked example: P=8, L=6, g=4, o=2."""
+
+    def test_completion_time_is_24(self, fig3_params):
+        assert optimal_broadcast_time(fig3_params) == 24
+
+    def test_receive_times_match_figure(self, fig3_params):
+        tree = optimal_broadcast_tree(fig3_params)
+        # Figure 3's node labels: 0 at the root; 10, 14, 18, 22 for the
+        # root's children; 20 and 24 under the first child; 24 under the
+        # second.
+        assert sorted(tree.recv_time) == [0, 10, 14, 18, 20, 22, 24, 24]
+
+    def test_root_has_four_children(self, fig3_params):
+        tree = optimal_broadcast_tree(fig3_params)
+        assert tree.fanout(0) == 4
+
+    def test_first_child_sends_twice(self, fig3_params):
+        tree = optimal_broadcast_tree(fig3_params)
+        first_child = tree.children[0][0]
+        assert tree.fanout(first_child) == 2
+
+    def test_source_send_times_spaced_by_g(self, fig3_params):
+        tree = optimal_broadcast_tree(fig3_params)
+        starts = sorted(
+            t for (src, _), t in tree.send_start.items() if src == 0
+        )
+        assert starts == [0, 4, 8, 12]
+
+    def test_simulator_reproduces_completion(self, fig3_params):
+        tree = optimal_broadcast_tree(fig3_params)
+        res = run_programs(fig3_params, broadcast_program(tree, "datum"))
+        assert res.makespan == 24
+        assert set(res.values()) == {"datum"}
+        assert validate_schedule(res.schedule, exact_latency=True).ok
+
+
+class TestTreeStructure:
+    def test_single_processor(self):
+        p = LogPParams(L=6, o=2, g=4, P=1)
+        tree = optimal_broadcast_tree(p)
+        assert tree.completion_time == 0
+        assert tree.children[0] == []
+
+    def test_two_processors(self):
+        p = LogPParams(L=6, o=2, g=4, P=2)
+        assert optimal_broadcast_time(p) == p.point_to_point()
+
+    def test_every_rank_reached_once(self, grid_params):
+        tree = optimal_broadcast_tree(grid_params)
+        reached = [0] * grid_params.P
+        reached[tree.root] = 1
+        for r in range(grid_params.P):
+            for c in tree.children[r]:
+                reached[c] += 1
+        assert reached == [1] * grid_params.P
+
+    def test_parent_consistency(self, grid_params):
+        tree = optimal_broadcast_tree(grid_params)
+        for r in range(grid_params.P):
+            for c in tree.children[r]:
+                assert tree.parent[c] == r
+
+    def test_nonzero_root(self, fig3_params):
+        tree = optimal_broadcast_tree(fig3_params, root=3)
+        assert tree.root == 3
+        assert tree.recv_time[3] == 0
+        assert tree.completion_time == 24
+
+    def test_invalid_root_rejected(self, fig3_params):
+        with pytest.raises(ValueError):
+            optimal_broadcast_tree(fig3_params, root=8)
+
+    def test_children_in_send_order(self, grid_params):
+        tree = optimal_broadcast_tree(grid_params)
+        for r in range(grid_params.P):
+            times = [tree.send_start[(r, c)] for c in tree.children[r]]
+            assert times == sorted(times)
+
+    def test_depth_reasonable(self, fig3_params):
+        tree = optimal_broadcast_tree(fig3_params)
+        assert 1 <= tree.depth() <= 3
+
+
+class TestOptimality:
+    def test_beats_or_ties_standard_trees(self, grid_params):
+        opt = optimal_broadcast_time(grid_params)
+        for maker in (linear_tree, flat_tree, binomial_tree):
+            children = maker(grid_params.P)
+            t = max(tree_delivery_times(grid_params, children))
+            assert opt <= t + 1e-9, f"{maker.__name__} beat 'optimal'"
+
+    def test_flat_tree_good_when_latency_dominates(self):
+        # With L >> g, relaying cannot beat the source sending everything
+        # itself: the optimal tree is flat.
+        p = LogPParams(L=50, o=0, g=1, P=6)
+        opt = optimal_broadcast_time(p)
+        flat = max(tree_delivery_times(p, flat_tree(6)))
+        assert opt == pytest.approx(flat)
+
+    def test_deep_tree_good_when_latency_small_gap_large(self):
+        # Large g punishes repeated sends from one node: prefer chains.
+        p = LogPParams(L=1, o=1, g=50, P=4)
+        opt = optimal_broadcast_time(p)
+        lin = max(tree_delivery_times(p, linear_tree(4)))
+        assert opt == pytest.approx(lin)
+
+    def test_monotone_in_P(self):
+        times = [
+            optimal_broadcast_time(LogPParams(L=6, o=2, g=4, P=P))
+            for P in range(1, 40)
+        ]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_monotone_in_L(self):
+        times = [
+            optimal_broadcast_time(LogPParams(L=L, o=2, g=4, P=16))
+            for L in range(0, 30, 3)
+        ]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+
+class TestDeliveryTimes:
+    def test_linear_tree_time(self, fig3_params):
+        # Chain of 8: 7 hops of (L + 2o) back to back.
+        t = max(tree_delivery_times(fig3_params, linear_tree(8)))
+        assert t == 7 * 10
+
+    def test_flat_tree_time(self, fig3_params):
+        t = max(tree_delivery_times(fig3_params, flat_tree(8)))
+        assert t == 6 * 4 + 10
+
+    def test_rejects_duplicate_node(self, fig3_params):
+        children = [[1, 2], [2], [], [], [], [], [], []]
+        with pytest.raises(ValueError, match="twice"):
+            tree_delivery_times(fig3_params, children)
+
+    def test_rejects_unreachable_node(self, fig3_params):
+        children = [[1], [], [], [], [], [], [], []]
+        with pytest.raises(ValueError, match="reaches"):
+            tree_delivery_times(fig3_params, children)
+
+
+class TestSimulatorAgreement:
+    """Analysis == simulation, exactly, across the parameter grid."""
+
+    def test_optimal_tree_sim_matches_analysis(self, grid_params):
+        tree = optimal_broadcast_tree(grid_params)
+        res = run_programs(grid_params, broadcast_program(tree, 7))
+        assert res.makespan == pytest.approx(tree.completion_time)
+        assert validate_schedule(res.schedule, exact_latency=True).ok
+
+    def test_binomial_tree_sim_matches_analysis(self, grid_params):
+        children = binomial_tree(grid_params.P)
+        expected = max(tree_delivery_times(grid_params, children))
+        from repro.sim import tree_broadcast
+
+        def prog(rank, P):
+            v = yield from tree_broadcast(rank, P, 1 if rank == 0 else None, children)
+            return v
+
+        res = run_programs(grid_params, prog)
+        assert res.makespan == pytest.approx(expected)
+
+
+class TestScheduleRendering:
+    def test_schedule_validates(self, fig3_params):
+        sched = broadcast_schedule(optimal_broadcast_tree(fig3_params))
+        assert validate_schedule(sched, exact_latency=True).ok
+
+    def test_schedule_message_count(self, fig3_params):
+        sched = broadcast_schedule(optimal_broadcast_tree(fig3_params))
+        assert len(sched.messages) == 7
+
+    def test_schedule_makespan(self, fig3_params):
+        sched = broadcast_schedule(optimal_broadcast_tree(fig3_params))
+        assert sched.makespan == 24

@@ -1,0 +1,159 @@
+"""Tests for repro.algorithms.components: distributed connected
+components and the contention study."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import LogPParams
+from repro.algorithms.components import (
+    hotspot_factor,
+    labels_to_sets,
+    run_connected_components,
+)
+from repro.sim import validate_schedule
+
+
+@pytest.fixture
+def p4():
+    return LogPParams(L=6, o=2, g=4, P=4)
+
+
+def nx_truth(G):
+    return sorted((frozenset(c) for c in nx.connected_components(G)), key=min)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("combining", [True, False])
+    def test_random_graph(self, p4, combining):
+        G = nx.gnm_random_graph(48, 70, seed=11)
+        out = run_connected_components(
+            p4, 48, list(G.edges()), combining=combining
+        )
+        assert labels_to_sets(out.labels) == nx_truth(G)
+
+    def test_disconnected_graph(self, p4):
+        G = nx.Graph()
+        G.add_nodes_from(range(32))
+        G.add_edges_from([(0, 1), (2, 3), (10, 20), (20, 30)])
+        out = run_connected_components(p4, 32, list(G.edges()))
+        assert labels_to_sets(out.labels) == nx_truth(G)
+        # {0,1}, {2,3}, {10,20,30} plus 25 singletons.
+        assert out.components == 28
+
+    def test_no_edges(self, p4):
+        out = run_connected_components(p4, 16, [])
+        assert out.components == 16
+
+    def test_single_component_path(self, p4):
+        edges = [(i, i + 1) for i in range(31)]
+        out = run_connected_components(p4, 32, edges)
+        assert out.components == 1
+        assert set(out.labels) == {0}
+
+    def test_star_graph(self, p4):
+        edges = [(0, i) for i in range(1, 32)]
+        out = run_connected_components(p4, 32, edges)
+        assert out.components == 1
+
+    def test_two_cliques(self, p4):
+        edges = [(i, j) for i in range(8) for j in range(i + 1, 8)]
+        edges += [(i, j) for i in range(8, 16) for j in range(i + 1, 16)]
+        out = run_connected_components(p4, 16, edges)
+        assert out.components == 2
+
+    def test_labels_are_component_minima(self, p4):
+        G = nx.gnm_random_graph(40, 50, seed=3)
+        out = run_connected_components(p4, 40, list(G.edges()))
+        for comp in nx.connected_components(G):
+            mn = min(comp)
+            assert all(out.labels[v] == mn for v in comp)
+
+    def test_edge_out_of_range_rejected(self, p4):
+        with pytest.raises(ValueError):
+            run_connected_components(p4, 8, [(0, 9)])
+
+    def test_duplicate_and_self_loop_edges_tolerated(self, p4):
+        edges = [(0, 1), (1, 0), (0, 1), (2, 2), (2, 3)]
+        out = run_connected_components(p4, 8, edges)
+        sets = labels_to_sets(out.labels)
+        assert frozenset({0, 1}) in sets
+        assert frozenset({2, 3}) in sets
+
+    def test_schedule_validates(self, p4):
+        G = nx.gnm_random_graph(24, 30, seed=5)
+        out = run_connected_components(p4, 24, list(G.edges()))
+        assert validate_schedule(out.machine.schedule, exact_latency=True).ok
+
+
+class TestContentionStudy:
+    """Section 4.2.3: combining mitigates root-owner hot spots."""
+
+    def test_combining_reduces_traffic(self, p4):
+        G = nx.gnm_random_graph(64, 200, seed=19)
+        naive = run_connected_components(p4, 64, list(G.edges()), combining=False)
+        comb = run_connected_components(p4, 64, list(G.edges()), combining=True)
+        assert comb.receive_load.sum() < naive.receive_load.sum()
+
+    def test_combining_not_slower(self, p4):
+        G = nx.gnm_random_graph(64, 200, seed=19)
+        naive = run_connected_components(p4, 64, list(G.edges()), combining=False)
+        comb = run_connected_components(p4, 64, list(G.edges()), combining=True)
+        assert comb.makespan <= naive.makespan
+
+    def test_hotspot_factor_definition(self):
+        assert hotspot_factor(np.array([10, 10, 10, 10])) == 1.0
+        assert hotspot_factor(np.array([40, 0, 0, 0])) == 4.0
+        assert hotspot_factor(np.array([0, 0])) == 1.0
+
+    def test_dense_single_component_creates_hotspot(self):
+        # Everything merges to root 0; its owner serves the jump queries.
+        p8 = LogPParams(L=6, o=2, g=4, P=8)
+        G = nx.gnm_random_graph(64, 400, seed=23)
+        assert nx.number_connected_components(G) == 1
+        out = run_connected_components(p8, 64, list(G.edges()), combining=False)
+        assert hotspot_factor(out.receive_load) > 1.05
+
+    def test_rounds_logarithmic_ish(self, p4):
+        # Hook-and-jump converges in far fewer than n rounds.
+        edges = [(i, i + 1) for i in range(63)]
+        out = run_connected_components(p4, 64, edges)
+        assert out.rounds <= 16
+
+    def test_jump_queries_concentrate_over_rounds(self):
+        """'Processors owning such nodes are the target of increasing
+        numbers of pointer-jumping queries as the algorithm progresses'
+        — the per-round concentration at the busiest owner rises toward
+        1 as components merge."""
+        import networkx as nx
+
+        p8 = LogPParams(L=6, o=2, g=4, P=8)
+        G = nx.gnm_random_graph(96, 400, seed=42)
+        out = run_connected_components(
+            p8, 96, list(G.edges()), combining=False
+        )
+        conc = out.query_concentration()
+        assert len(conc) >= 3
+        assert conc[-1] > conc[0]
+        assert conc[-1] == pytest.approx(1.0)  # one surviving root
+
+    def test_combining_shrinks_jump_volume_over_rounds(self):
+        import networkx as nx
+
+        p8 = LogPParams(L=6, o=2, g=4, P=8)
+        G = nx.gnm_random_graph(96, 400, seed=42)
+        naive = run_connected_components(
+            p8, 96, list(G.edges()), combining=False
+        )
+        comb = run_connected_components(
+            p8, 96, list(G.edges()), combining=True
+        )
+        naive_last = naive.queries_by_round[-1].sum()
+        comb_last = comb.queries_by_round[-1].sum()
+        # Combining dedups the funneled queries; naive repeats them.
+        assert comb_last < naive_last / 4
+
+    def test_queries_by_round_matches_round_count(self, p4):
+        edges = [(i, i + 1) for i in range(31)]
+        out = run_connected_components(p4, 32, edges)
+        assert len(out.queries_by_round) == out.rounds

@@ -1,0 +1,178 @@
+"""Tests for repro.algorithms.lu: LU decomposition layouts."""
+
+import numpy as np
+import pytest
+
+from repro.core import LogPParams
+from repro.algorithms.lu import (
+    Layout,
+    distributed_lu,
+    lu_factor,
+    lu_sim_program,
+    make_layout,
+    predict_lu_time,
+    reconstruct,
+    run_lu_on_machine,
+)
+from repro.sim import validate_schedule
+
+ALL_KINDS = (
+    "bad",
+    "column-blocked",
+    "column-cyclic",
+    "grid-blocked",
+    "grid-scattered",
+)
+
+
+class TestSerialKernel:
+    def test_factorization_correct(self, rng):
+        A = rng.standard_normal((20, 20))
+        piv, L, U = lu_factor(A)
+        assert np.allclose(reconstruct(piv, L, U), A)
+
+    def test_L_unit_lower_U_upper(self, rng):
+        A = rng.standard_normal((12, 12))
+        _, L, U = lu_factor(A)
+        assert np.allclose(np.diag(L), 1.0)
+        assert np.allclose(L, np.tril(L))
+        assert np.allclose(U, np.triu(U))
+
+    def test_partial_pivoting_bounds_multipliers(self, rng):
+        A = rng.standard_normal((30, 30))
+        _, L, _ = lu_factor(A)
+        assert np.abs(L).max() <= 1.0 + 1e-12
+
+    def test_pivoting_handles_zero_leading_entry(self):
+        A = np.array([[0.0, 1.0], [2.0, 3.0]])
+        piv, L, U = lu_factor(A)
+        assert np.allclose(reconstruct(piv, L, U), A)
+
+    def test_singular_rejected(self):
+        A = np.zeros((3, 3))
+        with pytest.raises(np.linalg.LinAlgError):
+            lu_factor(A)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            lu_factor(np.ones((3, 4)))
+
+    def test_identity(self):
+        piv, L, U = lu_factor(np.eye(5))
+        assert np.allclose(L, np.eye(5)) and np.allclose(U, np.eye(5))
+
+
+class TestLayouts:
+    def test_owner_ranges(self):
+        for kind in ALL_KINDS:
+            lay = make_layout(kind, 16, 4)
+            ii, jj = np.meshgrid(np.arange(16), np.arange(16), indexing="ij")
+            owners = np.asarray(lay.owner(ii, jj))
+            assert owners.min() >= 0 and owners.max() < 4
+
+    def test_column_cyclic_owner(self):
+        lay = make_layout("column-cyclic", 8, 4)
+        assert lay.owner(3, 5) == 1
+        assert lay.owner(0, 4) == 0
+
+    def test_grid_scattered_owner(self):
+        lay = make_layout("grid-scattered", 8, 4)
+        assert lay.owner(0, 0) == 0
+        assert lay.owner(1, 0) == 2
+        assert lay.owner(0, 1) == 1
+
+    def test_grid_requires_square_P(self):
+        with pytest.raises(ValueError):
+            make_layout("grid-blocked", 16, 8)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_layout("hilbert", 16, 4)
+
+    def test_analysis_kind_mapping(self):
+        assert make_layout("bad", 8, 4).analysis_kind == "bad"
+        assert make_layout("column-cyclic", 8, 4).analysis_kind == "column"
+        assert make_layout("grid-scattered", 8, 4).analysis_kind == "grid"
+
+
+class TestDistributedLU:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_numerics_identical_to_serial(self, kind, rng):
+        A = rng.standard_normal((16, 16))
+        piv0, L0, U0 = lu_factor(A)
+        lay = make_layout(kind, 16, 4)
+        piv, L, U, _ = distributed_lu(A, lay)
+        assert np.array_equal(piv, piv0)
+        assert np.allclose(L, L0) and np.allclose(U, U0)
+
+    def test_blocked_grid_idles_processors(self, rng):
+        A = rng.standard_normal((32, 32))
+        blocked = distributed_lu(A, make_layout("grid-blocked", 32, 4))[3]
+        scattered = distributed_lu(A, make_layout("grid-scattered", 32, 4))[3]
+        # "Only one processor is active for the last n/sqrt(P) steps."
+        assert blocked.tail_active(0.2) < scattered.tail_active(0.2)
+        assert blocked.steps[-1].active_processors == 1
+
+    def test_scattered_better_balanced(self, rng):
+        A = rng.standard_normal((32, 32))
+        blocked = distributed_lu(A, make_layout("grid-blocked", 32, 4))[3]
+        scattered = distributed_lu(A, make_layout("grid-scattered", 32, 4))[3]
+        assert scattered.load_imbalance < blocked.load_imbalance
+
+    def test_grid_reduces_communication_vs_column(self, rng):
+        A = rng.standard_normal((36, 36))
+        col = distributed_lu(A, make_layout("column-cyclic", 36, 9))[3]
+        grid = distributed_lu(A, make_layout("grid-scattered", 36, 9))[3]
+        col_comm = sum(s.comm_values_received_max for s in col.steps)
+        grid_comm = sum(s.comm_values_received_max for s in grid.steps)
+        # sqrt(P) = 3 gain, up to pivot-column edge effects.
+        assert grid_comm < col_comm
+
+    def test_mismatched_layout_rejected(self, rng):
+        A = rng.standard_normal((8, 8))
+        with pytest.raises(ValueError):
+            distributed_lu(A, make_layout("bad", 16, 4))
+
+
+class TestPrediction:
+    def test_layout_ordering(self):
+        p = LogPParams(L=6, o=2, g=4, P=16)
+        times = {
+            kind: predict_lu_time(p, 48, make_layout(kind, 48, 16))
+            for kind in ("bad", "column-cyclic", "grid-scattered")
+        }
+        assert times["bad"] > times["column-cyclic"] > times["grid-scattered"]
+
+    def test_measured_imbalance_increases_blocked_time(self, rng):
+        p = LogPParams(L=6, o=2, g=4, P=4)
+        A = rng.standard_normal((24, 24))
+        lay_b = make_layout("grid-blocked", 24, 4)
+        lay_s = make_layout("grid-scattered", 24, 4)
+        _, _, _, stats_b = distributed_lu(A, lay_b)
+        _, _, _, stats_s = distributed_lu(A, lay_s)
+        t_b = predict_lu_time(p, 24, lay_b, from_stats=stats_b)
+        t_s = predict_lu_time(p, 24, lay_s, from_stats=stats_s)
+        assert t_b > t_s
+
+
+class TestSimulatedLU:
+    def test_numerics_on_machine(self, rng):
+        p = LogPParams(L=6, o=2, g=4, P=4)
+        A = rng.standard_normal((16, 16))
+        piv, L, U, res = run_lu_on_machine(p, A)
+        piv0, L0, U0 = lu_factor(A)
+        assert np.array_equal(piv, piv0)
+        assert np.allclose(L, L0) and np.allclose(U, U0)
+        assert validate_schedule(res.schedule, exact_latency=True).ok
+
+    def test_more_processors_faster(self, rng):
+        A = rng.standard_normal((24, 24))
+        t2 = run_lu_on_machine(LogPParams(L=6, o=2, g=4, P=2), A)[3].makespan
+        t4 = run_lu_on_machine(LogPParams(L=6, o=2, g=4, P=4), A)[3].makespan
+        assert t4 < t2
+
+    def test_single_processor(self, rng):
+        A = rng.standard_normal((8, 8))
+        p1 = LogPParams(L=6, o=2, g=4, P=1)
+        piv, L, U, _ = run_lu_on_machine(p1, A)
+        assert np.allclose(reconstruct(piv, L, U), A)

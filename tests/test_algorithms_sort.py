@@ -1,0 +1,126 @@
+"""Tests for repro.algorithms.sort: splitter and bitonic sort."""
+
+import numpy as np
+import pytest
+
+from repro.core import LogPParams
+from repro.algorithms.sort import (
+    bitonic_sort_time,
+    run_bitonic_sort,
+    run_splitter_sort,
+    splitter_sort_time,
+)
+from repro.sim import validate_schedule
+
+
+@pytest.fixture
+def p4():
+    return LogPParams(L=6, o=2, g=4, P=4)
+
+
+class TestSplitterSort:
+    def test_sorts_random_data(self, p4, rng):
+        data = rng.standard_normal(512)
+        out = run_splitter_sort(p4, data)
+        assert np.array_equal(out.sorted_values, np.sort(data))
+
+    def test_sorts_with_duplicates(self, p4, rng):
+        data = rng.integers(0, 10, 300).astype(float)
+        out = run_splitter_sort(p4, data)
+        assert np.array_equal(out.sorted_values, np.sort(data))
+
+    def test_sorts_already_sorted(self, p4):
+        data = np.arange(200, dtype=float)
+        out = run_splitter_sort(p4, data)
+        assert np.array_equal(out.sorted_values, data)
+
+    def test_sorts_reverse_sorted(self, p4):
+        data = np.arange(200, dtype=float)[::-1]
+        out = run_splitter_sort(p4, data)
+        assert np.array_equal(out.sorted_values, np.sort(data))
+
+    def test_uneven_chunks(self, p4, rng):
+        data = rng.standard_normal(203)  # not divisible by 4
+        out = run_splitter_sort(p4, data)
+        assert np.array_equal(out.sorted_values, np.sort(data))
+
+    def test_schedule_validates(self, p4, rng):
+        out = run_splitter_sort(p4, rng.standard_normal(128))
+        assert validate_schedule(out.machine.schedule, exact_latency=True).ok
+
+    def test_oversampling_bounds_buckets(self, p4, rng):
+        data = rng.standard_normal(1024)
+        small = run_splitter_sort(p4, data, oversample=2)
+        big = run_splitter_sort(p4, data, oversample=32)
+        # More samples -> tighter splitters -> flatter buckets.
+        assert big.max_bucket <= small.max_bucket * 1.5
+        assert big.max_bucket < 1024
+
+    def test_eight_processors(self, rng):
+        p8 = LogPParams(L=6, o=2, g=4, P=8)
+        data = rng.standard_normal(640)
+        out = run_splitter_sort(p8, data)
+        assert np.array_equal(out.sorted_values, np.sort(data))
+
+
+class TestBitonicSort:
+    def test_sorts_random_data(self, p4, rng):
+        data = rng.standard_normal(256)
+        out = run_bitonic_sort(p4, data)
+        assert np.array_equal(out.sorted_values, np.sort(data))
+
+    def test_padding_removed(self, p4, rng):
+        data = rng.standard_normal(101)
+        out = run_bitonic_sort(p4, data)
+        assert len(out.sorted_values) == 101
+        assert np.array_equal(out.sorted_values, np.sort(data))
+
+    def test_eight_processors(self, rng):
+        p8 = LogPParams(L=6, o=2, g=4, P=8)
+        data = rng.standard_normal(256)
+        out = run_bitonic_sort(p8, data)
+        assert np.array_equal(out.sorted_values, np.sort(data))
+
+    def test_rejects_non_power_of_two_P(self, rng):
+        p3 = LogPParams(L=6, o=2, g=4, P=3)
+        with pytest.raises(ValueError):
+            run_bitonic_sort(p3, rng.standard_normal(30))
+
+    def test_schedule_validates(self, p4, rng):
+        out = run_bitonic_sort(p4, rng.standard_normal(64))
+        assert validate_schedule(out.machine.schedule, exact_latency=True).ok
+
+
+class TestCostModels:
+    def test_splitter_time_components_positive(self, p4):
+        assert splitter_sort_time(p4, 1024) > 0
+
+    def test_splitter_beats_bitonic_at_scale(self):
+        # Splitter sort's single remap beats bitonic's log^2 P rounds
+        # once P is large.
+        p = LogPParams(L=6, o=2, g=4, P=64)
+        n = 2**16
+        assert splitter_sort_time(p, n) < bitonic_sort_time(p, n)
+
+    def test_bitonic_round_count_scaling(self):
+        # Doubling P adds (log P + 1) more rounds worth of cost.
+        n = 2**14
+        p16 = LogPParams(L=6, o=2, g=4, P=16)
+        p64 = LogPParams(L=6, o=2, g=4, P=64)
+        per16 = bitonic_sort_time(p16, n)
+        per64 = bitonic_sort_time(p64, n)
+        assert per64 > 0 and per16 > 0
+
+    def test_rejects_tiny_n(self, p4):
+        with pytest.raises(ValueError):
+            splitter_sort_time(p4, 2)
+        with pytest.raises(ValueError):
+            bitonic_sort_time(p4, 2)
+
+    def test_simulated_splitter_within_model_factor(self, p4, rng):
+        # Model and simulation agree within a small constant factor
+        # (the model charges comparisons; the sim charges the same).
+        data = rng.standard_normal(512)
+        out = run_splitter_sort(p4, data)
+        predicted = splitter_sort_time(p4, 512)
+        assert 0.4 * predicted <= out.makespan <= 2.5 * predicted

@@ -1,0 +1,167 @@
+"""Tests for repro.algorithms.summation: optimal summation (Fig 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LogPParams
+from repro.algorithms.summation import (
+    balanced_reduction_time,
+    distribute_inputs,
+    optimal_summation_tree,
+    summation_capacity,
+    summation_program,
+    summation_time,
+)
+from repro.sim import run_programs, validate_schedule
+
+
+class TestFigure4:
+    """The paper's worked example: T=28, P=8, L=5, g=4, o=2."""
+
+    def test_tree_deadlines_match_figure(self, fig4_params):
+        tree = optimal_summation_tree(fig4_params, 28)
+        assert sorted(n.deadline for n in tree.nodes) == [
+            4, 4, 6, 8, 10, 14, 18, 28,
+        ]
+
+    def test_root_children_deadlines(self, fig4_params):
+        tree = optimal_summation_tree(fig4_params, 28)
+        kid_deadlines = sorted(
+            tree.nodes[c].deadline for c in tree.nodes[0].children
+        )
+        assert kid_deadlines == [6, 10, 14, 18]
+
+    def test_grandchildren(self, fig4_params):
+        tree = optimal_summation_tree(fig4_params, 28)
+        first = next(n for n in tree.nodes if n.deadline == 18)
+        assert sorted(tree.nodes[c].deadline for c in first.children) == [4, 8]
+        second = next(n for n in tree.nodes if n.deadline == 14)
+        assert [tree.nodes[c].deadline for c in second.children] == [4]
+
+    def test_all_eight_processors_used(self, fig4_params):
+        tree = optimal_summation_tree(fig4_params, 28)
+        assert tree.processors_used == 8
+
+    def test_inputs_unequally_distributed(self, fig4_params):
+        # "Notice that the inputs are not equally distributed over
+        # processors."
+        tree = optimal_summation_tree(fig4_params, 28)
+        counts = [n.local_inputs for n in tree.nodes]
+        assert len(set(counts)) > 1
+        assert max(counts) == 17  # the root holds the most
+
+    def test_capacity_79_values(self, fig4_params):
+        assert summation_capacity(fig4_params, 28) == 79
+
+    def test_simulation_hits_deadline_exactly(self, fig4_params, rng):
+        tree = optimal_summation_tree(fig4_params, 28)
+        values = rng.standard_normal(tree.total_values)
+        inputs = distribute_inputs(tree, values)
+        res = run_programs(fig4_params, summation_program(tree, inputs))
+        assert res.makespan == 28
+        assert res.value(0) == pytest.approx(values.sum())
+        assert validate_schedule(res.schedule, exact_latency=True).ok
+
+
+class TestCapacityFunction:
+    def test_no_time_one_value(self, fig4_params):
+        assert summation_capacity(fig4_params, 0) == 1
+
+    def test_below_communication_threshold_is_serial(self, fig4_params):
+        # T < L + 2o + 1: no partial sum can arrive; T+1 values serially.
+        for T in range(0, 10):
+            assert summation_capacity(fig4_params, T) == T + 1
+
+    def test_monotone_in_T(self, grid_params):
+        caps = [summation_capacity(grid_params, T) for T in range(0, 60, 3)]
+        assert all(a <= b for a, b in zip(caps, caps[1:]))
+
+    def test_parallel_beats_serial_eventually(self, grid_params):
+        if grid_params.P == 1:
+            pytest.skip("needs parallelism")
+        T = 20 * (grid_params.L + 2 * grid_params.o + 1)
+        assert summation_capacity(grid_params, T) > T + 1
+
+    def test_negative_deadline_rejected(self, fig4_params):
+        with pytest.raises(ValueError):
+            optimal_summation_tree(fig4_params, -1)
+
+    def test_single_processor_capacity(self):
+        p = LogPParams(L=5, o=2, g=4, P=1)
+        assert summation_capacity(p, 100) == 101
+
+
+class TestSummationTime:
+    def test_inverse_of_capacity(self, fig4_params):
+        assert summation_time(fig4_params, 79) == 28
+
+    def test_one_value_free(self, fig4_params):
+        assert summation_time(fig4_params, 1) == 0
+
+    def test_round_trip_inverse(self, grid_params):
+        for n in (1, 5, 17, 60, 200):
+            T = summation_time(grid_params, n)
+            assert summation_capacity(grid_params, T) >= n
+            if T > 0:
+                assert summation_capacity(grid_params, T - 1) < n
+
+    def test_rejects_zero(self, fig4_params):
+        with pytest.raises(ValueError):
+            summation_time(fig4_params, 0)
+
+
+class TestOptimality:
+    def test_beats_balanced_reduction(self, fig4_params):
+        # The schedule-aware optimum beats the oblivious baseline.
+        n = 79
+        assert summation_time(fig4_params, n) < balanced_reduction_time(
+            fig4_params, n
+        )
+
+    def test_balanced_baseline_formula(self, fig4_params):
+        # ceil(79/8)-1 local adds + 3 levels of (L+2o+1).
+        assert balanced_reduction_time(fig4_params, 79) == 9 + 3 * 10
+
+    def test_never_beaten_by_balanced_across_grid(self, grid_params):
+        for n in (10, 100, 500):
+            assert summation_time(grid_params, n) <= balanced_reduction_time(
+                grid_params, n
+            )
+
+
+class TestSimulationAgreement:
+    """The schedule executes exactly, with correct numerics, everywhere."""
+
+    @pytest.mark.parametrize("T", [10, 20, 35, 50])
+    def test_makespan_and_sum(self, grid_params, T, rng):
+        tree = optimal_summation_tree(grid_params, T)
+        values = rng.standard_normal(tree.total_values)
+        inputs = distribute_inputs(tree, values)
+        res = run_programs(grid_params, summation_program(tree, inputs))
+        assert res.makespan <= T + 1e-9
+        assert res.value(0) == pytest.approx(values.sum())
+        assert validate_schedule(res.schedule, exact_latency=True).ok
+
+    def test_root_makespan_tight(self, fig4_params, rng):
+        # For the paper's instance the root finishes exactly at T.
+        tree = optimal_summation_tree(fig4_params, 28)
+        values = rng.standard_normal(tree.total_values)
+        res = run_programs(
+            fig4_params, summation_program(tree, distribute_inputs(tree, values))
+        )
+        assert res.results[0].finished_at == 28
+
+
+class TestDistributeInputs:
+    def test_partition_sizes(self, fig4_params):
+        tree = optimal_summation_tree(fig4_params, 28)
+        parts = distribute_inputs(tree, list(range(79)))
+        assert [len(pt) for pt in parts] == [
+            n.local_inputs for n in tree.nodes
+        ]
+        assert sorted(x for pt in parts for x in pt) == list(range(79))
+
+    def test_wrong_length_rejected(self, fig4_params):
+        tree = optimal_summation_tree(fig4_params, 28)
+        with pytest.raises(ValueError):
+            distribute_inputs(tree, [1.0] * 5)

@@ -1,0 +1,93 @@
+"""Tests for Leighton's columnsort (Section 4.2.2's named example)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LogPParams
+from repro.algorithms.sort import (
+    column_sort_time,
+    run_column_sort,
+    splitter_sort_time,
+)
+from repro.sim import validate_schedule
+
+
+@pytest.fixture
+def p4():
+    return LogPParams(L=6, o=2, g=4, P=4)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("P,n", [(2, 8), (3, 24), (4, 72), (4, 144), (8, 784)])
+    def test_sorts_random_data(self, P, n, rng):
+        p = LogPParams(L=6, o=2, g=4, P=P)
+        data = rng.standard_normal(n)
+        out = run_column_sort(p, data)
+        assert np.array_equal(out.sorted_values, np.sort(data))
+
+    def test_duplicates(self, p4, rng):
+        data = rng.integers(0, 5, 72).astype(float)
+        out = run_column_sort(p4, data)
+        assert np.array_equal(out.sorted_values, np.sort(data))
+
+    def test_already_sorted(self, p4):
+        data = np.arange(72, dtype=float)
+        out = run_column_sort(p4, data)
+        assert np.array_equal(out.sorted_values, data)
+
+    def test_reverse_sorted(self, p4):
+        data = np.arange(72, dtype=float)[::-1]
+        out = run_column_sort(p4, data)
+        assert np.array_equal(out.sorted_values, np.sort(data))
+
+    def test_schedule_validates(self, p4, rng):
+        out = run_column_sort(p4, rng.standard_normal(72))
+        assert validate_schedule(out.machine.schedule, exact_latency=True).ok
+
+    def test_single_processor(self, rng):
+        p1 = LogPParams(L=6, o=2, g=4, P=1)
+        data = rng.standard_normal(10)
+        out = run_column_sort(p1, data)
+        assert np.array_equal(out.sorted_values, np.sort(data))
+
+
+class TestPreconditions:
+    def test_r_too_small_rejected(self, p4, rng):
+        # P=4 needs r >= 2*9 = 18; r=4 is too shallow.
+        with pytest.raises(ValueError, match="2\\(s-1\\)"):
+            run_column_sort(p4, rng.standard_normal(16))
+
+    def test_odd_column_height_rejected(self, rng):
+        p2 = LogPParams(L=6, o=2, g=4, P=2)
+        with pytest.raises(ValueError, match="even"):
+            run_column_sort(p2, rng.standard_normal(14))
+
+    def test_indivisible_length_rejected(self, p4, rng):
+        with pytest.raises(ValueError, match="divide"):
+            run_column_sort(p4, rng.standard_normal(73))
+
+
+class TestCost:
+    def test_prediction_brackets_simulation(self, p4, rng):
+        data = rng.standard_normal(144)
+        out = run_column_sort(p4, data)
+        pred = column_sort_time(p4, 144)
+        assert pred <= out.makespan <= 1.6 * pred
+
+    def test_compute_remap_structure(self, p4):
+        """Columnsort is 'a series of local sorts and remap steps,
+        similar to our FFT algorithm' — its cost is four local sorts
+        plus two remaps plus two shifts."""
+        n = 400
+        t = column_sort_time(p4, n)
+        r = n / 4
+        local = r * np.log2(r)
+        assert t > 4 * local  # the four sorts are all in there
+
+    def test_deterministic_vs_sampling_tradeoff(self):
+        """Columnsort is oblivious (no sampling step) but pays four
+        local sorts and two remaps; splitter sort pays two sorts and one
+        remap plus the sampling phase — cheaper at scale."""
+        p = LogPParams(L=6, o=2, g=4, P=16)
+        n = 2**16
+        assert splitter_sort_time(p, n) < column_sort_time(p, n)

@@ -1,0 +1,173 @@
+"""Tests for repro.core.analysis: the Section 4 closed forms."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    LogPParams,
+    efficiency,
+    fft_comm_time_blocked,
+    fft_comm_time_cyclic,
+    fft_comm_time_hybrid,
+    fft_compute_time,
+    fft_optimality_ratio,
+    fft_total_time,
+    lu_active_processors,
+    lu_comm_per_step,
+    lu_compute_per_step,
+    lu_total_time,
+    speedup,
+)
+
+
+@pytest.fixture
+def p():
+    return LogPParams(L=6, o=2, g=4, P=8)
+
+
+class TestFFTAnalysis:
+    def test_compute_time_n_over_p_log_n(self, p):
+        assert fft_compute_time(1024, 8) == 128 * 10
+
+    def test_compute_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            fft_compute_time(1000, 8)
+        with pytest.raises(ValueError):
+            fft_compute_time(1024, 3)
+
+    def test_compute_rejects_P_exceeding_n(self):
+        with pytest.raises(ValueError):
+            fft_compute_time(8, 16)
+
+    def test_cyclic_comm_formula(self, p):
+        # (g n/P + L) log P = (4*128+6)*3
+        assert fft_comm_time_cyclic(p, 1024) == (4 * 128 + 6) * 3
+
+    def test_blocked_equals_cyclic(self, p):
+        assert fft_comm_time_blocked(p, 1024) == fft_comm_time_cyclic(p, 1024)
+
+    def test_hybrid_comm_formula(self, p):
+        # g(n/P - n/P^2) + L
+        assert fft_comm_time_hybrid(p, 1024) == 4 * (128 - 16) + 6
+
+    def test_hybrid_beats_cyclic_by_about_log_p(self, p):
+        cyc = fft_comm_time_cyclic(p, 2**16)
+        hyb = fft_comm_time_hybrid(p, 2**16)
+        ratio = cyc / hyb
+        # Limit is log2(P) / (1 - 1/P) = 3/(7/8) ~ 3.43 for large n.
+        assert 2.5 < ratio <= 3.0 / (1 - 1 / 8) + 0.01
+
+    def test_hybrid_requires_n_at_least_P_squared(self, p):
+        with pytest.raises(ValueError):
+            fft_comm_time_hybrid(p, 32)
+
+    def test_single_processor_no_communication(self):
+        p1 = LogPParams(L=6, o=2, g=4, P=1)
+        assert fft_comm_time_cyclic(p1, 64) == 0
+        assert fft_comm_time_hybrid(p1, 64) == 0
+
+    def test_total_time_layouts(self, p):
+        assert fft_total_time(p, 1024, "hybrid") == pytest.approx(
+            fft_compute_time(1024, 8) + fft_comm_time_hybrid(p, 1024)
+        )
+        with pytest.raises(ValueError):
+            fft_total_time(p, 1024, "diagonal")
+
+    def test_optimality_ratio(self, p):
+        assert fft_optimality_ratio(p, 1024) == pytest.approx(1 + 4 / 10)
+
+    def test_optimality_ratio_approaches_one(self, p):
+        big = fft_optimality_ratio(p, 2**20)
+        small = fft_optimality_ratio(p, 2**10)
+        assert big < small
+
+
+class TestLUAnalysis:
+    def test_bad_layout_per_step(self, p):
+        # 2(n-1-k)g + L
+        assert lu_comm_per_step(p, 100, 0, "bad") == 2 * 99 * 4 + 6
+
+    def test_column_halves_bad(self, p):
+        bad = lu_comm_per_step(p, 100, 10, "bad")
+        col = lu_comm_per_step(p, 100, 10, "column")
+        assert bad - p.L == 2 * (col - p.L)
+
+    def test_grid_gains_sqrt_P(self):
+        p = LogPParams(L=6, o=2, g=4, P=16)
+        col = lu_comm_per_step(p, 100, 0, "column")
+        grid = lu_comm_per_step(p, 100, 0, "grid")
+        # 2m g / sqrt(P) vs m g: grid = column/2 at P=16
+        assert (grid - p.L) == pytest.approx((col - p.L) / 2)
+
+    def test_grid_requires_square_P(self, p):
+        with pytest.raises(ValueError):
+            lu_comm_per_step(p, 10, 0, "grid")
+
+    def test_last_step_no_communication(self, p):
+        assert lu_comm_per_step(p, 10, 9, "column") == 0.0
+
+    def test_compute_per_step(self):
+        assert lu_compute_per_step(10, 0, 1) == 2 * 81
+        assert lu_compute_per_step(10, 0, 4) == 2 * 81 / 4
+
+    def test_total_time_monotone_in_layout_quality(self):
+        p = LogPParams(L=6, o=2, g=4, P=16)
+        bad = lu_total_time(p, 64, "bad")
+        col = lu_total_time(p, 64, "column")
+        grid = lu_total_time(p, 64, "grid")
+        assert bad > col > grid
+
+    def test_unknown_layout_rejected(self, p):
+        with pytest.raises(ValueError):
+            lu_comm_per_step(p, 10, 0, "diagonal")
+
+
+class TestActiveProcessors:
+    def test_scattered_keeps_all_busy_early(self):
+        assert lu_active_processors(64, 16, 0, "scattered") == 16
+        assert lu_active_processors(64, 16, 32, "scattered") == 16
+
+    def test_scattered_tail(self):
+        # With remaining submatrix smaller than the grid side, fewer.
+        assert lu_active_processors(64, 16, 61, "scattered") == 4
+        assert lu_active_processors(64, 16, 62, "scattered") == 1
+
+    def test_blocked_idles_early(self):
+        # Halfway through, blocked has lost processors.
+        act = lu_active_processors(64, 16, 40, "blocked")
+        assert act < 16
+
+    def test_blocked_last_steps_single_processor(self):
+        assert lu_active_processors(64, 16, 62, "blocked") == 1
+
+    def test_scattered_never_worse_than_blocked(self):
+        for k in range(0, 63, 5):
+            s = lu_active_processors(64, 16, k, "scattered")
+            b = lu_active_processors(64, 16, k, "blocked")
+            assert s >= b
+
+    def test_no_work_after_last_step(self):
+        assert lu_active_processors(64, 16, 63, "scattered") == 0
+
+    def test_rejects_non_square_P(self):
+        with pytest.raises(ValueError):
+            lu_active_processors(64, 8, 0)
+
+    def test_rejects_unknown_allocation(self):
+        with pytest.raises(ValueError):
+            lu_active_processors(64, 16, 0, "wavefront")
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(100, 10) == 10
+
+    def test_efficiency(self):
+        assert efficiency(100, 25, 8) == 0.5
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            speedup(10, 0)
+        with pytest.raises(ValueError):
+            efficiency(10, 1, 0)

@@ -1,0 +1,128 @@
+"""Tests for repro.core.cost: primitive communication cost formulas."""
+
+import pytest
+
+from repro.core import (
+    LogPParams,
+    all_to_all_remap,
+    all_to_all_remap_exact,
+    barrier_cost,
+    capacity_stall_rate,
+    h_relation,
+    h_relation_exact,
+    long_message,
+    pipelined_stream,
+    pipelined_stream_exact,
+    point_to_point,
+    prefetch_issue_cost,
+    protocol_send_recv,
+    remote_read,
+)
+
+
+@pytest.fixture
+def p():
+    return LogPParams(L=6, o=2, g=4, P=8)
+
+
+class TestPrimitives:
+    def test_point_to_point_L_plus_2o(self, p):
+        assert point_to_point(p) == 10
+
+    def test_remote_read_2L_plus_4o(self, p):
+        assert remote_read(p) == 20
+
+    def test_prefetch_costs_2o_of_processing(self, p):
+        assert prefetch_issue_cost(p) == 4
+
+
+class TestStreams:
+    def test_single_message_stream_exact(self, p):
+        # k=1 degenerates to o + L + o.
+        assert pipelined_stream_exact(p, 1) == 10
+
+    def test_stream_paper_formula(self, p):
+        assert pipelined_stream(p, 10) == 4 * 10 + 6
+
+    def test_stream_exact_gap_dominated(self, p):
+        # o + (k-1)max(g,o) + L + o = 2 + 9*4 + 6 + 2
+        assert pipelined_stream_exact(p, 10) == 46
+
+    def test_stream_exact_overhead_dominated(self):
+        p = LogPParams(L=6, o=5, g=2, P=2)
+        assert pipelined_stream_exact(p, 3) == 5 + 2 * 5 + 6 + 5
+
+    def test_stream_rejects_zero(self, p):
+        with pytest.raises(ValueError):
+            pipelined_stream(p, 0)
+        with pytest.raises(ValueError):
+            pipelined_stream_exact(p, 0)
+
+    def test_long_message_equals_word_stream(self, p):
+        assert long_message(p, 7) == pipelined_stream_exact(p, 7)
+
+
+class TestHRelation:
+    def test_paper_formula(self, p):
+        assert h_relation(p, 5) == 5 * 4 + 6
+
+    def test_exact_form(self, p):
+        assert h_relation_exact(p, 5) == 2 + 4 * 4 + 6 + 2
+
+    def test_exact_at_least_point_to_point(self, grid_params):
+        assert h_relation_exact(grid_params, 1) >= point_to_point(grid_params)
+
+
+class TestRemap:
+    def test_paper_formula_fft_remap(self, p):
+        # g*(n/P - n/P^2) + L with n=1024, P=8: 4*(128-16)+6
+        assert all_to_all_remap(p, 1024) == 4 * 112 + 6
+
+    def test_exact_close_to_paper(self, p):
+        exact = all_to_all_remap_exact(p, 1024)
+        paper = all_to_all_remap(p, 1024)
+        # Differ by at most one gap plus the two overheads.
+        assert abs(exact - paper) <= p.g + 2 * p.o
+
+    def test_single_processor_remap_nothing_to_send(self):
+        p1 = LogPParams(L=6, o=2, g=4, P=1)
+        assert all_to_all_remap_exact(p1, 16) == 0.0
+
+
+class TestProtocol:
+    def test_cm5_synchronous_send_recv(self, p):
+        # 3(L+2o) + ng from the Table 1 discussion.
+        assert protocol_send_recv(p, 10) == 3 * 10 + 10 * 4
+
+    def test_protocol_dominates_active_message(self, grid_params):
+        assert protocol_send_recv(grid_params, 1) >= point_to_point(grid_params)
+
+
+class TestBarrier:
+    def test_single_processor_free(self):
+        assert barrier_cost(LogPParams(L=6, o=2, g=4, P=1)) == 0
+
+    def test_grows_with_log_p(self):
+        c8 = barrier_cost(LogPParams(L=6, o=2, g=4, P=8))
+        c64 = barrier_cost(LogPParams(L=6, o=2, g=4, P=64))
+        assert c64 == 2 * c8
+
+    def test_positive_for_multiprocessor(self, grid_params):
+        if grid_params.P > 1:
+            assert barrier_cost(grid_params) > 0
+
+
+class TestStallRate:
+    def test_under_capacity_no_stall(self, p):
+        assert capacity_stall_rate(p, targets=1, rate=0.1) == 0.0
+
+    def test_over_capacity_stalls(self, p):
+        # 8 senders at 1 msg/cycle vs drain rate 1/g = 0.25.
+        r = capacity_stall_rate(p, targets=8, rate=1.0)
+        assert r == pytest.approx(1 - 0.25 / 8)
+
+    def test_rejects_bad_args(self, p):
+        with pytest.raises(ValueError):
+            capacity_stall_rate(p, targets=0, rate=1.0)
+        with pytest.raises(ValueError):
+            capacity_stall_rate(p, targets=1, rate=0.0)

@@ -1,0 +1,133 @@
+"""Tests for repro.core.params: the LogP parameter object."""
+
+import math
+
+import pytest
+
+from repro.core import LogPParams
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        p = LogPParams(L=6, o=2, g=4, P=8)
+        assert (p.L, p.o, p.g, p.P) == (6, 2, 4, 8)
+
+    def test_name_defaults_empty(self):
+        assert LogPParams(L=1, o=1, g=1, P=1).name == ""
+
+    def test_fractional_parameters_allowed(self):
+        # The CM-5 calibration uses o=0.44 cycles.
+        p = LogPParams(L=1.33, o=0.44, g=0.89, P=128)
+        assert p.o == pytest.approx(0.44)
+
+    def test_zero_parameters_allowed(self):
+        p = LogPParams(L=0, o=0, g=0, P=2)
+        assert p.point_to_point() == 0
+
+    @pytest.mark.parametrize("field,value", [("L", -1), ("o", -0.5), ("g", -2)])
+    def test_negative_parameters_rejected(self, field, value):
+        kwargs = dict(L=1, o=1, g=1, P=2)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            LogPParams(**kwargs)
+
+    @pytest.mark.parametrize("P", [0, -1])
+    def test_bad_processor_count_rejected(self, P):
+        with pytest.raises(ValueError):
+            LogPParams(L=1, o=1, g=1, P=P)
+
+    def test_non_integer_P_rejected(self):
+        with pytest.raises(TypeError):
+            LogPParams(L=1, o=1, g=1, P=2.0)
+
+    def test_bool_P_rejected(self):
+        with pytest.raises(TypeError):
+            LogPParams(L=1, o=1, g=1, P=True)
+
+    @pytest.mark.parametrize("bad", [math.inf, math.nan])
+    def test_nonfinite_rejected(self, bad):
+        with pytest.raises(ValueError):
+            LogPParams(L=bad, o=1, g=1, P=2)
+
+    def test_immutability(self):
+        p = LogPParams(L=6, o=2, g=4, P=8)
+        with pytest.raises(AttributeError):
+            p.L = 10
+
+    def test_equality_and_hash(self):
+        a = LogPParams(L=6, o=2, g=4, P=8)
+        b = LogPParams(L=6, o=2, g=4, P=8)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestDerived:
+    def test_capacity_is_ceil_L_over_g(self):
+        assert LogPParams(L=6, o=2, g=4, P=8).capacity == 2
+        assert LogPParams(L=8, o=2, g=4, P=8).capacity == 2
+        assert LogPParams(L=9, o=2, g=4, P=8).capacity == 3
+
+    def test_capacity_at_least_one(self):
+        assert LogPParams(L=0, o=0, g=4, P=2).capacity == 1
+
+    def test_capacity_infinite_bandwidth(self):
+        assert LogPParams(L=5, o=1, g=0, P=2).capacity >= 2**61
+
+    def test_send_interval_max_of_g_and_o(self):
+        assert LogPParams(L=1, o=5, g=2, P=2).send_interval == 5
+        assert LogPParams(L=1, o=2, g=5, P=2).send_interval == 5
+
+    def test_point_to_point(self, fig3_params):
+        assert fig3_params.point_to_point() == 6 + 2 * 2
+
+    def test_remote_read_is_two_round_trips_worth(self, fig3_params):
+        assert fig3_params.remote_read() == 2 * 6 + 4 * 2
+
+    def test_bandwidth_reciprocal_of_g(self):
+        assert LogPParams(L=1, o=1, g=4, P=2).bandwidth == 0.25
+        assert LogPParams(L=1, o=1, g=0, P=2).bandwidth == math.inf
+
+    def test_multithreading_limit_equals_capacity(self, fig3_params):
+        assert fig3_params.max_virtual_processors() == fig3_params.capacity
+
+
+class TestSimplifications:
+    def test_merge_overhead_into_gap(self):
+        p = LogPParams(L=6, o=2, g=4, P=8).merge_overhead_into_gap()
+        assert p.o == 4 and p.g == 4
+
+    def test_merge_keeps_larger_overhead(self):
+        p = LogPParams(L=6, o=5, g=4, P=8).merge_overhead_into_gap()
+        assert p.o == 5 and p.g == 5
+
+    def test_ignore_latency(self):
+        assert LogPParams(L=6, o=2, g=4, P=8).ignore_latency().L == 0
+
+    def test_ignore_bandwidth(self):
+        assert LogPParams(L=6, o=2, g=4, P=8).ignore_bandwidth().g == 0
+
+    def test_ignore_overhead(self):
+        assert LogPParams(L=6, o=2, g=4, P=8).ignore_overhead().o == 0
+
+    def test_as_postal(self):
+        p = LogPParams(L=6, o=2, g=4, P=8).as_postal()
+        assert p.o == 0 and p.g == 1 and p.L == 6
+
+    def test_with_processors(self):
+        assert LogPParams(L=6, o=2, g=4, P=8).with_processors(64).P == 64
+
+    def test_scaled(self):
+        p = LogPParams(L=6, o=2, g=4, P=8).scaled(0.5)
+        assert (p.L, p.o, p.g) == (3, 1, 2) and p.P == 8
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LogPParams(L=6, o=2, g=4, P=8).scaled(0)
+
+    def test_simplifications_tag_name(self):
+        p = LogPParams(L=6, o=2, g=4, P=8, name="m").ignore_latency()
+        assert "m" in p.name and "L=0" in p.name
+
+    def test_str_contains_parameters(self):
+        s = str(LogPParams(L=6, o=2, g=4, P=8, name="cm5"))
+        for frag in ("L=6", "o=2", "g=4", "P=8", "cm5"):
+            assert frag in s

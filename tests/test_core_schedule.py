@@ -1,0 +1,154 @@
+"""Tests for repro.core.schedule: intervals, messages, timelines."""
+
+import pytest
+
+from repro.core import (
+    Activity,
+    Interval,
+    LogPParams,
+    MessageRecord,
+    ProcessorTimeline,
+    Schedule,
+    merge_intervals,
+)
+
+
+def mk_msg(src=0, dst=1, t0=0.0, o=2.0, L=6.0):
+    return MessageRecord(
+        src=src,
+        dst=dst,
+        send_start=t0,
+        inject=t0 + o,
+        arrive=t0 + o + L,
+        recv_start=t0 + o + L,
+        recv_end=t0 + 2 * o + L,
+    )
+
+
+class TestInterval:
+    def test_duration(self):
+        assert Interval(1.0, 3.5, Activity.COMPUTE).duration == 2.5
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Interval(3.0, 1.0, Activity.SEND)
+
+    def test_zero_duration_allowed(self):
+        assert Interval(1.0, 1.0, Activity.IDLE).duration == 0
+
+
+class TestMessageRecord:
+    def test_latency_and_end_to_end(self):
+        m = mk_msg()
+        assert m.latency == 6.0
+        assert m.end_to_end == 10.0
+
+    def test_rejects_non_monotone_timeline(self):
+        with pytest.raises(ValueError):
+            MessageRecord(
+                src=0, dst=1, send_start=5, inject=4, arrive=10,
+                recv_start=10, recv_end=12,
+            )
+
+
+class TestTimeline:
+    def test_busy_time_excludes_idle_and_stall(self):
+        tl = ProcessorTimeline(0)
+        tl.add(Interval(0, 4, Activity.COMPUTE))
+        tl.add(Interval(4, 6, Activity.SEND))
+        tl.add(Interval(6, 9, Activity.STALL))
+        tl.add(Interval(9, 10, Activity.RECV))
+        assert tl.busy_time() == 7
+
+    def test_time_in(self):
+        tl = ProcessorTimeline(0)
+        tl.add(Interval(0, 4, Activity.COMPUTE))
+        tl.add(Interval(5, 9, Activity.COMPUTE))
+        assert tl.time_in(Activity.COMPUTE) == 8
+
+    def test_end_time_empty(self):
+        assert ProcessorTimeline(0).end_time() == 0.0
+
+    def test_overlap_detection(self):
+        tl = ProcessorTimeline(0)
+        tl.add(Interval(0, 4, Activity.COMPUTE))
+        tl.add(Interval(3, 5, Activity.SEND))
+        assert len(tl.overlaps()) == 1
+
+    def test_adjacent_intervals_do_not_overlap(self):
+        tl = ProcessorTimeline(0)
+        tl.add(Interval(0, 4, Activity.COMPUTE))
+        tl.add(Interval(4, 6, Activity.SEND))
+        assert tl.overlaps() == []
+
+    def test_stall_never_counts_as_overlap(self):
+        tl = ProcessorTimeline(0)
+        tl.add(Interval(0, 4, Activity.STALL))
+        tl.add(Interval(2, 6, Activity.COMPUTE))
+        assert tl.overlaps() == []
+
+
+class TestSchedule:
+    def test_makespan_over_intervals_and_messages(self):
+        s = Schedule(LogPParams(L=6, o=2, g=4, P=4))
+        s.add_interval(0, 0, 5, Activity.COMPUTE)
+        s.add_message(mk_msg(t0=3))  # recv_end = 13
+        assert s.makespan == 13
+
+    def test_timeline_lazily_created_and_validated(self):
+        s = Schedule(LogPParams(L=6, o=2, g=4, P=4))
+        s.timeline(3)
+        with pytest.raises(ValueError):
+            s.timeline(4)
+
+    def test_busy_fraction(self):
+        s = Schedule(LogPParams(L=6, o=2, g=4, P=2))
+        s.add_interval(0, 0, 5, Activity.COMPUTE)
+        s.add_interval(1, 0, 10, Activity.COMPUTE)
+        assert s.busy_fraction(0) == 0.5
+        assert s.busy_fraction(1) == 1.0
+
+    def test_receive_load(self):
+        s = Schedule(LogPParams(L=6, o=2, g=4, P=4))
+        s.add_message(mk_msg(0, 2))
+        s.add_message(mk_msg(1, 2, t0=10))
+        s.add_message(mk_msg(3, 1, t0=20))
+        assert s.receive_load() == {2: 2, 1: 1}
+
+    def test_messages_between(self):
+        s = Schedule(LogPParams(L=6, o=2, g=4, P=4))
+        s.add_message(mk_msg(0, 2))
+        s.add_message(mk_msg(0, 3))
+        assert len(s.messages_between(0, 2)) == 1
+        assert s.messages_between(2, 0) == []
+
+    def test_empty_schedule_makespan_zero(self):
+        assert Schedule(LogPParams(L=1, o=1, g=1, P=1)).makespan == 0.0
+
+
+class TestMergeIntervals:
+    def test_merges_adjacent_same_kind(self):
+        merged = merge_intervals(
+            [
+                Interval(0, 2, Activity.COMPUTE),
+                Interval(2, 4, Activity.COMPUTE),
+                Interval(4, 5, Activity.SEND),
+            ]
+        )
+        assert len(merged) == 2
+        assert merged[0].end == 4
+
+    def test_does_not_merge_across_gap(self):
+        merged = merge_intervals(
+            [Interval(0, 2, Activity.COMPUTE), Interval(3, 4, Activity.COMPUTE)]
+        )
+        assert len(merged) == 2
+
+    def test_does_not_merge_different_detail(self):
+        merged = merge_intervals(
+            [
+                Interval(0, 2, Activity.SEND, "->1"),
+                Interval(2, 4, Activity.SEND, "->2"),
+            ]
+        )
+        assert len(merged) == 2

@@ -1,0 +1,80 @@
+"""Documentation consistency: DESIGN.md's experiment index, EXPERIMENTS.md
+and the benchmark suite must agree with the code that exists."""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).parent.parent
+DESIGN = (ROOT / "DESIGN.md").read_text()
+EXPERIMENTS = (ROOT / "EXPERIMENTS.md").read_text()
+README = (ROOT / "README.md").read_text()
+BENCH_DIR = ROOT / "benchmarks"
+
+
+class TestDesignIndex:
+    def test_every_indexed_bench_file_exists(self):
+        for name in re.findall(r"benchmarks/(test_\w+\.py)", DESIGN):
+            assert (BENCH_DIR / name).exists(), f"DESIGN.md references missing {name}"
+
+    def test_every_module_in_inventory_exists(self):
+        listed = set(re.findall(r"- `(\w+)\.py` —", DESIGN))
+        on_disk = {
+            p.stem
+            for p in (ROOT / "src" / "repro").rglob("*.py")
+        }
+        missing = listed - on_disk
+        assert not missing, f"DESIGN.md lists nonexistent modules: {missing}"
+
+    def test_named_subpackages_exist(self):
+        for sub in ("core", "sim", "algorithms", "topology", "models",
+                    "machines", "memory", "viz"):
+            assert (ROOT / "src" / "repro" / sub / "__init__.py").exists()
+
+    def test_experiment_ids_all_have_bench_rows(self):
+        for exp_id in ("FIG2", "FIG3", "FIG4", "FIG5", "FIG6", "FIG7",
+                       "FIG8", "TAB1", "SEC51", "SEC53", "SEC33",
+                       "SEC421", "SEC422", "SEC423", "SEC6", "ABL"):
+            assert exp_id in DESIGN, f"experiment {exp_id} missing from DESIGN.md"
+
+
+class TestExperimentsDoc:
+    def test_every_referenced_bench_exists(self):
+        for name in set(re.findall(r"`(test_\w+\.py)`", EXPERIMENTS)):
+            assert (BENCH_DIR / name).exists(), f"EXPERIMENTS.md references missing {name}"
+
+    def test_every_exhibit_section_present(self):
+        for section in ("## FIG2", "## FIG3", "## FIG4", "## FIG5",
+                        "## FIG6", "## FIG7", "## FIG8", "## TAB1",
+                        "## SEC51", "## SEC53", "## SEC6", "## ABL",
+                        "## SEC64", "## SEC7", "## EXT"):
+            assert section in EXPERIMENTS, f"{section} missing"
+
+    def test_headline_numbers_match_code(self):
+        """The numbers EXPERIMENTS.md quotes for Figures 3/4 must be what
+        the library computes."""
+        from repro.core import LogPParams
+        from repro.algorithms.broadcast import optimal_broadcast_time
+        from repro.algorithms.summation import summation_capacity
+
+        assert optimal_broadcast_time(LogPParams(L=6, o=2, g=4, P=8)) == 24
+        assert summation_capacity(LogPParams(L=5, o=2, g=4, P=8), 28) == 79
+        assert "t = 24" in EXPERIMENTS or "24" in EXPERIMENTS
+        assert "79" in EXPERIMENTS
+
+
+class TestBenchmarkSuiteShape:
+    def test_every_bench_module_saves_an_exhibit(self):
+        for path in BENCH_DIR.glob("test_*.py"):
+            text = path.read_text()
+            if path.name == "test_perf_simulator.py":
+                continue  # infrastructure timing only
+            assert "save_exhibit" in text, f"{path.name} saves no exhibit"
+
+    def test_every_bench_module_has_paper_docstring(self):
+        for path in BENCH_DIR.glob("test_*.py"):
+            text = path.read_text()
+            assert text.startswith('"""'), f"{path.name} lacks a docstring"
+
+    def test_readme_mentions_all_top_level_docs(self):
+        for doc in ("DESIGN.md", "EXPERIMENTS.md", "docs/MODEL.md"):
+            assert doc in README

@@ -1,0 +1,240 @@
+"""Tests for the shared-memory layer (Section 3.2): repro.sim.dsm."""
+
+import numpy as np
+import pytest
+
+from repro.core import LogPParams
+from repro.sim import (
+    AwaitPrefetch,
+    Compute,
+    Now,
+    Prefetch,
+    Read,
+    Recv,
+    Send,
+    Write,
+    block_owner,
+    run_dsm,
+    validate_schedule,
+)
+
+
+@pytest.fixture
+def p4():
+    return LogPParams(L=6, o=2, g=4, P=4)
+
+
+def idle_app(rank, P):
+    return None
+    yield
+
+
+class TestBlockOwner:
+    def test_even_blocks(self):
+        assert [block_owner(a, 16, 4) for a in (0, 3, 4, 12, 15)] == [
+            0, 0, 1, 3, 3,
+        ]
+
+    def test_ragged_blocks(self):
+        # 10 cells over 4 procs: chunks of 3 -> owners 0,0,0,1,...
+        assert block_owner(9, 10, 4) == 3
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            block_owner(16, 16, 4)
+
+
+class TestReadWrite:
+    def test_remote_read_value_and_cost(self):
+        """Section 3.2: 'reading a remote location requires time 2L+4o'."""
+        p = LogPParams(L=6, o=2, g=4, P=2)
+
+        def app(rank, P):
+            if rank == 0:
+                t0 = yield Now()
+                v = yield Read(9)  # owner: rank 1
+                t1 = yield Now()
+                return (v, t1 - t0)
+            return None
+            yield
+
+        res = run_dsm(p, app, initial=list(range(10)))
+        v, dt = res.values[0]
+        assert v == 9
+        assert dt == p.remote_read()
+        assert validate_schedule(res.machine.schedule, exact_latency=True).ok
+
+    def test_local_read_is_cheap(self, p4):
+        def app(rank, P):
+            if rank == 0:
+                t0 = yield Now()
+                v = yield Read(1)  # local
+                t1 = yield Now()
+                return (v, t1 - t0)
+            return None
+            yield
+
+        res = run_dsm(p4, app, initial=list(range(16)))
+        v, dt = res.values[0]
+        assert v == 1
+        assert dt <= 1.0
+
+    def test_writes_globally_visible(self, p4):
+        def app(rank, P):
+            addr = (rank * 4 + 7) % 16
+            yield Write(addr, value=rank * 100)
+            v = yield Read(addr)
+            return v
+
+        res = run_dsm(p4, app, initial=[0] * 16)
+        assert res.values == [0, 100, 200, 300]
+        for rank in range(4):
+            assert res.memory[(rank * 4 + 7) % 16] == rank * 100
+
+    def test_read_your_writes_local(self, p4):
+        def app(rank, P):
+            lo = rank * 4
+            yield Write(lo, value=rank + 1)
+            v = yield Read(lo)
+            return v
+
+        res = run_dsm(p4, app, initial=[0] * 16)
+        assert res.values == [1, 2, 3, 4]
+
+    def test_owner_serializes_concurrent_writes(self, p4):
+        # All ranks write distinct cells of rank 0's shard; all land.
+        def app(rank, P):
+            yield Write(rank, value=f"from-{rank}")
+            return None
+
+        res = run_dsm(p4, app, initial=[None] * 16)
+        assert [res.memory[r] for r in range(4)] == [
+            "from-0", "from-1", "from-2", "from-3",
+        ]
+
+
+class TestPrefetch:
+    def test_prefetch_overlaps_compute(self):
+        p = LogPParams(L=6, o=2, g=4, P=2)
+
+        def with_prefetch(rank, P):
+            if rank == 0:
+                h = yield Prefetch(9)
+                yield Compute(50)
+                v = yield AwaitPrefetch(h)
+                t = yield Now()
+                return (v, t)
+            return None
+            yield
+
+        def without(rank, P):
+            if rank == 0:
+                yield Compute(50)
+                v = yield Read(9)
+                t = yield Now()
+                return (v, t)
+            return None
+            yield
+
+        r1 = run_dsm(p, with_prefetch, initial=list(range(10)))
+        r2 = run_dsm(p, without, initial=list(range(10)))
+        v1, t1 = r1.values[0]
+        v2, t2 = r2.values[0]
+        assert v1 == v2 == 9
+        # Prefetch hides most of the 2L+4o behind the compute.
+        assert t1 < t2
+
+    def test_multiple_outstanding_prefetches(self, p4):
+        def app(rank, P):
+            if rank == 0:
+                handles = []
+                for addr in (5, 9, 13):
+                    h = yield Prefetch(addr)
+                    handles.append(h)
+                yield Compute(100)
+                vals = []
+                for h in handles:
+                    v = yield AwaitPrefetch(h)
+                    vals.append(v)
+                return vals
+            return None
+            yield
+
+        res = run_dsm(p4, app, initial=list(range(16)))
+        assert res.values[0] == [5, 9, 13]
+
+    def test_unawaited_prefetch_harmless(self, p4):
+        def app(rank, P):
+            if rank == 0:
+                yield Prefetch(9)
+                return "done"
+            return None
+            yield
+
+        res = run_dsm(p4, app, initial=list(range(16)))
+        assert res.values[0] == "done"
+
+
+class TestContention:
+    def test_hot_owner_serializes(self, p4):
+        """Everyone reads rank 0's shard: replies serialize at its
+        send/receive gaps — contention LogP 'makes apparent'."""
+
+        def app(rank, P):
+            total = 0
+            for i in range(4):
+                v = yield Read(i)
+                total += v
+            return total
+
+        res = run_dsm(p4, app, initial=list(range(16)))
+        assert res.values == [6, 6, 6, 6]
+        # Far more than one uncontended round trip per read.
+        assert res.makespan > 3 * p4.remote_read()
+
+    def test_spread_reads_faster_than_hot(self, p4):
+        def hot(rank, P):
+            acc = 0
+            for i in range(4):
+                acc += (yield Read(i))
+            return acc
+
+        def spread(rank, P):
+            acc = 0
+            for i in range(4):
+                acc += (yield Read((rank * 4 + i) % 16))
+            return acc
+
+        t_hot = run_dsm(p4, hot, initial=list(range(16))).makespan
+        t_spread = run_dsm(p4, spread, initial=list(range(16))).makespan
+        assert t_spread < t_hot
+
+
+class TestGuards:
+    def test_raw_send_rejected(self, p4):
+        def app(rank, P):
+            yield Send(1)
+            return None
+
+        with pytest.raises(Exception, match="raw Send/Recv"):
+            run_dsm(p4, app, initial=[0] * 16)
+
+    def test_raw_recv_rejected(self, p4):
+        def app(rank, P):
+            yield Recv()
+            return None
+
+        with pytest.raises(Exception, match="raw Send/Recv"):
+            run_dsm(p4, app, initial=[0] * 16)
+
+    def test_unknown_action_rejected(self, p4):
+        def app(rank, P):
+            yield "nonsense"
+            return None
+
+        with pytest.raises(Exception, match="unknown DSM app action"):
+            run_dsm(p4, app, initial=[0] * 16)
+
+    def test_all_idle_apps_terminate(self, p4):
+        res = run_dsm(p4, idle_app, initial=[0] * 16)
+        assert res.values == [None] * 4

@@ -1,0 +1,126 @@
+"""Tests for the Section 5.6 multiple-g extension
+(repro.topology.effective_gap)."""
+
+import math
+
+import pytest
+
+from repro.core import LogPParams
+from repro.topology import (
+    PatternGaps,
+    analytic_pattern_gap,
+    bit_reverse_pattern,
+    effective_gap,
+    grid_route,
+    hotspot_pattern,
+    hypercube_route,
+    shift_pattern,
+)
+
+
+def hroute(dim):
+    return lambda s, d: hypercube_route(s, d, dim)
+
+
+class TestPatternGaps:
+    def test_default_when_pattern_unknown(self):
+        base = LogPParams(L=6, o=2, g=4, P=16)
+        pg = PatternGaps(base, {"transpose": 12.0})
+        assert pg.params_for() is base
+        assert pg.params_for("butterfly") is base
+
+    def test_specialized_params(self):
+        base = LogPParams(L=6, o=2, g=4, P=16)
+        pg = PatternGaps(base, {"transpose": 12.0})
+        p = pg.params_for("transpose")
+        assert p.g == 12.0
+        assert (p.L, p.o, p.P) == (6, 2, 16)
+        assert "transpose" in p.name
+
+    def test_worst_pattern(self):
+        base = LogPParams(L=6, o=2, g=4, P=16)
+        pg = PatternGaps(base, {"a": 5.0, "b": 9.0, "c": 4.0})
+        assert pg.worst_pattern() == "b"
+        assert PatternGaps(base).worst_pattern() is None
+
+    def test_with_pattern_immutably_extends(self):
+        base = LogPParams(L=6, o=2, g=4, P=16)
+        pg = PatternGaps(base)
+        pg2 = pg.with_pattern("shift", 4.0)
+        assert "shift" in pg2.gaps and "shift" not in pg.gaps
+
+    def test_negative_gap_rejected(self):
+        base = LogPParams(L=6, o=2, g=4, P=16)
+        with pytest.raises(ValueError):
+            PatternGaps(base, {"x": -1.0})
+
+
+class TestAnalyticPatternGap:
+    def test_contention_free_keeps_base(self):
+        g = analytic_pattern_gap(4.0, shift_pattern(16), hroute(4))
+        assert g == 4.0
+
+    def test_contended_pattern_scales_gap(self):
+        g = analytic_pattern_gap(4.0, bit_reverse_pattern(64), hroute(6))
+        assert g >= 8.0
+
+    def test_hotspot_scales_by_fanin(self):
+        g = analytic_pattern_gap(1.0, hotspot_pattern(16), hroute(4))
+        assert g >= 8.0
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(ValueError):
+            analytic_pattern_gap(-1.0, shift_pattern(8), hroute(3))
+
+
+class TestMeasuredEffectiveGap:
+    @staticmethod
+    def torus_route(k):
+        def route(s, d):
+            return [
+                c[0] * k + c[1]
+                for c in grid_route(
+                    (s // k, s % k), (d // k, d % k), (k, k), wrap=True
+                )
+            ]
+
+        return route
+
+    def test_benign_pattern_has_small_gap(self):
+        g = effective_gap(
+            16, self.torus_route(4), shift_pattern(16), seed=1
+        )
+        assert g <= 1.0 / 0.7 + 1e-9  # sustains high load
+
+    def test_hotspot_has_large_gap(self):
+        g_shift = effective_gap(
+            16, self.torus_route(4), shift_pattern(16), seed=1
+        )
+        g_hot = effective_gap(
+            16, self.torus_route(4), hotspot_pattern(16), seed=1
+        )
+        assert g_hot > 2 * g_shift
+
+    def test_returns_inf_when_always_saturated(self):
+        g = effective_gap(
+            16,
+            self.torus_route(4),
+            hotspot_pattern(16),
+            loads=[5.0, 10.0],
+            seed=2,
+        )
+        assert math.isinf(g)
+
+    def test_feeds_back_into_analysis(self):
+        """The point of the extension: the same algorithm analysis with
+        the pattern's own g."""
+        from repro.core import h_relation
+
+        base = LogPParams(L=6, o=2, g=1.5, P=16)
+        g_hot = effective_gap(
+            16, self.torus_route(4), hotspot_pattern(16), seed=3
+        )
+        pg = PatternGaps(base, {"hotspot": g_hot, "shift": base.g})
+        cost_shift = h_relation(pg.params_for("shift"), 10)
+        cost_hot = h_relation(pg.params_for("hotspot"), 10)
+        assert cost_hot > 2 * cost_shift

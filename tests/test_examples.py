@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs end to end and prints what it
+promises.  (Examples double as integration tests of the public API.)"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "Completion time: 24" in out
+    assert "Simulated makespan: 24" in out
+    assert "OK" in out
+    assert "legend" in out  # the Gantt chart rendered
+
+
+def test_fft_cm5_study(capsys):
+    out = run_example("fft_cm5_study.py", capsys)
+    assert "hybrid" in out
+    assert "staggered" in out and "naive" in out
+    assert "match numpy.fft" in out
+
+
+def test_machine_design_space(capsys):
+    out = run_example("machine_design_space.py", capsys)
+    assert "bcast time" in out
+    assert "Readings:" in out
+
+
+def test_writing_programs(capsys):
+    out = run_example("writing_programs.py", capsys)
+    assert "Ping-pong" in out
+    assert "matches serial" in out
+    assert "yes" in out
+
+
+def test_shared_memory_and_extensions(capsys):
+    out = run_example("shared_memory_and_extensions.py", capsys)
+    assert "prefetch" in out.lower()
+    assert "bulk message" in out
+    assert "chain" in out
+
+
+def test_examples_are_documented_in_readme():
+    readme = (EXAMPLES.parent / "README.md").read_text()
+    for script in sorted(EXAMPLES.glob("*.py")):
+        assert script.name in readme, f"{script.name} missing from README"

@@ -1,0 +1,105 @@
+"""Tests for the exhibit runner (python -m repro.exhibits) and the
+routing/DSM additions bundled with it."""
+
+import pytest
+
+from repro.exhibits import EXHIBITS, main
+from repro.topology.routing import butterfly_route, hop_count
+
+
+class TestExhibitRegistry:
+    def test_all_paper_exhibits_present(self):
+        assert set(EXHIBITS) == {
+            "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "table1", "sec51", "sec53",
+        }
+
+    @pytest.mark.parametrize(
+        "name", [n for n, (_, heavy) in EXHIBITS.items() if not heavy]
+    )
+    def test_fast_exhibits_render(self, name):
+        text = EXHIBITS[name][0]()
+        assert len(text.splitlines()) >= 3
+
+    def test_fig3_contains_paper_number(self):
+        assert "24" in EXHIBITS["fig3"][0]()
+
+    def test_table1_contains_printed_values(self):
+        text = EXHIBITS["table1"][0]()
+        for value in ("6760", "3714", "246"):
+            assert value in text
+
+    def test_main_runs_selected(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "butterfly column locality" in out
+
+    def test_main_default_skips_heavy(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "Figure 6" not in out  # heavy, needs --full
+
+
+class TestButterflyRoute:
+    def test_route_length_is_dim(self):
+        for src, dst in [(0, 0), (0, 7), (5, 2)]:
+            assert hop_count(butterfly_route(src, dst, 3)) == 3
+
+    def test_endpoints(self):
+        r = butterfly_route(3, 6, 3)
+        assert r[0] == (0, 3) and r[-1] == (3, 6)
+
+    def test_hops_follow_butterfly_edges(self):
+        dim = 4
+        r = butterfly_route(5, 12, dim)
+        for (c0, r0), (c1, r1) in zip(r, r[1:]):
+            assert c1 == c0 + 1
+            diff = r0 ^ r1
+            assert diff == 0 or diff == 1 << (dim - 1 - c0)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            butterfly_route(0, 8, 3)
+
+
+class TestDSMReadCaching:
+    def test_repeat_reads_become_local(self):
+        from repro.core import LogPParams
+        from repro.sim import Now, Read, run_dsm
+
+        p = LogPParams(L=6, o=2, g=4, P=2)
+
+        def app(rank, P):
+            if rank == 0:
+                t0 = yield Now()
+                for _ in range(5):
+                    v = yield Read(9)
+                t1 = yield Now()
+                return t1 - t0
+            return None
+            yield
+
+        cold = run_dsm(p, app, initial=list(range(10))).values[0]
+        warm = run_dsm(p, app, initial=list(range(10)), cache_reads=True).values[0]
+        # Cached: one round trip + four 1-cycle hits.
+        assert warm == p.remote_read() + 4
+        assert cold == 5 * p.remote_read()
+
+    def test_own_write_invalidates_cache(self):
+        from repro.core import LogPParams
+        from repro.sim import Read, Write, run_dsm
+
+        p = LogPParams(L=6, o=2, g=4, P=2)
+
+        def app(rank, P):
+            if rank == 0:
+                v1 = yield Read(9)
+                yield Write(9, value=99)
+                v2 = yield Read(9)
+                return (v1, v2)
+            return None
+            yield
+
+        res = run_dsm(p, app, initial=list(range(10)), cache_reads=True)
+        assert res.values[0] == (9, 99)

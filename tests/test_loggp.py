@@ -1,0 +1,176 @@
+"""Tests for the long-message extension (Section 5.4 / LogGP):
+repro.core.loggp plus the simulator's multi-word sends."""
+
+import pytest
+
+from repro.core import (
+    LogGPParams,
+    LogPParams,
+    fragmentation_crossover,
+    long_message_processor_time,
+    long_message_time,
+    pipelined_stream_exact,
+)
+from repro.sim import (
+    Now,
+    Recv,
+    Send,
+    SimulationError,
+    run_programs,
+    validate_schedule,
+)
+
+
+@pytest.fixture
+def gp():
+    return LogGPParams(L=6, o=2, g=4, G=0.5, P=2)
+
+
+class TestParams:
+    def test_inherits_logp_fields(self, gp):
+        assert (gp.L, gp.o, gp.g, gp.G, gp.P) == (6, 2, 4, 0.5, 2)
+        assert gp.point_to_point() == 10
+
+    def test_negative_G_rejected(self):
+        with pytest.raises(ValueError):
+            LogGPParams(L=6, o=2, g=4, G=-1, P=2)
+
+    def test_bulk_bandwidth(self, gp):
+        assert gp.bulk_bandwidth == 2.0
+        assert LogGPParams(L=1, o=1, g=1, G=0, P=2).bulk_bandwidth == float("inf")
+
+    def test_as_logp_drops_extension(self, gp):
+        p = gp.as_logp()
+        assert isinstance(p, LogPParams) and not isinstance(p, LogGPParams)
+        assert (p.L, p.o, p.g) == (6, 2, 4)
+
+    def test_base_validation_still_applies(self):
+        with pytest.raises(ValueError):
+            LogGPParams(L=-1, o=2, g=4, G=0.5, P=2)
+
+
+class TestCosts:
+    def test_single_word_degenerates_to_small_message(self, gp):
+        assert long_message_time(gp, 1) == gp.point_to_point()
+
+    def test_k_word_formula(self, gp):
+        # o + (k-1)G + L + o
+        assert long_message_time(gp, 101) == 2 + 100 * 0.5 + 6 + 2
+
+    def test_processor_time_is_just_setup(self, gp):
+        assert long_message_processor_time(gp, 1000) == gp.o
+
+    def test_bulk_beats_fragmentation(self, gp):
+        k = 50
+        bulk = long_message_time(gp, k)
+        frag = pipelined_stream_exact(gp, k)
+        assert bulk < frag
+
+    def test_crossover(self, gp):
+        assert fragmentation_crossover(gp) == 2.0
+        slow = LogGPParams(L=6, o=2, g=1, G=9, P=2)
+        assert fragmentation_crossover(slow) == float("inf")
+
+    def test_rejects_zero_words(self, gp):
+        with pytest.raises(ValueError):
+            long_message_time(gp, 0)
+
+
+class TestSimulatedBulkSends:
+    def test_end_to_end_time(self, gp):
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1, payload="x" * 64, words=64)
+            else:
+                m = yield Recv()
+                t = yield Now()
+                return t
+            return None
+
+        res = run_programs(gp, prog)
+        assert res.value(1) == long_message_time(gp, 64)
+        assert validate_schedule(res.schedule, exact_latency=True).ok
+
+    def test_sender_free_after_setup(self, gp):
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1, words=1000)
+                t = yield Now()
+                return t
+            else:
+                yield Recv()
+            return None
+
+        res = run_programs(gp, prog)
+        assert res.value(0) == gp.o  # DMA overlap: only the setup costs
+
+    def test_port_occupancy_serializes_bulk_sends(self, gp):
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1, words=50)
+                yield Send(1, words=50)
+            else:
+                yield Recv()
+                yield Recv()
+            return None
+
+        res = run_programs(gp, prog)
+        msgs = sorted(res.schedule.messages, key=lambda m: m.inject)
+        # Second send cannot start before the port finishes streaming
+        # the first: o + 49*G = 2 + 24.5.
+        assert msgs[1].send_start >= 2 + 49 * 0.5 - 1e-9
+
+    def test_small_sends_unaffected_by_G(self, gp):
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1)
+                yield Send(1)
+            else:
+                yield Recv()
+                yield Recv()
+            return None
+
+        res = run_programs(gp, prog)
+        msgs = sorted(res.schedule.messages, key=lambda m: m.inject)
+        assert msgs[1].send_start - msgs[0].send_start == gp.send_interval
+
+    def test_bulk_send_on_plain_logp_rejected(self):
+        p = LogPParams(L=6, o=2, g=4, P=2)
+
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1, words=10)
+            else:
+                yield Recv()
+            return None
+
+        with pytest.raises(SimulationError, match="LogGPParams"):
+            run_programs(p, prog)
+
+    def test_words_validation(self):
+        with pytest.raises(ValueError):
+            Send(1, words=0)
+
+    def test_bulk_vs_fragmented_on_machine(self, gp):
+        """The motivating comparison: one 40-word message vs 40 small
+        ones, both simulated; bulk wins on makespan and processor time."""
+
+        def bulk(rank, P):
+            if rank == 0:
+                yield Send(1, words=40, tag="b")
+            else:
+                yield Recv(tag="b")
+            return None
+
+        def frag(rank, P):
+            if rank == 0:
+                for _ in range(40):
+                    yield Send(1, tag="f")
+            else:
+                for _ in range(40):
+                    yield Recv(tag="f")
+            return None
+
+        res_b = run_programs(gp, bulk)
+        res_f = run_programs(gp, frag)
+        assert res_b.makespan < res_f.makespan / 2

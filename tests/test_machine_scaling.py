@@ -1,0 +1,61 @@
+"""Tests for repro.machines.scaling (Section 7's machine-family curves)."""
+
+import pytest
+
+from repro.machines.scaling import (
+    FAT_TREE_FAMILY,
+    HYPERCUBE_FAMILY,
+    MESH_FAMILY,
+    MachineFamily,
+)
+
+
+class TestFamilyCurves:
+    def test_overhead_fixed_across_configurations(self):
+        for fam in (FAT_TREE_FAMILY, MESH_FAMILY):
+            os = {fam.params(P).o for P in (16, 64, 256)}
+            assert len(os) == 1
+
+    def test_fat_tree_gap_flat(self):
+        gs = [FAT_TREE_FAMILY.params(P).g for P in (16, 64, 256, 1024)]
+        assert max(gs) == min(gs)
+
+    def test_hypercube_gap_flat(self):
+        gs = [HYPERCUBE_FAMILY.params(P).g for P in (16, 64, 256)]
+        assert max(gs) == pytest.approx(min(gs))
+
+    def test_mesh_gap_grows_sqrt_P(self):
+        g16 = MESH_FAMILY.params(16).g
+        g1024 = MESH_FAMILY.params(1024).g
+        assert g1024 / g16 == pytest.approx((1024 / 16) ** 0.5)
+
+    def test_latency_grows_with_diameter(self):
+        for fam in (FAT_TREE_FAMILY, MESH_FAMILY, HYPERCUBE_FAMILY):
+            assert fam.params(256).L > fam.params(16).L
+
+    def test_curve_helper(self):
+        curve = MESH_FAMILY.curve([16, 64])
+        assert [p.P for p in curve] == [16, 64]
+        assert all("2d-mesh" in p.name for p in curve)
+
+    def test_custom_family(self):
+        from repro.topology.topologies import Torus2D
+
+        fam = MachineFamily(
+            name="torus", topology=Torus2D, w=8, overhead_cycles=50, r=2
+        )
+        p = fam.params(64)
+        assert p.o == 25
+        # Torus bisection is 2*sqrt(P): halved g relative to the mesh.
+        mesh_like = MachineFamily(
+            name="m", topology=lambda P: __import__(
+                "repro.topology.topologies", fromlist=["Mesh2D"]
+            ).Mesh2D(P), w=8, overhead_cycles=50, r=2,
+        )
+        assert p.g == pytest.approx(mesh_like.params(64).g / 2)
+
+    def test_capacity_follows_curve(self):
+        # On the mesh, L grows ~sqrt(P) and g grows ~sqrt(P): the
+        # capacity ceil(L/g) stays roughly constant along the curve.
+        caps = [MESH_FAMILY.params(P).capacity for P in (16, 64, 256, 1024)]
+        assert max(caps) <= 2 * min(caps)

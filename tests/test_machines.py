@@ -1,0 +1,164 @@
+"""Tests for repro.machines: Table 1 database, CM-5 calibration,
+Figure 2 trends, calibration helpers."""
+
+import numpy as np
+import pytest
+
+from repro.machines import (
+    CM5,
+    CM5_FFT_CALIBRATION,
+    FIGURE2_DATA,
+    GaussianJitter,
+    TABLE1,
+    bandwidth_to_g,
+    cm5,
+    cycle_from_mflops,
+    figure2_growth_rates,
+    fit_growth_rate,
+    normalize_to_cycle,
+    table1_machine,
+)
+
+
+class TestTable1Database:
+    def test_seven_rows(self):
+        assert len(TABLE1) == 7
+
+    def test_lookup(self):
+        assert table1_machine("Dash").network == "Torus"
+
+    def test_published_constants(self):
+        ncube = table1_machine("nCUBE/2")
+        assert (ncube.cycle_ns, ncube.w, ncube.r) == (25, 1, 40)
+        assert ncube.send_recv_overhead == 6400
+        cm = table1_machine("CM-5")
+        assert cm.send_recv_overhead == 3600 and cm.avg_hops == 9.3
+
+    def test_active_message_rows_cut_overhead(self):
+        assert table1_machine("nCUBE/2 (AM)").send_recv_overhead == 1000
+        assert table1_machine("CM-5 (AM)").send_recv_overhead == 132
+
+
+class TestCM5Calibration:
+    def test_cycle_is_4_5_us(self):
+        assert CM5_FFT_CALIBRATION.cycle_us == 4.5
+
+    def test_ticks_per_cycle_about_150(self):
+        # "a cycle corresponds to 4.5 us, or 150 clock ticks"
+        assert CM5_FFT_CALIBRATION.ticks_per_cycle == pytest.approx(148.5, abs=2)
+
+    def test_logp_in_cycles(self):
+        p = CM5_FFT_CALIBRATION.logp()
+        assert p.o == pytest.approx(0.44, abs=0.01)
+        assert p.L == pytest.approx(1.33, abs=0.01)
+        assert p.g == pytest.approx(0.89, abs=0.01)
+        assert p.P == 128
+
+    def test_logp_in_microseconds(self):
+        p = CM5_FFT_CALIBRATION.logp_us(P=16)
+        assert (p.L, p.o, p.g) == (6.0, 2.0, 4.0)
+        assert p.P == 16
+
+    def test_predicted_remap_rate(self):
+        # max(1 + 2*2, 4) = 5 us/point -> 16 bytes / 5 us = 3.2 MB/s.
+        per_point = CM5_FFT_CALIBRATION.predicted_remap_us_per_point()
+        assert per_point == 5.0
+        assert CM5_FFT_CALIBRATION.bytes_per_point / per_point == pytest.approx(3.2)
+
+    def test_unit_conversions_roundtrip(self):
+        c = CM5_FFT_CALIBRATION
+        assert c.us(c.cycles(7.3)) == pytest.approx(7.3)
+
+
+class TestCM5Machine:
+    def test_double_net_halves_g(self):
+        assert cm5(P=8, double_net=True).params_us().g == 2.0
+
+    def test_machine_units(self):
+        m = cm5(P=4)
+        assert m.machine(units="us").params.L == 6.0
+        assert m.machine(units="cycles").params.L == pytest.approx(6.0 / 4.5)
+        with pytest.raises(ValueError):
+            m.machine(units="seconds")
+
+    def test_node_cache_spec(self):
+        cache = cm5().node_cache()
+        assert cache.size_bytes == 64 * 1024
+        assert cache.line_bytes == 32
+        assert cache.associativity == 1
+
+    def test_mb_per_second(self):
+        assert cm5().mb_per_second(100.0, 50.0) == 2.0
+        with pytest.raises(ValueError):
+            cm5().mb_per_second(100.0, 0.0)
+
+    def test_jitter_configured(self):
+        m = cm5(P=4, jitter_sigma=0.2)
+        machine = m.machine()
+        assert machine.compute_jitter is not None
+
+
+class TestGaussianJitter:
+    def test_zero_sigma_identity(self):
+        j = GaussianJitter(0.0)
+        assert j(0, 10.0) == 10.0
+
+    def test_never_negative(self):
+        j = GaussianJitter(2.0, seed=9)
+        assert all(j(0, 5.0) >= 0 for _ in range(500))
+
+    def test_mean_preserved_roughly(self):
+        j = GaussianJitter(0.1, seed=4)
+        vals = [j(0, 10.0) for _ in range(2000)]
+        assert np.mean(vals) == pytest.approx(10.0, rel=0.02)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianJitter(-0.1)
+
+
+class TestFigure2Trends:
+    def test_six_machines(self):
+        assert len(FIGURE2_DATA) == 6
+        assert FIGURE2_DATA[0].machine == "Sun 4/260"
+        assert FIGURE2_DATA[-1].machine == "DEC alpha"
+
+    def test_growth_rates_match_paper(self):
+        rates = figure2_growth_rates()
+        # "The floating point SPEC benchmarks improved at about 97% per
+        # year since 1987, and integer ... about 54% per year."
+        assert rates["floating"] == pytest.approx(0.97, abs=0.06)
+        assert rates["integer"] == pytest.approx(0.54, abs=0.06)
+
+    def test_fit_exact_exponential(self):
+        years = np.arange(1987, 1993)
+        values = 5.0 * 1.5 ** (years - 1987)
+        assert fit_growth_rate(years, values) == pytest.approx(0.5)
+
+    def test_fit_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fit_growth_rate([1987], [1.0])
+        with pytest.raises(ValueError):
+            fit_growth_rate([1987, 1988], [1.0, -2.0])
+
+
+class TestCalibrationHelpers:
+    def test_cycle_from_mflops(self):
+        # 2.2 Mflops, 10 flops per butterfly -> 4.5 us/cycle.
+        assert cycle_from_mflops(2.2, 10) == pytest.approx(4.545, abs=0.01)
+
+    def test_bandwidth_to_g(self):
+        # 20 bytes / 5 MB/s -> 4 us.
+        assert bandwidth_to_g(20, 5) == 4.0
+
+    def test_normalize_to_cycle(self):
+        p = normalize_to_cycle(6, 2, 4, 128, cycle_us=4.5)
+        assert p.o == pytest.approx(0.444, abs=0.001)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            cycle_from_mflops(0, 10)
+        with pytest.raises(ValueError):
+            bandwidth_to_g(16, 0)
+        with pytest.raises(ValueError):
+            normalize_to_cycle(1, 1, 1, 1, cycle_us=0)

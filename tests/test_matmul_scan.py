@@ -1,0 +1,199 @@
+"""Tests for repro.algorithms.matmul (SUMMA) and the scan / group
+broadcast collectives."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.core import LogGPParams, LogPParams
+from repro.algorithms.matmul import (
+    best_panel_width,
+    run_summa,
+    summa_time,
+)
+from repro.sim import (
+    group_broadcast,
+    prefix_scan,
+    run_programs,
+    validate_schedule,
+)
+
+
+@pytest.fixture
+def gp4():
+    return LogGPParams(L=6, o=2, g=4, G=0.25, P=4)
+
+
+class TestSUMMA:
+    @pytest.mark.parametrize("b", [1, 2, 4, 8])
+    def test_correct_product(self, gp4, b, rng):
+        A = rng.standard_normal((16, 16))
+        B = rng.standard_normal((16, 16))
+        C, res = run_summa(gp4, A, B, b=b)
+        assert np.allclose(C, A @ B)
+        assert validate_schedule(res.schedule, exact_latency=True).ok
+
+    def test_nine_processors(self, rng):
+        gp9 = LogGPParams(L=6, o=2, g=4, G=0.25, P=9)
+        A = rng.standard_normal((12, 12))
+        B = rng.standard_normal((12, 12))
+        C, _ = run_summa(gp9, A, B, b=2)
+        assert np.allclose(C, A @ B)
+
+    def test_single_processor(self, rng):
+        gp1 = LogGPParams(L=6, o=2, g=4, G=0.25, P=1)
+        A = rng.standard_normal((8, 8))
+        B = rng.standard_normal((8, 8))
+        C, _ = run_summa(gp1, A, B, b=4)
+        assert np.allclose(C, A @ B)
+
+    def test_identity(self, gp4):
+        A = np.eye(8)
+        B = np.arange(64, dtype=float).reshape(8, 8)
+        C, _ = run_summa(gp4, A, B, b=2)
+        assert np.allclose(C, B)
+
+    def test_prediction_brackets_simulation(self, gp4, rng):
+        A = rng.standard_normal((16, 16))
+        B = rng.standard_normal((16, 16))
+        for b in (2, 8):
+            C, res = run_summa(gp4, A, B, b=b)
+            predicted = summa_time(gp4, 16, b)
+            assert 0.7 * predicted <= res.makespan <= 1.1 * predicted
+
+    def test_larger_panels_fewer_messages(self, gp4, rng):
+        A = rng.standard_normal((16, 16))
+        B = rng.standard_normal((16, 16))
+        _, res1 = run_summa(gp4, A, B, b=1)
+        _, res8 = run_summa(gp4, A, B, b=8)
+        assert res8.total_messages < res1.total_messages
+
+    def test_best_panel_width_is_a_divisor(self, gp4):
+        b = best_panel_width(gp4, 16)
+        assert (16 // 2) % b == 0
+        times = {bb: summa_time(gp4, 16, bb) for bb in (1, 2, 4, 8)}
+        assert times[b] == min(times.values())
+
+    def test_non_square_P_rejected(self, rng):
+        gp8 = LogGPParams(L=6, o=2, g=4, G=0.25, P=8)
+        with pytest.raises(ValueError):
+            run_summa(gp8, np.eye(8), np.eye(8), b=1)
+
+    def test_bad_panel_width_rejected(self, gp4):
+        with pytest.raises(ValueError):
+            summa_time(gp4, 16, 3)
+
+
+class TestPrefixScan:
+    @pytest.mark.parametrize("P", [1, 2, 3, 7, 8, 16])
+    def test_inclusive_sum(self, P):
+        p = LogPParams(L=6, o=2, g=4, P=P)
+
+        def prog(rank, PP):
+            v = yield from prefix_scan(rank, PP, rank + 1)
+            return v
+
+        res = run_programs(p, prog)
+        assert res.values() == list(np.cumsum(range(1, P + 1)))
+
+    def test_exclusive(self):
+        p = LogPParams(L=6, o=2, g=4, P=8)
+
+        def prog(rank, P):
+            v = yield from prefix_scan(
+                rank, P, rank + 1, inclusive=False, identity=0
+            )
+            return v
+
+        res = run_programs(p, prog)
+        inc = list(np.cumsum(range(1, 9)))
+        assert res.values() == [0] + inc[:-1]
+
+    def test_non_commutative_order(self):
+        p = LogPParams(L=6, o=2, g=4, P=8)
+
+        def prog(rank, P):
+            v = yield from prefix_scan(rank, P, str(rank), operator.add)
+            return v
+
+        res = run_programs(p, prog)
+        assert res.values() == [
+            "".join(str(i) for i in range(r + 1)) for r in range(8)
+        ]
+
+    def test_max_scan(self):
+        p = LogPParams(L=6, o=2, g=4, P=8)
+        data = [3, 1, 4, 1, 5, 9, 2, 6]
+
+        def prog(rank, P):
+            v = yield from prefix_scan(rank, P, data[rank], max)
+            return v
+
+        res = run_programs(p, prog)
+        assert res.values() == list(np.maximum.accumulate(data))
+
+    def test_cost_logarithmic(self):
+        # ceil(log2 P) rounds of (L + 2o)-ish — far from the scan-model's
+        # unit time, which is Section 6.2's point.
+        times = {}
+        for P in (4, 16, 64):
+            p = LogPParams(L=6, o=2, g=4, P=P)
+
+            def prog(rank, PP):
+                v = yield from prefix_scan(rank, PP, 1)
+                return v
+
+            times[P] = run_programs(p, prog).makespan
+        assert times[16] < 2.1 * times[4]
+        assert times[64] < 1.8 * times[16]
+
+
+class TestGroupBroadcast:
+    def test_subgroup_only(self):
+        p = LogPParams(L=6, o=2, g=4, P=8)
+        members = [2, 3, 5, 7]
+
+        def prog(rank, P):
+            if rank in members:
+                v = yield from group_broadcast(rank, members, rank, root=5)
+                return v
+            return "outside"
+
+        res = run_programs(p, prog)
+        for r in range(8):
+            assert res.value(r) == (5 if r in members else "outside")
+
+    def test_nonmember_rank_rejected(self):
+        p = LogPParams(L=6, o=2, g=4, P=4)
+
+        def prog(rank, P):
+            v = yield from group_broadcast(rank, [0, 1], None, root=0)
+            return v
+
+        with pytest.raises(Exception):
+            run_programs(p, prog)
+
+    def test_singleton_group(self):
+        p = LogPParams(L=6, o=2, g=4, P=2)
+
+        def prog(rank, P):
+            if rank == 0:
+                v = yield from group_broadcast(rank, [0], 42, root=0)
+                return v
+            return None
+
+        assert run_programs(p, prog).value(0) == 42
+
+    def test_long_message_panels(self):
+        gp = LogGPParams(L=6, o=2, g=4, G=0.25, P=4)
+
+        def prog(rank, P):
+            payload = list(range(32)) if rank == 1 else None
+            v = yield from group_broadcast(
+                rank, [0, 1, 2, 3], payload, root=1, words=32
+            )
+            return sum(v)
+
+        res = run_programs(gp, prog)
+        assert set(res.values()) == {sum(range(32))}

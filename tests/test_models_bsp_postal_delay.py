@@ -1,0 +1,199 @@
+"""Tests for repro.models.bsp, repro.models.postal, repro.models.delay."""
+
+import math
+
+import pytest
+
+from repro.core import LogPParams
+from repro.algorithms.broadcast import optimal_broadcast_time
+from repro.algorithms.summation import summation_time
+from repro.models import (
+    BSPParams,
+    bsp_fft_cost,
+    bsp_from_logp,
+    bsp_sum_cost,
+    bsp_superstep,
+    bsp_total,
+    delay_broadcast_time,
+    delay_fft_time,
+    delay_point_to_point,
+    delay_sum_time,
+    postal_broadcast_time,
+    postal_equivalent_params,
+    postal_informed,
+    superstep_cost,
+)
+from repro.sim import run_programs
+
+
+class TestBSPCost:
+    def test_superstep_formula(self):
+        b = BSPParams(g=4, l=50, P=8)
+        assert superstep_cost(b, w=100, h=10) == 100 + 40 + 50
+
+    def test_total(self):
+        b = BSPParams(g=2, l=10, P=4)
+        assert bsp_total(b, [(5, 1), (0, 3)]) == (5 + 2 + 10) + (6 + 10)
+
+    def test_from_logp(self):
+        p = LogPParams(L=6, o=2, g=4, P=8)
+        b = bsp_from_logp(p)
+        assert b.g == 4  # max(g, 2o)
+        assert b.l > p.L  # includes the software barrier
+        assert b.P == 8
+
+    def test_from_logp_overhead_bound(self):
+        p = LogPParams(L=6, o=5, g=4, P=8)
+        assert bsp_from_logp(p).g == 10
+
+    def test_hardware_barrier_option(self):
+        p = LogPParams(L=6, o=2, g=4, P=8)
+        b = bsp_from_logp(p, hardware_barrier=3)
+        assert b.l == 9
+
+    def test_sum_cost_pays_l_per_level(self):
+        b = BSPParams(g=1, l=100, P=8)
+        # 3 levels, each costing at least l.
+        assert bsp_sum_cost(b, 80) >= 300
+
+    def test_bsp_sum_never_beats_logp_optimal(self):
+        # BSP charges whole supersteps; LogP's schedule overlaps local
+        # work with reception, so LogP <= BSP on the same machine.
+        p = LogPParams(L=5, o=2, g=4, P=8)
+        b = bsp_from_logp(p)
+        for n in (50, 100, 300):
+            assert summation_time(p, n) <= bsp_sum_cost(b, n)
+
+    def test_fft_cost_schedule_blind(self):
+        # BSP cannot distinguish naive from staggered remap — the cost
+        # function has no schedule argument at all; it charges g*h.
+        b = BSPParams(g=4, l=50, P=8)
+        cost = bsp_fft_cost(b, 1024)
+        m, h = 128, 112
+        assert cost == (m * 3) + (b.g * h + b.l + b.l) + (m * 7) + b.l
+
+    def test_fft_requires_n_at_least_P_squared(self):
+        with pytest.raises(ValueError):
+            bsp_fft_cost(BSPParams(g=1, l=1, P=8), 32)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BSPParams(g=-1, l=0, P=1)
+        with pytest.raises(ValueError):
+            superstep_cost(BSPParams(g=1, l=1, P=1), w=-1, h=0)
+
+
+class TestBSPRuntime:
+    def test_superstep_on_simulator(self):
+        p = LogPParams(L=6, o=2, g=4, P=4)
+
+        def prog(rank, P):
+            out = {(rank + 1) % P: [f"from{rank}"]}
+            got = yield from bsp_superstep(rank, P, 10.0, out, step_id=0)
+            return got
+
+        res = run_programs(p, prog)
+        for rank in range(4):
+            got = res.value(rank)
+            assert len(got) == 1
+            assert got[0][0] == (rank - 1) % 4
+
+    def test_supersteps_serialize(self):
+        # A message sent in superstep s is only usable in s+1; two
+        # supersteps cost at least two barriers.
+        p = LogPParams(L=6, o=2, g=4, P=4)
+
+        def prog(rank, P):
+            yield from bsp_superstep(rank, P, 5.0, {}, step_id=0)
+            yield from bsp_superstep(rank, P, 5.0, {}, step_id=1)
+            from repro.sim import Now
+
+            t = yield Now()
+            return t
+
+        res = run_programs(p, prog)
+        assert min(res.values()) >= 10
+
+    def test_software_barrier_variant(self):
+        p = LogPParams(L=6, o=2, g=4, P=4)
+
+        def prog(rank, P):
+            got = yield from bsp_superstep(
+                rank, P, 1.0, {}, step_id=0, use_hardware_barrier=False
+            )
+            return got
+
+        res = run_programs(p, prog)
+        assert all(v == [] for v in res.values())
+
+
+class TestPostal:
+    def test_informed_base_cases(self):
+        assert postal_informed(0, 3) == 1
+        assert postal_informed(2, 3) == 1
+        assert postal_informed(3, 3) == 2
+
+    def test_lam_one_doubles(self):
+        assert [postal_informed(t, 1) for t in range(5)] == [1, 2, 4, 8, 16]
+
+    def test_recurrence(self):
+        lam = 4
+        for t in range(lam, 30):
+            assert postal_informed(t, lam) == postal_informed(
+                t - 1, lam
+            ) + postal_informed(t - lam, lam)
+
+    def test_broadcast_time_inverse(self):
+        for lam in (1, 2, 5):
+            for P in (1, 2, 10, 64):
+                t = postal_broadcast_time(P, lam)
+                assert postal_informed(t, lam) >= P
+                if t > 0:
+                    assert postal_informed(t - 1, lam) < P
+
+    @pytest.mark.parametrize("lam", [1, 2, 3, 5, 8])
+    @pytest.mark.parametrize("P", [2, 7, 16, 100, 500])
+    def test_equivalence_with_logp_broadcast(self, lam, P):
+        """Footnote 3: the postal model is LogP at o=0, g=1, L=lam."""
+        assert postal_broadcast_time(P, lam) == optimal_broadcast_time(
+            postal_equivalent_params(P, lam)
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            postal_informed(1, 0)
+        with pytest.raises(ValueError):
+            postal_informed(-1, 2)
+        with pytest.raises(ValueError):
+            postal_broadcast_time(0, 2)
+
+
+class TestDelayModel:
+    def test_point_to_point(self):
+        assert delay_point_to_point(7) == 7
+        with pytest.raises(ValueError):
+            delay_point_to_point(-1)
+
+    def test_sum_time(self):
+        assert delay_sum_time(80, 8, 5) == 9 + 3 * 6
+
+    def test_fft_single_latency_charge(self):
+        # The whole remap costs one d: no bandwidth term whatsoever.
+        assert delay_fft_time(1024, 8, 5) == 128 * 10 + 5
+
+    def test_fft_underestimates_logp(self):
+        from repro.core import fft_total_time
+
+        p = LogPParams(L=5, o=2, g=4, P=8)
+        assert delay_fft_time(1024, 8, 5) < fft_total_time(p, 1024)
+
+    def test_broadcast_matches_postal_bound(self):
+        assert delay_broadcast_time(16, 2) == float(
+            postal_broadcast_time(16, 3)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            delay_sum_time(0, 1, 1)
+        with pytest.raises(ValueError):
+            delay_fft_time(16, 8, 1)

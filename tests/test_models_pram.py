@@ -1,0 +1,187 @@
+"""Tests for repro.models.pram: the PRAM simulator and its loopholes."""
+
+import pytest
+
+from repro.models import (
+    PRAM,
+    ConcurrencyViolation,
+    PramStep,
+    pram_broadcast_program,
+    pram_broadcast_steps,
+    pram_sum_program,
+    pram_sum_steps,
+)
+
+
+class TestMachine:
+    def test_single_step_write(self):
+        def prog(pid, P):
+            def run():
+                yield PramStep(write=(pid, pid * 10))
+                return None
+
+            return run()
+
+        pram = PRAM(4, 4)
+        res = pram.run(prog)
+        assert res.memory == [0, 10, 20, 30]
+        assert res.steps == 1
+
+    def test_read_then_write_same_step(self):
+        def prog(pid, P):
+            def run():
+                yield PramStep(reads=[pid], write=lambda v: (pid, v[0] + 1))
+                return None
+
+            return run()
+
+        pram = PRAM(3, 3, initial=[5, 6, 7])
+        res = pram.run(prog)
+        assert res.memory == [6, 7, 8]
+
+    def test_reads_see_values_before_writes(self):
+        # Swap via simultaneous read/write: the PRAM's synchronous
+        # semantics make this atomic.
+        def prog(pid, P):
+            def run():
+                other = 1 - pid
+                yield PramStep(reads=[other], write=lambda v: (pid, v[0]))
+                return None
+
+            return run()
+
+        pram = PRAM(2, 2, initial=[10, 20])
+        res = pram.run(prog)
+        assert res.memory == [20, 10]
+
+    def test_programs_run_in_lockstep(self):
+        log = []
+
+        def prog(pid, P):
+            def run():
+                for step in range(3):
+                    log.append((step, pid))
+                    yield PramStep()
+                return None
+
+            return run()
+
+        PRAM(2, 1).run(prog)
+        assert log == [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]
+
+    def test_return_values(self):
+        def prog(pid, P):
+            def run():
+                yield PramStep()
+                return pid * 2
+
+            return run()
+
+        res = PRAM(3, 1).run(prog)
+        assert res.returns == [0, 2, 4]
+
+    def test_address_bounds_checked(self):
+        def prog(pid, P):
+            def run():
+                yield PramStep(reads=[99])
+                return None
+
+            return run()
+
+        with pytest.raises(IndexError):
+            PRAM(1, 4).run(prog)
+
+    def test_max_steps_guard(self):
+        def prog(pid, P):
+            def run():
+                while True:
+                    yield PramStep()
+
+            return run()
+
+        with pytest.raises(RuntimeError, match="exceeded"):
+            PRAM(1, 1).run(prog, max_steps=10)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PRAM(1, 1, mode="CRCW-chaotic")
+
+
+class TestConcurrencyRules:
+    @staticmethod
+    def concurrent_read(pid, P):
+        def run():
+            yield PramStep(reads=[0])
+            return None
+
+        return run()
+
+    @staticmethod
+    def concurrent_write(pid, P):
+        def run():
+            yield PramStep(write=(0, pid))
+            return None
+
+        return run()
+
+    @staticmethod
+    def concurrent_common_write(pid, P):
+        def run():
+            yield PramStep(write=(0, 7))
+            return None
+
+        return run()
+
+    def test_erew_rejects_concurrent_read(self):
+        with pytest.raises(ConcurrencyViolation):
+            PRAM(2, 2, mode="EREW").run(self.concurrent_read)
+
+    def test_crew_allows_concurrent_read(self):
+        PRAM(2, 2, mode="CREW").run(self.concurrent_read)
+
+    def test_crew_rejects_concurrent_write(self):
+        with pytest.raises(ConcurrencyViolation):
+            PRAM(2, 2, mode="CREW").run(self.concurrent_write)
+
+    def test_crcw_arbitrary_resolves_to_lowest_pid(self):
+        res = PRAM(4, 2, mode="CRCW-arbitrary").run(self.concurrent_write)
+        assert res.memory[0] == 0
+
+    def test_crcw_common_requires_equal_values(self):
+        PRAM(4, 2, mode="CRCW-common").run(self.concurrent_common_write)
+        with pytest.raises(ConcurrencyViolation):
+            PRAM(4, 2, mode="CRCW-common").run(self.concurrent_write)
+
+    def test_crcw_priority(self):
+        res = PRAM(4, 2, mode="CRCW-priority").run(self.concurrent_write)
+        assert res.memory[0] == 0
+
+
+class TestCanonicalAlgorithms:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_sum_correct_and_log_steps(self, n):
+        pram = PRAM(n // 2, n, mode="EREW", initial=list(range(n)))
+        res = pram.run(pram_sum_program(n))
+        assert res.memory[0] == n * (n - 1) // 2
+        assert res.steps == pram_sum_steps(n)
+
+    @pytest.mark.parametrize("n", [2, 8, 16])
+    def test_broadcast_correct_and_log_steps(self, n):
+        pram = PRAM(n, n, mode="EREW", initial=[42] + [0] * (n - 1))
+        res = pram.run(pram_broadcast_program(n))
+        assert all(v == 42 for v in res.memory)
+        assert res.steps == pram_broadcast_steps(n)
+
+    def test_the_loophole(self):
+        """The PRAM's cost is blind to communication parameters — the
+        central critique of Section 6.1: its step count is the same no
+        matter what the machine's L, o, g are, while the LogP optimal
+        broadcast time varies by an order of magnitude."""
+        from repro.core import LogPParams
+        from repro.algorithms.broadcast import optimal_broadcast_time
+
+        steps = pram_broadcast_steps(8)  # 3, always
+        cheap = optimal_broadcast_time(LogPParams(L=1, o=0, g=1, P=8))
+        costly = optimal_broadcast_time(LogPParams(L=60, o=20, g=40, P=8))
+        assert steps == 3
+        assert costly > 10 * cheap

@@ -1,0 +1,92 @@
+"""Tests for the Section 3.1 pipelined (k-item) broadcast."""
+
+import pytest
+
+from repro.core import LogPParams
+from repro.algorithms.broadcast import (
+    best_pipelined_tree,
+    binomial_tree,
+    linear_tree,
+    optimal_broadcast_tree,
+    pipelined_broadcast_program,
+    pipelined_tree_time,
+)
+from repro.sim import run_programs, validate_schedule
+
+
+@pytest.fixture
+def p8():
+    return LogPParams(L=6, o=2, g=4, P=8)
+
+
+TREES = {
+    "chain": lambda p: linear_tree(p.P),
+    "binomial": lambda p: binomial_tree(p.P),
+    "optimal-single": lambda p: optimal_broadcast_tree(p).children,
+}
+
+
+class TestPrediction:
+    @pytest.mark.parametrize("name", list(TREES))
+    @pytest.mark.parametrize("k", [1, 3, 10, 40])
+    def test_prediction_matches_simulation(self, p8, name, k):
+        children = TREES[name](p8)
+        items = list(range(k))
+        res = run_programs(p8, pipelined_broadcast_program(children, items))
+        assert res.makespan == pytest.approx(
+            pipelined_tree_time(p8, children, k)
+        )
+        assert all(v == items for v in res.values())
+        assert validate_schedule(res.schedule, exact_latency=True).ok
+
+    def test_single_item_reduces_to_plain_broadcast(self, p8):
+        children = optimal_broadcast_tree(p8).children
+        from repro.algorithms.broadcast import tree_delivery_times
+
+        assert pipelined_tree_time(p8, children, 1) == max(
+            tree_delivery_times(p8, children)
+        )
+
+    def test_rejects_zero_items(self, p8):
+        with pytest.raises(ValueError):
+            pipelined_tree_time(p8, linear_tree(8), 0)
+
+    @pytest.mark.parametrize("name", list(TREES))
+    def test_grid_params_agreement(self, grid_params, name):
+        if grid_params.P < 2:
+            pytest.skip("needs 2 processors")
+        p = grid_params
+        children = TREES[name](p)
+        items = list(range(6))
+        res = run_programs(p, pipelined_broadcast_program(children, items))
+        pred = pipelined_tree_time(p, children, 6)
+        if max(p.g, p.o) >= 2 * p.o:
+            assert res.makespan == pytest.approx(pred)
+        else:
+            # Bursty regime (g < 2o): prediction is a lower bound with
+            # at most ~(2o - g) of pipeline skew per hop.
+            skew = (2 * p.o - p.g) * p.P
+            assert pred - 1e-9 <= res.makespan <= pred + skew
+
+
+class TestStructureCrossover:
+    def test_single_item_wants_optimal_tree(self, p8):
+        name, _ = best_pipelined_tree(p8, 1)
+        assert name == "optimal-single"
+
+    def test_long_stream_wants_chain(self, p8):
+        name, _ = best_pipelined_tree(p8, 100)
+        assert name == "chain"
+
+    def test_chain_throughput_is_per_item_bound(self, p8):
+        # Chain steady state: one item per max(g, 2o) at each relay.
+        t10 = pipelined_tree_time(p8, linear_tree(8), 10)
+        t11 = pipelined_tree_time(p8, linear_tree(8), 11)
+        assert t11 - t10 == max(p8.g, 2 * p8.o)
+
+    def test_crossover_monotone(self, p8):
+        # Once the chain wins, it keeps winning for larger k.
+        winners = [best_pipelined_tree(p8, k)[0] for k in (1, 2, 5, 20, 80)]
+        if "chain" in winners:
+            first = winners.index("chain")
+            assert all(w == "chain" for w in winners[first:])

@@ -1,0 +1,127 @@
+"""Tests for repro.models.pram_on_logp: the Section 6.1 PRAM emulation."""
+
+import pytest
+
+from repro.core import LogPParams
+from repro.models import (
+    PramStep,
+    pram_broadcast_program,
+    pram_slowdown,
+    pram_sum_program,
+    run_pram_on_logp,
+)
+
+
+@pytest.fixture
+def p8():
+    return LogPParams(L=6, o=2, g=4, P=8)
+
+
+class TestEmulationCorrectness:
+    def test_sum_matches_ideal(self, p8):
+        n = 16
+        ideal, emulated, slowdown = pram_slowdown(
+            p8, pram_sum_program(n), n, initial=list(range(n))
+        )
+        assert emulated.memory[0] == sum(range(16))
+        assert slowdown > 0
+
+    def test_broadcast_matches_ideal(self, p8):
+        ideal, emulated, _ = pram_slowdown(
+            p8, pram_broadcast_program(16), 16, initial=[7] + [0] * 15
+        )
+        assert all(v == 7 for v in emulated.memory)
+        assert ideal.steps == emulated.steps
+
+    def test_synchronous_swap_semantics(self):
+        """Reads happen before writes within a step: two processors
+        swapping through shared memory must not lose a value."""
+        p2 = LogPParams(L=6, o=2, g=4, P=2)
+
+        def prog(pid, P):
+            def run():
+                other = 1 - pid
+                vals = yield PramStep(
+                    reads=[other], write=lambda v: (pid, v[0])
+                )
+                return vals[0]
+
+            return run()
+
+        ideal, emulated, _ = pram_slowdown(p2, prog, 2, initial=[10, 20])
+        assert emulated.memory == [20, 10]
+        assert emulated.returns == [20, 10]
+
+    def test_multi_step_dependency_chain(self, p8):
+        """Step k+1 must observe step k's writes."""
+
+        def prog(pid, P):
+            def run():
+                # Everyone increments its own cell, twice, reading it
+                # back in between.
+                yield PramStep(reads=[pid], write=lambda v: (pid, v[0] + 1))
+                vals = yield PramStep(
+                    reads=[pid], write=lambda v: (pid, v[0] * 10)
+                )
+                return vals[0]
+
+            return run()
+
+        result = run_pram_on_logp(p8, prog, 8, initial=[0] * 8)
+        assert result.memory == [10] * 8
+        assert result.returns == [1] * 8
+
+    def test_lockstep_violation_detected(self, p8):
+        def prog(pid, P):
+            def run():
+                yield PramStep()
+                if pid == 0:
+                    yield PramStep()
+                return None
+
+            return run()
+
+        with pytest.raises(Exception):
+            run_pram_on_logp(p8, prog, 8)
+
+    def test_non_pramstep_rejected(self, p8):
+        def prog(pid, P):
+            def run():
+                yield "junk"
+                return None
+
+            return run()
+
+        with pytest.raises(Exception, match="PramStep"):
+            run_pram_on_logp(p8, prog, 8)
+
+
+class TestSlowdown:
+    def test_unacceptably_slow(self, p8):
+        """The Section 6.1 point: a PRAM step that the model charges 1
+        costs two orders of magnitude more once bandwidth and overhead
+        are properly accounted."""
+        n = 16
+        _, emulated, cycles_per_step = pram_slowdown(
+            p8, pram_sum_program(n), n, initial=list(range(n))
+        )
+        assert cycles_per_step > 50
+
+    def test_slowdown_grows_with_latency(self):
+        n = 16
+        cheap = LogPParams(L=2, o=1, g=1, P=8)
+        costly = LogPParams(L=40, o=8, g=8, P=8)
+        _, _, s_cheap = pram_slowdown(
+            cheap, pram_sum_program(n), n, initial=list(range(n))
+        )
+        _, _, s_costly = pram_slowdown(
+            costly, pram_sum_program(n), n, initial=list(range(n))
+        )
+        assert s_costly > 3 * s_cheap
+
+    def test_steps_counted(self, p8):
+        res = run_pram_on_logp(
+            p8, pram_sum_program(16), 16, initial=list(range(16))
+        )
+        assert res.steps == 4
+        assert res.cycles_per_step == pytest.approx(res.makespan / 4)

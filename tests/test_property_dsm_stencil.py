@@ -1,0 +1,107 @@
+"""Property-based tests for the DSM fence protocol, stencil numerics,
+and the columnsort across random shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import LogGPParams, LogPParams
+from repro.algorithms.sort import run_column_sort
+from repro.algorithms.stencil import (
+    reference_stencil1d,
+    reference_stencil2d,
+    run_stencil1d,
+    run_stencil2d,
+)
+from repro.sim import Compute, Fence, Read, Write, run_dsm
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestFenceProperties:
+    @SLOW
+    @given(st.integers(2, 5), st.integers(1, 4), st.integers(0, 30))
+    def test_fences_order_cross_processor_writes(self, P, n_phases, skew):
+        """Writer-then-reader across a fence always observes the write,
+        regardless of compute skew."""
+        p = LogPParams(L=6, o=2, g=4, P=P)
+
+        def app(rank, PP):
+            seen = []
+            for phase in range(n_phases):
+                writer = phase % PP
+                if rank == writer:
+                    yield Compute(float(skew * rank))
+                    yield Write(phase % 8, value=("w", phase))
+                yield Fence(("ph", phase))
+                v = yield Read(phase % 8)
+                seen.append(v)
+                yield Fence(("ph2", phase))
+            return seen
+
+        res = run_dsm(p, app, initial=[None] * 8)
+        for rank in range(P):
+            assert res.values[rank] == [("w", ph) for ph in range(n_phases)]
+
+    @SLOW
+    @given(st.integers(2, 6))
+    def test_bare_fences_terminate(self, P):
+        p = LogPParams(L=6, o=2, g=4, P=P)
+
+        def app(rank, PP):
+            for i in range(3):
+                yield Fence(i)
+            return rank
+
+        res = run_dsm(p, app, initial=[0] * 4)
+        assert res.values == list(range(P))
+
+
+class TestStencilProperties:
+    @SLOW
+    @given(
+        st.sampled_from([(2, 16), (4, 32), (8, 64)]),
+        st.integers(1, 5),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_1d_matches_serial(self, shape, iterations, seed):
+        P, n = shape
+        rng = np.random.default_rng(seed)
+        p = LogPParams(L=6, o=2, g=4, P=P)
+        values = rng.standard_normal(n)
+        out, _ = run_stencil1d(p, values, iterations)
+        assert np.allclose(out, reference_stencil1d(values, iterations))
+
+    @SLOW
+    @given(
+        st.sampled_from([(4, 8), (4, 12), (9, 12)]),
+        st.integers(1, 3),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_2d_matches_serial(self, shape, iterations, seed):
+        P, n = shape
+        rng = np.random.default_rng(seed)
+        gp = LogGPParams(L=6, o=2, g=4, G=0.25, P=P)
+        grid = rng.standard_normal((n, n))
+        out, _ = run_stencil2d(gp, grid, iterations)
+        assert np.allclose(out, reference_stencil2d(grid, iterations))
+
+
+class TestColumnSortProperties:
+    @SLOW
+    @given(
+        st.sampled_from([(2, 8), (2, 16), (3, 24), (4, 72)]),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_sorts_any_input(self, shape, seed):
+        P, n = shape
+        rng = np.random.default_rng(seed)
+        p = LogPParams(L=6, o=2, g=4, P=P)
+        data = rng.integers(-50, 50, n).astype(float)
+        out = run_column_sort(p, data)
+        assert np.array_equal(out.sorted_values, np.sort(data))

@@ -1,0 +1,197 @@
+"""Property-based tests over the extension surface: LogGP bulk sends,
+the DSM layer, SUMMA, pipelined broadcast, and the exchange collective."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import LogGPParams, LogPParams, long_message_time
+from repro.algorithms.broadcast import (
+    binomial_tree,
+    linear_tree,
+    pipelined_broadcast_program,
+    pipelined_tree_time,
+)
+from repro.algorithms.matmul import run_summa
+from repro.sim import (
+    Read,
+    Recv,
+    Send,
+    Write,
+    exchange,
+    run_dsm,
+    run_programs,
+    validate_schedule,
+)
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+loggp_params = st.builds(
+    LogGPParams,
+    L=st.integers(0, 15).map(float),
+    o=st.integers(0, 5).map(float),
+    g=st.integers(1, 6).map(float),
+    G=st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+    P=st.just(2),
+)
+
+
+class TestLogGPProperties:
+    @SLOW
+    @given(loggp_params, st.integers(1, 64))
+    def test_bulk_send_time_exact(self, gp, k):
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1, words=k)
+            else:
+                from repro.sim import Now
+
+                yield Recv()
+                t = yield Now()
+                return t
+            return None
+
+        res = run_programs(gp, prog)
+        assert res.value(1) == pytest.approx(long_message_time(gp, k))
+        validate_schedule(res.schedule, exact_latency=True).raise_if_invalid()
+
+    @SLOW
+    @given(loggp_params, st.lists(st.integers(1, 20), min_size=1, max_size=6))
+    def test_mixed_stream_valid(self, gp, sizes):
+        def prog(rank, P):
+            if rank == 0:
+                for k in sizes:
+                    yield Send(1, words=k, payload=k)
+            else:
+                got = []
+                for _ in sizes:
+                    m = yield Recv()
+                    got.append(m.payload)
+                return got
+            return None
+
+        res = run_programs(gp, prog)
+        assert sorted(res.value(1)) == sorted(sizes)
+        validate_schedule(res.schedule, exact_latency=True).raise_if_invalid()
+
+
+class TestDSMProperties:
+    @SLOW
+    @given(
+        st.integers(2, 5),
+        st.lists(st.integers(0, 15), min_size=1, max_size=6),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_every_written_value_lands(self, P, addrs, seed):
+        p = LogPParams(L=6, o=2, g=4, P=P)
+        rng = np.random.default_rng(seed)
+        # Each rank writes disjoint addresses (its index stripe).
+        plans = {
+            rank: [(a, int(rng.integers(1000))) for a in addrs
+                   if a % P == rank]
+            for rank in range(P)
+        }
+
+        def app(rank, PP):
+            for a, v in plans[rank]:
+                yield Write(a, value=v)
+            return None
+            yield
+
+        res = run_dsm(p, app, initial=[0] * 16)
+        expect = [0] * 16
+        for writes in plans.values():
+            for a, v in writes:
+                expect[a] = v
+        assert list(res.memory) == expect
+
+    @SLOW
+    @given(st.integers(2, 5), st.integers(0, 15))
+    def test_read_returns_initial_value(self, P, addr):
+        p = LogPParams(L=6, o=2, g=4, P=P)
+
+        def app(rank, PP):
+            if rank == 0:
+                v = yield Read(addr)
+                return v
+            return None
+            yield
+
+        res = run_dsm(p, app, initial=list(range(100, 116)))
+        assert res.values[0] == 100 + addr
+
+
+class TestSUMMAProperties:
+    @SLOW
+    @given(
+        st.sampled_from([(8, 4, 2), (16, 4, 4), (12, 9, 2)]),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_product_correct(self, shape, seed):
+        n, P, b = shape
+        gp = LogGPParams(L=6, o=2, g=4, G=0.25, P=P)
+        rng = np.random.default_rng(seed)
+        A = rng.standard_normal((n, n))
+        B = rng.standard_normal((n, n))
+        C, _ = run_summa(gp, A, B, b=b)
+        assert np.allclose(C, A @ B)
+
+
+class TestPipelinedBroadcastProperties:
+    @SLOW
+    @given(
+        st.integers(2, 8),
+        st.integers(1, 12),
+        st.sampled_from(["chain", "binomial"]),
+    )
+    def test_all_items_everywhere_in_order(self, P, k, family):
+        p = LogPParams(L=6, o=2, g=4, P=P)
+        children = linear_tree(P) if family == "chain" else binomial_tree(P)
+        items = [f"item{i}" for i in range(k)]
+        res = run_programs(p, pipelined_broadcast_program(children, items))
+        assert all(v == items for v in res.values())
+        assert res.makespan == pytest.approx(
+            pipelined_tree_time(p, children, k)
+        )
+
+
+class TestExchangeProperties:
+    @SLOW
+    @given(
+        st.integers(2, 5),
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4)),
+            max_size=15,
+        ),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_exchange_delivers_exactly(self, P, pairs, seed):
+        p = LogPParams(L=6, o=2, g=4, P=P)
+        sendlist = {
+            r: [(dst % P, f"{r}->{dst % P}/{i}")
+                for i, (src, dst) in enumerate(pairs)
+                if src % P == r and dst % P != r]
+            for r in range(P)
+        }
+
+        def prog(rank, PP):
+            out = {}
+            for dst, payload in sendlist[rank]:
+                out.setdefault(dst, []).append(payload)
+            got = yield from exchange(rank, PP, out, tag="pt")
+            return sorted(payload for _, payload in got)
+
+        res = run_programs(p, prog)
+        for rank in range(P):
+            expect = sorted(
+                payload
+                for r in range(P)
+                for dst, payload in sendlist[r]
+                if dst == rank
+            )
+            assert res.value(rank) == expect

@@ -1,0 +1,54 @@
+"""Tests for repro.models.scanmodel (Section 6.2's scan-model)."""
+
+import pytest
+
+from repro.core import LogPParams
+from repro.models import (
+    logp_scan_time,
+    scan_model_broadcast_steps,
+    scan_model_scan_steps,
+    scan_model_sum_steps,
+)
+from repro.sim import prefix_scan, run_programs
+
+
+class TestScanModelCosts:
+    def test_unit_time_by_assumption(self):
+        for n in (1, 100, 10**6):
+            assert scan_model_scan_steps(n) == 1
+            assert scan_model_sum_steps(n) == 1
+            assert scan_model_broadcast_steps(n) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            scan_model_scan_steps(0)
+
+
+class TestLogPScanTime:
+    def test_single_processor_free(self):
+        assert logp_scan_time(LogPParams(L=6, o=2, g=4, P=1)) == 0
+
+    def test_log_rounds(self):
+        p2 = logp_scan_time(LogPParams(L=6, o=2, g=4, P=2))
+        p4 = logp_scan_time(LogPParams(L=6, o=2, g=4, P=4))
+        p16 = logp_scan_time(LogPParams(L=6, o=2, g=4, P=16))
+        assert p4 == pytest.approx(2 * p2, rel=0.2)
+        assert p16 == pytest.approx(4 * p2, rel=0.2)
+
+    @pytest.mark.parametrize("P", [2, 4, 8, 16, 32])
+    def test_tracks_simulation(self, P):
+        p = LogPParams(L=6, o=2, g=4, P=P)
+
+        def prog(rank, PP):
+            v = yield from prefix_scan(rank, PP, 1)
+            return v
+
+        sim = run_programs(p, prog).makespan
+        pred = logp_scan_time(p)
+        assert 0.75 * pred <= sim <= 1.25 * pred
+
+    def test_gap_dominated_regime(self):
+        # With a huge g the rounds are paced by the gap, not by L.
+        p = LogPParams(L=2, o=1, g=40, P=8)
+        t = logp_scan_time(p)
+        assert t >= 2 * 40  # at least two gap intervals across 3 rounds

@@ -1,0 +1,254 @@
+"""Tests for repro.sim.collectives: message-built collective operations."""
+
+import operator
+
+import pytest
+
+from repro.core import LogPParams
+from repro.sim import (
+    all_reduce,
+    all_to_all,
+    binomial_broadcast,
+    binomial_children,
+    binomial_parent,
+    binomial_reduce,
+    exchange,
+    run_programs,
+    software_barrier,
+    tree_broadcast,
+    tree_reduce,
+    validate_schedule,
+    Now,
+)
+
+
+@pytest.fixture
+def p8():
+    return LogPParams(L=6, o=2, g=4, P=8)
+
+
+class TestBinomialTreeStructure:
+    def test_root_has_no_parent(self):
+        assert binomial_parent(0, 8) is None
+
+    def test_parent_clears_highest_bit(self):
+        assert binomial_parent(5, 8) == 1  # 101 -> 001
+        assert binomial_parent(6, 8) == 2
+        assert binomial_parent(7, 8) == 3
+        assert binomial_parent(4, 8) == 0
+
+    def test_children_of_root(self):
+        assert sorted(binomial_children(0, 8)) == [1, 2, 4]
+
+    def test_children_respect_P_boundary(self):
+        assert binomial_children(1, 6) == [5, 3]
+        assert binomial_children(2, 6) == []
+
+    def test_parent_child_consistency(self):
+        for P in (2, 3, 5, 8, 13, 16):
+            for r in range(P):
+                for c in binomial_children(r, P):
+                    assert binomial_parent(c, P) == r
+
+    def test_every_node_reachable(self):
+        for P in (1, 2, 7, 16):
+            seen = {0}
+            frontier = [0]
+            while frontier:
+                n = frontier.pop()
+                for c in binomial_children(n, P):
+                    assert c not in seen
+                    seen.add(c)
+                    frontier.append(c)
+            assert seen == set(range(P))
+
+    def test_nonzero_root_relabeling(self):
+        for r in range(8):
+            assert binomial_parent((3 + r) % 8, 8, root=3) == (
+                None if r == 0 else (binomial_parent(r, 8) + 3) % 8
+            )
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("P", [1, 2, 3, 7, 8, 16])
+    def test_all_ranks_receive(self, P):
+        p = LogPParams(L=6, o=2, g=4, P=P)
+
+        def prog(rank, PP):
+            v = yield from binomial_broadcast(rank, PP, "v" if rank == 0 else None)
+            return v
+
+        res = run_programs(p, prog)
+        assert res.values() == ["v"] * P
+
+    def test_nonzero_root(self, p8):
+        def prog(rank, P):
+            v = yield from binomial_broadcast(rank, P, rank, root=5)
+            return v
+
+        res = run_programs(p8, prog)
+        assert res.values() == [5] * 8
+
+    def test_schedule_validates(self, p8):
+        def prog(rank, P):
+            v = yield from binomial_broadcast(rank, P, 0 if rank == 0 else None)
+            return v
+
+        res = run_programs(p8, prog)
+        assert validate_schedule(res.schedule, exact_latency=True).ok
+
+
+class TestReduce:
+    @pytest.mark.parametrize("P", [1, 2, 5, 8, 16])
+    def test_sum_reduction(self, P):
+        p = LogPParams(L=6, o=2, g=4, P=P)
+
+        def prog(rank, PP):
+            v = yield from binomial_reduce(rank, PP, rank + 1, operator.add)
+            return v
+
+        res = run_programs(p, prog)
+        assert res.value(0) == P * (P + 1) // 2
+        assert all(v is None for v in res.values()[1:])
+
+    def test_non_commutative_combine_deterministic(self, p8):
+        def prog(rank, P):
+            v = yield from binomial_reduce(
+                rank, P, str(rank), lambda a, b: a + b
+            )
+            return v
+
+        r1 = run_programs(p8, prog).value(0)
+        r2 = run_programs(p8, prog).value(0)
+        assert r1 == r2
+        assert sorted(r1) == list("01234567")
+
+    def test_reduce_then_broadcast_all_reduce(self, p8):
+        def prog(rank, P):
+            v = yield from all_reduce(rank, P, rank, operator.add)
+            return v
+
+        res = run_programs(p8, prog)
+        assert res.values() == [28] * 8
+
+
+class TestExplicitTrees:
+    def test_tree_broadcast_on_custom_tree(self, p8):
+        children = [[1, 2], [3, 4], [5, 6], [7], [], [], [], []]
+
+        def prog(rank, P):
+            v = yield from tree_broadcast(rank, P, 99 if rank == 0 else None, children)
+            return v
+
+        res = run_programs(p8, prog)
+        assert res.values() == [99] * 8
+
+    def test_tree_reduce_on_custom_tree(self, p8):
+        children = [[1, 2], [3, 4], [5, 6], [7], [], [], [], []]
+
+        def prog(rank, P):
+            v = yield from tree_reduce(rank, P, 1, operator.add, children)
+            return v
+
+        res = run_programs(p8, prog)
+        assert res.value(0) == 8
+
+    def test_tree_reduce_detects_orphan(self, p8):
+        children = [[1], [], [], [], [], [], [], []]  # ranks 2..7 orphaned
+
+        def prog(rank, P):
+            v = yield from tree_reduce(rank, P, 1, operator.add, children)
+            return v
+
+        with pytest.raises(Exception):
+            run_programs(p8, prog)
+
+
+class TestSoftwareBarrier:
+    def test_synchronizes_without_hardware(self, p8):
+        from repro.sim import Compute
+
+        def prog(rank, P):
+            yield Compute(rank * 10)
+            yield from software_barrier(rank, P)
+            t = yield Now()
+            return t
+
+        res = run_programs(p8, prog)
+        exits = res.values()
+        # Nobody exits before the slowest processor reached the barrier.
+        assert min(exits) >= 70
+
+    def test_single_processor_noop(self):
+        def prog(rank, P):
+            yield from software_barrier(rank, P)
+            t = yield Now()
+            return t
+
+        res = run_programs(LogPParams(L=6, o=2, g=4, P=1), prog)
+        assert res.value(0) == 0
+
+
+class TestAllToAll:
+    @pytest.mark.parametrize("stagger", [True, False])
+    def test_data_delivered(self, p8, stagger):
+        def prog(rank, P):
+            out = {d: [(rank, d, i) for i in range(3)] for d in range(P) if d != rank}
+            msgs = yield from all_to_all(rank, P, out, expected=3 * (P - 1), stagger=stagger)
+            return sorted(m.payload for m in msgs)
+
+        res = run_programs(p8, prog)
+        for rank in range(8):
+            expected = sorted(
+                (s, rank, i) for s in range(8) if s != rank for i in range(3)
+            )
+            assert res.value(rank) == expected
+
+    def test_staggered_no_stalls_naive_stalls(self, p8):
+        def factory(stagger):
+            def prog(rank, P):
+                out = {d: [0] * 8 for d in range(P) if d != rank}
+                yield from all_to_all(rank, P, out, expected=8 * (P - 1), stagger=stagger)
+                return None
+
+            return prog
+
+        res_s = run_programs(p8, factory(True))
+        res_n = run_programs(p8, factory(False))
+        assert res_s.total_stall_time == 0
+        assert res_n.total_stall_time > 0
+        assert res_n.makespan > res_s.makespan
+
+    def test_rejects_self_destination(self, p8):
+        def prog(rank, P):
+            yield from all_to_all(rank, P, {rank: [1]}, expected=0)
+            return None
+
+        with pytest.raises(ValueError):
+            run_programs(p8, prog)
+
+
+class TestExchange:
+    def test_irregular_exchange(self, p8):
+        # Rank r sends r messages to rank (r+1) % P.
+        def prog(rank, P):
+            dst = (rank + 1) % P
+            out = {dst: [f"m{rank}-{i}" for i in range(rank)]} if rank else {}
+            got = yield from exchange(rank, P, out, tag="t")
+            return sorted(got)
+
+        res = run_programs(p8, prog)
+        # Rank r+1 receives r messages from rank r.
+        for rank in range(1, 8):
+            got = res.value((rank + 1) % 8)
+            assert len(got) == rank
+            assert all(src == rank for src, _ in got)
+        assert res.value(1) == []  # rank 0 sent nothing
+
+    def test_empty_exchange(self, p8):
+        def prog(rank, P):
+            got = yield from exchange(rank, P, {}, tag="none")
+            return got
+
+        res = run_programs(p8, prog)
+        assert all(v == [] for v in res.values())

@@ -1,0 +1,97 @@
+"""Tests for repro.sim.engine: the deterministic event kernel."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+
+
+class TestEngine:
+    def test_runs_in_time_order(self):
+        e = Engine()
+        log = []
+        e.schedule(5, lambda: log.append(5))
+        e.schedule(1, lambda: log.append(1))
+        e.schedule(3, lambda: log.append(3))
+        e.run()
+        assert log == [1, 3, 5]
+
+    def test_ties_break_by_insertion_order(self):
+        e = Engine()
+        log = []
+        for i in range(10):
+            e.schedule(7.0, lambda i=i: log.append(i))
+        e.run()
+        assert log == list(range(10))
+
+    def test_now_advances(self):
+        e = Engine()
+        seen = []
+        e.schedule(2.5, lambda: seen.append(e.now))
+        e.schedule(4.0, lambda: seen.append(e.now))
+        final = e.run()
+        assert seen == [2.5, 4.0]
+        assert final == 4.0
+
+    def test_schedule_after(self):
+        e = Engine()
+        log = []
+        e.schedule(3, lambda: e.schedule_after(2, lambda: log.append(e.now)))
+        e.run()
+        assert log == [5]
+
+    def test_events_can_schedule_same_time(self):
+        e = Engine()
+        log = []
+
+        def first():
+            log.append("a")
+            e.schedule(e.now, lambda: log.append("b"))
+
+        e.schedule(1, first)
+        e.run()
+        assert log == ["a", "b"]
+
+    def test_scheduling_in_past_raises(self):
+        e = Engine()
+        e.schedule(5, lambda: None)
+        e.run()
+        with pytest.raises(SimulationError):
+            e.schedule(3, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule_after(-1, lambda: None)
+
+    def test_run_until_leaves_later_events(self):
+        e = Engine()
+        log = []
+        e.schedule(1, lambda: log.append(1))
+        e.schedule(10, lambda: log.append(10))
+        e.run(until=5)
+        assert log == [1]
+        assert not e.empty()
+        e.run()
+        assert log == [1, 10]
+
+    def test_event_budget_guards_infinite_loops(self):
+        e = Engine(max_events=100)
+
+        def loop():
+            e.schedule(e.now, loop)
+
+        e.schedule(0, loop)
+        with pytest.raises(SimulationError, match="budget"):
+            e.run()
+
+    def test_peek(self):
+        e = Engine()
+        assert e.peek() is None
+        e.schedule(4, lambda: None)
+        assert e.peek() == 4
+
+    def test_events_run_counter(self):
+        e = Engine()
+        for t in range(5):
+            e.schedule(t, lambda: None)
+        e.run()
+        assert e.events_run == 5

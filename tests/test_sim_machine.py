@@ -1,0 +1,563 @@
+"""Tests for repro.sim.machine: LogP semantics on the simulator.
+
+Each test encodes one clause of the model as observable behaviour:
+overhead engagement, send/receive gaps, the latency bound, capacity
+stalling, polling, barriers, deadlock detection.
+"""
+
+import pytest
+
+from repro.core import Activity, LogPParams
+from repro.sim import (
+    Barrier,
+    Compute,
+    FixedLatency,
+    LogPMachine,
+    Now,
+    Poll,
+    Recv,
+    Send,
+    SimulationError,
+    Sleep,
+    UniformLatency,
+    run_programs,
+    validate_schedule,
+)
+
+
+def P2(L=6, o=2, g=4):
+    return LogPParams(L=L, o=o, g=g, P=2)
+
+
+class TestPointToPoint:
+    def test_message_takes_L_plus_2o(self, grid_params):
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1 % P, payload=123)
+            elif rank == 1:
+                m = yield Recv()
+                t = yield Now()
+                return (m.payload, t)
+            return None
+
+        if grid_params.P < 2:
+            pytest.skip("needs 2 processors")
+        res = run_programs(grid_params, prog)
+        payload, t = res.value(1)
+        assert payload == 123
+        assert t == pytest.approx(grid_params.point_to_point())
+
+    def test_payload_and_metadata(self):
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1, payload={"a": [1, 2]}, tag="x")
+            else:
+                m = yield Recv(tag="x")
+                return (m.src, m.payload, m.tag, m.sent_at, m.in_flight)
+            return None
+
+        res = run_programs(P2(), prog)
+        src, payload, tag, sent_at, flight = res.value(1)
+        assert src == 0 and payload == {"a": [1, 2]} and tag == "x"
+        assert sent_at == 0 and flight == 10
+
+    def test_send_to_self_rejected(self):
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(0)
+            return None
+            yield
+
+        with pytest.raises(SimulationError, match="itself"):
+            run_programs(P2(), prog)
+
+    def test_send_out_of_range_rejected(self):
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(5)
+            return None
+            yield
+
+        with pytest.raises(SimulationError, match="invalid destination"):
+            run_programs(P2(), prog)
+
+
+class TestGaps:
+    def test_consecutive_sends_spaced_by_max_g_o(self):
+        p = P2(L=6, o=2, g=4)
+
+        def prog(rank, P):
+            if rank == 0:
+                for _ in range(4):
+                    yield Send(1)
+            else:
+                for _ in range(4):
+                    yield Recv()
+                t = yield Now()
+                return t
+            return None
+
+        res = run_programs(p, prog)
+        sends = [
+            iv.start
+            for iv in res.schedule.timeline(0).intervals
+            if iv.kind is Activity.SEND
+        ]
+        assert sends == [0, 4, 8, 12]
+
+    def test_overhead_dominates_gap_when_larger(self):
+        p = P2(L=6, o=5, g=2)
+
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1)
+                yield Send(1)
+            else:
+                yield Recv()
+                yield Recv()
+            return None
+
+        res = run_programs(p, prog)
+        sends = [
+            iv.start
+            for iv in res.schedule.timeline(0).intervals
+            if iv.kind is Activity.SEND
+        ]
+        assert sends[1] - sends[0] == 5
+
+    def test_receive_gap_throttles_drain(self):
+        # Two messages arrive nearly together; receptions must start >= g apart.
+        p = LogPParams(L=6, o=1, g=5, P=3)
+
+        def prog(rank, P):
+            if rank in (0, 1):
+                yield Send(2)
+            else:
+                yield Recv()
+                yield Recv()
+                t = yield Now()
+                return t
+            return None
+
+        res = run_programs(p, prog)
+        recvs = sorted(
+            iv.start
+            for iv in res.schedule.timeline(2).intervals
+            if iv.kind is Activity.RECV
+        )
+        assert recvs[1] - recvs[0] >= 5
+
+    def test_compute_blocks_reception(self):
+        # While computing, an arrived message waits.
+        p = P2()
+
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1)
+            else:
+                yield Compute(50)
+                m = yield Recv()
+                t = yield Now()
+                return t
+            return None
+
+        res = run_programs(p, prog)
+        # Message arrived at 8 but reception starts at 50.
+        assert res.value(1) == 52
+
+
+class TestLatency:
+    def test_fixed_latency_exact(self):
+        res = run_programs(P2(), _ping_prog())
+        rep = validate_schedule(res.schedule, exact_latency=True)
+        assert rep.ok
+
+    def test_random_latency_bounded_and_reordered(self):
+        p = LogPParams(L=20, o=0, g=1, P=2)
+
+        def prog(rank, P):
+            if rank == 0:
+                for i in range(50):
+                    yield Send(1, payload=i)
+            else:
+                got = []
+                for _ in range(50):
+                    m = yield Recv()
+                    got.append(m.payload)
+                return got
+            return None
+
+        machine = LogPMachine(p, latency=UniformLatency(20, lo_frac=0.2, seed=3))
+        res = machine.run(prog)
+        rep = validate_schedule(res.schedule)
+        assert rep.ok  # bound holds even though latency is random
+        assert res.value(1) != sorted(res.value(1))  # reordering observed
+        assert sorted(res.value(1)) == list(range(50))
+
+    def test_latency_model_exceeding_L_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            LogPMachine(P2(L=6), latency=FixedLatency(10))
+
+
+class TestCapacity:
+    def test_hotspot_sender_stalls(self):
+        # Many senders flood one destination: capacity ceil(L/g)=2 per
+        # destination, so senders must stall and total time stretches.
+        p = LogPParams(L=8, o=1, g=4, P=6)
+
+        def prog(rank, P):
+            if rank == 0:
+                for _ in range(P - 1):
+                    yield Recv()
+            else:
+                for _ in range(1):
+                    yield Send(0)
+            return None
+
+        res = run_programs(p, prog)
+        assert validate_schedule(res.schedule, exact_latency=True).ok
+
+    def test_capacity_stall_time_recorded(self):
+        p = LogPParams(L=4, o=0, g=4, P=8)  # capacity 1
+
+        def prog(rank, P):
+            if rank == 0:
+                for _ in range(2 * (P - 1)):
+                    yield Recv()
+            else:
+                yield Send(0)
+                yield Send(0)
+            return None
+
+        res = run_programs(p, prog)
+        assert res.total_stall_time > 0
+
+    def test_capacity_disabled_removes_stalls(self):
+        p = LogPParams(L=4, o=0, g=4, P=8)
+
+        def prog(rank, P):
+            if rank == 0:
+                for _ in range(2 * (P - 1)):
+                    yield Recv()
+            else:
+                yield Send(0)
+                yield Send(0)
+            return None
+
+        machine = LogPMachine(p, enforce_capacity=False)
+        res = machine.run(prog)
+        assert res.total_stall_time == 0
+
+    def test_self_paced_sender_never_self_stalls(self):
+        # A sender pacing itself at g keeps at most L/g <= ceil(L/g) of
+        # its own messages in the network, so the from-side capacity
+        # constraint never bites (the reading that makes Figure 3's
+        # schedule feasible).  L=12, g=3: capacity 4, exactly L/g.
+        p = LogPParams(L=12, o=3, g=3, P=6)
+
+        def prog(rank, P):
+            if rank == 0:
+                for d in range(1, P):
+                    yield Send(d)
+            else:
+                yield Recv()
+            return None
+
+        res = run_programs(p, prog)
+        assert res.total_stall_time == 0
+        assert validate_schedule(res.schedule, exact_latency=True).ok
+        sends = [
+            iv.start
+            for iv in res.schedule.timeline(0).intervals
+            if iv.kind is Activity.SEND
+        ]
+        assert sends == [0, 3, 6, 9, 12]
+
+    def test_destination_backpressure_paces_flood(self):
+        # A flooded destination drains one message per g; with capacity 1
+        # each sender's injection must wait for the previous reception.
+        p = LogPParams(L=4, o=1, g=4, P=4)  # capacity 1
+
+        def prog(rank, P):
+            if rank == 0:
+                for _ in range(3 * (P - 1)):
+                    yield Recv()
+            else:
+                for _ in range(3):
+                    yield Send(0)
+            return None
+
+        res = run_programs(p, prog)
+        assert res.total_stall_time > 0
+        recvs = sorted(
+            iv.start
+            for iv in res.schedule.timeline(0).intervals
+            if iv.kind is Activity.RECV
+        )
+        gaps = [b - a for a, b in zip(recvs, recvs[1:])]
+        assert all(gap >= 4 for gap in gaps)
+        assert validate_schedule(res.schedule, exact_latency=True).ok
+
+    def test_explicit_capacity_override(self):
+        p = LogPParams(L=8, o=1, g=4, P=3)
+        machine = LogPMachine(p, capacity=1)
+        assert machine.capacity == 1
+        with pytest.raises(ValueError):
+            LogPMachine(p, capacity=0)
+
+
+class TestComputeAndSleep:
+    def test_compute_advances_time(self):
+        def prog(rank, P):
+            yield Compute(17.5)
+            t = yield Now()
+            return t
+
+        res = run_programs(LogPParams(L=1, o=1, g=1, P=1), prog)
+        assert res.value(0) == 17.5
+
+    def test_zero_compute_is_instant(self):
+        def prog(rank, P):
+            yield Compute(0)
+            t = yield Now()
+            return t
+
+        res = run_programs(LogPParams(L=1, o=1, g=1, P=1), prog)
+        assert res.value(0) == 0
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+
+    def test_sleep_allows_reception(self):
+        p = P2()
+
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1)
+            else:
+                yield Sleep(50)
+                m = yield Recv()
+                t = yield Now()
+                return t
+            return None
+
+        res = run_programs(p, prog)
+        # Message received during sleep (arrives at 8, recv ends 10) so
+        # Recv returns immediately at 50.
+        assert res.value(1) == 50
+
+    def test_compute_jitter_applied(self):
+        def jitter(rank, cycles):
+            return cycles * 2
+
+        def prog(rank, P):
+            yield Compute(10)
+            t = yield Now()
+            return t
+
+        machine = LogPMachine(LogPParams(L=1, o=1, g=1, P=1), compute_jitter=jitter)
+        assert machine.run(prog).value(0) == 20
+
+    def test_negative_jitter_result_rejected(self):
+        machine = LogPMachine(
+            LogPParams(L=1, o=1, g=1, P=1), compute_jitter=lambda r, c: -1
+        )
+
+        def prog(rank, P):
+            yield Compute(10)
+            return None
+
+        with pytest.raises(SimulationError):
+            machine.run(prog)
+
+
+class TestPoll:
+    def test_poll_returns_zero_when_nothing_arrived(self):
+        def prog(rank, P):
+            n = yield Poll()
+            return n
+
+        res = run_programs(LogPParams(L=1, o=1, g=1, P=1), prog)
+        assert res.value(0) == 0
+
+    def test_poll_services_arrived_message(self):
+        p = P2()
+
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1)
+                return None
+            yield Compute(20)  # message arrives meanwhile, undrained
+            n = yield Poll()
+            m = yield Recv()  # already in mailbox
+            t = yield Now()
+            return (n, m.payload is None, t)
+
+        res = run_programs(p, prog)
+        n, _, t = res.value(1)
+        assert n == 1
+        assert t == 22  # poll paid o=2 right after the compute
+
+    def test_poll_does_not_wait_for_gap(self):
+        p = LogPParams(L=2, o=1, g=10, P=3)
+
+        def prog(rank, P):
+            if rank in (0, 1):
+                yield Send(2)
+                return None
+            yield Compute(30)  # both messages arrive during this
+            n1 = yield Poll()
+            n2 = yield Poll()  # gap (10) not yet elapsed: services nothing
+            m = yield Recv()
+            m2 = yield Recv()
+            return (n1, n2)
+
+        res = run_programs(p, prog)
+        n1, n2 = res.value(2)
+        assert n1 == 1
+        assert n2 == 0
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self):
+        p = LogPParams(L=1, o=1, g=1, P=4)
+
+        def prog(rank, P):
+            yield Compute(rank * 7)
+            yield Barrier()
+            t = yield Now()
+            return t
+
+        res = run_programs(p, prog)
+        assert len(set(res.values())) == 1
+        assert res.value(0) == 21
+
+    def test_barrier_cost_added(self):
+        p = LogPParams(L=1, o=1, g=1, P=2)
+
+        def prog(rank, P):
+            yield Barrier()
+            t = yield Now()
+            return t
+
+        machine = LogPMachine(p, hw_barrier_cost=5)
+        res = machine.run(prog)
+        assert set(res.values()) == {5}
+
+    def test_repeated_barriers(self):
+        p = LogPParams(L=1, o=1, g=1, P=3)
+
+        def prog(rank, P):
+            for i in range(3):
+                yield Compute(rank + 1)
+                yield Barrier()
+            t = yield Now()
+            return t
+
+        res = run_programs(p, prog)
+        assert set(res.values()) == {9.0}
+
+    def test_negative_barrier_cost_rejected(self):
+        with pytest.raises(ValueError):
+            LogPMachine(P2(), hw_barrier_cost=-1)
+
+
+class TestDeadlockAndErrors:
+    def test_recv_without_send_deadlocks(self):
+        def prog(rank, P):
+            if rank == 1:
+                yield Recv()
+            return None
+            yield
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            run_programs(P2(), prog)
+
+    def test_mismatched_barrier_deadlocks(self):
+        def prog(rank, P):
+            if rank == 0:
+                yield Barrier()
+            return None
+            yield
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            run_programs(P2(), prog)
+
+    def test_unknown_action_rejected(self):
+        def prog(rank, P):
+            yield "garbage"
+            return None
+
+        with pytest.raises(SimulationError, match="unknown action"):
+            run_programs(LogPParams(L=1, o=1, g=1, P=1), prog)
+
+    def test_wrong_program_count_rejected(self):
+        def one():
+            return None
+            yield
+
+        with pytest.raises(ValueError, match="expected 2"):
+            run_programs(P2(), [one()])
+
+    def test_program_exceptions_propagate(self):
+        def prog(rank, P):
+            yield Compute(1)
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_programs(LogPParams(L=1, o=1, g=1, P=1), prog)
+
+
+class TestResults:
+    def test_return_values_collected(self):
+        def prog(rank, P):
+            yield Compute(1)
+            return rank * rank
+
+        res = run_programs(LogPParams(L=1, o=1, g=1, P=4), prog)
+        assert res.values() == [0, 1, 4, 9]
+
+    def test_counters(self):
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1)
+                yield Send(1)
+            else:
+                yield Recv()
+                yield Recv()
+            return None
+
+        res = run_programs(P2(), prog)
+        assert res.results[0].sends == 2
+        assert res.results[1].receives == 2
+        assert res.total_messages == 2
+
+    def test_trace_disabled_keeps_summary(self):
+        machine = LogPMachine(P2(), trace=False)
+        res = machine.run(_ping_prog())
+        assert res.schedule is None
+        assert res.makespan == 10
+
+    def test_leftover_mailbox_messages_allowed(self):
+        # A processor may finish without consuming everything sent to it;
+        # the message is still drained (reception paid).
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1)
+            return None
+            yield
+
+        res = run_programs(P2(), prog)
+        assert res.results[1].receives == 1
+
+
+def _ping_prog():
+    def prog(rank, P):
+        if rank == 0:
+            yield Send(1, payload="ping")
+        else:
+            yield Recv()
+        return None
+
+    return prog

@@ -1,0 +1,155 @@
+"""Tests for repro.sim.trace (statistics) and repro.sim.latency."""
+
+import numpy as np
+import pytest
+
+from repro.core import LogPParams
+from repro.sim import (
+    Compute,
+    FixedLatency,
+    JitteredLatency,
+    LogPMachine,
+    Recv,
+    Send,
+    UniformLatency,
+    communication_rate,
+    message_stats,
+    receive_histogram,
+    run_programs,
+    utilization,
+)
+
+
+@pytest.fixture
+def ping_result():
+    p = LogPParams(L=6, o=2, g=4, P=2)
+
+    def prog(rank, P):
+        if rank == 0:
+            yield Compute(10)
+            yield Send(1)
+        else:
+            yield Recv()
+        return None
+
+    return run_programs(p, prog)
+
+
+class TestUtilization:
+    def test_fractions_sum_to_one(self, ping_result):
+        for u in utilization(ping_result.schedule):
+            total = u.compute + u.send_overhead + u.recv_overhead + u.stall + u.idle
+            assert total == pytest.approx(1.0)
+
+    def test_compute_fraction(self, ping_result):
+        u0 = utilization(ping_result.schedule)[0]
+        # 10 compute out of 20 makespan.
+        assert u0.compute == pytest.approx(0.5)
+        assert u0.send_overhead == pytest.approx(0.1)
+
+    def test_receiver_mostly_idle(self, ping_result):
+        u1 = utilization(ping_result.schedule)[1]
+        assert u1.idle > 0.8
+        assert u1.recv_overhead == pytest.approx(0.1)
+
+    def test_busy_property(self, ping_result):
+        u0 = utilization(ping_result.schedule)[0]
+        assert u0.busy == pytest.approx(0.6)
+
+
+class TestMessageStats:
+    def test_single_message(self, ping_result):
+        st = message_stats(ping_result.schedule)
+        assert st.count == 1
+        assert st.mean_flight == 6
+        assert st.mean_end_to_end == 10
+        assert st.reordered == 0
+
+    def test_empty_schedule(self):
+        p = LogPParams(L=6, o=2, g=4, P=2)
+
+        def prog(rank, P):
+            yield Compute(1)
+            return None
+
+        res = run_programs(p, prog)
+        st = message_stats(res.schedule)
+        assert st.count == 0
+
+    def test_reordering_counted_under_random_latency(self):
+        p = LogPParams(L=30, o=0, g=1, P=2)
+
+        def prog(rank, P):
+            if rank == 0:
+                for i in range(60):
+                    yield Send(1, payload=i)
+            else:
+                for _ in range(60):
+                    yield Recv()
+            return None
+
+        machine = LogPMachine(p, latency=UniformLatency(30, lo_frac=0.0, seed=7))
+        res = machine.run(prog)
+        assert message_stats(res.schedule).reordered > 0
+
+
+class TestCommunicationRate:
+    def test_rate_formula(self, ping_result):
+        # 1 message * 16 bytes over (makespan 20 * P 2).
+        assert communication_rate(ping_result.schedule, 16) == pytest.approx(
+            16 / (20 * 2)
+        )
+
+    def test_rejects_nonpositive_size(self, ping_result):
+        with pytest.raises(ValueError):
+            communication_rate(ping_result.schedule, 0)
+
+
+class TestReceiveHistogram:
+    def test_histogram(self):
+        p = LogPParams(L=6, o=2, g=4, P=4)
+
+        def prog(rank, P):
+            if rank != 0:
+                yield Send(0)
+            else:
+                for _ in range(P - 1):
+                    yield Recv()
+            return None
+
+        res = run_programs(p, prog)
+        hist = receive_histogram(res.schedule)
+        assert hist.tolist() == [3, 0, 0, 0]
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        m = FixedLatency(6)
+        assert m.draw(0, 1) == 6
+
+    def test_uniform_within_bounds(self):
+        m = UniformLatency(10, lo_frac=0.5, seed=0)
+        draws = [m.draw(0, 1) for _ in range(200)]
+        assert all(5 <= d <= 10 for d in draws)
+        assert len(set(draws)) > 100
+
+    def test_uniform_reset_reproducible(self):
+        m = UniformLatency(10, seed=42)
+        a = [m.draw(0, 1) for _ in range(10)]
+        m.reset()
+        b = [m.draw(0, 1) for _ in range(10)]
+        assert a == b
+
+    def test_jittered_bounded(self):
+        m = JitteredLatency(10, scale_frac=0.3, seed=1)
+        draws = [m.draw(0, 1) for _ in range(200)]
+        assert all(0 <= d <= 10 for d in draws)
+        assert np.mean(draws) > 5  # most arrive near the bound
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-1)
+        with pytest.raises(ValueError):
+            UniformLatency(10, lo_frac=1.5)
+        with pytest.raises(ValueError):
+            JitteredLatency(10, scale_frac=-0.1)

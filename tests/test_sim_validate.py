@@ -1,0 +1,128 @@
+"""Tests for repro.sim.validate: the LogP semantics checker.
+
+The validator must (a) pass every legitimate simulator trace and
+(b) catch hand-built schedules violating each rule.
+"""
+
+import pytest
+
+from repro.core import Activity, LogPParams, MessageRecord, Schedule
+from repro.sim import validate_schedule
+
+
+def p8():
+    return LogPParams(L=6, o=2, g=4, P=8)
+
+
+def add_msg(s, src, dst, t0, *, L=None, o=None, recv_delay=0.0):
+    p = s.params
+    L = p.L if L is None else L
+    o = p.o if o is None else o
+    s.add_interval(src, t0, t0 + p.o, Activity.SEND, f"->{dst}")
+    arrive = t0 + o + L
+    s.add_interval(dst, arrive + recv_delay, arrive + recv_delay + p.o, Activity.RECV)
+    s.add_message(
+        MessageRecord(
+            src=src,
+            dst=dst,
+            send_start=t0,
+            inject=t0 + o,
+            arrive=arrive,
+            recv_start=arrive + recv_delay,
+            recv_end=arrive + recv_delay + p.o,
+        )
+    )
+
+
+class TestCleanSchedules:
+    def test_single_message_passes(self):
+        s = Schedule(p8())
+        add_msg(s, 0, 1, 0)
+        assert validate_schedule(s, exact_latency=True).ok
+
+    def test_gap_respecting_stream_passes(self):
+        s = Schedule(p8())
+        for k in range(5):
+            add_msg(s, 0, 1, 4 * k)
+        assert validate_schedule(s, exact_latency=True).ok
+
+    def test_empty_schedule_passes(self):
+        assert validate_schedule(Schedule(p8())).ok
+
+
+class TestViolations:
+    def test_send_gap_violation(self):
+        s = Schedule(p8())
+        add_msg(s, 0, 1, 0)
+        add_msg(s, 0, 2, 2)  # only 2 apart, g=4
+        rep = validate_schedule(s)
+        assert any(v.rule == "send-gap" for v in rep.violations)
+
+    def test_recv_gap_violation(self):
+        s = Schedule(p8())
+        add_msg(s, 0, 2, 0)
+        add_msg(s, 1, 2, 1)  # receptions 1 apart at dst 2
+        rep = validate_schedule(s)
+        assert any(v.rule == "recv-gap" for v in rep.violations)
+
+    def test_latency_bound_violation(self):
+        s = Schedule(p8())
+        add_msg(s, 0, 1, 0, L=9)  # flew 9 > L=6
+        rep = validate_schedule(s)
+        assert any(v.rule == "latency-bound" for v in rep.violations)
+
+    def test_exact_latency_check(self):
+        s = Schedule(p8())
+        add_msg(s, 0, 1, 0, L=4)  # legal (<= 6) but not exact
+        assert validate_schedule(s).ok
+        rep = validate_schedule(s, exact_latency=True)
+        assert any(v.rule == "latency-exact" for v in rep.violations)
+
+    def test_overhead_duration_violation(self):
+        s = Schedule(p8())
+        s.add_interval(0, 0, 1, Activity.SEND)  # o=2 expected
+        rep = validate_schedule(s)
+        assert any(v.rule == "overhead" for v in rep.violations)
+
+    def test_busy_overlap_violation(self):
+        s = Schedule(p8())
+        s.add_interval(0, 0, 2, Activity.SEND)
+        s.add_interval(0, 1, 5, Activity.COMPUTE)
+        rep = validate_schedule(s)
+        assert any(v.rule == "busy-overlap" for v in rep.violations)
+
+    def test_capacity_violation(self):
+        # Capacity is 2; build 3 concurrent messages from one source by
+        # claiming impossible gap-free sends (also triggers gap errors).
+        s = Schedule(p8())
+        for k in range(3):
+            add_msg(s, 0, k + 1, 0.1 * k, recv_delay=20)
+        rep = validate_schedule(s)
+        assert any(v.rule == "capacity-from" for v in rep.violations)
+
+    def test_capacity_check_can_be_disabled(self):
+        s = Schedule(p8())
+        for k in range(3):
+            add_msg(s, 0, k + 1, 0.1 * k, recv_delay=20)
+        rep = validate_schedule(s, check_capacity=False)
+        assert not any(v.rule.startswith("capacity") for v in rep.violations)
+
+    def test_inject_before_overhead_violation(self):
+        s = Schedule(p8())
+        s.add_message(
+            MessageRecord(
+                src=0, dst=1, send_start=0, inject=1, arrive=7,
+                recv_start=7, recv_end=9,
+            )
+        )
+        rep = validate_schedule(s)
+        assert any(v.rule == "inject-before-overhead" for v in rep.violations)
+
+    def test_raise_if_invalid(self):
+        s = Schedule(p8())
+        add_msg(s, 0, 1, 0, L=9)
+        with pytest.raises(AssertionError, match="latency-bound"):
+            validate_schedule(s).raise_if_invalid()
+
+    def test_report_ok_does_not_raise(self):
+        validate_schedule(Schedule(p8())).raise_if_invalid()

@@ -1,0 +1,114 @@
+"""Tests for repro.algorithms.stencil (Section 6.4's grid argument)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LogGPParams, LogPParams
+from repro.algorithms.stencil import (
+    communication_share,
+    reference_stencil1d,
+    reference_stencil2d,
+    run_stencil1d,
+    run_stencil2d,
+    stencil1d_iteration_time,
+    stencil2d_iteration_time,
+)
+from repro.sim import validate_schedule
+
+
+class TestStencil1D:
+    @pytest.mark.parametrize("P,n,it", [(2, 16, 1), (4, 64, 4), (8, 64, 6)])
+    def test_matches_serial(self, P, n, it, rng):
+        p = LogPParams(L=6, o=2, g=4, P=P)
+        values = rng.standard_normal(n)
+        out, res = run_stencil1d(p, values, iterations=it)
+        assert np.allclose(out, reference_stencil1d(values, it))
+        assert validate_schedule(res.schedule, exact_latency=True).ok
+
+    def test_single_processor(self, rng):
+        p1 = LogPParams(L=6, o=2, g=4, P=1)
+        values = rng.standard_normal(12)
+        out, _ = run_stencil1d(p1, values, iterations=3)
+        assert np.allclose(out, reference_stencil1d(values, 3))
+
+    def test_indivisible_length_rejected(self, rng):
+        p = LogPParams(L=6, o=2, g=4, P=4)
+        with pytest.raises(ValueError):
+            run_stencil1d(p, rng.standard_normal(13), 1)
+
+    def test_iteration_time_scales_with_cells(self):
+        p = LogPParams(L=6, o=2, g=4, P=4)
+        t1 = stencil1d_iteration_time(p, 100)
+        t2 = stencil1d_iteration_time(p, 200)
+        assert t2 - t1 == 100  # pure compute growth; halo unchanged
+
+
+class TestStencil2D:
+    @pytest.mark.parametrize("P,n", [(4, 8), (4, 16), (9, 12)])
+    def test_matches_serial_bulk(self, P, n, rng):
+        gp = LogGPParams(L=6, o=2, g=4, G=0.25, P=P)
+        grid = rng.standard_normal((n, n))
+        out, res = run_stencil2d(gp, grid, iterations=3)
+        assert np.allclose(out, reference_stencil2d(grid, 3))
+        assert validate_schedule(res.schedule, exact_latency=True).ok
+
+    def test_matches_serial_element_streams(self, rng):
+        p = LogPParams(L=6, o=2, g=4, P=4)
+        grid = rng.standard_normal((8, 8))
+        out, _ = run_stencil2d(p, grid, iterations=2)
+        assert np.allclose(out, reference_stencil2d(grid, 2))
+
+    def test_bulk_edges_beat_element_streams(self, rng):
+        grid = rng.standard_normal((16, 16))
+        plain = run_stencil2d(
+            LogPParams(L=6, o=2, g=4, P=4), grid, 2
+        )[1].makespan
+        bulk = run_stencil2d(
+            LogGPParams(L=6, o=2, g=4, G=0.25, P=4), grid, 2
+        )[1].makespan
+        assert bulk < 0.6 * plain
+
+    def test_single_processor(self, rng):
+        p1 = LogPParams(L=6, o=2, g=4, P=1)
+        grid = rng.standard_normal((6, 6))
+        out, _ = run_stencil2d(p1, grid, 2)
+        assert np.allclose(out, reference_stencil2d(grid, 2))
+
+    def test_non_square_P_rejected(self, rng):
+        p = LogPParams(L=6, o=2, g=4, P=8)
+        with pytest.raises(ValueError):
+            run_stencil2d(p, rng.standard_normal((8, 8)), 1)
+
+    def test_indivisible_grid_rejected(self, rng):
+        p = LogPParams(L=6, o=2, g=4, P=4)
+        with pytest.raises(ValueError):
+            run_stencil2d(p, rng.standard_normal((9, 9)), 1)
+
+
+class TestSurfaceToVolume:
+    def test_share_shrinks_with_block_side(self):
+        gp = LogGPParams(L=6, o=2, g=4, G=0.25, P=4)
+        shares = [
+            communication_share(gp, b, G=gp.G) for b in (4, 16, 64, 256)
+        ]
+        assert all(a > b for a, b in zip(shares, shares[1:]))
+        assert shares[-1] < 0.01  # "the cost of communication becomes trivial"
+
+    def test_share_roughly_inverse_block_side(self):
+        gp = LogGPParams(L=6, o=2, g=4, G=0.25, P=4)
+        s16 = communication_share(gp, 16, G=gp.G)
+        s64 = communication_share(gp, 64, G=gp.G)
+        # Surface/volume ~ 1/b; doubling b twice cuts the share ~4-16x
+        # (super-linear because fixed o/L amortize too).
+        assert 3 < s16 / s64 < 30
+
+    def test_iteration_time_bulk_below_streams(self):
+        p = LogPParams(L=6, o=2, g=4, P=4)
+        assert stencil2d_iteration_time(p, 32, G=0.25) < (
+            stencil2d_iteration_time(p, 32)
+        )
+
+    def test_invalid_block_rejected(self):
+        p = LogPParams(L=6, o=2, g=4, P=4)
+        with pytest.raises(ValueError):
+            stencil2d_iteration_time(p, 0)

@@ -1,0 +1,163 @@
+"""Tests for repro.topology.routing and repro.topology.patterns."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    bit_reverse_pattern,
+    fat_tree_route,
+    grid_route,
+    hop_count,
+    hotspot_pattern,
+    hypercube_route,
+    link_load,
+    max_link_contention,
+    remap_pattern,
+    shift_pattern,
+    transpose_pattern,
+    uniform_pattern,
+)
+
+
+class TestHypercubeRouting:
+    def test_route_length_is_hamming_distance(self):
+        r = hypercube_route(0b000, 0b111, 3)
+        assert hop_count(r) == 3
+
+    def test_route_endpoints(self):
+        r = hypercube_route(5, 9, 4)
+        assert r[0] == 5 and r[-1] == 9
+
+    def test_consecutive_hops_flip_one_bit(self):
+        r = hypercube_route(3, 12, 4)
+        for a, b in zip(r, r[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+    def test_self_route(self):
+        assert hypercube_route(6, 6, 3) == [6]
+
+    def test_ecube_deterministic_lowest_bit_first(self):
+        r = hypercube_route(0, 0b101, 3)
+        assert r == [0, 0b001, 0b101]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            hypercube_route(0, 8, 3)
+
+
+class TestGridRouting:
+    def test_mesh_route_manhattan(self):
+        r = grid_route((0, 0), (2, 3), (4, 4))
+        assert hop_count(r) == 5
+
+    def test_torus_wraps_short_way(self):
+        r = grid_route((0,), (7,), (8,), wrap=True)
+        assert hop_count(r) == 1
+
+    def test_torus_no_wrap_when_longer(self):
+        r = grid_route((0,), (3,), (8,), wrap=True)
+        assert hop_count(r) == 3
+
+    def test_dimension_order(self):
+        r = grid_route((0, 0), (2, 2), (4, 4))
+        # First corrects dim 0, then dim 1.
+        assert r[1] == (1, 0) and r[2] == (2, 0)
+
+    def test_3d(self):
+        r = grid_route((0, 0, 0), (1, 1, 1), (3, 3, 3))
+        assert hop_count(r) == 3
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grid_route((0, 0), (1,), (4, 4))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            grid_route((0, 0), (4, 0), (4, 4))
+
+
+class TestFatTreeRouting:
+    def test_same_leaf(self):
+        assert fat_tree_route(3, 3, 2) == [(0, 3)]
+
+    def test_siblings_two_hops(self):
+        r = fat_tree_route(0, 1, 2)
+        assert hop_count(r) == 2
+        assert r[1] == (1, 0)
+
+    def test_cross_tree_four_hops(self):
+        r = fat_tree_route(0, 5, 2)
+        assert hop_count(r) == 4
+        assert r[2] == (2, 0)  # through the root
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            fat_tree_route(0, 16, 2)
+
+
+class TestPatterns:
+    def test_uniform_is_derangement(self):
+        perm = uniform_pattern(32, seed=5)
+        assert sorted(perm.tolist()) == list(range(32))
+        assert not np.any(perm == np.arange(32))
+
+    def test_transpose_involution(self):
+        perm = transpose_pattern(16)
+        assert np.array_equal(perm[perm], np.arange(16))
+
+    def test_transpose_requires_square(self):
+        with pytest.raises(ValueError):
+            transpose_pattern(8)
+
+    def test_bit_reverse_involution(self):
+        perm = bit_reverse_pattern(32)
+        assert np.array_equal(perm[perm], np.arange(32))
+
+    def test_shift(self):
+        assert shift_pattern(8, 3).tolist() == [3, 4, 5, 6, 7, 0, 1, 2]
+
+    def test_hotspot(self):
+        perm = hotspot_pattern(8, target=2)
+        assert (perm == 2).sum() == 7
+        assert perm[2] != 2
+
+    def test_remap_pattern_balanced(self):
+        triples = remap_pattern(256, 4)
+        assert len(triples) == 12
+        assert all(c == 16 for _, _, c in triples)
+
+    def test_remap_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            remap_pattern(8, 4)
+
+
+class TestContentionAnalysis:
+    """Section 5.6: good vs bad permutations for a fixed routing."""
+
+    @staticmethod
+    def hroute(dim):
+        return lambda s, d: hypercube_route(s, d, dim)
+
+    def test_shift_contention_free_on_hypercube(self):
+        assert max_link_contention(shift_pattern(16), self.hroute(4)) == 1
+
+    def test_bit_reverse_contended(self):
+        # The classic bad case for e-cube routing.
+        c = max_link_contention(bit_reverse_pattern(64), self.hroute(6))
+        assert c >= 2
+
+    def test_hotspot_worst_case(self):
+        c = max_link_contention(hotspot_pattern(16), self.hroute(4))
+        # The last link into the target carries nearly everything.
+        assert c >= 8
+
+    def test_link_load_totals(self):
+        perm = shift_pattern(8)
+        loads = link_load(perm, self.hroute(3))
+        total_hops = sum(
+            hop_count(hypercube_route(s, int(d), 3)) for s, d in enumerate(perm)
+        )
+        assert sum(loads.values()) == total_hops
+
+    def test_empty_pattern(self):
+        assert max_link_contention(np.arange(4), self.hroute(2)) == 0

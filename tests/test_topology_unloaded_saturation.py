@@ -1,0 +1,166 @@
+"""Tests for repro.topology.unloaded (Table 1 arithmetic, the LogP
+extraction recipe) and repro.topology.saturation (Section 5.3)."""
+
+import math
+
+import pytest
+
+from repro.machines import TABLE1, TABLE1_PRINTED_T160, table1_machine
+from repro.topology import (
+    NetworkHardware,
+    find_knee,
+    grid_route,
+    latency_vs_load,
+    logp_from_hardware,
+    simulate_load,
+    unloaded_time,
+)
+
+
+class TestUnloadedTime:
+    def test_formula(self):
+        hw = NetworkHardware(
+            name="x", network="n", cycle_ns=25, w=4,
+            send_recv_overhead=100, r=8, avg_hops=10,
+        )
+        # 100 + ceil(160/4) + 10*8
+        assert unloaded_time(hw, 160) == 100 + 40 + 80
+
+    def test_ceil_on_channel_width(self):
+        hw = NetworkHardware(
+            name="x", network="n", cycle_ns=25, w=3,
+            send_recv_overhead=0, r=1, avg_hops=0,
+        )
+        assert unloaded_time(hw, 160) == math.ceil(160 / 3)
+
+    def test_custom_hop_count(self):
+        hw = table1_machine("Dash")
+        t_avg = unloaded_time(hw, 160)
+        t_far = unloaded_time(hw, 160, hops=20)
+        assert t_far > t_avg
+
+    def test_rejects_zero_bits(self):
+        hw = table1_machine("CM-5")
+        with pytest.raises(ValueError):
+            unloaded_time(hw, 0)
+
+    @pytest.mark.parametrize("name", list(TABLE1_PRINTED_T160))
+    def test_table1_T160_recomputed(self, name):
+        """The printed T(M=160) column is reproduced to within 1 cycle."""
+        hw = table1_machine(name)
+        assert unloaded_time(hw, 160) == pytest.approx(
+            TABLE1_PRINTED_T160[name], abs=1.0
+        )
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(KeyError):
+            table1_machine("Cray-9000")
+
+    def test_overhead_dominates_on_commercial_machines(self):
+        # Table 1's point: "message communication time through a lightly
+        # loaded network is dominated by the send and receive overheads."
+        for name in ("nCUBE/2", "CM-5"):
+            hw = table1_machine(name)
+            total = unloaded_time(hw, 160)
+            assert hw.send_recv_overhead / total > 0.9
+
+    def test_research_machines_balanced(self):
+        for name in ("Dash", "J-Machine", "Monsoon"):
+            hw = table1_machine(name)
+            total = unloaded_time(hw, 160)
+            assert hw.send_recv_overhead / total < 0.6
+
+
+class TestLogPExtraction:
+    def test_recipe(self):
+        hw = NetworkHardware(
+            name="x", network="n", cycle_ns=25, w=4,
+            send_recv_overhead=100, r=8, avg_hops=5, max_hops=12,
+            bisection_bw_bits_per_cycle_per_proc=2.0,
+        )
+        p = logp_from_hardware(hw, M=160)
+        assert p.o == 50
+        assert p.L == 12 * 8 + 40
+        assert p.g == 80
+        assert p.P == 1024
+
+    def test_default_max_hops(self):
+        hw = table1_machine("Monsoon")
+        p = logp_from_hardware(hw)
+        assert p.L == 2 * hw.avg_hops * hw.r + math.ceil(160 / hw.w)
+
+    def test_active_messages_shrink_o(self):
+        o_vendor = logp_from_hardware(table1_machine("CM-5")).o
+        o_am = logp_from_hardware(table1_machine("CM-5 (AM)")).o
+        assert o_am < o_vendor / 20
+
+
+class TestSaturation:
+    @staticmethod
+    def torus_route(k):
+        def route(s, d):
+            return [
+                c[0] * k + c[1]
+                for c in grid_route((s // k, s % k), (d // k, d % k), (k, k), wrap=True)
+            ]
+
+        return route
+
+    def test_latency_flat_at_low_load(self):
+        pts = latency_vs_load(
+            16, self.torus_route(4), [0.02, 0.08],
+            horizon=600, warmup=150, seed=2,
+        )
+        # "Below the saturation point the latency is fairly insensitive
+        # to the load."
+        assert pts[1].mean_latency < 1.5 * pts[0].mean_latency
+
+    def test_latency_blows_up_past_saturation(self):
+        pts = latency_vs_load(
+            16, self.torus_route(4), [0.05, 2.0],
+            horizon=600, warmup=150, seed=2,
+        )
+        assert pts[1].mean_latency > 3 * pts[0].mean_latency
+
+    def test_throughput_tracks_offered_load_below_knee(self):
+        pt = simulate_load(
+            16, self.torus_route(4), 0.1, horizon=2000, warmup=500, seed=4
+        )
+        assert pt.throughput == pytest.approx(0.1, rel=0.2)
+
+    def test_find_knee(self):
+        pts = latency_vs_load(
+            16, self.torus_route(4), [0.05, 0.1, 0.3, 0.8, 1.5, 3.0],
+            horizon=600, warmup=150, seed=6,
+        )
+        knee = find_knee(pts)
+        assert 0.1 < knee <= 3.0
+
+    def test_find_knee_unsaturated(self):
+        pts = latency_vs_load(
+            16, self.torus_route(4), [0.01, 0.02],
+            horizon=600, warmup=150, seed=7,
+        )
+        assert find_knee(pts) == math.inf
+
+    def test_find_knee_empty_rejected(self):
+        with pytest.raises(ValueError):
+            find_knee([])
+
+    def test_custom_pattern(self):
+        # Hot-spot traffic saturates at far lower load than uniform.
+        def hotspot(src, rng):
+            return 0 if src != 0 else 1
+
+        uniform = simulate_load(
+            16, self.torus_route(4), 0.3, horizon=600, warmup=150, seed=8
+        )
+        hot = simulate_load(
+            16, self.torus_route(4), 0.3, horizon=600, warmup=150,
+            pattern=hotspot, seed=8,
+        )
+        assert hot.mean_latency > 2 * uniform.mean_latency
+
+    def test_rejects_nonpositive_load(self):
+        with pytest.raises(ValueError):
+            simulate_load(16, self.torus_route(4), 0.0)

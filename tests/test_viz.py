@@ -1,0 +1,97 @@
+"""Tests for repro.viz: Gantt, trees, tables."""
+
+import pytest
+
+from repro.core import Activity, LogPParams
+from repro.algorithms.broadcast import broadcast_schedule, optimal_broadcast_tree
+from repro.algorithms.summation import optimal_summation_tree
+from repro.viz import (
+    format_table,
+    render_broadcast_tree,
+    render_gantt,
+    render_summation_tree,
+)
+
+
+@pytest.fixture
+def fig3_tree(fig3_params):
+    return optimal_broadcast_tree(fig3_params)
+
+
+class TestGantt:
+    def test_contains_all_processors(self, fig3_tree):
+        out = render_gantt(broadcast_schedule(fig3_tree))
+        for r in range(8):
+            assert f"P{r}" in out
+
+    def test_glyphs_present(self, fig3_tree):
+        out = render_gantt(broadcast_schedule(fig3_tree))
+        assert "s" in out and "r" in out
+        assert "legend" in out
+
+    def test_flight_overlay(self, fig3_tree):
+        out = render_gantt(broadcast_schedule(fig3_tree), show_flight=True)
+        assert "-" in out
+
+    def test_empty_schedule(self):
+        from repro.core import Schedule
+
+        assert "empty" in render_gantt(Schedule(LogPParams(L=1, o=1, g=1, P=2)))
+
+    def test_width_respected(self, fig3_tree):
+        out = render_gantt(broadcast_schedule(fig3_tree), width=40)
+        for line in out.splitlines()[1:-1]:
+            assert len(line) <= 40 + 5  # label prefix
+
+    def test_clipping(self, fig3_tree):
+        out = render_gantt(broadcast_schedule(fig3_tree), until=10)
+        assert "P0" in out
+
+
+class TestTreeRendering:
+    def test_broadcast_tree_labels(self, fig3_tree):
+        out = render_broadcast_tree(fig3_tree)
+        assert "P0 (t=0)" in out
+        assert "(t=24)" in out
+        assert out.count("P") >= 8
+
+    def test_summation_tree_labels(self, fig4_params):
+        tree = optimal_summation_tree(fig4_params, 28)
+        out = render_summation_tree(tree)
+        assert "deadline=28" in out
+        assert "inputs=17" in out
+
+    def test_tree_shape_characters(self, fig3_tree):
+        out = render_broadcast_tree(fig3_tree)
+        assert "|--" in out and "`--" in out
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(
+            ["name", "value"],
+            [["alpha", 1.0], ["b", 22.5]],
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_numeric_right_aligned(self):
+        out = format_table(["x"], [[1], [100]])
+        lines = out.splitlines()
+        assert lines[-1].endswith("100")
+        assert lines[-2].endswith("  1")
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159]], floatfmt=".2f")
+        assert "3.14" in out
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
