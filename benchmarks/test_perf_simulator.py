@@ -67,6 +67,48 @@ def test_perf_cache_block_path(benchmark):
     assert benchmark(run) == 200_000
 
 
+def test_perf_machine_many_to_one_stalls(benchmark):
+    """Stall-heavy many-to-one flood: the wait-graph wakeup path.
+
+    Every sender parks repeatedly under the ``ceil(L/g)`` capacity
+    constraint and every drain at the hot destination scans the waiter
+    list, so this tracks the overhead of the stall/wakeup machinery
+    itself (trace off, like the stream benchmark above).
+    """
+    p = LogPParams(L=8, o=1, g=4, P=16)
+    k = 150
+    n = k * (p.P - 1)
+
+    def prog(rank, P):
+        if rank == 0:
+            for _ in range(n):
+                yield Recv()
+            return None
+        for _ in range(k):
+            yield Send(0)
+        return None
+
+    def run():
+        res = run_programs(p, prog, trace=False)
+        assert res.total_stall_time > 0
+        return res.total_messages
+
+    assert benchmark(run) == n
+
+
+def test_perf_fuzz_smoke_profile(benchmark):
+    """Fixed-seed fuzz smoke sweep (deterministic latency), timed so the
+    correctness net itself stays cheap enough for tier-1."""
+    from repro.sim.fuzz import fuzz_sweep
+
+    def run():
+        summary = fuzz_sweep(range(60), ("fixed",))
+        assert summary.ok, summary.failures[:5]
+        return summary.cases
+
+    assert benchmark(run) == 60
+
+
 def test_perf_packet_network(benchmark):
     """Packet-level network simulator step rate."""
     K = 8

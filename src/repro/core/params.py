@@ -150,9 +150,16 @@ class LogPParams:
         as large as *g*, so *g* can be ignored.  This is conservative by
         at most a factor of two."  Returns a new parameter set with
         ``o = max(o, g)`` and ``g = 0`` marked ignored.
+
+        With ``o >= g`` the injection pacing is unchanged
+        (``send_interval == max(o, g)`` before and after), which is the
+        approximation's whole point.  Note the merged set is an
+        *analysis* device: with ``g`` ignored the capacity bound
+        ``ceil(L/g)`` degenerates to unbounded, so it is not meant to
+        parameterize capacity-sensitive simulation runs.
         """
         merged = max(self.o, self.g)
-        return replace(self, o=merged, g=merged, name=self._tag("o>=g"))
+        return replace(self, o=merged, g=0, name=self._tag("o>=g"))
 
     def ignore_latency(self) -> "LogPParams":
         """Drop ``L`` (Section 3.1: appropriate when messages are sent in

@@ -49,13 +49,38 @@ from .program import (
 )
 from .trace import (
     MessageStats,
+    StallEvent,
+    StallReport,
     UtilizationBreakdown,
+    WakeupEvent,
     communication_rate,
     message_stats,
     receive_histogram,
+    stall_report,
     utilization,
 )
 from .validate import ValidationReport, Violation, validate_schedule
+
+# The fuzz harness is exported lazily: it is also a ``python -m
+# repro.sim.fuzz`` entry point, and an eager import here would shadow
+# that runpy execution with a spurious sys.modules warning.
+_FUZZ_EXPORTS = (
+    "CaseOutcome",
+    "FuzzCase",
+    "FuzzSummary",
+    "fuzz_sweep",
+    "make_case",
+    "run_case",
+)
+
+
+def __getattr__(name: str):
+    if name in _FUZZ_EXPORTS:
+        from . import fuzz
+
+        return getattr(fuzz, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Engine",
@@ -103,7 +128,17 @@ __all__ = [
     "MessageStats",
     "communication_rate",
     "receive_histogram",
+    "StallEvent",
+    "WakeupEvent",
+    "StallReport",
+    "stall_report",
     "validate_schedule",
     "ValidationReport",
     "Violation",
+    "FuzzCase",
+    "CaseOutcome",
+    "FuzzSummary",
+    "make_case",
+    "run_case",
+    "fuzz_sweep",
 ]

@@ -1,0 +1,600 @@
+"""Differential fuzzing of the LogP machine simulator.
+
+The stall/wakeup core of :mod:`repro.sim.machine` is the part of the
+model a paper-reading cannot check by inspection — capacity back-pressure
+interacts with send pacing, receive gaps, polling and barriers in ways
+only exhaustive execution exposes.  This harness generates random
+*well-formed* program families (every ``Recv`` has a matching ``Send``,
+every processor reaches every barrier), runs each through the simulator
+under the deterministic and the randomized latency models, and
+cross-checks every run three ways:
+
+1. **semantic validation** — :func:`~repro.sim.validate.validate_schedule`
+   re-derives every model clause (overheads, gaps, latency bound, the
+   ``ceil(L/g)`` capacity constraint) from the trace;
+2. **differential execution** — the same case is run traced and
+   untraced (identical makespans, message counts and stall totals) and
+   twice under the same latency model (bit-identical determinism);
+3. **analytic cross-check** — for families with a closed form
+   (single-pair streams, disjoint pairwise streams) the simulated
+   makespan must equal the formulas in :mod:`repro.core.cost` exactly;
+   families without a closed form (many-to-one floods) are checked
+   against receiver-bandwidth lower bounds and a generous linear upper
+   bound that turns livelock into a failure instead of a hang.
+
+Payloads carry checksums, so message *data* integrity is verified along
+with timing.  ``python -m repro.sim.fuzz --seeds 500`` runs a sweep from
+the command line; the tier-1 test suite runs a fixed-seed smoke profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core import cost
+from ..core.params import LogPParams
+from .latency import FixedLatency, JitteredLatency, LatencyModel, UniformLatency
+from .machine import LogPMachine, MachineResult
+from .program import Barrier, Compute, Poll, Recv, Send, Sleep
+from .validate import validate_schedule
+
+__all__ = [
+    "FuzzCase",
+    "CaseOutcome",
+    "FuzzSummary",
+    "FAMILIES",
+    "LATENCIES",
+    "make_case",
+    "run_case",
+    "fuzz_sweep",
+]
+
+FAMILIES = (
+    "stream",
+    "pairs",
+    "flood",
+    "barrier_rounds",
+    "tagged",
+    "poll_sleep",
+    "mixed",
+)
+
+#: Latency models exercised per case: name -> constructor(L, seed).
+LATENCIES: dict[str, Callable[[float, int], LatencyModel]] = {
+    "fixed": lambda L, seed: FixedLatency(L),
+    "uniform": lambda L, seed: UniformLatency(L, lo_frac=0.25, seed=seed),
+    "jittered": lambda L, seed: JitteredLatency(L, scale_frac=0.3, seed=seed),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class FuzzCase:
+    """One generated program family instance."""
+
+    seed: int
+    family: str
+    params: LogPParams
+    factory: Callable[[int, int], Any]
+    expected_messages: int
+    #: Exact makespan under FixedLatency, when a closed form exists.
+    closed_form: float | None
+    #: Lower/upper makespan bounds under FixedLatency (always present).
+    lower_bound: float
+    upper_bound: float
+    #: Expected per-rank program return values (None = don't check).
+    expected_values: dict[int, Any]
+
+
+@dataclass(slots=True)
+class CaseOutcome:
+    """Everything checked about one (case, latency-model) execution."""
+
+    seed: int
+    family: str
+    latency: str
+    makespan: float
+    messages: int
+    stalls: int
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass(slots=True)
+class FuzzSummary:
+    """Aggregate of a sweep."""
+
+    cases: int
+    runs: int
+    total_messages: int
+    failures: list[str] = field(default_factory=list)
+    by_family: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+# ----------------------------------------------------------------------
+# Case generation
+# ----------------------------------------------------------------------
+
+_EPS = 1e-9
+
+
+def _draw_params(rng: np.random.Generator) -> LogPParams:
+    """Random parameters on a 0.5-cycle grid (exact in binary floats),
+    spanning o-dominated, g-dominated and latency-dominated regimes."""
+    L = float(rng.integers(0, 33)) / 2.0
+    o = float(rng.integers(0, 9)) / 2.0
+    # g == 0 (infinite bandwidth / unbounded capacity) is a legal corner;
+    # include it occasionally, otherwise keep capacity finite.
+    g = 0.0 if rng.random() < 0.08 else float(rng.integers(1, 13)) / 2.0
+    P = int(rng.integers(2, 7))
+    return LogPParams(L=L, o=o, g=g, P=P)
+
+
+def _checksum(src: int, i: int) -> int:
+    return src * 10_000 + i
+
+
+def make_case(seed: int) -> FuzzCase:
+    """Generate the deterministic fuzz case for ``seed``."""
+    rng = np.random.default_rng(seed)
+    family = FAMILIES[int(rng.integers(0, len(FAMILIES)))]
+    p = _draw_params(rng)
+    builder = _BUILDERS[family]
+    return builder(seed, p, rng)
+
+
+def _lin_bound(p: LogPParams, n_msgs: int) -> float:
+    """Generous linear makespan bound: any run beyond this is a livelock
+    (or a quadratic-blowup bug), not legitimate LogP scheduling."""
+    per = p.L + 2 * p.o + p.send_interval + 1.0
+    return 2.0 * (n_msgs + p.P) * per + 10.0
+
+
+def _build_stream(seed: int, p: LogPParams, rng) -> FuzzCase:
+    """Single-pair pipelined stream: the paper's closed-form schedule."""
+    k = int(rng.integers(1, 12))
+    src, dst = 0, 1
+
+    def factory(rank: int, P: int):
+        if rank == src:
+            for i in range(k):
+                yield Send(dst, payload=_checksum(rank, i))
+            return None
+        if rank == dst:
+            total = 0
+            for _ in range(k):
+                m = yield Recv()
+                total += m.payload
+            return total
+        return None
+        yield
+
+    expect = sum(_checksum(src, i) for i in range(k))
+    exact = cost.pipelined_stream_exact(p, k)
+    return FuzzCase(
+        seed=seed,
+        family="stream",
+        params=p,
+        factory=factory,
+        expected_messages=k,
+        closed_form=exact,
+        lower_bound=exact,
+        upper_bound=_lin_bound(p, k),
+        expected_values={dst: expect},
+    )
+
+
+def _build_pairs(seed: int, p: LogPParams, rng) -> FuzzCase:
+    """Disjoint one-directional streams 0->1, 2->3, ...: independent
+    pairs share the closed form of the slowest stream."""
+    n_pairs = p.P // 2
+    ks = [int(rng.integers(1, 10)) for _ in range(n_pairs)]
+
+    def factory(rank: int, P: int):
+        pair = rank // 2
+        if pair < n_pairs and rank % 2 == 0:
+            for i in range(ks[pair]):
+                yield Send(rank + 1, payload=_checksum(rank, i))
+            return None
+        if pair < n_pairs and rank % 2 == 1:
+            total = 0
+            for _ in range(ks[pair]):
+                m = yield Recv()
+                total += m.payload
+            return total
+        return None
+        yield
+
+    expected_values = {
+        2 * i + 1: sum(_checksum(2 * i, j) for j in range(ks[i]))
+        for i in range(n_pairs)
+    }
+    exact = max(cost.pipelined_stream_exact(p, k) for k in ks)
+    total = sum(ks)
+    return FuzzCase(
+        seed=seed,
+        family="pairs",
+        params=p,
+        factory=factory,
+        expected_messages=total,
+        closed_form=exact,
+        lower_bound=exact,
+        upper_bound=_lin_bound(p, total),
+        expected_values=expected_values,
+    )
+
+
+def _build_flood(seed: int, p: LogPParams, rng) -> FuzzCase:
+    """Many-to-one hot spot: the Section 4.1.2 stall regime.  No closed
+    form (capacity dynamics), but the receiver drains at most one message
+    per ``g``, which bounds the makespan from below."""
+    k = int(rng.integers(1, 8))
+    senders = list(range(1, p.P))
+    n = k * len(senders)
+
+    def factory(rank: int, P: int):
+        if rank == 0:
+            total = 0
+            for _ in range(n):
+                m = yield Recv()
+                total += m.payload
+            return total
+        for i in range(k):
+            yield Send(0, payload=_checksum(rank, i))
+        return None
+
+    expect = sum(_checksum(s, i) for s in senders for i in range(k))
+    # First reception cannot start before o + L; the rest are paced >= g.
+    lower = p.o + p.L + (n - 1) * p.g + p.o
+    return FuzzCase(
+        seed=seed,
+        family="flood",
+        params=p,
+        factory=factory,
+        expected_messages=n,
+        closed_form=None,
+        lower_bound=lower,
+        upper_bound=_lin_bound(p, n),
+        expected_values={0: expect},
+    )
+
+
+def _round_plan(
+    rng, P: int, n_msgs: int, *, hotspot: float = 0.3, tags: bool = False
+) -> list[tuple[int, int, Any]]:
+    """A random message plan: list of (src, dst, tag).  ``hotspot``
+    biases destinations toward rank 0 to exercise capacity stalls."""
+    plan = []
+    for i in range(n_msgs):
+        src = int(rng.integers(0, P))
+        if rng.random() < hotspot:
+            dst = 0 if src != 0 else 1
+        else:
+            dst = int(rng.integers(0, P - 1))
+            if dst >= src:
+                dst += 1
+        tag = f"t{i}" if tags else None
+        plan.append((src, dst, tag))
+    return plan
+
+
+def _rounds_factory(
+    rounds: list[list[tuple[int, int, Any]]],
+    rng_seed: int,
+    *,
+    barrier: bool,
+    tagged: bool,
+    spice: bool,
+):
+    """Build a program factory from per-round message plans.
+
+    Deadlock-freedom by construction: within a round every processor
+    performs all its sends before any receive, receive counts equal the
+    messages addressed to it, and rounds are separated by barriers (when
+    enabled) that every processor reaches.
+    """
+
+    def factory(rank: int, P: int):
+        rng = np.random.default_rng((rng_seed, rank))
+        seq = 0
+        for rnd in rounds:
+            outgoing = [(d, t) for (s, d, t) in rnd if s == rank]
+            incoming = [(s, t) for (s, d, t) in rnd if d == rank]
+            for dst, tag in outgoing:
+                if spice and rng.random() < 0.3:
+                    yield Compute(float(rng.integers(0, 7)))
+                if spice and rng.random() < 0.15:
+                    yield Poll()
+                yield Send(dst, payload=_checksum(rank, seq), tag=tag)
+                seq += 1
+            if spice and rng.random() < 0.3:
+                yield Sleep(float(rng.integers(0, 9)))
+            if tagged:
+                order = list(range(len(incoming)))
+                rng.shuffle(order)
+                for i in order:
+                    m = yield Recv(tag=incoming[i][1])
+                    assert m.tag == incoming[i][1], "tag mismatch"
+            else:
+                for _ in incoming:
+                    yield Recv()
+            if barrier:
+                yield Barrier()
+        return None
+        yield
+
+    return factory
+
+
+def _build_rounds_case(
+    seed: int,
+    family: str,
+    p: LogPParams,
+    rng,
+    *,
+    barrier: bool,
+    tagged: bool,
+    spice: bool,
+) -> FuzzCase:
+    n_rounds = int(rng.integers(1, 4))
+    rounds = [
+        _round_plan(rng, p.P, int(rng.integers(1, 9)), tags=tagged)
+        for _ in range(n_rounds)
+    ]
+    total = sum(len(r) for r in rounds)
+    factory = _rounds_factory(
+        rounds, seed, barrier=barrier, tagged=tagged, spice=spice
+    )
+    return FuzzCase(
+        seed=seed,
+        family=family,
+        params=p,
+        factory=factory,
+        expected_messages=total,
+        closed_form=None,
+        lower_bound=0.0,
+        upper_bound=_lin_bound(p, total) * max(1, n_rounds),
+        expected_values={},
+    )
+
+
+def _build_barrier_rounds(seed: int, p: LogPParams, rng) -> FuzzCase:
+    return _build_rounds_case(
+        seed, "barrier_rounds", p, rng, barrier=True, tagged=False, spice=False
+    )
+
+
+def _build_tagged(seed: int, p: LogPParams, rng) -> FuzzCase:
+    return _build_rounds_case(
+        seed, "tagged", p, rng, barrier=True, tagged=True, spice=False
+    )
+
+
+def _build_mixed(seed: int, p: LogPParams, rng) -> FuzzCase:
+    return _build_rounds_case(
+        seed, "mixed", p, rng, barrier=bool(rng.integers(0, 2)),
+        tagged=False, spice=True,
+    )
+
+
+def _build_poll_sleep(seed: int, p: LogPParams, rng) -> FuzzCase:
+    """Senders stream to one receiver that alternates Sleep/Poll, then
+    collects everything with Recv — the active-message discipline."""
+    k = int(rng.integers(1, 6))
+    senders = list(range(1, p.P))
+    n = k * len(senders)
+    naps = [float(rng.integers(1, 9)) for _ in range(4)]
+
+    def factory(rank: int, P: int):
+        if rank == 0:
+            for nap in naps:
+                yield Sleep(nap)
+                yield Poll()
+            total = 0
+            for _ in range(n):
+                m = yield Recv()
+                total += m.payload
+            return total
+        for i in range(k):
+            yield Send(0, payload=_checksum(rank, i))
+        return None
+
+    expect = sum(_checksum(s, i) for s in senders for i in range(k))
+    return FuzzCase(
+        seed=seed,
+        family="poll_sleep",
+        params=p,
+        factory=factory,
+        expected_messages=n,
+        closed_form=None,
+        lower_bound=p.o + (n - 1) * p.g + p.o,
+        upper_bound=_lin_bound(p, n) + sum(naps),
+        expected_values={0: expect},
+    )
+
+
+_BUILDERS: dict[str, Callable[..., FuzzCase]] = {
+    "stream": _build_stream,
+    "pairs": _build_pairs,
+    "flood": _build_flood,
+    "barrier_rounds": _build_barrier_rounds,
+    "tagged": _build_tagged,
+    "poll_sleep": _build_poll_sleep,
+    "mixed": _build_mixed,
+}
+
+
+# ----------------------------------------------------------------------
+# Execution + differential checks
+# ----------------------------------------------------------------------
+
+
+def _run_machine(
+    case: FuzzCase, latency: LatencyModel, *, trace: bool
+) -> MachineResult:
+    machine = LogPMachine(
+        case.params, latency=latency, trace=trace, max_events=2_000_000
+    )
+    return machine.run(case.factory)
+
+
+def run_case(case: FuzzCase, latency_name: str = "fixed") -> CaseOutcome:
+    """Execute one case under one latency model and run every check."""
+    where = f"seed={case.seed} family={case.family} {case.params} [{latency_name}]"
+    make_latency = LATENCIES[latency_name]
+    fixed = latency_name == "fixed"
+    out = CaseOutcome(
+        seed=case.seed,
+        family=case.family,
+        latency=latency_name,
+        makespan=0.0,
+        messages=0,
+        stalls=0,
+    )
+
+    try:
+        res = _run_machine(case, make_latency(case.params.L, case.seed), trace=True)
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        out.failures.append(f"{where}: traced run crashed: {exc!r}")
+        return out
+    out.makespan = res.makespan
+    out.messages = res.total_messages
+    report = res.stall_report()
+    out.stalls = report.stalls
+    if not report.ok:
+        out.failures.append(
+            f"{where}: unresolved stall episodes for senders "
+            f"{report.unresolved}"
+        )
+
+    # 1. Semantic validation of the trace.
+    val = validate_schedule(res.schedule, exact_latency=fixed)
+    for v in val.violations:
+        out.failures.append(f"{where}: {v}")
+
+    # 2a. Message accounting + payload checksums.
+    if res.total_messages != case.expected_messages:
+        out.failures.append(
+            f"{where}: {res.total_messages} messages, "
+            f"expected {case.expected_messages}"
+        )
+    for rank, expect in case.expected_values.items():
+        got = res.value(rank)
+        if got != expect:
+            out.failures.append(
+                f"{where}: P{rank} returned {got!r}, expected {expect!r}"
+            )
+
+    # 2b. Untraced differential: identical makespan and totals.
+    try:
+        bare = _run_machine(
+            case, make_latency(case.params.L, case.seed), trace=False
+        )
+    except Exception as exc:  # noqa: BLE001
+        out.failures.append(f"{where}: untraced run crashed: {exc!r}")
+        return out
+    if abs(bare.makespan - res.makespan) > _EPS:
+        out.failures.append(
+            f"{where}: untraced makespan {bare.makespan} != traced "
+            f"{res.makespan}"
+        )
+    if bare.total_messages != res.total_messages:
+        out.failures.append(
+            f"{where}: untraced message count {bare.total_messages} != "
+            f"traced {res.total_messages}"
+        )
+    if abs(bare.total_stall_time - res.total_stall_time) > _EPS:
+        out.failures.append(
+            f"{where}: untraced stall time {bare.total_stall_time} != "
+            f"traced {res.total_stall_time}"
+        )
+
+    # 2c. Determinism: a rerun under the same (reset) model is identical.
+    rerun = _run_machine(
+        case, make_latency(case.params.L, case.seed), trace=False
+    )
+    if abs(rerun.makespan - res.makespan) > _EPS:
+        out.failures.append(
+            f"{where}: rerun makespan {rerun.makespan} != {res.makespan} "
+            "(nondeterminism)"
+        )
+
+    # 3. Analytic cross-checks (deterministic latency only).
+    if fixed and case.closed_form is not None:
+        if abs(res.makespan - case.closed_form) > _EPS:
+            out.failures.append(
+                f"{where}: makespan {res.makespan} != closed form "
+                f"{case.closed_form}"
+            )
+    if fixed and res.makespan < case.lower_bound - _EPS:
+        out.failures.append(
+            f"{where}: makespan {res.makespan} below analytic lower bound "
+            f"{case.lower_bound}"
+        )
+    if res.makespan > case.upper_bound + _EPS:
+        out.failures.append(
+            f"{where}: makespan {res.makespan} exceeds linear bound "
+            f"{case.upper_bound} (livelock?)"
+        )
+    return out
+
+
+def fuzz_sweep(
+    seeds: "range | list[int]",
+    latencies: tuple[str, ...] = ("fixed", "uniform", "jittered"),
+    *,
+    max_failures: int = 50,
+) -> FuzzSummary:
+    """Run a seeded sweep; every (seed, latency model) pair is one run."""
+    summary = FuzzSummary(cases=0, runs=0, total_messages=0)
+    for seed in seeds:
+        case = make_case(int(seed))
+        summary.cases += 1
+        summary.by_family[case.family] = summary.by_family.get(case.family, 0) + 1
+        for name in latencies:
+            out = run_case(case, name)
+            summary.runs += 1
+            summary.total_messages += out.messages
+            summary.failures.extend(out.failures)
+            if len(summary.failures) >= max_failures:
+                return summary
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=500)
+    parser.add_argument("--start", type=int, default=0)
+    parser.add_argument(
+        "--latencies", nargs="+", default=list(LATENCIES), choices=list(LATENCIES)
+    )
+    args = parser.parse_args(argv)
+    summary = fuzz_sweep(
+        range(args.start, args.start + args.seeds), tuple(args.latencies)
+    )
+    print(
+        f"{summary.cases} cases x {len(args.latencies)} latency models = "
+        f"{summary.runs} runs, {summary.total_messages} messages"
+    )
+    print(f"families: {summary.by_family}")
+    if summary.ok:
+        print("OK — zero violations")
+        return 0
+    print(f"{len(summary.failures)} FAILURES:")
+    for f in summary.failures[:20]:
+        print(" ", f)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

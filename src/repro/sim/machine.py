@@ -35,6 +35,22 @@ send overhead is paid first, then the message waits at the interface —
 with the processor stalled but able to service incoming messages — until
 the network accepts it.
 
+Stalled senders are tracked in an explicit *wait-graph*: each parked
+sender records the full set of capacity slots its injection needs (its
+own outbound slot, the destination's inbound slot, or both), and every
+slot release scans the waiters of that slot in FIFO order, admitting
+every sender whose complete constraint set is satisfiable at release
+time.  Admission is a *re-examination*, not a reservation — the admitted
+sender re-checks the constraint when its activation fires and re-parks
+(keeping its queue position) if another injection took the slot first.
+This closes the lost-wakeup hazard of a head-of-queue waiter that is
+also blocked on its own outbound capacity: the freed destination slot
+flows past it to the first waiter that can actually use it, and the
+skipped waiter is woken later by whichever of its slots frees last.
+Every park and every wakeup verdict is emitted on a structured event
+feed (:class:`~repro.sim.trace.StallEvent` /
+:class:`~repro.sim.trace.WakeupEvent`) so stall causality is observable.
+
 The run produces a :class:`~repro.core.schedule.Schedule` trace that the
 semantic validator (:mod:`repro.sim.validate`) and the figure benchmarks
 consume.
@@ -51,6 +67,7 @@ from ..core.params import LogPParams
 from ..core.schedule import Activity, MessageRecord, Schedule
 from .engine import Engine, SimulationError
 from .latency import FixedLatency, LatencyModel
+from .trace import StallEvent, StallReport, WakeupEvent, stall_report
 from .program import (
     Barrier,
     Compute,
@@ -117,13 +134,17 @@ class _Proc:
         "busy_until",
         "last_send_start",
         "last_recv_start",
+        "last_activity",
         "mailbox",
         "arrived",
         "stall_started",
         "result",
-        "activation_scheduled_at",
+        "pending_activations",
         "poll_drained",
         "pending_inject",
+        "needs_src",
+        "needs_dst",
+        "queued_on",
         "port_free",
     )
 
@@ -136,15 +157,27 @@ class _Proc:
         self.busy_until = 0.0
         self.last_send_start = -math.inf
         self.last_recv_start = -math.inf
+        # End of the latest recorded activity interval; gives untraced
+        # runs the same makespan a full Schedule would report.
+        self.last_activity = 0.0
         self.mailbox: deque[ReceivedMessage] = deque()
         self.arrived: deque[_Msg] = deque()
         self.stall_started: float | None = None
         self.result = ProgramResult(rank=rank)
-        self.activation_scheduled_at: float = -1.0
+        # Times of every not-yet-fired activation event, so duplicate
+        # same-time activations are suppressed regardless of the order
+        # wake conditions fire in.
+        self.pending_activations: set[float] = set()
         self.poll_drained = 0
         # A committed message (send overhead already paid) waiting for
         # the network to accept it under the capacity constraint.
         self.pending_inject: "_Msg | None" = None
+        # Wait-graph node: which capacity slots the parked injection
+        # needs (refreshed on every failed attempt), and the destination
+        # whose FIFO waiter list currently holds this processor.
+        self.needs_src = False
+        self.needs_dst = False
+        self.queued_on: int | None = None
         # When this processor's network port finishes streaming the
         # current long message (LogGP extension); 1-word messages leave
         # the port free immediately.
@@ -162,6 +195,7 @@ class MachineResult:
     total_messages: int
     total_stall_time: float
     events_run: int
+    stall_events: list[StallEvent | WakeupEvent] = field(default_factory=list)
     extras: dict[str, Any] = field(default_factory=dict)
 
     def value(self, rank: int) -> Any:
@@ -170,6 +204,10 @@ class MachineResult:
 
     def values(self) -> list[Any]:
         return [r.value for r in self.results]
+
+    def stall_report(self) -> StallReport:
+        """Condense the stall/wakeup event feed (traced runs only)."""
+        return stall_report(self.stall_events)
 
 
 class LogPMachine:
@@ -250,10 +288,15 @@ class LogPMachine:
         self._schedule = Schedule(self.params) if self.trace else None
         self._inflight_from = [0] * P
         self._inflight_to = [0] * P
-        # Senders stalled on a destination's capacity, FIFO per destination.
-        self._stalled_on_dst: list[deque[int]] = [deque() for _ in range(P)]
-        # Senders stalled on their own outbound capacity.
-        self._stalled_on_src: set[int] = set()
+        # Wait-graph: FIFO waiter list per destination inbound slot.  A
+        # parked sender sits in exactly one list (its message's dst) and
+        # additionally records, on its _Proc, whether it also needs its
+        # own outbound slot; releases of either slot re-examine it.
+        self._stall_queue: list[deque[int]] = [deque() for _ in range(P)]
+        # Structured stall/wakeup causality feed (traced runs only —
+        # unbounded per-wakeup records are too heavy for large untraced
+        # sweeps).
+        self._stall_feed: list[StallEvent | WakeupEvent] = []
         self._barrier_waiting: list[int] = []
         self._barrier_generation = 0
         self._msg_seq = 0
@@ -261,13 +304,13 @@ class LogPMachine:
         self.latency.reset()
 
         for r in range(P):
-            self._engine.schedule(0.0, self._make_activation(r))
+            self._schedule_activation(r, 0.0)
 
         self._engine.run()
         self._check_completion()
 
         makespan = max(
-            (p.result.finished_at for p in self._procs), default=0.0
+            max(p.result.finished_at, p.last_activity) for p in self._procs
         )
         if self._schedule is not None:
             self._schedule.sort_all()
@@ -281,28 +324,35 @@ class LogPMachine:
             total_messages=self._total_messages,
             total_stall_time=total_stall,
             events_run=self._engine.events_run,
+            stall_events=self._stall_feed,
         )
 
     # ------------------------------------------------------------------
     # Activation: advance a processor as far as it can go right now.
     # ------------------------------------------------------------------
 
-    def _make_activation(self, rank: int) -> Callable[[], None]:
-        return lambda: self._activate(rank)
+    def _make_activation(self, rank: int, time: float) -> Callable[[], None]:
+        def fire() -> None:
+            self._procs[rank].pending_activations.discard(time)
+            self._activate(rank)
+
+        return fire
 
     def _schedule_activation(self, rank: int, time: float) -> None:
         proc = self._procs[rank]
         # Suppress duplicate same-time activations (common when several
-        # wake conditions fire together).
-        if proc.activation_scheduled_at == time:
+        # wake conditions fire together).  The full set of pending times
+        # is kept — a single "last scheduled" slot forgets the earlier
+        # suppression as soon as a different time is scheduled, letting
+        # duplicates through when wake conditions interleave.
+        if time in proc.pending_activations:
             return
-        proc.activation_scheduled_at = time
-        self._engine.schedule(time, self._make_activation(rank))
+        proc.pending_activations.add(time)
+        self._engine.schedule(time, self._make_activation(rank, time))
 
     def _activate(self, rank: int) -> None:
         proc = self._procs[rank]
         now = self._engine.now
-        proc.activation_scheduled_at = -1.0
 
         while True:
             if proc.state == _DONE:
@@ -508,17 +558,10 @@ class LogPMachine:
         now = self._engine.now
         rank, dst = msg.src, msg.dst
         if self.enforce_capacity:
-            blocked = False
-            if self._inflight_from[rank] >= self.capacity:
-                self._stalled_on_src.add(rank)
-                blocked = True
-            if self._inflight_to[dst] >= self.capacity:
-                if rank not in self._stalled_on_dst[dst]:
-                    self._stalled_on_dst[dst].append(rank)
-                blocked = True
-            if blocked:
-                if proc.stall_started is None:
-                    proc.stall_started = now
+            needs_src = self._inflight_from[rank] >= self.capacity
+            needs_dst = self._inflight_to[dst] >= self.capacity
+            if needs_src or needs_dst:
+                self._park(proc, dst, needs_src, needs_dst)
                 return False
 
         if proc.stall_started is not None:
@@ -527,11 +570,10 @@ class LogPMachine:
                 rank, proc.stall_started, now, Activity.STALL, f"->{dst}"
             )
             proc.stall_started = None
-        self._stalled_on_src.discard(rank)
-        try:
-            self._stalled_on_dst[dst].remove(rank)
-        except ValueError:
-            pass
+        if proc.queued_on is not None:
+            self._stall_queue[proc.queued_on].remove(rank)
+            proc.queued_on = None
+            proc.needs_src = proc.needs_dst = False
 
         msg.inject = now
         stream = (msg.words - 1) * (self._G or 0.0)
@@ -546,15 +588,92 @@ class LogPMachine:
         self._engine.schedule(msg.arrive, self._make_arrival(msg))
         return True
 
+    # ------------------------------------------------------------------
+    # Wait-graph: parked senders and slot releases
+    # ------------------------------------------------------------------
+
+    def _park(
+        self, proc: _Proc, dst: int, needs_src: bool, needs_dst: bool
+    ) -> None:
+        """Record a failed injection in the wait-graph.
+
+        The sender keeps its FIFO position across repeated failures; the
+        recorded constraint set is refreshed each attempt (a waiter woken
+        for a freed destination slot may find its own outbound slot
+        newly exhausted, and vice versa).
+        """
+        now = self._engine.now
+        proc.needs_src = needs_src
+        proc.needs_dst = needs_dst
+        if proc.stall_started is None:
+            proc.stall_started = now
+            if self.trace:
+                self._stall_feed.append(
+                    StallEvent(now, proc.rank, dst, needs_src, needs_dst)
+                )
+        if proc.queued_on is None:
+            proc.queued_on = dst
+            self._stall_queue[dst].append(proc.rank)
+
+    def _admissible(self, rank: int, dst: int) -> bool:
+        """Is a parked ``rank -> dst`` injection satisfiable right now?"""
+        return (
+            self._inflight_from[rank] < self.capacity
+            and self._inflight_to[dst] < self.capacity
+        )
+
+    def _release_src_slot(self, src: int) -> None:
+        """An outbound slot of ``src`` freed (one of its messages
+        arrived).  The only possible waiter is ``src`` itself — wake it
+        if its *entire* constraint set is now satisfiable."""
+        proc = self._procs[src]
+        if proc.stall_started is None or proc.pending_inject is None:
+            return
+        dst = proc.pending_inject.dst
+        admitted = self._admissible(src, dst)
+        if self.trace:
+            self._stall_feed.append(
+                WakeupEvent(self._engine.now, src, dst, "src", src, admitted)
+            )
+        if admitted:
+            self._schedule_activation(
+                src, max(self._engine.now, proc.busy_until)
+            )
+
+    def _release_dst_slot(self, dst: int) -> None:
+        """An inbound slot of ``dst`` freed (it began a reception).
+
+        Scan the destination's waiter list in FIFO order and admit every
+        sender whose full constraint set is satisfiable, debiting the
+        freed capacity as we go.  A head-of-queue waiter that is still
+        blocked on its own outbound slot is skipped — not returned to —
+        so the slot flows to the first sender that can actually use it
+        (the lost-wakeup hazard this wait-graph exists to close).
+        """
+        queue = self._stall_queue[dst]
+        if not queue:
+            return
+        now = self._engine.now
+        budget = self.capacity - self._inflight_to[dst]
+        for rank in queue:
+            if budget <= 0:
+                break
+            admitted = self._inflight_from[rank] < self.capacity
+            if self.trace:
+                self._stall_feed.append(
+                    WakeupEvent(now, rank, dst, "dst", dst, admitted)
+                )
+            if admitted:
+                budget -= 1
+                self._schedule_activation(
+                    rank, max(now, self._procs[rank].busy_until)
+                )
+
     def _make_arrival(self, msg: _Msg) -> Callable[[], None]:
         def fire() -> None:
             # The source's slot frees at arrival.
             self._inflight_from[msg.src] -= 1
-            if msg.src in self._stalled_on_src:
-                src = self._procs[msg.src]
-                self._schedule_activation(
-                    msg.src, max(self._engine.now, src.busy_until)
-                )
+            self._release_src_slot(msg.src)
             dst = self._procs[msg.dst]
             dst.arrived.append(msg)
             if dst.state in _DRAINABLE and self._engine.now >= dst.busy_until:
@@ -590,11 +709,7 @@ class LogPMachine:
         self._record(proc.rank, now, now + o, Activity.RECV, f"<-{msg.src}")
         # The destination's slot frees when reception begins.
         self._inflight_to[proc.rank] -= 1
-        queue = self._stalled_on_dst[proc.rank]
-        if queue:
-            waiter = queue[0]
-            wp = self._procs[waiter]
-            self._schedule_activation(waiter, max(now, wp.busy_until))
+        self._release_dst_slot(proc.rank)
         self._engine.schedule(now + o, self._make_recv_done(proc.rank, msg, now))
 
     def _make_recv_done(
@@ -686,10 +801,20 @@ class LogPMachine:
     def _record(
         self, rank: int, start: float, end: float, kind: Activity, detail: str
     ) -> None:
+        proc = self._procs[rank]
+        if end > proc.last_activity:
+            proc.last_activity = end
         if self._schedule is not None:
             self._schedule.add_interval(rank, start, end, kind, detail)
 
     def _check_completion(self) -> None:
+        """End-of-run invariants, raised as real simulation errors.
+
+        Leftover *mailbox* contents are permitted (programs may ignore
+        messages), but a processor that never finished, a message still
+        awaiting reception, or a sender still parked in the wait-graph
+        means the run ended mid-flight.
+        """
         blocked = [
             (p.rank, p.state)
             for p in self._procs
@@ -702,20 +827,17 @@ class LogPMachine:
                 f"({detail}{'...' if len(blocked) > 8 else ''}). "
                 "Check for unmatched Recv/Send or mismatched barriers."
             )
-        undelivered = [
-            p.rank for p in self._procs if p.arrived or p.mailbox
-        ]
-        # Leftover mailbox contents are permitted (programs may ignore
-        # messages), but messages that never completed reception mean the
-        # run ended mid-flight — impossible once all programs are DONE,
-        # since DONE processors drain.  Guard anyway.
         for p in self._procs:
             if p.arrived:
                 raise SimulationError(
                     f"processor {p.rank} ended with {len(p.arrived)} "
                     "unreceived message(s)"
                 )
-        del undelivered
+            if p.pending_inject is not None or p.queued_on is not None:
+                raise SimulationError(
+                    f"processor {p.rank} ended with a message parked at "
+                    "the network interface (stalled sender never woken)"
+                )
 
 
 def run_programs(

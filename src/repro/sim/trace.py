@@ -4,11 +4,19 @@ The simulator emits a raw :class:`~repro.core.schedule.Schedule`; this
 module condenses it into the quantities the paper's figures report —
 per-processor utilization breakdowns, communication rates, message
 latency distributions — and into rows for the ASCII Gantt renderer.
+
+It also defines the structured *stall/wakeup event feed* the machine
+emits alongside the schedule: every capacity stall records which slots
+the sender was waiting for (its own outbound slot, the destination's
+inbound slot, or both), and every wakeup records which slot release
+caused it and whether the sender was actually admitted.  The feed makes
+stall causality observable — :func:`stall_report` condenses it into the
+per-destination queueing picture Section 4.1.2 describes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -21,6 +29,10 @@ __all__ = [
     "MessageStats",
     "communication_rate",
     "receive_histogram",
+    "StallEvent",
+    "WakeupEvent",
+    "StallReport",
+    "stall_report",
 ]
 
 
@@ -122,3 +134,128 @@ def receive_histogram(schedule: Schedule) -> np.ndarray:
     for m in schedule.messages:
         hist[m.dst] += 1
     return hist
+
+
+# ----------------------------------------------------------------------
+# Stall/wakeup event feed
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class StallEvent:
+    """One sender entering a capacity stall.
+
+    ``needs_src``/``needs_dst`` name the slots the sender was blocked on
+    at the moment of the failed injection: its own outbound slot
+    (``inflight_from[src] == capacity``), the destination's inbound slot
+    (``inflight_to[dst] == capacity``), or both.
+    """
+
+    time: float
+    src: int
+    dst: int
+    needs_src: bool
+    needs_dst: bool
+
+    @property
+    def cause(self) -> str:
+        if self.needs_src and self.needs_dst:
+            return "both"
+        return "src" if self.needs_src else "dst"
+
+
+@dataclass(frozen=True, slots=True)
+class WakeupEvent:
+    """One stalled sender being re-examined after a slot release.
+
+    ``slot`` is ``"src"`` (one of the sender's own messages arrived,
+    freeing an outbound slot) or ``"dst"`` (the destination began a
+    reception, freeing an inbound slot); ``slot_owner`` is the processor
+    whose slot freed.  ``admitted`` records the wait-graph's satisfiability
+    verdict at release time: True means every slot the sender needs was
+    free (counting earlier admissions in the same scan) and it was
+    scheduled to inject; False means it stayed parked — observable
+    evidence of the head-of-line cases the wait-graph exists to get right.
+    """
+
+    time: float
+    src: int
+    dst: int
+    slot: str
+    slot_owner: int
+    admitted: bool
+
+
+@dataclass(slots=True)
+class StallReport:
+    """Condensed causality picture of one run's capacity stalls.
+
+    ``stalls`` counts stall *episodes* (one per parked injection);
+    ``admitted``/``skipped`` count raw wakeup *events* — an episode may
+    see several admitting wakeups when a freed slot is stolen by a fresh
+    injection before the admitted sender's activation fires.
+    ``unresolved`` lists senders whose last episode never saw an
+    admitting wakeup; a completed run must leave it empty.
+    """
+
+    stalls: int
+    wakeups: int
+    admitted: int
+    skipped: int
+    stalls_by_cause: dict[str, int] = field(default_factory=dict)
+    stalls_by_dst: dict[int, int] = field(default_factory=dict)
+    max_queue_by_dst: dict[int, int] = field(default_factory=dict)
+    unresolved: list[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Every stall episode was eventually resolved by an admitting
+        wakeup — the livelock-freedom witness."""
+        return not self.unresolved
+
+
+def stall_report(
+    events: "list[StallEvent | WakeupEvent]",
+) -> StallReport:
+    """Summarize a machine run's stall/wakeup feed.
+
+    The feed is chronological; stall depth per destination is
+    reconstructed by replaying it (a stall episode enqueues, its first
+    admitting wakeup dequeues), yielding the max queue length each hot
+    spot reached — the "all but L/g processors will stall" statistic of
+    Section 4.1.2.
+    """
+    stalls = wakeups = admitted = skipped = 0
+    by_cause: dict[str, int] = {}
+    by_dst: dict[int, int] = {}
+    depth: dict[int, int] = {}
+    max_depth: dict[int, int] = {}
+    # src -> dst of its currently-unresolved stall episode.
+    parked: dict[int, int] = {}
+    for ev in events:
+        if isinstance(ev, StallEvent):
+            stalls += 1
+            by_cause[ev.cause] = by_cause.get(ev.cause, 0) + 1
+            by_dst[ev.dst] = by_dst.get(ev.dst, 0) + 1
+            parked[ev.src] = ev.dst
+            depth[ev.dst] = depth.get(ev.dst, 0) + 1
+            max_depth[ev.dst] = max(max_depth.get(ev.dst, 0), depth[ev.dst])
+        else:
+            wakeups += 1
+            if ev.admitted:
+                admitted += 1
+                dst = parked.pop(ev.src, None)
+                if dst is not None:
+                    depth[dst] = depth.get(dst, 1) - 1
+            else:
+                skipped += 1
+    return StallReport(
+        stalls=stalls,
+        wakeups=wakeups,
+        admitted=admitted,
+        skipped=skipped,
+        stalls_by_cause=by_cause,
+        stalls_by_dst=by_dst,
+        max_queue_by_dst=max_depth,
+        unresolved=sorted(parked),
+    )

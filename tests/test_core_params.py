@@ -92,12 +92,18 @@ class TestDerived:
 
 class TestSimplifications:
     def test_merge_overhead_into_gap(self):
-        p = LogPParams(L=6, o=2, g=4, P=8).merge_overhead_into_gap()
-        assert p.o == 4 and p.g == 4
+        # o := max(o, g) and g is *ignored* (zeroed), per Section 3.1;
+        # the injection pacing max(g, o) is unchanged by the merge.
+        orig = LogPParams(L=6, o=2, g=4, P=8)
+        p = orig.merge_overhead_into_gap()
+        assert p.o == 4 and p.g == 0
+        assert p.send_interval == orig.send_interval == 4
 
     def test_merge_keeps_larger_overhead(self):
-        p = LogPParams(L=6, o=5, g=4, P=8).merge_overhead_into_gap()
-        assert p.o == 5 and p.g == 5
+        orig = LogPParams(L=6, o=5, g=4, P=8)
+        p = orig.merge_overhead_into_gap()
+        assert p.o == 5 and p.g == 0
+        assert p.send_interval == orig.send_interval == 5
 
     def test_ignore_latency(self):
         assert LogPParams(L=6, o=2, g=4, P=8).ignore_latency().L == 0

@@ -1,0 +1,310 @@
+"""Regression tests for the capacity stall/wakeup wait-graph.
+
+The scenarios here pin down the hazards the wait-graph rewrite closed:
+a freed destination slot must flow past a head-of-queue waiter that is
+also blocked on its own outbound capacity; duplicate same-time
+activations must stay suppressed when wake conditions interleave; the
+end-of-run invariants must be real error paths; and untraced runs must
+report the same makespan traced runs do.
+"""
+
+import pytest
+
+from repro.core import LogPParams
+from repro.sim import (
+    Compute,
+    Engine,
+    LogPMachine,
+    Recv,
+    Send,
+    SimulationError,
+    Sleep,
+    StallEvent,
+    WakeupEvent,
+    run_programs,
+    stall_report,
+)
+from repro.sim.machine import _Msg, _Proc
+
+
+def _mixed_blocking_programs(rank, P):
+    """Deterministic many-to-one with a src-blocked head waiter.
+
+    L=4, o=1, g=4 -> capacity 1.  Ranks: 0 = D (hot destination),
+    1 = H (head waiter), 2 = B (queued behind H), 3 = E (side sink),
+    4 = F (fills D's slot early).
+
+    Timeline: F's message holds D's single inbound slot from t=1 until
+    D's first drain at t=11.  H's second send to E is parked at E until
+    E drains at t=8, so H injects it at t=8 and its own outbound slot is
+    held over [8, 12).  H then commits its send to D at t=8 and parks at
+    t=9 needing BOTH its outbound slot and D's inbound slot; B parks
+    behind it at t=10 needing only D's slot.  When D drains at t=11 the
+    freed slot must go to B — H cannot use it until t=12.
+    """
+    if rank == 0:  # D
+        yield Compute(11)
+        got = []
+        for _ in range(3):
+            m = yield Recv()
+            got.append(m.payload)
+        return got
+    if rank == 1:  # H
+        yield Send(3)
+        yield Send(3)
+        yield Send(0, payload="H")
+        return None
+    if rank == 2:  # B
+        yield Sleep(9)
+        yield Send(0, payload="B")
+        return None
+    if rank == 3:  # E
+        yield Compute(8)
+        yield Recv()
+        yield Recv()
+        return None
+    if rank == 4:  # F
+        yield Send(0, payload="F")
+        return None
+    return None
+    yield
+
+
+MIXED_PARAMS = LogPParams(L=4, o=1, g=4, P=5)
+
+
+class TestLostWakeup:
+    """The tentpole regression: mixed src/dst blocking many-to-one."""
+
+    def test_freed_slot_bypasses_src_blocked_head(self):
+        res = run_programs(MIXED_PARAMS, _mixed_blocking_programs)
+        # B's message must be received before H's: D drains F at 11,
+        # B at 15, H at 19; with the lost wakeup the slot idles until
+        # H unblocks and the order is F, H, B with makespan 21.
+        assert res.value(0) == ["F", "B", "H"]
+        assert res.makespan == pytest.approx(20.0)
+
+    def test_wait_graph_causality_feed(self):
+        res = run_programs(MIXED_PARAMS, _mixed_blocking_programs)
+        d_events = [
+            e for e in res.stall_events if getattr(e, "dst", None) == 0
+        ]
+        # H parks needing both slots; B parks needing only D's slot.
+        h_stall = next(
+            e for e in d_events if isinstance(e, StallEvent) and e.src == 1
+        )
+        assert h_stall.needs_src and h_stall.needs_dst
+        assert h_stall.cause == "both"
+        b_stall = next(
+            e for e in d_events if isinstance(e, StallEvent) and e.src == 2
+        )
+        assert not b_stall.needs_src and b_stall.needs_dst
+
+        # At D's first drain (t=11) the scan must skip H and admit B.
+        at_drain = [
+            e
+            for e in d_events
+            if isinstance(e, WakeupEvent) and e.time == 11.0 and e.slot == "dst"
+        ]
+        assert [(e.src, e.admitted) for e in at_drain] == [(1, False), (2, True)]
+
+        # H is re-examined when its own slot frees (t=12, D refilled by
+        # B -> not admitted) and finally admitted at D's next drain.
+        h_wakes = [
+            e
+            for e in d_events
+            if isinstance(e, WakeupEvent) and e.src == 1
+        ]
+        assert [(e.time, e.slot, e.admitted) for e in h_wakes] == [
+            (11.0, "dst", False),
+            (12.0, "src", False),
+            (15.0, "dst", True),
+        ]
+
+    def test_stall_report_summary(self):
+        res = run_programs(MIXED_PARAMS, _mixed_blocking_programs)
+        report = res.stall_report()
+        assert report.stalls == 3  # H at E, H at D, B at D
+        assert report.stalls_by_cause == {"dst": 2, "both": 1}
+        assert report.stalls_by_dst == {3: 1, 0: 2}
+        assert report.max_queue_by_dst[0] == 2
+        assert report.admitted == 3
+        assert report.ok
+
+    def test_untraced_run_matches_and_has_empty_feed(self):
+        traced = run_programs(MIXED_PARAMS, _mixed_blocking_programs)
+        bare = run_programs(
+            MIXED_PARAMS, _mixed_blocking_programs, trace=False
+        )
+        assert bare.makespan == traced.makespan
+        assert bare.total_stall_time == traced.total_stall_time
+        assert bare.stall_events == []
+        assert stall_report(bare.stall_events).stalls == 0
+
+    def test_many_to_one_flood_all_delivered(self):
+        """Pure many-to-one flood: every sender stalls, every message
+        lands, and the receiver is drain-paced (no livelock)."""
+        p = LogPParams(L=8, o=1, g=4, P=8)
+        k = 5
+        n = k * (p.P - 1)
+
+        def prog(rank, P):
+            if rank == 0:
+                total = 0
+                for _ in range(n):
+                    m = yield Recv()
+                    total += m.payload
+                return total
+            for i in range(k):
+                yield Send(0, payload=rank * 100 + i)
+            return None
+
+        res = run_programs(p, prog)
+        assert res.value(0) == sum(
+            r * 100 + i for r in range(1, p.P) for i in range(k)
+        )
+        assert res.total_messages == n
+        assert res.total_stall_time > 0
+        # Receiver-bandwidth lower bound: first drain at o + L, then one
+        # reception per g.
+        assert res.makespan >= p.o + p.L + (n - 1) * p.g + p.o
+        report = res.stall_report()
+        assert report.stalls > 0 and report.ok
+
+
+class TestActivationDedup:
+    def test_interleaved_times_stay_suppressed(self):
+        """Scheduling t1, t2, t1 must enqueue only two engine events —
+        the single "last scheduled time" slot forgot t1's suppression."""
+        m = LogPMachine(LogPParams(L=4, o=1, g=4, P=1))
+        m._engine = Engine()
+        m._procs = [_Proc(0, iter(()))]
+        m._schedule = None
+        m._schedule_activation(0, 5.0)
+        m._schedule_activation(0, 7.0)
+        m._schedule_activation(0, 5.0)  # duplicate: must be suppressed
+        m._schedule_activation(0, 7.0)  # duplicate: must be suppressed
+        assert len(m._engine._queue) == 2
+        assert m._procs[0].pending_activations == {5.0, 7.0}
+
+    def test_fired_activation_can_be_rescheduled(self):
+        """The pending set must be cleared when an activation fires, so a
+        later same-time wakeup is not lost."""
+
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1, payload=1)
+            else:
+                m = yield Recv()
+                return m.payload
+            return None
+
+        res = run_programs(LogPParams(L=4, o=1, g=4, P=2), prog)
+        assert res.value(1) == 1
+
+    def test_event_count_stays_linear_under_stalls(self):
+        """The stall-heavy flood must not devolve into quadratic
+        activation churn: events per message stays small."""
+        p = LogPParams(L=8, o=1, g=4, P=8)
+        k = 20
+        n = k * (p.P - 1)
+
+        def prog(rank, P):
+            if rank == 0:
+                for _ in range(n):
+                    yield Recv()
+                return None
+            for _ in range(k):
+                yield Send(0)
+            return None
+
+        res = run_programs(p, prog, trace=False)
+        assert res.events_run < 40 * n
+
+
+class TestCompletionInvariants:
+    def test_unreceived_arrival_is_an_error(self):
+        """A message still awaiting reception at the end of the run must
+        raise — the guard is a real error path, not dead code."""
+
+        def prog(rank, P):
+            return None
+            yield
+
+        m = LogPMachine(LogPParams(L=4, o=1, g=4, P=2))
+        m.run(prog)  # run to completion, then corrupt the final state
+        m._procs[1].arrived.append(
+            _Msg(
+                seq=0,
+                src=0,
+                dst=1,
+                payload=None,
+                tag=None,
+                send_start=0.0,
+                inject=1.0,
+                arrive=5.0,
+            )
+        )
+        with pytest.raises(SimulationError, match="unreceived"):
+            m._check_completion()
+
+    def test_parked_sender_is_an_error(self):
+        def prog(rank, P):
+            return None
+            yield
+
+        m = LogPMachine(LogPParams(L=4, o=1, g=4, P=2))
+        m.run(prog)
+        m._procs[0].queued_on = 1
+        with pytest.raises(SimulationError, match="parked"):
+            m._check_completion()
+
+    def test_clean_run_passes(self):
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1)
+            else:
+                yield Recv()
+            return None
+
+        res = run_programs(LogPParams(L=4, o=1, g=4, P=2), prog)
+        assert res.total_messages == 1
+
+
+class TestUntracedMakespan:
+    def test_trailing_drain_counts_without_trace(self):
+        """A receiver that is DONE before the message lands still pays
+        the receive overhead; untraced runs must include it."""
+        p = LogPParams(L=6, o=2, g=4, P=2)
+
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1)
+            return None
+            yield
+
+        traced = run_programs(p, prog, trace=True)
+        bare = run_programs(p, prog, trace=False)
+        assert traced.makespan == pytest.approx(p.L + 2 * p.o)
+        assert bare.makespan == traced.makespan
+
+    def test_makespan_parity_on_grid(self, grid_params):
+        """Traced and untraced makespans agree on a contended workload
+        across the whole parameter grid."""
+        if grid_params.P < 3:
+            pytest.skip("needs 3 processors")
+
+        def prog(rank, P):
+            if rank == 0:
+                for _ in range(2 * (P - 1)):
+                    yield Recv()
+                return None
+            yield Compute(float(rank))
+            yield Send(0, payload=rank)
+            yield Send(0, payload=-rank)
+            return None
+
+        traced = run_programs(grid_params, prog, trace=True)
+        bare = run_programs(grid_params, prog, trace=False)
+        assert bare.makespan == pytest.approx(traced.makespan)
+        assert bare.total_stall_time == pytest.approx(traced.total_stall_time)
