@@ -30,8 +30,11 @@ LOADS = [0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0, 1.5, 2.5]
 
 def test_sec53_saturation_curve(benchmark, save_exhibit):
     def run():
+        # workers=None honours REPRO_SWEEP_WORKERS; each load level is an
+        # independent seeded run, so the curve is identical either way.
         return latency_vs_load(
-            K * K, torus_route, LOADS, horizon=1500, warmup=400, seed=9
+            K * K, torus_route, LOADS, horizon=1500, warmup=400, seed=9,
+            workers=None,
         )
 
     pts = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,200 @@
+"""Performance benchmark entry point: ``python -m repro.bench``.
+
+Times the simulator's hot paths on fixed workloads and writes a
+``BENCH_<date>.json`` report comparing against the recorded pre-fast-path
+baseline (:data:`PR1_BASELINE`).  The workload shapes match
+``benchmarks/test_perf_simulator.py`` so the numbers line up with the
+pytest-benchmark suite:
+
+* ``engine_dispatch`` — 20k no-op events through the raw event engine;
+* ``stream`` / ``stream_traced`` — a 2000-message pipelined point-to-point
+  stream (the paper's Section 4.1 schedule), untraced and traced;
+* ``stalls`` — a 15-sender many-to-one flood in the capacity-stall
+  regime (Section 4.1.2);
+* ``fuzz_smoke`` — 60 seeds of the differential fuzz harness under
+  deterministic latency;
+* ``sweep_scaling`` — the same fuzz workload through the parallel sweep
+  runner at 1 and 2 workers (wall time; informational — on a single
+  core the pool adds overhead, on a multicore box it amortizes).
+
+Each timing is the best of ``--reps`` runs (default 7): minimum, not
+mean, because scheduling noise only ever adds time.  ``--smoke`` shrinks
+every workload ~10x for CI smoke coverage and omits the baseline
+comparison (speedups are only meaningful at the calibrated sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import sys
+import time
+from typing import Callable
+
+from .core import LogPParams
+from .sim import Engine, Recv, Send, run_programs
+from .sim.fuzz import fuzz_sweep
+
+__all__ = ["PR1_BASELINE", "run_all", "main"]
+
+#: Best-of-7 seconds on the reference container at the pre-fast-path
+#: commit (PR 1, 9032830), same workloads as below.  The fast-path
+#: acceptance bar is >= 2x on ``engine_dispatch_s`` and ``stream_s``.
+PR1_BASELINE: dict[str, float] = {
+    "engine_dispatch_s": 0.028509,
+    "stream_s": 0.035726,
+    "stream_traced_s": 0.052693,
+    "stalls_s": 0.037877,
+}
+
+
+def _best_of(fn: Callable[[], None], reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+# ----------------------------------------------------------------------
+# Workloads (shapes mirror benchmarks/test_perf_simulator.py)
+# ----------------------------------------------------------------------
+
+
+def _engine_dispatch(n_events: int) -> None:
+    eng = Engine()
+
+    def noop() -> None:
+        pass
+
+    for i in range(n_events):
+        eng.schedule(float(i), noop)
+    eng.run()
+
+
+def _stream(k: int, trace: bool) -> None:
+    p = LogPParams(L=6, o=2, g=4, P=2)
+
+    def prog(rank: int, P: int):
+        if rank == 0:
+            for i in range(k):
+                yield Send(1, payload=i)
+            return None
+        total = 0
+        for _ in range(k):
+            m = yield Recv()
+            total += m.payload
+        return total
+
+    run_programs(p, prog, trace=trace)
+
+
+def _stalls(k: int) -> None:
+    p = LogPParams(L=8, o=1, g=4, P=16)
+
+    def prog(rank: int, P: int):
+        if rank == 0:
+            for _ in range(k * (P - 1)):
+                yield Recv()
+            return None
+        for _ in range(k):
+            yield Send(0)
+        return None
+
+    run_programs(p, prog, trace=False)
+
+
+def _fuzz(seeds: int, workers: int) -> None:
+    summary = fuzz_sweep(range(seeds), ("fixed",), workers=workers)
+    if not summary.ok:
+        raise RuntimeError(
+            "fuzz failures during benchmark: " + "; ".join(summary.failures[:3])
+        )
+
+
+# ----------------------------------------------------------------------
+
+
+def run_all(*, smoke: bool = False, reps: int = 7) -> dict:
+    """Run every benchmark; returns the report dict (see module doc)."""
+    scale = 10 if smoke else 1
+    n_events = 20_000 // scale
+    k_stream = 2_000 // scale
+    k_stalls = 150 // scale
+    seeds = 60 // scale
+
+    timings = {
+        "engine_dispatch_s": _best_of(lambda: _engine_dispatch(n_events), reps),
+        "stream_s": _best_of(lambda: _stream(k_stream, False), reps),
+        "stream_traced_s": _best_of(lambda: _stream(k_stream, True), reps),
+        "stalls_s": _best_of(lambda: _stalls(k_stalls), reps),
+        "fuzz_smoke_s": _best_of(lambda: _fuzz(seeds, 1), max(1, reps // 3)),
+    }
+    sweep_scaling = {
+        str(w): _best_of(lambda: _fuzz(seeds, w), max(1, reps // 3))
+        for w in (1, 2)
+    }
+
+    report: dict = {
+        "date": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "smoke": smoke,
+        "reps": reps,
+        "workloads": {
+            "engine_dispatch": {"events": n_events},
+            "stream": {"k": k_stream, "L": 6, "o": 2, "g": 4, "P": 2},
+            "stalls": {"k": k_stalls, "L": 8, "o": 1, "g": 4, "P": 16},
+            "fuzz_smoke": {"seeds": seeds, "latencies": ["fixed"]},
+        },
+        "timings_s": timings,
+        "sweep_scaling_s": sweep_scaling,
+    }
+    if not smoke:
+        report["baseline_pr1_s"] = dict(PR1_BASELINE)
+        report["speedup_vs_pr1"] = {
+            key: round(PR1_BASELINE[key] / timings[key], 3)
+            for key in PR1_BASELINE
+        }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="~10x smaller workloads, no baseline comparison (CI)",
+    )
+    parser.add_argument("--reps", type=int, default=7)
+    parser.add_argument(
+        "--out", default=None,
+        help="output path (default BENCH_<date>.json; '-' for stdout only)",
+    )
+    args = parser.parse_args(argv)
+    report = run_all(smoke=args.smoke, reps=args.reps)
+
+    for key, val in report["timings_s"].items():
+        line = f"{key:24s} {val * 1e3:9.2f} ms"
+        if "speedup_vs_pr1" in report and key in report["speedup_vs_pr1"]:
+            line += f"   {report['speedup_vs_pr1'][key]:5.2f}x vs PR 1"
+        print(line)
+    for w, val in report["sweep_scaling_s"].items():
+        print(f"{'sweep[workers=' + w + ']':24s} {val * 1e3:9.2f} ms")
+
+    out = args.out
+    if out != "-":
+        if out is None:
+            out = f"BENCH_{report['date']}.json"
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

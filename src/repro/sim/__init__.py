@@ -47,6 +47,7 @@ from .program import (
     Send,
     Sleep,
 )
+from .sweep import resolve_workers, sweep_map
 from .trace import (
     MessageStats,
     StallEvent,
@@ -132,6 +133,8 @@ __all__ = [
     "WakeupEvent",
     "StallReport",
     "stall_report",
+    "sweep_map",
+    "resolve_workers",
     "validate_schedule",
     "ValidationReport",
     "Violation",

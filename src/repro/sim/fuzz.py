@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable
 
 import numpy as np
@@ -40,6 +41,7 @@ from ..core.params import LogPParams
 from .latency import FixedLatency, JitteredLatency, LatencyModel, UniformLatency
 from .machine import LogPMachine, MachineResult
 from .program import Barrier, Compute, Poll, Recv, Send, Sleep
+from .sweep import resolve_workers, sweep_map
 from .validate import validate_schedule
 
 __all__ = [
@@ -549,25 +551,75 @@ def run_case(case: FuzzCase, latency_name: str = "fixed") -> CaseOutcome:
     return out
 
 
+def _sweep_seed(
+    seed: int, latencies: tuple[str, ...]
+) -> tuple[str, list[CaseOutcome]]:
+    """Per-seed work unit for the parallel sweep: regenerate the case
+    (program factories are generators and cannot cross a process
+    boundary — only the seed does) and run it under every latency
+    model.  Module-level so it pickles."""
+    case = make_case(int(seed))
+    return case.family, [run_case(case, name) for name in latencies]
+
+
 def fuzz_sweep(
     seeds: "range | list[int]",
     latencies: tuple[str, ...] = ("fixed", "uniform", "jittered"),
     *,
     max_failures: int = 50,
+    workers: int | None = None,
 ) -> FuzzSummary:
-    """Run a seeded sweep; every (seed, latency model) pair is one run."""
+    """Run a seeded sweep; every (seed, latency model) pair is one run.
+
+    ``workers`` fans the per-seed work out over a process pool via
+    :func:`repro.sim.sweep.sweep_map` (``None`` honours the
+    ``REPRO_SWEEP_WORKERS`` environment variable).  The summary is
+    *identical* to the serial sweep's for any worker count: outcomes are
+    folded in seed submission order with the same accounting, including
+    the ``max_failures`` early exit — a parallel sweep may merely
+    compute results past the cut that the fold then discards.
+    """
     summary = FuzzSummary(cases=0, runs=0, total_messages=0)
-    for seed in seeds:
-        case = make_case(int(seed))
+    seed_list = [int(s) for s in seeds]
+    latencies = tuple(latencies)
+
+    def fold(family: str, outcomes: "list[CaseOutcome]") -> bool:
+        """Accumulate one seed's outcomes; True means keep sweeping."""
         summary.cases += 1
-        summary.by_family[case.family] = summary.by_family.get(case.family, 0) + 1
-        for name in latencies:
-            out = run_case(case, name)
+        summary.by_family[family] = summary.by_family.get(family, 0) + 1
+        for out in outcomes:
             summary.runs += 1
             summary.total_messages += out.messages
             summary.failures.extend(out.failures)
             if len(summary.failures) >= max_failures:
+                return False
+        return True
+
+    if resolve_workers(workers) <= 1:
+        # Lazy serial loop: stop generating work at the failure cap.
+        for seed in seed_list:
+            case = make_case(seed)
+            outcomes = []
+            stop = False
+            for name in latencies:
+                outcomes.append(run_case(case, name))
+                if len(summary.failures) + sum(
+                    len(o.failures) for o in outcomes
+                ) >= max_failures:
+                    stop = True
+                    break
+            if not fold(case.family, outcomes) or stop:
                 return summary
+        return summary
+
+    per_seed = sweep_map(
+        partial(_sweep_seed, latencies=latencies),
+        seed_list,
+        workers=workers,
+    )
+    for family, outcomes in per_seed:
+        if not fold(family, outcomes):
+            return summary
     return summary
 
 
@@ -578,9 +630,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--latencies", nargs="+", default=list(LATENCIES), choices=list(LATENCIES)
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process count for the sweep (default: REPRO_SWEEP_WORKERS "
+        "env var, then cpu count; 1 = serial)",
+    )
     args = parser.parse_args(argv)
     summary = fuzz_sweep(
-        range(args.start, args.start + args.seeds), tuple(args.latencies)
+        range(args.start, args.start + args.seeds),
+        tuple(args.latencies),
+        workers=args.workers,
     )
     print(
         f"{summary.cases} cases x {len(args.latencies)} latency models = "

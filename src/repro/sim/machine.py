@@ -51,6 +51,18 @@ Every park and every wakeup verdict is emitted on a structured event
 feed (:class:`~repro.sim.trace.StallEvent` /
 :class:`~repro.sim.trace.WakeupEvent`) so stall causality is observable.
 
+Hot-path design (see the "Performance" section of DESIGN.md): every
+event is a *bound method plus payload* scheduled directly on the engine
+(``engine.schedule(t, self._on_arrival, msg)``), never a per-event
+closure; processor activations are deduplicated through a per-processor
+``{time: event-id}`` map and *lazily deleted* via :meth:`Engine.cancel`
+when a reception or computation supersedes them, so stale wakeups die in
+the event queue instead of being re-examined inside :meth:`_activate`;
+and the dominant send→inject→arrival→recv-done chain skips all trace
+bookkeeping (interval records, stall feed, per-message detail strings)
+when ``trace=False``.  Program actions are matched by exact type — the
+action vocabulary of :mod:`repro.sim.program` is closed.
+
 The run produces a :class:`~repro.core.schedule.Schedule` trace that the
 semantic validator (:mod:`repro.sim.validate`) and the figure benchmarks
 consume.
@@ -164,10 +176,11 @@ class _Proc:
         self.arrived: deque[_Msg] = deque()
         self.stall_started: float | None = None
         self.result = ProgramResult(rank=rank)
-        # Times of every not-yet-fired activation event, so duplicate
-        # same-time activations are suppressed regardless of the order
-        # wake conditions fire in.
-        self.pending_activations: set[float] = set()
+        # time -> engine event id of every not-yet-fired activation, so
+        # duplicate same-time activations are suppressed regardless of
+        # the order wake conditions fire in, and superseded activations
+        # can be lazily cancelled in the event queue.
+        self.pending_activations: dict[float, int] = {}
         self.poll_drained = 0
         # A committed message (send overhead already paid) waiting for
         # the network to accept it under the capacity constraint.
@@ -195,6 +208,7 @@ class MachineResult:
     total_messages: int
     total_stall_time: float
     events_run: int
+    traced: bool = True
     stall_events: list[StallEvent | WakeupEvent] = field(default_factory=list)
     extras: dict[str, Any] = field(default_factory=dict)
 
@@ -206,7 +220,19 @@ class MachineResult:
         return [r.value for r in self.results]
 
     def stall_report(self) -> StallReport:
-        """Condense the stall/wakeup event feed (traced runs only)."""
+        """Condense the stall/wakeup event feed.
+
+        Raises:
+            ValueError: if the run was untraced — the machine does not
+                collect the stall/wakeup feed with ``trace=False``, so a
+                report would be silently (and misleadingly) empty.
+        """
+        if not self.traced:
+            raise ValueError(
+                "stall_report() requires a traced run: the stall/wakeup "
+                "event feed is not collected with trace=False. Re-run "
+                "the machine with trace=True."
+            )
         return stall_report(self.stall_events)
 
 
@@ -228,8 +254,8 @@ class LogPMachine:
             applied to every ``Compute`` — models the processor drift of
             Section 4.1.4 / Figure 8.
         trace: record a full :class:`Schedule` (intervals + message
-            records).  Turn off for large runs; summary statistics are
-            kept either way.
+            records) and the stall/wakeup event feed.  Turn off for
+            large runs; summary statistics are kept either way.
         max_events: event budget passed to the engine.
     """
 
@@ -254,6 +280,7 @@ class LogPMachine:
                 f"latency model bound {self.latency.L} exceeds L={params.L}"
             )
         self.enforce_capacity = enforce_capacity
+        self._enforce = enforce_capacity
         self.capacity = params.capacity if capacity is None else capacity
         if self.capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {self.capacity}")
@@ -264,6 +291,12 @@ class LogPMachine:
         # Long-message Gap (Section 5.4 extension), present when the
         # machine is built from LogGPParams.
         self._G: float | None = getattr(params, "G", None)
+        # Hot-loop copies of the model constants (plain float attribute
+        # loads instead of property calls on LogPParams).
+        self._o = float(params.o)
+        self._g = float(params.g)
+        self._send_interval = float(params.send_interval)
+        self._P = params.P
 
     # ------------------------------------------------------------------
 
@@ -302,9 +335,16 @@ class LogPMachine:
         self._msg_seq = 0
         self._total_messages = 0
         self.latency.reset()
+        self._enforce = self.enforce_capacity
+        self._draw = self.latency.draw
+        # Exactly-FixedLatency draws are a constant; inline it instead of
+        # paying a method call per injection.
+        self._fixed_L = (
+            self.latency.L if type(self.latency) is FixedLatency else None
+        )
 
-        for r in range(P):
-            self._schedule_activation(r, 0.0)
+        for proc in self._procs:
+            self._schedule_activation(proc, 0.0)
 
         self._engine.run()
         self._check_completion()
@@ -324,6 +364,7 @@ class LogPMachine:
             total_messages=self._total_messages,
             total_stall_time=total_stall,
             events_run=self._engine.events_run,
+            traced=self.trace,
             stall_events=self._stall_feed,
         )
 
@@ -331,43 +372,63 @@ class LogPMachine:
     # Activation: advance a processor as far as it can go right now.
     # ------------------------------------------------------------------
 
-    def _make_activation(self, rank: int, time: float) -> Callable[[], None]:
-        def fire() -> None:
-            self._procs[rank].pending_activations.discard(time)
-            self._activate(rank)
+    def _on_activation(self, proc: _Proc, time: float) -> None:
+        proc.pending_activations.pop(time, None)
+        self._activate(proc)
 
-        return fire
-
-    def _schedule_activation(self, rank: int, time: float) -> None:
-        proc = self._procs[rank]
+    def _schedule_activation(self, proc: _Proc, time: float) -> None:
+        pending = proc.pending_activations
         # Suppress duplicate same-time activations (common when several
-        # wake conditions fire together).  The full set of pending times
+        # wake conditions fire together).  The full map of pending times
         # is kept — a single "last scheduled" slot forgets the earlier
         # suppression as soon as a different time is scheduled, letting
         # duplicates through when wake conditions interleave.
-        if time in proc.pending_activations:
-            return
-        proc.pending_activations.add(time)
-        self._engine.schedule(time, self._make_activation(rank, time))
+        if time not in pending:
+            pending[time] = self._engine.schedule(
+                time, self._on_activation, proc, time
+            )
 
-    def _activate(self, rank: int) -> None:
-        proc = self._procs[rank]
-        now = self._engine.now
+    def _supersede_activations(self, proc: _Proc, until: float) -> None:
+        """Lazily delete pending activations strictly before ``until``.
+
+        Call only when the processor is engaged through ``until`` *and*
+        a wakeup at (or after) ``until`` is independently guaranteed —
+        a reception's recv-done event or a computation's end activation.
+        Every cancelled activation would have fired, observed
+        ``now < busy_until``, rescheduled itself at ``busy_until`` and
+        returned; cancelling it in the event queue skips that dispatch
+        entirely (lazy deletion at pop time).
+        """
+        pending = proc.pending_activations
+        if pending:
+            cancel = self._engine.cancel
+            for t in [t for t in pending if t < until]:
+                cancel(pending.pop(t))
+
+    def _activate(self, proc: _Proc) -> None:
+        engine = self._engine
+        now = engine.now
+        rank = proc.rank
 
         while True:
-            if proc.state == _DONE:
-                self._try_drain(proc)
+            state = proc.state
+            if state == _DONE:
+                # A finished program may still have its last message
+                # parked at the network interface (the generator is
+                # advanced eagerly at send commit, before injection).
+                if proc.pending_inject is not None:
+                    self._try_inject(proc)
+                if proc.arrived:
+                    self._try_drain(proc)
                 return
             if now < proc.busy_until:
-                self._schedule_activation(rank, proc.busy_until)
+                self._schedule_activation(proc, proc.busy_until)
                 return
-            if proc.state == _SLEEPING:
-                # Woken early (e.g. by an arrival): drain, stay asleep.
-                self._try_drain(proc)
-                return
-            if proc.state == _WAIT_BARRIER:
-                # Spurious wake while parked at a barrier: only drain.
-                self._try_drain(proc)
+            if state == _SLEEPING or state == _WAIT_BARRIER:
+                # Woken early (e.g. by an arrival) or a spurious wake
+                # while parked at a barrier: drain, stay put.
+                if proc.arrived:
+                    self._try_drain(proc)
                 return
 
             if proc.pending_inject is not None:
@@ -378,30 +439,119 @@ class LogPMachine:
                     proc.state = _RUNNING
                     continue
                 proc.state = _STALL_SEND
-                self._try_drain(proc)
+                if proc.arrived:
+                    self._try_drain(proc)
                 return
 
-            if proc.pending is None:
+            act = proc.pending
+            if act is None:
                 try:
-                    proc.pending = proc.gen.send(proc.resume)
+                    act = proc.pending = proc.gen.send(proc.resume)
                 except StopIteration as stop:
                     proc.state = _DONE
                     proc.result.value = stop.value
                     proc.result.finished_at = now
-                    self._try_drain(proc)
+                    if proc.arrived:
+                        self._try_drain(proc)
                     return
                 proc.resume = None
-                if isinstance(proc.pending, Poll):
+                if act.__class__ is Poll:
                     proc.poll_drained = 0
 
-            act = proc.pending
+            cls = act.__class__
 
-            if isinstance(act, Now):
-                proc.resume = now
-                proc.pending = None
-                continue
+            if cls is Send:
+                earliest = proc.last_send_start + self._send_interval
+                if earliest < proc.port_free:
+                    earliest = proc.port_free
+                if earliest > now:
+                    proc.state = _WAIT_GAP
+                    pending = proc.pending_activations
+                    if earliest not in pending:
+                        pending[earliest] = engine.schedule(
+                            earliest, self._on_activation, proc, earliest
+                        )
+                    if proc.arrived:
+                        self._try_drain(proc)
+                    return
+                # Commit: validate (once per message — a gap-blocked
+                # send is re-dispatched here), pay the overhead, and
+                # park the message at the network interface until the
+                # injection event at the send's end hands it to the
+                # network (usually immediately — see _try_inject).
+                dst = act.dst
+                if dst == rank or not 0 <= dst < self._P:
+                    if dst == rank:
+                        raise SimulationError(
+                            f"processor {rank} attempted to send to itself"
+                        )
+                    raise SimulationError(
+                        f"processor {rank} sent to invalid destination {dst}"
+                    )
+                words = act.words
+                if words > 1 and self._G is None:
+                    raise SimulationError(
+                        f"processor {rank} sent a {words}-word message "
+                        "but the machine has no long-message Gap; build "
+                        "it with LogGPParams (core.loggp) to use the "
+                        "Section 5.4 extension"
+                    )
+                end = now + self._o
+                proc.pending_inject = _Msg(
+                    self._msg_seq, rank, dst, act.payload, act.tag,
+                    now, -1.0, -1.0, words,
+                )
+                self._msg_seq += 1
+                self._total_messages += 1
+                proc.last_send_start = now
+                proc.result.sends += 1
+                proc.busy_until = end
+                if proc.last_activity < end:
+                    proc.last_activity = end
+                if self._schedule is not None:
+                    self._schedule.add_interval(
+                        rank, now, end, Activity.SEND, f"->{dst}"
+                    )
+                engine.schedule(end, self._on_inject, proc)
+                # Eager generator advance: a send's resume value is
+                # None, and the fetched action is *dispatched* (not
+                # executed) by the injection event at the send's end,
+                # so fetching it now replaces the generic busy-end
+                # activation (with its dedup-map bookkeeping and
+                # generator resume) with the slim _on_inject event.
+                # The processor stays _RUNNING — not drainable — for
+                # the busy window, exactly as before.
+                proc.state = _RUNNING
+                try:
+                    proc.pending = act = proc.gen.send(None)
+                except StopIteration as stop:
+                    proc.pending = None
+                    proc.state = _DONE
+                    proc.result.value = stop.value
+                    proc.result.finished_at = end
+                    return
+                proc.resume = None
+                if act.__class__ is Poll:
+                    proc.poll_drained = 0
+                return
 
-            if isinstance(act, Compute):
+            if cls is Recv:
+                mailbox = proc.mailbox
+                if act.tag is None:
+                    msg = mailbox.popleft() if mailbox else None
+                else:
+                    msg = self._mailbox_take(proc, act.tag)
+                if msg is not None:
+                    proc.resume = msg
+                    proc.pending = None
+                    proc.state = _RUNNING
+                    continue
+                proc.state = _WAIT_RECV
+                if proc.arrived:
+                    self._try_drain(proc)
+                return
+
+            if cls is Compute:
                 cycles = act.cycles
                 if self.compute_jitter is not None:
                     cycles = self.compute_jitter(rank, cycles)
@@ -409,28 +559,37 @@ class LogPMachine:
                         raise SimulationError(
                             f"compute_jitter returned negative cycles {cycles}"
                         )
-                proc.state = _BUSY
-                proc.busy_until = now + cycles
-                self._record(rank, now, proc.busy_until, Activity.COMPUTE, act.label)
+                end = now + cycles
+                proc.busy_until = end
+                self._record(proc, now, end, Activity.COMPUTE, act.label)
                 proc.pending = None
-                if cycles > 0:
-                    proc.state = _RUNNING
-                    self._schedule_activation(rank, proc.busy_until)
-                    return
                 proc.state = _RUNNING
+                if cycles > 0:
+                    # The end-of-compute activation below is the
+                    # guaranteed wakeup; anything earlier is stale.
+                    if proc.pending_activations:
+                        self._supersede_activations(proc, end)
+                    self._schedule_activation(proc, end)
+                    return
                 continue
 
-            if isinstance(act, Sleep):
+            if cls is Now:
+                proc.resume = now
+                proc.pending = None
+                continue
+
+            if cls is Sleep:
                 proc.state = _SLEEPING
                 wake = now + act.cycles
                 proc.pending = None
-                self._engine.schedule(wake, self._make_wake(rank, wake))
-                self._try_drain(proc)
+                engine.schedule(wake, self._on_wake, proc, wake)
+                if proc.arrived:
+                    self._try_drain(proc)
                 return
 
-            if isinstance(act, Poll):
+            if cls is Poll:
                 can = bool(proc.arrived) and (
-                    now >= proc.last_recv_start + self.params.g
+                    now >= proc.last_recv_start + self._g
                 )
                 if can:
                     proc.state = _POLLING
@@ -441,123 +600,68 @@ class LogPMachine:
                 proc.state = _RUNNING
                 continue
 
-            if isinstance(act, Send):
-                if not self._try_send(proc, act):
-                    return
-                continue
-
-            if isinstance(act, Recv):
-                msg = self._mailbox_take(proc, act.tag)
-                if msg is not None:
-                    proc.resume = msg
-                    proc.pending = None
-                    proc.state = _RUNNING
-                    continue
-                proc.state = _WAIT_RECV
-                self._try_drain(proc)
-                return
-
-            if isinstance(act, Barrier):
+            if cls is Barrier:
                 proc.pending = None
                 proc.state = _WAIT_BARRIER
                 self._barrier_waiting.append(rank)
-                if len(self._barrier_waiting) == self.params.P:
+                if len(self._barrier_waiting) == self._P:
                     self._release_barrier()
-                else:
+                elif proc.arrived:
                     self._try_drain(proc)
                 return
 
             raise SimulationError(
-                f"processor {rank} yielded unknown action {act!r}"
+                f"processor {rank} yielded unknown action {act!r} "
+                "(actions are matched by exact type; see repro.sim.program)"
             )
 
-    def _make_wake(self, rank: int, wake: float) -> Callable[[], None]:
-        def fire() -> None:
-            proc = self._procs[rank]
-            if proc.state == _SLEEPING and self._engine.now >= wake:
-                # The sleep may have been extended by a drain reception.
-                if self._engine.now < proc.busy_until:
-                    self._engine.schedule(proc.busy_until, fire)
-                    return
-                proc.state = _RUNNING
-                self._activate(rank)
-
-        return fire
+    def _on_wake(self, proc: _Proc, wake: float) -> None:
+        if proc.state == _SLEEPING and self._engine.now >= wake:
+            # The sleep may have been extended by a drain reception.
+            if self._engine.now < proc.busy_until:
+                self._engine.schedule(proc.busy_until, self._on_wake, proc, wake)
+                return
+            proc.state = _RUNNING
+            self._activate(proc)
 
     # ------------------------------------------------------------------
     # Send path
     # ------------------------------------------------------------------
 
-    def _try_send(self, proc: _Proc, act: Send) -> bool:
-        """Attempt the pending send now.  Returns True if the processor
-        should keep running (send committed), False if it blocked."""
-        rank = proc.rank
-        now = self._engine.now
-        dst = act.dst
-        if not 0 <= dst < self.params.P:
-            raise SimulationError(
-                f"processor {rank} sent to invalid destination {dst}"
-            )
-        if dst == rank:
-            raise SimulationError(
-                f"processor {rank} attempted to send to itself"
-            )
-        if act.words > 1 and self._G is None:
-            raise SimulationError(
-                f"processor {rank} sent a {act.words}-word message but the "
-                "machine has no long-message Gap; build it with "
-                "LogGPParams (core.loggp) to use the Section 5.4 extension"
-            )
+    def _on_inject(self, proc: _Proc) -> None:
+        """Injection event at a committed send's end (``send_start + o``).
 
-        earliest = max(
-            now,
-            proc.last_send_start + self.params.send_interval,
-            proc.port_free,
-        )
-        if earliest > now:
-            proc.state = _WAIT_GAP
-            self._schedule_activation(rank, earliest)
+        Scheduled at commit time, so at any instant it precedes the
+        activations that wake conditions schedule later — the message is
+        on the network (or parked) before the processor's next action
+        dispatches.
+        """
+        if proc.pending_inject is None:
+            # Already injected through a stall-retry activation.
+            return
+        if self._try_inject(proc):
+            # Dispatch the eagerly fetched next action (or drain, for a
+            # finished program) — the same inject -> dispatch -> drain
+            # order the busy-end activation used to follow.
+            self._activate(proc)
+            return
+        if proc.state is not _DONE:
+            proc.state = _STALL_SEND
+        if proc.arrived:
             self._try_drain(proc)
-            return False
-
-        # Commit: pay the overhead now; the message then waits at the
-        # network interface until the capacity constraint admits it
-        # (usually immediately — see _try_inject).
-        o = self.params.o
-        msg = _Msg(
-            seq=self._msg_seq,
-            src=rank,
-            dst=dst,
-            payload=act.payload,
-            tag=act.tag,
-            send_start=now,
-            inject=-1.0,
-            arrive=-1.0,
-            words=act.words,
-        )
-        self._msg_seq += 1
-        self._total_messages += 1
-        proc.last_send_start = now
-        proc.result.sends += 1
-        proc.pending_inject = msg
-        proc.busy_until = max(proc.busy_until, now + o)
-        self._record(rank, now, now + o, Activity.SEND, f"->{dst}")
-        proc.pending = None
-        proc.state = _RUNNING
-        return True
 
     def _try_inject(self, proc: _Proc) -> bool:
         """Attempt to hand the committed message to the network now.
 
-        Returns True on success.  On failure the caller stalls the
-        processor; it is re-activated whenever a relevant capacity slot
+        Returns True on success.  On failure the sender is parked in the
+        wait-graph; it is re-activated whenever a relevant capacity slot
         frees.
         """
         msg = proc.pending_inject
-        assert msg is not None
         now = self._engine.now
-        rank, dst = msg.src, msg.dst
-        if self.enforce_capacity:
+        rank = msg.src
+        dst = msg.dst
+        if self._enforce:
             needs_src = self._inflight_from[rank] >= self.capacity
             needs_dst = self._inflight_to[dst] >= self.capacity
             if needs_src or needs_dst:
@@ -566,9 +670,12 @@ class LogPMachine:
 
         if proc.stall_started is not None:
             proc.result.stall_time += now - proc.stall_started
-            self._record(
-                rank, proc.stall_started, now, Activity.STALL, f"->{dst}"
-            )
+            if now > proc.last_activity:
+                proc.last_activity = now
+            if self._schedule is not None:
+                self._schedule.add_interval(
+                    rank, proc.stall_started, now, Activity.STALL, f"->{dst}"
+                )
             proc.stall_started = None
         if proc.queued_on is not None:
             self._stall_queue[proc.queued_on].remove(rank)
@@ -576,16 +683,24 @@ class LogPMachine:
             proc.needs_src = proc.needs_dst = False
 
         msg.inject = now
-        stream = (msg.words - 1) * (self._G or 0.0)
-        msg.arrive = now + stream + self.latency.draw(rank, dst)
-        if stream > 0:
-            # The network port streams the tail of the long message;
-            # the processor itself is already free (DMA overlap).
-            proc.port_free = now + stream
+        fixed = self._fixed_L
+        if msg.words > 1:
+            stream = (msg.words - 1) * (self._G or 0.0)
+            msg.arrive = now + stream + (
+                fixed if fixed is not None else self._draw(rank, dst)
+            )
+            if stream > 0:
+                # The network port streams the tail of the long message;
+                # the processor itself is already free (DMA overlap).
+                proc.port_free = now + stream
+        else:
+            msg.arrive = now + (
+                fixed if fixed is not None else self._draw(rank, dst)
+            )
         self._inflight_from[rank] += 1
         self._inflight_to[dst] += 1
         proc.pending_inject = None
-        self._engine.schedule(msg.arrive, self._make_arrival(msg))
+        self._engine.schedule(msg.arrive, self._on_arrival, msg)
         return True
 
     # ------------------------------------------------------------------
@@ -637,7 +752,7 @@ class LogPMachine:
             )
         if admitted:
             self._schedule_activation(
-                src, max(self._engine.now, proc.busy_until)
+                proc, max(self._engine.now, proc.busy_until)
             )
 
     def _release_dst_slot(self, dst: int) -> None:
@@ -655,33 +770,34 @@ class LogPMachine:
             return
         now = self._engine.now
         budget = self.capacity - self._inflight_to[dst]
+        trace = self.trace
         for rank in queue:
             if budget <= 0:
                 break
             admitted = self._inflight_from[rank] < self.capacity
-            if self.trace:
+            if trace:
                 self._stall_feed.append(
                     WakeupEvent(now, rank, dst, "dst", dst, admitted)
                 )
             if admitted:
                 budget -= 1
-                self._schedule_activation(
-                    rank, max(now, self._procs[rank].busy_until)
-                )
+                waiter = self._procs[rank]
+                self._schedule_activation(waiter, max(now, waiter.busy_until))
 
-    def _make_arrival(self, msg: _Msg) -> Callable[[], None]:
-        def fire() -> None:
-            # The source's slot frees at arrival.
-            self._inflight_from[msg.src] -= 1
-            self._release_src_slot(msg.src)
-            dst = self._procs[msg.dst]
-            dst.arrived.append(msg)
-            if dst.state in _DRAINABLE and self._engine.now >= dst.busy_until:
+    def _on_arrival(self, msg: _Msg) -> None:
+        # The source's slot frees at arrival.
+        src = msg.src
+        self._inflight_from[src] -= 1
+        src_proc = self._procs[src]
+        if src_proc.stall_started is not None:
+            self._release_src_slot(src)
+        dst = self._procs[msg.dst]
+        dst.arrived.append(msg)
+        if dst.state in _DRAINABLE:
+            if self._engine.now >= dst.busy_until:
                 self._try_drain(dst)
-            elif dst.state in _DRAINABLE:
-                self._schedule_activation(msg.dst, dst.busy_until)
-
-        return fire
+            else:
+                self._schedule_activation(dst, dst.busy_until)
 
     # ------------------------------------------------------------------
     # Receive path (drain)
@@ -690,77 +806,95 @@ class LogPMachine:
     def _try_drain(self, proc: _Proc) -> None:
         """Service one arrived message if the processor is in a state that
         allows reception and the receive gap permits it now."""
-        if proc.state not in _DRAINABLE or not proc.arrived:
+        if not proc.arrived or proc.state not in _DRAINABLE:
             return
         now = self._engine.now
         if now < proc.busy_until:
-            self._schedule_activation(proc.rank, proc.busy_until)
+            self._schedule_activation(proc, proc.busy_until)
             return
-        earliest = max(now, proc.last_recv_start + self.params.g)
+        if proc.pending_inject is not None and proc.stall_started is None:
+            # A committed message's injection event is due this very
+            # instant (it fires at busy-end); injection and the action
+            # dispatch behind it go first, and they re-attempt the
+            # drain themselves.  Draining here would let an arrival
+            # that happens to sort earlier in the event queue overtake
+            # the send.
+            return
+        earliest = proc.last_recv_start + self._g
         if earliest > now:
-            self._schedule_activation(proc.rank, earliest)
+            self._schedule_activation(proc, earliest)
             return
 
         msg = proc.arrived.popleft()
-        o = self.params.o
+        end = now + self._o
+        rank = proc.rank
         proc.last_recv_start = now
-        proc.busy_until = now + o
+        proc.busy_until = end
         proc.result.receives += 1
-        self._record(proc.rank, now, now + o, Activity.RECV, f"<-{msg.src}")
-        # The destination's slot frees when reception begins.
-        self._inflight_to[proc.rank] -= 1
-        self._release_dst_slot(proc.rank)
-        self._engine.schedule(now + o, self._make_recv_done(proc.rank, msg, now))
-
-    def _make_recv_done(
-        self, rank: int, msg: _Msg, recv_start: float
-    ) -> Callable[[], None]:
-        def fire() -> None:
-            now = self._engine.now
-            proc = self._procs[rank]
-            received = ReceivedMessage(
-                src=msg.src,
-                payload=msg.payload,
-                tag=msg.tag,
-                sent_at=msg.send_start,
-                received_at=now,
+        if proc.last_activity < end:
+            proc.last_activity = end
+        if self._schedule is not None:
+            self._schedule.add_interval(
+                rank, now, end, Activity.RECV, f"<-{msg.src}"
             )
-            proc.mailbox.append(received)
-            if self._schedule is not None:
-                self._schedule.add_message(
-                    MessageRecord(
-                        src=msg.src,
-                        dst=msg.dst,
-                        send_start=msg.send_start,
-                        inject=msg.inject,
-                        arrive=msg.arrive,
-                        recv_start=recv_start,
-                        recv_end=now,
-                        tag="" if msg.tag is None else str(msg.tag),
-                        words=msg.words,
-                    )
-                )
-            if proc.state == _POLLING:
-                proc.poll_drained += 1
-                # Continue only if another reception can start right now;
-                # Poll never waits.
-                self._activate(rank)
-                return
-            if proc.state == _WAIT_RECV:
-                taken = self._mailbox_take(proc, proc.pending.tag)
-                if taken is not None:
-                    proc.resume = taken
-                    proc.pending = None
-                    proc.state = _RUNNING
-                    self._activate(rank)
-                    return
-            # Keep draining / resume whatever the processor was doing.
-            if proc.state in _DRAINABLE:
-                self._try_drain(proc)
-            if proc.state == _STALL_SEND or proc.state == _WAIT_GAP:
-                self._schedule_activation(rank, max(now, proc.busy_until))
+        # The recv-done event below is the guaranteed wakeup at
+        # busy_until; any activation pending before it is stale.
+        if proc.pending_activations:
+            self._supersede_activations(proc, end)
+        # The destination's slot frees when reception begins.
+        self._inflight_to[rank] -= 1
+        if self._stall_queue[rank]:
+            self._release_dst_slot(rank)
+        self._engine.schedule(end, self._on_recv_done, proc, msg, now)
 
-        return fire
+    def _on_recv_done(self, proc: _Proc, msg: _Msg, recv_start: float) -> None:
+        now = self._engine.now
+        rm = ReceivedMessage(msg.src, msg.payload, msg.tag, msg.send_start, now)
+        if self._schedule is not None:
+            self._schedule.add_message(
+                MessageRecord(
+                    src=msg.src,
+                    dst=msg.dst,
+                    send_start=msg.send_start,
+                    inject=msg.inject,
+                    arrive=msg.arrive,
+                    recv_start=recv_start,
+                    recv_end=now,
+                    tag="" if msg.tag is None else str(msg.tag),
+                    words=msg.words,
+                )
+            )
+        state = proc.state
+        if state == _WAIT_RECV and not proc.mailbox:
+            tag = proc.pending.tag
+            if tag is None or tag == rm.tag:
+                # Direct delivery: the blocked Recv takes the message
+                # just received without a mailbox round-trip.
+                proc.resume = rm
+                proc.pending = None
+                proc.state = _RUNNING
+                self._activate(proc)
+                return
+        proc.mailbox.append(rm)
+        if state == _POLLING:
+            proc.poll_drained += 1
+            # Continue only if another reception can start right now;
+            # Poll never waits.
+            self._activate(proc)
+            return
+        if state == _WAIT_RECV:
+            taken = self._mailbox_take(proc, proc.pending.tag)
+            if taken is not None:
+                proc.resume = taken
+                proc.pending = None
+                proc.state = _RUNNING
+                self._activate(proc)
+                return
+        # Keep draining / resume whatever the processor was doing.
+        if proc.arrived and proc.state in _DRAINABLE:
+            self._try_drain(proc)
+        if proc.state == _STALL_SEND or proc.state == _WAIT_GAP:
+            self._schedule_activation(proc, max(now, proc.busy_until))
 
     def _mailbox_take(
         self, proc: _Proc, tag: Hashable
@@ -784,28 +918,26 @@ class LogPMachine:
         self._barrier_generation += 1
         for rank in waiting:
             proc = self._procs[rank]
+            self._engine.schedule(
+                max(release, proc.busy_until), self._on_barrier_release, rank
+            )
 
-            def make(r: int = rank, p: _Proc = proc) -> Callable[[], None]:
-                def fire() -> None:
-                    if p.state == _WAIT_BARRIER:
-                        p.state = _RUNNING
-                        p.resume = None
-                        self._activate(r)
-
-                return fire
-
-            self._engine.schedule(max(release, proc.busy_until), make())
+    def _on_barrier_release(self, rank: int) -> None:
+        proc = self._procs[rank]
+        if proc.state == _WAIT_BARRIER:
+            proc.state = _RUNNING
+            proc.resume = None
+            self._activate(proc)
 
     # ------------------------------------------------------------------
 
     def _record(
-        self, rank: int, start: float, end: float, kind: Activity, detail: str
+        self, proc: _Proc, start: float, end: float, kind: Activity, detail: str
     ) -> None:
-        proc = self._procs[rank]
         if end > proc.last_activity:
             proc.last_activity = end
         if self._schedule is not None:
-            self._schedule.add_interval(rank, start, end, kind, detail)
+            self._schedule.add_interval(proc.rank, start, end, kind, detail)
 
     def _check_completion(self) -> None:
         """End-of-run invariants, raised as real simulation errors.

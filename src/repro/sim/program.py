@@ -27,6 +27,14 @@ Action semantics (enforced by :class:`repro.sim.machine.LogPMachine`):
   :mod:`repro.sim.collectives`.
 * ``Now`` — returns the current time without consuming any.
 * ``Sleep`` — idle (not engaged: incoming messages are serviced).
+
+Action objects and :class:`ReceivedMessage` are *immutable by
+convention*, not enforcement: they are plain slotted dataclasses (with
+value equality and hashing) rather than frozen ones, because frozen
+dataclasses pay an ``object.__setattr__`` per field on construction and
+programs construct one action per simulated operation — a measurable
+fraction of hot-loop time (see the DESIGN.md "Performance" section).
+Do not mutate an action after yielding it.
 """
 
 from __future__ import annotations
@@ -47,7 +55,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Send:
     """Transmit one message to processor ``dst``.
 
@@ -75,7 +83,7 @@ class Send:
             raise ValueError(f"words must be >= 1, got {self.words}")
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Recv:
     """Block until one message is available and return it.
 
@@ -87,7 +95,7 @@ class Recv:
     tag: Hashable = None
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Compute:
     """Engage the processor for ``cycles`` of local work (``>= 0``)."""
 
@@ -99,7 +107,7 @@ class Compute:
             raise ValueError(f"compute cycles must be >= 0, got {self.cycles}")
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Sleep:
     """Idle for ``cycles`` — unlike ``Compute``, the processor services
     incoming messages while sleeping."""
@@ -111,12 +119,12 @@ class Sleep:
             raise ValueError(f"sleep cycles must be >= 0, got {self.cycles}")
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Now:
     """Yieldable that returns the current simulation time."""
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Poll:
     """Service immediately available incoming messages, without waiting.
 
@@ -133,7 +141,7 @@ class Poll:
     """
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Barrier:
     """Hardware barrier: block until every processor has entered the same
     barrier, then all exit simultaneously (plus the machine's configured
@@ -146,7 +154,7 @@ class Barrier:
 Action = Send | Recv | Compute | Sleep | Now | Poll | Barrier
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class ReceivedMessage:
     """What ``yield Recv()`` returns."""
 

@@ -20,9 +20,12 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Hashable, Sequence
 
 import numpy as np
+
+from ..sim.sweep import sweep_map
 
 __all__ = [
     "LoadPoint",
@@ -126,15 +129,32 @@ def simulate_load(
     )
 
 
+def _load_point(n_nodes: int, route: RouteFn, kwargs: dict, lam: float) -> LoadPoint:
+    """Module-level work unit so the parallel sweep can pickle it."""
+    return simulate_load(n_nodes, route, lam, **kwargs)
+
+
 def latency_vs_load(
     n_nodes: int,
     route: RouteFn,
     loads: Sequence[float],
+    *,
+    workers: int | None = 1,
     **kwargs,
 ) -> list[LoadPoint]:
     """Sweep offered loads and return the latency curve (Section 5.3's
-    exhibit)."""
-    return [simulate_load(n_nodes, route, lam, **kwargs) for lam in loads]
+    exhibit).
+
+    Each load level is an independent seeded simulation, so the sweep
+    fans out over :func:`repro.sim.sweep.sweep_map` when ``workers``
+    allows (``None`` honours ``REPRO_SWEEP_WORKERS``; the default of 1
+    stays serial).  Points come back in the order of ``loads`` and are
+    bit-identical to the serial sweep; ``route`` must be picklable (a
+    module-level function) for a parallel run.
+    """
+    return sweep_map(
+        partial(_load_point, n_nodes, route, kwargs), loads, workers=workers
+    )
 
 
 def find_knee(points: Sequence[LoadPoint], factor: float = 2.0) -> float:

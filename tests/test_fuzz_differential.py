@@ -33,8 +33,14 @@ def test_fuzz_smoke_fixed_latency():
 
 def test_fuzz_full_sweep_all_latency_models():
     """The acceptance sweep: 500 seeded programs x 3 latency models with
-    zero semantic violations and closed-form makespan agreement."""
-    summary = fuzz_sweep(FULL_SEEDS, tuple(LATENCIES))
+    zero semantic violations and closed-form makespan agreement.
+
+    Routed through the parallel sweep runner: ``workers=None`` honours
+    the ``REPRO_SWEEP_WORKERS`` environment variable (serial when unset
+    on a single-core box).  The summary is identical for any worker
+    count — that contract is pinned by ``tests/test_sweep.py``.
+    """
+    summary = fuzz_sweep(FULL_SEEDS, tuple(LATENCIES), workers=None)
     assert summary.cases == 500
     assert summary.runs == 1500
     assert summary.ok, "\n".join(summary.failures[:10])

@@ -62,6 +62,44 @@ class TestEngine:
         with pytest.raises(SimulationError):
             Engine().schedule_after(-1, lambda: None)
 
+    def test_past_tolerance_clamps_float_noise(self):
+        """The schedule() edge contract: a time within 1e-12 behind the
+        clock is accumulated float noise — it is clamped to ``now`` and
+        runs after everything already queued there, not rejected."""
+        e = Engine()
+        log = []
+
+        def at_five():
+            log.append("first")
+            # 5.0 - 1e-15: behind now, but well inside the tolerance.
+            e.schedule(5.0 - 1e-15, lambda: log.append("clamped"))
+
+        e.schedule(5.0, at_five)
+        e.schedule(5.0, lambda: log.append("queued-at-5"))
+        final = e.run()
+        # The clamped event runs at now, *after* everything already
+        # queued at that time — not before it.
+        assert log == ["first", "queued-at-5", "clamped"]
+        assert final == 5.0  # the clamped event ran at now, not before
+
+    def test_past_tolerance_boundary(self):
+        """Exactly PAST_TOLERANCE behind still clamps; anything beyond
+        raises.  Pins the constant so a change to it is a visible API
+        break, not a silent drift."""
+        from repro.sim.engine import PAST_TOLERANCE
+
+        assert PAST_TOLERANCE == 1e-12
+        e = Engine()
+        e.schedule(1.0, lambda: None)
+        e.run()
+        assert e.now == 1.0
+        ran = []
+        e.schedule(1.0 - PAST_TOLERANCE, lambda: ran.append(e.now))
+        with pytest.raises(SimulationError, match="before current time"):
+            e.schedule(1.0 - 2e-12, lambda: None)
+        e.run()
+        assert ran == [1.0]
+
     def test_run_until_leaves_later_events(self):
         e = Engine()
         log = []

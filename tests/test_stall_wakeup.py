@@ -141,6 +141,19 @@ class TestLostWakeup:
         assert bare.stall_events == []
         assert stall_report(bare.stall_events).stalls == 0
 
+    def test_untraced_stall_report_raises(self):
+        """An untraced run has no stall feed; asking it for a report must
+        be a loud error, not a silently empty summary (the fast path
+        skips the feed entirely, so an empty report would be a lie)."""
+        bare = run_programs(
+            MIXED_PARAMS, _mixed_blocking_programs, trace=False
+        )
+        with pytest.raises(ValueError, match="traced run"):
+            bare.stall_report()
+        # The traced counterpart still reports normally.
+        traced = run_programs(MIXED_PARAMS, _mixed_blocking_programs)
+        assert traced.stall_report().stalls == 3
+
     def test_many_to_one_flood_all_delivered(self):
         """Pure many-to-one flood: every sender stalls, every message
         lands, and the receiver is drain-paced (no livelock)."""
@@ -180,12 +193,13 @@ class TestActivationDedup:
         m._engine = Engine()
         m._procs = [_Proc(0, iter(()))]
         m._schedule = None
-        m._schedule_activation(0, 5.0)
-        m._schedule_activation(0, 7.0)
-        m._schedule_activation(0, 5.0)  # duplicate: must be suppressed
-        m._schedule_activation(0, 7.0)  # duplicate: must be suppressed
+        proc = m._procs[0]
+        m._schedule_activation(proc, 5.0)
+        m._schedule_activation(proc, 7.0)
+        m._schedule_activation(proc, 5.0)  # duplicate: must be suppressed
+        m._schedule_activation(proc, 7.0)  # duplicate: must be suppressed
         assert len(m._engine._queue) == 2
-        assert m._procs[0].pending_activations == {5.0, 7.0}
+        assert set(m._procs[0].pending_activations) == {5.0, 7.0}
 
     def test_fired_activation_can_be_rescheduled(self):
         """The pending set must be cleared when an activation fires, so a

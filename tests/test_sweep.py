@@ -1,0 +1,173 @@
+"""The parallel sweep runner's determinism contract.
+
+``sweep_map`` must be a drop-in replacement for the serial list
+comprehension: same results, same order, for any worker count.  The
+heavyweight check here runs 100+ fuzz-generated simulations serially and
+at 2 and 4 workers and compares *everything* observable — makespans,
+stall-event traces, stall-report summaries, message and event counts —
+not just a summary hash, so a nondeterministic merge (or a worker
+mutating shared state) fails loudly with the first differing field.
+"""
+
+import os
+import warnings
+
+import pytest
+
+from repro.sim import FixedLatency, LogPMachine, stall_report
+from repro.sim.fuzz import make_case
+from repro.sim.sweep import ENV_WORKERS, resolve_workers, sweep_map
+
+SEEDS = list(range(110))
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _ring_route(s: int, d: int) -> list:
+    """8-node ring, module-level so the parallel sweep can pickle it."""
+    from repro.topology.routing import grid_route
+
+    return [c[0] for c in grid_route((s,), (d,), (8,), wrap=True)]
+
+
+def _fingerprint(seed: int) -> tuple:
+    """Everything observable about one traced fuzz-case run.
+
+    Module-level (picklable) and seeded entirely by ``seed``, as the
+    sweep_map contract requires.
+    """
+    case = make_case(seed)
+    machine = LogPMachine(
+        case.params,
+        latency=FixedLatency(case.params.L),
+        trace=True,
+        max_events=2_000_000,
+    )
+    res = machine.run(case.factory)
+    report = res.stall_report()
+    return (
+        seed,
+        case.family,
+        res.makespan,
+        res.total_messages,
+        res.total_stall_time,
+        res.events_run,
+        tuple(res.stall_events),
+        (
+            report.stalls,
+            report.admitted,
+            tuple(sorted(report.stalls_by_cause.items())),
+            tuple(sorted(report.stalls_by_dst.items())),
+            tuple(sorted(report.max_queue_by_dst.items())),
+        ),
+        tuple(r.value for r in res.results),
+        tuple(r.finished_at for r in res.results),
+    )
+
+
+class TestDeterminism:
+    def test_parallel_sweep_bit_identical_to_serial(self):
+        """The tentpole contract: 2- and 4-worker sweeps reproduce the
+        serial sweep exactly, element for element, over 100+ seeds."""
+        serial = sweep_map(_fingerprint, SEEDS, workers=1)
+        assert [f[0] for f in serial] == SEEDS  # submission order kept
+        for workers in (2, 4):
+            parallel = sweep_map(_fingerprint, SEEDS, workers=workers)
+            assert parallel == serial, f"divergence at workers={workers}"
+
+    def test_chunksize_does_not_change_results(self):
+        serial = sweep_map(_square, range(37), workers=1)
+        for chunksize in (1, 5, 100):
+            assert (
+                sweep_map(_square, range(37), workers=2, chunksize=chunksize)
+                == serial
+            )
+
+    def test_fuzz_sweep_parity(self):
+        """fuzz_sweep folds parallel per-seed outcomes into the identical
+        summary the serial loop builds."""
+        from repro.sim.fuzz import fuzz_sweep
+
+        serial = fuzz_sweep(range(50), ("fixed",), workers=1)
+        parallel = fuzz_sweep(range(50), ("fixed",), workers=2)
+        assert serial.ok and parallel.ok
+        assert (
+            serial.cases,
+            serial.runs,
+            serial.total_messages,
+            serial.by_family,
+            serial.failures,
+        ) == (
+            parallel.cases,
+            parallel.runs,
+            parallel.total_messages,
+            parallel.by_family,
+            parallel.failures,
+        )
+
+    def test_saturation_curve_parity(self):
+        """latency_vs_load fans out per load level with identical points."""
+        from repro.topology import latency_vs_load
+
+        serial = latency_vs_load(
+            8, _ring_route, [0.05, 0.2], horizon=300, warmup=50, seed=4
+        )
+        parallel = latency_vs_load(
+            8, _ring_route, [0.05, 0.2], horizon=300, warmup=50, seed=4,
+            workers=2,
+        )
+        assert parallel == serial
+
+
+class TestPlumbing:
+    def test_submission_order_not_completion_order(self):
+        out = sweep_map(_square, [9, 1, 4, 0, 7], workers=2)
+        assert out == [81, 1, 16, 0, 49]
+
+    def test_empty_and_single_item(self):
+        assert sweep_map(_square, [], workers=4) == []
+        assert sweep_map(_square, [3], workers=4) == [9]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ZeroDivisionError):
+            sweep_map(_reciprocal, [1, 0, 2], workers=2)
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            out = sweep_map(lambda x: x + 1, [1, 2, 3], workers=2)
+        assert out == [2, 3, 4]
+
+    def test_picklable_fn_does_not_warn_serially(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert sweep_map(_square, [2, 3], workers=1) == [4, 9]
+
+
+def _reciprocal(x: int) -> float:
+    return 1.0 / x
+
+
+class TestResolveWorkers:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "5")
+        assert resolve_workers() == 5
+
+    def test_unset_defaults_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv(ENV_WORKERS, raising=False)
+        assert resolve_workers() == (os.cpu_count() or 1)
+
+    def test_floor_of_one(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "0")
+        assert resolve_workers() == 1
+        assert resolve_workers(-3) == 1
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "many")
+        with pytest.raises(ValueError, match=ENV_WORKERS):
+            resolve_workers()
