@@ -1,0 +1,148 @@
+"""NET — the in-machine §5.3 saturation knee, cross-checked analytically.
+
+The standalone packet simulator of ``repro.topology.saturation`` is the
+paper-faithful exhibit of the Section 5.3 latency/load curve.  The
+network-fabric subsystem claims to reproduce the *same physics inside
+the LogP machine*: a :class:`~repro.sim.net.ContentionFabric` over the
+4-ary fat tree, driven by open-loop Poisson traffic from real simulated
+processors, must show the same unloaded latency and the same saturation
+knee as the analytical simulator run on the identical topology — two
+independently-written store-and-forward simulators agreeing on where
+the network breaks.
+
+Machine side: ``o = g = 0`` and the capacity constraint disabled, so
+injection times are exactly the pre-drawn Poisson plan and every cycle
+of measured flight comes from the fabric.  Flights are measured
+post-warmup as ``arrive - inject`` straight off the message records.
+"""
+
+import math
+
+import numpy as np
+
+from repro.core import LogPParams
+from repro.sim import ContentionFabric, LogPMachine, Recv, Send, Sleep
+from repro.sim.net import router_for
+from repro.topology import find_knee, simulate_load
+from repro.topology.topologies import FatTree
+from repro.viz import format_table
+
+TOPOLOGY = FatTree(16)
+R = 1.0  # link service time, cycles per hop
+HORIZON = 600.0
+WARMUP = 150.0
+LOADS = [0.05, 0.1, 0.2, 0.35, 0.5, 0.7]
+
+
+def _fat_tree_plan(lam: float, seed: int):
+    """Pre-drawn open-loop traffic: per-rank [(sleep_delta, dst), ...]
+    Poisson injections up to HORIZON, uniform destinations."""
+    rng = np.random.default_rng(seed)
+    P = TOPOLOGY.P
+    plan = []
+    incoming = [0] * P
+    for src in range(P):
+        t, prev, entries = 0.0, 0.0, []
+        while True:
+            t += float(rng.exponential(1.0 / lam))
+            if t >= HORIZON:
+                break
+            dst = int(rng.integers(P - 1))
+            if dst >= src:
+                dst += 1
+            entries.append((t - prev, dst))
+            prev = t
+            incoming[dst] += 1
+        plan.append(entries)
+    return plan, incoming
+
+
+def _machine_mean_latency(lam: float, seed: int) -> float:
+    """Mean post-warmup flight over the contended fat-tree fabric."""
+    plan, incoming = _fat_tree_plan(lam, seed)
+    fab = ContentionFabric.for_topology(TOPOLOGY, hop_delay=R)
+    p = LogPParams(L=fab.bound, o=0.0, g=0.0, P=TOPOLOGY.P)
+    machine = LogPMachine(p, fabric=fab, enforce_capacity=False)
+
+    def prog(rank, P):
+        for delta, dst in plan[rank]:
+            yield Sleep(delta)
+            yield Send(dst)
+        for _ in range(incoming[rank]):
+            yield Recv()
+
+    res = machine.run(prog)
+    flights = [
+        m.arrive - m.inject
+        for m in res.schedule.messages
+        if m.inject >= WARMUP
+    ]
+    return float(np.mean(flights))
+
+
+def _analytic_mean_latency(lam: float, seed: int) -> float:
+    route = router_for(TOPOLOGY)
+    point = simulate_load(
+        TOPOLOGY.P,
+        route,
+        lam,
+        r=R,
+        horizon=HORIZON,
+        warmup=WARMUP,
+        seed=seed,
+    )
+    return point.mean_latency
+
+
+class _Point:
+    """Duck-typed LoadPoint so find_knee works on both curves."""
+
+    def __init__(self, load, latency):
+        self.offered_load = load
+        self.mean_latency = latency
+
+
+def test_net_fabric_knee_matches_analytic_saturation(benchmark, save_exhibit):
+    def run():
+        machine_curve = [_machine_mean_latency(lam, seed=100) for lam in LOADS]
+        analytic_curve = [_analytic_mean_latency(lam, seed=7) for lam in LOADS]
+        return machine_curve, analytic_curve
+
+    machine_curve, analytic_curve = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    rows = [
+        [lam, mach, ana, mach / ana]
+        for lam, mach, ana in zip(LOADS, machine_curve, analytic_curve)
+    ]
+    machine_knee = find_knee(
+        [_Point(lam, q) for lam, q in zip(LOADS, machine_curve)]
+    )
+    analytic_knee = find_knee(
+        [_Point(lam, q) for lam, q in zip(LOADS, analytic_curve)]
+    )
+    table = format_table(
+        ["offered load", "fabric mean latency", "analytic mean latency",
+         "ratio"],
+        rows,
+        floatfmt=".3g",
+        title=f"Section 5.3 inside the machine: 4-ary fat tree knee — "
+        f"fabric ~{machine_knee:.2g}, analytic ~{analytic_knee:.2g} "
+        f"pkts/node/cycle",
+    )
+    save_exhibit("net_fabric_saturation", table)
+
+    # Unloaded latency: both simulators should sit near the topology's
+    # mean routed distance (x R) at the lightest load.
+    assert machine_curve[0] < 1.3 * analytic_curve[0]
+    assert analytic_curve[0] < 1.3 * machine_curve[0]
+
+    # Both curves rise steeply past saturation...
+    assert machine_curve[-1] > 3.0 * machine_curve[0]
+    assert analytic_curve[-1] > 3.0 * analytic_curve[0]
+
+    # ...and the knees land within one grid step of each other.
+    assert math.isfinite(machine_knee) and math.isfinite(analytic_knee)
+    grid = {lam: i for i, lam in enumerate(LOADS)}
+    assert abs(grid[machine_knee] - grid[analytic_knee]) <= 1

@@ -13,6 +13,10 @@ pytest-benchmark suite:
   regime (Section 4.1.2);
 * ``fuzz_smoke`` — 60 seeds of the differential fuzz harness under
   deterministic latency;
+* ``fabric_ring`` / ``fabric_contended`` — the stream workload routed
+  through a ring :class:`~repro.sim.net.TopologyFabric` and a flood
+  through a :class:`~repro.sim.net.ContentionFabric` (the network-fabric
+  smoke numbers CI archives);
 * ``sweep_scaling`` — the same fuzz workload through the parallel sweep
   runner at 1 and 2 workers (wall time; informational — on a single
   core the pool adds overhead, on a multicore box it amortizes).
@@ -21,6 +25,11 @@ Each timing is the best of ``--reps`` runs (default 7): minimum, not
 mean, because scheduling noise only ever adds time.  ``--smoke`` shrinks
 every workload ~10x for CI smoke coverage and omits the baseline
 comparison (speedups are only meaningful at the calibrated sizes).
+
+``--baseline PATH`` compares the run against any previously written
+``BENCH_*.json``: per-workload ratios are printed and the process exits
+nonzero if any shared hot-path timing regressed more than
+``--max-regression`` (default 5%) — the CI regression gate.
 """
 
 from __future__ import annotations
@@ -34,10 +43,11 @@ import time
 from typing import Callable
 
 from .core import LogPParams
-from .sim import Engine, Recv, Send, run_programs
+from .sim import Engine, LogPMachine, Recv, Send, run_programs
 from .sim.fuzz import fuzz_sweep
+from .sim.net import ContentionFabric, TopologyFabric
 
-__all__ = ["PR1_BASELINE", "run_all", "main"]
+__all__ = ["PR1_BASELINE", "run_all", "compare_reports", "main"]
 
 #: Best-of-7 seconds on the reference container at the pre-fast-path
 #: commit (PR 1, 9032830), same workloads as below.  The fast-path
@@ -109,6 +119,44 @@ def _stalls(k: int) -> None:
     run_programs(p, prog, trace=False)
 
 
+def _fabric_ring(k: int) -> None:
+    """The stream workload over a ring TopologyFabric (routed flights)."""
+    p = LogPParams(L=6, o=2, g=4, P=2)
+    machine = LogPMachine(
+        p, fabric=TopologyFabric.ring(2, L=6), trace=False
+    )
+
+    def prog(rank: int, P: int):
+        if rank == 0:
+            for i in range(k):
+                yield Send(1, payload=i)
+            return None
+        for _ in range(k):
+            yield Recv()
+        return None
+
+    machine.run(prog)
+
+
+def _fabric_contended(k: int) -> None:
+    """Many-to-one flood over a contended ring: every message queues."""
+    p = LogPParams(L=8, o=1, g=4, P=8)
+    machine = LogPMachine(
+        p, fabric=ContentionFabric.ring(8, L=8), trace=False
+    )
+
+    def prog(rank: int, P: int):
+        if rank == 0:
+            for _ in range(k * (P - 1)):
+                yield Recv()
+            return None
+        for _ in range(k):
+            yield Send(0)
+        return None
+
+    machine.run(prog)
+
+
 def _fuzz(seeds: int, workers: int) -> None:
     summary = fuzz_sweep(range(seeds), ("fixed",), workers=workers)
     if not summary.ok:
@@ -133,6 +181,10 @@ def run_all(*, smoke: bool = False, reps: int = 7) -> dict:
         "stream_s": _best_of(lambda: _stream(k_stream, False), reps),
         "stream_traced_s": _best_of(lambda: _stream(k_stream, True), reps),
         "stalls_s": _best_of(lambda: _stalls(k_stalls), reps),
+        "fabric_ring_s": _best_of(lambda: _fabric_ring(k_stream), reps),
+        "fabric_contended_s": _best_of(
+            lambda: _fabric_contended(k_stalls), reps
+        ),
         "fuzz_smoke_s": _best_of(lambda: _fuzz(seeds, 1), max(1, reps // 3)),
     }
     sweep_scaling = {
@@ -149,6 +201,11 @@ def run_all(*, smoke: bool = False, reps: int = 7) -> dict:
             "engine_dispatch": {"events": n_events},
             "stream": {"k": k_stream, "L": 6, "o": 2, "g": 4, "P": 2},
             "stalls": {"k": k_stalls, "L": 8, "o": 1, "g": 4, "P": 16},
+            "fabric_ring": {"k": k_stream, "fabric": "TopologyFabric[Ring2]"},
+            "fabric_contended": {
+                "k": k_stalls,
+                "fabric": "ContentionFabric[Ring8]",
+            },
             "fuzz_smoke": {"seeds": seeds, "latencies": ["fixed"]},
         },
         "timings_s": timings,
@@ -163,6 +220,32 @@ def run_all(*, smoke: bool = False, reps: int = 7) -> dict:
     return report
 
 
+def compare_reports(
+    report: dict, baseline: dict, *, max_regression: float = 0.05
+) -> tuple[dict[str, float], list[str]]:
+    """Compare a report against a prior ``BENCH_*.json``.
+
+    Returns ``(ratios, regressions)``: per-workload ``current /
+    baseline`` timing ratios over the keys both reports share, and the
+    list of workloads whose ratio exceeds ``1 + max_regression``.
+    Workloads only one side measured are skipped — reports from
+    different PRs stay comparable as workloads are added.
+    """
+    base_timings = baseline.get("timings_s", {})
+    timings = report.get("timings_s", {})
+    ratios: dict[str, float] = {}
+    regressions: list[str] = []
+    for key in sorted(set(timings) & set(base_timings)):
+        base = base_timings[key]
+        if base <= 0:
+            continue
+        ratio = timings[key] / base
+        ratios[key] = round(ratio, 3)
+        if ratio > 1.0 + max_regression:
+            regressions.append(key)
+    return ratios, regressions
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -173,6 +256,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out", default=None,
         help="output path (default BENCH_<date>.json; '-' for stdout only)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="prior BENCH_*.json to compare against; exits 1 if any "
+        "shared workload regressed more than --max-regression",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.05, metavar="FRAC",
+        help="allowed slowdown vs --baseline before failing (default 0.05)",
     )
     args = parser.parse_args(argv)
     report = run_all(smoke=args.smoke, reps=args.reps)
@@ -185,6 +277,28 @@ def main(argv: list[str] | None = None) -> int:
     for w, val in report["sweep_scaling_s"].items():
         print(f"{'sweep[workers=' + w + ']':24s} {val * 1e3:9.2f} ms")
 
+    regressed = False
+    if args.baseline is not None:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        ratios, regressions = compare_reports(
+            report, baseline, max_regression=args.max_regression
+        )
+        report["baseline_path"] = args.baseline
+        report["baseline_ratio"] = ratios
+        print(f"vs {args.baseline}:")
+        for key, ratio in ratios.items():
+            flag = "  REGRESSED" if key in regressions else ""
+            print(f"  {key:22s} {ratio:6.3f}x{flag}")
+        if regressions:
+            regressed = True
+            print(
+                f"REGRESSION: {len(regressions)} workload(s) slowed more "
+                f"than {args.max_regression:.0%}: {', '.join(regressions)}"
+            )
+        else:
+            print(f"no regression beyond {args.max_regression:.0%}")
+
     out = args.out
     if out != "-":
         if out is None:
@@ -193,7 +307,7 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {out}")
-    return 0
+    return 1 if regressed else 0
 
 
 if __name__ == "__main__":

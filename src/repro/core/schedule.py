@@ -94,6 +94,9 @@ class MessageRecord:
     recv_end: float
     tag: str = ""
     words: int = 1
+    # Queueing excess charged by a contended network fabric; 0.0 on
+    # uncontended fabrics.  The unloaded flight is ``latency - net_stall``.
+    net_stall: float = 0.0
 
     def __post_init__(self) -> None:
         seq = (
@@ -115,6 +118,11 @@ class MessageRecord:
     def end_to_end(self) -> float:
         """Total time from send start to availability at the receiver."""
         return self.recv_end - self.send_start
+
+    @property
+    def unloaded_latency(self) -> float:
+        """Flight time net of fabric queueing (``latency - net_stall``)."""
+        return self.arrive - self.inject - self.net_stall
 
 
 @dataclass(slots=True)

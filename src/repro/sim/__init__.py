@@ -36,6 +36,15 @@ from .dsm import (
 from .engine import Engine, SimulationError
 from .latency import FixedLatency, JitteredLatency, LatencyModel, UniformLatency
 from .machine import LogPMachine, MachineResult, run_programs
+from .net import (
+    ContentionFabric,
+    Fabric,
+    FabricReport,
+    FaultyFabric,
+    LatencyFabric,
+    LossyOutcome,
+    TopologyFabric,
+)
 from .program import (
     Barrier,
     Compute,
@@ -50,6 +59,7 @@ from .program import (
 from .sweep import resolve_workers, sweep_map
 from .trace import (
     MessageStats,
+    NetStallEvent,
     StallEvent,
     StallReport,
     UtilizationBreakdown,
@@ -131,8 +141,16 @@ __all__ = [
     "receive_histogram",
     "StallEvent",
     "WakeupEvent",
+    "NetStallEvent",
     "StallReport",
     "stall_report",
+    "Fabric",
+    "FabricReport",
+    "LatencyFabric",
+    "TopologyFabric",
+    "ContentionFabric",
+    "FaultyFabric",
+    "LossyOutcome",
     "sweep_map",
     "resolve_workers",
     "validate_schedule",

@@ -18,6 +18,13 @@ parameter-aware trees; those live in :mod:`repro.algorithms.broadcast`
 and :mod:`repro.algorithms.summation` and are executed through
 :func:`tree_broadcast` / explicit schedules.  The binomial forms here are
 the parameter-oblivious baselines.
+
+The collectives are fabric-agnostic: they run unmodified over any
+:mod:`repro.sim.net` fabric, including a
+:class:`~repro.sim.net.FaultyFabric` (the machine's retry protocol
+preserves exactly-once delivery, so correctness tests double as
+robustness tests under drop/duplicate/delay faults — see
+``tests/test_net_fabric.py``).
 """
 
 from __future__ import annotations

@@ -15,6 +15,14 @@ cross-checks every run three ways:
 2. **differential execution** — the same case is run traced and
    untraced (identical makespans, message counts and stall totals) and
    twice under the same latency model (bit-identical determinism);
+   deterministic cases additionally run through the network-fabric
+   layer: a :class:`~repro.sim.net.LatencyFabric` over
+   :class:`~repro.sim.latency.FixedLatency` must reproduce the bare
+   machine's schedule *bit-identically* (the fabric refactor's
+   no-regression witness), and a ring
+   :class:`~repro.sim.net.ContentionFabric` calibrated to ``L`` must
+   deliver the same messages and values under hop-consistent,
+   semantically valid routing;
 3. **analytic cross-check** — for families with a closed form
    (single-pair streams, disjoint pairwise streams) the simulated
    makespan must equal the formulas in :mod:`repro.core.cost` exactly;
@@ -40,6 +48,7 @@ from ..core import cost
 from ..core.params import LogPParams
 from .latency import FixedLatency, JitteredLatency, LatencyModel, UniformLatency
 from .machine import LogPMachine, MachineResult
+from .net import ContentionFabric, Fabric, LatencyFabric
 from .program import Barrier, Compute, Poll, Recv, Send, Sleep
 from .sweep import resolve_workers, sweep_map
 from .validate import validate_schedule
@@ -442,10 +451,18 @@ _BUILDERS: dict[str, Callable[..., FuzzCase]] = {
 
 
 def _run_machine(
-    case: FuzzCase, latency: LatencyModel, *, trace: bool
+    case: FuzzCase,
+    latency: LatencyModel | None,
+    *,
+    trace: bool,
+    fabric: Fabric | None = None,
 ) -> MachineResult:
     machine = LogPMachine(
-        case.params, latency=latency, trace=trace, max_events=2_000_000
+        case.params,
+        latency=latency,
+        fabric=fabric,
+        trace=trace,
+        max_events=2_000_000,
     )
     return machine.run(case.factory)
 
@@ -548,7 +565,111 @@ def run_case(case: FuzzCase, latency_name: str = "fixed") -> CaseOutcome:
             f"{where}: makespan {res.makespan} exceeds linear bound "
             f"{case.upper_bound} (livelock?)"
         )
+
+    # 4. Fabric differentials (deterministic latency only: randomized
+    # models draw per-message, so schedules are only comparable when the
+    # flight times are a constant).
+    if fixed:
+        out.failures.extend(_check_fabrics(case, res, where))
     return out
+
+
+def _schedules_identical(a, b) -> list[str]:
+    """Exact (zero-tolerance) schedule comparison, as difference strings."""
+    diffs: list[str] = []
+    if a.messages != b.messages:
+        diffs.append(
+            f"message records differ ({len(a.messages)} vs "
+            f"{len(b.messages)} records)"
+        )
+    ranks = set(a.timelines) | set(b.timelines)
+    for rank in sorted(ranks):
+        ta = a.timelines.get(rank)
+        tb = b.timelines.get(rank)
+        ia = ta.intervals if ta is not None else []
+        ib = tb.intervals if tb is not None else []
+        if ia != ib:
+            diffs.append(f"P{rank} intervals differ")
+    return diffs
+
+
+def _check_fabrics(
+    case: FuzzCase, res: MachineResult, where: str
+) -> list[str]:
+    """Run the case through the fabric layer and diff against ``res``."""
+    failures: list[str] = []
+    p = case.params
+
+    # 4a. LatencyFabric over FixedLatency: bit-identical to the bare
+    # machine — same makespan, same stalls, same schedule, exactly.
+    try:
+        wrapped = _run_machine(
+            case, None, trace=True, fabric=LatencyFabric(FixedLatency(p.L))
+        )
+    except Exception as exc:  # noqa: BLE001
+        failures.append(f"{where}: LatencyFabric run crashed: {exc!r}")
+        return failures
+    if wrapped.makespan != res.makespan:
+        failures.append(
+            f"{where}: LatencyFabric makespan {wrapped.makespan} != bare "
+            f"{res.makespan} (must be bit-identical)"
+        )
+    if wrapped.total_messages != res.total_messages:
+        failures.append(
+            f"{where}: LatencyFabric message count "
+            f"{wrapped.total_messages} != bare {res.total_messages}"
+        )
+    if wrapped.total_stall_time != res.total_stall_time:
+        failures.append(
+            f"{where}: LatencyFabric stall time {wrapped.total_stall_time} "
+            f"!= bare {res.total_stall_time} (must be bit-identical)"
+        )
+    for diff in _schedules_identical(res.schedule, wrapped.schedule):
+        failures.append(f"{where}: LatencyFabric schedule: {diff}")
+
+    # 4b. Ring ContentionFabric calibrated to L: routed flights are
+    # distance-dependent (so no schedule diff), but delivery must be
+    # hop-consistent, semantically valid, and carry the same messages to
+    # the same values.
+    fab = ContentionFabric.ring(p.P, L=p.L)
+    try:
+        routed = _run_machine(case, None, trace=True, fabric=fab)
+    except Exception as exc:  # noqa: BLE001
+        failures.append(f"{where}: ContentionFabric run crashed: {exc!r}")
+        return failures
+    val = validate_schedule(routed.schedule, fabric=fab)
+    for v in val.violations:
+        failures.append(f"{where} [ring-fabric]: {v}")
+    if routed.total_messages != case.expected_messages:
+        failures.append(
+            f"{where}: ContentionFabric delivered {routed.total_messages} "
+            f"messages, expected {case.expected_messages}"
+        )
+    for rank, expect in case.expected_values.items():
+        got = routed.value(rank)
+        if got != expect:
+            failures.append(
+                f"{where}: ContentionFabric P{rank} returned {got!r}, "
+                f"expected {expect!r}"
+            )
+    if not routed.stall_report().ok:
+        failures.append(
+            f"{where}: ContentionFabric left unresolved stall episodes"
+        )
+    # Trace gating must not change semantics: the untraced routed run
+    # (no link accounting, no queue-watch events) is bit-identical.
+    bare = _run_machine(case, None, trace=False, fabric=fab)
+    if bare.makespan != routed.makespan:
+        failures.append(
+            f"{where}: untraced ContentionFabric makespan {bare.makespan} "
+            f"!= traced {routed.makespan}"
+        )
+    if bare.total_stall_time != routed.total_stall_time:
+        failures.append(
+            f"{where}: untraced ContentionFabric stall time "
+            f"{bare.total_stall_time} != traced {routed.total_stall_time}"
+        )
+    return failures
 
 
 def _sweep_seed(

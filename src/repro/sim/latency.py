@@ -18,9 +18,13 @@ message's flight time from a model:
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
 
 __all__ = ["LatencyModel", "FixedLatency", "UniformLatency", "JitteredLatency"]
+
+_RNG_TYPES = (np.random.Generator, np.random.RandomState, random.Random)
 
 
 class LatencyModel:
@@ -36,7 +40,25 @@ class LatencyModel:
         raise NotImplementedError
 
     def reset(self) -> None:
-        """Restore the initial random state (for reproducible reruns)."""
+        """Restore the initial random state (for reproducible reruns).
+
+        The machine calls this at the start of every run, so a rerun on
+        the same machine instance replays the same flight times.  A
+        stateless model need not override it; a model that *does* hold
+        an RNG stream must, or reruns silently stop being reproducible —
+        this base implementation raises if it detects such state.
+        """
+        stateful = [
+            name
+            for name, value in vars(self).items()
+            if isinstance(value, _RNG_TYPES)
+        ]
+        if stateful:
+            raise NotImplementedError(
+                f"{type(self).__name__} holds random state "
+                f"({', '.join(stateful)}) but does not override reset(); "
+                "reruns on the same machine would not be reproducible"
+            )
 
 
 class FixedLatency(LatencyModel):

@@ -79,7 +79,14 @@ from ..core.params import LogPParams
 from ..core.schedule import Activity, MessageRecord, Schedule
 from .engine import Engine, SimulationError
 from .latency import FixedLatency, LatencyModel
-from .trace import StallEvent, StallReport, WakeupEvent, stall_report
+from .net.fabric import Fabric, FabricReport, LatencyFabric
+from .trace import (
+    NetStallEvent,
+    StallEvent,
+    StallReport,
+    WakeupEvent,
+    stall_report,
+)
 from .program import (
     Barrier,
     Compute,
@@ -132,6 +139,9 @@ class _Msg:
     inject: float
     arrive: float
     words: int = 1
+    # Queueing excess inside the network fabric (ContentionFabric);
+    # 0.0 on uncontended fabrics.
+    net_stall: float = 0.0
 
 
 class _Proc:
@@ -209,7 +219,10 @@ class MachineResult:
     total_stall_time: float
     events_run: int
     traced: bool = True
-    stall_events: list[StallEvent | WakeupEvent] = field(default_factory=list)
+    fabric: Fabric | None = None
+    stall_events: list[StallEvent | WakeupEvent | NetStallEvent] = field(
+        default_factory=list
+    )
     extras: dict[str, Any] = field(default_factory=dict)
 
     def value(self, rank: int) -> Any:
@@ -235,6 +248,23 @@ class MachineResult:
             )
         return stall_report(self.stall_events)
 
+    def fabric_report(self) -> FabricReport:
+        """Network-side traffic summary of the run (per-link utilization,
+        queue-depth high-water marks, total NetStall excess).
+
+        Raises:
+            ValueError: if the run was untraced — fabric observability
+                is trace-gated so the untraced hot path stays fast.
+        """
+        if not self.traced:
+            raise ValueError(
+                "fabric_report() requires a traced run: fabric "
+                "statistics are trace-gated. Re-run the machine with "
+                "trace=True."
+            )
+        assert self.fabric is not None
+        return self.fabric.report()
+
 
 class LogPMachine:
     """A simulated LogP machine.
@@ -243,6 +273,25 @@ class LogPMachine:
         params: the four LogP parameters.
         latency: network flight-time model; defaults to the deterministic
             ``FixedLatency(params.L)`` the paper's analyses assume.
+            Mutually exclusive with ``fabric`` (a plain latency model is
+            run as a :class:`~repro.sim.net.LatencyFabric`).
+        fabric: network fabric the machine delegates transport to (see
+            :mod:`repro.sim.net`).  The fabric's unloaded bound must not
+            exceed ``params.L``.  A *lossy* fabric
+            (:class:`~repro.sim.net.FaultyFabric`) activates the
+            sender-side timeout-and-retry protocol: deliveries are
+            acknowledged over a reliable control channel (ack flight =
+            the fabric bound), unacked messages are retransmitted every
+            ``retry_timeout`` cycles up to ``max_retries`` times, and
+            duplicate copies are discarded at the receiving network
+            interface — programs observe exactly-once delivery.  Lossy
+            runs disable the capacity constraint (retransmissions live
+            below the model's capacity accounting).
+        retry_timeout: cycles a lossy-fabric sender waits for an ack
+            before retransmitting (default ``2*bound + ack + 2o + 1``,
+            just past the worst-case uncontended round trip).
+        max_retries: retransmissions before a lossy run fails with
+            :class:`SimulationError`.
         enforce_capacity: apply the ``ceil(L/g)`` constraint (disable for
             the capacity ablation).  Slots are held per the module
             docstring: source slots over [inject, arrive), destination
@@ -264,6 +313,9 @@ class LogPMachine:
         params: LogPParams,
         *,
         latency: LatencyModel | None = None,
+        fabric: Fabric | None = None,
+        retry_timeout: float | None = None,
+        max_retries: int = 8,
         enforce_capacity: bool = True,
         capacity: int | None = None,
         hw_barrier_cost: float = 0.0,
@@ -274,11 +326,35 @@ class LogPMachine:
         if hw_barrier_cost < 0:
             raise ValueError(f"hw_barrier_cost must be >= 0, got {hw_barrier_cost}")
         self.params = params
-        self.latency = latency if latency is not None else FixedLatency(params.L)
-        if self.latency.L > params.L + 1e-12:
-            raise ValueError(
-                f"latency model bound {self.latency.L} exceeds L={params.L}"
+        if fabric is None:
+            model = latency if latency is not None else FixedLatency(params.L)
+            if model.L > params.L + 1e-12:
+                raise ValueError(
+                    f"latency model bound {model.L} exceeds L={params.L}"
+                )
+            self.latency = model
+            self.fabric: Fabric = LatencyFabric(model)
+        else:
+            if latency is not None:
+                raise ValueError(
+                    "give latency or fabric, not both (a plain latency "
+                    "model is run as a LatencyFabric)"
+                )
+            if fabric.bound > params.L + 1e-12:
+                raise ValueError(
+                    f"fabric unloaded bound {fabric.bound} exceeds "
+                    f"L={params.L}"
+                )
+            self.fabric = fabric
+            self.latency = (
+                fabric.model if isinstance(fabric, LatencyFabric) else None
             )
+        if retry_timeout is not None and retry_timeout <= 0:
+            raise ValueError(f"retry_timeout must be > 0, got {retry_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.retry_timeout = retry_timeout
+        self.max_retries = max_retries
         self.enforce_capacity = enforce_capacity
         self._enforce = enforce_capacity
         self.capacity = params.capacity if capacity is None else capacity
@@ -329,25 +405,47 @@ class LogPMachine:
         # Structured stall/wakeup causality feed (traced runs only —
         # unbounded per-wakeup records are too heavy for large untraced
         # sweeps).
-        self._stall_feed: list[StallEvent | WakeupEvent] = []
+        self._stall_feed: list[StallEvent | WakeupEvent | NetStallEvent] = []
         self._barrier_waiting: list[int] = []
         self._barrier_generation = 0
         self._msg_seq = 0
         self._total_messages = 0
-        self.latency.reset()
-        self._enforce = self.enforce_capacity
-        self._draw = self.latency.draw
-        # Exactly-FixedLatency draws are a constant; inline it instead of
-        # paying a method call per injection.
+        fab = self.fabric
+        fab.reset()
+        fab.attach(self._engine, P, self.trace)
+        self._submit = fab.submit
+        self._lossy = fab.lossy
+        self._enforce = self.enforce_capacity and not self._lossy
+        # Exactly-FixedLatency flight through the transparent wrapper is
+        # a constant; inline it instead of paying a call per injection.
         self._fixed_L = (
-            self.latency.L if type(self.latency) is FixedLatency else None
+            fab.model.L
+            if type(fab) is LatencyFabric and type(fab.model) is FixedLatency
+            else None
         )
+        if self._lossy:
+            # Sender-side ARQ state: seq -> in-flight message awaiting
+            # ack, receiver-side delivered-seq dedup filter, fault
+            # bookkeeping surfaced in MachineResult.extras.
+            self._awaiting_ack: dict[int, _Msg] = {}
+            self._delivered_seqs: set[int] = set()
+            self._net_faults = {"retries": 0, "duplicates_suppressed": 0}
+            self._ack_latency = fab.bound
+            self._retry_timeout = (
+                self.retry_timeout
+                if self.retry_timeout is not None
+                else 2 * fab.bound + self._ack_latency + 2 * self._o + 1.0
+            )
 
         for proc in self._procs:
             self._schedule_activation(proc, 0.0)
 
         self._engine.run()
         self._check_completion()
+        if self.trace and type(fab) is LatencyFabric and self._fixed_L is not None:
+            # The inlined FixedLatency fast path bypasses fab.submit();
+            # backfill its message count so fabric_report() stays honest.
+            fab._messages = self._total_messages
 
         makespan = max(
             max(p.result.finished_at, p.last_activity) for p in self._procs
@@ -366,6 +464,12 @@ class LogPMachine:
             events_run=self._engine.events_run,
             traced=self.trace,
             stall_events=self._stall_feed,
+            fabric=self.fabric,
+            extras=(
+                {"net_faults": {**self._net_faults, **fab.fault_counts}}
+                if self._lossy
+                else {}
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -683,25 +787,117 @@ class LogPMachine:
             proc.needs_src = proc.needs_dst = False
 
         msg.inject = now
+        if self._lossy:
+            # Unreliable fabric: delivery goes through the ARQ protocol
+            # and bypasses the capacity counters (lossy runs disable the
+            # capacity constraint; see __init__ docs).
+            if msg.words > 1:
+                stream = (msg.words - 1) * (self._G or 0.0)
+                if stream > 0:
+                    proc.port_free = now + stream
+            self._inject_lossy(msg, now)
+            proc.pending_inject = None
+            return True
         fixed = self._fixed_L
         if msg.words > 1:
             stream = (msg.words - 1) * (self._G or 0.0)
-            msg.arrive = now + stream + (
-                fixed if fixed is not None else self._draw(rank, dst)
-            )
+            if fixed is not None:
+                msg.arrive = now + stream + fixed
+            else:
+                arrive, net_stall = self._submit(rank, dst, now)
+                msg.arrive = arrive + stream
+                if net_stall > 0.0:
+                    msg.net_stall = net_stall
+                    if self.trace:
+                        self._stall_feed.append(
+                            NetStallEvent(now, rank, dst, net_stall)
+                        )
             if stream > 0:
                 # The network port streams the tail of the long message;
                 # the processor itself is already free (DMA overlap).
                 proc.port_free = now + stream
+        elif fixed is not None:
+            msg.arrive = now + fixed
         else:
-            msg.arrive = now + (
-                fixed if fixed is not None else self._draw(rank, dst)
-            )
+            arrive, net_stall = self._submit(rank, dst, now)
+            msg.arrive = arrive
+            if net_stall > 0.0:
+                msg.net_stall = net_stall
+                if self.trace:
+                    self._stall_feed.append(
+                        NetStallEvent(now, rank, dst, net_stall)
+                    )
         self._inflight_from[rank] += 1
         self._inflight_to[dst] += 1
         proc.pending_inject = None
         self._engine.schedule(msg.arrive, self._on_arrival, msg)
         return True
+
+    # ------------------------------------------------------------------
+    # Lossy-fabric ARQ: timeout-and-retry with receiver-side dedup
+    # ------------------------------------------------------------------
+
+    def _inject_lossy(self, msg: _Msg, now: float) -> None:
+        """Submit one copy over the lossy fabric and arm the retry timer."""
+        outcome = self.fabric.submit_lossy(msg.src, msg.dst, now)
+        if outcome.net_stall > 0.0:
+            msg.net_stall = outcome.net_stall
+            if self.trace:
+                self._stall_feed.append(
+                    NetStallEvent(now, msg.src, msg.dst, outcome.net_stall)
+                )
+        stream = (msg.words - 1) * (self._G or 0.0)
+        for arrive in outcome.deliveries:
+            self._engine.schedule(
+                arrive + stream, self._on_lossy_arrival, msg
+            )
+        self._awaiting_ack[msg.seq] = msg
+        self._engine.schedule(
+            now + self._retry_timeout, self._on_retry, msg, 1
+        )
+
+    def _on_lossy_arrival(self, msg: _Msg) -> None:
+        seq = msg.seq
+        if seq in self._delivered_seqs:
+            # Duplicate copy (fabric duplication or a retransmission
+            # racing a late original): the interface discards it.
+            self._net_faults["duplicates_suppressed"] += 1
+            return
+        self._delivered_seqs.add(seq)
+        now = self._engine.now
+        msg.arrive = now
+        # Ack flows back over the reliable control channel.
+        self._engine.schedule(now + self._ack_latency, self._on_ack, seq)
+        dst = self._procs[msg.dst]
+        dst.arrived.append(msg)
+        if dst.state in _DRAINABLE:
+            if now >= dst.busy_until:
+                self._try_drain(dst)
+            else:
+                self._schedule_activation(dst, dst.busy_until)
+
+    def _on_ack(self, seq: int) -> None:
+        self._awaiting_ack.pop(seq, None)
+
+    def _on_retry(self, msg: _Msg, attempt: int) -> None:
+        if msg.seq not in self._awaiting_ack:
+            return
+        if attempt > self.max_retries:
+            raise SimulationError(
+                f"message {msg.src}->{msg.dst} (seq {msg.seq}) unacked "
+                f"after {self.max_retries} retransmissions"
+            )
+        self._net_faults["retries"] += 1
+        now = self._engine.now
+        outcome = self.fabric.submit_lossy(msg.src, msg.dst, now)
+        stream = (msg.words - 1) * (self._G or 0.0)
+        for arrive in outcome.deliveries:
+            self._engine.schedule(
+                arrive + stream, self._on_lossy_arrival, msg
+            )
+        self._engine.schedule(
+            now + self._retry_timeout, self._on_retry, msg, attempt + 1
+        )
 
     # ------------------------------------------------------------------
     # Wait-graph: parked senders and slot releases
@@ -862,6 +1058,7 @@ class LogPMachine:
                     recv_end=now,
                     tag="" if msg.tag is None else str(msg.tag),
                     words=msg.words,
+                    net_stall=msg.net_stall,
                 )
             )
         state = proc.state

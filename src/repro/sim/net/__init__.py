@@ -1,0 +1,36 @@
+"""Pluggable network fabrics connecting :mod:`repro.topology` to the
+discrete-event machine.
+
+The :class:`~repro.sim.machine.LogPMachine` delegates message transport
+to a :class:`Fabric`: ``submit(src, dst, t) -> (arrival, net_stall)``.
+Four fabrics ship (see :mod:`repro.sim.net.fabric` for the contract and
+invariants):
+
+* :class:`LatencyFabric` — the abstract src/dst-agnostic network the
+  paper's analyses assume (wraps a
+  :class:`~repro.sim.latency.LatencyModel`; the machine's default).
+* :class:`TopologyFabric` — routes over an explicit §5.1 topology,
+  charging §5.2 per-hop delay; unloaded flight ``<= L`` always.
+* :class:`ContentionFabric` — finite per-link capacity with FIFO link
+  queues; shows the §5.3 saturation knee, reporting the excess as
+  ``NetStall``.
+* :class:`FaultyFabric` — seeded drop/duplicate/delay fault injection,
+  driven by the machine's timeout-and-retry protocol.
+"""
+
+from .contention import ContentionFabric
+from .fabric import Fabric, FabricReport, LatencyFabric
+from .faulty import FaultyFabric, LossyOutcome
+from .topology import TopologyFabric, ring_router, router_for
+
+__all__ = [
+    "Fabric",
+    "FabricReport",
+    "LatencyFabric",
+    "TopologyFabric",
+    "ContentionFabric",
+    "FaultyFabric",
+    "LossyOutcome",
+    "router_for",
+    "ring_router",
+]

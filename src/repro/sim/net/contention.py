@@ -1,0 +1,120 @@
+"""Contention fabric: finite link capacity and the §5.3 saturation knee.
+
+"In a real machine the latency experienced by a message tends to
+increase as a function of the load ... there is typically a saturation
+point at which the latency increases sharply."  §5.3 captures that knee
+with the standalone packet simulator of
+:mod:`repro.topology.saturation`; :class:`ContentionFabric` brings the
+same mechanism *inside* the LogP machine: store-and-forward routing
+where every directed link serves one message per :attr:`hop_delay`
+cycles and FIFO-queues the rest.
+
+A message injected at ``t`` crosses its route link by link; at each link
+it waits until both it has arrived (``t_cur``) and the link is free,
+then occupies the link for ``hop_delay``::
+
+    start = max(t_cur, link_free[link]);  link_free[link] = start + hop_delay
+
+The returned flight decomposes exactly as ``unloaded(src, dst) +
+net_stall`` where ``net_stall`` is the total time spent queued — the
+validator's hop-consistency clause.  Below saturation ``net_stall`` is
+(near) zero and the LogP bound ``flight <= L`` holds; past saturation
+the excess is *reported* (as ``NetStall`` trace events and in the
+fabric report) rather than hidden, mirroring the paper's observation
+that the model deliberately excludes saturated operation.
+
+Contention is resolved at submit time: the machine submits messages at
+their injection events, which the engine dispatches in deterministic
+``(time, seq)`` order, so the FIFO order at every link is the global
+injection order — no extra network events are needed for *semantics*.
+The engine is used for *observability*: on traced runs the fabric
+schedules queue-enter/queue-leave bookkeeping events so per-link queue
+depth (and its high-water mark) is tracked in simulation time.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .topology import TopologyFabric
+
+__all__ = ["ContentionFabric"]
+
+
+class ContentionFabric(TopologyFabric):
+    """A :class:`TopologyFabric` whose links have finite capacity.
+
+    Same constructors (:meth:`~TopologyFabric.for_topology`,
+    :meth:`~TopologyFabric.ring`) and routing; ``hop_delay`` doubles as
+    the per-link service time (store-and-forward: an unloaded hop costs
+    exactly one service).  ``hop_delay == 0`` (an infinitely fast
+    network, the ``L = serialization`` corner) never queues.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._link_free: dict[Hashable, float] = {}
+        self._queue_depth: dict[Hashable, int] = {}
+        self._queue_high: dict[Hashable, int] = {}
+        self._engine = None
+
+    def submit(self, src: int, dst: int, t: float) -> tuple[float, float]:
+        links = self._route_links(src, dst)
+        hop = self.hop_delay
+        link_free = self._link_free
+        t_cur = t + self.serialization
+        stall = 0.0
+        traced = self._traced
+        for link in links:
+            free = link_free.get(link, 0.0)
+            if free > t_cur:
+                stall += free - t_cur
+                if traced:
+                    self._watch_queue(link, t_cur, free)
+                t_cur = free
+            done = t_cur + hop
+            link_free[link] = done
+            t_cur = done
+        if traced:
+            self._account(links, stall)
+        return t_cur, stall
+
+    # -- queue-depth observability (traced runs only) ------------------
+
+    def _watch_queue(self, link: Hashable, enter: float, leave: float) -> None:
+        """Track one message's wait on ``link`` over ``[enter, leave)``.
+
+        Depth changes are scheduled through the machine's engine so they
+        interleave with every other message's waits in simulation time;
+        the high-water mark is taken at enter events.
+        """
+        engine = self._engine
+        engine.schedule(enter, self._queue_enter, link)
+        engine.schedule(leave, self._queue_leave, link)
+
+    def _queue_enter(self, link: Hashable) -> None:
+        depth = self._queue_depth.get(link, 0) + 1
+        self._queue_depth[link] = depth
+        if depth > self._queue_high.get(link, 0):
+            self._queue_high[link] = depth
+
+    def _queue_leave(self, link: Hashable) -> None:
+        self._queue_depth[link] -= 1
+
+    # -- Fabric interface ----------------------------------------------
+
+    def attach(self, engine, P: int, trace: bool) -> None:
+        super().attach(engine, P, trace)
+        self._engine = engine
+        self._link_free = {}
+        self._queue_depth = {}
+        self._queue_high = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._link_free = {}
+        self._queue_depth = {}
+        self._queue_high = {}
+
+    def _queue_high_water(self) -> dict[Hashable, int]:
+        return dict(self._queue_high)

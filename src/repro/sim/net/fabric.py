@@ -1,0 +1,211 @@
+"""The network fabric interface and the latency-model fabric.
+
+A *fabric* is the pluggable network layer of the LogP machine
+(:class:`repro.sim.machine.LogPMachine`): when a committed message passes
+the capacity check, the machine hands it to the fabric —
+``submit(src, dst, t)`` — and the fabric answers with the absolute
+delivery time plus the *network stall*, the portion of the flight spent
+queued behind other traffic inside the network (zero for uncontended
+fabrics).  Everything else — overheads, gaps, the capacity constraint,
+stalling senders — stays in the machine; the fabric models only what
+happens between injection and arrival.
+
+Section 5 of the paper grounds ``L`` in real networks three ways:
+topology average distance (§5.1), unloaded per-hop message time (§5.2),
+and the sharp latency rise near saturation (§5.3).  The concrete fabrics
+mirror that progression:
+
+* :class:`LatencyFabric` (here) — wraps a
+  :class:`~repro.sim.latency.LatencyModel`; the abstract network the
+  paper's analyses assume.  With :class:`~repro.sim.latency.FixedLatency`
+  it is bit-identical to the pre-fabric machine (enforced differentially
+  by :mod:`repro.sim.fuzz`).
+* :class:`~repro.sim.net.topology.TopologyFabric` — routes each message
+  over an explicit :mod:`repro.topology` topology, charging per-hop
+  delay so the unloaded flight time matches
+  :mod:`repro.topology.unloaded` and never exceeds ``L``.
+* :class:`~repro.sim.net.contention.ContentionFabric` — adds finite
+  per-link capacity with FIFO link queues; offered load past saturation
+  shows the §5.3 knee, reported as ``NetStall`` excess rather than
+  silently folded into flight time (the model deliberately excludes
+  saturated operation; the fabric makes the excursion observable).
+* :class:`~repro.sim.net.faulty.FaultyFabric` — a decorator injecting
+  seeded drop/duplicate/extra-delay faults, paired with the machine's
+  sender-side timeout-and-retry protocol, for robustness testing.
+
+Invariants every fabric must keep (checked by
+:func:`repro.sim.validate.validate_schedule` with ``fabric=``):
+
+1. ``unloaded(src, dst) <= bound`` for every pair, and the machine
+   refuses a fabric whose ``bound`` exceeds its ``L`` — so below
+   saturation the LogP clause *flight* ``<= L`` holds on every fabric;
+2. for a deterministic fabric, every delivered message satisfies
+   ``arrive - inject == unloaded(src, dst) + net_stall`` exactly
+   (hop-consistent delivery);
+3. ``net_stall >= 0``, and it is nonzero only when the message queued
+   inside the network.
+
+Observability (per-link utilization, queue-depth high-water marks) is
+*trace-gated*: fabrics only collect it when the machine attached them
+with ``trace=True``, so the untraced hot path stays fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable
+
+import numpy as np
+
+from ..latency import FixedLatency, LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..engine import Engine
+
+__all__ = ["Fabric", "FabricReport", "LatencyFabric"]
+
+
+@dataclass(slots=True)
+class FabricReport:
+    """What one run moved through the fabric.
+
+    Per-link maps are keyed by directed link id — ``(node, node)``
+    tuples for topology fabrics — and are only populated on traced runs
+    of fabrics that track links; uncontended fabrics report totals only.
+    """
+
+    fabric: str
+    messages: int
+    net_stall_total: float
+    net_stall_max: float
+    link_busy: dict[Hashable, float] = field(default_factory=dict)
+    link_messages: dict[Hashable, int] = field(default_factory=dict)
+    queue_high_water: dict[Hashable, int] = field(default_factory=dict)
+
+    @property
+    def links_used(self) -> int:
+        return len(self.link_busy)
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Deepest FIFO any link reached (0 when nothing ever queued)."""
+        return max(self.queue_high_water.values(), default=0)
+
+    def utilization(self, makespan: float) -> dict[Hashable, float]:
+        """Per-link busy fraction of the run (``busy_time / makespan``)."""
+        if makespan <= 0:
+            return {link: 0.0 for link in self.link_busy}
+        return {
+            link: busy / makespan for link, busy in self.link_busy.items()
+        }
+
+    def utilization_histogram(
+        self, makespan: float, bins: int = 10
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Histogram of per-link utilizations over ``[0, 1]``.
+
+        The §5.3 diagnostic: a healthy run has every link well below 1;
+        a saturated run piles links into the top bin.  Returns
+        ``(counts, bin_edges)`` as :func:`numpy.histogram` does.
+        """
+        util = list(self.utilization(makespan).values())
+        return np.histogram(util, bins=bins, range=(0.0, 1.0))
+
+
+class Fabric:
+    """Message transport between injection and arrival.
+
+    Subclasses set :attr:`bound` (the maximum *unloaded* flight time —
+    the machine refuses a fabric whose bound exceeds its ``L``) and
+    implement :meth:`submit`.  :attr:`deterministic` declares that
+    :meth:`unloaded` predicts the uncontended flight exactly, which
+    enables the validator's hop-consistency clause; :attr:`lossy` marks
+    fault-injecting fabrics the machine must run its retry protocol
+    over.
+    """
+
+    #: Maximum unloaded flight time; must be ``<= L`` of the machine.
+    bound: float = 0.0
+    #: ``unloaded()`` is the exact uncontended flight (enables the
+    #: validator's hop-consistency check).
+    deterministic: bool = False
+    #: Fault-injecting fabric: the machine must use submit_lossy() and
+    #: its timeout-and-retry protocol (see repro.sim.net.faulty).
+    lossy: bool = False
+
+    def submit(self, src: int, dst: int, t: float) -> tuple[float, float]:
+        """Accept a message injected at ``t``; return
+        ``(arrival_time, net_stall)``.
+
+        ``net_stall`` is the queueing excess over the unloaded flight —
+        always 0 for uncontended fabrics.  Calls arrive in nondecreasing
+        ``t`` (the machine submits at injection events, which the engine
+        dispatches in time order), which is what lets stateful fabrics
+        resolve FIFO link contention deterministically at submit time.
+        """
+        raise NotImplementedError
+
+    def unloaded(self, src: int, dst: int) -> float:
+        """Uncontended flight time for the pair (exact when
+        :attr:`deterministic`, an upper bound otherwise)."""
+        return self.bound
+
+    def attach(self, engine: "Engine", P: int, trace: bool) -> None:
+        """Called by the machine at the start of every run, before any
+        submit.  ``engine`` lets stateful fabrics schedule their own
+        bookkeeping events; ``trace`` gates observability collection."""
+
+    def reset(self) -> None:
+        """Restore initial state (queues, RNG streams) for a rerun."""
+
+    def report(self) -> FabricReport:
+        """Summarize the traffic of the last run.
+
+        Raises:
+            ValueError: if the run was untraced and this fabric only
+                collects its statistics under tracing.
+        """
+        raise NotImplementedError
+
+
+class LatencyFabric(Fabric):
+    """The src/dst-agnostic fabric: flight times from a
+    :class:`~repro.sim.latency.LatencyModel`.
+
+    This is exactly the network the machine had before the fabric layer
+    existed; with :class:`~repro.sim.latency.FixedLatency` the machine
+    bypasses :meth:`submit` entirely (the constant is inlined into the
+    injection hot path), so the refactor costs the untraced fast path
+    nothing — and the fuzz harness pins the schedules bit-identical.
+    """
+
+    def __init__(self, model: LatencyModel) -> None:
+        self.model = model
+        self.bound = model.L
+        self.deterministic = type(model) is FixedLatency
+        self._messages = 0
+        self._traced = False
+
+    def submit(self, src: int, dst: int, t: float) -> tuple[float, float]:
+        if self._traced:
+            self._messages += 1
+        return t + self.model.draw(src, dst), 0.0
+
+    def unloaded(self, src: int, dst: int) -> float:
+        return self.model.L
+
+    def attach(self, engine: "Engine", P: int, trace: bool) -> None:
+        self._traced = trace
+        self._messages = 0
+
+    def reset(self) -> None:
+        self.model.reset()
+        self._messages = 0
+
+    def report(self) -> FabricReport:
+        return FabricReport(
+            fabric=f"LatencyFabric({type(self.model).__name__})",
+            messages=self._messages,
+            net_stall_total=0.0,
+            net_stall_max=0.0,
+        )

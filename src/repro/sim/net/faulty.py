@@ -1,0 +1,167 @@
+"""Fault-injecting fabric decorator for robustness testing.
+
+Real networks drop, duplicate and delay packets; LogP abstracts all of
+that away behind reliable delivery ``<= L``.  :class:`FaultyFabric`
+wraps any inner fabric and injects seeded faults at submit time so the
+machine's sender-side timeout-and-retry protocol (activated
+automatically for ``lossy`` fabrics, see
+:class:`repro.sim.machine.LogPMachine`) can be exercised under every
+collective and fuzz family:
+
+* **drop** — the message vanishes in the network (no arrival);
+* **duplicate** — a second copy arrives after an extra seeded delay;
+* **delay** — the single copy arrives late, past the inner fabric's
+  unloaded time (and possibly past the sender's retry timeout, which
+  then produces a retransmission *and* a late original — the classic
+  duplicate-generation path ARQ protocols must dedup).
+
+The machine's protocol: every logical message keeps its sequence number
+across retransmissions; the receiver's network interface delivers the
+first copy of each sequence number and discards the rest; each delivery
+is acknowledged over a reliable zero-overhead control channel (ack
+flight = the inner fabric's bound); a sender that has not been acked
+``retry_timeout`` cycles after injection resubmits, up to
+``max_retries`` times.  Delivery therefore stays *exactly-once* in
+program order per pair — the collectives run unmodified — while the
+trace shows retries, drops and suppressed duplicates
+(``MachineResult.extras["net_faults"]``).
+
+A lossy run deliberately steps outside the LogP contract: end-to-end
+times are unbounded (retries), so the machine disables the capacity
+constraint (retransmissions happen below the model's capacity
+accounting) and traces from lossy runs are not semantically validated
+against ``flight <= L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .fabric import Fabric, FabricReport
+
+__all__ = ["FaultyFabric", "LossyOutcome"]
+
+
+@dataclass(frozen=True, slots=True)
+class LossyOutcome:
+    """What the faulty network did to one submitted copy.
+
+    ``deliveries`` holds zero (dropped), one, or two (duplicated)
+    absolute arrival times; ``net_stall`` is the inner fabric's
+    queueing excess for the underlying flight.
+    """
+
+    deliveries: tuple[float, ...]
+    net_stall: float
+    dropped: bool
+    duplicated: bool
+    delayed: bool
+
+
+class FaultyFabric(Fabric):
+    """Decorate ``inner`` with seeded drop/duplicate/delay faults.
+
+    Args:
+        inner: the fabric that computes the underlying flight times.
+        drop: probability a submitted copy is lost entirely.
+        duplicate: probability a delivered copy is accompanied by a
+            second, later copy.
+        delay: probability a delivered copy is held back by an extra
+            exponential delay.
+        delay_scale: mean of the extra delay (and of the duplicate
+            copy's lag), in cycles; defaults to the inner bound (so a
+            delayed copy typically misses the LogP window).
+        seed: seed of the fabric's dedicated fault stream.
+    """
+
+    lossy = True
+
+    def __init__(
+        self,
+        inner: Fabric,
+        *,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        delay: float = 0.0,
+        delay_scale: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        for name, p in (("drop", drop), ("duplicate", duplicate), ("delay", delay)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if inner.lossy:
+            raise ValueError("cannot stack FaultyFabric on a lossy fabric")
+        self.inner = inner
+        self.bound = inner.bound
+        self.drop = drop
+        self.duplicate = duplicate
+        self.delay = delay
+        self.delay_scale = (
+            delay_scale if delay_scale is not None else max(inner.bound, 1.0)
+        )
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._drops = 0
+        self._duplicates = 0
+        self._delays = 0
+
+    def submit(self, src: int, dst: int, t: float) -> tuple[float, float]:
+        raise TypeError(
+            "FaultyFabric is lossy: delivery is not guaranteed, so the "
+            "machine must drive it through submit_lossy() and its "
+            "timeout-and-retry protocol"
+        )
+
+    def submit_lossy(self, src: int, dst: int, t: float) -> LossyOutcome:
+        """Submit one copy (initial send or retransmission)."""
+        arrive, net_stall = self.inner.submit(src, dst, t)
+        rng = self._rng
+        if self.drop and rng.random() < self.drop:
+            self._drops += 1
+            return LossyOutcome((), net_stall, True, False, False)
+        delayed = bool(self.delay) and rng.random() < self.delay
+        if delayed:
+            self._delays += 1
+            arrive += float(rng.exponential(self.delay_scale))
+        deliveries = [arrive]
+        duplicated = bool(self.duplicate) and rng.random() < self.duplicate
+        if duplicated:
+            self._duplicates += 1
+            deliveries.append(arrive + float(rng.exponential(self.delay_scale)))
+        return LossyOutcome(tuple(deliveries), net_stall, False, duplicated, delayed)
+
+    def unloaded(self, src: int, dst: int) -> float:
+        return self.inner.unloaded(src, dst)
+
+    def attach(self, engine, P: int, trace: bool) -> None:
+        self.inner.attach(engine, P, trace)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._rng = np.random.default_rng(self._seed)
+        self._drops = 0
+        self._duplicates = 0
+        self._delays = 0
+
+    @property
+    def fault_counts(self) -> dict[str, int]:
+        """Faults injected since the last reset."""
+        return {
+            "drops": self._drops,
+            "duplicates": self._duplicates,
+            "delays": self._delays,
+        }
+
+    def report(self) -> FabricReport:
+        inner = self.inner.report()
+        return FabricReport(
+            fabric=f"FaultyFabric({inner.fabric})",
+            messages=inner.messages,
+            net_stall_total=inner.net_stall_total,
+            net_stall_max=inner.net_stall_max,
+            link_busy=inner.link_busy,
+            link_messages=inner.link_messages,
+            queue_high_water=inner.queue_high_water,
+        )

@@ -1,0 +1,311 @@
+"""Topology-routed fabric: hop-charged flight over a §5.1 network.
+
+:class:`TopologyFabric` routes every message over an explicit
+:mod:`repro.topology` topology using the deterministic routers of
+:mod:`repro.topology.routing` (e-cube for hypercubes, dimension-order
+for meshes and tori, up-down for fat trees, stage-forwarding for
+butterflies) and charges the §5.2 unloaded network time per message::
+
+    flight(src, dst) = serialization + hops(src, dst) * hop_delay
+
+— ``ceil(M/w)`` channel-width serialization plus ``H*r`` per-node
+routing delay, exactly the network portion of
+:func:`repro.topology.unloaded.unloaded_time` (the ``Tsnd``/``Trcv``
+overheads are the machine's ``o``, not the fabric's business).  The
+fabric's :attr:`bound` is the diameter flight, so calibrating
+``hop_delay = (L - serialization) / diameter`` (what the ``L=`` keyword
+does) makes the worst-case route take exactly ``L`` and every other
+route strictly less — the LogP reading of ``L`` as an upper bound whose
+slack is topology-dependent distance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence
+
+from ...topology.routing import (
+    butterfly_route,
+    fat_tree_route,
+    grid_route,
+    hypercube_route,
+)
+from ...topology.topologies import (
+    Butterfly,
+    FatTree,
+    Hypercube,
+    Topology,
+    _Grid,
+)
+from .fabric import Fabric, FabricReport
+
+__all__ = ["TopologyFabric", "router_for", "ring_router"]
+
+#: ``router(src, dst)`` -> node sequence from src to dst inclusive.
+Router = Callable[[int, int], Sequence[Hashable]]
+
+
+def ring_router(P: int) -> Router:
+    """Dimension-order router on a ``P``-node ring (1-D torus).
+
+    The ring is not in the paper's §5.1 table, but it is the one
+    topology defined for *every* ``P >= 2``, which makes it the fabric
+    the fuzz sweep can route arbitrary generated cases over.
+    """
+
+    def route(src: int, dst: int) -> list[int]:
+        return [c[0] for c in grid_route((src,), (dst,), (P,), wrap=True)]
+
+    return route
+
+
+def router_for(topology: Topology) -> Router:
+    """The deterministic router for a :mod:`repro.topology` topology.
+
+    Ranks are identified with nodes (hypercube), leaves (fat tree),
+    entry/exit rows (butterfly) or row-major grid coordinates
+    (meshes/tori); routes are the node sequences of
+    :mod:`repro.topology.routing`.
+    """
+    if isinstance(topology, Hypercube):
+        import math
+
+        dim = int(math.log2(topology.P))
+        return lambda src, dst: hypercube_route(src, dst, dim)
+    if isinstance(topology, Butterfly):
+        import math
+
+        dim = int(math.log2(topology.P))
+        return lambda src, dst: butterfly_route(src, dst, dim)
+    if isinstance(topology, FatTree):
+        height = topology.height
+        return lambda src, dst: fat_tree_route(src, dst, height)
+    if isinstance(topology, _Grid):
+        side, dims, wrap = topology.side, topology.dims, topology.wrap
+        shape = (side,) * dims
+
+        def to_coords(rank: int) -> tuple[int, ...]:
+            coords = []
+            for _ in range(dims):
+                coords.append(rank % side)
+                rank //= side
+            return tuple(reversed(coords))
+
+        return lambda src, dst: grid_route(
+            to_coords(src), to_coords(dst), shape, wrap=wrap
+        )
+    raise TypeError(
+        f"no router known for topology {type(topology).__name__}; pass an "
+        "explicit router to TopologyFabric"
+    )
+
+
+class TopologyFabric(Fabric):
+    """Route messages over an explicit topology, charging per-hop delay.
+
+    Args:
+        P: processor count (ranks ``0..P-1`` are the routable sources
+            and destinations).
+        router: ``router(src, dst)`` -> node sequence, src to dst
+            inclusive (see :func:`router_for` / :func:`ring_router`).
+        hop_delay: cycles per link crossed (§5.2's per-node delay ``r``).
+        serialization: fixed per-message cycles (§5.2's ``ceil(M/w)``
+            channel-width term).
+        max_hops: longest route the router can produce (the diameter).
+            ``None`` measures it by routing every ordered pair — fine
+            for the simulator's processor counts, quadratic in ``P``.
+        name: label for reports.
+    """
+
+    deterministic = True
+
+    def __init__(
+        self,
+        P: int,
+        router: Router,
+        *,
+        hop_delay: float = 1.0,
+        serialization: float = 0.0,
+        max_hops: int | None = None,
+        name: str = "",
+    ) -> None:
+        if P < 2:
+            raise ValueError(f"a routable fabric needs P >= 2, got {P}")
+        if hop_delay < 0 or serialization < 0:
+            raise ValueError("hop_delay and serialization must be >= 0")
+        self.P = P
+        self.router = router
+        self.hop_delay = hop_delay
+        self.serialization = serialization
+        self.name = name or type(self).__name__
+        # Route cache: (src, dst) -> tuple of directed link ids.  Routes
+        # are deterministic, so caching cannot change behaviour.
+        self._links: dict[tuple[int, int], tuple] = {}
+        if max_hops is None:
+            max_hops = max(
+                len(self._route_links(s, d))
+                for s in range(P)
+                for d in range(P)
+                if s != d
+            )
+        self.max_hops = max_hops
+        self.bound = serialization + max_hops * hop_delay
+        self._traced = False
+        self._messages = 0
+        self._net_stall_total = 0.0
+        self._net_stall_max = 0.0
+        self._link_busy: dict[Hashable, float] = {}
+        self._link_msgs: dict[Hashable, int] = {}
+
+    # -- construction helpers ------------------------------------------
+
+    @classmethod
+    def for_topology(
+        cls,
+        topology: Topology,
+        *,
+        hop_delay: float | None = None,
+        serialization: float = 0.0,
+        L: float | None = None,
+        **kwargs,
+    ) -> "TopologyFabric":
+        """Build a fabric over a :mod:`repro.topology` topology.
+
+        Either give ``hop_delay`` directly, or give ``L`` to calibrate
+        ``hop_delay = (L - serialization) / diameter`` so the diameter
+        route takes exactly ``L`` (``bound == L``).
+        """
+        diameter = topology.diameter()
+        hop_delay = cls._calibrate(hop_delay, serialization, L, diameter)
+        return cls(
+            topology.P,
+            router_for(topology),
+            hop_delay=hop_delay,
+            serialization=serialization,
+            max_hops=diameter,
+            name=f"{cls.__name__}[{topology.name}]",
+            **kwargs,
+        )
+
+    @classmethod
+    def ring(
+        cls,
+        P: int,
+        *,
+        hop_delay: float | None = None,
+        serialization: float = 0.0,
+        L: float | None = None,
+        **kwargs,
+    ) -> "TopologyFabric":
+        """A ``P``-node ring fabric (defined for every ``P >= 2``)."""
+        diameter = max(1, P // 2)
+        hop_delay = cls._calibrate(hop_delay, serialization, L, diameter)
+        return cls(
+            P,
+            ring_router(P),
+            hop_delay=hop_delay,
+            serialization=serialization,
+            max_hops=diameter,
+            name=f"{cls.__name__}[Ring{P}]",
+            **kwargs,
+        )
+
+    @staticmethod
+    def _calibrate(
+        hop_delay: float | None,
+        serialization: float,
+        L: float | None,
+        diameter: int,
+    ) -> float:
+        if hop_delay is not None:
+            if L is not None:
+                raise ValueError("give hop_delay or L, not both")
+            return hop_delay
+        if L is None:
+            return 1.0
+        if L < serialization:
+            raise ValueError(
+                f"cannot calibrate: L={L} is below serialization="
+                f"{serialization}"
+            )
+        return (L - serialization) / max(1, diameter)
+
+    # -- routing -------------------------------------------------------
+
+    def _route_links(self, src: int, dst: int) -> tuple:
+        """Directed link ids of the pair's route, cached."""
+        key = (src, dst)
+        links = self._links.get(key)
+        if links is None:
+            nodes = self.router(src, dst)
+            links = tuple(zip(nodes, nodes[1:]))
+            if not links:
+                raise ValueError(
+                    f"router produced an empty route for {src}->{dst}"
+                )
+            self._links[key] = links
+        return links
+
+    def hops(self, src: int, dst: int) -> int:
+        """Links crossed by the pair's route."""
+        return len(self._route_links(src, dst))
+
+    # -- Fabric interface ----------------------------------------------
+
+    def unloaded(self, src: int, dst: int) -> float:
+        return self.serialization + self.hops(src, dst) * self.hop_delay
+
+    def submit(self, src: int, dst: int, t: float) -> tuple[float, float]:
+        links = self._route_links(src, dst)
+        if self._traced:
+            self._account(links, 0.0)
+        return t + self.serialization + len(links) * self.hop_delay, 0.0
+
+    def _account(self, links: tuple, net_stall: float) -> None:
+        self._messages += 1
+        if net_stall > 0.0:
+            self._net_stall_total += net_stall
+            if net_stall > self._net_stall_max:
+                self._net_stall_max = net_stall
+        busy, msgs, hop = self._link_busy, self._link_msgs, self.hop_delay
+        for link in links:
+            busy[link] = busy.get(link, 0.0) + hop
+            msgs[link] = msgs.get(link, 0) + 1
+
+    def attach(self, engine, P: int, trace: bool) -> None:
+        if P > self.P:
+            raise ValueError(
+                f"machine has {P} processors but the fabric routes only "
+                f"{self.P}"
+            )
+        self._traced = trace
+        self._clear_stats()
+
+    def _clear_stats(self) -> None:
+        self._messages = 0
+        self._net_stall_total = 0.0
+        self._net_stall_max = 0.0
+        self._link_busy = {}
+        self._link_msgs = {}
+
+    def reset(self) -> None:
+        self._clear_stats()
+
+    def report(self) -> FabricReport:
+        if not self._traced:
+            raise ValueError(
+                "fabric statistics are trace-gated: re-run the machine "
+                "with trace=True to collect a fabric report"
+            )
+        return FabricReport(
+            fabric=self.name,
+            messages=self._messages,
+            net_stall_total=self._net_stall_total,
+            net_stall_max=self._net_stall_max,
+            link_busy=dict(self._link_busy),
+            link_messages=dict(self._link_msgs),
+            queue_high_water=self._queue_high_water(),
+        )
+
+    def _queue_high_water(self) -> dict[Hashable, int]:
+        """Uncontended fabric: nothing ever queues."""
+        return {}

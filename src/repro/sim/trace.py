@@ -31,6 +31,7 @@ __all__ = [
     "receive_histogram",
     "StallEvent",
     "WakeupEvent",
+    "NetStallEvent",
     "StallReport",
     "stall_report",
 ]
@@ -186,6 +187,24 @@ class WakeupEvent:
     admitted: bool
 
 
+@dataclass(frozen=True, slots=True)
+class NetStallEvent:
+    """One message queued *inside* the network fabric.
+
+    Distinct from :class:`StallEvent`: a capacity stall blocks the
+    *sender* before injection (the LogP contract at work), while a net
+    stall is queueing excess the fabric charged *after* injection — time
+    a :class:`~repro.sim.net.ContentionFabric` message spent waiting for
+    busy links, beyond its unloaded flight.  ``stall`` is that excess in
+    cycles; the message's total flight is ``unloaded(src, dst) + stall``.
+    """
+
+    time: float
+    src: int
+    dst: int
+    stall: float
+
+
 @dataclass(slots=True)
 class StallReport:
     """Condensed causality picture of one run's capacity stalls.
@@ -202,6 +221,8 @@ class StallReport:
     wakeups: int
     admitted: int
     skipped: int
+    net_stalls: int = 0
+    net_stall_time: float = 0.0
     stalls_by_cause: dict[str, int] = field(default_factory=dict)
     stalls_by_dst: dict[int, int] = field(default_factory=dict)
     max_queue_by_dst: dict[int, int] = field(default_factory=dict)
@@ -215,7 +236,7 @@ class StallReport:
 
 
 def stall_report(
-    events: "list[StallEvent | WakeupEvent]",
+    events: "list[StallEvent | WakeupEvent | NetStallEvent]",
 ) -> StallReport:
     """Summarize a machine run's stall/wakeup feed.
 
@@ -226,6 +247,8 @@ def stall_report(
     Section 4.1.2.
     """
     stalls = wakeups = admitted = skipped = 0
+    net_stalls = 0
+    net_stall_time = 0.0
     by_cause: dict[str, int] = {}
     by_dst: dict[int, int] = {}
     depth: dict[int, int] = {}
@@ -233,7 +256,10 @@ def stall_report(
     # src -> dst of its currently-unresolved stall episode.
     parked: dict[int, int] = {}
     for ev in events:
-        if isinstance(ev, StallEvent):
+        if isinstance(ev, NetStallEvent):
+            net_stalls += 1
+            net_stall_time += ev.stall
+        elif isinstance(ev, StallEvent):
             stalls += 1
             by_cause[ev.cause] = by_cause.get(ev.cause, 0) + 1
             by_dst[ev.dst] = by_dst.get(ev.dst, 0) + 1
@@ -254,6 +280,8 @@ def stall_report(
         wakeups=wakeups,
         admitted=admitted,
         skipped=skipped,
+        net_stalls=net_stalls,
+        net_stall_time=net_stall_time,
         stalls_by_cause=by_cause,
         stalls_by_dst=by_dst,
         max_queue_by_dst=max_depth,

@@ -8,11 +8,16 @@ the model:
 2. consecutive SEND intervals at one processor start ``>= max(g, o)``
    apart; consecutive RECV intervals start ``>= g`` apart;
 3. every send/receive overhead interval lasts exactly ``o``;
-4. every message's network flight time is ``<= L`` (and exactly ``L``
+4. every message's network flight time — net of any fabric queueing
+   excess recorded as ``net_stall`` — is ``<= L`` (and exactly ``L``
    when the run was deterministic);
 5. the capacity constraint: reconstructing in-flight counts from the
    message records, no more than ``ceil(L/g)`` messages are ever
-   outstanding from one source or to one destination.
+   outstanding from one source or to one destination;
+6. with a deterministic fabric supplied, hop consistency: each flight
+   decomposes exactly as ``fabric.unloaded(src, dst) + net_stall``
+   (plus the ``(words-1)*G`` streaming term), i.e. the machine charged
+   precisely the fabric's routed distance plus reported queueing.
 
 The property-based tests run arbitrary random programs through the
 simulator and assert the trace validates — this is the core correctness
@@ -76,15 +81,22 @@ def validate_schedule(
     *,
     exact_latency: bool = False,
     check_capacity: bool = True,
+    fabric=None,
 ) -> ValidationReport:
     """Check a schedule against the LogP semantics of its parameters.
 
     Args:
         schedule: the trace to validate.
         exact_latency: require every flight time to equal ``L`` (true for
-            deterministic runs), not merely ``<= L``.
+            deterministic runs over the abstract network), not merely
+            ``<= L``.  Incompatible with topology fabrics, whose exact
+            flight is the distance-dependent ``fabric.unloaded``.
         check_capacity: verify the ``ceil(L/g)`` constraint (disable when
             validating an ablation run that turned the constraint off).
+        fabric: the :class:`~repro.sim.net.Fabric` the run used, if any.
+            When it is deterministic, every message's flight is checked
+            hop-consistent: ``arrive - inject == unloaded(src, dst) +
+            net_stall`` (plus streaming).
     """
     p = schedule.params
     report = ValidationReport()
@@ -94,6 +106,8 @@ def validate_schedule(
     _check_latency(schedule, p, report, exact=exact_latency)
     if check_capacity:
         _check_capacity(schedule, p, report)
+    if fabric is not None and fabric.deterministic:
+        _check_hop_consistency(schedule, p, fabric, report)
     return report
 
 
@@ -164,12 +178,23 @@ def _check_latency(
     for m in schedule.messages:
         flight = m.arrive - m.inject
         stream = (m.words - 1) * G
-        if flight > p.L + stream + _EPS:
+        if m.net_stall < -_EPS:
+            report.add(
+                "net-stall-negative",
+                m.src,
+                m.inject,
+                f"message {m.src}->{m.dst} recorded net_stall "
+                f"{m.net_stall} < 0",
+            )
+        # The LogP bound governs the *unloaded* flight; fabric queueing
+        # excess is accounted separately (and reported, not hidden).
+        if flight - m.net_stall > p.L + stream + _EPS:
             report.add(
                 "latency-bound",
                 m.src,
                 m.inject,
                 f"{m.words}-word message {m.src}->{m.dst} flew {flight} "
+                f"(net stall {m.net_stall}) "
                 f"> L + (words-1)G = {p.L + stream}",
             )
         if exact and abs(flight - (p.L + stream)) > _EPS:
@@ -187,6 +212,27 @@ def _check_latency(
                 m.send_start,
                 f"injection {m.inject} only {m.inject - m.send_start} after "
                 f"send start (o = {p.o})",
+            )
+
+
+def _check_hop_consistency(
+    schedule: Schedule, p: LogPParams, fabric, report: ValidationReport
+) -> None:
+    """Flight must equal the fabric's routed distance plus its reported
+    queueing excess — the delivery-time clause of the fabric contract."""
+    G = getattr(p, "G", 0.0) or 0.0
+    for m in schedule.messages:
+        flight = m.arrive - m.inject
+        stream = (m.words - 1) * G
+        expected = fabric.unloaded(m.src, m.dst) + m.net_stall + stream
+        if abs(flight - expected) > _EPS:
+            report.add(
+                "hop-consistency",
+                m.src,
+                m.inject,
+                f"message {m.src}->{m.dst} flew {flight}, expected "
+                f"unloaded {fabric.unloaded(m.src, m.dst)} + net_stall "
+                f"{m.net_stall} + stream {stream} = {expected}",
             )
 
 

@@ -1,0 +1,579 @@
+"""Tests for repro.sim.net: the pluggable network fabric layer.
+
+Covers the fabric contract (bound <= L, hop-consistent delivery,
+trace-gated observability), the bit-identical LatencyFabric guarantee,
+topology routing against repro.topology, contention queueing and
+NetStall accounting, the faulty-fabric retry protocol, and the
+LatencyModel.reset() contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LogPParams
+from repro.sim import (
+    Compute,
+    ContentionFabric,
+    FaultyFabric,
+    FixedLatency,
+    JitteredLatency,
+    LatencyFabric,
+    LatencyModel,
+    LogPMachine,
+    NetStallEvent,
+    Recv,
+    Send,
+    SimulationError,
+    TopologyFabric,
+    UniformLatency,
+    all_reduce,
+    binomial_broadcast,
+    validate_schedule,
+)
+from repro.sim.net import ring_router, router_for
+from repro.topology.topologies import (
+    Butterfly,
+    FatTree,
+    Hypercube,
+    Mesh2D,
+    Torus2D,
+)
+
+
+def params(L=8.0, o=1.0, g=2.0, P=4):
+    return LogPParams(L=L, o=o, g=g, P=P)
+
+
+def stream_prog(k, src=0, dst=1):
+    def prog(rank, P):
+        if rank == src:
+            for i in range(k):
+                yield Send(dst, payload=i)
+            return None
+        if rank == dst:
+            total = 0
+            for _ in range(k):
+                m = yield Recv()
+                total += m.payload
+            return total
+        return None
+        yield
+
+    return prog
+
+
+def flood_prog(k):
+    def prog(rank, P):
+        if rank == 0:
+            total = 0
+            for _ in range(k * (P - 1)):
+                m = yield Recv()
+                total += m.payload
+            return total
+        for i in range(k):
+            yield Send(0, payload=i)
+        return None
+
+    return prog
+
+
+# ----------------------------------------------------------------------
+# Fabric contract
+# ----------------------------------------------------------------------
+
+
+class TestFabricContract:
+    def test_fabric_bound_above_L_rejected(self):
+        fab = TopologyFabric.ring(4, hop_delay=5.0)  # bound = 2 * 5
+        with pytest.raises(ValueError, match="exceeds"):
+            LogPMachine(params(L=8.0), fabric=fab)
+
+    def test_latency_and_fabric_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            LogPMachine(
+                params(),
+                latency=FixedLatency(8.0),
+                fabric=LatencyFabric(FixedLatency(8.0)),
+            )
+
+    def test_default_fabric_is_latency_fabric(self):
+        m = LogPMachine(params())
+        assert isinstance(m.fabric, LatencyFabric)
+        assert type(m.fabric.model) is FixedLatency
+        assert m.fabric.bound == 8.0
+        assert m.fabric.deterministic
+
+    def test_machine_wider_than_fabric_rejected(self):
+        fab = TopologyFabric.ring(3, L=8.0)
+        machine = LogPMachine(params(P=4), fabric=fab)
+        with pytest.raises(ValueError, match="routes only"):
+            machine.run(stream_prog(1))
+
+    def test_unloaded_never_exceeds_bound(self):
+        for topo in (Hypercube(8), FatTree(16), Mesh2D(16), Torus2D(16)):
+            fab = TopologyFabric.for_topology(topo, L=12.0)
+            assert fab.bound <= 12.0 + 1e-12
+            worst = max(
+                fab.unloaded(s, d)
+                for s in range(topo.P)
+                for d in range(topo.P)
+                if s != d
+            )
+            assert worst == pytest.approx(fab.bound)
+
+    def test_result_carries_fabric(self):
+        fab = TopologyFabric.ring(4, L=8.0)
+        res = LogPMachine(params(), fabric=fab).run(stream_prog(3))
+        assert res.fabric is fab
+
+
+# ----------------------------------------------------------------------
+# LatencyFabric: bit-identical to the bare machine
+# ----------------------------------------------------------------------
+
+
+class TestLatencyFabric:
+    @pytest.mark.parametrize(
+        "model_fn",
+        [
+            lambda: FixedLatency(8.0),
+            lambda: UniformLatency(8.0, lo_frac=0.25, seed=7),
+            lambda: JitteredLatency(8.0, scale_frac=0.3, seed=7),
+        ],
+        ids=["fixed", "uniform", "jittered"],
+    )
+    def test_bit_identical_to_bare_machine(self, model_fn):
+        prog = flood_prog(4)
+        bare = LogPMachine(params(), latency=model_fn()).run(prog)
+        wrapped = LogPMachine(
+            params(), fabric=LatencyFabric(model_fn())
+        ).run(prog)
+        assert wrapped.makespan == bare.makespan
+        assert wrapped.total_stall_time == bare.total_stall_time
+        assert wrapped.schedule.messages == bare.schedule.messages
+        for rank in bare.schedule.timelines:
+            assert (
+                wrapped.schedule.timelines[rank].intervals
+                == bare.schedule.timelines[rank].intervals
+            )
+
+    def test_report_counts_messages_on_fixed_fast_path(self):
+        res = LogPMachine(params()).run(flood_prog(3))
+        rep = res.fabric_report()
+        assert rep.messages == res.total_messages == 9
+        assert rep.net_stall_total == 0.0
+
+    def test_report_counts_messages_off_fast_path(self):
+        fab = LatencyFabric(UniformLatency(8.0, seed=3))
+        res = LogPMachine(params(), fabric=fab).run(flood_prog(3))
+        assert res.fabric_report().messages == 9
+
+
+# ----------------------------------------------------------------------
+# TopologyFabric: routed, hop-charged flight
+# ----------------------------------------------------------------------
+
+
+class TestTopologyFabric:
+    def test_hops_match_topology_routers(self):
+        topo = Hypercube(8)
+        fab = TopologyFabric.for_topology(topo, hop_delay=2.0)
+        # Hypercube distance is the Hamming distance.
+        assert fab.hops(0, 7) == 3
+        assert fab.hops(0, 1) == 1
+        assert fab.unloaded(0, 7) == 6.0
+        assert fab.unloaded(0, 1) == 2.0
+
+    def test_calibration_makes_diameter_exactly_L(self):
+        topo = FatTree(16)
+        fab = TopologyFabric.for_topology(topo, L=10.0)
+        assert fab.bound == pytest.approx(10.0)
+        assert fab.unloaded(0, 15) == pytest.approx(10.0)
+        assert fab.unloaded(0, 1) < 10.0
+
+    def test_serialization_term(self):
+        fab = TopologyFabric.ring(4, hop_delay=1.0, serialization=2.5)
+        assert fab.unloaded(0, 1) == pytest.approx(3.5)
+        assert fab.bound == pytest.approx(2.5 + 2 * 1.0)
+
+    def test_calibrate_rejects_both_or_bad_L(self):
+        with pytest.raises(ValueError, match="not both"):
+            TopologyFabric.ring(4, hop_delay=1.0, L=8.0)
+        with pytest.raises(ValueError, match="below serialization"):
+            TopologyFabric.ring(4, serialization=9.0, L=8.0)
+
+    @pytest.mark.parametrize(
+        "topo_fn",
+        [
+            lambda: Hypercube(4),
+            lambda: FatTree(4),
+            lambda: Butterfly(4),
+            lambda: Mesh2D(4),
+            lambda: Torus2D(4),
+        ],
+        ids=["hypercube", "fattree", "butterfly", "mesh", "torus"],
+    )
+    def test_hop_consistent_delivery_on_paper_topologies(self, topo_fn):
+        topo = topo_fn()
+        fab = TopologyFabric.for_topology(topo, L=8.0)
+        res = LogPMachine(params(P=topo.P), fabric=fab).run(flood_prog(2))
+        validate_schedule(res.schedule, fabric=fab).raise_if_invalid()
+        for m in res.schedule.messages:
+            assert m.latency == pytest.approx(fab.unloaded(m.src, m.dst))
+            assert m.latency <= 8.0 + 1e-9
+
+    def test_router_for_unknown_topology_raises(self):
+        class Weird:
+            pass
+
+        with pytest.raises(TypeError, match="no router known"):
+            router_for(Weird())
+
+    def test_ring_router_wraps(self):
+        route = ring_router(6)
+        assert route(0, 5) == [0, 5]  # one wrap hop, not five forward
+        assert route(1, 3) == [1, 2, 3]
+
+    def test_empty_route_rejected(self):
+        fab = TopologyFabric(4, lambda s, d: [s], max_hops=1)
+        with pytest.raises(ValueError, match="empty route"):
+            fab.unloaded(0, 1)
+
+
+# ----------------------------------------------------------------------
+# ContentionFabric: FIFO link queues and NetStall accounting
+# ----------------------------------------------------------------------
+
+
+class TestContentionFabric:
+    def test_back_to_back_messages_queue_on_shared_link(self):
+        # P=2 ring: both directions one hop.  g=0, capacity unbounded:
+        # sender 0 injects k messages at one instant apart less than the
+        # service time, so each queues behind the previous.
+        p = LogPParams(L=4.0, o=1.0, g=0.0, P=2)
+        fab = ContentionFabric.ring(2, hop_delay=4.0)
+        res = LogPMachine(p, fabric=fab).run(stream_prog(3))
+        validate_schedule(
+            res.schedule, fabric=fab, check_capacity=False
+        ).raise_if_invalid()
+        msgs = sorted(res.schedule.messages, key=lambda m: m.inject)
+        assert msgs[0].net_stall == pytest.approx(0.0)
+        assert msgs[1].net_stall > 0.0
+        assert msgs[2].net_stall > msgs[1].net_stall
+        for m in msgs:
+            assert m.latency == pytest.approx(4.0 + m.net_stall)
+            assert m.unloaded_latency == pytest.approx(4.0)
+
+    def test_net_stall_events_and_report(self):
+        p = LogPParams(L=4.0, o=1.0, g=0.0, P=2)
+        fab = ContentionFabric.ring(2, hop_delay=4.0)
+        res = LogPMachine(p, fabric=fab).run(stream_prog(3))
+        net_events = [
+            ev for ev in res.stall_events if isinstance(ev, NetStallEvent)
+        ]
+        assert len(net_events) == 2
+        assert all(ev.stall > 0 for ev in net_events)
+        report = res.stall_report()
+        assert report.net_stalls == 2
+        assert report.net_stall_time == pytest.approx(
+            sum(ev.stall for ev in net_events)
+        )
+        fab_rep = res.fabric_report()
+        assert fab_rep.net_stall_total == pytest.approx(
+            report.net_stall_time
+        )
+        assert fab_rep.net_stall_max > 0
+        assert fab_rep.link_messages[(0, 1)] == 3
+        assert fab_rep.link_busy[(0, 1)] == pytest.approx(12.0)
+        assert fab_rep.max_queue_depth >= 1
+        assert fab_rep.queue_high_water[(0, 1)] >= 1
+
+    def test_uncontended_run_has_zero_net_stall(self):
+        # Paced at g = hop service time, the single link never queues.
+        p = LogPParams(L=4.0, o=1.0, g=4.0, P=2)
+        fab = ContentionFabric.ring(2, hop_delay=4.0)
+        res = LogPMachine(p, fabric=fab).run(stream_prog(5))
+        validate_schedule(res.schedule, fabric=fab).raise_if_invalid()
+        assert all(m.net_stall == 0.0 for m in res.schedule.messages)
+        assert res.fabric_report().max_queue_depth == 0
+
+    def test_utilization_histogram(self):
+        p = LogPParams(L=4.0, o=1.0, g=0.0, P=2)
+        fab = ContentionFabric.ring(2, hop_delay=4.0)
+        res = LogPMachine(p, fabric=fab).run(stream_prog(3))
+        rep = res.fabric_report()
+        util = rep.utilization(res.makespan)
+        assert 0.0 < util[(0, 1)] <= 1.0
+        counts, edges = rep.utilization_histogram(res.makespan, bins=4)
+        assert counts.sum() == rep.links_used
+        assert len(edges) == 5
+
+    def test_trace_gating_does_not_change_semantics(self):
+        p = LogPParams(L=6.0, o=1.0, g=1.0, P=4)
+        fab = ContentionFabric.ring(4, L=6.0)
+        prog = flood_prog(4)
+        traced = LogPMachine(p, fabric=fab, trace=True).run(prog)
+        bare = LogPMachine(p, fabric=fab, trace=False).run(prog)
+        assert bare.makespan == traced.makespan
+        assert bare.total_stall_time == traced.total_stall_time
+
+    def test_untraced_fabric_report_raises(self):
+        fab = ContentionFabric.ring(4, L=8.0)
+        res = LogPMachine(params(), fabric=fab, trace=False).run(
+            stream_prog(2)
+        )
+        with pytest.raises(ValueError, match="trace"):
+            res.fabric_report()
+
+    def test_rerun_on_same_machine_is_identical(self):
+        p = LogPParams(L=6.0, o=1.0, g=1.0, P=4)
+        machine = LogPMachine(p, fabric=ContentionFabric.ring(4, L=6.0))
+        first = machine.run(flood_prog(3))
+        second = machine.run(flood_prog(3))
+        assert second.makespan == first.makespan
+        assert second.schedule.messages == first.schedule.messages
+
+
+# ----------------------------------------------------------------------
+# FaultyFabric: drop/duplicate/delay and the retry protocol
+# ----------------------------------------------------------------------
+
+
+class TestFaultyFabric:
+    def faulty(self, P=4, L=8.0, **faults):
+        return FaultyFabric(TopologyFabric.ring(P, L=L), **faults)
+
+    def test_no_faults_delivers_everything_exactly_once(self):
+        fab = self.faulty()
+        res = LogPMachine(params(), fabric=fab).run(flood_prog(3))
+        assert res.total_messages == 9
+        assert res.value(0) == 3 * (0 + 1 + 2)
+        assert res.extras["net_faults"]["retries"] == 0
+        assert res.extras["net_faults"]["drops"] == 0
+
+    def test_drops_are_retried_and_values_survive(self):
+        fab = self.faulty(drop=0.4, seed=11)
+        res = LogPMachine(params(), fabric=fab).run(flood_prog(4))
+        faults = res.extras["net_faults"]
+        assert faults["drops"] > 0
+        assert faults["retries"] >= faults["drops"]
+        assert res.value(0) == 3 * (0 + 1 + 2 + 3)
+
+    def test_duplicates_are_suppressed(self):
+        fab = self.faulty(duplicate=0.9, seed=5)
+        res = LogPMachine(params(), fabric=fab).run(flood_prog(4))
+        faults = res.extras["net_faults"]
+        assert faults["duplicates"] > 0
+        assert faults["duplicates_suppressed"] > 0
+        assert res.value(0) == 3 * (0 + 1 + 2 + 3)
+
+    def test_delays_past_timeout_generate_retries_not_duplicates(self):
+        fab = self.faulty(delay=0.6, delay_scale=200.0, seed=3)
+        res = LogPMachine(
+            params(), fabric=fab, retry_timeout=30.0
+        ).run(flood_prog(2))
+        # Program-visible delivery stays exactly-once regardless of how
+        # many copies raced.
+        assert res.value(0) == 3 * (0 + 1)
+
+    def test_collectives_survive_a_hostile_network(self):
+        p = LogPParams(L=8.0, o=1.0, g=2.0, P=8)
+        fab = FaultyFabric(
+            TopologyFabric.ring(8, L=8.0),
+            drop=0.25,
+            duplicate=0.2,
+            delay=0.15,
+            seed=42,
+        )
+
+        def prog(rank, P):
+            value = yield from binomial_broadcast(
+                rank, P, 99 if rank == 0 else None
+            )
+            total = yield from all_reduce(rank, P, rank)
+            return (value, total)
+
+        res = LogPMachine(p, fabric=fab).run(prog)
+        expect_total = sum(range(8))
+        for rank in range(8):
+            assert res.value(rank) == (99, expect_total)
+        assert res.extras["net_faults"]["drops"] > 0
+
+    def test_total_loss_exhausts_retries(self):
+        fab = self.faulty(drop=1.0)
+        machine = LogPMachine(
+            params(), fabric=fab, retry_timeout=10.0, max_retries=2
+        )
+        with pytest.raises(SimulationError, match="unacked"):
+            machine.run(stream_prog(1))
+
+    def test_submit_requires_lossy_protocol(self):
+        with pytest.raises(TypeError, match="submit_lossy"):
+            self.faulty().submit(0, 1, 0.0)
+
+    def test_probability_validation_and_stacking(self):
+        with pytest.raises(ValueError, match="probability"):
+            self.faulty(drop=1.5)
+        with pytest.raises(ValueError, match="stack"):
+            FaultyFabric(self.faulty())
+
+    def test_reset_replays_the_same_faults(self):
+        fab = self.faulty(drop=0.3, duplicate=0.3, seed=9)
+        machine = LogPMachine(params(), fabric=fab)
+        first = machine.run(flood_prog(4))
+        second = machine.run(flood_prog(4))
+        assert second.makespan == first.makespan
+        assert second.extras["net_faults"] == first.extras["net_faults"]
+
+    def test_report_wraps_inner(self):
+        fab = self.faulty()
+        res = LogPMachine(params(), fabric=fab).run(stream_prog(2))
+        rep = res.fabric_report()
+        assert rep.fabric.startswith("FaultyFabric(")
+        assert rep.messages >= 2
+
+
+# ----------------------------------------------------------------------
+# Saturation: the §5.3 knee inside the machine (smoke; the full
+# cross-check against topology.saturation lives in benchmarks/)
+# ----------------------------------------------------------------------
+
+
+class TestSaturationSmoke:
+    def test_flood_queues_where_disjoint_shift_does_not(self):
+        fab = ContentionFabric.ring(6, L=6.0)  # hop service = 2 cycles
+        # Hot: an unpaced many-to-one flood funnels every sender over
+        # the two links into rank 0 — queueing is unavoidable.
+        hot = LogPMachine(
+            LogPParams(L=6.0, o=0.5, g=0.0, P=6),
+            fabric=fab,
+            enforce_capacity=False,
+        ).run(flood_prog(4))
+        assert hot.stall_report().net_stall_time > 0.0
+
+        # Cool: neighbour-shift traffic uses disjoint links, and pacing
+        # at g = hop service rate keeps each link exactly saturated but
+        # never queued.
+        def shift(rank, P):
+            for i in range(4):
+                yield Send((rank + 1) % P, payload=i)
+            for _ in range(4):
+                yield Recv()
+
+        cool = LogPMachine(
+            LogPParams(L=6.0, o=0.5, g=2.0, P=6),
+            fabric=fab,
+            enforce_capacity=False,
+        ).run(shift)
+        assert cool.stall_report().net_stall_time == 0.0
+
+
+# ----------------------------------------------------------------------
+# LatencyModel.reset() contract (satellite)
+# ----------------------------------------------------------------------
+
+
+class TestLatencyReset:
+    @pytest.mark.parametrize(
+        "model_fn",
+        [
+            lambda: UniformLatency(8.0, lo_frac=0.25, seed=13),
+            lambda: JitteredLatency(8.0, scale_frac=0.3, seed=13),
+        ],
+        ids=["uniform", "jittered"],
+    )
+    def test_rerun_on_same_machine_is_bit_identical(self, model_fn):
+        machine = LogPMachine(params(), latency=model_fn())
+        prog = flood_prog(4)
+        first = machine.run(prog)
+        second = machine.run(prog)
+        assert second.makespan == first.makespan
+        assert second.schedule.messages == first.schedule.messages
+        for rank in first.schedule.timelines:
+            assert (
+                second.schedule.timelines[rank].intervals
+                == first.schedule.timelines[rank].intervals
+            )
+
+    def test_stateless_model_reset_is_silent(self):
+        FixedLatency(8.0).reset()  # no RNG state: the no-op is fine
+
+    def test_base_reset_raises_on_undeclared_rng_state(self):
+        class Sloppy(LatencyModel):
+            def __init__(self, L):
+                super().__init__(L)
+                self._rng = np.random.default_rng(0)
+
+            def draw(self, src, dst):
+                return float(self._rng.uniform(0.0, self.L))
+
+        with pytest.raises(NotImplementedError, match="_rng"):
+            Sloppy(8.0).reset()
+
+    def test_machine_refuses_to_run_a_sloppy_model(self):
+        class Sloppy(LatencyModel):
+            def __init__(self, L):
+                super().__init__(L)
+                self._rng = np.random.default_rng(0)
+
+            def draw(self, src, dst):
+                return float(self._rng.uniform(0.0, self.L))
+
+        machine = LogPMachine(params(), latency=Sloppy(8.0))
+        with pytest.raises(NotImplementedError):
+            machine.run(stream_prog(1))
+
+    def test_overriding_reset_satisfies_the_contract(self):
+        class Careful(LatencyModel):
+            def __init__(self, L, seed=0):
+                super().__init__(L)
+                self._seed = seed
+                self._rng = np.random.default_rng(seed)
+
+            def draw(self, src, dst):
+                return float(self._rng.uniform(0.0, self.L))
+
+            def reset(self):
+                self._rng = np.random.default_rng(self._seed)
+
+        machine = LogPMachine(params(), latency=Careful(8.0, seed=4))
+        first = machine.run(flood_prog(3))
+        second = machine.run(flood_prog(3))
+        assert second.makespan == first.makespan
+
+
+# ----------------------------------------------------------------------
+# Long messages over fabrics (LogGP streaming interacts with routing)
+# ----------------------------------------------------------------------
+
+
+class TestLongMessagesOverFabric:
+    def test_loggp_stream_term_rides_on_routed_flight(self):
+        from repro.core import LogGPParams
+
+        p = LogGPParams(L=8.0, o=1.0, g=2.0, P=4, G=0.5)
+        fab = TopologyFabric.ring(4, L=8.0)
+        res = LogPMachine(p, fabric=fab).run(
+            lambda rank, P: stream_prog(1)(rank, P)
+        )
+        validate_schedule(res.schedule, fabric=fab).raise_if_invalid()
+
+    def test_multiword_hop_consistency(self):
+        from repro.core import LogGPParams
+        from repro.sim import run_programs
+
+        p = LogGPParams(L=8.0, o=1.0, g=2.0, P=2, G=0.5)
+        fab = TopologyFabric.ring(2, L=8.0)
+
+        def prog(rank, P):
+            if rank == 0:
+                yield Send(1, payload=0, words=9)
+            else:
+                yield Recv()
+            yield Compute(0.0)
+
+        res = LogPMachine(p, fabric=fab).run(prog)
+        (m,) = res.schedule.messages
+        stream = (9 - 1) * 0.5
+        assert m.latency == pytest.approx(fab.unloaded(0, 1) + stream)
+        validate_schedule(res.schedule, fabric=fab).raise_if_invalid()

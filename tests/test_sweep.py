@@ -149,6 +149,124 @@ def _reciprocal(x: int) -> float:
     return 1.0 / x
 
 
+class TestSerialFallback:
+    """The unpicklable-work escape hatch must behave exactly like the
+    serial path: same order, same exception semantics, and the same
+    fold-side accounting when fuzz_sweep drives it."""
+
+    def test_fallback_preserves_submission_order(self):
+        calls = []
+
+        def record(x):
+            calls.append(x)
+            return -x
+
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            out = sweep_map(record, [5, 1, 3], workers=4)
+        assert out == [-5, -1, -3]
+        assert calls == [5, 1, 3]
+
+    def test_fallback_propagates_exceptions(self):
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            with pytest.raises(ZeroDivisionError):
+                sweep_map(lambda x: 1 / x, [1, 0, 2], workers=2)
+
+    def test_fallback_accepts_generator_items(self):
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            out = sweep_map(lambda x: x * 2, (i for i in range(4)), workers=2)
+        assert out == [0, 2, 4, 6]
+
+
+class TestMaxFailuresEarlyExit:
+    """fuzz_sweep's failure cap: the serial loop stops generating work,
+    the parallel fold stops consuming it, and both build the identical
+    summary — including when the parallel path degrades to the serial
+    fallback on unpicklable work."""
+
+    @pytest.fixture
+    def broken_latency(self, monkeypatch):
+        """A latency model whose bound exceeds L: every machine build
+        crashes, so every (seed, latency) run is one failure."""
+        from repro.sim import fuzz
+
+        monkeypatch.setitem(
+            fuzz.LATENCIES, "broken", lambda L, seed: FixedLatency(L + 100)
+        )
+
+    def _is_fork(self):
+        import multiprocessing
+
+        return multiprocessing.get_start_method(allow_none=False) == "fork"
+
+    def test_serial_early_exit_stops_at_the_cap(self, broken_latency):
+        from repro.sim.fuzz import fuzz_sweep
+
+        summary = fuzz_sweep(
+            range(50), ("broken",), max_failures=3, workers=1
+        )
+        assert not summary.ok
+        assert len(summary.failures) == 3
+        assert summary.cases == 3  # did not sweep the remaining 47 seeds
+        assert all("crashed" in f for f in summary.failures)
+
+    def test_parallel_fold_matches_serial_accounting(self, broken_latency):
+        if not self._is_fork():
+            pytest.skip("patched LATENCIES needs fork to reach workers")
+        from repro.sim.fuzz import fuzz_sweep
+
+        serial = fuzz_sweep(range(30), ("broken",), max_failures=4, workers=1)
+        parallel = fuzz_sweep(
+            range(30), ("broken",), max_failures=4, workers=2
+        )
+        assert (
+            serial.cases,
+            serial.runs,
+            serial.by_family,
+            serial.failures,
+        ) == (
+            parallel.cases,
+            parallel.runs,
+            parallel.by_family,
+            parallel.failures,
+        )
+
+    def test_early_exit_through_the_serial_fallback(
+        self, broken_latency, monkeypatch
+    ):
+        """An unpicklable per-seed work unit forces the parallel sweep
+        into the serial fallback; the max_failures fold must still cut
+        the sweep at the cap with serial-identical accounting."""
+        from repro.sim import fuzz
+
+        original = fuzz._sweep_seed
+        monkeypatch.setattr(
+            fuzz, "_sweep_seed", lambda seed, latencies: original(seed, latencies)
+        )
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            fallback = fuzz.fuzz_sweep(
+                range(30), ("broken",), max_failures=4, workers=2
+            )
+        serial = fuzz.fuzz_sweep(
+            range(30), ("broken",), max_failures=4, workers=1
+        )
+        assert (
+            fallback.cases,
+            fallback.runs,
+            fallback.failures,
+        ) == (
+            serial.cases,
+            serial.runs,
+            serial.failures,
+        )
+
+    def test_max_failures_zero_stops_immediately(self, broken_latency):
+        from repro.sim.fuzz import fuzz_sweep
+
+        summary = fuzz_sweep(range(20), ("broken",), max_failures=0, workers=1)
+        assert summary.cases == 1  # the very first fold hits the cap
+        assert not summary.ok
+
+
 class TestResolveWorkers:
     def test_explicit_argument_wins(self, monkeypatch):
         monkeypatch.setenv(ENV_WORKERS, "7")
