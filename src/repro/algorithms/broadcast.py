@@ -281,24 +281,44 @@ def pipelined_broadcast_program(children: list[list[int]], items, root: int = 0)
 
 
 def best_pipelined_tree(
-    p: LogPParams, k: int, root: int = 0
+    p: LogPParams, k: int, root: int = 0, *, backend: str | None = None
 ) -> tuple[str, list[list[int]]]:
     """Pick the best of {optimal single-item tree, binomial, chain} for
-    a ``k``-item pipelined broadcast, by predicted time.
+    a ``k``-item pipelined broadcast.
 
     Captures the paper's point that the right structure depends on the
     message-stream length: latency-optimal (bushy) trees win for one
     item, deep low-fanout trees win for long streams.
+
+    By default candidates are ranked by the closed-form
+    :func:`pipelined_tree_time` prediction (a lower bound when
+    ``g < 2o``).  Pass ``backend`` (``"machine"``, ``"compiled"`` or
+    ``"auto"``; see :func:`repro.sim.sweep.grid_map`) to rank by *exact
+    executed* makespan instead — each candidate tree's program runs
+    through the chosen simulation backend.
     """
     candidates = {
         "optimal-single": optimal_broadcast_tree(p, root).children,
         "binomial": binomial_tree(p.P, root),
         "chain": linear_tree(p.P, root),
     }
-    best = min(
-        candidates,
-        key=lambda name: pipelined_tree_time(p, candidates[name], k, root),
-    )
+    if backend is None:
+        score = {
+            name: pipelined_tree_time(p, children, k, root)
+            for name, children in candidates.items()
+        }
+    else:
+        from ..sim.sweep import grid_map
+
+        score = {
+            name: grid_map(
+                pipelined_broadcast_program(children, range(k), root),
+                [p],
+                backend=backend,
+            )[0][0]
+            for name, children in candidates.items()
+        }
+    best = min(candidates, key=score.__getitem__)
     return best, candidates[best]
 
 

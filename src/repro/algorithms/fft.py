@@ -55,7 +55,9 @@ __all__ = [
     "distributed_fft_program",
     "run_distributed_fft",
     "RemapResult",
+    "remap_program",
     "simulate_remap",
+    "remap_time_grid",
     "remap_message_count",
 ]
 
@@ -407,6 +409,113 @@ class RemapResult:
         return sent / (self.makespan * cycle_seconds)
 
 
+def remap_program(
+    n: int,
+    schedule: str = "staggered",
+    *,
+    point_cost: float = 0.0,
+    barrier_every: int | None = None,
+):
+    """Program factory for the cyclic->blocked remap phase.
+
+    ``P``-generic: per-destination counts derive from the ``P`` each
+    generator is built with, so one factory serves a whole parameter
+    grid (including grids that vary ``P``).  Shared by
+    :func:`simulate_remap` and :func:`remap_time_grid`.
+    """
+    if schedule not in ("staggered", "naive"):
+        raise ValueError(
+            f"schedule must be 'staggered' or 'naive', got {schedule!r}"
+        )
+
+    def factory(rank: int, P: int):
+        per_dst = n // (P * P)
+        k = remap_message_count(n, P)
+
+        def run():
+            order = (
+                [(rank + j) % P for j in range(1, P)]
+                if schedule == "staggered"
+                else [d for d in range(P) if d != rank]
+            )
+            sent = 0
+            for dst in order:
+                for i in range(per_dst):
+                    if point_cost > 0:
+                        yield Compute(point_cost, label="point-loop")
+                    # Active-message discipline: poll the network each
+                    # iteration so reception interleaves with the send
+                    # loop (the CM-5 communication layer's behaviour).
+                    yield Poll()
+                    yield Send(dst, payload=None, tag="remap")
+                    sent += 1
+                    if barrier_every and sent % barrier_every == 0:
+                        yield Barrier()
+            for _ in range(k):
+                yield Recv(tag="remap")
+            return None
+
+        return run()
+
+    return factory
+
+
+def remap_time_grid(
+    grid,
+    n: int,
+    schedule: str = "staggered",
+    *,
+    backend: str = "auto",
+    point_cost: float = 0.0,
+    jitter=None,
+    barrier_every: int | None = None,
+    double_net: bool = False,
+    max_events: int = 200_000_000,
+) -> list[RemapResult]:
+    """Predict the remap phase across a whole ``LogPParams`` grid.
+
+    The Figure 6/8 curves are exactly this shape — one schedule, many
+    ``(L, o, g, P)`` points — so the grid goes through
+    :func:`repro.sim.sweep.grid_map`: under ``backend="auto"`` /
+    ``"compiled"`` the program is lowered once per distinct ``P`` and
+    every point is replayed through the vectorized compiled evaluator;
+    ``"machine"`` runs the event machine per point.  Results are
+    identical across backends (each ``RemapResult`` matches
+    :func:`simulate_remap` at that point bit-for-bit).
+    """
+    from ..sim.sweep import grid_map
+
+    pts = list(grid)
+    if double_net:
+        from dataclasses import replace
+
+        pts = [replace(p, g=p.g / 2, name=p._tag("2net")) for p in pts]
+    factory = remap_program(
+        n, schedule, point_cost=point_cost, barrier_every=barrier_every
+    )
+    pairs = grid_map(
+        factory,
+        pts,
+        backend=backend,
+        compute_jitter=jitter,
+        max_events=max_events,
+    )
+    out = []
+    for p, (makespan, stall) in zip(pts, pairs):
+        out.append(
+            RemapResult(
+                params=p,
+                n=n,
+                schedule=schedule,
+                makespan=makespan,
+                messages_per_proc=remap_message_count(n, p.P),
+                total_stall=stall,
+                cycles_per_point=makespan / (n / p.P),
+            )
+        )
+    return out
+
+
 def simulate_remap(
     params: LogPParams,
     n: int,
@@ -446,34 +555,10 @@ def simulate_remap(
         from dataclasses import replace
 
         p = replace(p, g=p.g / 2, name=p._tag("2net"))
-    per_dst = n // (p.P * p.P)
     k = remap_message_count(n, p.P)
-
-    def factory(rank: int, P: int):
-        def run():
-            order = (
-                [(rank + j) % P for j in range(1, P)]
-                if schedule == "staggered"
-                else [d for d in range(P) if d != rank]
-            )
-            sent = 0
-            for dst in order:
-                for i in range(per_dst):
-                    if point_cost > 0:
-                        yield Compute(point_cost, label="point-loop")
-                    # Active-message discipline: poll the network each
-                    # iteration so reception interleaves with the send
-                    # loop (the CM-5 communication layer's behaviour).
-                    yield Poll()
-                    yield Send(dst, payload=None, tag="remap")
-                    sent += 1
-                    if barrier_every and sent % barrier_every == 0:
-                        yield Barrier()
-            for _ in range(k):
-                yield Recv(tag="remap")
-            return None
-
-        return run()
+    factory = remap_program(
+        n, schedule, point_cost=point_cost, barrier_every=barrier_every
+    )
 
     machine = LogPMachine(
         p,

@@ -47,6 +47,7 @@ __all__ = [
     "summation_time",
     "balanced_reduction_time",
     "summation_program",
+    "simulated_summation_time",
     "distribute_inputs",
 ]
 
@@ -236,6 +237,31 @@ def balanced_reduction_time(p: LogPParams, n: int) -> float:
     depth = math.ceil(math.log2(p.P)) if p.P > 1 else 0
     level = max(p.L + 2 * p.o + 1, p.g + p.o + 1)
     return local + depth * level
+
+
+def simulated_summation_time(
+    tree: SummationTree, values=None, *, backend: str = "auto"
+) -> float:
+    """Executed makespan of ``tree``'s schedule on a simulation backend.
+
+    Runs :func:`summation_program` through
+    :func:`repro.sim.sweep.grid_map` at ``tree.params`` — the compiled
+    fast path under ``backend="auto"``/``"compiled"``, the event
+    machine under ``"machine"``; the value is identical either way.
+    Equals ``tree.T`` exactly when the root's schedule is tight.
+
+    ``values`` defaults to all-ones (only the timing is of interest
+    here; use :func:`summation_program` directly to check sums).
+    """
+    if values is None:
+        values = [1.0] * tree.total_values
+    inputs = distribute_inputs(tree, values)
+    from ..sim.sweep import grid_map
+
+    [(makespan, _)] = grid_map(
+        summation_program(tree, inputs), [tree.params], backend=backend
+    )
+    return makespan
 
 
 def distribute_inputs(tree: SummationTree, values) -> list[list[float]]:

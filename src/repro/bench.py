@@ -19,7 +19,27 @@ pytest-benchmark suite:
   smoke numbers CI archives);
 * ``sweep_scaling`` — the same fuzz workload through the parallel sweep
   runner at 1 and 2 workers (wall time; informational — on a single
-  core the pool adds overhead, on a multicore box it amortizes).
+  core the pool adds overhead, on a multicore box it amortizes);
+* ``compiled_grid`` / ``compiled_grid_machine`` — an o-sensitivity
+  parameter grid (dense overhead sweep of a pipelined optimal-tree
+  broadcast at several ``P``) through :func:`repro.sim.sweep.grid_map`
+  on the compiled schedule evaluator and on the event machine; the
+  report records ``compiled_grid_speedup`` (machine / compiled), the
+  headline number for the DAG-evaluator fast path (target >= 10x);
+* ``compiled_vs_machine`` — the compiled evaluator over a mixed
+  verification grid (o-sweep plus an L x g box that crosses capacity
+  and schedule-region boundaries, stalls included); the machine runs
+  the same grid untimed and every ``(makespan, stall_time)`` pair must
+  be bit-identical, or the benchmark aborts.
+
+``--only PREFIX`` runs just the workloads whose name starts with
+``PREFIX`` (e.g. ``--only compiled`` for the grid-evaluator pair).
+``--backend {machine,compiled,auto}`` selects the backend timed by
+``compiled_grid`` (default ``compiled``; the machine reference timing
+is always taken on the machine).  Backend resolution has the same
+refusal semantics as :func:`repro.sim.sweep.grid_map`: asking for the
+compiled path under a nondeterministic timing configuration is a loud
+``ValueError``, never a silent fallback.
 
 Each timing is the best of ``--reps`` runs (default 7): minimum, not
 mean, because scheduling noise only ever adds time.  ``--smoke`` shrinks
@@ -158,39 +178,160 @@ def _fabric_contended(k: int) -> None:
 
 
 def _fuzz(seeds: int, workers: int) -> None:
-    summary = fuzz_sweep(range(seeds), ("fixed",), workers=workers)
+    # compiled_check=False keeps this workload's cost identical to what
+    # records predating the compiled backend measured (the compiled
+    # path has its own workloads below); correctness sweeps in tests
+    # and CI run with the check on.
+    summary = fuzz_sweep(
+        range(seeds), ("fixed",), workers=workers, compiled_check=False
+    )
     if not summary.ok:
         raise RuntimeError(
             "fuzz failures during benchmark: " + "; ".join(summary.failures[:3])
         )
 
 
+def _bcast_stream_factory(k: int):
+    """Pipelined optimal-tree broadcast of ``k`` items, any ``P``.
+
+    The tree shape is the optimal single-item broadcast tree for the
+    paper's base parameters at each ``P`` (cached), so one factory
+    serves a grid whose ``P`` varies.
+    """
+    from .algorithms.broadcast import (
+        optimal_broadcast_tree,
+        pipelined_broadcast_program,
+    )
+
+    trees: dict[int, list[list[int]]] = {}
+
+    def factory(rank: int, P: int):
+        children = trees.get(P)
+        if children is None:
+            children = optimal_broadcast_tree(
+                LogPParams(L=6, o=2, g=4, P=P)
+            ).children
+            trees[P] = children
+        return pipelined_broadcast_program(children, range(k))(rank, P)
+
+    return factory
+
+
+def _o_sweep_grid(n_o: int, ps: tuple[int, ...]) -> list[LogPParams]:
+    """Dense overhead sweep at fixed L=6, g=4, for each ``P`` in ``ps``."""
+    return [
+        LogPParams(L=6.0, o=0.25 + i * 7.75 / (n_o - 1), g=4.0, P=P)
+        for P in ps
+        for i in range(n_o)
+    ]
+
+
+def _compiled_grid(n_o: int, ps: tuple[int, ...], k: int, backend: str) -> None:
+    from .sim.sweep import grid_map
+
+    grid_map(_bcast_stream_factory(k), _o_sweep_grid(n_o, ps), backend=backend)
+
+
+def _compiled_vs_machine(n_o: int, box: int, k: int) -> None:
+    """Bit-identity check: compiled vs machine over a mixed grid.
+
+    The grid combines the o-sweep (few schedule regions) with an
+    ``L x g`` box (many regions: capacity steps, arrival-order
+    crossings, capacity-stall clamps), so both the tape-covered fast
+    path and the scalar-replay fallback are exercised.  Equality is
+    exact — any drift is a correctness bug, not noise.
+    """
+    from .sim.sweep import grid_map
+
+    grid = _o_sweep_grid(n_o, (8,)) + [
+        LogPParams(L=float(L), o=2.0, g=float(g), P=8)
+        for L in range(1, box + 1)
+        for g in range(1, box // 2 + 1)
+    ]
+    fac = _bcast_stream_factory(k)
+    compiled = grid_map(fac, grid, backend="compiled")
+    machine = grid_map(fac, grid, backend="machine")
+    if compiled != machine:
+        bad = sum(1 for a, b in zip(compiled, machine) if a != b)
+        raise RuntimeError(
+            f"compiled/machine divergence on {bad}/{len(grid)} grid points"
+        )
+
+
 # ----------------------------------------------------------------------
 
 
-def run_all(*, smoke: bool = False, reps: int = 7) -> dict:
-    """Run every benchmark; returns the report dict (see module doc)."""
+def run_all(
+    *,
+    smoke: bool = False,
+    reps: int = 7,
+    only: str | None = None,
+    backend: str = "compiled",
+) -> dict:
+    """Run every benchmark; returns the report dict (see module doc).
+
+    ``only`` restricts the run to workloads whose name starts with it;
+    ``backend`` is the backend timed by ``compiled_grid``.
+    """
     scale = 10 if smoke else 1
     n_events = 20_000 // scale
     k_stream = 2_000 // scale
     k_stalls = 150 // scale
     seeds = 60 // scale
+    n_o = 128 if smoke else 1024
+    grid_ps = (4, 8) if smoke else (4, 8, 16)
+    k_grid = 16 if smoke else 32
+    vs_n_o = 32 if smoke else 64
+    vs_box = 8 if smoke else 16
 
-    timings = {
-        "engine_dispatch_s": _best_of(lambda: _engine_dispatch(n_events), reps),
-        "stream_s": _best_of(lambda: _stream(k_stream, False), reps),
-        "stream_traced_s": _best_of(lambda: _stream(k_stream, True), reps),
-        "stalls_s": _best_of(lambda: _stalls(k_stalls), reps),
-        "fabric_ring_s": _best_of(lambda: _fabric_ring(k_stream), reps),
-        "fabric_contended_s": _best_of(
+    def want(name: str) -> bool:
+        return only is None or name.startswith(only)
+
+    timings: dict[str, float] = {}
+    if want("engine_dispatch"):
+        timings["engine_dispatch_s"] = _best_of(
+            lambda: _engine_dispatch(n_events), reps
+        )
+    if want("stream"):
+        timings["stream_s"] = _best_of(lambda: _stream(k_stream, False), reps)
+        timings["stream_traced_s"] = _best_of(
+            lambda: _stream(k_stream, True), reps
+        )
+    if want("stalls"):
+        timings["stalls_s"] = _best_of(lambda: _stalls(k_stalls), reps)
+    if want("fabric_ring"):
+        timings["fabric_ring_s"] = _best_of(
+            lambda: _fabric_ring(k_stream), reps
+        )
+    if want("fabric_contended"):
+        timings["fabric_contended_s"] = _best_of(
             lambda: _fabric_contended(k_stalls), reps
-        ),
-        "fuzz_smoke_s": _best_of(lambda: _fuzz(seeds, 1), max(1, reps // 3)),
-    }
-    sweep_scaling = {
-        str(w): _best_of(lambda: _fuzz(seeds, w), max(1, reps // 3))
-        for w in (1, 2)
-    }
+        )
+    if want("fuzz_smoke"):
+        timings["fuzz_smoke_s"] = _best_of(
+            lambda: _fuzz(seeds, 1), max(1, reps // 3)
+        )
+    if want("compiled_grid"):
+        timings["compiled_grid_s"] = _best_of(
+            lambda: _compiled_grid(n_o, grid_ps, k_grid, backend),
+            max(1, reps // 2),
+        )
+        timings["compiled_grid_machine_s"] = _best_of(
+            lambda: _compiled_grid(n_o, grid_ps, k_grid, "machine"),
+            max(1, reps // 3),
+        )
+    if want("compiled_vs_machine"):
+        timings["compiled_vs_machine_s"] = _best_of(
+            lambda: _compiled_vs_machine(vs_n_o, vs_box, k_grid),
+            max(1, reps // 3),
+        )
+    sweep_scaling: dict[str, float] = {}
+    if want("sweep"):
+        _fuzz(seeds, 1)  # warm up (imports, generator JIT-ish costs)
+        sweep_scaling = {
+            str(w): _best_of(lambda: _fuzz(seeds, w), max(3, reps // 2))
+            for w in (1, 2)
+        }
 
     report: dict = {
         "date": datetime.date.today().isoformat(),
@@ -207,11 +348,33 @@ def run_all(*, smoke: bool = False, reps: int = 7) -> dict:
                 "fabric": "ContentionFabric[Ring8]",
             },
             "fuzz_smoke": {"seeds": seeds, "latencies": ["fixed"]},
+            "compiled_grid": {
+                "n_o": n_o,
+                "ps": list(grid_ps),
+                "k": k_grid,
+                "L": 6,
+                "g": 4,
+                "o_range": [0.25, 8.0],
+                "backend": backend,
+            },
+            "compiled_vs_machine": {
+                "n_o": vs_n_o,
+                "box": vs_box,
+                "k": k_grid,
+            },
         },
         "timings_s": timings,
         "sweep_scaling_s": sweep_scaling,
     }
-    if not smoke:
+    if (
+        "compiled_grid_s" in timings
+        and "compiled_grid_machine_s" in timings
+        and timings["compiled_grid_s"] > 0
+    ):
+        report["compiled_grid_speedup"] = round(
+            timings["compiled_grid_machine_s"] / timings["compiled_grid_s"], 2
+        )
+    if not smoke and all(key in timings for key in PR1_BASELINE):
         report["baseline_pr1_s"] = dict(PR1_BASELINE)
         report["speedup_vs_pr1"] = {
             key: round(PR1_BASELINE[key] / timings[key], 3)
@@ -266,8 +429,20 @@ def main(argv: list[str] | None = None) -> int:
         "--max-regression", type=float, default=0.05, metavar="FRAC",
         help="allowed slowdown vs --baseline before failing (default 0.05)",
     )
+    parser.add_argument(
+        "--only", default=None, metavar="PREFIX",
+        help="run only workloads whose name starts with PREFIX",
+    )
+    parser.add_argument(
+        "--backend", default="compiled",
+        choices=("machine", "compiled", "auto"),
+        help="backend timed by compiled_grid (default compiled); refusal "
+        "semantics as in repro.sim.sweep.grid_map",
+    )
     args = parser.parse_args(argv)
-    report = run_all(smoke=args.smoke, reps=args.reps)
+    report = run_all(
+        smoke=args.smoke, reps=args.reps, only=args.only, backend=args.backend
+    )
 
     for key, val in report["timings_s"].items():
         line = f"{key:24s} {val * 1e3:9.2f} ms"
@@ -276,6 +451,11 @@ def main(argv: list[str] | None = None) -> int:
         print(line)
     for w, val in report["sweep_scaling_s"].items():
         print(f"{'sweep[workers=' + w + ']':24s} {val * 1e3:9.2f} ms")
+    if "compiled_grid_speedup" in report:
+        print(
+            f"{'compiled_grid speedup':24s} "
+            f"{report['compiled_grid_speedup']:9.2f} x (machine / compiled)"
+        )
 
     regressed = False
     if args.baseline is not None:

@@ -1,0 +1,47 @@
+"""Compiled evaluation of deterministic LogP schedules.
+
+The event machine (:mod:`repro.sim.machine`) is the semantics; this
+package is the fast path.  A program whose control flow does not depend
+on simulated time is *lowered once* — generators driven at compile
+time, actions flattened to opcode tuples, message matching resolved
+(:mod:`.compiler`) — and the resulting :class:`CompiledProgram` can
+then be evaluated:
+
+* at one parameter point, bit-identical to the machine, with
+  :func:`evaluate` (:mod:`.evaluator`);
+* across a whole ``(L, o, g)`` grid with :func:`evaluate_grid`
+  (:mod:`.grid`), which records one evaluation as a *tape* of float
+  operations and branch constraints and replays it vectorized (numpy
+  when available) over every grid point whose control flow matches,
+  re-recording for the points where it does not.
+
+Eligibility is deterministic timing: a fixed latency model (the
+default ``FixedLatency``, bare or wrapped in a ``LatencyFabric``).
+Random latency draws, topology contention and lossy fabrics change
+event *order* at runtime, which a static schedule cannot represent —
+:func:`backend_ineligibility` explains refusals, and the ``auto``
+backend in :mod:`repro.sim.sweep` / :mod:`repro.bench` raises rather
+than silently falling back.
+"""
+
+from .backend import BACKENDS, backend_ineligibility, resolve_backend
+from .compiler import (
+    CompiledProgram,
+    CompileError,
+    compile_programs,
+)
+from .evaluator import CompiledResult, evaluate
+from .grid import GridResult, evaluate_grid
+
+__all__ = [
+    "BACKENDS",
+    "CompileError",
+    "CompiledProgram",
+    "CompiledResult",
+    "GridResult",
+    "backend_ineligibility",
+    "compile_programs",
+    "evaluate",
+    "evaluate_grid",
+    "resolve_backend",
+]

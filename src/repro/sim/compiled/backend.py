@@ -1,0 +1,86 @@
+"""Backend selection for compiled evaluation: explicit and safe.
+
+The compiled fast path reproduces the machine bit-for-bit only when
+flight times are the constant ``L`` for every message: a nondeterministic
+latency model draws per message, and a topology/contention/lossy fabric
+makes delivery depend on runtime load — both change event *order*, which
+a statically recorded schedule cannot represent.  Callers pick a
+``backend``:
+
+* ``"machine"`` — always the event machine; any latency model or fabric.
+* ``"compiled"`` — always the compiled evaluator; raises ``ValueError``
+  when the timing configuration is ineligible and ``CompileError`` when
+  the program itself cannot be lowered.
+* ``"auto"`` — the compiled evaluator when the timing configuration is
+  deterministic, with one deliberate asymmetry: an *ineligible timing
+  configuration* is a loud ``ValueError``, never a silent fall back to
+  the machine.  Auto-selecting the slow path there would make a sweep
+  silently 10× slower the day someone swaps in a jittered latency model;
+  the caller must say ``backend="machine"`` to mean that.  A program
+  that merely cannot be *lowered* (uses ``Now``, branches on timing)
+  falls back to the machine — that is a property of the program, not a
+  configuration mistake.
+"""
+
+from __future__ import annotations
+
+from ..latency import FixedLatency
+
+__all__ = ["BACKENDS", "backend_ineligibility", "resolve_backend"]
+
+BACKENDS = ("machine", "compiled", "auto")
+
+
+def backend_ineligibility(latency=None, fabric=None) -> str | None:
+    """Why this timing configuration cannot use the compiled evaluator.
+
+    Returns ``None`` when eligible: no latency model / fabric, a bare
+    :class:`~repro.sim.latency.FixedLatency`, or a
+    :class:`~repro.sim.net.LatencyFabric` wrapping one.  Otherwise a
+    human-readable reason (used verbatim in the ``ValueError``).
+    """
+    if latency is not None and type(latency) is not FixedLatency:
+        return (
+            f"latency model {type(latency).__name__} draws per-message "
+            "flight times; the compiled evaluator requires the "
+            "deterministic FixedLatency"
+        )
+    if fabric is not None:
+        from ..net import LatencyFabric
+
+        if not isinstance(fabric, LatencyFabric):
+            return (
+                f"fabric {type(fabric).__name__} routes or contends "
+                "messages at runtime; the compiled evaluator supports "
+                "only LatencyFabric"
+            )
+        if type(fabric.model) is not FixedLatency:
+            return (
+                f"LatencyFabric wraps {type(fabric.model).__name__}; "
+                "the compiled evaluator requires FixedLatency"
+            )
+    return None
+
+
+def resolve_backend(backend: str, *, latency=None, fabric=None) -> str:
+    """Validate ``backend`` against the timing configuration.
+
+    Returns ``"machine"`` or ``"compiled"``.  ``"auto"`` and
+    ``"compiled"`` raise ``ValueError`` when
+    :func:`backend_ineligibility` reports a reason — loud refusal, not
+    silent fallback (see the module docstring).
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    if backend == "machine":
+        return "machine"
+    reason = backend_ineligibility(latency=latency, fabric=fabric)
+    if reason is not None:
+        raise ValueError(
+            f"backend={backend!r} cannot use the compiled evaluator: "
+            f"{reason}. Pass backend='machine' to run this "
+            "configuration on the event machine."
+        )
+    return "compiled"

@@ -1,0 +1,298 @@
+"""Lower LogP programs to a static schedule.
+
+The event machine replays a program by *running* it: generators yield
+actions, the engine orders them in time, and resume values flow back in.
+For a deterministic run none of that machinery affects *which* actions
+execute — a program whose control flow does not depend on simulated time
+performs the same action sequence under every ``(L, o, g)``.  The
+compiler exploits that: it drives the generators once, at compile time,
+with placeholder resume values, and records the flattened per-rank
+action sequences as tuples of opcodes.  The result — a
+:class:`CompiledProgram` — is **parameter-independent**: one compile
+serves a single evaluation, a 500-seed differential, or an entire
+``(L, o, g)`` grid.
+
+Compile-time execution mirrors the machine's *matching* semantics
+(which message satisfies which ``Recv``) without its timing:
+
+* messages are delivered to a per-rank compile-time mailbox in program
+  order; an untagged ``Recv`` takes the oldest, a tagged ``Recv`` scans
+  for the oldest tag match — exactly the machine's mailbox discipline;
+* ``Barrier`` releases only when all ``P`` ranks have reached it;
+* programs that cannot finish without timing information — circular
+  waits, a barrier some rank never reaches — fail compilation with
+  :class:`CompileError` rather than compiling to a wrong schedule.
+
+Restrictions (the price of timing-free lowering):
+
+* ``Now`` is rejected: its resume value is simulated time, so any
+  program observing it is timing-dependent by construction.
+* ``Poll`` compiles (it is timing-only: the evaluator replays its drain
+  semantics), but its compile-time resume value is always ``0`` —
+  a program that *branches its action sequence* on the drained count is
+  outside the deterministic-schedule contract this subsystem serves.
+* ``Recv`` resume values carry the matched message's source, payload
+  and tag, but ``sent_at``/``received_at`` are NaN — timestamps do not
+  exist at compile time.  Programs that fold payloads commutatively
+  (every collective in this repo) are unaffected.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Sequence
+
+from ..program import (
+    Barrier,
+    Compute,
+    Now,
+    Poll,
+    ReceivedMessage,
+    Recv,
+    Send,
+    Sleep,
+)
+
+__all__ = [
+    "OP_SEND",
+    "OP_RECV",
+    "OP_COMPUTE",
+    "OP_SLEEP",
+    "OP_POLL",
+    "OP_BARRIER",
+    "CompileError",
+    "CompiledProgram",
+    "compile_programs",
+]
+
+# Opcodes.  Each compiled op is a plain tuple with the opcode first:
+#   (OP_SEND, dst, words, tag)
+#   (OP_RECV, tag)
+#   (OP_COMPUTE, cycles)
+#   (OP_SLEEP, cycles)
+#   (OP_POLL,)
+#   (OP_BARRIER,)
+OP_SEND, OP_RECV, OP_COMPUTE, OP_SLEEP, OP_POLL, OP_BARRIER = range(6)
+
+ProgramFactory = Callable[[int, int], Generator]
+
+
+class CompileError(ValueError):
+    """A program cannot be lowered to a static schedule."""
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledProgram:
+    """A LogP program flattened to per-rank opcode sequences.
+
+    Parameter-independent: evaluate it at any ``LogPParams`` with
+    ``P == self.P`` (see :func:`repro.sim.compiled.evaluate` and
+    :func:`repro.sim.compiled.evaluate_grid`).
+    """
+
+    P: int
+    #: ``ops[rank]`` is that rank's action sequence, in program order.
+    ops: tuple[tuple[tuple, ...], ...]
+    #: Per-rank program return values, recorded at compile time.
+    values: tuple[Any, ...]
+    #: Total number of sends across all ranks.
+    n_messages: int
+    #: Largest ``Send.words`` anywhere; > 1 requires LogGP params (G).
+    max_words: int = 1
+    uses_barrier: bool = False
+
+    @property
+    def n_ops(self) -> int:
+        return sum(len(seq) for seq in self.ops)
+
+
+@dataclass(slots=True)
+class _RankState:
+    """Compile-time execution state for one rank."""
+
+    gen: Generator
+    ops: list = field(default_factory=list)
+    #: (src, payload, tag) triples delivered but not yet received.
+    mailbox: list = field(default_factory=list)
+    #: Unmatched Recv we are blocked on, or None.
+    waiting_recv: Recv | None = None
+    at_barrier: bool = False
+    done: bool = False
+    value: Any = None
+
+
+def _take(mailbox: list, tag) -> "tuple | None":
+    """Oldest-first mailbox take — the machine's matching discipline."""
+    if tag is None:
+        return mailbox.pop(0) if mailbox else None
+    for i, msg in enumerate(mailbox):
+        if msg[2] == tag:
+            return mailbox.pop(i)
+    return None
+
+
+def compile_programs(
+    programs: "ProgramFactory | Sequence[Generator]",
+    P: int,
+) -> CompiledProgram:
+    """Drive ``programs`` to completion at compile time; record the ops.
+
+    ``programs`` is either a factory ``(rank, P) -> generator`` (the
+    machine's usual form) or a sequence of ``P`` already-built
+    generators.  Either way the generators are *consumed* here.
+
+    Raises:
+        CompileError: on ``Now``, an unknown action, an invalid or
+            self-targeted send, a non-generator program, or a schedule
+            that deadlocks at compile time (circular receive waits, a
+            barrier not reached by every rank).
+    """
+    if P < 1:
+        raise CompileError(f"P must be >= 1, got {P}")
+    if callable(programs):
+        gens = [programs(rank, P) for rank in range(P)]
+    else:
+        gens = list(programs)
+        if len(gens) != P:
+            raise CompileError(
+                f"expected {P} programs, got {len(gens)}"
+            )
+    for rank, g in enumerate(gens):
+        if not hasattr(g, "send"):
+            raise CompileError(
+                f"program for rank {rank} is not a generator "
+                f"(got {type(g).__name__})"
+            )
+    ranks = [_RankState(gen=g) for g in gens]
+    n_messages = 0
+    max_words = 1
+    uses_barrier = False
+    remaining = P
+
+    def _step(rank: int) -> bool:
+        """Run one rank until it blocks or finishes.
+
+        Returns True if at least one action was executed (progress).
+        """
+        nonlocal n_messages, max_words, uses_barrier, remaining
+        st = ranks[rank]
+        progressed = False
+        resume = None
+        while True:
+            if st.waiting_recv is not None:
+                got = _take(st.mailbox, st.waiting_recv.tag)
+                if got is None:
+                    return progressed
+                st.ops.append((OP_RECV, st.waiting_recv.tag))
+                st.waiting_recv = None
+                resume = ReceivedMessage(
+                    src=got[0],
+                    payload=got[1],
+                    tag=got[2],
+                    sent_at=math.nan,
+                    received_at=math.nan,
+                )
+                progressed = True
+            try:
+                action = st.gen.send(resume)
+            except StopIteration as stop:
+                st.value = stop.value
+                st.done = True
+                remaining -= 1
+                return True
+            resume = None
+            cls = type(action)
+            if cls is Send:
+                dst = action.dst
+                if dst == rank:
+                    raise CompileError(
+                        f"proc {rank} tried to send to itself"
+                    )
+                if not 0 <= dst < P:
+                    raise CompileError(
+                        f"proc {rank} sent to invalid destination {dst} "
+                        f"(P={P})"
+                    )
+                st.ops.append((OP_SEND, dst, action.words, action.tag))
+                ranks[dst].mailbox.append(
+                    (rank, action.payload, action.tag)
+                )
+                n_messages += 1
+                if action.words > max_words:
+                    max_words = action.words
+                progressed = True
+            elif cls is Recv:
+                st.waiting_recv = action
+            elif cls is Compute:
+                st.ops.append((OP_COMPUTE, float(action.cycles)))
+                progressed = True
+            elif cls is Sleep:
+                st.ops.append((OP_SLEEP, float(action.cycles)))
+                progressed = True
+            elif cls is Poll:
+                st.ops.append((OP_POLL,))
+                resume = 0
+                progressed = True
+            elif cls is Barrier:
+                st.ops.append((OP_BARRIER,))
+                st.at_barrier = True
+                uses_barrier = True
+                return True
+            elif cls is Now:
+                raise CompileError(
+                    f"proc {rank} used Now: simulated time is not "
+                    "available at compile time, so the schedule is "
+                    "timing-dependent — run it on the event machine"
+                )
+            else:
+                raise CompileError(
+                    f"proc {rank} yielded unknown action {action!r}"
+                )
+
+    while remaining:
+        progress = False
+        for rank in range(P):
+            st = ranks[rank]
+            if st.done or st.at_barrier:
+                continue
+            if _step(rank):
+                progress = True
+            if all(r.at_barrier for r in ranks):
+                # Barrier release: every rank reached it.
+                for r in ranks:
+                    r.at_barrier = False
+                progress = True
+        if not progress:
+            blocked = []
+            for rank, st in enumerate(ranks):
+                if st.done:
+                    continue
+                if st.at_barrier:
+                    blocked.append(f"proc {rank} waiting at a barrier")
+                elif st.waiting_recv is not None:
+                    tag = st.waiting_recv.tag
+                    what = "a message" if tag is None else f"tag {tag!r}"
+                    blocked.append(f"proc {rank} waiting to receive {what}")
+                else:  # pragma: no cover - _step always blocks or finishes
+                    blocked.append(f"proc {rank} blocked")
+            raise CompileError(
+                "schedule deadlocks at compile time: "
+                + "; ".join(blocked)
+            )
+
+    return CompiledProgram(
+        P=P,
+        ops=tuple(tuple(st.ops) for st in ranks),
+        values=tuple(st.value for st in ranks),
+        n_messages=n_messages,
+        max_words=max_words,
+        uses_barrier=uses_barrier,
+    )
+
+
+def compile_iterable(
+    programs: Iterable[Generator], P: int
+) -> CompiledProgram:
+    """Convenience wrapper: compile from any iterable of generators."""
+    return compile_programs(list(programs), P)

@@ -1,0 +1,743 @@
+"""Evaluate a compiled schedule — an engine-free port of the machine.
+
+Bit-identity with :class:`repro.sim.machine.LogPMachine` is the whole
+point, so this evaluator is deliberately *not* a clever topological
+relaxation: send/recv interleavings on a rank (an arrival draining
+during a gap wait, a stalled injection racing a drain at the same
+timestamp) are resolved by event *order*, and reproducing the machine's
+order exactly means reproducing its scheduling decisions exactly.  The
+evaluator therefore ports the machine's handlers one-for-one —
+activation, inject, arrival, drain, recv-done, wake, barrier release —
+over the compiled opcode stream, with an inlined copy of the engine's
+queue discipline (sorted insert with append fast path, FIFO tie-break
+by schedule order, lazy cancellation, the 1e-12 past-tolerance clamp).
+Every ``engine.schedule`` call in the machine has a ``_sched`` call
+here, in the same program position, so sequence numbers — and therefore
+tie-breaks — coincide.
+
+What it drops is everything a deterministic fixed-latency run never
+touches: generator dispatch and action allocation, trace records,
+fabric submit calls, the lossy/ARQ machinery, Schedule assembly.  What
+remains is pure float arithmetic over int opcodes — ~2× the machine's
+speed per run, and the reference semantics for the vectorized grid
+replay in :mod:`repro.sim.compiled.grid`.
+
+The contract is enforced two ways: the fuzz harness
+(:func:`repro.sim.fuzz.run_case`) diffs this evaluator against the
+machine on every fixed-latency case of the 500-seed tier-1 sweep —
+makespan, per-rank results, event counts and the full capacity-stall
+feed, all compared with ``==``, never a tolerance — and
+``tests/test_compiled.py`` pins the edge cases (stall-heavy hotspots,
+``merge_overhead_into_gap`` variants, capacity overrides, LogGP
+multi-word streaming, barriers).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..engine import SimulationError
+from ..trace import StallEvent, StallReport, WakeupEvent, stall_report
+from .compiler import (
+    OP_BARRIER,
+    OP_COMPUTE,
+    OP_POLL,
+    OP_RECV,
+    OP_SEND,
+    OP_SLEEP,
+    CompiledProgram,
+)
+
+__all__ = ["CompiledResult", "evaluate"]
+
+# Processor states (machine.py uses interned strings; ints here).
+_RUNNING = 0
+_STALL_SEND = 1
+_WAIT_RECV = 2
+_WAIT_BARRIER = 3
+_SLEEPING = 4
+_POLLING = 5
+_WAIT_GAP = 6
+_DONE = 7
+
+# Event codes for the inlined queue (machine.py binds methods instead).
+_EV_ACTIVATION = 0
+_EV_INJECT = 1
+_EV_ARRIVAL = 2
+_EV_RECV_DONE = 3
+_EV_WAKE = 4
+_EV_BARRIER = 5
+
+#: Engine.schedule's past-tolerance: see repro.sim.engine.PAST_TOLERANCE.
+_PAST_TOL = 1e-12
+#: Queue compaction threshold, as in Engine.
+_COMPACT = 8192
+
+
+class _Msg:
+    """An in-flight message: the fields injection and arrival touch."""
+
+    __slots__ = ("src", "dst", "tag", "words", "arrive")
+
+    def __init__(self, src: int, dst: int, tag, words: int):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.words = words
+        self.arrive = 0.0
+
+
+class _Proc:
+    """Per-rank evaluation state: mirrors machine.py's _ProcState."""
+
+    __slots__ = (
+        "rank", "ops", "n_ops", "ip", "pending", "state",
+        "busy_until", "last_send_start", "last_recv_start",
+        "last_activity", "port_free", "mailbox", "arrived",
+        "pending_inject", "stall_started", "queued_on",
+        "needs_src", "needs_dst", "pending_activations",
+        "poll_drained", "sends", "receives", "stall_time",
+        "finished_at",
+    )
+
+    def __init__(self, rank: int, ops: tuple):
+        self.rank = rank
+        self.ops = ops
+        self.n_ops = len(ops)
+        self.ip = 0
+        self.pending = None
+        self.state = _RUNNING
+        self.busy_until = 0.0
+        self.last_send_start = float("-inf")
+        self.last_recv_start = float("-inf")
+        self.last_activity = 0.0
+        self.port_free = float("-inf")
+        self.mailbox: deque = deque()  # tags of landed messages
+        self.arrived: deque = deque()  # _Msg delivered, o not yet paid
+        self.pending_inject: _Msg | None = None
+        self.stall_started: float | None = None
+        self.queued_on: int | None = None
+        self.needs_src = False
+        self.needs_dst = False
+        self.pending_activations: dict = {}
+        self.poll_drained = 0
+        self.sends = 0
+        self.receives = 0
+        self.stall_time = 0.0
+        self.finished_at = 0.0
+
+
+@dataclass(slots=True)
+class CompiledResult:
+    """What one compiled evaluation produced.
+
+    Field-for-field comparable with the machine's ``MachineResult`` on
+    the quantities both report; per-rank lists are indexed by rank.
+    """
+
+    makespan: float
+    total_messages: int
+    total_stall_time: float
+    events_run: int
+    values: tuple[Any, ...]
+    finished_at: list[float]
+    sends: list[int]
+    receives: list[int]
+    stall_time: list[float]
+    #: Stall/wakeup feed, populated only under ``collect_stalls=True``.
+    stall_events: list = field(default_factory=list)
+    collected_stalls: bool = False
+
+    def stall_report(self) -> StallReport:
+        if not self.collected_stalls:
+            raise ValueError(
+                "stall feed not collected; evaluate with "
+                "collect_stalls=True to use stall_report()"
+            )
+        return stall_report(self.stall_events)
+
+
+class _Evaluator:
+    """One run of a compiled program at concrete LogP parameters."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        params,
+        *,
+        L: float,
+        enforce_capacity: bool,
+        capacity: int,
+        hw_barrier_cost: float,
+        compute_jitter: Callable[[int, float], float] | None,
+        collect_stalls: bool,
+        max_events: int,
+    ):
+        P = compiled.P
+        self._P = P
+        self._ops_values = compiled.values
+        self._o = float(params.o)
+        self._g = float(params.g)
+        self._si = float(params.send_interval)
+        self._L = float(L)
+        self._G = getattr(params, "G", None)
+        self._capacity = capacity
+        self._enforce = enforce_capacity
+        self._hw_barrier = float(hw_barrier_cost)
+        self._jitter = compute_jitter
+        self._collect = collect_stalls
+        self._budget = max_events
+        self._procs = [_Proc(r, compiled.ops[r]) for r in range(P)]
+        self._inflight_from = [0] * P
+        self._inflight_to = [0] * P
+        self._stall_queue: list[list[int]] = [[] for _ in range(P)]
+        self._barrier_waiting: list[int] = []
+        self._feed: list = []
+        self._total_messages = 0
+        self._events = 0
+        # Inlined engine state.
+        self._queue: list = []
+        self._head = 0
+        self._seq = 0
+        self._cancelled: set = set()
+        self._now = 0.0
+
+    # -- engine ------------------------------------------------------
+
+    def _sched(self, time: float, code: int, a, b=None, c=None) -> int:
+        now = self._now
+        if time < now:
+            if time < now - _PAST_TOL:
+                raise SimulationError(
+                    f"event scheduled at {time} before current time {now}"
+                )
+            time = now
+        seq = self._seq
+        self._seq = seq + 1
+        entry = (time, seq, code, a, b, c)
+        queue = self._queue
+        if not queue or queue[-1] < entry:
+            queue.append(entry)
+        else:
+            insort(queue, entry)
+        return seq
+
+    def run(self) -> CompiledResult:
+        procs = self._procs
+        for proc in procs:
+            self._sched_activation(proc, 0.0)
+        queue = self._queue
+        cancelled = self._cancelled
+        head = self._head
+        events = 0
+        budget = self._budget
+        while True:
+            try:
+                entry = queue[head]
+            except IndexError:
+                break
+            head += 1
+            if head >= _COMPACT:
+                del queue[:head]
+                head = 0
+            sq = entry[1]
+            if cancelled and sq in cancelled:
+                cancelled.remove(sq)
+                continue
+            events += 1
+            if events > budget:
+                raise SimulationError(
+                    f"exceeded max_events={budget}; likely livelock"
+                )
+            self._now = entry[0]
+            code = entry[2]
+            if code == _EV_ACTIVATION:
+                self._on_activation(entry[3], entry[4])
+            elif code == _EV_ARRIVAL:
+                self._on_arrival(entry[3])
+            elif code == _EV_RECV_DONE:
+                self._on_recv_done(entry[3], entry[4])
+            elif code == _EV_INJECT:
+                self._on_inject(entry[3])
+            elif code == _EV_WAKE:
+                self._on_wake(entry[3], entry[4])
+            else:
+                self._on_barrier_release(entry[3])
+        self._events = events
+        self._check_completion()
+        makespan = max(
+            max(p.finished_at, p.last_activity) for p in procs
+        )
+        return CompiledResult(
+            makespan=makespan,
+            total_messages=self._total_messages,
+            total_stall_time=sum(p.stall_time for p in procs),
+            events_run=events,
+            values=self._ops_values,
+            finished_at=[p.finished_at for p in procs],
+            sends=[p.sends for p in procs],
+            receives=[p.receives for p in procs],
+            stall_time=[p.stall_time for p in procs],
+            stall_events=self._feed,
+            collected_stalls=self._collect,
+        )
+
+    # -- activation plumbing (mirrors machine.py) --------------------
+
+    def _sched_activation(self, proc: _Proc, time: float) -> None:
+        pending = proc.pending_activations
+        if time not in pending:
+            pending[time] = self._sched(time, _EV_ACTIVATION, proc, time)
+
+    def _supersede_activations(self, proc: _Proc, until: float) -> None:
+        pending = proc.pending_activations
+        stale = [t for t in pending if t < until]
+        if stale:
+            cancelled = self._cancelled
+            for t in stale:
+                cancelled.add(pending.pop(t))
+
+    def _on_activation(self, proc: _Proc, time: float) -> None:
+        proc.pending_activations.pop(time, None)
+        self._activate(proc)
+
+    # -- the interpreter loop (machine._activate over opcodes) -------
+
+    def _activate(self, proc: _Proc) -> None:
+        now = self._now
+        rank = proc.rank
+        while True:
+            state = proc.state
+            if state == _DONE:
+                if proc.pending_inject is not None:
+                    self._try_inject(proc)
+                if proc.arrived:
+                    self._try_drain(proc)
+                return
+            if now < proc.busy_until:
+                self._sched_activation(proc, proc.busy_until)
+                return
+            if state == _SLEEPING or state == _WAIT_BARRIER:
+                if proc.arrived:
+                    self._try_drain(proc)
+                return
+            if proc.pending_inject is not None:
+                if self._try_inject(proc):
+                    proc.state = _RUNNING
+                    continue
+                proc.state = _STALL_SEND
+                if proc.arrived:
+                    self._try_drain(proc)
+                return
+            op = proc.pending
+            if op is None:
+                ip = proc.ip
+                if ip >= proc.n_ops:
+                    proc.state = _DONE
+                    proc.finished_at = now
+                    if proc.arrived:
+                        self._try_drain(proc)
+                    return
+                op = proc.ops[ip]
+                proc.ip = ip + 1
+                proc.pending = op
+                if op[0] == OP_POLL:
+                    proc.poll_drained = 0
+            kind = op[0]
+            if kind == OP_SEND:
+                earliest = proc.last_send_start + self._si
+                if earliest < proc.port_free:
+                    earliest = proc.port_free
+                if earliest > now:
+                    proc.state = _WAIT_GAP
+                    self._sched_activation(proc, earliest)
+                    if proc.arrived:
+                        self._try_drain(proc)
+                    return
+                end = now + self._o
+                proc.pending_inject = _Msg(rank, op[1], op[3], op[2])
+                self._total_messages += 1
+                proc.last_send_start = now
+                proc.sends += 1
+                proc.busy_until = end
+                if proc.last_activity < end:
+                    proc.last_activity = end
+                self._sched(end, _EV_INJECT, proc)
+                # Eager advance, as the machine does at send commit.
+                proc.state = _RUNNING
+                ip = proc.ip
+                if ip >= proc.n_ops:
+                    proc.pending = None
+                    proc.state = _DONE
+                    proc.finished_at = end
+                    return
+                op = proc.ops[ip]
+                proc.ip = ip + 1
+                proc.pending = op
+                if op[0] == OP_POLL:
+                    proc.poll_drained = 0
+                return
+            if kind == OP_RECV:
+                if self._mailbox_take(proc, op[1]):
+                    proc.pending = None
+                    proc.state = _RUNNING
+                    continue
+                proc.state = _WAIT_RECV
+                if proc.arrived:
+                    self._try_drain(proc)
+                return
+            if kind == OP_COMPUTE:
+                cycles = op[1]
+                if self._jitter is not None:
+                    cycles = float(self._jitter(rank, cycles))
+                    if cycles < 0:
+                        raise SimulationError(
+                            f"compute_jitter returned negative cycles "
+                            f"{cycles} for proc {rank}"
+                        )
+                end = now + cycles
+                proc.busy_until = end
+                if end > proc.last_activity:
+                    proc.last_activity = end
+                proc.pending = None
+                proc.state = _RUNNING
+                if cycles > 0:
+                    if proc.pending_activations:
+                        self._supersede_activations(proc, end)
+                    self._sched_activation(proc, end)
+                    return
+                continue
+            if kind == OP_SLEEP:
+                proc.state = _SLEEPING
+                wake = now + op[1]
+                proc.pending = None
+                self._sched(wake, _EV_WAKE, proc, wake)
+                if proc.arrived:
+                    self._try_drain(proc)
+                return
+            if kind == OP_POLL:
+                if proc.arrived and now >= proc.last_recv_start + self._g:
+                    proc.state = _POLLING
+                    self._try_drain(proc)
+                    return
+                proc.pending = None
+                proc.state = _RUNNING
+                continue
+            # OP_BARRIER
+            proc.pending = None
+            proc.state = _WAIT_BARRIER
+            waiting = self._barrier_waiting
+            waiting.append(rank)
+            if len(waiting) == self._P:
+                self._release_barrier()
+            elif proc.arrived:
+                self._try_drain(proc)
+            return
+
+    # -- receive-side helpers ----------------------------------------
+
+    def _mailbox_take(self, proc: _Proc, tag) -> bool:
+        mailbox = proc.mailbox
+        if tag is None:
+            if mailbox:
+                mailbox.popleft()
+                return True
+            return False
+        for i, t in enumerate(mailbox):
+            if t == tag:
+                del mailbox[i]
+                return True
+        return False
+
+    def _try_drain(self, proc: _Proc) -> None:
+        if not proc.arrived or proc.state == _RUNNING:
+            return
+        now = self._now
+        if now < proc.busy_until:
+            self._sched_activation(proc, proc.busy_until)
+            return
+        if proc.pending_inject is not None and proc.stall_started is None:
+            return  # send priority: the injection owns the port
+        earliest = proc.last_recv_start + self._g
+        if earliest > now:
+            self._sched_activation(proc, earliest)
+            return
+        msg = proc.arrived.popleft()
+        end = now + self._o
+        rank = proc.rank
+        proc.last_recv_start = now
+        proc.busy_until = end
+        proc.receives += 1
+        if proc.last_activity < end:
+            proc.last_activity = end
+        if proc.pending_activations:
+            self._supersede_activations(proc, end)
+        self._inflight_to[rank] -= 1
+        if self._stall_queue[rank]:
+            self._release_dst_slot(rank)
+        self._sched(end, _EV_RECV_DONE, proc, msg)
+
+    def _on_recv_done(self, proc: _Proc, msg: _Msg) -> None:
+        state = proc.state
+        tag = msg.tag
+        if state == _WAIT_RECV and not proc.mailbox:
+            want = proc.pending[1]
+            if want is None or want == tag:
+                proc.pending = None
+                proc.state = _RUNNING
+                self._activate(proc)
+                return
+        proc.mailbox.append(tag)
+        if state == _POLLING:
+            proc.poll_drained += 1
+            self._activate(proc)
+            return
+        if state == _WAIT_RECV:
+            if self._mailbox_take(proc, proc.pending[1]):
+                proc.pending = None
+                proc.state = _RUNNING
+                self._activate(proc)
+                return
+        if proc.arrived and proc.state != _RUNNING:
+            self._try_drain(proc)
+        if proc.state == _STALL_SEND or proc.state == _WAIT_GAP:
+            self._sched_activation(
+                proc, max(self._now, proc.busy_until)
+            )
+
+    # -- injection / capacity (mirrors machine.py) -------------------
+
+    def _on_inject(self, proc: _Proc) -> None:
+        if proc.pending_inject is None:
+            return
+        if self._try_inject(proc):
+            self._activate(proc)
+        else:
+            if proc.state != _DONE:
+                proc.state = _STALL_SEND
+            if proc.arrived:
+                self._try_drain(proc)
+
+    def _try_inject(self, proc: _Proc) -> bool:
+        msg = proc.pending_inject
+        now = self._now
+        rank = msg.src
+        dst = msg.dst
+        if self._enforce:
+            needs_src = self._inflight_from[rank] >= self._capacity
+            needs_dst = self._inflight_to[dst] >= self._capacity
+            if needs_src or needs_dst:
+                self._park(proc, dst, needs_src, needs_dst)
+                return False
+        if proc.stall_started is not None:
+            proc.stall_time += now - proc.stall_started
+            if now > proc.last_activity:
+                proc.last_activity = now
+            proc.stall_started = None
+        if proc.queued_on is not None:
+            self._stall_queue[proc.queued_on].remove(rank)
+            proc.queued_on = None
+            proc.needs_src = False
+            proc.needs_dst = False
+        words = msg.words
+        if words > 1:
+            stream = (words - 1) * (self._G or 0.0)
+            msg.arrive = now + stream + self._L
+            if stream > 0:
+                proc.port_free = now + stream
+        else:
+            msg.arrive = now + self._L
+        self._inflight_from[rank] += 1
+        self._inflight_to[dst] += 1
+        proc.pending_inject = None
+        self._sched(msg.arrive, _EV_ARRIVAL, msg)
+        return True
+
+    def _park(
+        self, proc: _Proc, dst: int, needs_src: bool, needs_dst: bool
+    ) -> None:
+        proc.needs_src = needs_src
+        proc.needs_dst = needs_dst
+        if proc.stall_started is None:
+            proc.stall_started = self._now
+            if self._collect:
+                self._feed.append(
+                    StallEvent(
+                        self._now, proc.rank, dst, needs_src, needs_dst
+                    )
+                )
+        if proc.queued_on is None:
+            proc.queued_on = dst
+            self._stall_queue[dst].append(proc.rank)
+
+    def _release_src_slot(self, src: int) -> None:
+        proc = self._procs[src]
+        if proc.stall_started is None or proc.pending_inject is None:
+            return
+        dst = proc.pending_inject.dst
+        admitted = (
+            self._inflight_from[src] < self._capacity
+            and self._inflight_to[dst] < self._capacity
+        )
+        if self._collect:
+            self._feed.append(
+                WakeupEvent(self._now, src, dst, "src", src, admitted)
+            )
+        if admitted:
+            self._sched_activation(
+                proc, max(self._now, proc.busy_until)
+            )
+
+    def _release_dst_slot(self, dst: int) -> None:
+        queue = self._stall_queue[dst]
+        if not queue:
+            return
+        budget = self._capacity - self._inflight_to[dst]
+        for rank in queue:
+            if budget <= 0:
+                break
+            admitted = self._inflight_from[rank] < self._capacity
+            if self._collect:
+                self._feed.append(
+                    WakeupEvent(self._now, rank, dst, "dst", dst, admitted)
+                )
+            if admitted:
+                budget -= 1
+                waiter = self._procs[rank]
+                self._sched_activation(
+                    waiter, max(self._now, waiter.busy_until)
+                )
+
+    def _on_arrival(self, msg: _Msg) -> None:
+        src = msg.src
+        self._inflight_from[src] -= 1
+        src_proc = self._procs[src]
+        if src_proc.stall_started is not None:
+            self._release_src_slot(src)
+        dst = self._procs[msg.dst]
+        dst.arrived.append(msg)
+        if dst.state != _RUNNING:
+            if self._now >= dst.busy_until:
+                self._try_drain(dst)
+            else:
+                self._sched_activation(dst, dst.busy_until)
+
+    # -- sleep / barrier ---------------------------------------------
+
+    def _on_wake(self, proc: _Proc, wake: float) -> None:
+        if proc.state == _SLEEPING and self._now >= wake:
+            if self._now < proc.busy_until:
+                self._sched(proc.busy_until, _EV_WAKE, proc, wake)
+                return
+            proc.state = _RUNNING
+            self._activate(proc)
+
+    def _release_barrier(self) -> None:
+        release = self._now + self._hw_barrier
+        waiting = self._barrier_waiting
+        self._barrier_waiting = []
+        for rank in waiting:
+            proc = self._procs[rank]
+            self._sched(
+                max(release, proc.busy_until), _EV_BARRIER, rank
+            )
+
+    def _on_barrier_release(self, rank: int) -> None:
+        proc = self._procs[rank]
+        if proc.state == _WAIT_BARRIER:
+            proc.state = _RUNNING
+            self._activate(proc)
+
+    # -- end-of-run invariants ---------------------------------------
+
+    def _check_completion(self) -> None:
+        stuck = [p.rank for p in self._procs if p.state != _DONE]
+        if stuck:
+            raise SimulationError(
+                f"deadlock: procs {stuck} never finished"
+            )
+        for proc in self._procs:
+            if proc.arrived:
+                raise SimulationError(
+                    f"proc {proc.rank} ended with {len(proc.arrived)} "
+                    "undrained arrivals"
+                )
+            if proc.pending_inject is not None or proc.queued_on is not None:
+                raise SimulationError(
+                    f"proc {proc.rank} ended with a pending injection"
+                )
+
+
+def evaluate(
+    compiled: CompiledProgram,
+    params,
+    *,
+    L: float | None = None,
+    enforce_capacity: bool = True,
+    capacity: int | None = None,
+    hw_barrier_cost: float = 0.0,
+    compute_jitter: Callable[[int, float], float] | None = None,
+    collect_stalls: bool = False,
+    max_events: int = 50_000_000,
+) -> CompiledResult:
+    """Run one compiled program at concrete parameters.
+
+    Semantically ``LogPMachine(params, latency=FixedLatency(L), ...)
+    .run(factory)`` for the factory that produced ``compiled`` — bit
+    identical, enforced by the fuzz differential.  Keyword arguments
+    mirror the machine's:
+
+    Args:
+        compiled: output of :func:`compile_programs`.
+        params: :class:`~repro.core.params.LogPParams` (or LogGP
+            subclass) with ``params.P == compiled.P``.
+        L: fixed message latency; defaults to ``params.L``.  Like the
+            machine's latency-bound check, ``L`` may not exceed
+            ``params.L`` (capacity is derived from ``params.L``).
+        enforce_capacity: apply the ceil(L/g) in-flight limit.
+        capacity: override the per-endpoint in-flight limit.
+        hw_barrier_cost: cost added at barrier release.
+        compute_jitter: per-(rank, cycles) adjustment; deterministic
+            callables only (the machine accepts the same hook).
+        collect_stalls: record the StallEvent/WakeupEvent feed so
+            :meth:`CompiledResult.stall_report` works.
+        max_events: safety budget, as in the machine.
+    """
+    if params.P != compiled.P:
+        raise ValueError(
+            f"params.P={params.P} does not match compiled P={compiled.P}"
+        )
+    if hw_barrier_cost < 0:
+        raise ValueError(
+            f"hw_barrier_cost must be >= 0, got {hw_barrier_cost}"
+        )
+    if L is None:
+        L = float(params.L)
+    elif L > params.L + 1e-12:
+        raise ValueError(
+            f"latency L={L} exceeds params.L={params.L}; capacity "
+            "ceil(L/g) would be wrong for this model"
+        )
+    if capacity is None:
+        capacity = params.capacity
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+    if compiled.max_words > 1 and getattr(params, "G", None) is None:
+        raise SimulationError(
+            f"multi-word send (words={compiled.max_words}) requires "
+            "LogGP parameters with a per-word gap G"
+        )
+    return _Evaluator(
+        compiled,
+        params,
+        L=float(L),
+        enforce_capacity=enforce_capacity,
+        capacity=capacity,
+        hw_barrier_cost=hw_barrier_cost,
+        compute_jitter=compute_jitter,
+        collect_stalls=collect_stalls,
+        max_events=max_events,
+    ).run()

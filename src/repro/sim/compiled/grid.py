@@ -1,0 +1,1196 @@
+"""Vectorized grid evaluation: record one run, replay it everywhere.
+
+A deterministic schedule's *control flow* — which handler runs next,
+which branch each comparison takes — is piecewise-constant over the
+``(L, o, g)`` parameter space: nearby points execute the identical
+event sequence with different float values flowing through it.  This
+module exploits that:
+
+1. **Record.**  :class:`_TapeEvaluator` is the scalar evaluator
+   (:mod:`.evaluator`) with every simulated time *boxed* as
+   ``(value, slot)``.  Each float operation the machine semantics
+   perform — one add per ``+``, one max per running-max fold, one
+   sub+add per stall episode — appends one tape instruction, so a
+   replayed slot reproduces the recorded value's IEEE arithmetic
+   bit-for-bit, never an algebraic simplification of it.  Every branch
+   the run takes appends a *constraint*: float comparisons, the
+   engine's past-tolerance clamp, activation-dedup key hits/misses,
+   capacity comparisons against the per-point ``ceil(L/g)`` limit —
+   and a *dependency partial order* over executed events.  Requiring
+   the replayed point to reproduce the full event interleaving would
+   split the grid at every crossing of two unrelated ranks' event
+   times, so ordering is constrained only where it can change results:
+   each handler execution declares the state cells it touches (one per
+   processor, one for the barrier), and successive touchers of a cell
+   must pop in recorded order under the engine's ``(time, seq)`` rule.
+   Time ties are pinned without knowing replayed seq numbers: a pair
+   whose recorded seqs already match its pop order adds ``<=`` plus a
+   recursive order edge between the two events' *schedulers* (handler
+   code order then fixes the seqs); a pair popped against seq order
+   requires strictly increasing times.  Cancelled activations get the
+   same edge from their cancelling event, so a superseded entry cannot
+   pop early and execute at a replayed point.  Events whose footprints
+   never meet may interleave differently at a covered point — the tape
+   is single-assignment dataflow, so commuting executions produce the
+   identical instruction stream and results.
+2. **Replay.**  :func:`_replay` evaluates the tape's instruction list
+   over arrays of grid points (numpy when available, a pure-python
+   loop otherwise) and checks every constraint per point.  A point
+   that satisfies all constraints provably executes the recorded
+   handler sequence up to commuting interleavings, so its replayed
+   makespan and stall totals are *exactly* what the scalar evaluator —
+   and therefore the machine — would produce there.
+3. **Re-reference.**  Points that violate a constraint lie in a
+   different control-flow region: the first such point becomes the
+   next recording reference, up to ``max_tapes`` regions; stragglers
+   fall back to the scalar evaluator.  The fallback changes cost only,
+   never results.
+
+``tests/test_compiled.py`` pins grid output per-point equal to machine
+runs across fuzz-generated programs and parameter grids.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..engine import SimulationError
+from .compiler import (
+    OP_COMPUTE,
+    OP_POLL,
+    OP_RECV,
+    OP_SEND,
+    OP_SLEEP,
+    CompiledProgram,
+)
+from .evaluator import (
+    _COMPACT,
+    _DONE,
+    _EV_ACTIVATION,
+    _EV_ARRIVAL,
+    _EV_BARRIER,
+    _EV_INJECT,
+    _EV_RECV_DONE,
+    _EV_WAKE,
+    _PAST_TOL,
+    _POLLING,
+    _RUNNING,
+    _SLEEPING,
+    _STALL_SEND,
+    _WAIT_BARRIER,
+    _WAIT_GAP,
+    _WAIT_RECV,
+    evaluate,
+)
+
+__all__ = ["GridResult", "evaluate_grid"]
+
+try:  # numpy is optional; the pure-python replay is exact, just slower
+    import numpy as _np
+except ImportError:  # pragma: no cover - image always has numpy
+    _np = None
+
+# Tape instructions: (code, out, ...) producing slot ``out``.
+_I_CONST = 0  # (out, term, k)            v = term
+_I_ADD = 1    # (out, a, term, k)         v = slots[a] + term
+_I_ADDS = 2   # (out, a, b)               v = slots[a] + slots[b]
+_I_MAX = 3    # (out, a, b)               v = max(slots[a], slots[b])
+_I_STALL = 4  # (out, acc, now, start)    v = slots[acc] + (slots[now]-slots[start])
+
+# Parameter terms a tape instruction may reference.
+_T_LIT = 0    # literal float k
+_T_L = 1      # per-point L
+_T_O = 2      # per-point o
+_T_G = 3      # per-point gap g
+_T_SI = 4     # per-point send interval max(g, o)
+_T_GLONG = 5  # k * per-point LogGP long-message Gap
+
+# Constraints: all must hold for a replayed point to be valid.
+_C_LE = 0     # slots[a] <= slots[b]
+_C_LT = 1     # slots[a] <  slots[b]
+_C_EQ = 2     # slots[a] == slots[b]
+_C_NE = 3     # slots[a] != slots[b]
+_C_CLAMP = 4  # now - tol <= slots[a] < slots[b]  (engine clamp branch)
+_C_CAP = 5    # (count >= capacity) == observed; (a=count, b=observed)
+_C_GLPOS = 6  # (long-message Gap > 0) == observed; (a=observed)
+
+
+class _Tape:
+    """The recorded run: instructions, constraints, output slots."""
+
+    __slots__ = (
+        "code", "cons", "n_slots", "makespan_slot", "stall_slot",
+    )
+
+    def __init__(self) -> None:
+        self.code: list = []
+        self.cons: list = []
+        self.n_slots = 0
+        self.makespan_slot = -1
+        self.stall_slot = -1
+
+
+class _TMsg:
+    __slots__ = ("src", "dst", "tag", "words", "arrive")
+
+    def __init__(self, src, dst, tag, words):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.words = words
+        self.arrive = None
+
+
+class _TProc:
+    __slots__ = (
+        "rank", "ops", "n_ops", "ip", "pending", "state",
+        "busy_until", "last_send_start", "last_recv_start",
+        "last_activity", "port_free", "mailbox", "arrived",
+        "pending_inject", "stall_started", "queued_on",
+        "pending_activations", "poll_drained", "sends", "receives",
+        "stall_time", "finished_at",
+    )
+
+    def __init__(self, rank, ops, zero, neginf):
+        self.rank = rank
+        self.ops = ops
+        self.n_ops = len(ops)
+        self.ip = 0
+        self.pending = None
+        self.state = _RUNNING
+        self.busy_until = zero
+        self.last_send_start = neginf
+        self.last_recv_start = neginf
+        self.last_activity = zero
+        self.port_free = neginf
+        self.mailbox: list = []
+        self.arrived: list = []
+        self.pending_inject = None
+        self.stall_started = None
+        self.queued_on = None
+        #: key float -> (event id, key slot); value-compared on lookup
+        #: so every hit/miss is recorded as an eq/ne constraint.
+        self.pending_activations: dict = {}
+        self.poll_drained = 0
+        self.sends = 0
+        self.receives = 0
+        self.stall_time = zero
+        self.finished_at = zero
+
+
+class _TapeEvaluator:
+    """The scalar evaluator with boxed times recording a :class:`_Tape`.
+
+    Every simulated time is a ``(float value, tape slot)`` pair; the
+    float drives this run exactly as in :class:`.evaluator._Evaluator`
+    (same branches, same event order), the slot makes the arithmetic
+    replayable.  Port parity with the scalar evaluator is enforced by
+    the per-point grid-vs-machine equality tests.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        params,
+        *,
+        enforce_capacity: bool,
+        capacity: int,
+        hw_barrier_cost: float,
+        compute_jitter,
+        max_events: int,
+    ):
+        P = compiled.P
+        self._P = P
+        self._o = float(params.o)
+        self._g = float(params.g)
+        self._si = float(params.send_interval)
+        self._L = float(params.L)
+        self._Gl = getattr(params, "G", None)
+        self._capacity = capacity
+        self._enforce = enforce_capacity
+        self._hw_barrier = float(hw_barrier_cost)
+        self._jitter = compute_jitter
+        self._budget = max_events
+        self.tape = _Tape()
+        #: slot -> slots it is >= at *every* parameter point (the add
+        #: chain with nonnegative terms / both max operands); used to
+        #: prune structurally-implied <= constraints.
+        self._anc: dict[int, tuple] = {}
+        self._con_seen: set = set()
+        self._cap_seen: set = set()
+        self._lits: dict[float, int] = {}
+        zero = self._lit(0.0)
+        neginf = self._lit(float("-inf"))
+        self._zero = zero
+        self._procs = [
+            _TProc(r, compiled.ops[r], zero, neginf) for r in range(P)
+        ]
+        self._values = compiled.values
+        self._inflight_from = [0] * P
+        self._inflight_to = [0] * P
+        self._stall_queue: list[list[int]] = [[] for _ in range(P)]
+        self._barrier_waiting: list[int] = []
+        self._total_messages = 0
+        self._queue: list = []
+        self._seq = 0
+        self._cancelled: set = set()
+        self._now = zero
+        self._cur_seq = -1
+        self._events = 0
+        #: State cells touched by the current handler execution:
+        #: 0..P-1 per processor, P for the barrier.
+        self._fp: set = set()
+        #: Per cell, the seq of the last executed event that touched it.
+        self._last_touch: list = [None] * (P + 1)
+        #: Ordered pairs already constrained (memo for :meth:`_order`).
+        self._ordpairs: set = set()
+        #: Per scheduled seq: its (post-clamp) time slot and the seq of
+        #: the event executing when it was scheduled (-1: preamble).
+        self._m_slot: list = []
+        self._m_sched: list = []
+
+    # -- tape primitives ---------------------------------------------
+
+    def _slot(self) -> int:
+        tape = self.tape
+        s = tape.n_slots
+        tape.n_slots = s + 1
+        return s
+
+    def _lit(self, v: float):
+        cached = self._lits.get(v)
+        if cached is None:
+            cached = self._slot()
+            self.tape.code.append((_I_CONST, cached, _T_LIT, v))
+            self._lits[v] = cached
+        return (v, cached)
+
+    def _add(self, t, term: int, k: float, termval: float):
+        out = self._slot()
+        self.tape.code.append((_I_ADD, out, t[1], term, k))
+        if term != _T_LIT or k >= 0:
+            # Parameter terms are nonnegative at every point, so out is
+            # >= t on the whole grid, not just at the reference.
+            self._anc[out] = (t[1],)
+        return (t[0] + termval, out)
+
+    def _max(self, a, b):
+        out = self._slot()
+        self.tape.code.append((_I_MAX, out, a[1], b[1]))
+        self._anc[out] = (a[1], b[1])
+        return (a[0] if a[0] >= b[0] else b[0], out)
+
+    def _implied(self, a: int, b: int) -> bool:
+        """``slots[a] <= slots[b]`` at every point, structurally."""
+        if a == b:
+            return True
+        anc = self._anc
+        t = anc.get(b)
+        if t is None:
+            return False
+        if a in t:  # depth-1 hit: the overwhelmingly common case
+            return True
+        stack = list(t)
+        budget = 12
+        while stack:
+            s = stack.pop()
+            if s == a:
+                return True
+            budget -= 1
+            if budget <= 0:
+                return False
+            stack.extend(anc.get(s, ()))
+        return False
+
+    def _con2(self, kind: int, a: int, b: int) -> None:
+        """Append a binary constraint, deduplicated and pruned."""
+        key = (kind << 60) | (a << 30) | b
+        seen = self._con_seen
+        if key in seen:
+            return
+        seen.add(key)
+        if kind == _C_LE and self._implied(a, b):
+            return
+        self.tape.cons.append((kind, a, b))
+
+    def _lt(self, a, b) -> bool:
+        """Record and return the branch ``a < b``."""
+        if a[0] < b[0]:
+            self._con2(_C_LT, a[1], b[1])
+            return True
+        self._con2(_C_LE, b[1], a[1])
+        return False
+
+    def _cap_ge(self, count: int) -> bool:
+        """Record and return the branch ``count >= capacity``."""
+        r = count >= self._capacity
+        key = (count, r)
+        if key not in self._cap_seen:
+            self._cap_seen.add(key)
+            self.tape.cons.append((_C_CAP, count, r))
+        return r
+
+    # -- inlined engine with ordering constraints --------------------
+
+    def _sched(self, t, code: int, a, b=None, c=None) -> int:
+        now = self._now
+        if t[0] < now[0]:
+            if t[0] < now[0] - _PAST_TOL:
+                raise SimulationError(
+                    f"event scheduled at {t[0]} before current time {now[0]}"
+                )
+            self._con2(_C_CLAMP, t[1], now[1])
+            t = now
+        else:
+            self._con2(_C_LE, now[1], t[1])
+        seq = self._seq
+        self._seq = seq + 1
+        self._m_slot.append(t[1])
+        self._m_sched.append(self._cur_seq)
+        entry = (t[0], seq, t[1], code, a, b, c)
+        queue = self._queue
+        if not queue or queue[-1] < entry:
+            queue.append(entry)
+        else:
+            insort(queue, entry)
+        return seq
+
+    def _order(self, sa: int, sb: int) -> None:
+        """Constrain the event with seq ``sa`` to pop before seq ``sb``.
+
+        The engine pops by ``(time, seq)``, and replayed seq numbers are
+        unknowable at record time (commuting handlers may interleave
+        differently, shifting every seq they assign).  Two facts survive
+        replay: an event outlives its scheduler (``_sched``'s validity
+        bound plus in-handler assignment), and within one handler seqs
+        follow code order.  So: a pair popped against recorded seq order
+        needs strictly increasing times; a pair in seq order needs
+        ``<=`` plus — for a time tie to break the same way — the same
+        pop-order claim about the two *schedulers*, which pins the
+        relative seqs.  The walk up the scheduler chains terminates at a
+        shared scheduler or the preamble (whose seqs are fixed).
+        """
+        pairs = self._ordpairs
+        m_slot = self._m_slot
+        m_sched = self._m_sched
+        while True:
+            key = (sa << 32) | sb
+            if key in pairs:
+                return
+            pairs.add(key)
+            if sa > sb:
+                self._con2(_C_LT, m_slot[sa], m_slot[sb])
+                return
+            if m_sched[sb] == sa:
+                # b was scheduled during a's own execution: a pops
+                # first at every point, no constraint needed.
+                return
+            self._con2(_C_LE, m_slot[sa], m_slot[sb])
+            sa = m_sched[sa]
+            sb = m_sched[sb]
+            if sa == sb or sa < 0 or sb < 0:
+                return
+
+    def run(self):
+        procs = self._procs
+        for proc in procs:
+            self._sched_activation(proc, self._now)
+        queue = self._queue
+        cancelled = self._cancelled
+        head = 0
+        events = 0
+        budget = self._budget
+        fp = self._fp
+        fp.clear()  # preamble touches precede everything; drop them
+        last = self._last_touch
+        order = self._order
+        while True:
+            try:
+                entry = queue[head]
+            except IndexError:
+                break
+            head += 1
+            if head >= _COMPACT:
+                del queue[:head]
+                head = 0
+            sq = entry[1]
+            if cancelled and sq in cancelled:
+                cancelled.remove(sq)
+                continue
+            events += 1
+            if events > budget:
+                raise SimulationError(
+                    f"exceeded max_events={budget}; likely livelock"
+                )
+            self._now = (entry[0], entry[2])
+            self._cur_seq = sq
+            code = entry[3]
+            if code == _EV_ACTIVATION:
+                self._on_activation(entry[4], entry[5])
+            elif code == _EV_ARRIVAL:
+                self._on_arrival(entry[4])
+            elif code == _EV_RECV_DONE:
+                self._on_recv_done(entry[4], entry[5])
+            elif code == _EV_INJECT:
+                self._on_inject(entry[4])
+            elif code == _EV_WAKE:
+                self._on_wake(entry[4], entry[5])
+            else:
+                self._on_barrier_release(entry[4])
+            # Dependency edges: this event pops after every earlier
+            # event touching any state cell its handler touched.
+            prevs = None
+            for cell in fp:
+                pe = last[cell]
+                if pe is not None:
+                    if prevs is None:
+                        prevs = {pe}
+                    else:
+                        prevs.add(pe)
+                last[cell] = sq
+            fp.clear()
+            if prevs is not None:
+                for pe in prevs:
+                    order(pe, sq)
+        self._events = events
+        self._check_completion()
+        makespan = None
+        for p in procs:
+            pm = self._max(p.finished_at, p.last_activity)
+            makespan = pm if makespan is None else self._max(makespan, pm)
+        total = procs[0].stall_time
+        for p in procs[1:]:
+            out = self._slot()
+            self.tape.code.append(
+                (_I_ADDS, out, total[1], p.stall_time[1])
+            )
+            total = (total[0] + p.stall_time[0], out)
+        tape = self.tape
+        tape.makespan_slot = makespan[1]
+        tape.stall_slot = total[1]
+        return {
+            "makespan": makespan[0],
+            "total_stall_time": total[0],
+            "total_messages": self._total_messages,
+            "events_run": events,
+        }
+
+    # -- activation plumbing with dedup-key constraints --------------
+
+    def _sched_activation(self, proc, t) -> None:
+        self._fp.add(proc.rank)
+        pending = proc.pending_activations
+        hit = False
+        for kv, (_kid, kslot) in pending.items():
+            if kv == t[0]:
+                self._con2(_C_EQ, t[1], kslot)
+                hit = True
+            else:
+                self._con2(_C_NE, t[1], kslot)
+        if not hit:
+            pending[t[0]] = (
+                self._sched(t, _EV_ACTIVATION, proc, t),
+                t[1],
+            )
+
+    def _supersede_activations(self, proc, until) -> None:
+        self._fp.add(proc.rank)
+        pending = proc.pending_activations
+        cur_seq = self._cur_seq
+        stale = []
+        for kv, (kid, kslot) in pending.items():
+            if kv < until[0]:
+                self._con2(_C_LT, kslot, until[1])
+                # A cancelled entry must still be *in the queue* at the
+                # moment of cancellation — if a replayed point moved it
+                # before the current event, it would pop and execute
+                # first.  Pin the pop order.
+                self._order(cur_seq, kid)
+                stale.append(kv)
+            else:
+                self._con2(_C_LE, until[1], kslot)
+        if stale:
+            cancelled = self._cancelled
+            for kv in stale:
+                cancelled.add(pending.pop(kv)[0])
+
+    def _on_activation(self, proc, t) -> None:
+        proc.pending_activations.pop(t[0], None)
+        self._activate(proc)
+
+    # -- interpreter loop (ports evaluator._activate) ----------------
+
+    def _activate(self, proc) -> None:
+        now = self._now
+        rank = proc.rank
+        self._fp.add(rank)
+        while True:
+            state = proc.state
+            if state == _DONE:
+                if proc.pending_inject is not None:
+                    self._try_inject(proc)
+                if proc.arrived:
+                    self._try_drain(proc)
+                return
+            if self._lt(now, proc.busy_until):
+                self._sched_activation(proc, proc.busy_until)
+                return
+            if state == _SLEEPING or state == _WAIT_BARRIER:
+                if proc.arrived:
+                    self._try_drain(proc)
+                return
+            if proc.pending_inject is not None:
+                if self._try_inject(proc):
+                    proc.state = _RUNNING
+                    continue
+                proc.state = _STALL_SEND
+                if proc.arrived:
+                    self._try_drain(proc)
+                return
+            op = proc.pending
+            if op is None:
+                ip = proc.ip
+                if ip >= proc.n_ops:
+                    proc.state = _DONE
+                    proc.finished_at = now
+                    if proc.arrived:
+                        self._try_drain(proc)
+                    return
+                op = proc.ops[ip]
+                proc.ip = ip + 1
+                proc.pending = op
+                if op[0] == OP_POLL:
+                    proc.poll_drained = 0
+            kind = op[0]
+            if kind == OP_SEND:
+                # earliest = max(last_send_start + si, port_free): the
+                # machine's branchy form is value-equal to the fold.
+                earliest = self._max(
+                    self._add(
+                        proc.last_send_start, _T_SI, 0.0, self._si
+                    ),
+                    proc.port_free,
+                )
+                if self._lt(now, earliest):
+                    proc.state = _WAIT_GAP
+                    self._sched_activation(proc, earliest)
+                    if proc.arrived:
+                        self._try_drain(proc)
+                    return
+                end = self._add(now, _T_O, 0.0, self._o)
+                proc.pending_inject = _TMsg(rank, op[1], op[3], op[2])
+                self._total_messages += 1
+                proc.last_send_start = now
+                proc.sends += 1
+                proc.busy_until = end
+                proc.last_activity = self._max(proc.last_activity, end)
+                self._sched(end, _EV_INJECT, proc)
+                proc.state = _RUNNING
+                ip = proc.ip
+                if ip >= proc.n_ops:
+                    proc.pending = None
+                    proc.state = _DONE
+                    proc.finished_at = end
+                    return
+                op = proc.ops[ip]
+                proc.ip = ip + 1
+                proc.pending = op
+                if op[0] == OP_POLL:
+                    proc.poll_drained = 0
+                return
+            if kind == OP_RECV:
+                if self._mailbox_take(proc, op[1]):
+                    proc.pending = None
+                    proc.state = _RUNNING
+                    continue
+                proc.state = _WAIT_RECV
+                if proc.arrived:
+                    self._try_drain(proc)
+                return
+            if kind == OP_COMPUTE:
+                cycles = op[1]
+                if self._jitter is not None:
+                    cycles = float(self._jitter(rank, cycles))
+                    if cycles < 0:
+                        raise SimulationError(
+                            f"compute_jitter returned negative cycles "
+                            f"{cycles} for proc {rank}"
+                        )
+                end = self._add(now, _T_LIT, cycles, cycles)
+                proc.busy_until = end
+                proc.last_activity = self._max(proc.last_activity, end)
+                proc.pending = None
+                proc.state = _RUNNING
+                if cycles > 0:
+                    if proc.pending_activations:
+                        self._supersede_activations(proc, end)
+                    self._sched_activation(proc, end)
+                    return
+                continue
+            if kind == OP_SLEEP:
+                proc.state = _SLEEPING
+                wake = self._add(now, _T_LIT, op[1], op[1])
+                proc.pending = None
+                self._sched(wake, _EV_WAKE, proc, wake)
+                if proc.arrived:
+                    self._try_drain(proc)
+                return
+            if kind == OP_POLL:
+                if proc.arrived:
+                    gate = self._add(
+                        proc.last_recv_start, _T_G, 0.0, self._g
+                    )
+                    if not self._lt(now, gate):
+                        proc.state = _POLLING
+                        self._try_drain(proc)
+                        return
+                proc.pending = None
+                proc.state = _RUNNING
+                continue
+            # OP_BARRIER
+            proc.pending = None
+            proc.state = _WAIT_BARRIER
+            self._fp.add(self._P)
+            waiting = self._barrier_waiting
+            waiting.append(rank)
+            if len(waiting) == self._P:
+                self._release_barrier()
+            elif proc.arrived:
+                self._try_drain(proc)
+            return
+
+    # -- receive side ------------------------------------------------
+
+    def _mailbox_take(self, proc, tag) -> bool:
+        mailbox = proc.mailbox
+        if tag is None:
+            if mailbox:
+                mailbox.pop(0)
+                return True
+            return False
+        for i, t in enumerate(mailbox):
+            if t == tag:
+                del mailbox[i]
+                return True
+        return False
+
+    def _try_drain(self, proc) -> None:
+        self._fp.add(proc.rank)
+        if not proc.arrived or proc.state == _RUNNING:
+            return
+        now = self._now
+        if self._lt(now, proc.busy_until):
+            self._sched_activation(proc, proc.busy_until)
+            return
+        if proc.pending_inject is not None and proc.stall_started is None:
+            return
+        earliest = self._add(proc.last_recv_start, _T_G, 0.0, self._g)
+        if self._lt(now, earliest):
+            self._sched_activation(proc, earliest)
+            return
+        msg = proc.arrived.pop(0)
+        end = self._add(now, _T_O, 0.0, self._o)
+        rank = proc.rank
+        proc.last_recv_start = now
+        proc.busy_until = end
+        proc.receives += 1
+        proc.last_activity = self._max(proc.last_activity, end)
+        if proc.pending_activations:
+            self._supersede_activations(proc, end)
+        self._inflight_to[rank] -= 1
+        if self._stall_queue[rank]:
+            self._release_dst_slot(rank)
+        self._sched(end, _EV_RECV_DONE, proc, msg)
+
+    def _on_recv_done(self, proc, msg) -> None:
+        self._fp.add(proc.rank)
+        state = proc.state
+        tag = msg.tag
+        if state == _WAIT_RECV and not proc.mailbox:
+            want = proc.pending[1]
+            if want is None or want == tag:
+                proc.pending = None
+                proc.state = _RUNNING
+                self._activate(proc)
+                return
+        proc.mailbox.append(tag)
+        if state == _POLLING:
+            proc.poll_drained += 1
+            self._activate(proc)
+            return
+        if state == _WAIT_RECV:
+            if self._mailbox_take(proc, proc.pending[1]):
+                proc.pending = None
+                proc.state = _RUNNING
+                self._activate(proc)
+                return
+        if proc.arrived and proc.state != _RUNNING:
+            self._try_drain(proc)
+        if proc.state == _STALL_SEND or proc.state == _WAIT_GAP:
+            self._sched_activation(
+                proc, self._max(self._now, proc.busy_until)
+            )
+
+    # -- injection / capacity ----------------------------------------
+
+    def _on_inject(self, proc) -> None:
+        self._fp.add(proc.rank)
+        if proc.pending_inject is None:
+            return
+        if self._try_inject(proc):
+            self._activate(proc)
+        else:
+            if proc.state != _DONE:
+                proc.state = _STALL_SEND
+            if proc.arrived:
+                self._try_drain(proc)
+
+    def _try_inject(self, proc) -> bool:
+        msg = proc.pending_inject
+        now = self._now
+        rank = msg.src
+        dst = msg.dst
+        self._fp.add(rank)
+        self._fp.add(dst)
+        if self._enforce:
+            needs_src = self._cap_ge(self._inflight_from[rank])
+            needs_dst = self._cap_ge(self._inflight_to[dst])
+            if needs_src or needs_dst:
+                self._park(proc, dst)
+                return False
+        if proc.stall_started is not None:
+            out = self._slot()
+            self.tape.code.append(
+                (
+                    _I_STALL,
+                    out,
+                    proc.stall_time[1],
+                    now[1],
+                    proc.stall_started[1],
+                )
+            )
+            proc.stall_time = (
+                proc.stall_time[0] + (now[0] - proc.stall_started[0]),
+                out,
+            )
+            proc.last_activity = self._max(proc.last_activity, now)
+            proc.stall_started = None
+        if proc.queued_on is not None:
+            self._stall_queue[proc.queued_on].remove(rank)
+            proc.queued_on = None
+        words = msg.words
+        if words > 1:
+            k = float(words - 1)
+            gl = self._Gl or 0.0
+            withstream = self._add(now, _T_GLONG, k, k * gl)
+            msg.arrive = self._add(withstream, _T_L, 0.0, self._L)
+            # stream > 0 iff the per-point long Gap > 0 (k >= 1): a
+            # grid-dependent branch, so it needs its own constraint.
+            positive = k * gl > 0
+            if ("gl", positive) not in self._cap_seen:
+                self._cap_seen.add(("gl", positive))
+                self.tape.cons.append((_C_GLPOS, positive))
+            if positive:
+                proc.port_free = withstream
+        else:
+            msg.arrive = self._add(now, _T_L, 0.0, self._L)
+        self._inflight_from[rank] += 1
+        self._inflight_to[dst] += 1
+        proc.pending_inject = None
+        self._sched(msg.arrive, _EV_ARRIVAL, msg)
+        return True
+
+    def _park(self, proc, dst) -> None:
+        if proc.stall_started is None:
+            proc.stall_started = self._now
+        if proc.queued_on is None:
+            proc.queued_on = dst
+            self._stall_queue[dst].append(proc.rank)
+
+    def _release_src_slot(self, src: int) -> None:
+        self._fp.add(src)
+        proc = self._procs[src]
+        if proc.stall_started is None or proc.pending_inject is None:
+            return
+        dst = proc.pending_inject.dst
+        self._fp.add(dst)
+        admitted = not self._cap_ge(
+            self._inflight_from[src]
+        ) and not self._cap_ge(self._inflight_to[dst])
+        if admitted:
+            self._sched_activation(
+                proc, self._max(self._now, proc.busy_until)
+            )
+
+    def _release_dst_slot(self, dst: int) -> None:
+        self._fp.add(dst)
+        queue = self._stall_queue[dst]
+        if not queue:
+            return
+        budget = self._capacity - self._inflight_to[dst]
+        for rank in queue:
+            # budget <= 0 iff (inflight + admissions so far) >= capacity;
+            # that count is path-structural, the capacity is per-point.
+            if self._cap_ge(self._capacity - budget):
+                break
+            self._fp.add(rank)
+            admitted = not self._cap_ge(self._inflight_from[rank])
+            if admitted:
+                budget -= 1
+                waiter = self._procs[rank]
+                self._sched_activation(
+                    waiter, self._max(self._now, waiter.busy_until)
+                )
+
+    def _on_arrival(self, msg) -> None:
+        src = msg.src
+        self._fp.add(src)
+        self._fp.add(msg.dst)
+        self._inflight_from[src] -= 1
+        src_proc = self._procs[src]
+        if src_proc.stall_started is not None:
+            self._release_src_slot(src)
+        dst = self._procs[msg.dst]
+        dst.arrived.append(msg)
+        if dst.state != _RUNNING:
+            if not self._lt(self._now, dst.busy_until):
+                self._try_drain(dst)
+            else:
+                self._sched_activation(dst, dst.busy_until)
+
+    # -- sleep / barrier ---------------------------------------------
+
+    def _on_wake(self, proc, wake) -> None:
+        self._fp.add(proc.rank)
+        if proc.state == _SLEEPING and not self._lt(self._now, wake):
+            if self._lt(self._now, proc.busy_until):
+                self._sched(proc.busy_until, _EV_WAKE, proc, wake)
+                return
+            proc.state = _RUNNING
+            self._activate(proc)
+
+    def _release_barrier(self) -> None:
+        self._fp.add(self._P)
+        release = self._add(
+            self._now, _T_LIT, self._hw_barrier, self._hw_barrier
+        )
+        waiting = self._barrier_waiting
+        self._barrier_waiting = []
+        for rank in waiting:
+            self._fp.add(rank)
+            proc = self._procs[rank]
+            self._sched(
+                self._max(release, proc.busy_until), _EV_BARRIER, rank
+            )
+
+    def _on_barrier_release(self, rank: int) -> None:
+        self._fp.add(rank)
+        proc = self._procs[rank]
+        if proc.state == _WAIT_BARRIER:
+            proc.state = _RUNNING
+            self._activate(proc)
+
+    def _check_completion(self) -> None:
+        stuck = [p.rank for p in self._procs if p.state != _DONE]
+        if stuck:
+            raise SimulationError(
+                f"deadlock: procs {stuck} never finished"
+            )
+        for proc in self._procs:
+            if proc.arrived or proc.pending_inject is not None:
+                raise SimulationError(
+                    f"proc {proc.rank} ended mid-flight"
+                )
+
+
+@dataclass(slots=True)
+class GridResult:
+    """Per-point results of a grid evaluation, in submission order."""
+
+    makespans: list[float]
+    total_stall_times: list[float]
+    #: Number of control-flow regions recorded (reference runs).
+    tapes: int
+    #: Points the tapes did not cover, evaluated scalar (exact, slower).
+    fallbacks: int
+
+
+def _term_values(term: int, k: float, arrs):
+    L, o, g, si, Gl = arrs
+    if term == _T_LIT:
+        return k
+    if term == _T_L:
+        return L
+    if term == _T_O:
+        return o
+    if term == _T_G:
+        return g
+    if term == _T_SI:
+        return si
+    return k * Gl  # _T_GLONG
+
+
+#: Constraint rows batched per fancy-indexing chunk — bounds the
+#: (rows x npts) comparison temporaries to a few MB.
+_CONS_CHUNK = 512
+
+
+def _replay_numpy(tape: _Tape, arrs, caps):
+    np = _np
+    npts = len(caps)
+    # One (slot, point) matrix; ``out=`` targets write rows in place so
+    # the code loop allocates no temporaries.  Slots are SSA, so an
+    # instruction's output row never aliases its inputs.
+    S = np.empty((tape.n_slots, npts), dtype=float)
+    for ins in tape.code:
+        op = ins[0]
+        if op == _I_ADD:
+            np.add(
+                S[ins[2]], _term_values(ins[3], ins[4], arrs),
+                out=S[ins[1]],
+            )
+        elif op == _I_MAX:
+            np.maximum(S[ins[2]], S[ins[3]], out=S[ins[1]])
+        elif op == _I_CONST:
+            S[ins[1]] = _term_values(ins[2], ins[3], arrs)
+        elif op == _I_ADDS:
+            np.add(S[ins[2]], S[ins[3]], out=S[ins[1]])
+        else:  # _I_STALL
+            np.subtract(S[ins[3]], S[ins[4]], out=S[ins[1]])
+            np.add(S[ins[2]], S[ins[1]], out=S[ins[1]])
+    mk = S[tape.makespan_slot].copy()
+    st = S[tape.stall_slot].copy()
+    # Bucket the constraints by kind, then check each bucket as a
+    # handful of matrix comparisons instead of one python-dispatched
+    # array op per constraint — the replay hot path for large tapes.
+    by_kind: list = [[] for _ in range(7)]
+    for con in tape.cons:
+        by_kind[con[0]].append(con)
+    ok = np.ones(npts, dtype=bool)
+    for kind in (_C_LE, _C_LT, _C_EQ, _C_NE, _C_CLAMP):
+        rows = by_kind[kind]
+        for i in range(0, len(rows), _CONS_CHUNK):
+            chunk = rows[i : i + _CONS_CHUNK]
+            a = S[np.fromiter((c[1] for c in chunk), dtype=np.intp)]
+            b = S[np.fromiter((c[2] for c in chunk), dtype=np.intp)]
+            if kind == _C_LE:
+                res = a <= b
+            elif kind == _C_LT:
+                res = a < b
+            elif kind == _C_EQ:
+                res = a == b
+            elif kind == _C_NE:
+                res = a != b
+            else:  # _C_CLAMP
+                res = (a < b) & (a >= b - _PAST_TOL)
+            ok &= res.all(axis=0)
+            if not ok.any():
+                return ok, mk, st
+    cap_rows = by_kind[_C_CAP]
+    if cap_rows:
+        counts = np.fromiter(
+            (c[1] for c in cap_rows), dtype=np.int64
+        )
+        observed = np.fromiter(
+            (c[2] for c in cap_rows), dtype=bool
+        )
+        res = (counts[:, None] >= caps[None, :]) == observed[:, None]
+        ok &= res.all(axis=0)
+    for con in by_kind[_C_GLPOS]:
+        ok &= (arrs[4] > 0) == con[1]
+        if not ok.any():
+            break
+    return ok, mk, st
+
+
+def _replay_python(tape: _Tape, pts, caps):
+    """Scalar replay of one tape at each point: exact, numpy-free."""
+    oks = []
+    mks = []
+    sts = []
+    for (L, o, g, si, Gl), cap in zip(pts, caps):
+        arrs = (L, o, g, si, Gl)
+        slots: list = [0.0] * tape.n_slots
+        for ins in tape.code:
+            op = ins[0]
+            if op == _I_ADD:
+                slots[ins[1]] = slots[ins[2]] + _term_values(
+                    ins[3], ins[4], arrs
+                )
+            elif op == _I_MAX:
+                a = slots[ins[2]]
+                b = slots[ins[3]]
+                slots[ins[1]] = a if a >= b else b
+            elif op == _I_CONST:
+                slots[ins[1]] = _term_values(ins[2], ins[3], arrs)
+            elif op == _I_ADDS:
+                slots[ins[1]] = slots[ins[2]] + slots[ins[3]]
+            else:
+                slots[ins[1]] = slots[ins[2]] + (
+                    slots[ins[3]] - slots[ins[4]]
+                )
+        ok = True
+        for con in tape.cons:
+            c = con[0]
+            if c == _C_LE:
+                ok = slots[con[1]] <= slots[con[2]]
+            elif c == _C_LT:
+                ok = slots[con[1]] < slots[con[2]]
+            elif c == _C_EQ:
+                ok = slots[con[1]] == slots[con[2]]
+            elif c == _C_NE:
+                ok = slots[con[1]] != slots[con[2]]
+            elif c == _C_CLAMP:
+                t, n = slots[con[1]], slots[con[2]]
+                ok = (t < n) and (t >= n - _PAST_TOL)
+            elif c == _C_CAP:
+                ok = (con[1] >= cap) == con[2]
+            else:
+                ok = (Gl > 0) == con[1]
+            if not ok:
+                break
+        oks.append(bool(ok))
+        mks.append(slots[tape.makespan_slot])
+        sts.append(slots[tape.stall_slot])
+    return oks, mks, sts
+
+
+def evaluate_grid(
+    compiled: CompiledProgram,
+    grid: Sequence,
+    *,
+    enforce_capacity: bool = True,
+    capacity: int | None = None,
+    hw_barrier_cost: float = 0.0,
+    compute_jitter: Callable[[int, float], float] | None = None,
+    max_events: int = 50_000_000,
+    max_tapes: int = 32,
+    use_numpy: bool | None = None,
+) -> GridResult:
+    """Evaluate one compiled program at every parameter point in ``grid``.
+
+    Each point's makespan and total stall time are exactly what
+    :func:`.evaluator.evaluate` (and therefore the machine) produces
+    there — vectorization changes cost, never values.  Points are
+    covered by up to ``max_tapes`` recorded control-flow regions;
+    uncovered stragglers run the scalar evaluator.
+
+    Args:
+        compiled: output of :func:`compile_programs`.
+        grid: LogPParams points; every ``P`` must equal ``compiled.P``
+            (vectorization is over ``(L, o, g)`` — fan out over ``P``
+            by compiling per processor count, as ``sweep.grid_map``
+            does).
+        use_numpy: force (True) or forbid (False) the numpy replay;
+            ``None`` uses numpy when importable.
+    """
+    pts = list(grid)
+    if not pts:
+        return GridResult([], [], 0, 0)
+    if hw_barrier_cost < 0:
+        raise ValueError(
+            f"hw_barrier_cost must be >= 0, got {hw_barrier_cost}"
+        )
+    if max_tapes < 0:
+        raise ValueError(f"max_tapes must be >= 0, got {max_tapes}")
+    for p in pts:
+        if p.P != compiled.P:
+            raise ValueError(
+                f"grid point P={p.P} does not match compiled "
+                f"P={compiled.P}; group grid points by P"
+            )
+        if compiled.max_words > 1 and getattr(p, "G", None) is None:
+            raise SimulationError(
+                f"multi-word send (words={compiled.max_words}) requires "
+                "LogGP parameters with a per-word gap G"
+            )
+    if use_numpy is None:
+        use_numpy = _np is not None
+    elif use_numpy and _np is None:
+        raise RuntimeError("numpy requested but not importable")
+    n = len(pts)
+    caps = [
+        (p.capacity if capacity is None else capacity) for p in pts
+    ]
+    for c in caps:
+        if c < 1:
+            raise ValueError(f"capacity must be >= 1, got {c}")
+    raw = [
+        (
+            float(p.L),
+            float(p.o),
+            float(p.g),
+            float(p.send_interval),
+            float(getattr(p, "G", None) or 0.0),
+        )
+        for p in pts
+    ]
+    makespans = [0.0] * n
+    stalls = [0.0] * n
+    remaining = list(range(n))
+    tapes = 0
+    while remaining and tapes < max_tapes:
+        ref = remaining[0]
+        rec = _TapeEvaluator(
+            compiled,
+            pts[ref],
+            enforce_capacity=enforce_capacity,
+            capacity=caps[ref],
+            hw_barrier_cost=hw_barrier_cost,
+            compute_jitter=compute_jitter,
+            max_events=max_events,
+        )
+        out = rec.run()
+        tapes += 1
+        makespans[ref] = out["makespan"]
+        stalls[ref] = out["total_stall_time"]
+        rest = remaining[1:]
+        if not rest:
+            remaining = []
+            break
+        if use_numpy:
+            np = _np
+            arrs = tuple(
+                np.asarray([raw[i][k] for i in rest], dtype=float)
+                for k in range(5)
+            )
+            cap_arr = np.asarray([caps[i] for i in rest], dtype=np.int64)
+            ok, mk, st = _replay_numpy(rec.tape, arrs, cap_arr)
+            next_remaining = []
+            for j, i in enumerate(rest):
+                if ok[j]:
+                    makespans[i] = float(mk[j])
+                    stalls[i] = float(st[j])
+                else:
+                    next_remaining.append(i)
+            remaining = next_remaining
+        else:
+            ok, mk, st = _replay_python(
+                rec.tape,
+                [raw[i] for i in rest],
+                [caps[i] for i in rest],
+            )
+            next_remaining = []
+            for j, i in enumerate(rest):
+                if ok[j]:
+                    makespans[i] = mk[j]
+                    stalls[i] = st[j]
+                else:
+                    next_remaining.append(i)
+            remaining = next_remaining
+    fallbacks = len(remaining)
+    for i in remaining:
+        res = evaluate(
+            compiled,
+            pts[i],
+            enforce_capacity=enforce_capacity,
+            capacity=capacity,
+            hw_barrier_cost=hw_barrier_cost,
+            compute_jitter=compute_jitter,
+            max_events=max_events,
+        )
+        makespans[i] = res.makespan
+        stalls[i] = res.total_stall_time
+    return GridResult(makespans, stalls, tapes, fallbacks)

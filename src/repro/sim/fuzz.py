@@ -22,7 +22,11 @@ cross-checks every run three ways:
    no-regression witness), and a ring
    :class:`~repro.sim.net.ContentionFabric` calibrated to ``L`` must
    deliver the same messages and values under hop-consistent,
-   semantically valid routing;
+   semantically valid routing; finally the schedule is lowered by
+   :mod:`repro.sim.compiled` and the engine-free compiled evaluator
+   must reproduce the machine *bit-identically* — makespan, event
+   counts, per-rank accounting, return values, and the full
+   capacity-stall feed cross-checked through ``stall_report()``;
 3. **analytic cross-check** — for families with a closed form
    (single-pair streams, disjoint pairwise streams) the simulated
    makespan must equal the formulas in :mod:`repro.core.cost` exactly;
@@ -467,8 +471,19 @@ def _run_machine(
     return machine.run(case.factory)
 
 
-def run_case(case: FuzzCase, latency_name: str = "fixed") -> CaseOutcome:
-    """Execute one case under one latency model and run every check."""
+def run_case(
+    case: FuzzCase,
+    latency_name: str = "fixed",
+    *,
+    compiled_check: bool = True,
+) -> CaseOutcome:
+    """Execute one case under one latency model and run every check.
+
+    ``compiled_check=False`` skips differential check 5 (the compiled
+    evaluator); used by ``repro.bench`` to keep the ``fuzz_smoke``
+    workload's cost comparable across benchmark records predating the
+    compiled backend.  Correctness sweeps leave it on.
+    """
     where = f"seed={case.seed} family={case.family} {case.params} [{latency_name}]"
     make_latency = LATENCIES[latency_name]
     fixed = latency_name == "fixed"
@@ -571,6 +586,11 @@ def run_case(case: FuzzCase, latency_name: str = "fixed") -> CaseOutcome:
     # flight times are a constant).
     if fixed:
         out.failures.extend(_check_fabrics(case, res, where))
+
+    # 5. Compiled-evaluator differential (deterministic latency only):
+    # the engine-free fast path must be *bit-identical* to the machine.
+    if fixed and compiled_check:
+        out.failures.extend(_check_compiled(case, res, where))
     return out
 
 
@@ -672,15 +692,96 @@ def _check_fabrics(
     return failures
 
 
+def _check_compiled(
+    case: FuzzCase, res: MachineResult, where: str
+) -> list[str]:
+    """Diff the compiled evaluator against the traced machine run.
+
+    Everything is compared with ``==`` — bit-identity, no tolerance:
+    makespan, message/event counts, per-rank accounting, program return
+    values, the raw stall/wakeup event feed, and the condensed
+    ``stall_report()`` the feed folds into.
+    """
+    from .compiled import CompileError, compile_programs, evaluate
+
+    failures: list[str] = []
+    try:
+        prog = compile_programs(case.factory, case.params.P)
+    except CompileError as exc:
+        # Every fuzz family is deterministic by construction (no Now,
+        # no deadlock), so failing to lower one is itself a finding.
+        failures.append(f"{where}: schedule failed to compile: {exc}")
+        return failures
+    try:
+        comp = evaluate(
+            prog,
+            case.params,
+            collect_stalls=True,
+            max_events=2_000_000,
+        )
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        failures.append(f"{where}: compiled evaluation crashed: {exc!r}")
+        return failures
+    if comp.makespan != res.makespan:
+        failures.append(
+            f"{where}: compiled makespan {comp.makespan} != machine "
+            f"{res.makespan} (must be bit-identical)"
+        )
+    if comp.total_messages != res.total_messages:
+        failures.append(
+            f"{where}: compiled message count {comp.total_messages} != "
+            f"machine {res.total_messages}"
+        )
+    if comp.total_stall_time != res.total_stall_time:
+        failures.append(
+            f"{where}: compiled stall time {comp.total_stall_time} != "
+            f"machine {res.total_stall_time} (must be bit-identical)"
+        )
+    if comp.events_run != res.events_run:
+        failures.append(
+            f"{where}: compiled ran {comp.events_run} events, machine "
+            f"ran {res.events_run}"
+        )
+    for rank in range(case.params.P):
+        got, want = comp.values[rank], res.value(rank)
+        if got != want:
+            failures.append(
+                f"{where}: compiled P{rank} returned {got!r}, machine "
+                f"returned {want!r}"
+            )
+    if comp.stall_events != res.stall_events:
+        failures.append(
+            f"{where}: compiled stall/wakeup feed differs from the "
+            f"machine's ({len(comp.stall_events)} vs "
+            f"{len(res.stall_events)} events)"
+        )
+    if comp.stall_report() != res.stall_report():
+        failures.append(
+            f"{where}: compiled stall_report() differs from the "
+            "machine's"
+        )
+    return failures
+
+
 def _sweep_seed(
-    seed: int, latencies: tuple[str, ...]
+    seed: int, latencies: tuple[str, ...], compiled_check: bool = True
 ) -> tuple[str, list[CaseOutcome]]:
     """Per-seed work unit for the parallel sweep: regenerate the case
     (program factories are generators and cannot cross a process
     boundary — only the seed does) and run it under every latency
     model.  Module-level so it pickles."""
     case = make_case(int(seed))
-    return case.family, [run_case(case, name) for name in latencies]
+    return case.family, [
+        run_case(case, name, compiled_check=compiled_check)
+        for name in latencies
+    ]
+
+
+#: Smallest per-worker share of a fuzz sweep worth a process dispatch.
+#: One seed costs a few milliseconds; below ~this many seeds per worker,
+#: pool startup and per-task IPC exceed the work shipped and sweep_map
+#: degrades to the (bit-identical) serial loop instead.
+MIN_SEEDS_PER_WORKER = 48
 
 
 def fuzz_sweep(
@@ -689,6 +790,8 @@ def fuzz_sweep(
     *,
     max_failures: int = 50,
     workers: int | None = None,
+    min_chunk: int = MIN_SEEDS_PER_WORKER,
+    compiled_check: bool = True,
 ) -> FuzzSummary:
     """Run a seeded sweep; every (seed, latency model) pair is one run.
 
@@ -699,6 +802,9 @@ def fuzz_sweep(
     folded in seed submission order with the same accounting, including
     the ``max_failures`` early exit — a parallel sweep may merely
     compute results past the cut that the fold then discards.
+    ``min_chunk`` (seeds per worker; see :func:`sweep_map`) keeps small
+    sweeps serial where a pool could only add overhead;
+    ``compiled_check`` is forwarded to :func:`run_case`.
     """
     summary = FuzzSummary(cases=0, runs=0, total_messages=0)
     seed_list = [int(s) for s in seeds]
@@ -734,9 +840,12 @@ def fuzz_sweep(
         return summary
 
     per_seed = sweep_map(
-        partial(_sweep_seed, latencies=latencies),
+        partial(
+            _sweep_seed, latencies=latencies, compiled_check=compiled_check
+        ),
         seed_list,
         workers=workers,
+        min_chunk=min_chunk,
     )
     for family, outcomes in per_seed:
         if not fold(family, outcomes):

@@ -17,6 +17,20 @@ while keeping the *result* exactly what the serial loop would produce:
 * **Deterministic chunking.**  The chunk size is a pure function of the
   item count and worker count (or caller-supplied) — never derived from
   timing — so scheduling jitter cannot change what any worker computes.
+* **Amortized dispatch.**  ``min_chunk`` sets the smallest per-worker
+  share worth shipping to a process: the worker count is lowered until
+  every worker gets at least that many items, degrading to the serial
+  loop for sweeps too small to amortize pool startup and per-task IPC
+  (~10ms of pure overhead on a small fuzz sweep).  The result is
+  unchanged — only where the work runs.
+
+Parameter-grid sweeps have a second fast path: :func:`grid_map`
+evaluates one program family across a whole grid of ``LogPParams``
+through the compiled schedule evaluator (:mod:`repro.sim.compiled`) —
+compile once per distinct ``P``, replay vectorized — with explicit
+backend selection (``machine`` / ``compiled`` / ``auto``) that refuses
+loudly, rather than silently slowing down, when the timing
+configuration is nondeterministic.
 
 Worker-count resolution (:func:`resolve_workers`): an explicit argument
 wins; otherwise the ``REPRO_SWEEP_WORKERS`` environment variable;
@@ -35,9 +49,9 @@ import multiprocessing
 import os
 import pickle
 import warnings
-from typing import Callable, Iterable, TypeVar
+from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["ENV_WORKERS", "resolve_workers", "sweep_map"]
+__all__ = ["ENV_WORKERS", "grid_map", "resolve_workers", "sweep_map"]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -76,6 +90,7 @@ def sweep_map(
     *,
     workers: int | None = None,
     chunksize: int | None = None,
+    min_chunk: int = 1,
 ) -> list[_R]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
@@ -92,7 +107,15 @@ def sweep_map(
         chunksize: items handed to a worker per dispatch.  Default
             splits the sweep into ~4 chunks per worker, which amortizes
             IPC without letting one straggler chunk dominate.
+        min_chunk: smallest per-worker share worth a process dispatch.
+            The worker count is reduced to ``len(items) // min_chunk``
+            when the sweep is too small to give every worker that many
+            items; a single remaining worker means the serial loop.
+            Callers with ~millisecond items (the fuzz sweep) set this
+            high enough that pool startup cannot exceed the work shipped.
     """
+    if min_chunk < 1:
+        raise ValueError(f"min_chunk must be >= 1, got {min_chunk}")
     items = list(items)
     n = min(resolve_workers(workers), len(items))
     if n <= 1:
@@ -108,6 +131,10 @@ def sweep_map(
             stacklevel=2,
         )
         return _serial(fn, items)
+    if min_chunk > 1:
+        n = min(n, len(items) // min_chunk)
+        if n <= 1:
+            return _serial(fn, items)
     if chunksize is None:
         chunksize = max(1, -(-len(items) // (4 * n)))
     # Prefer fork where available (cheap, inherits the imported repo);
@@ -118,3 +145,101 @@ def sweep_map(
         # Pool.map blocks until every chunk finishes and returns results
         # in submission order regardless of completion order.
         return pool.map(fn, items, chunksize=chunksize)
+
+
+def grid_map(
+    programs,
+    grid: Sequence,
+    *,
+    backend: str = "auto",
+    latency=None,
+    fabric=None,
+    enforce_capacity: bool = True,
+    capacity: int | None = None,
+    hw_barrier_cost: float = 0.0,
+    compute_jitter: Callable[[int, float], float] | None = None,
+    max_events: int = 50_000_000,
+    use_numpy: bool | None = None,
+) -> list[tuple[float, float]]:
+    """Evaluate one program family at every parameter point of ``grid``.
+
+    Returns ``(makespan, total_stall_time)`` per point, in submission
+    order, exactly what :func:`repro.sim.machine.run_programs` reports
+    there — the backend changes cost, never values.
+
+    Args:
+        programs: program factory ``(rank, P) -> generator``, the
+            machine's usual form.  Called per distinct ``P`` (compiled)
+            or per point (machine).
+        grid: ``LogPParams`` points; ``P`` may vary — points are grouped
+            by ``P`` and each group compiles once.
+        backend: ``"machine"``, ``"compiled"``, or ``"auto"`` (see
+            :func:`repro.sim.compiled.resolve_backend`): ``auto`` uses
+            the compiled fast path, raises ``ValueError`` on a
+            nondeterministic latency model or non-Latency fabric, and
+            falls back to the machine only for programs that cannot be
+            *lowered* (timing-dependent control flow).
+        latency / fabric: timing configuration, shared across points
+            (the machine path constructs one machine per point around
+            them; the compiled path refuses anything nondeterministic).
+        use_numpy: forwarded to
+            :func:`repro.sim.compiled.evaluate_grid`.
+    """
+    from .compiled import (
+        CompileError,
+        compile_programs,
+        evaluate_grid,
+        resolve_backend,
+    )
+
+    pts = list(grid)
+    resolved = resolve_backend(backend, latency=latency, fabric=fabric)
+    out: list[tuple[float, float] | None] = [None] * len(pts)
+
+    def _machine(indices: list[int]) -> None:
+        from .machine import LogPMachine
+
+        for i in indices:
+            res = LogPMachine(
+                pts[i],
+                latency=latency,
+                fabric=fabric,
+                enforce_capacity=enforce_capacity,
+                capacity=capacity,
+                hw_barrier_cost=hw_barrier_cost,
+                compute_jitter=compute_jitter,
+                trace=False,
+                max_events=max_events,
+            ).run(programs)
+            out[i] = (res.makespan, res.total_stall_time)
+
+    if resolved == "machine":
+        _machine(list(range(len(pts))))
+        return [pair for pair in out if pair is not None]
+
+    by_p: dict[int, list[int]] = {}
+    for i, p in enumerate(pts):
+        by_p.setdefault(p.P, []).append(i)
+    for P, indices in by_p.items():
+        try:
+            prog = compile_programs(programs, P)
+        except CompileError:
+            if backend == "compiled":
+                raise
+            # auto: the *program* is timing-dependent at this P — a
+            # property of the schedule, not a configuration error.
+            _machine(indices)
+            continue
+        gr = evaluate_grid(
+            prog,
+            [pts[i] for i in indices],
+            enforce_capacity=enforce_capacity,
+            capacity=capacity,
+            hw_barrier_cost=hw_barrier_cost,
+            compute_jitter=compute_jitter,
+            max_events=max_events,
+            use_numpy=use_numpy,
+        )
+        for j, i in enumerate(indices):
+            out[i] = (gr.makespans[j], gr.total_stall_times[j])
+    return [pair for pair in out if pair is not None]

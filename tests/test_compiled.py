@@ -1,0 +1,338 @@
+"""The compiled DAG evaluator: bit-identity, grids, refusal semantics.
+
+The contract under test is the one the fuzz harness enforces at scale
+(``repro.sim.fuzz`` check 5): for any deterministic fixed-latency
+schedule, the compiled evaluator — scalar or vectorized grid replay —
+produces *exactly* what the event machine produces.  Every comparison
+here is ``==``; there are no tolerances to hide behind.
+
+Also covered: the machine-kwarg variants the evaluator mirrors
+(capacity override, ``enforce_capacity=False``, ``hw_barrier_cost``,
+``merge_overhead_into_gap`` parameter sets, LogGP long messages),
+capacity-stall accounting cross-checked through ``stall_report()``,
+numpy-vs-pure-python replay parity, and the backend selection rules:
+``compiled``/``auto`` refuse nondeterministic timing loudly instead of
+silently falling back to the machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LogPParams
+from repro.core.loggp import LogGPParams
+from repro.sim import (
+    Barrier,
+    Compute,
+    FixedLatency,
+    LogPMachine,
+    Now,
+    Recv,
+    Send,
+    UniformLatency,
+)
+from repro.sim.compiled import (
+    BACKENDS,
+    CompileError,
+    backend_ineligibility,
+    compile_programs,
+    evaluate,
+    evaluate_grid,
+    resolve_backend,
+)
+from repro.sim.fuzz import make_case
+from repro.sim.net import LatencyFabric, TopologyFabric
+from repro.sim.sweep import grid_map
+
+BASE = LogPParams(L=6, o=2, g=4, P=8)
+
+
+# ----------------------------------------------------------------------
+# Program factories
+# ----------------------------------------------------------------------
+
+
+def _bcast(rank: int, P: int):
+    """Pipelined chain broadcast of 4 items: P-generic, stall-prone."""
+
+    def run():
+        for idx in range(4):
+            if rank > 0:
+                msg = yield Recv(tag=("it", idx))
+                val = msg.payload
+            else:
+                val = idx
+            if rank < P - 1:
+                yield Send(rank + 1, payload=val, tag=("it", idx))
+        return rank
+
+    return run()
+
+
+def _flood(rank: int, P: int):
+    """Many-to-one flood: deep in the capacity-stall regime."""
+
+    def run():
+        if rank == 0:
+            for _ in range(6 * (P - 1)):
+                yield Recv()
+            return None
+        for _ in range(6):
+            yield Send(0)
+        return None
+
+    return run()
+
+
+def _barrier_prog(rank: int, P: int):
+    def run():
+        yield Compute(rank + 1)
+        yield Barrier()
+        if rank == 0:
+            yield Send(1, payload="after")
+        elif rank == 1:
+            yield Recv()
+        return rank
+
+    return run()
+
+
+def _loggp_prog(rank: int, P: int):
+    """Long (multi-word) messages: exercises the LogGP G term."""
+
+    def run():
+        if rank == 0:
+            yield Send(1, words=64, payload="bulk")
+            yield Send(1, words=1, payload="short")
+            return None
+        if rank == 1:
+            yield Recv()
+            yield Recv()
+        return None
+
+    return run()
+
+
+def _now_prog(rank: int, P: int):
+    def run():
+        t = yield Now()
+        yield Compute(t + 1)
+        return None
+
+    return run()
+
+
+# ----------------------------------------------------------------------
+# Scalar differential
+# ----------------------------------------------------------------------
+
+
+def _assert_matches(factory, params, **kw) -> None:
+    """Machine and compiled evaluator agree exactly on every shared field."""
+    machine = LogPMachine(
+        params, latency=FixedLatency(params.L), trace=False, **kw
+    ).run(factory)
+    comp = evaluate(
+        compile_programs(factory, params.P),
+        params,
+        collect_stalls=True,
+        **kw,
+    )
+    assert comp.makespan == machine.makespan
+    assert comp.total_messages == machine.total_messages
+    assert comp.total_stall_time == machine.total_stall_time
+    assert comp.events_run == machine.events_run
+    assert tuple(comp.values) == tuple(machine.values())
+    assert comp.finished_at == [r.finished_at for r in machine.results]
+    assert comp.sends == [r.sends for r in machine.results]
+    assert comp.receives == [r.receives for r in machine.results]
+    assert comp.stall_time == [r.stall_time for r in machine.results]
+
+
+@pytest.mark.parametrize("factory", [_bcast, _flood, _barrier_prog])
+@pytest.mark.parametrize(
+    "params",
+    [
+        BASE,
+        LogPParams(L=12, o=1, g=1, P=6),  # high capacity, no stalls
+        LogPParams(L=9, o=0.5, g=3, P=4),  # fractional overhead
+    ],
+)
+def test_scalar_differential(factory, params):
+    _assert_matches(factory, params)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_scalar_differential_fuzz_families(seed):
+    """A thin slice of the fuzz differential, pinned into tier 1."""
+    case = make_case(seed)
+    _assert_matches(case.factory, case.params)
+
+
+def test_capacity_override_and_disabled():
+    _assert_matches(_flood, BASE, capacity=2)
+    _assert_matches(_flood, BASE, capacity=1)
+    _assert_matches(_flood, BASE, enforce_capacity=False)
+
+
+def test_hw_barrier_cost():
+    _assert_matches(_barrier_prog, BASE, hw_barrier_cost=3.5)
+
+
+def test_merge_overhead_into_gap_variant():
+    """The Section 3.1 ``o := max(o, g)`` analysis sets (g ignored, so
+    capacity degenerates) still evaluate bit-identically."""
+    merged = BASE.merge_overhead_into_gap()
+    _assert_matches(_bcast, merged, enforce_capacity=False)
+
+
+def test_loggp_long_messages():
+    p = LogGPParams(L=6, o=2, g=4, G=0.5, P=2)
+    machine = LogPMachine(p, trace=False).run(_loggp_prog)
+    comp = evaluate(compile_programs(_loggp_prog, 2), p)
+    assert comp.makespan == machine.makespan
+    assert comp.total_messages == machine.total_messages
+
+
+def test_stall_report_cross_check():
+    """Capacity-stall timing agrees with MachineResult.stall_report()."""
+    machine = LogPMachine(
+        BASE, latency=FixedLatency(BASE.L), trace=True
+    ).run(_flood)
+    comp = evaluate(
+        compile_programs(_flood, BASE.P), BASE, collect_stalls=True
+    )
+    assert comp.total_stall_time > 0  # the regime is actually exercised
+    assert comp.stall_events == machine.stall_events
+    assert comp.stall_report() == machine.stall_report()
+
+
+def test_compile_error_on_timing_dependence():
+    with pytest.raises(CompileError, match="Now"):
+        compile_programs(_now_prog, 2)
+
+
+# ----------------------------------------------------------------------
+# Grid replay
+# ----------------------------------------------------------------------
+
+GRID = [
+    LogPParams(L=float(L), o=o, g=float(g), P=8)
+    for L in (1, 3, 6, 9, 14)
+    for g in (1, 2, 4, 7)
+    for o in (0.5, 2.0)
+]
+
+
+@pytest.mark.parametrize("factory", [_bcast, _flood])
+def test_grid_matches_machine_per_point(factory):
+    gr = evaluate_grid(compile_programs(factory, 8), GRID, max_tapes=64)
+    assert gr.fallbacks == 0  # every point tape-covered, none punted
+    for i, p in enumerate(GRID):
+        res = LogPMachine(p, latency=FixedLatency(p.L), trace=False).run(
+            factory
+        )
+        assert (gr.makespans[i], gr.total_stall_times[i]) == (
+            res.makespan,
+            res.total_stall_time,
+        ), f"grid point {i} ({p.L}, {p.o}, {p.g}) diverged"
+
+
+def test_grid_numpy_python_replay_parity():
+    pytest.importorskip("numpy")
+    prog = compile_programs(_bcast, 8)
+    a = evaluate_grid(prog, GRID, use_numpy=True)
+    b = evaluate_grid(prog, GRID, use_numpy=False)
+    assert a.makespans == b.makespans
+    assert a.total_stall_times == b.total_stall_times
+
+
+def test_grid_scalar_fallback_is_exact():
+    """With max_tapes=0 every point takes the scalar-replay fallback."""
+    prog = compile_programs(_flood, 8)
+    gr = evaluate_grid(prog, GRID[:6], max_tapes=0)
+    assert gr.tapes == 0 and gr.fallbacks == 6
+    full = evaluate_grid(prog, GRID[:6], max_tapes=64)
+    assert gr.makespans == full.makespans
+    assert gr.total_stall_times == full.total_stall_times
+
+
+def test_grid_rejects_mismatched_p():
+    prog = compile_programs(_bcast, 4)
+    with pytest.raises(ValueError, match="group grid points by P"):
+        evaluate_grid(prog, [BASE])
+
+
+# ----------------------------------------------------------------------
+# Backend selection and refusal
+# ----------------------------------------------------------------------
+
+
+def test_backend_names():
+    assert BACKENDS == ("machine", "compiled", "auto")
+    with pytest.raises(ValueError, match="must be one of"):
+        resolve_backend("vectorized", latency=None, fabric=None)
+
+
+def test_backend_machine_always_allowed():
+    lat = UniformLatency(6.0)
+    assert resolve_backend("machine", latency=lat, fabric=None) == "machine"
+
+
+@pytest.mark.parametrize("backend", ["compiled", "auto"])
+def test_backend_refuses_nondeterministic_latency(backend):
+    lat = UniformLatency(6.0)
+    assert backend_ineligibility(lat, None) is not None
+    with pytest.raises(ValueError, match="nondeterministic|UniformLatency"):
+        resolve_backend(backend, latency=lat, fabric=None)
+
+
+@pytest.mark.parametrize("backend", ["compiled", "auto"])
+def test_backend_refuses_topology_fabric(backend):
+    fabric = TopologyFabric.ring(8, L=6)
+    assert backend_ineligibility(None, fabric) is not None
+    with pytest.raises(ValueError):
+        resolve_backend(backend, latency=None, fabric=fabric)
+
+
+def test_backend_accepts_latency_fabric():
+    fabric = LatencyFabric(FixedLatency(6.0))
+    assert backend_ineligibility(None, fabric) is None
+    assert (
+        resolve_backend("auto", latency=None, fabric=fabric) == "compiled"
+    )
+
+
+def test_grid_map_refuses_loudly_not_silently():
+    """The refusal surfaces from grid_map itself, before any work."""
+    with pytest.raises(ValueError):
+        grid_map(_bcast, [BASE], backend="auto", latency=UniformLatency(6.0))
+    with pytest.raises(ValueError):
+        grid_map(
+            _bcast, [BASE], backend="compiled",
+            fabric=TopologyFabric.ring(8, L=6),
+        )
+
+
+def test_grid_map_parity_mixed_p():
+    """grid_map groups by P, compiles per group, merges in order."""
+    grid = [
+        LogPParams(L=float(L), o=2, g=float(g), P=P)
+        for P in (4, 8, 5)
+        for L in (2, 6, 11)
+        for g in (1, 4)
+    ]
+    compiled = grid_map(_bcast, grid, backend="compiled")
+    machine = grid_map(_bcast, grid, backend="machine")
+    assert compiled == machine
+
+
+def test_grid_map_auto_falls_back_only_on_compile_error():
+    compiled = grid_map(_now_prog, [LogPParams(L=4, o=1, g=2, P=2)],
+                        backend="auto")
+    machine = grid_map(_now_prog, [LogPParams(L=4, o=1, g=2, P=2)],
+                       backend="machine")
+    assert compiled == machine
+    with pytest.raises(CompileError):
+        grid_map(_now_prog, [LogPParams(L=4, o=1, g=2, P=2)],
+                 backend="compiled")

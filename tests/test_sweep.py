@@ -240,7 +240,9 @@ class TestMaxFailuresEarlyExit:
 
         original = fuzz._sweep_seed
         monkeypatch.setattr(
-            fuzz, "_sweep_seed", lambda seed, latencies: original(seed, latencies)
+            fuzz,
+            "_sweep_seed",
+            lambda seed, latencies, **kw: original(seed, latencies, **kw),
         )
         with pytest.warns(RuntimeWarning, match="not picklable"):
             fallback = fuzz.fuzz_sweep(
@@ -289,3 +291,56 @@ class TestResolveWorkers:
         monkeypatch.setenv(ENV_WORKERS, "many")
         with pytest.raises(ValueError, match=ENV_WORKERS):
             resolve_workers()
+
+
+class TestMinChunk:
+    """min_chunk: sweeps too small to amortize a pool run serially.
+
+    The degrade is a placement decision only — results must be identical
+    on every path — and it must actually keep the pool out: a 60-item
+    sweep with min_chunk=48 costs ~10ms of pure pool overhead per run
+    if dispatched, which is what made 2-worker fuzz sweeps slower than
+    serial before the threshold existed.
+    """
+
+    def test_small_sweep_degrades_to_serial(self, monkeypatch):
+        import repro.sim.sweep as sweep_mod
+
+        def boom(*a, **kw):  # any pool construction is a failure
+            raise AssertionError("pool used for an under-min_chunk sweep")
+
+        monkeypatch.setattr(
+            sweep_mod.multiprocessing, "get_context", boom
+        )
+        out = sweep_map(_square, range(60), workers=2, min_chunk=48)
+        assert out == [x * x for x in range(60)]
+
+    def test_worker_count_lowered_not_zeroed(self):
+        # 100 items, min_chunk 30: at most 3 workers get a full share.
+        out = sweep_map(_square, range(100), workers=8, min_chunk=30)
+        assert out == [x * x for x in range(100)]
+
+    def test_results_identical_across_thresholds(self):
+        serial = sweep_map(_square, range(50), workers=1)
+        for min_chunk in (1, 10, 25, 50, 200):
+            assert (
+                sweep_map(_square, range(50), workers=4, min_chunk=min_chunk)
+                == serial
+            )
+
+    def test_invalid_min_chunk_raises(self):
+        with pytest.raises(ValueError, match="min_chunk"):
+            sweep_map(_square, [1, 2], workers=2, min_chunk=0)
+
+    def test_fuzz_sweep_small_default_is_serial(self, monkeypatch):
+        """fuzz_sweep's MIN_SEEDS_PER_WORKER keeps bench-sized (60-seed)
+        sweeps off the pool at any worker count."""
+        import repro.sim.sweep as sweep_mod
+        from repro.sim.fuzz import fuzz_sweep
+
+        def boom(*a, **kw):
+            raise AssertionError("pool used for a bench-sized fuzz sweep")
+
+        monkeypatch.setattr(sweep_mod.multiprocessing, "get_context", boom)
+        summary = fuzz_sweep(range(60), ("fixed",), workers=2)
+        assert summary.ok and summary.cases == 60
