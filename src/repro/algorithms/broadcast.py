@@ -42,6 +42,10 @@ __all__ = [
     "pipelined_tree_time",
     "pipelined_broadcast_program",
     "best_pipelined_tree",
+    "ft_heartbeat_config",
+    "ft_broadcast_program",
+    "ft_reroute_cost",
+    "ft_broadcast_bound",
 ]
 
 
@@ -339,3 +343,114 @@ def broadcast_program(tree: BroadcastTree, value):
                               children, root=tree.root)
 
     return factory
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant broadcast: detector sizing and the degradation bound
+# ----------------------------------------------------------------------
+
+
+def ft_heartbeat_config(
+    p: LogPParams,
+    *,
+    root: int = 0,
+    slack: float = 2.0,
+    horizon: float | None = None,
+):
+    """A feasible heartbeat detector for the self-healing collectives.
+
+    Heartbeats are real traffic: each beat occupies the emitter's send
+    port for ``max(g, o)`` and the watcher's receive port for ``g``
+    (see ``LogPMachine._on_hb_tick``).  Under
+    :func:`~repro.sim.collectives.ft_watch_edges` the busiest rank (the
+    root) exchanges beats with all ``P - 1`` others, so the period must
+    exceed ``(P - 1) * max(g, o)`` or the port backlog diverges and the
+    detector suspects *live* ranks.  ``slack`` (>= 1.5) leaves port
+    headroom for the application's own messages.  The timeout carries an
+    extra ``L + 2o`` of first-beat flight slack: on latency-dominated
+    machines (``L`` larger than the period) the very first beat is still
+    in the network when a bare multiple-of-period timeout would already
+    have expired, and a watcher that has heard *nothing yet* must not
+    suspect a live peer at startup.
+    """
+    from ..sim.collectives import ft_watch_edges
+    from ..sim.faults import HeartbeatConfig
+
+    if slack < 1.5:
+        raise ValueError(
+            f"slack must be >= 1.5 (port headroom for app traffic), "
+            f"got {slack}"
+        )
+    period = slack * (p.P - 1) * max(p.g, p.o)
+    return HeartbeatConfig(
+        period=period,
+        timeout=2.5 * period + p.L + 2.0 * p.o,
+        edges=ft_watch_edges(p.P, root),
+        horizon=horizon,
+    )
+
+
+def ft_broadcast_program(
+    value,
+    *,
+    root: int = 0,
+    poll: float = 16.0,
+    deadline: float | None = None,
+):
+    """Program factory running the self-healing broadcast; every
+    surviving rank's program returns the broadcast value."""
+    from ..sim.collectives import ft_broadcast
+
+    def factory(rank: int, P: int):
+        return ft_broadcast(
+            rank,
+            P,
+            value if rank == root else None,
+            root=root,
+            poll=poll,
+            deadline=deadline,
+        )
+
+    return factory
+
+
+def ft_reroute_cost(p: LogPParams, poll: float) -> float:
+    """Worst-case extra cycles one crash adds *beyond* detection.
+
+    After the orphan's detector flags the dead parent (checked every
+    ``poll`` cycles), the orphan sends a re-graft request one hop up
+    (``L + 2o``), the adopter answers with the payload (``L + 2o``),
+    and in the worst case (the root's first child dying at time 0) the
+    whole orphaned subtree — depth ``ceil(log2 P) - 1`` — re-broadcasts
+    behind it.  One heartbeat round of port contention
+    (``(P - 1) * max(g, o)``) covers beats interleaving with the
+    re-route traffic on the adopter's ports.
+    """
+    import math
+
+    hop = p.L + 2 * p.o
+    depth = max(math.ceil(math.log2(p.P)) - 1, 0) if p.P > 1 else 0
+    subtree = depth * (hop + p.send_interval)
+    contention = (p.P - 1) * p.send_interval
+    return poll + 2 * hop + subtree + contention
+
+
+def ft_broadcast_bound(
+    p: LogPParams,
+    heartbeat,
+    poll: float,
+    fault_free: float,
+    crashes: int,
+) -> float:
+    """Degradation bound: makespan under ``crashes`` crash-stop faults
+    of non-root ranks is at most
+    ``fault_free + crashes * (detect_delay + reroute_cost)``.
+
+    ``fault_free`` is the measured makespan of the *same* self-healing
+    program with the detector attached and no faults — the bound charges
+    crashes for re-routing, not the protocol for existing.  Asserted
+    across a seeded crash sweep in ``tests/test_ft_collectives.py``.
+    """
+    return fault_free + crashes * (
+        heartbeat.detect_delay() + ft_reroute_cost(p, poll)
+    )

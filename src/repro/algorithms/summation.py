@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..core.params import LogPParams
 
@@ -49,6 +49,7 @@ __all__ = [
     "summation_program",
     "simulated_summation_time",
     "distribute_inputs",
+    "heal_summation_tree",
 ]
 
 
@@ -290,20 +291,26 @@ def summation_program(tree: SummationTree, inputs: list[list[float]]):
     machine the run's makespan equals ``tree.T`` exactly (when the root's
     schedule is tight) and the root's program returns the true sum.
 
-    Ranks beyond ``tree.processors_used`` idle.
+    Ranks without a node in the tree idle (nodes are matched to
+    processors by ``node.rank``, so healed trees — whose surviving
+    roles are scattered over the physical ranks — execute directly;
+    see :func:`heal_summation_tree`).
     """
     p = tree.params
     step = _step(p)
+    by_rank = {
+        node.rank: (node, inputs[i]) for i, node in enumerate(tree.nodes)
+    }
 
     def factory(rank: int, P: int):
         def idle():
             return None
             yield  # pragma: no cover - makes this a generator
 
-        if rank >= len(tree.nodes):
+        if rank not in by_rank:
             return idle()
-        node = tree.nodes[rank]
-        vals = list(inputs[rank])
+        node, my_inputs = by_rank[rank]
+        vals = list(my_inputs)
 
         def run():
             from ..sim.program import Compute, Recv, Send
@@ -337,3 +344,63 @@ def summation_program(tree: SummationTree, inputs: list[list[float]]):
         return run()
 
     return factory
+
+
+def heal_summation_tree(tree: SummationTree, dead) -> SummationTree:
+    """Statically replan a summation around dead processors.
+
+    Rebuilds the optimal summation schedule on the survivors for the
+    *same* ``tree.total_values`` inputs — the dead ranks' leaves are
+    re-assigned into the survivors' local chains and the deadline grows
+    to the minimum ``T'`` at which the shrunken machine can cover them
+    (``T' >= tree.T``, with equality when the tree had processors to
+    spare).  Node roles are relabeled onto the surviving physical
+    ranks, so the healed tree runs directly through
+    :func:`summation_program` on the original ``P``-processor machine
+    (dead ranks idle); surplus capacity at ``T'`` is trimmed off the
+    deepest nodes' local chains.
+
+    This is the static half of the self-healing story: recovery *before*
+    launch, given a failure detector's verdict.  The dynamic half —
+    re-routing mid-reduction when a rank dies under the protocol — is
+    :func:`repro.sim.collectives.ft_reduce`.
+    """
+    dead = frozenset(dead)
+    P = tree.params.P
+    bad = [r for r in dead if not 0 <= r < P]
+    if bad:
+        raise ValueError(f"dead ranks {sorted(bad)} outside 0..{P - 1}")
+    survivors = [r for r in range(P) if r not in dead]
+    if not survivors:
+        raise ValueError("no survivors: every processor is dead")
+    n = tree.total_values
+    q = replace(tree.params, P=len(survivors))
+    healed_T = summation_time(q, n)
+    base = optimal_summation_tree(q, healed_T)
+
+    # Relabel logical roles 0..k onto the surviving physical ranks.
+    nodes = [
+        SummationNode(
+            rank=survivors[node.rank],
+            deadline=node.deadline,
+            parent=None if node.parent is None else survivors[node.parent],
+            children=[survivors[c] for c in node.children],
+            local_inputs=node.local_inputs,
+            leading_chain=node.leading_chain,
+        )
+        for node in base.nodes
+    ]
+
+    # Trim surplus capacity (deepest roles first) so the healed tree
+    # covers exactly the original inputs.
+    excess = base.total_values - n
+    for node in reversed(nodes):
+        if excess <= 0:
+            break
+        cut = min(excess, node.local_inputs)
+        node.local_inputs -= cut
+        excess -= cut
+
+    return SummationTree(
+        params=tree.params, T=float(healed_T), root=survivors[0], nodes=nodes
+    )

@@ -178,17 +178,75 @@ def _fabric_contended(k: int) -> None:
 
 
 def _fuzz(seeds: int, workers: int) -> None:
-    # compiled_check=False keeps this workload's cost identical to what
-    # records predating the compiled backend measured (the compiled
-    # path has its own workloads below); correctness sweeps in tests
-    # and CI run with the check on.
+    # compiled_check/chaos_check=False keeps this workload's cost
+    # identical to what records predating the compiled backend and the
+    # chaos harness measured (each has its own workload); correctness
+    # sweeps in tests and CI run with the checks on.
     summary = fuzz_sweep(
-        range(seeds), ("fixed",), workers=workers, compiled_check=False
+        range(seeds),
+        ("fixed",),
+        workers=workers,
+        compiled_check=False,
+        chaos_check=False,
     )
     if not summary.ok:
         raise RuntimeError(
             "fuzz failures during benchmark: " + "; ".join(summary.failures[:3])
         )
+
+
+def _chaos_broadcast(
+    n_victims: int, collect: list | None = None
+) -> None:
+    """Self-healing broadcast under one crash per run, CM-5 parameters.
+
+    Times the full fault path end to end: heartbeat traffic, crash
+    injection, detection, re-graft, and root-accounted termination.
+    With ``collect`` it also appends one serializable fault-report
+    summary per run — the smoke profile ships these as the CI artifact.
+    """
+    from .algorithms.broadcast import (
+        ft_broadcast_program,
+        ft_heartbeat_config,
+    )
+    from .sim.faults import CrashStop, FaultPlan
+
+    p = LogPParams(L=6.0, o=2.0, g=4.0, P=8)
+    hb = ft_heartbeat_config(p, horizon=20_000.0)
+    factory = ft_broadcast_program(42, poll=hb.period / 2, deadline=15_000.0)
+    for victim in range(1, n_victims + 1):
+        at = 10.0 * victim
+        machine = LogPMachine(
+            p, heartbeat=hb, fault_plan=FaultPlan([CrashStop(victim, at)])
+        )
+        res = machine.run(factory)
+        bad = [
+            r
+            for r in range(p.P)
+            if r != victim and res.value(r) != 42
+        ]
+        if bad:
+            raise RuntimeError(
+                f"chaos_broadcast: survivors {bad} missed the value "
+                f"(victim {victim} at t={at})"
+            )
+        if collect is not None:
+            rep = res.fault_report()
+            collect.append(
+                {
+                    "victim": victim,
+                    "crash_at": at,
+                    "makespan": res.makespan,
+                    "crashes": [
+                        [e.rank, e.time, e.kind] for e in rep.crashes
+                    ],
+                    "suspicions": len(rep.suspects),
+                    "heartbeats_sent": rep.heartbeats_sent,
+                    "dropped_at_dead_interface": rep.dropped_at_dead_interface,
+                    "gave_up_sends": rep.gave_up_sends,
+                    "wedged_ranks": rep.wedged_ranks,
+                }
+            )
 
 
 def _bcast_stream_factory(k: int):
@@ -311,6 +369,13 @@ def run_all(
         timings["fuzz_smoke_s"] = _best_of(
             lambda: _fuzz(seeds, 1), max(1, reps // 3)
         )
+    fault_reports: list = []
+    if want("chaos_broadcast"):
+        n_victims = 3 if smoke else 7
+        timings["chaos_broadcast_s"] = _best_of(
+            lambda: _chaos_broadcast(n_victims), max(1, reps // 3)
+        )
+        _chaos_broadcast(n_victims, collect=fault_reports)
     if want("compiled_grid"):
         timings["compiled_grid_s"] = _best_of(
             lambda: _compiled_grid(n_o, grid_ps, k_grid, backend),
@@ -348,6 +413,13 @@ def run_all(
                 "fabric": "ContentionFabric[Ring8]",
             },
             "fuzz_smoke": {"seeds": seeds, "latencies": ["fixed"]},
+            "chaos_broadcast": {
+                "P": 8,
+                "L": 6,
+                "o": 2,
+                "g": 4,
+                "victims": 3 if smoke else 7,
+            },
             "compiled_grid": {
                 "n_o": n_o,
                 "ps": list(grid_ps),
@@ -366,6 +438,8 @@ def run_all(
         "timings_s": timings,
         "sweep_scaling_s": sweep_scaling,
     }
+    if fault_reports:
+        report["fault_reports"] = fault_reports
     if (
         "compiled_grid_s" in timings
         and "compiled_grid_machine_s" in timings
@@ -434,6 +508,11 @@ def main(argv: list[str] | None = None) -> int:
         help="run only workloads whose name starts with PREFIX",
     )
     parser.add_argument(
+        "--fault-report-out", default=None, metavar="PATH",
+        help="also write the chaos_broadcast per-run fault-report "
+        "summaries to PATH as JSON (CI uploads this as an artifact)",
+    )
+    parser.add_argument(
         "--backend", default="compiled",
         choices=("machine", "compiled", "auto"),
         help="backend timed by compiled_grid (default compiled); refusal "
@@ -478,6 +557,12 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             print(f"no regression beyond {args.max_regression:.0%}")
+
+    if args.fault_report_out is not None:
+        with open(args.fault_report_out, "w") as fh:
+            json.dump(report.get("fault_reports", []), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.fault_report_out}")
 
     out = args.out
     if out != "-":

@@ -34,6 +34,18 @@ from .dsm import (
     run_dsm,
 )
 from .engine import Engine, SimulationError
+from .faults import (
+    BudgetedRetry,
+    CrashRecover,
+    CrashStop,
+    ExponentialBackoffRetry,
+    FaultPlan,
+    FixedRetry,
+    HeartbeatConfig,
+    RetryPolicy,
+    Slowdown,
+    random_fault_plan,
+)
 from .latency import FixedLatency, JitteredLatency, LatencyModel, UniformLatency
 from .machine import LogPMachine, MachineResult, run_programs
 from .net import (
@@ -47,21 +59,29 @@ from .net import (
 )
 from .program import (
     Barrier,
+    Checkpoint,
     Compute,
     Now,
     Poll,
     ProgramResult,
     ReceivedMessage,
     Recv,
+    Restore,
+    RestoreInfo,
     Send,
     Sleep,
+    Suspects,
 )
 from .sweep import resolve_workers, sweep_map
 from .trace import (
+    CrashEvent,
+    FaultReport,
     MessageStats,
     NetStallEvent,
+    RecoverEvent,
     StallEvent,
     StallReport,
+    SuspectEvent,
     UtilizationBreakdown,
     WakeupEvent,
     communication_rate,
@@ -72,8 +92,8 @@ from .trace import (
 )
 from .validate import ValidationReport, Violation, validate_schedule
 
-# The fuzz harness is exported lazily: it is also a ``python -m
-# repro.sim.fuzz`` entry point, and an eager import here would shadow
+# The fuzz and chaos harnesses are exported lazily: both are also
+# ``python -m`` entry points, and an eager import here would shadow
 # that runpy execution with a spurious sys.modules warning.
 _FUZZ_EXPORTS = (
     "CaseOutcome",
@@ -84,12 +104,24 @@ _FUZZ_EXPORTS = (
     "run_case",
 )
 
+_CHAOS_EXPORTS = (
+    "ChaosOutcome",
+    "ChaosSummary",
+    "chaos_sweep",
+    "check_case_under_faults",
+    "run_chaos_case",
+)
+
 
 def __getattr__(name: str):
     if name in _FUZZ_EXPORTS:
         from . import fuzz
 
         return getattr(fuzz, name)
+    if name in _CHAOS_EXPORTS:
+        from . import chaos
+
+        return getattr(chaos, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -162,4 +194,27 @@ __all__ = [
     "make_case",
     "run_case",
     "fuzz_sweep",
+    "CrashStop",
+    "CrashRecover",
+    "Slowdown",
+    "FaultPlan",
+    "random_fault_plan",
+    "HeartbeatConfig",
+    "RetryPolicy",
+    "FixedRetry",
+    "ExponentialBackoffRetry",
+    "BudgetedRetry",
+    "Checkpoint",
+    "Restore",
+    "RestoreInfo",
+    "Suspects",
+    "CrashEvent",
+    "RecoverEvent",
+    "SuspectEvent",
+    "FaultReport",
+    "ChaosOutcome",
+    "ChaosSummary",
+    "chaos_sweep",
+    "check_case_under_faults",
+    "run_chaos_case",
 ]

@@ -32,13 +32,18 @@ from __future__ import annotations
 import operator
 from typing import Any, Callable, Generator, Hashable, Sequence
 
-from .program import Barrier, Recv, Send
+from .program import Barrier, Now, Recv, Send, Suspects
 
 __all__ = [
     "binomial_parent",
     "binomial_children",
+    "binomial_ancestors",
+    "binomial_subtree",
+    "ft_watch_edges",
     "binomial_broadcast",
     "binomial_reduce",
+    "ft_broadcast",
+    "ft_reduce",
     "tree_broadcast",
     "tree_reduce",
     "software_barrier",
@@ -394,3 +399,405 @@ def all_reduce(
         rank, P, total, root=0, tag=("ar-down", tag)
     )
     return total
+
+
+# ----------------------------------------------------------------------
+# Self-healing collectives (fault-tolerant broadcast / reduce)
+# ----------------------------------------------------------------------
+
+
+def binomial_ancestors(rank: int, P: int, root: int = 0) -> list[int]:
+    """Ancestor chain of ``rank`` in the binomial tree, nearest first,
+    ending at ``root``.  Empty for the root itself."""
+    out: list[int] = []
+    r = rank
+    while True:
+        parent = binomial_parent(r, P, root)
+        if parent is None:
+            break
+        out.append(parent)
+        r = parent
+    return out
+
+
+def binomial_subtree(rank: int, P: int, root: int = 0) -> list[int]:
+    """All ranks in ``rank``'s binomial subtree (including ``rank``)."""
+    out: list[int] = []
+    stack = [rank]
+    while stack:
+        r = stack.pop()
+        out.append(r)
+        stack.extend(binomial_children(r, P, root))
+    return sorted(out)
+
+
+def ft_watch_edges(P: int, root: int = 0) -> tuple[tuple[int, int], ...]:
+    """Heartbeat edges for the self-healing collectives.
+
+    Every rank mutually monitors its whole binomial *ancestor chain*
+    (an orphan may have to climb several dead generations) and the
+    root monitors everyone (it accounts for every rank when deciding
+    termination).  O(P log P) edges instead of all-pairs O(P²).
+    """
+    edges: set[tuple[int, int]] = set()
+    for r in range(P):
+        if r == root:
+            continue
+        for a in binomial_ancestors(r, P, root):
+            edges.add((min(r, a), max(r, a)))
+        edges.add((min(r, root), max(r, root)))
+    return tuple(sorted(edges))
+
+
+def ft_broadcast(
+    rank: int,
+    P: int,
+    value: Any,
+    *,
+    root: int = 0,
+    poll: float = 16.0,
+    deadline: float | None = None,
+    tag: Hashable = "ftb",
+) -> Gen:
+    """Self-healing broadcast: survives crash-stop failures of any set
+    of non-root ranks, at any time.
+
+    Protocol (run under a machine with a heartbeat detector whose edges
+    include :func:`ft_watch_edges`):
+
+    * Data flows down the binomial tree as usual.  A rank waiting for
+      its parent uses ``Recv(timeout=poll)`` so it can periodically
+      consult the local failure detector (``yield Suspects()``).
+    * An orphan whose parent is suspected *re-grafts*: it climbs its
+      ancestor chain to the nearest unsuspected ancestor (ultimately the
+      root) and requests the payload.  A rank holding the payload serves
+      requests; one that is still waiting itself remembers the request
+      and serves it as soon as its own copy arrives.
+    * Termination is root-accounted: each rank reports ``done`` to the
+      root after obtaining the payload; once every rank is done or
+      suspected, the root tells everyone to ``stop``.  This makes the
+      completion rule immune to the lost-ack problem (a dead interior
+      rank taking its children's acks to the grave).
+
+    Returns the broadcast value on every surviving rank (``None`` if a
+    ``deadline`` was hit first — pass one when the plan may crash the
+    root or contains crash-*recover* events, whose late incarnations
+    re-enter the protocol after the mission ended).
+
+    The root must survive for the protocol to terminate on its own;
+    the degradation bound under f crashes is asserted in
+    ``tests/test_ft_collectives.py`` and documented in DESIGN.md §9.
+    """
+    if P == 1:
+        return value
+    have = rank == root
+    chain = binomial_ancestors(rank, P, root)
+    kids = binomial_children(rank, P, root)
+    pending_reqs: list[int] = []
+    asked: set[int] = set()
+
+    # -- acquire phase (non-root ranks without the payload) ------------
+    while not have:
+        if deadline is not None:
+            t = yield Now()
+            if t >= deadline:
+                return None
+        msg = yield Recv(tag=tag, timeout=poll)
+        if msg is None:
+            sus = yield Suspects()
+            if chain[0] in sus:
+                # Orphaned: re-graft to the nearest live ancestor.
+                target = next((a for a in chain if a not in sus), root)
+                if target not in asked:
+                    asked.add(target)
+                    yield Send(target, payload=("req", rank), tag=tag)
+            continue
+        kind = msg.payload[0]
+        if kind == "data":
+            value = msg.payload[1]
+            have = True
+        elif kind == "req":
+            pending_reqs.append(msg.payload[1])
+        elif kind == "stop":
+            # Late incarnation (crash-recover): mission already over.
+            return None
+
+    # -- distribute phase ----------------------------------------------
+    sus = yield Suspects()
+    served: set[int] = set()
+    for child in kids:
+        if child not in sus:
+            yield Send(child, payload=("data", value), tag=tag)
+            served.add(child)
+    for q in pending_reqs:
+        if q not in served:
+            served.add(q)
+            yield Send(q, payload=("data", value), tag=tag)
+
+    if rank != root:
+        yield Send(root, payload=("done", rank), tag=tag)
+        # -- serve phase: answer re-graft requests until told to stop --
+        while True:
+            if deadline is not None:
+                t = yield Now()
+                if t >= deadline:
+                    return value
+            msg = yield Recv(tag=tag, timeout=poll)
+            if msg is None:
+                continue
+            kind = msg.payload[0]
+            if kind == "stop":
+                return value
+            if kind == "req":
+                q = msg.payload[1]
+                if q not in served:
+                    served.add(q)
+                    yield Send(q, payload=("data", value), tag=tag)
+            # duplicate "data" (two targets answered a re-graft): ignore.
+    else:
+        done = {root}
+        while True:
+            sus = yield Suspects()
+            if all(r in done or r in sus for r in range(P)):
+                break
+            if deadline is not None:
+                t = yield Now()
+                if t >= deadline:
+                    break
+            msg = yield Recv(tag=tag, timeout=poll)
+            if msg is None:
+                continue
+            kind = msg.payload[0]
+            if kind == "done":
+                done.add(msg.payload[1])
+            elif kind == "req":
+                q = msg.payload[1]
+                if q not in served:
+                    served.add(q)
+                    yield Send(q, payload=("data", value), tag=tag)
+        # Stop everyone — including suspected ranks (the send to a dead
+        # interface vanishes; a recovered incarnation is released).
+        for r in range(P):
+            if r != root:
+                yield Send(r, payload=("stop",), tag=tag)
+        return value
+
+
+def ft_reduce(
+    rank: int,
+    P: int,
+    value: Any,
+    combine: Callable[[Any, Any], Any] = operator.add,
+    *,
+    root: int = 0,
+    poll: float = 16.0,
+    deadline: float | None = None,
+    tag: Hashable = "ftr",
+) -> Gen:
+    """Self-healing reduction with explicit coverage accounting.
+
+    Every rank contributes ``value``; partial results flow up the
+    binomial tree.  Each contribution carries the *mask* of leaf ranks
+    it covers, and a sender retains its partial until the receiver
+    acknowledges custody — a partial sent to a rank that dies before
+    absorbing it is re-routed directly to the root.  A partial that a
+    rank absorbed *before* dying is genuinely lost (crash-recover loses
+    volatile state); the protocol detects this via root-driven queries
+    and reports it instead of wedging.
+
+    Returns at the root a tuple ``(result, covered, lost)`` where
+    ``covered`` and ``lost`` are frozensets of ranks partitioning
+    ``range(P)``: ``result`` combines exactly the values of ``covered``.
+    Non-root ranks return ``None``.  Under a single crash, ``lost`` is
+    contained in the set of masks the dead rank had taken custody of
+    (at minimum the dead rank's own leaf).
+
+    Same detector requirements and root-survival scope as
+    :func:`ft_broadcast`.
+    """
+    if P == 1:
+        return (value, frozenset({rank}), frozenset())
+    chain = binomial_ancestors(rank, P, root)
+    kids = binomial_children(rank, P, root)
+
+    if rank != root:
+        acc = value
+        mask: set[int] = {rank}
+        dead_seen: set[int] = set()
+        expected = set(kids)
+        # -- gather phase: absorb children's partials ------------------
+        while expected:
+            if deadline is not None:
+                t = yield Now()
+                if t >= deadline:
+                    return None
+            msg = yield Recv(tag=tag, timeout=poll)
+            if msg is None:
+                sus = yield Suspects()
+                for k in [k for k in expected if k in sus]:
+                    # Dead child: its live descendants re-route straight
+                    # to the root; report the death upward so the root
+                    # adopts and accounts for the subtree.
+                    expected.discard(k)
+                    dead_seen.add(k)
+                continue
+            kind = msg.payload[0]
+            if kind == "part":
+                _, pmask, pdead, pval = msg.payload
+                acc = combine(acc, pval)
+                mask |= pmask
+                dead_seen |= pdead
+                expected.discard(msg.src)
+                yield Send(msg.src, payload=("pack",), tag=tag)
+            elif kind == "stop":
+                return None
+            # "query" before delivery cannot happen (root only queries
+            # subtrees of ranks reported dead, and our report is the
+            # partial we have not sent yet); ignore strays.
+
+        # -- deliver phase: send up, retain until acked ----------------
+        delivered_to: int | None = None
+        part = ("part", frozenset(mask), frozenset(dead_seen), acc)
+        sus = yield Suspects()
+        target = next((a for a in chain if a not in sus), root)
+        yield Send(target, payload=part, tag=tag)
+        while delivered_to is None:
+            if deadline is not None:
+                t = yield Now()
+                if t >= deadline:
+                    return None
+            msg = yield Recv(tag=tag, timeout=poll)
+            if msg is None:
+                sus = yield Suspects()
+                if target in sus:
+                    # Custody never transferred: re-route to the root.
+                    target = root
+                    yield Send(target, payload=part, tag=tag)
+                continue
+            kind = msg.payload[0]
+            if kind == "pack":
+                delivered_to = target
+            elif kind == "nack":
+                # Receiver's gather phase had already closed us out
+                # (false suspicion): hand the partial to the root.
+                target = root
+                yield Send(target, payload=part, tag=tag)
+            elif kind == "query":
+                # Still holding: the root will receive our partial via
+                # the (re-routed) delivery above; tell it the route.
+                yield Send(
+                    msg.src,
+                    payload=("route", rank, frozenset(mask)),
+                    tag=tag,
+                )
+            elif kind == "part":
+                # Late partial from a child we gave up on: refuse custody
+                # so the sender re-routes to the root.
+                yield Send(msg.src, payload=("nack",), tag=tag)
+            elif kind == "stop":
+                return None
+
+        # -- serve phase: answer queries until told to stop ------------
+        while True:
+            if deadline is not None:
+                t = yield Now()
+                if t >= deadline:
+                    return None
+            msg = yield Recv(tag=tag, timeout=poll)
+            if msg is None:
+                continue
+            kind = msg.payload[0]
+            if kind == "stop":
+                return None
+            if kind == "query":
+                yield Send(
+                    msg.src,
+                    payload=("route", delivered_to, frozenset(mask)),
+                    tag=tag,
+                )
+            elif kind == "part":
+                yield Send(msg.src, payload=("nack",), tag=tag)
+        return None
+
+    # -- root ----------------------------------------------------------
+    acc = value
+    covered: set[int] = {root}
+    lost: set[int] = set()
+    handled_dead: set[int] = set()
+    expected = set(kids)
+    queried: set[int] = set()
+
+    def adopt(dead: int, sus: frozenset[int]) -> list[tuple[Any, Any]]:
+        """Account for a dead rank's subtree: its own leaf is lost
+        (unless its partial already arrived) and each live descendant
+        not yet covered is queried for its route."""
+        sends: list[tuple[Any, Any]] = []
+        stack = [dead]
+        while stack:
+            d = stack.pop()
+            if d in handled_dead:
+                continue
+            handled_dead.add(d)
+            expected.discard(d)
+            if d not in covered:
+                lost.add(d)
+            for c in binomial_children(d, P, root):
+                if c in covered or c in handled_dead:
+                    continue
+                if c in sus:
+                    stack.append(c)
+                elif c not in queried:
+                    queried.add(c)
+                    expected.add(c)
+                    sends.append((c, ("query",)))
+        return sends
+
+    while expected:
+        if deadline is not None:
+            t = yield Now()
+            if t >= deadline:
+                break
+        msg = yield Recv(tag=tag, timeout=poll)
+        sus = yield Suspects()
+        for k in [k for k in expected if k in sus]:
+            for dst, payload in adopt(k, sus):
+                yield Send(dst, payload=payload, tag=tag)
+        if msg is None:
+            continue
+        kind = msg.payload[0]
+        if kind == "part":
+            _, pmask, pdead, pval = msg.payload
+            if pmask <= covered:
+                # Duplicate route (custody holder died after its own
+                # delivery, sender re-routed): absorb nothing.
+                yield Send(msg.src, payload=("pack",), tag=tag)
+                expected.discard(msg.src)
+                continue
+            acc = combine(acc, pval)
+            covered |= pmask
+            lost -= pmask
+            expected.discard(msg.src)
+            # A queried rank whose mask arrived via its ancestor chain
+            # will never deliver to us directly: stop expecting it.
+            expected -= covered
+            yield Send(msg.src, payload=("pack",), tag=tag)
+            for d in pdead:
+                for dst, payload in adopt(d, sus):
+                    yield Send(dst, payload=payload, tag=tag)
+        elif kind == "route":
+            _, via, rmask = msg.payload
+            if via == msg.src:
+                # Still holding and heading our way: keep expecting it.
+                continue
+            expected.discard(msg.src)
+            if via in sus:
+                # Delivered into a rank that then died: custody lost.
+                lost |= rmask - covered
+            # Delivered into a live rank: its partial covers rmask and
+            # will arrive via that rank's own (re-routed) delivery.
+    for r in range(P):
+        if r != root:
+            yield Send(r, payload=("stop",), tag=tag)
+    # Every rank is either combined into the result or reported lost.
+    lost |= set(range(P)) - covered - lost
+    return (acc, frozenset(covered), frozenset(lost))

@@ -31,11 +31,13 @@ __all__ = ["BACKENDS", "backend_ineligibility", "resolve_backend"]
 BACKENDS = ("machine", "compiled", "auto")
 
 
-def backend_ineligibility(latency=None, fabric=None) -> str | None:
+def backend_ineligibility(
+    latency=None, fabric=None, fault_plan=None, heartbeat=None
+) -> str | None:
     """Why this timing configuration cannot use the compiled evaluator.
 
-    Returns ``None`` when eligible: no latency model / fabric, a bare
-    :class:`~repro.sim.latency.FixedLatency`, or a
+    Returns ``None`` when eligible: no latency model / fabric / faults,
+    a bare :class:`~repro.sim.latency.FixedLatency`, or a
     :class:`~repro.sim.net.LatencyFabric` wrapping one.  Otherwise a
     human-readable reason (used verbatim in the ``ValueError``).
     """
@@ -59,10 +61,22 @@ def backend_ineligibility(latency=None, fabric=None) -> str | None:
                 f"LatencyFabric wraps {type(fabric.model).__name__}; "
                 "the compiled evaluator requires FixedLatency"
             )
+    if fault_plan is not None:
+        return (
+            "a FaultPlan crashes or slows processors at runtime; "
+            "compiled schedules assume fault-free execution"
+        )
+    if heartbeat is not None:
+        return (
+            "a heartbeat detector emits runtime traffic on the message "
+            "ports; compiled schedules assume fault-free execution"
+        )
     return None
 
 
-def resolve_backend(backend: str, *, latency=None, fabric=None) -> str:
+def resolve_backend(
+    backend: str, *, latency=None, fabric=None, fault_plan=None, heartbeat=None
+) -> str:
     """Validate ``backend`` against the timing configuration.
 
     Returns ``"machine"`` or ``"compiled"``.  ``"auto"`` and
@@ -76,7 +90,12 @@ def resolve_backend(backend: str, *, latency=None, fabric=None) -> str:
         )
     if backend == "machine":
         return "machine"
-    reason = backend_ineligibility(latency=latency, fabric=fabric)
+    reason = backend_ineligibility(
+        latency=latency,
+        fabric=fabric,
+        fault_plan=fault_plan,
+        heartbeat=heartbeat,
+    )
     if reason is not None:
         raise ValueError(
             f"backend={backend!r} cannot use the compiled evaluator: "

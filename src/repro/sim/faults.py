@@ -1,0 +1,435 @@
+"""Processor fault plans, retry policies, and the heartbeat detector config.
+
+LogP models an asynchronous machine whose processors "work
+asynchronously" (Section 2); PR 3 made the *network* unreliable
+(:class:`~repro.sim.net.FaultyFabric`), and this module makes the
+*processors* unreliable.  A :class:`FaultPlan` is a declarative, seeded
+schedule of per-rank fault events that the machine executes alongside
+the program:
+
+* :class:`CrashStop` — the rank halts at ``at`` and never returns.  Its
+  in-flight sends are dropped, its parked wait-graph entry is reaped,
+  messages addressed to it vanish at the (dead) network interface, and
+  on a lossy fabric its peers' ARQ retries time out and give up.
+* :class:`CrashRecover` — the rank halts at ``at``, loses all volatile
+  state (generator frame, mailbox, arrived queue, parked sends), and
+  restarts its program ``down_for`` cycles later as a fresh incarnation.
+  The restarted program can retrieve its last
+  :class:`~repro.sim.program.Checkpoint` payload with
+  :class:`~repro.sim.program.Restore`.
+* :class:`Slowdown` — local operations (``Compute``) that *start* inside
+  ``[start, start + duration)`` cost ``factor`` times as many cycles —
+  the degraded-but-alive processor of Section 4.1.4, as a fault.
+
+Plans compose with link faults: attach a ``FaultPlan`` *and* a
+``FaultyFabric`` to the same machine and both fire.
+
+The module also hosts the two policy objects the fault subsystem made
+pluggable:
+
+* :class:`RetryPolicy` (with :class:`FixedRetry`,
+  :class:`ExponentialBackoffRetry`, :class:`BudgetedRetry`) — the
+  retransmission schedule of the lossy-fabric ARQ, previously a
+  hardwired fixed interval in ``machine.py``.
+* :class:`HeartbeatConfig` — the failure detector: every ``period``
+  cycles each alive rank emits heartbeats to its watchers over the
+  message port (the emission occupies the port under the usual
+  ``max(g, o)`` spacing, so detection overhead is real traffic that
+  shows up in the makespan); a watcher that has heard nothing for more
+  than ``timeout`` cycles *suspects* the silent rank
+  (:class:`~repro.sim.trace.SuspectEvent`).  Programs read the local
+  suspicion set with :class:`~repro.sim.program.Suspects`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = [
+    "CrashStop",
+    "CrashRecover",
+    "Slowdown",
+    "FaultPlan",
+    "random_fault_plan",
+    "HeartbeatConfig",
+    "RetryPolicy",
+    "FixedRetry",
+    "ExponentialBackoffRetry",
+    "BudgetedRetry",
+]
+
+
+# ----------------------------------------------------------------------
+# Fault events
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class CrashStop:
+    """Rank ``rank`` halts permanently at time ``at`` (crash-stop)."""
+
+    rank: int
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"crash time must be >= 0, got {self.at}")
+
+
+@dataclass(frozen=True, slots=True)
+class CrashRecover:
+    """Rank ``rank`` halts at ``at``, loses all volatile state, and
+    restarts its program ``down_for`` cycles later."""
+
+    rank: int
+    at: float
+    down_for: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"crash time must be >= 0, got {self.at}")
+        if self.down_for <= 0:
+            raise ValueError(f"down_for must be > 0, got {self.down_for}")
+
+    @property
+    def back_at(self) -> float:
+        return self.at + self.down_for
+
+
+@dataclass(frozen=True, slots=True)
+class Slowdown:
+    """``Compute`` actions of ``rank`` starting in
+    ``[start, start + duration)`` cost ``factor``× as many cycles."""
+
+    rank: int
+    start: float
+    duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration}")
+        if self.factor < 1.0:
+            raise ValueError(
+                f"slowdown factor must be >= 1, got {self.factor}"
+            )
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+FaultEvent = CrashStop | CrashRecover | Slowdown
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A validated, immutable schedule of processor fault events.
+
+    At most one crash event per rank (a crash-recovered rank staying up
+    afterwards keeps plan replay and the degradation-bound analysis
+    tractable; chain several downtimes by composing plans across runs).
+    Any number of ``Slowdown`` windows may target the same rank; where
+    windows overlap their factors multiply.
+    """
+
+    events: tuple[FaultEvent, ...]
+
+    def __init__(self, events: Iterable[FaultEvent]) -> None:
+        evs = tuple(events)
+        crashed: set[int] = set()
+        for ev in evs:
+            if not isinstance(ev, (CrashStop, CrashRecover, Slowdown)):
+                raise TypeError(f"not a fault event: {ev!r}")
+            if isinstance(ev, (CrashStop, CrashRecover)):
+                if ev.rank in crashed:
+                    raise ValueError(
+                        f"rank {ev.rank} has more than one crash event"
+                    )
+                crashed.add(ev.rank)
+        object.__setattr__(self, "events", evs)
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def crashes(self) -> tuple[CrashStop | CrashRecover, ...]:
+        return tuple(
+            e for e in self.events if isinstance(e, (CrashStop, CrashRecover))
+        )
+
+    @property
+    def slowdowns(self) -> tuple[Slowdown, ...]:
+        return tuple(e for e in self.events if isinstance(e, Slowdown))
+
+    def crash_of(self, rank: int) -> CrashStop | CrashRecover | None:
+        for e in self.crashes:
+            if e.rank == rank:
+                return e
+        return None
+
+    def max_rank(self) -> int:
+        return max((e.rank for e in self.events), default=-1)
+
+    def validate_for(self, P: int) -> None:
+        bad = [e.rank for e in self.events if not 0 <= e.rank < P]
+        if bad:
+            raise ValueError(
+                f"fault plan targets ranks {sorted(set(bad))} outside "
+                f"0..{P - 1}"
+            )
+
+    def slow_factor(self, rank: int, t: float) -> float:
+        """Combined slowdown multiplier for a compute starting at ``t``."""
+        f = 1.0
+        for e in self.events:
+            if (
+                isinstance(e, Slowdown)
+                and e.rank == rank
+                and e.start <= t < e.end
+            ):
+                f *= e.factor
+        return f
+
+    def down_intervals(self, rank: int) -> list[tuple[float, float]]:
+        """Intervals (possibly right-open to +inf) during which ``rank``
+        is down — the windows fault-aware validation exempts."""
+        out: list[tuple[float, float]] = []
+        for e in self.crashes:
+            if e.rank != rank:
+                continue
+            if isinstance(e, CrashStop):
+                out.append((e.at, float("inf")))
+            else:
+                out.append((e.at, e.back_at))
+        return out
+
+    def is_down(self, rank: int, t: float) -> bool:
+        return any(a <= t < b for a, b in self.down_intervals(rank))
+
+
+def random_fault_plan(
+    seed: int,
+    P: int,
+    *,
+    horizon: float,
+    max_crashes: int | None = None,
+    p_recover: float = 0.4,
+    p_slowdown: float = 0.5,
+    spare: Sequence[int] = (0,),
+) -> FaultPlan:
+    """Draw a seeded random fault plan for a ``P``-rank run.
+
+    ``horizon`` bounds event times (crash times land in
+    ``[0, horizon)``).  ``spare`` ranks never crash (default: rank 0,
+    so collectives rooted there keep a live root); they may still slow
+    down.  ``max_crashes`` defaults to ``P - len(spare) - 1`` clamped to
+    at least 1 when any rank is crashable — at least one rank always
+    survives.
+    """
+    if P < 1:
+        raise ValueError(f"P must be >= 1, got {P}")
+    if horizon <= 0:
+        raise ValueError(f"horizon must be > 0, got {horizon}")
+    rng = random.Random(seed)
+    crashable = [r for r in range(P) if r not in set(spare)]
+    if max_crashes is None:
+        max_crashes = max(len(crashable) - 1, 1 if crashable else 0)
+    max_crashes = min(max_crashes, len(crashable))
+    events: list[FaultEvent] = []
+    n_crashes = rng.randint(0, max_crashes) if crashable else 0
+    for rank in rng.sample(crashable, n_crashes):
+        at = rng.uniform(0.0, horizon)
+        if rng.random() < p_recover:
+            events.append(
+                CrashRecover(rank, at, rng.uniform(1.0, horizon / 2))
+            )
+        else:
+            events.append(CrashStop(rank, at))
+    for rank in range(P):
+        if rng.random() < p_slowdown:
+            start = rng.uniform(0.0, horizon)
+            events.append(
+                Slowdown(
+                    rank,
+                    start,
+                    rng.uniform(1.0, horizon),
+                    rng.uniform(1.5, 4.0),
+                )
+            )
+    return FaultPlan(events)
+
+
+# ----------------------------------------------------------------------
+# Heartbeat failure detector configuration
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class HeartbeatConfig:
+    """Failure-detector parameters.
+
+    Args:
+        period: cycles between heartbeat emissions.
+        timeout: silence (cycles since the last heartbeat heard) after
+            which a watcher suspects a rank.  Must exceed ``period`` or
+            every rank is suspected between consecutive beats.
+        edges: optional pairs ``(a, b)`` that monitor *each other*;
+            ``None`` means all-pairs monitoring.  Tree collectives pass
+            their tree edges so detector traffic stays O(P), not O(P²).
+        horizon: optional time after which the detector stops emitting.
+            Without it the detector runs until every rank is finished or
+            crashed — a program wedged forever on a dead peer would then
+            keep the event queue alive, so bounded-mission harnesses
+            (the chaos runner) always set a horizon.
+    """
+
+    period: float
+    timeout: float
+    edges: tuple[tuple[int, int], ...] | None = None
+    horizon: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be > 0, got {self.period}")
+        if self.timeout <= self.period:
+            raise ValueError(
+                f"timeout ({self.timeout}) must exceed the heartbeat "
+                f"period ({self.period})"
+            )
+        if self.edges is not None:
+            object.__setattr__(
+                self, "edges", tuple((int(a), int(b)) for a, b in self.edges)
+            )
+        if self.horizon is not None and self.horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {self.horizon}")
+
+    def watch_map(self, P: int) -> list[list[int]]:
+        """``watchers[r]`` = ranks that monitor ``r`` (receive its
+        heartbeats).  Monitoring is symmetric per edge."""
+        watchers: list[set[int]] = [set() for _ in range(P)]
+        if self.edges is None:
+            for r in range(P):
+                watchers[r] = {w for w in range(P) if w != r}
+        else:
+            for a, b in self.edges:
+                if not (0 <= a < P and 0 <= b < P) or a == b:
+                    raise ValueError(
+                        f"heartbeat edge ({a}, {b}) invalid for P={P}"
+                    )
+                watchers[a].add(b)
+                watchers[b].add(a)
+        return [sorted(s) for s in watchers]
+
+    def detect_delay(self) -> float:
+        """Worst-case cycles from a crash to suspicion at a watcher:
+        the silence must exceed ``timeout`` and is only *checked* at
+        detector ticks, so one extra ``period`` of slack applies (plus
+        the beat in flight when the crash hit)."""
+        return self.timeout + 2 * self.period
+
+
+# ----------------------------------------------------------------------
+# Retry policies (lossy-fabric ARQ retransmission schedules)
+# ----------------------------------------------------------------------
+
+
+class RetryPolicy:
+    """Retransmission schedule for the sender-side ARQ.
+
+    ``delay(attempt, seq)`` returns the cycles to wait for an ack before
+    retransmission number ``attempt`` (1-based); ``seq`` is the message
+    sequence number, available so jittered policies stay deterministic
+    per message rather than drawing from shared mutable state.
+    ``budget`` optionally caps the *total* cycles a message may spend
+    unacked; ``None`` means only the machine's ``max_retries`` bounds
+    the protocol.
+    """
+
+    budget: float | None = None
+
+    def delay(self, attempt: int, seq: int = 0) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedRetry(RetryPolicy):
+    """The original hardwired policy: a constant timeout per attempt.
+
+    ``LogPMachine`` defaults to ``FixedRetry(3*bound + 2*o + 1)`` — one
+    full worst-case round trip (data flight ``<= bound``, ack flight
+    ``= bound``) past the point the ack could still be in flight, i.e.
+    ``2*bound + ack_latency + 2*o + 1`` with ``ack_latency == bound``.
+    """
+
+    timeout: float
+    budget: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+
+    def delay(self, attempt: int, seq: int = 0) -> float:
+        return self.timeout
+
+
+@dataclass(frozen=True)
+class ExponentialBackoffRetry(RetryPolicy):
+    """Exponential backoff with deterministic per-message jitter.
+
+    Attempt ``k`` waits ``min(base * mult**(k-1), cap)`` cycles, scaled
+    by ``1 + U*jitter`` where ``U`` is drawn from a PRNG seeded with
+    ``(seed, seq, k)`` — reruns of the same machine reproduce the same
+    schedule exactly (determinism is load-bearing for the differential
+    harnesses).
+    """
+
+    base: float
+    mult: float = 2.0
+    cap: float = float("inf")
+    jitter: float = 0.0
+    seed: int = 0
+    budget: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ValueError(f"base must be > 0, got {self.base}")
+        if self.mult < 1.0:
+            raise ValueError(f"mult must be >= 1, got {self.mult}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+
+    def delay(self, attempt: int, seq: int = 0) -> float:
+        d = min(self.base * self.mult ** (attempt - 1), self.cap)
+        if self.jitter:
+            u = random.Random((self.seed, seq, attempt)).random()
+            d *= 1.0 + u * self.jitter
+        return d
+
+
+@dataclass(frozen=True)
+class BudgetedRetry(RetryPolicy):
+    """Wrap another policy with a total-time budget.
+
+    Once the cumulative unacked time would exceed ``budget`` cycles the
+    machine stops retransmitting: on a fault-free-processor run this is
+    an error (undeliverable message), under a :class:`FaultPlan` the
+    send is recorded as given up in the fault report.
+    """
+
+    inner: RetryPolicy = field(default_factory=lambda: FixedRetry(16.0))
+    budget: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.budget is None or self.budget <= 0:
+            raise ValueError(
+                f"BudgetedRetry needs a positive budget, got {self.budget}"
+            )
+
+    def delay(self, attempt: int, seq: int = 0) -> float:
+        return self.inner.delay(attempt, seq)

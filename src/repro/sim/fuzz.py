@@ -32,7 +32,12 @@ cross-checks every run three ways:
    makespan must equal the formulas in :mod:`repro.core.cost` exactly;
    families without a closed form (many-to-one floods) are checked
    against receiver-bandwidth lower bounds and a generous linear upper
-   bound that turns livelock into a failure instead of a hang.
+   bound that turns livelock into a failure instead of a hang;
+4. **chaos** — deterministic-latency cases are additionally re-run
+   under a seeded processor fault plan with the heartbeat detector (and,
+   on a third of the seeds, a lossy fabric): the run must terminate,
+   deliver exactly-once, and keep its fault report consistent with the
+   plan and the traced event feed (see :mod:`repro.sim.chaos`).
 
 Payloads carry checksums, so message *data* integrity is verified along
 with timing.  ``python -m repro.sim.fuzz --seeds 500`` runs a sweep from
@@ -476,13 +481,15 @@ def run_case(
     latency_name: str = "fixed",
     *,
     compiled_check: bool = True,
+    chaos_check: bool = True,
 ) -> CaseOutcome:
     """Execute one case under one latency model and run every check.
 
     ``compiled_check=False`` skips differential check 5 (the compiled
-    evaluator); used by ``repro.bench`` to keep the ``fuzz_smoke``
-    workload's cost comparable across benchmark records predating the
-    compiled backend.  Correctness sweeps leave it on.
+    evaluator) and ``chaos_check=False`` skips the fault-injection
+    check 6; used by ``repro.bench`` to keep the ``fuzz_smoke``
+    workload's cost comparable across benchmark records predating
+    those checks.  Correctness sweeps leave both on.
     """
     where = f"seed={case.seed} family={case.family} {case.params} [{latency_name}]"
     make_latency = LATENCIES[latency_name]
@@ -591,6 +598,15 @@ def run_case(
     # the engine-free fast path must be *bit-identical* to the machine.
     if fixed and compiled_check:
         out.failures.extend(_check_compiled(case, res, where))
+
+    # 6. Chaos: the same case under a seeded processor fault plan (and,
+    # on a third of the seeds, a lossy fabric) must terminate, deliver
+    # exactly-once, and keep its fault report consistent with the plan
+    # and the traced event feed.  Lazy import: chaos imports this module.
+    if fixed and chaos_check:
+        from .chaos import check_case_under_faults
+
+        out.failures.extend(check_case_under_faults(case, where))
     return out
 
 
@@ -764,7 +780,10 @@ def _check_compiled(
 
 
 def _sweep_seed(
-    seed: int, latencies: tuple[str, ...], compiled_check: bool = True
+    seed: int,
+    latencies: tuple[str, ...],
+    compiled_check: bool = True,
+    chaos_check: bool = True,
 ) -> tuple[str, list[CaseOutcome]]:
     """Per-seed work unit for the parallel sweep: regenerate the case
     (program factories are generators and cannot cross a process
@@ -772,7 +791,9 @@ def _sweep_seed(
     model.  Module-level so it pickles."""
     case = make_case(int(seed))
     return case.family, [
-        run_case(case, name, compiled_check=compiled_check)
+        run_case(
+            case, name, compiled_check=compiled_check, chaos_check=chaos_check
+        )
         for name in latencies
     ]
 
@@ -792,6 +813,7 @@ def fuzz_sweep(
     workers: int | None = None,
     min_chunk: int = MIN_SEEDS_PER_WORKER,
     compiled_check: bool = True,
+    chaos_check: bool = True,
 ) -> FuzzSummary:
     """Run a seeded sweep; every (seed, latency model) pair is one run.
 
@@ -804,7 +826,8 @@ def fuzz_sweep(
     compute results past the cut that the fold then discards.
     ``min_chunk`` (seeds per worker; see :func:`sweep_map`) keeps small
     sweeps serial where a pool could only add overhead;
-    ``compiled_check`` is forwarded to :func:`run_case`.
+    ``compiled_check`` and ``chaos_check`` are forwarded to
+    :func:`run_case`.
     """
     summary = FuzzSummary(cases=0, runs=0, total_messages=0)
     seed_list = [int(s) for s in seeds]
@@ -829,7 +852,14 @@ def fuzz_sweep(
             outcomes = []
             stop = False
             for name in latencies:
-                outcomes.append(run_case(case, name))
+                outcomes.append(
+                    run_case(
+                        case,
+                        name,
+                        compiled_check=compiled_check,
+                        chaos_check=chaos_check,
+                    )
+                )
                 if len(summary.failures) + sum(
                     len(o.failures) for o in outcomes
                 ) >= max_failures:
@@ -841,7 +871,10 @@ def fuzz_sweep(
 
     per_seed = sweep_map(
         partial(
-            _sweep_seed, latencies=latencies, compiled_check=compiled_check
+            _sweep_seed,
+            latencies=latencies,
+            compiled_check=compiled_check,
+            chaos_check=chaos_check,
         ),
         seed_list,
         workers=workers,

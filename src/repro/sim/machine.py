@@ -78,25 +78,42 @@ from typing import Any, Callable, Generator, Hashable, Iterable
 from ..core.params import LogPParams
 from ..core.schedule import Activity, MessageRecord, Schedule
 from .engine import Engine, SimulationError
+from .faults import (
+    CrashRecover,
+    CrashStop,
+    FaultPlan,
+    FixedRetry,
+    HeartbeatConfig,
+    RetryPolicy,
+    Slowdown,
+)
 from .latency import FixedLatency, LatencyModel
 from .net.fabric import Fabric, FabricReport, LatencyFabric
 from .trace import (
+    CrashEvent,
+    FaultReport,
     NetStallEvent,
+    RecoverEvent,
     StallEvent,
     StallReport,
+    SuspectEvent,
     WakeupEvent,
     stall_report,
 )
 from .program import (
     Barrier,
+    Checkpoint,
     Compute,
     Now,
     Poll,
     ProgramResult,
     ReceivedMessage,
     Recv,
+    Restore,
+    RestoreInfo,
     Send,
     Sleep,
+    Suspects,
 )
 
 __all__ = ["LogPMachine", "MachineResult", "run_programs"]
@@ -114,6 +131,7 @@ _WAIT_BARRIER = "wait_barrier"
 _SLEEPING = "sleeping"
 _POLLING = "polling"
 _DONE = "done"
+_CRASHED = "crashed"
 
 _DRAINABLE = frozenset(
     {
@@ -168,6 +186,7 @@ class _Proc:
         "needs_dst",
         "queued_on",
         "port_free",
+        "wait_token",
     )
 
     def __init__(self, rank: int, gen: Program) -> None:
@@ -205,6 +224,10 @@ class _Proc:
         # current long message (LogGP extension); 1-word messages leave
         # the port free immediately.
         self.port_free = 0.0
+        # Monotonic counter of blocking-Recv waits, so a stale
+        # Recv-timeout event can recognize that the wait it armed for is
+        # over (never reset, even across crash-recovery restarts).
+        self.wait_token = 0
 
 
 @dataclass(slots=True)
@@ -265,6 +288,37 @@ class MachineResult:
         assert self.fabric is not None
         return self.fabric.report()
 
+    def fault_report(self) -> FaultReport:
+        """Condense the run's processor-fault bookkeeping.
+
+        Unlike :meth:`stall_report`, this works on untraced runs too:
+        fault events are rare, so the machine collects them whenever a
+        :class:`~repro.sim.faults.FaultPlan` or
+        :class:`~repro.sim.faults.HeartbeatConfig` is attached.  A run
+        with neither returns an empty (all-zero) report.
+        """
+        data = self.extras.get("faults")
+        if data is None:
+            return FaultReport()
+        counts = data["counts"]
+        events = data["events"]
+        return FaultReport(
+            crashes=[e for e in events if type(e) is CrashEvent],
+            recoveries=[e for e in events if type(e) is RecoverEvent],
+            suspects=[e for e in events if type(e) is SuspectEvent],
+            dropped_in_flight=counts["dropped_in_flight"],
+            dropped_at_dead_interface=counts["dropped_at_dead_interface"],
+            reaped_parked=counts["reaped_parked"],
+            gave_up_sends=counts["gave_up_sends"],
+            duplicate_deliveries=counts["duplicate_deliveries"],
+            heartbeats_sent=counts["heartbeats_sent"],
+            checkpoints=counts["checkpoints"],
+            restores=counts["restores"],
+            slowed_computes=counts["slowed_computes"],
+            wedged_ranks=list(counts["wedged_ranks"]),
+            unreceived_messages=counts["unreceived_messages"],
+        )
+
 
 class LogPMachine:
     """A simulated LogP machine.
@@ -288,10 +342,50 @@ class LogPMachine:
             runs disable the capacity constraint (retransmissions live
             below the model's capacity accounting).
         retry_timeout: cycles a lossy-fabric sender waits for an ack
-            before retransmitting (default ``2*bound + ack + 2o + 1``,
-            just past the worst-case uncontended round trip).
+            before retransmitting.  The default is
+            ``2*bound + ack_latency + 2*o + 1`` — and since the ack
+            flies over the control channel in exactly ``ack_latency ==
+            bound`` cycles, that computes to ``3*bound + 2*o + 1``, just
+            past the worst-case uncontended round trip (data flight
+            ``<= bound``, receive ``o``, ack flight ``bound``, send
+            ``o``, plus one cycle of slack).  Shorthand for
+            ``retry_policy=FixedRetry(retry_timeout)``; mutually
+            exclusive with ``retry_policy``.
+        retry_policy: pluggable retransmission schedule
+            (:class:`~repro.sim.faults.RetryPolicy`): fixed interval,
+            exponential backoff with deterministic jitter, or
+            budget-capped.  Each attempt ``k`` waits
+            ``policy.delay(k, seq)`` cycles; a policy ``budget`` caps
+            the total unacked time, after which the sender gives up
+            (an error on a fault-free run, a counted ``gave_up_send``
+            under a fault plan).  Backoff interacts with ``max_retries``
+            multiplicatively: the protocol stops at whichever of
+            ``max_retries`` attempts / the policy budget binds first.
         max_retries: retransmissions before a lossy run fails with
-            :class:`SimulationError`.
+            :class:`SimulationError` (or, under a fault plan, gives the
+            message up — how a peer's crash resolves at the sender).
+        fault_plan: optional :class:`~repro.sim.faults.FaultPlan` of
+            processor faults (crash-stop, crash-recover, slowdown).  A
+            crashed rank stops executing, its parked wait-graph entry is
+            reaped, its in-flight messages are dropped mid-worm, and
+            messages addressed to it vanish at the dead interface (on a
+            lossy fabric, peers' ARQ retries then time out and give
+            up).  Crash-recovery restarts the rank's program — the run
+            must be given a program *factory*, and the restarted
+            program can read its last ``Checkpoint`` via ``Restore``.
+            End-of-run deadlock checks are relaxed: survivors wedged on
+            a dead peer are recorded in :meth:`MachineResult.fault_report`
+            instead of raising.
+        heartbeat: optional :class:`~repro.sim.faults.HeartbeatConfig`
+            activating the failure detector.  Every ``period`` cycles
+            each alive rank's interface emits heartbeats to its
+            watchers; emissions serialize on the sender's message port
+            under the usual ``max(g, o)`` spacing and each delivery
+            occupies the watcher's receive port, so detector cost is
+            real ``o``/``g`` traffic that delays program communication
+            and shows up in the makespan.  Watchers that hear nothing
+            for more than ``timeout`` cycles suspect the silent rank;
+            programs read the local suspicion set with ``Suspects()``.
         enforce_capacity: apply the ``ceil(L/g)`` constraint (disable for
             the capacity ablation).  Slots are held per the module
             docstring: source slots over [inject, arrive), destination
@@ -315,7 +409,10 @@ class LogPMachine:
         latency: LatencyModel | None = None,
         fabric: Fabric | None = None,
         retry_timeout: float | None = None,
+        retry_policy: RetryPolicy | None = None,
         max_retries: int = 8,
+        fault_plan: FaultPlan | None = None,
+        heartbeat: HeartbeatConfig | None = None,
         enforce_capacity: bool = True,
         capacity: int | None = None,
         hw_barrier_cost: float = 0.0,
@@ -351,10 +448,32 @@ class LogPMachine:
             )
         if retry_timeout is not None and retry_timeout <= 0:
             raise ValueError(f"retry_timeout must be > 0, got {retry_timeout}")
+        if retry_timeout is not None and retry_policy is not None:
+            raise ValueError(
+                "give retry_timeout or retry_policy, not both "
+                "(retry_timeout is shorthand for FixedRetry(retry_timeout))"
+            )
+        if retry_policy is not None and not isinstance(retry_policy, RetryPolicy):
+            raise TypeError(
+                f"retry_policy must be a RetryPolicy, got {retry_policy!r}"
+            )
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.retry_timeout = retry_timeout
+        self.retry_policy = retry_policy
         self.max_retries = max_retries
+        if fault_plan is not None:
+            if not isinstance(fault_plan, FaultPlan):
+                raise TypeError(
+                    f"fault_plan must be a FaultPlan, got {fault_plan!r}"
+                )
+            fault_plan.validate_for(params.P)
+        self.fault_plan = fault_plan
+        if heartbeat is not None and not isinstance(heartbeat, HeartbeatConfig):
+            raise TypeError(
+                f"heartbeat must be a HeartbeatConfig, got {heartbeat!r}"
+            )
+        self.heartbeat = heartbeat
         self.enforce_capacity = enforce_capacity
         self._enforce = enforce_capacity
         self.capacity = params.capacity if capacity is None else capacity
@@ -384,13 +503,27 @@ class LogPMachine:
         """
         P = self.params.P
         if callable(programs):
+            self._factory = programs
             gens = [programs(r, P) for r in range(P)]
         else:
+            self._factory = None
             gens = list(programs)
             if len(gens) != P:
                 raise ValueError(
                     f"expected {P} programs, got {len(gens)}"
                 )
+        if (
+            self.fault_plan is not None
+            and self._factory is None
+            and any(
+                type(e) is CrashRecover for e in self.fault_plan.events
+            )
+        ):
+            raise ValueError(
+                "crash-recovery restarts a rank's program, which "
+                "requires run() to be given a program factory "
+                "(factory(rank, P)), not a list of generators"
+            )
 
         self._engine = Engine(max_events=self.max_events)
         self._procs = [_Proc(r, g) for r, g in enumerate(gens)]
@@ -431,11 +564,37 @@ class LogPMachine:
             self._delivered_seqs: set[int] = set()
             self._net_faults = {"retries": 0, "duplicates_suppressed": 0}
             self._ack_latency = fab.bound
+            # Default ack-timeout: one worst-case uncontended round trip
+            # plus a cycle of slack.  With ack_latency == fab.bound this
+            # is 3*bound + 2*o + 1 (see the retry_timeout docstring).
             self._retry_timeout = (
                 self.retry_timeout
                 if self.retry_timeout is not None
                 else 2 * fab.bound + self._ack_latency + 2 * self._o + 1.0
             )
+            self._retry_policy = (
+                self.retry_policy
+                if self.retry_policy is not None
+                else FixedRetry(self._retry_timeout)
+            )
+
+        # Processor-fault machinery.  All of it is gated: a run with no
+        # fault plan and no heartbeat detector takes none of these
+        # branches past a single boolean test, keeping the fault-free
+        # hot path bit-identical (pinned by the fuzz differentials).
+        self._faulty = self.fault_plan is not None
+        self._slow = self._faulty and any(
+            type(e) is Slowdown for e in self.fault_plan.events
+        )
+        self._checkpoints: list[Any] | None = None
+        self._hb_cfg = self.heartbeat
+        if self._faulty or self._hb_cfg is not None:
+            self._setup_faults(P)
+        else:
+            self._fault_counts = None
+            self._fault_events: list[Any] = []
+            self._suspected: list[set[int]] | None = None
+            self._incarnation: list[int] | None = None
 
         for proc in self._procs:
             self._schedule_activation(proc, 0.0)
@@ -454,6 +613,15 @@ class LogPMachine:
             self._schedule.sort_all()
             makespan = max(makespan, self._schedule.makespan)
         total_stall = sum(p.result.stall_time for p in self._procs)
+        extras: dict[str, Any] = {}
+        if self._lossy:
+            extras["net_faults"] = {**self._net_faults, **fab.fault_counts}
+        if self._fault_counts is not None:
+            extras["faults"] = {
+                "counts": self._fault_counts,
+                "events": self._fault_events,
+                "plan": self.fault_plan,
+            }
         return MachineResult(
             params=self.params,
             makespan=makespan,
@@ -465,11 +633,7 @@ class LogPMachine:
             traced=self.trace,
             stall_events=self._stall_feed,
             fabric=self.fabric,
-            extras=(
-                {"net_faults": {**self._net_faults, **fab.fault_counts}}
-                if self._lossy
-                else {}
-            ),
+            extras=extras,
         )
 
     # ------------------------------------------------------------------
@@ -524,6 +688,8 @@ class LogPMachine:
                     self._try_inject(proc)
                 if proc.arrived:
                     self._try_drain(proc)
+                return
+            if state == _CRASHED:
                 return
             if now < proc.busy_until:
                 self._schedule_activation(proc, proc.busy_until)
@@ -651,6 +817,14 @@ class LogPMachine:
                     proc.state = _RUNNING
                     continue
                 proc.state = _WAIT_RECV
+                proc.wait_token += 1
+                if act.timeout is not None:
+                    engine.schedule(
+                        now + act.timeout,
+                        self._on_recv_timeout,
+                        proc,
+                        proc.wait_token,
+                    )
                 if proc.arrived:
                     self._try_drain(proc)
                 return
@@ -663,6 +837,11 @@ class LogPMachine:
                         raise SimulationError(
                             f"compute_jitter returned negative cycles {cycles}"
                         )
+                if self._slow:
+                    slow = self.fault_plan.slow_factor(rank, now)
+                    if slow != 1.0:
+                        cycles *= slow
+                        self._fault_counts["slowed_computes"] += 1
                 end = now + cycles
                 proc.busy_until = end
                 self._record(proc, now, end, Activity.COMPUTE, act.label)
@@ -713,6 +892,52 @@ class LogPMachine:
                 elif proc.arrived:
                     self._try_drain(proc)
                 return
+
+            if cls is Checkpoint:
+                if self._checkpoints is None:
+                    self._checkpoints = [None] * self._P
+                self._checkpoints[rank] = act.payload
+                if self._fault_counts is not None:
+                    self._fault_counts["checkpoints"] += 1
+                cost = act.cost
+                proc.pending = None
+                proc.resume = None
+                proc.state = _RUNNING
+                if cost > 0:
+                    end = now + cost
+                    proc.busy_until = end
+                    self._record(proc, now, end, Activity.COMPUTE, "checkpoint")
+                    if proc.pending_activations:
+                        self._supersede_activations(proc, end)
+                    self._schedule_activation(proc, end)
+                    return
+                continue
+
+            if cls is Restore:
+                ck = (
+                    None
+                    if self._checkpoints is None
+                    else self._checkpoints[rank]
+                )
+                inc = (
+                    self._incarnation[rank]
+                    if self._incarnation is not None
+                    else 0
+                )
+                proc.resume = RestoreInfo(ck, inc)
+                if self._fault_counts is not None:
+                    self._fault_counts["restores"] += 1
+                proc.pending = None
+                continue
+
+            if cls is Suspects:
+                proc.resume = (
+                    frozenset(self._suspected[rank])
+                    if self._suspected is not None
+                    else frozenset()
+                )
+                proc.pending = None
+                continue
 
             raise SimulationError(
                 f"processor {rank} yielded unknown action {act!r} "
@@ -830,7 +1055,11 @@ class LogPMachine:
         self._inflight_from[rank] += 1
         self._inflight_to[dst] += 1
         proc.pending_inject = None
-        self._engine.schedule(msg.arrive, self._on_arrival, msg)
+        eid = self._engine.schedule(msg.arrive, self._on_arrival, msg)
+        if self._faulty:
+            # Registry of in-flight worms so a crash can truncate the
+            # dying rank's own transmissions (fault runs only).
+            self._flight[msg.seq] = (eid, msg)
         return True
 
     # ------------------------------------------------------------------
@@ -852,11 +1081,15 @@ class LogPMachine:
                 arrive + stream, self._on_lossy_arrival, msg
             )
         self._awaiting_ack[msg.seq] = msg
-        self._engine.schedule(
-            now + self._retry_timeout, self._on_retry, msg, 1
-        )
+        delay = self._retry_policy.delay(1, msg.seq)
+        self._engine.schedule(now + delay, self._on_retry, msg, 1, delay)
 
     def _on_lossy_arrival(self, msg: _Msg) -> None:
+        if self._faulty and not self._alive[msg.dst]:
+            # Dead interface: the copy vanishes, no ack — the sender's
+            # retries time out and eventually give up.
+            self._fault_counts["dropped_at_dead_interface"] += 1
+            return
         seq = msg.seq
         if seq in self._delivered_seqs:
             # Duplicate copy (fabric duplication or a retransmission
@@ -879,14 +1112,15 @@ class LogPMachine:
     def _on_ack(self, seq: int) -> None:
         self._awaiting_ack.pop(seq, None)
 
-    def _on_retry(self, msg: _Msg, attempt: int) -> None:
+    def _on_retry(self, msg: _Msg, attempt: int, spent: float) -> None:
         if msg.seq not in self._awaiting_ack:
             return
         if attempt > self.max_retries:
-            raise SimulationError(
-                f"message {msg.src}->{msg.dst} (seq {msg.seq}) unacked "
-                f"after {self.max_retries} retransmissions"
+            self._give_up(
+                msg,
+                f"unacked after {self.max_retries} retransmissions",
             )
+            return
         self._net_faults["retries"] += 1
         now = self._engine.now
         outcome = self.fabric.submit_lossy(msg.src, msg.dst, now)
@@ -895,8 +1129,31 @@ class LogPMachine:
             self._engine.schedule(
                 arrive + stream, self._on_lossy_arrival, msg
             )
+        policy = self._retry_policy
+        delay = policy.delay(attempt + 1, msg.seq)
+        if policy.budget is not None and spent + delay > policy.budget:
+            # The copies just sent get one delay's grace to be acked;
+            # no further retransmissions.
+            self._engine.schedule(now + delay, self._on_retry_budget, msg)
+            return
         self._engine.schedule(
-            now + self._retry_timeout, self._on_retry, msg, attempt + 1
+            now + delay, self._on_retry, msg, attempt + 1, spent + delay
+        )
+
+    def _on_retry_budget(self, msg: _Msg) -> None:
+        if msg.seq in self._awaiting_ack:
+            self._give_up(msg, "unacked with the retry budget exhausted")
+
+    def _give_up(self, msg: _Msg, why: str) -> None:
+        """An undeliverable message: an error on a fault-free-processor
+        run, an expected (counted) outcome under a fault plan — this is
+        how a peer's crash resolves at the sender."""
+        self._awaiting_ack.pop(msg.seq, None)
+        if self._faulty:
+            self._fault_counts["gave_up_sends"] += 1
+            return
+        raise SimulationError(
+            f"message {msg.src}->{msg.dst} (seq {msg.seq}) {why}"
         )
 
     # ------------------------------------------------------------------
@@ -983,6 +1240,20 @@ class LogPMachine:
     def _on_arrival(self, msg: _Msg) -> None:
         # The source's slot frees at arrival.
         src = msg.src
+        if self._faulty:
+            self._flight.pop(msg.seq, None)
+            if not self._alive[msg.dst]:
+                # Dead interface: the message vanishes.  Both capacity
+                # slots free so live senders make progress.
+                self._inflight_from[src] -= 1
+                self._inflight_to[msg.dst] -= 1
+                self._fault_counts["dropped_at_dead_interface"] += 1
+                src_proc = self._procs[src]
+                if src_proc.stall_started is not None:
+                    self._release_src_slot(src)
+                if self._stall_queue[msg.dst]:
+                    self._release_dst_slot(msg.dst)
+                return
         self._inflight_from[src] -= 1
         src_proc = self._procs[src]
         if src_proc.stall_started is not None:
@@ -1045,6 +1316,18 @@ class LogPMachine:
 
     def _on_recv_done(self, proc: _Proc, msg: _Msg, recv_start: float) -> None:
         now = self._engine.now
+        if self._faulty:
+            if proc.state == _CRASHED:
+                # The rank died while this reception was in progress;
+                # the message is lost with the interface.
+                self._fault_counts["dropped_at_dead_interface"] += 1
+                return
+            # Exactly-once witness for the chaos harness: each seq may
+            # complete reception at a program at most once.
+            if msg.seq in self._delivered_once:
+                self._fault_counts["duplicate_deliveries"] += 1
+            else:
+                self._delivered_once.add(msg.seq)
         rm = ReceivedMessage(msg.src, msg.payload, msg.tag, msg.send_start, now)
         if self._schedule is not None:
             self._schedule.add_message(
@@ -1127,6 +1410,257 @@ class LogPMachine:
             self._activate(proc)
 
     # ------------------------------------------------------------------
+    # Processor faults: crash / recovery / heartbeat failure detection
+    # ------------------------------------------------------------------
+
+    def _setup_faults(self, P: int) -> None:
+        """Per-run fault state; crash events are scheduled *before* the
+        initial activations so a crash at t=0 precedes the rank's first
+        dispatch (the rank never runs)."""
+        self._fault_counts: dict[str, Any] = {
+            "dropped_in_flight": 0,
+            "dropped_at_dead_interface": 0,
+            "reaped_parked": 0,
+            "gave_up_sends": 0,
+            "duplicate_deliveries": 0,
+            "heartbeats_sent": 0,
+            "checkpoints": 0,
+            "restores": 0,
+            "slowed_computes": 0,
+            "wedged_ranks": [],
+            "unreceived_messages": 0,
+        }
+        self._fault_events = []
+        self._alive = [True] * P
+        self._incarnation = [0] * P
+        self._was_done_at_crash = [False] * P
+        self._pending_recoveries = 0
+        # seq -> (arrival event id, msg) for every reliable-path message
+        # in flight; lets a crash truncate the dying rank's worms.
+        self._flight: dict[int, tuple[int, _Msg]] = {}
+        # Exactly-once witness: seqs whose reception completed at a
+        # program (chaos harness invariant).
+        self._delivered_once: set[int] = set()
+        if self._faulty:
+            for ev in self.fault_plan.events:
+                if type(ev) is CrashStop:
+                    self._engine.schedule(ev.at, self._on_crash, ev)
+                elif type(ev) is CrashRecover:
+                    self._engine.schedule(ev.at, self._on_crash, ev)
+                    self._pending_recoveries += 1
+        cfg = self._hb_cfg
+        if cfg is not None:
+            self._suspected = [set() for _ in range(P)]
+            # _hb_watchers[r]: who receives r's heartbeats;
+            # _watched_by[w]: whose heartbeats w expects.
+            self._hb_watchers = cfg.watch_map(P)
+            self._watched_by: list[list[int]] = [[] for _ in range(P)]
+            for r, ws in enumerate(self._hb_watchers):
+                for w in ws:
+                    self._watched_by[w].append(r)
+            self._last_hb = [[0.0] * P for _ in range(P)]
+            # Heartbeats fly over the control channel at the fabric's
+            # unloaded bound (like ARQ acks).
+            self._hb_flight = self.fabric.bound
+            self._engine.schedule(cfg.period, self._on_hb_tick)
+        else:
+            self._suspected = None
+
+    def _on_crash(self, ev: "CrashStop | CrashRecover") -> None:
+        rank = ev.rank
+        proc = self._procs[rank]
+        if proc.state == _CRASHED:
+            return
+        engine = self._engine
+        now = engine.now
+        was_done = proc.state == _DONE
+        self._was_done_at_crash[rank] = was_done
+        self._alive[rank] = False
+        # Reap a parked wait-graph entry without waking the dead sender.
+        reaped = 0
+        if proc.queued_on is not None:
+            self._stall_queue[proc.queued_on].remove(rank)
+            proc.queued_on = None
+            proc.needs_src = proc.needs_dst = False
+            reaped = 1
+            self._fault_counts["reaped_parked"] += 1
+        proc.pending_inject = None
+        proc.stall_started = None
+        # A dead rank never dispatches again.
+        if proc.pending_activations:
+            cancel = engine.cancel
+            for eid in proc.pending_activations.values():
+                cancel(eid)
+            proc.pending_activations.clear()
+        # Truncate the rank's own in-flight worms (reliable path).  On a
+        # lossy fabric, copies already handed to the fabric are beyond
+        # recall (fire-and-forget datagrams); only the dead rank's
+        # retransmissions stop.
+        dropped = 0
+        if self._flight:
+            for seq in [
+                s for s, (_, m) in self._flight.items() if m.src == rank
+            ]:
+                eid, msg = self._flight.pop(seq)
+                engine.cancel(eid)
+                self._inflight_from[rank] -= 1
+                self._inflight_to[msg.dst] -= 1
+                dropped += 1
+                if self._stall_queue[msg.dst]:
+                    self._release_dst_slot(msg.dst)
+        if self._lossy:
+            for seq in [
+                s for s, m in self._awaiting_ack.items() if m.src == rank
+            ]:
+                del self._awaiting_ack[seq]
+                dropped += 1
+        self._fault_counts["dropped_in_flight"] += dropped
+        # Receives die with the interface.
+        self._fault_counts["dropped_at_dead_interface"] += len(proc.arrived)
+        proc.arrived.clear()
+        proc.mailbox.clear()
+        # A dead rank that had entered the hardware barrier no longer
+        # counts toward it; a barrier it never entered wedges survivors
+        # (recorded by the relaxed completion check).
+        if rank in self._barrier_waiting:
+            self._barrier_waiting.remove(rank)
+        try:
+            proc.gen.close()
+        except Exception:
+            pass
+        proc.pending = None
+        proc.resume = None
+        proc.state = _CRASHED
+        kind = "transient" if type(ev) is CrashRecover else "stop"
+        crash = CrashEvent(now, rank, kind, dropped, reaped)
+        self._fault_events.append(crash)
+        if self.trace:
+            self._stall_feed.append(crash)
+        if type(ev) is CrashRecover:
+            engine.schedule(ev.back_at, self._on_recover, ev)
+
+    def _on_recover(self, ev: CrashRecover) -> None:
+        rank = ev.rank
+        proc = self._procs[rank]
+        now = self._engine.now
+        self._alive[rank] = True
+        self._pending_recoveries -= 1
+        self._incarnation[rank] += 1
+        had_ck = (
+            self._checkpoints is not None
+            and self._checkpoints[rank] is not None
+        )
+        rec = RecoverEvent(now, rank, self._incarnation[rank], had_ck)
+        self._fault_events.append(rec)
+        if self.trace:
+            self._stall_feed.append(rec)
+        if self._suspected is not None:
+            # The fresh incarnation's detector starts with a clean slate
+            # and a grace period (it was deaf while down); watchers
+            # un-suspect it when its first new heartbeat lands.
+            self._suspected[rank].clear()
+            row = self._last_hb[rank]
+            for s in range(self._P):
+                row[s] = now
+        if self._was_done_at_crash[rank]:
+            # The program had already finished — nothing to redo; the
+            # rank just rejoins heartbeating with its result intact.
+            proc.state = _DONE
+            return
+        proc.gen = self._factory(rank, self._P)
+        proc.state = _RUNNING
+        proc.pending = None
+        proc.resume = None
+        proc.busy_until = now
+        proc.last_send_start = -math.inf
+        proc.last_recv_start = -math.inf
+        proc.poll_drained = 0
+        proc.pending_inject = None
+        proc.port_free = 0.0
+        self._schedule_activation(proc, now)
+
+    def _on_hb_tick(self) -> None:
+        """One detector period: every alive rank's interface emits
+        heartbeats to its watchers (serialized on the sender's message
+        port at ``max(g, o)`` spacing — real traffic), then every alive
+        watcher checks its watch list for silence past the timeout."""
+        engine = self._engine
+        now = engine.now
+        cfg = self._hb_cfg
+        alive = self._alive
+        counts = self._fault_counts
+        interval = self._send_interval
+        o = self._o
+        for src, watchers in enumerate(self._hb_watchers):
+            if not watchers or not alive[src]:
+                continue
+            proc = self._procs[src]
+            done = proc.state == _DONE
+            for w in watchers:
+                start = proc.last_send_start + interval
+                if start < now:
+                    start = now
+                proc.last_send_start = start
+                end = start + o
+                if not done and proc.last_activity < end:
+                    proc.last_activity = end
+                counts["heartbeats_sent"] += 1
+                engine.schedule(end + self._hb_flight, self._on_hb, w, src)
+        timeout = cfg.timeout
+        for w in range(self._P):
+            if not alive[w]:
+                continue
+            suspected = self._suspected[w]
+            last = self._last_hb[w]
+            for s in self._watched_by[w]:
+                if s in suspected:
+                    continue
+                silent = now - last[s]
+                if silent > timeout:
+                    suspected.add(s)
+                    sev = SuspectEvent(
+                        now, w, s, last[s], int(silent // cfg.period)
+                    )
+                    self._fault_events.append(sev)
+                    if self.trace:
+                        self._stall_feed.append(sev)
+        nxt = now + cfg.period
+        if cfg.horizon is not None and nxt > cfg.horizon:
+            return
+        if self._pending_recoveries > 0 or any(
+            p.state != _DONE and p.state != _CRASHED for p in self._procs
+        ):
+            engine.schedule(nxt, self._on_hb_tick)
+
+    def _on_hb(self, watcher: int, src: int) -> None:
+        """A heartbeat landing: occupies the watcher's receive port and
+        refreshes its liveness record for ``src``."""
+        if not self._alive[watcher]:
+            return
+        now = self._engine.now
+        proc = self._procs[watcher]
+        start = proc.last_recv_start + self._g
+        if start < now:
+            start = now
+        proc.last_recv_start = start
+        end = start + self._o
+        if proc.state != _DONE and proc.last_activity < end:
+            proc.last_activity = end
+        self._last_hb[watcher][src] = now
+        self._suspected[watcher].discard(src)
+
+    def _on_recv_timeout(self, proc: _Proc, token: int) -> None:
+        """A ``Recv(timeout=...)`` expiring: if the wait it armed for is
+        still in progress, resume the program with ``None``.  A
+        reception already under way completes into the mailbox — the
+        timeout wins the race."""
+        if proc.state == _WAIT_RECV and proc.wait_token == token:
+            proc.pending = None
+            proc.resume = None
+            proc.state = _RUNNING
+            self._activate(proc)
+
+    # ------------------------------------------------------------------
 
     def _record(
         self, proc: _Proc, start: float, end: float, kind: Activity, detail: str
@@ -1143,7 +1677,22 @@ class LogPMachine:
         messages), but a processor that never finished, a message still
         awaiting reception, or a sender still parked in the wait-graph
         means the run ended mid-flight.
+
+        Under a fault plan these are *expected* outcomes — a survivor
+        can wedge forever on a dead peer — so they are recorded in the
+        fault report instead of raised.
         """
+        if self._faulty:
+            counts = self._fault_counts
+            counts["wedged_ranks"] = sorted(
+                p.rank
+                for p in self._procs
+                if p.state != _DONE and p.state != _CRASHED
+            )
+            counts["unreceived_messages"] += sum(
+                len(p.arrived) for p in self._procs
+            )
+            return
         blocked = [
             (p.rank, p.state)
             for p in self._procs

@@ -50,6 +50,10 @@ __all__ = [
     "Now",
     "Poll",
     "Barrier",
+    "Checkpoint",
+    "Restore",
+    "Suspects",
+    "RestoreInfo",
     "ReceivedMessage",
     "Action",
 ]
@@ -90,9 +94,24 @@ class Recv:
     With ``tag=None`` any message is accepted (in reception-completion
     order).  With a tag, only messages bearing that tag match; others
     stay queued for later ``Recv`` calls.
+
+    ``timeout`` (cycles, ``None`` = wait forever) bounds the wait:
+    if no matching message is available within ``timeout`` cycles the
+    yield returns ``None`` instead of a :class:`ReceivedMessage`.  A
+    reception already in progress when the timeout fires completes into
+    the mailbox; the timeout wins the race.  This is the primitive the
+    self-healing collectives build on — wait for the parent's message
+    *or* notice (via :class:`Suspects`) that the parent is dead.
     """
 
     tag: Hashable = None
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout < 0:
+            raise ValueError(
+                f"timeout must be >= 0, got {self.timeout}"
+            )
 
 
 @dataclass(slots=True, unsafe_hash=True)
@@ -151,7 +170,54 @@ class Barrier:
     name: Hashable = None
 
 
-Action = Send | Recv | Compute | Sleep | Now | Poll | Barrier
+@dataclass(slots=True, unsafe_hash=True)
+class Checkpoint:
+    """Save ``payload`` to stable storage surviving a transient crash.
+
+    A rank restarted after a :class:`~repro.sim.faults.CrashRecover`
+    retrieves the most recent checkpoint with :class:`Restore`.  The
+    processor is engaged for ``cost`` cycles (default 0: checkpoints to
+    a battery-backed NIC buffer; set a real cost to model stable-storage
+    writes).  Yield value: ``None``.
+    """
+
+    payload: Any = None
+    cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise ValueError(f"cost must be >= 0, got {self.cost}")
+
+
+@dataclass(slots=True, unsafe_hash=True)
+class Restore:
+    """Return this rank's :class:`RestoreInfo` — the last checkpoint
+    payload and the incarnation number.  Costs no time.  A program that
+    supports crash-recovery starts with ``info = yield Restore()`` and
+    skips the work the checkpoint already covers."""
+
+
+@dataclass(slots=True, unsafe_hash=True)
+class Suspects:
+    """Return the frozenset of ranks this rank's failure detector
+    currently suspects (empty when no heartbeat detector is attached).
+    A local read of detector state: costs no time."""
+
+
+@dataclass(frozen=True, slots=True)
+class RestoreInfo:
+    """What ``yield Restore()`` returns: ``checkpoint`` is the last
+    :class:`Checkpoint` payload (``None`` if never checkpointed) and
+    ``incarnation`` counts restarts (0 = original execution)."""
+
+    checkpoint: Any
+    incarnation: int
+
+
+Action = (
+    Send | Recv | Compute | Sleep | Now | Poll | Barrier
+    | Checkpoint | Restore | Suspects
+)
 
 
 @dataclass(slots=True, unsafe_hash=True)

@@ -158,6 +158,8 @@ def grid_map(
     capacity: int | None = None,
     hw_barrier_cost: float = 0.0,
     compute_jitter: Callable[[int, float], float] | None = None,
+    fault_plan=None,
+    heartbeat=None,
     max_events: int = 50_000_000,
     use_numpy: bool | None = None,
 ) -> list[tuple[float, float]]:
@@ -182,6 +184,10 @@ def grid_map(
         latency / fabric: timing configuration, shared across points
             (the machine path constructs one machine per point around
             them; the compiled path refuses anything nondeterministic).
+        fault_plan / heartbeat: fault injection and failure detection
+            (see :mod:`repro.sim.faults`), shared across points.  Both
+            are machine-only: ``backend="auto"`` or ``"compiled"``
+            refuses them loudly, exactly like a lossy fabric.
         use_numpy: forwarded to
             :func:`repro.sim.compiled.evaluate_grid`.
     """
@@ -193,7 +199,13 @@ def grid_map(
     )
 
     pts = list(grid)
-    resolved = resolve_backend(backend, latency=latency, fabric=fabric)
+    resolved = resolve_backend(
+        backend,
+        latency=latency,
+        fabric=fabric,
+        fault_plan=fault_plan,
+        heartbeat=heartbeat,
+    )
     out: list[tuple[float, float] | None] = [None] * len(pts)
 
     def _machine(indices: list[int]) -> None:
@@ -208,6 +220,8 @@ def grid_map(
                 capacity=capacity,
                 hw_barrier_cost=hw_barrier_cost,
                 compute_jitter=compute_jitter,
+                fault_plan=fault_plan,
+                heartbeat=heartbeat,
                 trace=False,
                 max_events=max_events,
             ).run(programs)

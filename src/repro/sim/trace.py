@@ -34,6 +34,10 @@ __all__ = [
     "NetStallEvent",
     "StallReport",
     "stall_report",
+    "CrashEvent",
+    "RecoverEvent",
+    "SuspectEvent",
+    "FaultReport",
 ]
 
 
@@ -205,6 +209,98 @@ class NetStallEvent:
     stall: float
 
 
+# ----------------------------------------------------------------------
+# Processor-fault event feed (see repro.sim.faults)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class CrashEvent:
+    """One rank halting.  ``kind`` is ``"stop"`` (permanent) or
+    ``"transient"`` (a :class:`~repro.sim.faults.CrashRecover` downtime).
+    ``dropped_in_flight`` counts this rank's own injected-but-undelivered
+    messages cancelled at crash time; ``reaped_parked`` is 1 when the
+    rank's parked wait-graph entry was removed without waking it."""
+
+    time: float
+    rank: int
+    kind: str
+    dropped_in_flight: int = 0
+    reaped_parked: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class RecoverEvent:
+    """One rank restarting after a transient crash.  ``incarnation`` is
+    1 for the first restart; ``had_checkpoint`` records whether a
+    :class:`~repro.sim.program.Checkpoint` payload survived for
+    :class:`~repro.sim.program.Restore` to return."""
+
+    time: float
+    rank: int
+    incarnation: int
+    had_checkpoint: bool
+
+
+@dataclass(frozen=True, slots=True)
+class SuspectEvent:
+    """A watcher's failure detector suspecting a silent rank.
+
+    ``last_heard`` is the latest heartbeat reception time (0.0 if none
+    was ever heard); ``missed`` counts whole heartbeat periods of
+    silence at suspicion time — fault-aware validation requires
+    ``missed >= 1`` and ``time - last_heard > timeout``."""
+
+    time: float
+    watcher: int
+    suspect: int
+    last_heard: float
+    missed: int
+
+
+@dataclass(slots=True)
+class FaultReport:
+    """Condensed picture of one run's processor faults.
+
+    Built by :meth:`~repro.sim.machine.MachineResult.fault_report` from
+    counters the machine keeps whenever a fault plan is attached (they
+    are collected untraced too — fault events are rare, unlike the
+    stall feed).  The chaos harness cross-checks every count against
+    the traced event feed."""
+
+    crashes: list[CrashEvent] = field(default_factory=list)
+    recoveries: list[RecoverEvent] = field(default_factory=list)
+    suspects: list[SuspectEvent] = field(default_factory=list)
+    dropped_in_flight: int = 0
+    dropped_at_dead_interface: int = 0
+    reaped_parked: int = 0
+    gave_up_sends: int = 0
+    duplicate_deliveries: int = 0
+    heartbeats_sent: int = 0
+    checkpoints: int = 0
+    restores: int = 0
+    slowed_computes: int = 0
+    wedged_ranks: list[int] = field(default_factory=list)
+    unreceived_messages: int = 0
+
+    @property
+    def crashed_ranks(self) -> list[int]:
+        return sorted({e.rank for e in self.crashes})
+
+    @property
+    def down_forever(self) -> list[int]:
+        """Ranks that crashed and never recovered during the run."""
+        back = {e.rank for e in self.recoveries}
+        return sorted(
+            {e.rank for e in self.crashes if e.rank not in back}
+        )
+
+    @property
+    def ok(self) -> bool:
+        """No surviving rank wedged and exactly-once delivery held."""
+        return not self.wedged_ranks and self.duplicate_deliveries == 0
+
+
 @dataclass(slots=True)
 class StallReport:
     """Condensed causality picture of one run's capacity stalls.
@@ -266,7 +362,9 @@ def stall_report(
             parked[ev.src] = ev.dst
             depth[ev.dst] = depth.get(ev.dst, 0) + 1
             max_depth[ev.dst] = max(max_depth.get(ev.dst, 0), depth[ev.dst])
-        else:
+        elif isinstance(ev, WakeupEvent):
+            # Fault events (Crash/Recover/Suspect) share the feed but
+            # are summarized by FaultReport, not here.
             wakeups += 1
             if ev.admitted:
                 admitted += 1

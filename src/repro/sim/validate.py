@@ -22,6 +22,21 @@ the model:
 The property-based tests run arbitrary random programs through the
 simulator and assert the trace validates — this is the core correctness
 net for the whole simulation layer.
+
+**Fault-aware mode.**  A run executed under a
+:class:`~repro.sim.faults.FaultPlan` deliberately breaks the clauses
+around a crash: a recovered incarnation's first send may follow the dead
+incarnation's last send closer than ``max(g, o)``, a message in flight
+when its endpoint died has no orderly reception, and so on.  Passing the
+plan via ``fault_plan`` exempts exactly those windows — a check is
+skipped only when a rank it involves was down at some point inside the
+checked interval; everything outside the downtime windows is still held
+to the full model.  Passing ``fault_report`` and ``heartbeat``
+additionally validates the failure detector's output: every
+:class:`~repro.sim.trace.SuspectEvent` must be backed by at least one
+whole missed heartbeat period and by silence exceeding the configured
+timeout — a suspicion without a missed beat is a detector bug, not a
+detection.
 """
 
 from __future__ import annotations
@@ -82,6 +97,9 @@ def validate_schedule(
     exact_latency: bool = False,
     check_capacity: bool = True,
     fabric=None,
+    fault_plan=None,
+    fault_report=None,
+    heartbeat=None,
 ) -> ValidationReport:
     """Check a schedule against the LogP semantics of its parameters.
 
@@ -97,18 +115,43 @@ def validate_schedule(
             When it is deterministic, every message's flight is checked
             hop-consistent: ``arrive - inject == unloaded(src, dst) +
             net_stall`` (plus streaming).
+        fault_plan: the :class:`~repro.sim.faults.FaultPlan` the run
+            executed under, if any — activates fault-aware mode (see the
+            module docstring): gap/overhead/latency/capacity checks are
+            skipped for exactly the intervals that touch a rank's
+            downtime, and enforced everywhere else.
+        fault_report: the run's
+            :meth:`~repro.sim.machine.MachineResult.fault_report`; with
+            ``heartbeat`` also given, every recorded suspicion is checked
+            to be backed by ``missed >= 1`` heartbeat periods and silence
+            exceeding the detector timeout.
+        heartbeat: the :class:`~repro.sim.faults.HeartbeatConfig` the
+            run used (required for the suspicion checks).
     """
     p = schedule.params
     report = ValidationReport()
     _check_busy_overlap(schedule, report)
-    _check_gaps(schedule, p, report)
-    _check_overheads(schedule, p, report)
-    _check_latency(schedule, p, report, exact=exact_latency)
+    _check_gaps(schedule, p, report, plan=fault_plan)
+    _check_overheads(schedule, p, report, plan=fault_plan)
+    _check_latency(schedule, p, report, exact=exact_latency, plan=fault_plan)
     if check_capacity:
-        _check_capacity(schedule, p, report)
+        _check_capacity(schedule, p, report, plan=fault_plan)
     if fabric is not None and fabric.deterministic:
         _check_hop_consistency(schedule, p, fabric, report)
+    if fault_report is not None and heartbeat is not None:
+        _check_suspicions(fault_report, heartbeat, report)
     return report
+
+
+def _down_overlaps(plan, rank: int, t0: float, t1: float) -> bool:
+    """Whether ``rank`` has any planned downtime intersecting
+    ``[t0, t1]`` — the exemption window of fault-aware validation."""
+    if plan is None:
+        return False
+    return any(
+        a <= t1 + _EPS and t0 <= b + _EPS
+        for a, b in plan.down_intervals(rank)
+    )
 
 
 def _check_busy_overlap(schedule: Schedule, report: ValidationReport) -> None:
@@ -123,7 +166,7 @@ def _check_busy_overlap(schedule: Schedule, report: ValidationReport) -> None:
 
 
 def _check_gaps(
-    schedule: Schedule, p: LogPParams, report: ValidationReport
+    schedule: Schedule, p: LogPParams, report: ValidationReport, plan=None
 ) -> None:
     send_spacing = p.send_interval
     for rank, tl in schedule.timelines.items():
@@ -132,6 +175,10 @@ def _check_gaps(
         )
         for t0, t1 in zip(sends, sends[1:]):
             if t1 - t0 < send_spacing - _EPS:
+                # A crash between the two sends resets the port: the
+                # recovered incarnation owes the dead one no spacing.
+                if _down_overlaps(plan, rank, t0, t1):
+                    continue
                 report.add(
                     "send-gap",
                     rank,
@@ -144,6 +191,8 @@ def _check_gaps(
         )
         for t0, t1 in zip(recvs, recvs[1:]):
             if t1 - t0 < p.g - _EPS:
+                if _down_overlaps(plan, rank, t0, t1):
+                    continue
                 report.add(
                     "recv-gap",
                     rank,
@@ -153,12 +202,15 @@ def _check_gaps(
 
 
 def _check_overheads(
-    schedule: Schedule, p: LogPParams, report: ValidationReport
+    schedule: Schedule, p: LogPParams, report: ValidationReport, plan=None
 ) -> None:
     for rank, tl in schedule.timelines.items():
         for iv in tl.intervals:
             if iv.kind in (Activity.SEND, Activity.RECV):
                 if abs(iv.duration - p.o) > _EPS:
+                    # An overhead truncated by the rank's own crash.
+                    if _down_overlaps(plan, rank, iv.start, iv.end):
+                        continue
                     report.add(
                         "overhead",
                         rank,
@@ -173,9 +225,16 @@ def _check_latency(
     report: ValidationReport,
     *,
     exact: bool,
+    plan=None,
 ) -> None:
     G = getattr(p, "G", 0.0) or 0.0
     for m in schedule.messages:
+        # A message whose endpoint was down anywhere between send start
+        # and arrival has no orderly LogP flight to validate.
+        if _down_overlaps(plan, m.src, m.send_start, m.arrive) or (
+            _down_overlaps(plan, m.dst, m.inject, m.arrive)
+        ):
+            continue
         flight = m.arrive - m.inject
         stream = (m.words - 1) * G
         if m.net_stall < -_EPS:
@@ -237,7 +296,7 @@ def _check_hop_consistency(
 
 
 def _check_capacity(
-    schedule: Schedule, p: LogPParams, report: ValidationReport
+    schedule: Schedule, p: LogPParams, report: ValidationReport, plan=None
 ) -> None:
     """Sweep message lifetime events and track in-flight counts.
 
@@ -253,6 +312,12 @@ def _check_capacity(
     from_events: list[tuple[float, int, int]] = []  # (time, delta, proc)
     to_events: list[tuple[float, int, int]] = []
     for m in schedule.messages:
+        # A crash truncates the orderly slot lifecycle (in-flight sends
+        # are dropped, receptions never start); exempt those messages.
+        if _down_overlaps(plan, m.src, m.inject, m.arrive) or (
+            _down_overlaps(plan, m.dst, m.inject, m.recv_start)
+        ):
+            continue
         from_events.append((m.inject, +1, m.src))
         from_events.append((m.arrive, -1, m.src))
         to_events.append((m.inject, +1, m.dst))
@@ -274,3 +339,26 @@ def _check_capacity(
                     f"{count[proc]} messages in flight {word} P{proc} "
                     f"(limit ceil(L/g) = {cap})",
                 )
+
+
+def _check_suspicions(fault_report, heartbeat, report: ValidationReport) -> None:
+    """A suspicion is only valid on evidence: at least one whole missed
+    heartbeat period, and silence strictly exceeding the timeout."""
+    for e in fault_report.suspects:
+        if e.missed < 1:
+            report.add(
+                "suspect-no-missed-beat",
+                e.watcher,
+                e.time,
+                f"P{e.watcher} suspected P{e.suspect} having missed "
+                f"{e.missed} heartbeat periods (need >= 1)",
+            )
+        if e.time - e.last_heard <= heartbeat.timeout - _EPS:
+            report.add(
+                "suspect-premature",
+                e.watcher,
+                e.time,
+                f"P{e.watcher} suspected P{e.suspect} after only "
+                f"{e.time - e.last_heard} cycles of silence "
+                f"(timeout {heartbeat.timeout})",
+            )

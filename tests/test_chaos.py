@@ -1,0 +1,245 @@
+"""Chaos harness, fault-aware validation, and fault-report edge cases.
+
+The tier-1 pin for ISSUE 5's randomized acceptance sweep: a fixed seed
+block of the chaos harness (``python -m repro.sim.chaos`` runs the full
+500), plus directed tests for the fault-report corners a random sweep
+only hits occasionally — crash at t=0, crash during a capacity stall,
+recovery after the program already finished, and two simultaneous
+crashes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.broadcast import ft_heartbeat_config
+from repro.core.params import LogPParams
+from repro.sim import LogPMachine, Recv, Send
+from repro.sim.chaos import (
+    chaos_fault_plan,
+    chaos_heartbeat,
+    chaos_sweep,
+    check_case_under_faults,
+    is_lossy_seed,
+    run_chaos_case,
+)
+from repro.sim.faults import (
+    CrashRecover,
+    CrashStop,
+    FaultPlan,
+    HeartbeatConfig,
+)
+from repro.sim.fuzz import make_case
+from repro.sim.trace import FaultReport, SuspectEvent
+from repro.sim.validate import validate_schedule
+
+
+# ----------------------------------------------------------------------
+# The chaos harness itself
+# ----------------------------------------------------------------------
+
+
+def test_chaos_fixed_seed_block():
+    """Tier-1 pin: 48 seeds of the acceptance sweep, serial, zero
+    violations, with every fault species actually exercised."""
+    summary = chaos_sweep(range(48), workers=1)
+    assert summary.ok, summary.failures[:5]
+    assert summary.cases == 48
+    assert summary.crashes > 0
+    assert summary.recoveries > 0
+    assert summary.suspects > 0
+    assert summary.lossy_cases > 0
+
+
+def test_chaos_latency_dominated_heartbeat_sizing():
+    """Regression (sweep seed 452): with L several times the heartbeat
+    period, the first beat is still in flight when a bare
+    multiple-of-period timeout expires — the detector must not
+    false-suspect a live rank at startup."""
+    assert check_case_under_faults(make_case(452)) == []
+    p = LogPParams(L=15.5, o=1.0, g=0.5, P=2)
+    hb = chaos_heartbeat(p, horizon=1000.0)
+    assert hb.timeout > 2.5 * hb.period + p.L
+
+
+def test_chaos_plan_is_deterministic_per_seed():
+    case = make_case(7)
+    plan_a, hz_a = chaos_fault_plan(case)
+    plan_b, hz_b = chaos_fault_plan(case)
+    assert plan_a.events == plan_b.events
+    assert hz_a == hz_b
+
+
+def test_chaos_lossy_seed_composes_link_faults():
+    seed = next(s for s in range(60) if is_lossy_seed(s) and s > 0)
+    out = run_chaos_case(make_case(seed))
+    assert out.lossy
+    assert out.ok, out.failures
+
+
+def test_ft_heartbeat_timeout_carries_flight_slack():
+    p = LogPParams(L=6.0, o=2.0, g=4.0, P=8)
+    hb = ft_heartbeat_config(p)
+    assert hb.timeout == 2.5 * hb.period + p.L + 2.0 * p.o
+
+
+# ----------------------------------------------------------------------
+# Fault-aware validation
+# ----------------------------------------------------------------------
+
+
+def _send_twice_factory(rank: int, P: int):
+    def gen():
+        if rank == 0:
+            yield Send(1)
+            yield Send(1)
+            return None
+        for _ in range(2):
+            yield Recv(timeout=100.0)
+        return None
+
+    return gen()
+
+
+def test_fault_aware_validation_exempts_downtime_windows():
+    """A recovered incarnation's first send may trail the dead
+    incarnation's last send closer than max(g, o): a raw validation
+    violation, exempted exactly when the plan is supplied."""
+    p = LogPParams(L=4.0, o=1.0, g=4.0, P=2)
+    plan = FaultPlan([CrashRecover(0, 1.2, 1.0)])
+    res = LogPMachine(p, fault_plan=plan, trace=True).run(
+        _send_twice_factory
+    )
+    raw = validate_schedule(res.schedule)
+    assert any(v.rule == "send-gap" for v in raw.violations)
+    aware = validate_schedule(res.schedule, fault_plan=plan)
+    assert aware.ok, [str(v) for v in aware.violations]
+
+
+def test_fault_aware_validation_still_enforces_outside_downtime():
+    """The exemption is surgical: a fault-free run validated *with* a
+    plan whose downtime never overlaps the schedule changes nothing."""
+    p = LogPParams(L=4.0, o=1.0, g=4.0, P=2)
+    res = LogPMachine(p, trace=True).run(_send_twice_factory)
+    clean = validate_schedule(res.schedule)
+    assert clean.ok
+    distant = FaultPlan([CrashStop(0, 1e6)])
+    assert validate_schedule(res.schedule, fault_plan=distant).ok
+
+
+def test_suspicion_validation_requires_evidence():
+    p = LogPParams(L=4.0, o=1.0, g=4.0, P=2)
+    res = LogPMachine(p, trace=True).run(_send_twice_factory)
+    hb = HeartbeatConfig(period=8.0, timeout=24.0)
+    # Premature: only 5 cycles of silence, zero whole periods missed.
+    bad = FaultReport(
+        suspects=[SuspectEvent(10.0, 0, 1, last_heard=5.0, missed=0)]
+    )
+    rep = validate_schedule(
+        res.schedule, fault_report=bad, heartbeat=hb
+    )
+    rules = {v.rule for v in rep.violations}
+    assert rules == {"suspect-no-missed-beat", "suspect-premature"}
+    # Backed by real silence: no violation.
+    good = FaultReport(
+        suspects=[SuspectEvent(30.0, 0, 1, last_heard=2.0, missed=3)]
+    )
+    assert validate_schedule(
+        res.schedule, fault_report=good, heartbeat=hb
+    ).ok
+
+
+# ----------------------------------------------------------------------
+# Fault-report edge cases
+# ----------------------------------------------------------------------
+
+
+CM5 = LogPParams(L=6.0, o=2.0, g=4.0, P=4)
+
+
+def _flood_factory(senders: int, k: int):
+    def factory(rank: int, P: int):
+        def gen():
+            if rank == 0:
+                got = 0
+                for _ in range(senders * k):
+                    m = yield Recv(timeout=200.0)
+                    if m is None:
+                        break
+                    got += 1
+                return got
+            for _ in range(k):
+                yield Send(0)
+            return None
+
+        return gen()
+
+    return factory
+
+
+def test_crash_at_time_zero():
+    """A rank crashed at t=0 never runs: its value is absent, its
+    messages never exist, and the survivors drain cleanly."""
+    plan = FaultPlan([CrashStop(2, 0.0)])
+    res = LogPMachine(CM5, fault_plan=plan).run(_flood_factory(3, 4))
+    rep = res.fault_report()
+    assert [(e.rank, e.time, e.kind) for e in rep.crashes] == [(2, 0.0, "stop")]
+    assert res.value(2) is None
+    assert res.value(0) == 2 * 4  # only the two surviving senders
+    assert rep.dropped_in_flight == 0
+    assert not rep.wedged_ranks
+
+
+def test_crash_during_capacity_stall_reaps_parked_sender():
+    """A sender parked in the capacity wait-graph when it crashes must
+    be reaped without a wakeup: the stall queue entry disappears, the
+    run terminates, and the reap is counted on the crash event."""
+    p = LogPParams(L=8.0, o=1.0, g=4.0, P=4)  # capacity ceil(L/g) = 2
+    plan = FaultPlan([CrashStop(2, 12.0)])
+    res = LogPMachine(p, fault_plan=plan, trace=True).run(
+        _flood_factory(3, 6)
+    )
+    rep = res.fault_report()
+    assert rep.reaped_parked == 1
+    assert rep.crashes[0].reaped_parked == 1
+    assert not rep.wedged_ranks
+    # The two surviving senders' 12 messages plus whatever the victim
+    # injected before parking all arrive.
+    assert 12 <= res.value(0) < 18
+    assert res.stall_report().ok  # no unresolved stall episodes
+
+
+def test_recover_after_program_end_keeps_result():
+    """A transient crash landing after the rank already finished redoes
+    nothing: the result survives, the rank rejoins heartbeating, and
+    exactly one recovery is recorded."""
+    plan = FaultPlan([CrashRecover(1, 500.0, 25.0)])
+    res = LogPMachine(CM5, fault_plan=plan).run(_flood_factory(3, 2))
+    rep = res.fault_report()
+    assert res.value(0) == 6
+    assert [(e.rank, e.time) for e in rep.recoveries] == [(1, 525.0)]
+    assert rep.recoveries[0].incarnation == 1
+    assert not rep.wedged_ranks
+    assert rep.restores == 0
+
+
+def test_two_simultaneous_crashes():
+    """Two ranks dying at the same instant are two independent crash
+    events; the survivors still account for every message."""
+    plan = FaultPlan([CrashStop(2, 9.0), CrashStop(3, 9.0)])
+    res = LogPMachine(CM5, fault_plan=plan).run(_flood_factory(3, 4))
+    rep = res.fault_report()
+    assert sorted((e.rank, e.time) for e in rep.crashes) == [
+        (2, 9.0),
+        (3, 9.0),
+    ]
+    assert rep.crashed_ranks == [2, 3]
+    assert rep.down_forever == [2, 3]
+    assert 1 not in rep.crashed_ranks  # rank 1 ran to completion
+    assert res.value(0) >= 4  # the surviving sender's full stream
+    assert not rep.wedged_ranks
+
+
+def test_fault_plan_rejects_double_crash():
+    with pytest.raises(ValueError, match="more than one crash"):
+        FaultPlan([CrashStop(1, 5.0), CrashRecover(1, 9.0, 2.0)])

@@ -303,6 +303,65 @@ def test_backend_accepts_latency_fabric():
     )
 
 
+@pytest.mark.parametrize("backend", ["compiled", "auto"])
+def test_backend_refuses_fault_plan(backend):
+    """Compiled schedules assume fault-free execution: a FaultPlan (or a
+    heartbeat detector) must be a loud ValueError, like lossy fabrics —
+    never a silent fall back to the machine."""
+    from repro.sim.faults import CrashStop, FaultPlan, HeartbeatConfig
+
+    plan = FaultPlan([CrashStop(1, 10.0)])
+    assert backend_ineligibility(fault_plan=plan) is not None
+    with pytest.raises(ValueError, match="FaultPlan.*fault-free"):
+        resolve_backend(backend, fault_plan=plan)
+    hb = HeartbeatConfig(period=8.0, timeout=24.0)
+    assert backend_ineligibility(heartbeat=hb) is not None
+    with pytest.raises(ValueError, match="heartbeat"):
+        resolve_backend(backend, heartbeat=hb)
+    # A machine backend accepts both; no-fault configs stay eligible.
+    assert resolve_backend("machine", fault_plan=plan, heartbeat=hb) == "machine"
+    assert backend_ineligibility(fault_plan=None, heartbeat=None) is None
+
+
+def test_grid_map_refuses_fault_plan_on_auto():
+    from repro.sim.faults import CrashStop, FaultPlan
+
+    plan = FaultPlan([CrashStop(1, 10.0)])
+    with pytest.raises(ValueError, match="backend='machine'"):
+        grid_map(_bcast, [BASE], backend="auto", fault_plan=plan)
+
+
+def test_grid_map_machine_runs_fault_plan():
+    """backend='machine' executes the plan: the crash changes the
+    makespan relative to the fault-free run of the same grid point."""
+    from repro.sim.faults import CrashStop, FaultPlan
+
+    plan = FaultPlan([CrashStop(3, 0.0)])
+    # The broadcast factory wedges without its rank-3 subtree, so use a
+    # root-only stream that rank 3's crash merely truncates.
+    def prog(rank: int, P: int):
+        if rank == 3:
+            for _ in range(4):
+                yield Send(0)
+            return None
+        if rank == 0:
+            got = 0
+            while got < 4:
+                m = yield Recv(timeout=200.0)
+                if m is None:
+                    break
+                got += 1
+            return got
+        return None
+        yield
+
+    [(clean, _)] = grid_map(prog, [BASE], backend="machine")
+    [(faulty, _)] = grid_map(
+        prog, [BASE], backend="machine", fault_plan=plan
+    )
+    assert faulty != clean
+
+
 def test_grid_map_refuses_loudly_not_silently():
     """The refusal surfaces from grid_map itself, before any work."""
     with pytest.raises(ValueError):

@@ -1,0 +1,285 @@
+"""Self-healing collectives: re-grafting, coverage accounting, healing.
+
+The acceptance property (ISSUE 5): the fault-tolerant broadcast
+completes on every surviving rank under any single crash at any time,
+within the documented degradation bound
+``fault_free + f * (detect_delay + reroute_cost)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.broadcast import (
+    ft_broadcast_bound,
+    ft_broadcast_program,
+    ft_heartbeat_config,
+    ft_reroute_cost,
+)
+from repro.algorithms.summation import (
+    distribute_inputs,
+    heal_summation_tree,
+    optimal_summation_tree,
+    summation_program,
+)
+from repro.core.params import LogPParams
+from repro.sim.collectives import (
+    binomial_ancestors,
+    binomial_children,
+    binomial_parent,
+    binomial_subtree,
+    ft_reduce,
+    ft_watch_edges,
+)
+from repro.sim.faults import CrashStop, FaultPlan, HeartbeatConfig
+from repro.sim.machine import LogPMachine
+
+CM5 = LogPParams(L=6.0, o=2.0, g=4.0, P=8)
+HORIZON = 20000.0
+DEADLINE = 15000.0
+
+
+def _hb(p: LogPParams) -> HeartbeatConfig:
+    return ft_heartbeat_config(p, horizon=HORIZON)
+
+
+def _poll(hb: HeartbeatConfig) -> float:
+    return hb.period / 2
+
+
+# ----------------------------------------------------------------------
+# Tree helpers
+# ----------------------------------------------------------------------
+
+
+def test_binomial_ancestors_end_at_root():
+    for P in (2, 5, 8, 13):
+        for r in range(P):
+            chain = binomial_ancestors(r, P)
+            if r == 0:
+                assert chain == []
+            else:
+                assert chain[0] == binomial_parent(r, P)
+                assert chain[-1] == 0
+                # Strictly climbing: each link is the parent of the last.
+                at = r
+                for a in chain:
+                    assert binomial_parent(at, P) == a
+                    at = a
+
+
+def test_binomial_subtree_partitions_ranks():
+    P = 8
+    root_kids = binomial_children(0, P)
+    subtrees = [binomial_subtree(k, P) for k in root_kids]
+    seen = {0}
+    for sub in subtrees:
+        assert seen.isdisjoint(sub)
+        seen.update(sub)
+    assert seen == set(range(P))
+
+
+def test_ft_watch_edges_cover_chains_and_root():
+    P = 8
+    edges = set(ft_watch_edges(P))
+    for r in range(1, P):
+        assert (0, r) in edges  # root monitors everyone
+        for a in binomial_ancestors(r, P):
+            assert (min(r, a), max(r, a)) in edges
+    # O(P log P), far fewer than all-pairs.
+    assert len(edges) < P * (P - 1) // 2
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant broadcast: the degradation bound
+# ----------------------------------------------------------------------
+
+
+def _run_bcast(p, hb, plan):
+    machine = LogPMachine(p, heartbeat=hb, fault_plan=plan)
+    factory = ft_broadcast_program(42, poll=_poll(hb), deadline=DEADLINE)
+    return machine.run(factory)
+
+
+def test_ft_broadcast_fault_free_delivers_everywhere():
+    hb = _hb(CM5)
+    res = _run_bcast(CM5, hb, None)
+    assert res.values() == [42] * CM5.P
+    assert res.fault_report().ok
+
+
+@pytest.mark.parametrize("victim", range(1, 8))
+def test_ft_broadcast_single_crash_sweep_within_bound(victim):
+    """Any non-root rank, crashed at any phase of the protocol: every
+    survivor still gets the value, within the documented bound."""
+    hb = _hb(CM5)
+    fault_free = _run_bcast(CM5, hb, None).makespan
+    bound = ft_broadcast_bound(CM5, hb, _poll(hb), fault_free, crashes=1)
+    # Crash times spanning: before the root's first send, mid-tree,
+    # mid-detection, and after the fault-free protocol has finished.
+    for at in (0.0, 3.0, 10.0, 25.0, 60.0, 150.0, 400.0, 1000.0):
+        res = _run_bcast(CM5, hb, FaultPlan([CrashStop(victim, at)]))
+        values = res.values()
+        for r in range(CM5.P):
+            if r != victim:
+                assert values[r] == 42, (victim, at, values)
+        assert res.makespan <= bound, (victim, at, res.makespan, bound)
+        assert not res.fault_report().wedged_ranks
+
+
+def test_ft_broadcast_two_crashes_within_bound():
+    hb = _hb(CM5)
+    fault_free = _run_bcast(CM5, hb, None).makespan
+    bound = ft_broadcast_bound(CM5, hb, _poll(hb), fault_free, crashes=2)
+    # Parent-and-child (1 then 3) and two independent subtrees (2 and 1).
+    for pair, times in (((1, 3), (5.0, 9.0)), ((2, 1), (0.0, 40.0))):
+        plan = FaultPlan(
+            [CrashStop(v, t) for v, t in zip(pair, times)]
+        )
+        res = _run_bcast(CM5, hb, plan)
+        values = res.values()
+        for r in range(CM5.P):
+            if r not in pair:
+                assert values[r] == 42, (pair, values)
+        assert res.makespan <= bound
+
+
+def test_ft_broadcast_bound_is_not_vacuous():
+    """The bound actually separates outcomes: it is far below the
+    deadline/horizon fallbacks a wedged protocol would hit."""
+    hb = _hb(CM5)
+    fault_free = _run_bcast(CM5, hb, None).makespan
+    bound = ft_broadcast_bound(CM5, hb, _poll(hb), fault_free, crashes=1)
+    assert bound < DEADLINE / 4
+    assert ft_reroute_cost(CM5, _poll(hb)) > 0
+
+
+def test_ft_broadcast_non_power_of_two():
+    p = LogPParams(L=6.0, o=2.0, g=4.0, P=6)
+    hb = _hb(p)
+    factory = ft_broadcast_program(7, poll=_poll(hb), deadline=DEADLINE)
+    for victim, at in ((1, 0.0), (2, 12.0), (5, 30.0)):
+        machine = LogPMachine(
+            p, heartbeat=hb, fault_plan=FaultPlan([CrashStop(victim, at)])
+        )
+        res = machine.run(factory)
+        for r in range(p.P):
+            if r != victim:
+                assert res.value(r) == 7
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant reduce: coverage accounting
+# ----------------------------------------------------------------------
+
+
+def _red_factory(poll):
+    def factory(rank: int, P: int):
+        return ft_reduce(
+            rank, P, 10 + rank, poll=poll, deadline=DEADLINE
+        )
+
+    return factory
+
+
+def test_ft_reduce_fault_free_full_coverage():
+    hb = _hb(CM5)
+    machine = LogPMachine(CM5, heartbeat=hb)
+    res = machine.run(_red_factory(_poll(hb)))
+    acc, covered, lost = res.value(0)
+    assert covered == frozenset(range(CM5.P))
+    assert lost == frozenset()
+    assert acc == sum(10 + r for r in range(CM5.P))
+
+
+@pytest.mark.parametrize("victim", range(1, 8))
+def test_ft_reduce_single_crash_accounts_every_rank(victim):
+    """covered/lost always partition the ranks, the result combines
+    exactly the covered values, and the victim's leaf is the only leaf
+    that may be lost besides partials it had taken custody of."""
+    hb = _hb(CM5)
+    for at in (0.0, 5.0, 17.0, 33.0, 80.0, 200.0, 500.0):
+        plan = FaultPlan([CrashStop(victim, at)])
+        machine = LogPMachine(CM5, heartbeat=hb, fault_plan=plan)
+        res = machine.run(_red_factory(_poll(hb)))
+        out = res.value(0)
+        assert out is not None, (victim, at)
+        acc, covered, lost = out
+        assert covered | lost == frozenset(range(CM5.P))
+        assert not covered & lost
+        assert acc == sum(10 + r for r in covered), (victim, at)
+        # Whatever is lost sat in the victim's custody: its own leaf
+        # and possibly its subtree's absorbed partials.
+        assert lost <= {victim} | set(binomial_subtree(victim, CM5.P)), (
+            victim,
+            at,
+            lost,
+        )
+        # A crash after the protocol finished loses nothing.
+        if at >= 500.0:
+            assert lost in (frozenset(), frozenset({victim}))
+
+
+def test_ft_reduce_crash_before_start_loses_only_victim_leaf():
+    hb = _hb(CM5)
+    plan = FaultPlan([CrashStop(3, 0.0)])
+    machine = LogPMachine(CM5, heartbeat=hb, fault_plan=plan)
+    res = machine.run(_red_factory(_poll(hb)))
+    acc, covered, lost = res.value(0)
+    assert lost == frozenset({3})
+    assert acc == sum(10 + r for r in range(CM5.P) if r != 3)
+
+
+# ----------------------------------------------------------------------
+# Static healing: summation replanned around dead ranks
+# ----------------------------------------------------------------------
+
+
+FIG4 = LogPParams(L=5.0, o=2.0, g=4.0, P=8)
+
+
+def test_heal_summation_tree_reassigns_leaves():
+    tree = optimal_summation_tree(FIG4, 28.0)
+    n = tree.total_values
+    healed = heal_summation_tree(tree, {3})
+    assert healed.total_values == n  # every input re-assigned
+    assert all(node.rank != 3 for node in healed.nodes)
+    assert healed.T >= tree.T
+    # The schedule degrades gracefully: losing 1 of 8 processors costs
+    # a bounded deadline increase, not a collapse to serial summing.
+    assert healed.T <= tree.T + _heal_slack(FIG4)
+
+
+def _heal_slack(p: LogPParams) -> float:
+    # One extra reception slot plus one tree level is ample for f=1.
+    return (p.L + 2 * p.o + 1) + max(p.g, p.o + 1)
+
+
+def test_heal_summation_tree_executes_with_dead_ranks_crashed():
+    tree = optimal_summation_tree(FIG4, 28.0)
+    n = tree.total_values
+    values = [float(i + 1) for i in range(n)]
+    for dead in ({1}, {5}, {1, 6}, {0}):
+        healed = heal_summation_tree(tree, dead)
+        inputs = distribute_inputs(healed, values)
+        plan = FaultPlan([CrashStop(r, 0.0) for r in dead])
+        machine = LogPMachine(FIG4, fault_plan=plan)
+        res = machine.run(summation_program(healed, inputs))
+        assert res.value(healed.root) == sum(values)
+        assert res.makespan == healed.T
+        assert not res.fault_report().wedged_ranks
+
+
+def test_heal_summation_tree_rejects_bad_dead_sets():
+    tree = optimal_summation_tree(FIG4, 28.0)
+    with pytest.raises(ValueError, match="outside"):
+        heal_summation_tree(tree, {11})
+    with pytest.raises(ValueError, match="survivors"):
+        heal_summation_tree(tree, set(range(8)))
+
+
+def test_heal_summation_tree_identity_without_deaths():
+    tree = optimal_summation_tree(FIG4, 28.0)
+    healed = heal_summation_tree(tree, set())
+    assert healed.total_values == tree.total_values
+    assert healed.T == tree.T
