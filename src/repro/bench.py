@@ -30,7 +30,14 @@ pytest-benchmark suite:
   verification grid (o-sweep plus an L x g box that crosses capacity
   and schedule-region boundaries, stalls included); the machine runs
   the same grid untimed and every ``(makespan, stall_time)`` pair must
-  be bit-identical, or the benchmark aborts.
+  be bit-identical, or the benchmark aborts;
+* ``serve_throughput`` / ``serve_cache_hit`` — the :mod:`repro.serve`
+  job server under sustained sequential traffic: single-point requests
+  cycling over a fixed parameter pool (first cycle computes, the rest
+  is cache service) and the identical multi-point sweep re-requested
+  until it is pure cache hits.  Beyond the gated timings, the report
+  records ``serve_requests_per_s`` and ``serve_cache_hit_rate`` as
+  first-class serving baselines.
 
 ``--only PREFIX`` runs just the workloads whose name starts with
 ``PREFIX`` (e.g. ``--only compiled`` for the grid-evaluator pair).
@@ -249,6 +256,69 @@ def _chaos_broadcast(
             )
 
 
+def _serve_requests(
+    requests: list, *, batch_window: float = 0.0
+) -> dict:
+    """Serve ``requests`` sequentially on a fresh in-process server.
+
+    Sequential awaits measure sustained request service time — the
+    cache/dedup/batch layer plus simulation — not pipelining tricks.
+    Returns the server's stats snapshot (cache hit rate included).
+    """
+    import asyncio
+
+    from .serve import ServeConfig, SimulationServer
+
+    async def _run() -> dict:
+        config = ServeConfig(batch_window=batch_window, use_pool=False)
+        async with SimulationServer(config) as server:
+            for request in requests:
+                job = await server.submit(request)
+                await job.wait()
+            return server.stats_snapshot()
+
+    return asyncio.run(_run())
+
+
+def _serve_throughput_requests(n_requests: int, distinct: int) -> list:
+    """``n_requests`` single-point requests cycling over ``distinct``
+    parameter points: the first cycle computes, the rest is cache
+    service — the sustained-traffic shape the serving layer exists for.
+    """
+    from .serve import SweepRequest
+
+    pool = [
+        LogPParams(L=6.0, o=0.5 + 0.05 * i, g=4.0, P=4)
+        for i in range(distinct)
+    ]
+    return [
+        SweepRequest.make(
+            "stream",
+            [pool[i % distinct]],
+            args={"k": 8},
+            backend="compiled",
+        )
+        for i in range(n_requests)
+    ]
+
+
+def _serve_cache_hit_requests(n_requests: int, n_points: int) -> list:
+    """The identical ``n_points``-point sweep ``n_requests`` times: one
+    cold batch, then pure cache hits (the hit-rate baseline)."""
+    from .serve import SweepRequest
+
+    points = [
+        LogPParams(L=6.0, o=0.25 + 0.125 * i, g=4.0, P=8)
+        for i in range(n_points)
+    ]
+    return [
+        SweepRequest.make(
+            "bcast_tree", points, args={"k": 8}, backend="compiled"
+        )
+        for _ in range(n_requests)
+    ]
+
+
 def _bcast_stream_factory(k: int):
     """Pipelined optimal-tree broadcast of ``k`` items, any ``P``.
 
@@ -341,6 +411,10 @@ def run_all(
     k_grid = 16 if smoke else 32
     vs_n_o = 32 if smoke else 64
     vs_box = 8 if smoke else 16
+    serve_reqs = 64 if smoke else 512
+    serve_distinct = 16 if smoke else 64
+    serve_hit_reqs = 16 if smoke else 128
+    serve_hit_points = 16 if smoke else 32
 
     def want(name: str) -> bool:
         return only is None or name.startswith(only)
@@ -390,6 +464,31 @@ def run_all(
             lambda: _compiled_vs_machine(vs_n_o, vs_box, k_grid),
             max(1, reps // 3),
         )
+    serve_metrics: dict[str, float] = {}
+    if want("serve"):
+        tp_requests = _serve_throughput_requests(
+            serve_reqs, serve_distinct
+        )
+        hit_requests = _serve_cache_hit_requests(
+            serve_hit_reqs, serve_hit_points
+        )
+        timings["serve_throughput_s"] = _best_of(
+            lambda: _serve_requests(tp_requests), max(1, reps // 3)
+        )
+        timings["serve_cache_hit_s"] = _best_of(
+            lambda: _serve_requests(hit_requests), max(1, reps // 3)
+        )
+        # First-class serving baselines: sustained requests/sec over the
+        # throughput mix, hit rate over the repeat mix (one extra
+        # instrumented run each; the timing keys above are what
+        # --baseline gates).
+        serve_metrics["serve_requests_per_s"] = round(
+            len(tp_requests) / timings["serve_throughput_s"], 1
+        )
+        hit_stats = _serve_requests(hit_requests)
+        serve_metrics["serve_cache_hit_rate"] = hit_stats["cache"][
+            "hit_rate"
+        ]
     sweep_scaling: dict[str, float] = {}
     if want("sweep"):
         _fuzz(seeds, 1)  # warm up (imports, generator JIT-ish costs)
@@ -434,10 +533,22 @@ def run_all(
                 "box": vs_box,
                 "k": k_grid,
             },
+            "serve_throughput": {
+                "requests": serve_reqs,
+                "distinct_points": serve_distinct,
+                "family": "stream",
+            },
+            "serve_cache_hit": {
+                "requests": serve_hit_reqs,
+                "points": serve_hit_points,
+                "family": "bcast_tree",
+            },
         },
         "timings_s": timings,
         "sweep_scaling_s": sweep_scaling,
     }
+    if serve_metrics:
+        report.update(serve_metrics)
     if fault_reports:
         report["fault_reports"] = fault_reports
     if (
@@ -534,6 +645,16 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{'compiled_grid speedup':24s} "
             f"{report['compiled_grid_speedup']:9.2f} x (machine / compiled)"
+        )
+    if "serve_requests_per_s" in report:
+        print(
+            f"{'serve requests/sec':24s} "
+            f"{report['serve_requests_per_s']:9.1f} /s"
+        )
+    if "serve_cache_hit_rate" in report:
+        print(
+            f"{'serve cache hit rate':24s} "
+            f"{report['serve_cache_hit_rate'] * 100:9.1f} %"
         )
 
     regressed = False

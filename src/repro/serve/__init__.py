@@ -1,0 +1,49 @@
+"""Simulation-as-a-service: the LogP prediction engine behind a server.
+
+The paper's whole argument is that a calibrated ``(L, o, g, P)`` model
+makes machine behaviour *predictable without the machine* — which makes
+prediction a natural service: clients ask "what would this program's
+makespan be at these parameter points?" and never run a simulator
+themselves.  This package is that serving layer over the repository's
+existing execution stack:
+
+* :mod:`.registry` — named, fingerprinted program families (what a
+  request may ask to simulate);
+* :mod:`.cache` — exact-key LRU over per-point results;
+* :mod:`.server` — :class:`SimulationServer`, the asyncio job engine:
+  request-level dedup, result caching, cross-request batch coalescing
+  into single vectorized compiled-grid evaluations, process-pool
+  sharding for large sweeps, and per-job progress streaming;
+* :mod:`.protocol` — a JSON-lines TCP protocol plus a thin client;
+* ``python -m repro.serve`` (:mod:`.__main__`) — run the TCP server,
+  or ``--smoke`` for the self-checking parity/throughput probe CI runs.
+
+Serving invariant, pinned by ``tests/test_serve.py``: every result is
+bit-identical to the serial sweep, whichever path produced it.
+"""
+
+from .cache import CacheKey, CacheStats, ResultCache
+from .registry import families, fingerprint, register
+from .server import (
+    Job,
+    ServeConfig,
+    SimulationServer,
+    SweepRequest,
+    parse_point,
+    serve_sweep,
+)
+
+__all__ = [
+    "CacheKey",
+    "CacheStats",
+    "Job",
+    "ResultCache",
+    "ServeConfig",
+    "SimulationServer",
+    "SweepRequest",
+    "families",
+    "fingerprint",
+    "parse_point",
+    "register",
+    "serve_sweep",
+]

@@ -1,0 +1,91 @@
+"""``python -m repro.serve``: run the TCP simulation server (or --smoke).
+
+Normal mode binds the JSON-lines protocol (:mod:`repro.serve.protocol`)
+and serves until interrupted::
+
+    python -m repro.serve --host 127.0.0.1 --port 7413
+
+``--smoke`` instead runs the self-checking parity/throughput probe
+(:mod:`repro.serve.smoke`) against an in-process server on an ephemeral
+port and exits nonzero on any parity failure — the CI serve job's
+entry point::
+
+    python -m repro.serve --smoke --out serve_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from .protocol import start_tcp_server
+from .server import ServeConfig, SimulationServer
+from .smoke import run_smoke
+
+
+async def _serve_forever(args) -> int:
+    config = ServeConfig(
+        workers=args.workers,
+        batch_window=args.batch_window,
+        cache_entries=args.cache_entries,
+    )
+    server = SimulationServer(config)
+    tcp = await start_tcp_server(server, args.host, args.port)
+    host, port = tcp.sockets[0].getsockname()[:2]
+    print(
+        f"repro.serve listening on {host}:{port} "
+        f"(workers={server.workers}, batch_window={config.batch_window}s)",
+        flush=True,
+    )
+    try:
+        await tcp.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        tcp.close()
+        await tcp.wait_closed()
+        await server.aclose()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=7413,
+        help="TCP port (0 picks an ephemeral port; default 7413)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for sharded batches (default: "
+        "REPRO_SWEEP_WORKERS, then cpu count)",
+    )
+    parser.add_argument(
+        "--batch-window", type=float, default=0.002, metavar="SECONDS",
+        help="coalescing horizon: compatible points arriving within one "
+        "window merge into one grid evaluation (default 0.002)",
+    )
+    parser.add_argument("--cache-entries", type=int, default=65_536)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the self-checking parity/throughput probe and exit",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="with --smoke: write the JSON report artifact to PATH",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke(args.out)
+    try:
+        return asyncio.run(_serve_forever(args))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

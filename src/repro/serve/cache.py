@@ -1,0 +1,130 @@
+"""Result cache: exact-key LRU over per-point simulation results.
+
+One cache entry is one evaluated grid point — the ``(makespan,
+total_stall_time)`` pair :func:`repro.sim.sweep.grid_map` reports for
+it.  The key (:class:`CacheKey`) is the full determinism domain of that
+value, per the serving contract:
+
+* ``fingerprint`` — the program family identity
+  (:func:`repro.serve.registry.fingerprint`: name + canonical args +
+  builder source hash), so a code change invalidates rather than
+  corrupts;
+* ``point`` — the canonicalized parameter point ``(L, o, g, P, G)``;
+* ``seed`` — the request seed the family derives randomness from;
+* ``backend`` — the *resolved* backend (``machine`` / ``compiled``).
+  The two backends are bit-identical by the compiled evaluator's
+  contract, so sharing entries across them would be sound — but keying
+  them separately keeps a (hypothetical) divergence a visible test
+  failure instead of a cache-poisoning bug, and costs only capacity.
+
+Caching is therefore *transparent*: a hit returns the bit-identical
+pair a fresh serial run would produce, which ``tests/test_serve.py``
+pins cold-vs-warm.
+
+The store is a plain LRU (``OrderedDict`` move-to-end) with hit/miss/
+eviction counters surfaced through the server's stats endpoint and the
+``serve_cache_hit`` bench workload.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["CacheKey", "CacheStats", "ResultCache", "point_key"]
+
+
+def point_key(params) -> tuple:
+    """Canonicalize a ``LogPParams`` point into a hashable key tuple.
+
+    Floats are kept as-is (the simulator's arithmetic is float-exact,
+    so ``L=6`` and ``L=6.0`` hash equal already); the LogGP long-message
+    gap ``G`` participates when present so LogP and LogGP points with
+    equal ``(L, o, g, P)`` never collide.
+    """
+    return (
+        float(params.L),
+        float(params.o),
+        float(params.g),
+        int(params.P),
+        getattr(params, "G", None),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class CacheKey:
+    """The determinism domain of one served per-point result."""
+
+    fingerprint: str
+    point: tuple
+    seed: int | None
+    backend: str
+
+
+@dataclass(slots=True)
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ResultCache:
+    """Bounded LRU from :class:`CacheKey` to ``(makespan, stall)`` pairs."""
+
+    def __init__(self, max_entries: int = 65_536):
+        if max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._store: OrderedDict[CacheKey, tuple[float, float]] = (
+            OrderedDict()
+        )
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: CacheKey) -> tuple[float, float] | None:
+        pair = self._store.get(key)
+        if pair is None:
+            self.stats.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.stats.hits += 1
+        return pair
+
+    def put(self, key: CacheKey, pair: tuple[float, float]) -> None:
+        store = self._store
+        if key in store:
+            store.move_to_end(key)
+            store[key] = pair
+            return
+        store[key] = pair
+        if len(store) > self.max_entries:
+            store.popitem(last=False)
+            self.stats.evictions += 1
+        self.stats.entries = len(store)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.stats.entries = 0

@@ -1,0 +1,255 @@
+"""JSON-lines TCP protocol: the server's wire surface and a thin client.
+
+One frame per line, UTF-8 JSON.  Client frames carry an ``op`` plus an
+optional ``tag`` the server echoes back, so a client can correlate
+frames when it pipelines requests:
+
+``{"op": "submit", "program": "...", "points": [{"L":..,"o":..,"g":..,
+"P":..}, ...], "args": {...}, "seed": null, "backend": "auto",
+"stream": true, "tag": "r1"}``
+    Submit a sweep.  The server answers ``accepted`` (job id + point
+    count), then — when ``stream`` — ``progress`` frames after every
+    resolved point group, then one ``result`` frame with the
+    submission-order ``[makespan, total_stall_time]`` pairs and the
+    per-source serving counts, or an ``error`` frame.
+
+``{"op": "stats"}`` / ``{"op": "families"}`` / ``{"op": "ping"}``
+    Introspection: server counters + cache stats, the program registry,
+    liveness.
+
+Frames the server sends are never interleaved mid-line (a writer lock
+serializes them); submissions on one connection run concurrently, so a
+slow sweep does not block a ``stats`` probe on the same socket.
+
+Malformed input is answered with an ``error`` frame and the connection
+stays up — a serving process must outlive its worst client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from .registry import families
+from .server import SimulationServer, SweepRequest
+
+__all__ = ["ServeClient", "handle_connection", "start_tcp_server"]
+
+#: Refuse absurd frames before json-decoding them (memory safety).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+def _encode(obj: dict) -> bytes:
+    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+
+async def handle_connection(
+    server: SimulationServer,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one client connection until EOF (see module docstring)."""
+    lock = asyncio.Lock()
+    tasks: set[asyncio.Task] = set()
+
+    async def send(obj: dict) -> None:
+        async with lock:
+            writer.write(_encode(obj))
+            await writer.drain()
+
+    async def handle_submit(msg: dict) -> None:
+        tag = msg.get("tag")
+        try:
+            request = SweepRequest.make(
+                msg["program"],
+                msg.get("points") or [],
+                args=msg.get("args"),
+                seed=msg.get("seed"),
+                backend=msg.get("backend", "auto"),
+            )
+        except KeyError as exc:
+            await send(
+                {"op": "error", "tag": tag,
+                 "error": f"submit frame missing field {exc.args[0]!r}"}
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            await send(
+                {"op": "error", "tag": tag,
+                 "error": f"{type(exc).__name__}: {exc}"}
+            )
+            return
+        job = await server.submit(request)
+        await send(
+            {"op": "accepted", "tag": tag, "job": job.id,
+             "total": job.total}
+        )
+        if msg.get("stream"):
+            async for done, total in job.updates():
+                await send(
+                    {"op": "progress", "tag": tag, "job": job.id,
+                     "done": done, "total": total}
+                )
+        try:
+            results = await job.wait()
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            await send(
+                {"op": "error", "tag": tag, "job": job.id,
+                 "error": f"{type(exc).__name__}: {exc}"}
+            )
+            return
+        await send(
+            {"op": "result", "tag": tag, "job": job.id,
+             "results": [list(pair) for pair in results],
+             "sources": job.sources}
+        )
+
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ValueError, ConnectionResetError):
+                break  # overlong frame or client gone
+            if not line:
+                break
+            if len(line) > MAX_FRAME_BYTES:
+                await send({"op": "error", "error": "frame too large"})
+                continue
+            try:
+                msg = json.loads(line)
+            except json.JSONDecodeError as exc:
+                await send({"op": "error", "error": f"bad JSON: {exc}"})
+                continue
+            op = msg.get("op")
+            if op == "submit":
+                task = asyncio.create_task(handle_submit(msg))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            elif op == "stats":
+                await send(
+                    {"op": "stats", "tag": msg.get("tag"),
+                     "stats": server.stats_snapshot()}
+                )
+            elif op == "families":
+                await send(
+                    {"op": "families", "tag": msg.get("tag"),
+                     "families": families()}
+                )
+            elif op == "ping":
+                await send({"op": "pong", "tag": msg.get("tag")})
+            else:
+                await send(
+                    {"op": "error", "tag": msg.get("tag"),
+                     "error": f"unknown op {op!r}"}
+                )
+    finally:
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def start_tcp_server(
+    server: SimulationServer, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.base_events.Server:
+    """Bind the TCP listener; ``port=0`` picks an ephemeral port.
+
+    The returned ``asyncio.Server``'s first socket reports the bound
+    address (``srv.sockets[0].getsockname()``)."""
+    await server.start()
+    return await asyncio.start_server(
+        lambda r, w: handle_connection(server, r, w),
+        host,
+        port,
+        limit=MAX_FRAME_BYTES,
+    )
+
+
+class ServeClient:
+    """Minimal request/response client for tests, smoke, and scripts.
+
+    One in-flight submission at a time per client (frames for a single
+    tag arrive in order; this client does not pipeline)."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_FRAME_BYTES
+        )
+        return cls(reader, writer)
+
+    async def _send(self, obj: dict) -> None:
+        self._writer.write(_encode(obj))
+        await self._writer.drain()
+
+    async def _recv(self) -> dict:
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    async def submit(
+        self,
+        program: str,
+        points: list,
+        *,
+        args: dict | None = None,
+        seed: int | None = None,
+        backend: str = "auto",
+        stream: bool = False,
+    ) -> dict:
+        """Submit and collect: returns the ``result`` frame with an extra
+        ``"progress"`` list of ``[done, total]`` pairs when streaming.
+        Raises ``RuntimeError`` on an ``error`` frame."""
+        await self._send(
+            {
+                "op": "submit",
+                "program": program,
+                "points": points,
+                "args": args or {},
+                "seed": seed,
+                "backend": backend,
+                "stream": stream,
+            }
+        )
+        progress: list = []
+        while True:
+            frame = await self._recv()
+            op = frame.get("op")
+            if op == "error":
+                raise RuntimeError(frame.get("error", "server error"))
+            if op == "progress":
+                progress.append([frame["done"], frame["total"]])
+            elif op == "result":
+                frame["progress"] = progress
+                return frame
+            # "accepted" and unknown frames: keep reading
+
+    async def stats(self) -> dict:
+        await self._send({"op": "stats"})
+        frame = await self._recv()
+        if frame.get("op") != "stats":
+            raise RuntimeError(f"expected stats frame, got {frame}")
+        return frame["stats"]
+
+    async def ping(self) -> bool:
+        await self._send({"op": "ping"})
+        return (await self._recv()).get("op") == "pong"
+
+    async def aclose(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

@@ -1,0 +1,240 @@
+"""Named program families: what the server can be asked to simulate.
+
+A simulation request names a *program family* plus canonical arguments;
+the registry turns that name into the ``programs(rank, P) -> generator``
+factory the machine and the compiled backend both consume.  Names exist
+so that (a) requests are serializable — a wire client cannot ship a
+Python generator function — and (b) results are cacheable: the cache
+key's *program fingerprint* (:func:`fingerprint`) hashes the family
+name, its canonicalized arguments, and the family builder's source
+code (the seed is a separate cache-key field), so a cached entry can
+never be served across a code change that would alter results.
+
+Families are module-level callables built from picklable program
+objects, so the server's process-pool shards can rebuild them by name
+on the worker side (:func:`build`).  Registering a family is one
+decorator::
+
+    @register("my_family")
+    def _build_my_family(args: dict, seed: int | None):
+        '''One-line description used by the stats endpoint.'''
+        return MyProgram(**args)   # picklable (rank, P) -> generator
+
+Builders must validate their arguments loudly and derive any randomness
+from ``seed`` alone — the scheduler's no-shared-randomness contract
+(:mod:`repro.sim.sweep`) is what makes served results bit-identical to
+a serial loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+from typing import Callable
+
+__all__ = [
+    "build",
+    "families",
+    "fingerprint",
+    "get_family",
+    "register",
+]
+
+#: name -> builder ``(args: dict, seed: int | None) -> programs``.
+_REGISTRY: dict[str, Callable] = {}
+
+
+def register(name: str):
+    """Class/function decorator adding a family builder under ``name``."""
+
+    def _add(builder):
+        if name in _REGISTRY:
+            raise ValueError(f"program family {name!r} already registered")
+        _REGISTRY[name] = builder
+        return builder
+
+    return _add
+
+
+def get_family(name: str) -> Callable:
+    """Look up a family builder; unknown names refuse loudly."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown program family {name!r}; registered: "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+
+
+def families() -> dict[str, str]:
+    """Registered family names with their one-line descriptions."""
+    return {
+        name: (inspect.getdoc(b) or "").splitlines()[0]
+        if inspect.getdoc(b)
+        else ""
+        for name, b in sorted(_REGISTRY.items())
+    }
+
+
+def canonical_args(args: dict | None) -> tuple:
+    """Canonicalize request arguments into a hashable, ordered form."""
+    if not args:
+        return ()
+    try:
+        return tuple(sorted(args.items()))
+    except TypeError as exc:
+        raise TypeError(f"program args must be sortable scalars: {exc}")
+
+
+def build(name: str, args: dict | None, seed: int | None):
+    """Instantiate the family: ``programs(rank, P)`` ready for any backend."""
+    return get_family(name)(dict(args or {}), seed)
+
+
+def fingerprint(name: str, args: dict | None) -> str:
+    """The cache key's program component: name + args + builder source.
+
+    The seed and backend are *separate* cache-key fields
+    (:class:`repro.serve.cache.CacheKey`), *not* folded in here — the
+    fingerprint identifies the program family text.  Hashing the
+    builder's source means a code change that could alter simulated
+    results also changes every affected cache key — stale entries
+    become unreachable instead of silently wrong.
+    """
+    builder = get_family(name)
+    try:
+        src = inspect.getsource(builder)
+    except (OSError, TypeError):  # builtins / REPL registration
+        src = repr(builder)
+    payload = json.dumps(
+        {
+            "family": name,
+            "args": canonical_args(args),
+            "source": hashlib.sha256(src.encode()).hexdigest(),
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+# ----------------------------------------------------------------------
+# Built-in families.  Program objects are picklable classes so a
+# process-pool shard can rebuild and run them worker-side.
+# ----------------------------------------------------------------------
+
+
+class _StreamProgram:
+    """Rank 0 streams ``k`` messages to rank P-1; everyone else relays."""
+
+    def __init__(self, k: int):
+        self.k = k
+
+    def __call__(self, rank: int, P: int):
+        from ..sim import Recv, Send
+
+        k = self.k
+        if P == 1:
+            return iter(())
+
+        def prog():
+            if rank == 0:
+                for i in range(k):
+                    yield Send(1, payload=i)
+                return
+            for _ in range(k):
+                m = yield Recv()
+                if rank < P - 1:
+                    yield Send(rank + 1, payload=m.payload)
+
+        return prog()
+
+
+class _FloodProgram:
+    """Every rank sends ``k`` messages to rank 0 (capacity-stall regime)."""
+
+    def __init__(self, k: int):
+        self.k = k
+
+    def __call__(self, rank: int, P: int):
+        from ..sim import Recv, Send
+
+        k = self.k
+
+        def prog():
+            if rank == 0:
+                for _ in range(k * (P - 1)):
+                    yield Recv()
+                return
+            for _ in range(k):
+                yield Send(0)
+
+        return prog()
+
+
+class _BcastTreeProgram:
+    """Pipelined optimal-tree broadcast of ``k`` items, any ``P``.
+
+    The tree shape is the optimal single-item broadcast tree for the
+    paper's base parameters at each ``P`` (cached per instance), so one
+    program object serves a grid whose ``P`` varies.
+    """
+
+    def __init__(self, k: int):
+        self.k = k
+        self._trees: dict[int, list[list[int]]] = {}
+
+    def __call__(self, rank: int, P: int):
+        from ..algorithms.broadcast import (
+            optimal_broadcast_tree,
+            pipelined_broadcast_program,
+        )
+        from ..core import LogPParams
+
+        children = self._trees.get(P)
+        if children is None:
+            children = optimal_broadcast_tree(
+                LogPParams(L=6, o=2, g=4, P=P)
+            ).children
+            self._trees[P] = children
+        return pipelined_broadcast_program(children, range(self.k))(rank, P)
+
+
+def _int_arg(args: dict, key: str, default: int, minimum: int = 1) -> int:
+    val = args.pop(key, default)
+    if not isinstance(val, int) or isinstance(val, bool) or val < minimum:
+        raise ValueError(f"{key} must be an int >= {minimum}, got {val!r}")
+    return val
+
+
+def _no_extras(name: str, args: dict) -> None:
+    if args:
+        raise ValueError(
+            f"program family {name!r} got unknown args {sorted(args)}"
+        )
+
+
+@register("stream")
+def _build_stream(args: dict, seed: int | None):
+    """Pipelined point-to-point relay stream of k messages (Section 4.1)."""
+    k = _int_arg(args, "k", 16)
+    _no_extras("stream", args)
+    return _StreamProgram(k)
+
+
+@register("flood")
+def _build_flood(args: dict, seed: int | None):
+    """Many-to-one flood of k messages per sender (Section 4.1.2 stalls)."""
+    k = _int_arg(args, "k", 8)
+    _no_extras("flood", args)
+    return _FloodProgram(k)
+
+
+@register("bcast_tree")
+def _build_bcast_tree(args: dict, seed: int | None):
+    """Pipelined optimal-tree broadcast of k items (Section 3.1 tree)."""
+    k = _int_arg(args, "k", 16)
+    _no_extras("bcast_tree", args)
+    return _BcastTreeProgram(k)

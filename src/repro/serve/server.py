@@ -1,0 +1,489 @@
+"""The asyncio job server: dedup, cache, coalesce, shard, stream.
+
+:class:`SimulationServer` accepts sweep requests (one program family
+evaluated at many parameter points) and serves each *point* from the
+cheapest sufficient source, in this order:
+
+1. **Cache** (:mod:`.cache`): an exact-key LRU hit is returned
+   immediately — zero simulation.
+2. **In-flight dedup**: a point some other job is already computing is
+   *attached to*, never recomputed — concurrent identical requests cost
+   one evaluation total.
+3. **Coalesced batch**: remaining points wait one ``batch_window`` so
+   that compatible points — same family, args, seed, and backend —
+   from *any* number of concurrent jobs merge into a single
+   :func:`repro.sim.sweep.grid_map` call, which compiles once per
+   distinct ``P`` and replays the whole batch through the vectorized
+   compiled-grid evaluator.  Batches past ``shard_min_points`` per
+   worker are split into contiguous chunks and sharded across the
+   persistent :class:`repro.sim.sweep.WorkerPool`.
+
+The determinism contract: every served pair is bit-identical to what
+the serial loop ``[run(point) for point in points]`` produces, whether
+it came from cache, from another job's flight, from a coalesced batch,
+or from a pool shard.  This holds because (a) ``grid_map`` is
+per-point bit-identical to the machine regardless of how points are
+grouped (the compiled evaluator's contract, pinned by
+``tests/test_compiled.py``), (b) shards are contiguous submission-order
+chunks merged in order, and (c) cache keys span the full determinism
+domain (:class:`repro.serve.cache.CacheKey`).  ``tests/test_serve.py``
+pins served-vs-serial equality across all three paths.
+
+Failures are loud: a batch that raises fails every attached job with
+the original exception — chained from
+:class:`repro.sim.sweep.SweepItemError` when a pool shard died, naming
+the failing item — and the server keeps serving subsequent requests.
+
+Jobs stream progress: :meth:`Job.updates` yields ``(done, total)``
+after every resolved point-group, and :meth:`Job.wait` returns the
+submission-order results.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Iterable, Sequence
+
+from ..core import LogGPParams, LogPParams
+from ..sim.sweep import WorkerPool, grid_map, resolve_workers, sweep_map
+from .cache import CacheKey, ResultCache, point_key
+from .registry import build, canonical_args, fingerprint, get_family
+
+__all__ = [
+    "Job",
+    "ServeConfig",
+    "SimulationServer",
+    "SweepRequest",
+    "parse_point",
+]
+
+
+def parse_point(spec) -> LogPParams:
+    """Accept a ``LogPParams`` or a ``{"L":..,"o":..,"g":..,"P":..}``
+    mapping (``"G"`` promotes to LogGP); anything else refuses loudly."""
+    if isinstance(spec, LogPParams):
+        return spec
+    if isinstance(spec, dict):
+        unknown = set(spec) - {"L", "o", "g", "P", "G"}
+        if unknown:
+            raise ValueError(
+                f"unknown point fields {sorted(unknown)}; "
+                "expected L, o, g, P and optionally G"
+            )
+        try:
+            if spec.get("G") is not None:
+                return LogGPParams(
+                    L=float(spec["L"]),
+                    o=float(spec["o"]),
+                    g=float(spec["g"]),
+                    P=int(spec["P"]),
+                    G=float(spec["G"]),
+                )
+            return LogPParams(
+                L=float(spec["L"]),
+                o=float(spec["o"]),
+                g=float(spec["g"]),
+                P=int(spec["P"]),
+            )
+        except KeyError as exc:
+            raise ValueError(f"point missing field {exc.args[0]!r}") from None
+    raise TypeError(
+        f"point must be LogPParams or a mapping, got {type(spec).__name__}"
+    )
+
+
+_BACKENDS = ("machine", "compiled", "auto")
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One sweep: a program family evaluated at many parameter points.
+
+    ``args`` is the canonicalized tuple form
+    (:func:`repro.serve.registry.canonical_args`); build requests with
+    :meth:`make`, which canonicalizes, parses points, and validates the
+    family name and backend up front so a bad request fails at submit
+    time, not mid-batch.
+    """
+
+    program: str
+    points: tuple
+    args: tuple = ()
+    seed: int | None = None
+    backend: str = "auto"
+
+    @classmethod
+    def make(
+        cls,
+        program: str,
+        points: Iterable,
+        *,
+        args: dict | None = None,
+        seed: int | None = None,
+        backend: str = "auto",
+    ) -> "SweepRequest":
+        get_family(program)  # unknown family refuses at submit time
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BACKENDS}, got {backend!r}"
+            )
+        if seed is not None and not isinstance(seed, int):
+            raise TypeError(f"seed must be int or None, got {seed!r}")
+        pts = tuple(parse_point(p) for p in points)
+        if not pts:
+            raise ValueError("a sweep request needs at least one point")
+        return cls(
+            program=program,
+            points=pts,
+            args=canonical_args(args),
+            seed=seed,
+            backend=backend,
+        )
+
+    @property
+    def fingerprint(self) -> str:
+        return fingerprint(self.program, dict(self.args))
+
+
+@dataclass
+class ServeConfig:
+    """Server knobs; the defaults favour correctness-visible behaviour.
+
+    ``batch_window`` is the coalescing horizon in seconds: points
+    arriving within one window merge into one grid evaluation.  0 still
+    coalesces whatever is queued when the batcher wakes (one event-loop
+    tick), it just never *waits* for more.  ``shard_min_points`` is the
+    smallest per-worker share of a batch worth a process dispatch —
+    the server-side analogue of the scheduler's ``min_chunk``.
+    """
+
+    workers: int | None = None
+    batch_window: float = 0.002
+    shard_min_points: int = 512
+    cache_entries: int = 65_536
+    use_pool: bool = True
+
+
+class Job:
+    """A submitted sweep: per-point futures in submission order."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, total: int, request: SweepRequest):
+        self.id = next(Job._ids)
+        self.request = request
+        self.total = total
+        self.done = 0
+        #: How each point was served: cache / inflight / computed.
+        self.sources = {"cache": 0, "inflight": 0, "computed": 0}
+        self._futures: list[asyncio.Future] = []
+        self._wake = asyncio.Event()
+
+    def _attach(self, fut: asyncio.Future, source: str) -> None:
+        self.sources[source] += 1
+        self._futures.append(fut)
+        fut.add_done_callback(self._on_point)
+
+    def _on_point(self, fut: asyncio.Future) -> None:
+        self.done += 1
+        self._wake.set()
+
+    @property
+    def finished(self) -> bool:
+        return self.done >= self.total
+
+    async def wait(self) -> list[tuple[float, float]]:
+        """Submission-order results; re-raises the first point failure."""
+        return list(await asyncio.gather(*self._futures))
+
+    async def updates(self):
+        """Async stream of ``(done, total)`` progress pairs.
+
+        Yields after every newly resolved point group, ending with the
+        final ``(total, total)``.  Failures surface in :meth:`wait`,
+        not here — the stream just completes.
+        """
+        last = -1
+        while True:
+            if self.done != last:
+                last = self.done
+                yield (last, self.total)
+            if self.done >= self.total:
+                return
+            self._wake.clear()
+            if self.done == last:
+                await self._wake.wait()
+
+
+# ----------------------------------------------------------------------
+# Batch evaluation (thread- and process-side; must stay module-level
+# and picklable for the pool shards).
+# ----------------------------------------------------------------------
+
+
+def _eval_shard(program, args, seed, backend, raw_pts):
+    """Rebuild the family from its name and evaluate one point chunk.
+
+    Runs inside a pool worker (or inline for unsharded batches): only
+    names and plain tuples cross the process boundary, the program
+    object is rebuilt from the registry on this side.
+    """
+    programs = build(program, dict(args), seed)
+    pts = [
+        LogGPParams(L=L, o=o, g=g, P=P, G=G)
+        if G is not None
+        else LogPParams(L=L, o=o, g=g, P=P)
+        for (L, o, g, P, G) in raw_pts
+    ]
+    return grid_map(programs, pts, backend=backend)
+
+
+def _eval_batch(
+    program,
+    args,
+    seed,
+    backend,
+    raw_pts: list,
+    *,
+    workers: int,
+    shard_min_points: int,
+    pool: WorkerPool | None,
+):
+    """One coalesced batch: shard across the pool when big enough.
+
+    Shards are contiguous submission-order chunks, merged in order, so
+    the flattened result equals the unsharded ``grid_map`` result
+    point for point (grid grouping is per-point independent).
+    """
+    n = len(raw_pts)
+    shards = min(workers, n // shard_min_points) if shard_min_points else 0
+    if shards <= 1 or pool is None:
+        return _eval_shard(program, args, seed, backend, raw_pts)
+    size = -(-n // shards)
+    chunks = [raw_pts[i : i + size] for i in range(0, n, size)]
+    per_chunk = sweep_map(
+        partial(_eval_shard, program, args, seed, backend),
+        chunks,
+        workers=shards,
+        chunksize=1,
+        pool=pool,
+    )
+    return [pair for chunk in per_chunk for pair in chunk]
+
+
+@dataclass
+class _Group:
+    """Pending computations coalescable into one grid evaluation."""
+
+    request_shape: tuple  # (program, args, seed, backend)
+    entries: list = field(default_factory=list)  # (CacheKey, raw point)
+
+
+class SimulationServer:
+    """See the module docstring; lifecycle is ``start`` / ``aclose``.
+
+    All public coroutines must run on the loop that called
+    :meth:`start`.  Synchronous convenience: ``asyncio.run`` around
+    :meth:`run_request` (what ``python -m repro.serve --smoke`` and the
+    bench workloads do).
+    """
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.cache = ResultCache(self.config.cache_entries)
+        self.workers = resolve_workers(self.config.workers)
+        self._pool = (
+            WorkerPool(self.workers)
+            if self.config.use_pool and self.workers > 1
+            else None
+        )
+        self._inflight: dict[CacheKey, asyncio.Future] = {}
+        self._pending: dict[tuple, _Group] = {}
+        self._have_pending: asyncio.Event | None = None
+        self._batcher: asyncio.Task | None = None
+        self._closed = False
+        self.stats = {
+            "requests": 0,
+            "points": 0,
+            "served_cache": 0,
+            "served_inflight": 0,
+            "computed": 0,
+            "batches": 0,
+            "largest_batch": 0,
+            "sharded_batches": 0,
+            "errors": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> "SimulationServer":
+        if self._batcher is None:
+            self._have_pending = asyncio.Event()
+            self._batcher = asyncio.create_task(
+                self._batch_loop(), name="repro-serve-batcher"
+            )
+        return self
+
+    async def aclose(self) -> None:
+        self._closed = True
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        for fut in self._inflight.values():
+            if not fut.done():
+                fut.cancel()
+        self._inflight.clear()
+        self._pending.clear()
+        if self._pool is not None:
+            self._pool.close()
+
+    async def __aenter__(self) -> "SimulationServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    # -- submission ---------------------------------------------------
+
+    async def submit(self, request: SweepRequest) -> Job:
+        """Route every point of ``request`` and return its :class:`Job`."""
+        if self._batcher is None:
+            raise RuntimeError(
+                "server not started; use 'async with SimulationServer()' "
+                "or await server.start()"
+            )
+        if self._closed:
+            raise RuntimeError("server is closed")
+        fp = request.fingerprint
+        job = Job(len(request.points), request)
+        self.stats["requests"] += 1
+        self.stats["points"] += len(request.points)
+        loop = asyncio.get_running_loop()
+        shape = (request.program, request.args, request.seed, request.backend)
+        for params in request.points:
+            raw = point_key(params)
+            key = CacheKey(fp, raw, request.seed, request.backend)
+            pair = self.cache.get(key)
+            if pair is not None:
+                fut = loop.create_future()
+                fut.set_result(pair)
+                job._attach(fut, "cache")
+                self.stats["served_cache"] += 1
+                continue
+            fut = self._inflight.get(key)
+            if fut is not None:
+                job._attach(fut, "inflight")
+                self.stats["served_inflight"] += 1
+                continue
+            fut = loop.create_future()
+            self._inflight[key] = fut
+            group = self._pending.get(shape)
+            if group is None:
+                group = self._pending[shape] = _Group(shape)
+            group.entries.append((key, raw))
+            job._attach(fut, "computed")
+            self.stats["computed"] += 1
+        if self._pending:
+            self._have_pending.set()
+        return job
+
+    async def run_request(self, request: SweepRequest) -> list:
+        """Submit and wait: the one-call client path."""
+        job = await self.submit(request)
+        return await job.wait()
+
+    def stats_snapshot(self) -> dict:
+        snap = dict(self.stats)
+        snap["cache"] = self.cache.stats.as_dict()
+        snap["workers"] = self.workers
+        snap["pool_started"] = (
+            self._pool.started if self._pool is not None else False
+        )
+        snap["inflight"] = len(self._inflight)
+        return snap
+
+    # -- the batcher --------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        window = self.config.batch_window
+        while True:
+            await self._have_pending.wait()
+            self._have_pending.clear()
+            if window > 0:
+                # The coalescing horizon: let concurrent submitters
+                # land in this batch instead of the next one.
+                await asyncio.sleep(window)
+            pending = self._pending
+            self._pending = {}
+            for group in pending.values():
+                await self._run_group(group)
+
+    async def _run_group(self, group: _Group) -> None:
+        program, args, seed, backend = group.request_shape
+        keys = [key for key, _raw in group.entries]
+        raw_pts = [raw for _key, raw in group.entries]
+        self.stats["batches"] += 1
+        self.stats["largest_batch"] = max(
+            self.stats["largest_batch"], len(raw_pts)
+        )
+        sharded = (
+            self._pool is not None
+            and self.config.shard_min_points
+            and len(raw_pts) // self.config.shard_min_points > 1
+        )
+        if sharded:
+            self.stats["sharded_batches"] += 1
+        try:
+            pairs = await asyncio.to_thread(
+                _eval_batch,
+                program,
+                args,
+                seed,
+                backend,
+                raw_pts,
+                workers=self.workers,
+                shard_min_points=self.config.shard_min_points,
+                pool=self._pool,
+            )
+        except Exception as exc:  # noqa: BLE001 - failing the jobs, not us
+            self.stats["errors"] += 1
+            for key in keys:
+                fut = self._inflight.pop(key, None)
+                if fut is not None and not fut.done():
+                    fut.set_exception(exc)
+            return
+        for key, pair in zip(keys, pairs):
+            self.cache.put(key, pair)
+            fut = self._inflight.pop(key, None)
+            if fut is not None and not fut.done():
+                fut.set_result(pair)
+
+
+def serve_sweep(
+    requests: "SweepRequest | Sequence[SweepRequest]",
+    *,
+    config: ServeConfig | None = None,
+) -> list:
+    """Synchronous convenience: serve request(s) on a throwaway server.
+
+    Returns one result list per request (or a bare list for a single
+    request).  Mostly for tests, docs, and quick scripts — a real
+    deployment keeps one :class:`SimulationServer` alive.
+    """
+    single = isinstance(requests, SweepRequest)
+    reqs = [requests] if single else list(requests)
+
+    async def _run():
+        async with SimulationServer(config) as server:
+            jobs = [await server.submit(r) for r in reqs]
+            return [await j.wait() for j in jobs]
+
+    out = asyncio.run(_run())
+    return out[0] if single else out

@@ -1,9 +1,32 @@
-"""Deterministic parallel sweep runner.
+"""The general sweep scheduler: deterministic fan-out for CLI and server.
 
-Seed sweeps — the fuzz harness, saturation curves, parameter grids — are
-embarrassingly parallel: every item is an independent, fully seeded
-simulation.  :func:`sweep_map` fans such a sweep out over a process pool
-while keeping the *result* exactly what the serial loop would produce:
+This module is the single scheduling layer every sweep in the repository
+goes through — the fuzz harness (:mod:`repro.sim.fuzz`), the chaos
+harness (:mod:`repro.sim.chaos`), saturation curves
+(:mod:`repro.topology.saturation`), the benchmark entry point
+(:mod:`repro.bench`), and the :mod:`repro.serve` job server.  It is
+split into three layers:
+
+1. **Planning** (:func:`plan_sweep`): a *pure* decision — given an item
+   count, worker count, chunk size and ``min_chunk`` amortization
+   threshold, produce a :class:`SweepPlan` saying where the work runs
+   (serial in-process or across ``n`` pool workers, with which chunk
+   size).  The plan is a deterministic function of its inputs — never of
+   timing — so scheduling jitter cannot change what any worker computes.
+2. **Execution** (:func:`sweep_map`, :func:`grid_map`): run a plan.
+   :func:`sweep_map` fans an embarrassingly parallel sweep over a
+   process pool; :func:`grid_map` evaluates one program family across a
+   parameter grid with explicit backend resolution
+   (``machine`` / ``compiled`` / ``auto``) through the compiled schedule
+   evaluator (:mod:`repro.sim.compiled`) — compile once per distinct
+   ``P``, replay vectorized.
+3. **Pooling** (:class:`WorkerPool`): a persistent process pool with the
+   same dispatch semantics as the ephemeral pool :func:`sweep_map`
+   creates by default.  Long-lived callers (the :mod:`repro.serve`
+   server) hold one open across requests so pool startup is paid once,
+   not per sweep.
+
+The determinism contract, shared by every layer:
 
 * **Submission-order merge.**  Results are returned in the order the
   items were submitted, never in completion order, so a parallel sweep
@@ -13,27 +36,28 @@ while keeping the *result* exactly what the serial loop would produce:
   a fresh generator per item, e.g. ``make_case(seed)``); the runner adds
   no nondeterminism of its own, so the merged output is bit-identical to
   the serial run for any worker count.  This is test-enforced by
-  ``tests/test_sweep.py``.
+  ``tests/test_sweep.py`` and, for the served paths, ``tests/test_serve.py``.
 * **Deterministic chunking.**  The chunk size is a pure function of the
   item count and worker count (or caller-supplied) — never derived from
-  timing — so scheduling jitter cannot change what any worker computes.
+  timing.
 * **Amortized dispatch.**  ``min_chunk`` sets the smallest per-worker
   share worth shipping to a process: the worker count is lowered until
   every worker gets at least that many items, degrading to the serial
   loop for sweeps too small to amortize pool startup and per-task IPC
   (~10ms of pure overhead on a small fuzz sweep).  The result is
   unchanged — only where the work runs.
-
-Parameter-grid sweeps have a second fast path: :func:`grid_map`
-evaluates one program family across a whole grid of ``LogPParams``
-through the compiled schedule evaluator (:mod:`repro.sim.compiled`) —
-compile once per distinct ``P``, replay vectorized — with explicit
-backend selection (``machine`` / ``compiled`` / ``auto``) that refuses
-loudly, rather than silently slowing down, when the timing
-configuration is nondeterministic.
+* **Indexed failure.**  A worker exception is re-raised in the caller
+  chained from a :class:`SweepItemError` naming the failing item's
+  submission index — the lowest failing index, deterministically, even
+  when several chunks fail — so error reports (the server's included)
+  can say *which* grid point or seed died.
 
 Worker-count resolution (:func:`resolve_workers`): an explicit argument
-wins; otherwise the ``REPRO_SWEEP_WORKERS`` environment variable;
+wins and is clamped to at least 1 (callers pass computed counts, e.g.
+``len(items) // min_chunk``, that may legitimately reach 0); the
+``REPRO_SWEEP_WORKERS`` environment variable is *validated* instead —
+a value below 1 is a configuration error and raises ``ValueError``
+loudly, consistent with the repository's refuse-loudly contract;
 otherwise ``os.cpu_count()``.  A resolved count of 1 (or a single item)
 runs the plain serial loop in-process — no pool, no pickling.
 
@@ -49,9 +73,20 @@ import multiprocessing
 import os
 import pickle
 import warnings
+from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["ENV_WORKERS", "grid_map", "resolve_workers", "sweep_map"]
+__all__ = [
+    "ENV_WORKERS",
+    "SweepItemError",
+    "SweepPlan",
+    "WorkerPool",
+    "grid_map",
+    "plan_sweep",
+    "resolve_workers",
+    "sweep_map",
+]
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -60,11 +95,33 @@ _R = TypeVar("_R")
 ENV_WORKERS = "REPRO_SWEEP_WORKERS"
 
 
+class SweepItemError(RuntimeError):
+    """Names the sweep item whose worker raised.
+
+    Attached as the ``__cause__`` of the re-raised worker exception, so
+    ``except ZeroDivisionError`` still works while the traceback (and
+    the server's error report) shows which submission index died.
+    """
+
+    def __init__(self, index: int, total: int, original: BaseException):
+        super().__init__(
+            f"sweep item {index} of {total} raised "
+            f"{type(original).__name__}: {original}"
+        )
+        self.index = index
+        self.total = total
+
+
 def resolve_workers(workers: int | None = None) -> int:
     """Resolve a worker count: argument > ``REPRO_SWEEP_WORKERS`` > auto.
 
-    Returns at least 1.  ``workers=None`` consults the environment, then
-    falls back to ``os.cpu_count()``.
+    An explicit argument is clamped to at least 1 — callers pass
+    computed counts (``len(items) // min_chunk``) that may legitimately
+    be 0, meaning "serial".  The environment variable is validated
+    instead: a non-integer or a value below 1 raises ``ValueError``,
+    because a misconfigured environment should refuse loudly, not
+    silently serialize every sweep.  ``workers=None`` with the variable
+    unset falls back to ``os.cpu_count()``.
     """
     if workers is None:
         env = os.environ.get(ENV_WORKERS, "").strip()
@@ -75,13 +132,148 @@ def resolve_workers(workers: int | None = None) -> int:
                 raise ValueError(
                     f"{ENV_WORKERS} must be an integer, got {env!r}"
                 ) from None
-        else:
-            workers = os.cpu_count() or 1
+            if workers < 1:
+                raise ValueError(
+                    f"{ENV_WORKERS} must be >= 1, got {workers}"
+                )
+            return workers
+        return os.cpu_count() or 1
     return max(1, int(workers))
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPlan:
+    """Where a sweep runs: the scheduler's pure placement decision.
+
+    ``workers == 1`` means the serial in-process loop (no pool, no
+    pickling); ``reason`` says why, for diagnostics and server stats.
+    The plan never affects *results* — only placement and cost.
+    """
+
+    total: int
+    workers: int
+    chunksize: int
+    reason: str
+
+    @property
+    def serial(self) -> bool:
+        return self.workers <= 1
+
+
+def plan_sweep(
+    n_items: int,
+    *,
+    workers: int | None = None,
+    chunksize: int | None = None,
+    min_chunk: int = 1,
+) -> SweepPlan:
+    """Plan a sweep of ``n_items``: a pure function of its arguments.
+
+    Applies the full placement policy — worker resolution
+    (:func:`resolve_workers`), capping at the item count, ``min_chunk``
+    amortization, and the default ~4-chunks-per-worker chunk size that
+    amortizes IPC without letting one straggler chunk dominate.
+    """
+    if min_chunk < 1:
+        raise ValueError(f"min_chunk must be >= 1, got {min_chunk}")
+    n = min(resolve_workers(workers), n_items)
+    if n <= 1:
+        return SweepPlan(n_items, 1, n_items or 1, "single worker or item")
+    if min_chunk > 1:
+        n = min(n, n_items // min_chunk)
+        if n <= 1:
+            return SweepPlan(
+                n_items, 1, n_items, f"under min_chunk={min_chunk}"
+            )
+    if chunksize is None:
+        chunksize = max(1, -(-n_items // (4 * n)))
+    return SweepPlan(n_items, n, chunksize, "pool")
 
 
 def _serial(fn: Callable[[_T], _R], items: list[_T]) -> list[_R]:
     return [fn(item) for item in items]
+
+
+def _guarded_call(fn, indexed):
+    """Worker-side wrapper: capture the exception with its item index.
+
+    Returns ``(True, result)`` or ``(False, (index, exc))`` so the
+    parent can pick the *lowest* failing submission index
+    deterministically, rather than whichever chunk's failure crossed
+    the pipe first.  An exception that cannot itself cross the process
+    boundary is downgraded to a picklable ``RuntimeError`` carrying its
+    repr.
+    """
+    i, item = indexed
+    try:
+        return True, fn(item)
+    except Exception as exc:  # noqa: BLE001 - re-raised in the parent
+        try:
+            pickle.loads(pickle.dumps(exc))
+        except Exception:  # noqa: BLE001 - unpicklable exception
+            exc = RuntimeError(
+                f"unpicklable worker exception {type(exc).__name__}: {exc!r}"
+            )
+        return False, (i, exc)
+
+
+def _merge_guarded(wrapped: list, n_items: int) -> list:
+    """Unwrap ``_guarded_call`` results; re-raise the lowest-index failure."""
+    first: tuple | None = None
+    for ok, payload in wrapped:
+        if not ok and (first is None or payload[0] < first[0]):
+            first = payload
+    if first is not None:
+        index, exc = first
+        raise exc from SweepItemError(index, n_items, exc)
+    return [payload for _ok, payload in wrapped]
+
+
+class WorkerPool:
+    """A persistent process pool with :func:`sweep_map`'s semantics.
+
+    The ephemeral pool :func:`sweep_map` creates by default pays fork
+    and import startup on every call; a long-lived caller (the
+    :mod:`repro.serve` server, a bench loop) holds a ``WorkerPool`` open
+    and passes it via ``sweep_map(..., pool=...)`` instead.  The pool is
+    created lazily on first use, so constructing one costs nothing until
+    a sweep actually needs processes.  Results are identical either way
+    — the pool only changes where (and how often) processes start.
+    """
+
+    def __init__(self, workers: int | None = None):
+        self.workers = resolve_workers(workers)
+        self._pool = None
+
+    def _ensure(self):
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            self._pool = ctx.Pool(processes=self.workers)
+        return self._pool
+
+    @property
+    def started(self) -> bool:
+        return self._pool is not None
+
+    def map(self, fn, items: list, chunksize: int) -> list:
+        # Pool.map blocks until every chunk finishes and returns results
+        # in submission order regardless of completion order.
+        return self._ensure().map(fn, items, chunksize=chunksize)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def sweep_map(
@@ -91,13 +283,15 @@ def sweep_map(
     workers: int | None = None,
     chunksize: int | None = None,
     min_chunk: int = 1,
+    pool: WorkerPool | None = None,
 ) -> list[_R]:
     """Map ``fn`` over ``items``, optionally across worker processes.
 
     Semantically identical to ``[fn(x) for x in items]`` for any worker
     count (see the module docstring for the determinism contract).  A
-    worker raising propagates the exception to the caller, as the serial
-    loop would.
+    worker raising propagates the exception to the caller as the serial
+    loop would, chained from a :class:`SweepItemError` naming the
+    failing submission index.
 
     Args:
         fn: picklable single-argument callable.
@@ -113,38 +307,72 @@ def sweep_map(
             items; a single remaining worker means the serial loop.
             Callers with ~millisecond items (the fuzz sweep) set this
             high enough that pool startup cannot exceed the work shipped.
+        pool: an open :class:`WorkerPool` to dispatch through instead of
+            an ephemeral pool (its worker count caps the plan).  The
+            pool is left open for the caller to reuse.
     """
-    if min_chunk < 1:
-        raise ValueError(f"min_chunk must be >= 1, got {min_chunk}")
     items = list(items)
-    n = min(resolve_workers(workers), len(items))
-    if n <= 1:
-        return _serial(fn, items)
-    try:
-        pickle.dumps(fn)
-    except Exception:  # noqa: BLE001 - any unpicklable fn means no pool
-        warnings.warn(
-            f"sweep_map: {fn!r} is not picklable; running serially "
-            "(use a module-level function or functools.partial to "
-            "parallelize)",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return _serial(fn, items)
-    if min_chunk > 1:
-        n = min(n, len(items) // min_chunk)
-        if n <= 1:
+    eff_workers = (
+        pool.workers if pool is not None and workers is None else workers
+    )
+    plan = plan_sweep(
+        len(items),
+        workers=eff_workers,
+        chunksize=chunksize,
+        min_chunk=min_chunk,
+    )
+    if min(resolve_workers(eff_workers), len(items)) > 1:
+        # Warn about unpicklable work whenever parallelism was even
+        # plausible (before the min_chunk degrade), so callers learn
+        # their fn cannot parallelize rather than silently never scaling.
+        try:
+            pickle.dumps(fn)
+        except Exception:  # noqa: BLE001 - any unpicklable fn means no pool
+            warnings.warn(
+                f"sweep_map: {fn!r} is not picklable; running serially "
+                "(use a module-level function or functools.partial to "
+                "parallelize)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return _serial(fn, items)
-    if chunksize is None:
-        chunksize = max(1, -(-len(items) // (4 * n)))
-    # Prefer fork where available (cheap, inherits the imported repo);
-    # elsewhere the default start method works, just with slower spawns.
-    methods = multiprocessing.get_all_start_methods()
-    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-    with ctx.Pool(processes=n) as pool:
-        # Pool.map blocks until every chunk finishes and returns results
-        # in submission order regardless of completion order.
-        return pool.map(fn, items, chunksize=chunksize)
+    if plan.serial:
+        return _serial(fn, items)
+    guarded = partial(_guarded_call, fn)
+    indexed = list(enumerate(items))
+    if pool is not None:
+        wrapped = pool.map(guarded, indexed, plan.chunksize)
+    else:
+        # Prefer fork where available (cheap, inherits the imported repo);
+        # elsewhere the default start method works, just with slower spawns.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        with ctx.Pool(processes=plan.workers) as mp_pool:
+            wrapped = mp_pool.map(guarded, indexed, chunksize=plan.chunksize)
+    return _merge_guarded(wrapped, len(items))
+
+
+def _require_filled(out: list) -> list:
+    """The grid invariant: every submitted point produced a result.
+
+    An unfilled slot would silently *shorten and misalign* the
+    submission-order result — downstream consumers (the server's batch
+    coalescer maps results back to requests by position) would read the
+    wrong point's value.  Refuse loudly instead.
+    """
+    missing = [i for i, pair in enumerate(out) if pair is None]
+    if missing:
+        shown = ", ".join(map(str, missing[:20]))
+        if len(missing) > 20:
+            shown += f", ... ({len(missing) - 20} more)"
+        raise RuntimeError(
+            f"grid_map: {len(missing)} of {len(out)} grid point(s) were "
+            f"never filled (indices {shown}); this is a backend dispatch "
+            "bug — no backend claimed these points"
+        )
+    return out
 
 
 def grid_map(
@@ -167,7 +395,10 @@ def grid_map(
 
     Returns ``(makespan, total_stall_time)`` per point, in submission
     order, exactly what :func:`repro.sim.machine.run_programs` reports
-    there — the backend changes cost, never values.
+    there — the backend changes cost, never values.  Every submitted
+    point is guaranteed a result slot: an internal dispatch gap raises
+    ``RuntimeError`` naming the unfilled indices rather than returning
+    a shortened, misaligned list.
 
     Args:
         programs: program factory ``(rank, P) -> generator``, the
@@ -229,7 +460,7 @@ def grid_map(
 
     if resolved == "machine":
         _machine(list(range(len(pts))))
-        return [pair for pair in out if pair is not None]
+        return _require_filled(out)
 
     by_p: dict[int, list[int]] = {}
     for i, p in enumerate(pts):
@@ -254,6 +485,8 @@ def grid_map(
             max_events=max_events,
             use_numpy=use_numpy,
         )
-        for j, i in enumerate(indices):
-            out[i] = (gr.makespans[j], gr.total_stall_times[j])
-    return [pair for pair in out if pair is not None]
+        # zip, not indexing: a backend returning too few results leaves
+        # holes for _require_filled to name instead of crashing here.
+        for i, mk, st in zip(indices, gr.makespans, gr.total_stall_times):
+            out[i] = (mk, st)
+    return _require_filled(out)

@@ -1,0 +1,381 @@
+"""The serving contract: bit-identical results from every serving path.
+
+``repro.serve`` may answer a point from the LRU cache, from another
+job's in-flight computation, from a coalesced cross-request batch, or
+from a pool shard — and each answer must be exactly what the serial
+loop ``[run(point) for point in points]`` produces.  These tests pin
+that equality cold-cache, warm-cache, and coalesced, against both
+``sweep_map(workers=1)`` over per-point machine runs and direct
+``grid_map``, plus the cache/dedup/registry/protocol plumbing around
+it.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import LogPParams
+from repro.serve import (
+    CacheKey,
+    ResultCache,
+    ServeConfig,
+    SimulationServer,
+    SweepRequest,
+    serve_sweep,
+)
+from repro.serve.cache import point_key
+from repro.serve.registry import build, canonical_args, fingerprint
+from repro.sim import LogPMachine
+from repro.sim.sweep import grid_map, sweep_map
+
+O_SWEEP = [
+    LogPParams(L=6.0, o=0.5 + 0.75 * i, g=4.0, P=P)
+    for P in (2, 4)
+    for i in range(6)
+]
+FLOOD_POINTS = [
+    LogPParams(L=8.0, o=1.0, g=4.0, P=8),
+    LogPParams(L=16.0, o=1.0, g=2.0, P=8),
+]
+
+
+def _machine_pair(spec):
+    """One point on the event machine: the serial reference semantics.
+
+    Module-level and fully derived from ``spec`` (program name, args,
+    point tuple), per the sweep runner's determinism contract.
+    """
+    program, args, (L, o, g, P, _G) = spec
+    res = LogPMachine(
+        LogPParams(L=L, o=o, g=g, P=P), trace=False
+    ).run(build(program, dict(args), None))
+    return (res.makespan, res.total_stall_time)
+
+
+def _serial_reference(program: str, args: dict, points) -> list:
+    """The ISSUE's ground truth: ``sweep_map(workers=1)`` per point."""
+    specs = [
+        (program, canonical_args(args), point_key(p)) for p in points
+    ]
+    return sweep_map(_machine_pair, specs, workers=1)
+
+
+def _serve(coro):
+    return asyncio.run(coro)
+
+
+class TestServedVsSerialDeterminism:
+    """The tentpole invariant: served == serial, bit for bit."""
+
+    def test_cold_cache_machine_backend(self):
+        request = SweepRequest.make(
+            "bcast_tree", O_SWEEP, args={"k": 6}, backend="machine"
+        )
+        served = serve_sweep(request)
+        assert served == _serial_reference("bcast_tree", {"k": 6}, O_SWEEP)
+
+    def test_cold_cache_compiled_backend(self):
+        request = SweepRequest.make(
+            "bcast_tree", O_SWEEP, args={"k": 6}, backend="compiled"
+        )
+        served = serve_sweep(request)
+        assert served == _serial_reference("bcast_tree", {"k": 6}, O_SWEEP)
+
+    def test_warm_cache_is_bit_identical_and_simulation_free(self):
+        async def run():
+            request = SweepRequest.make(
+                "bcast_tree", O_SWEEP, args={"k": 6}, backend="machine"
+            )
+            async with SimulationServer() as server:
+                cold_job = await server.submit(request)
+                cold = await cold_job.wait()
+                warm_job = await server.submit(request)
+                warm = await warm_job.wait()
+                return cold, warm, warm_job.sources
+
+        cold, warm, warm_sources = _serve(run())
+        assert cold == warm
+        assert warm == _serial_reference("bcast_tree", {"k": 6}, O_SWEEP)
+        assert warm_sources == {
+            "cache": len(O_SWEEP),
+            "inflight": 0,
+            "computed": 0,
+        }
+
+    def test_coalesced_batch_is_bit_identical(self):
+        """Two concurrent half-sweeps merge into ONE grid evaluation and
+        still reproduce the serial loop point for point."""
+        half = len(O_SWEEP) // 2
+
+        async def run():
+            config = ServeConfig(batch_window=0.05)
+            async with SimulationServer(config) as server:
+                j1 = await server.submit(
+                    SweepRequest.make(
+                        "bcast_tree", O_SWEEP[:half], args={"k": 6}
+                    )
+                )
+                j2 = await server.submit(
+                    SweepRequest.make(
+                        "bcast_tree", O_SWEEP[half:], args={"k": 6}
+                    )
+                )
+                r1 = await j1.wait()
+                r2 = await j2.wait()
+                return r1 + r2, server.stats_snapshot()
+
+        merged, stats = _serve(run())
+        assert stats["batches"] == 1
+        assert stats["largest_batch"] == len(O_SWEEP)
+        assert merged == _serial_reference("bcast_tree", {"k": 6}, O_SWEEP)
+
+    def test_stall_regime_machine_parity(self):
+        served = serve_sweep(
+            SweepRequest.make(
+                "flood", FLOOD_POINTS, args={"k": 6}, backend="machine"
+            )
+        )
+        assert served == _serial_reference("flood", {"k": 6}, FLOOD_POINTS)
+        # Stalls really happen in this regime — nonzero second component.
+        assert any(stall > 0 for _mk, stall in served)
+
+    def test_mixed_p_request_matches_grid_map(self):
+        request = SweepRequest.make(
+            "bcast_tree", O_SWEEP, args={"k": 6}, backend="auto"
+        )
+        served = serve_sweep(request)
+        direct = grid_map(
+            build("bcast_tree", {"k": 6}, None), O_SWEEP, backend="auto"
+        )
+        assert served == direct
+
+
+class TestDedupAndProgress:
+    def test_identical_concurrent_jobs_compute_once(self):
+        async def run():
+            request = SweepRequest.make(
+                "stream", O_SWEEP[:4], args={"k": 4}
+            )
+            config = ServeConfig(batch_window=0.05)
+            async with SimulationServer(config) as server:
+                j1 = await server.submit(request)
+                j2 = await server.submit(request)
+                r1 = await j1.wait()
+                r2 = await j2.wait()
+                return r1, r2, j2.sources, server.stats_snapshot()
+
+        r1, r2, j2_sources, stats = _serve(run())
+        assert r1 == r2
+        assert j2_sources["inflight"] == 4 and j2_sources["computed"] == 0
+        assert stats["computed"] == 4  # not 8: the dedup did its job
+        assert stats["served_inflight"] == 4
+
+    def test_progress_stream_reaches_total(self):
+        async def run():
+            request = SweepRequest.make("stream", O_SWEEP, args={"k": 4})
+            async with SimulationServer() as server:
+                job = await server.submit(request)
+                seen = []
+                async for done, total in job.updates():
+                    seen.append((done, total))
+                await job.wait()
+                return seen, job.total
+
+        seen, total = _serve(run())
+        assert seen[-1] == (total, total)
+        assert [d for d, _t in seen] == sorted(d for d, _t in seen)
+
+    def test_run_request_convenience(self):
+        async def run():
+            async with SimulationServer() as server:
+                return await server.run_request(
+                    SweepRequest.make("stream", O_SWEEP[:2], args={"k": 4})
+                )
+
+        assert _serve(run()) == _serial_reference(
+            "stream", {"k": 4}, O_SWEEP[:2]
+        )
+
+    def test_serve_sweep_accepts_request_lists(self):
+        reqs = [
+            SweepRequest.make("stream", O_SWEEP[:2], args={"k": 4}),
+            SweepRequest.make("flood", FLOOD_POINTS[:1], args={"k": 4}),
+        ]
+        out = serve_sweep(reqs)
+        assert len(out) == 2 and len(out[0]) == 2 and len(out[1]) == 1
+
+
+class TestFailureHandling:
+    def test_unknown_family_refuses_at_submit(self):
+        with pytest.raises(KeyError, match="no_such_family"):
+            SweepRequest.make("no_such_family", O_SWEEP[:1])
+
+    def test_bad_backend_refuses_at_submit(self):
+        with pytest.raises(ValueError, match="backend"):
+            SweepRequest.make("stream", O_SWEEP[:1], backend="gpu")
+
+    def test_empty_points_refuse(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            SweepRequest.make("stream", [])
+
+    def test_batch_failure_fails_the_job_and_server_survives(self):
+        async def run():
+            async with SimulationServer() as server:
+                bad = SweepRequest.make(
+                    "stream", O_SWEEP[:2], args={"k": -5}
+                )
+                job = await server.submit(bad)
+                with pytest.raises(ValueError, match="k must be"):
+                    await job.wait()
+                # The server keeps serving after a failed batch.
+                good = await server.run_request(
+                    SweepRequest.make("stream", O_SWEEP[:2], args={"k": 4})
+                )
+                return good, server.stats_snapshot()
+
+        good, stats = _serve(run())
+        assert good == _serial_reference("stream", {"k": 4}, O_SWEEP[:2])
+        assert stats["errors"] == 1
+
+    def test_failed_keys_are_not_cached(self):
+        async def run():
+            async with SimulationServer() as server:
+                bad = SweepRequest.make(
+                    "stream", O_SWEEP[:2], args={"k": -5}
+                )
+                job = await server.submit(bad)
+                with pytest.raises(ValueError):
+                    await job.wait()
+                return len(server.cache), server.stats_snapshot()
+
+        entries, stats = _serve(run())
+        assert entries == 0
+        assert stats["inflight"] == 0  # failed flights are reaped
+
+
+class TestCacheAndKeys:
+    def test_lru_eviction_and_stats(self):
+        cache = ResultCache(max_entries=2)
+        k1 = CacheKey("f", (1.0,), None, "auto")
+        k2 = CacheKey("f", (2.0,), None, "auto")
+        k3 = CacheKey("f", (3.0,), None, "auto")
+        cache.put(k1, (1.0, 0.0))
+        cache.put(k2, (2.0, 0.0))
+        assert cache.get(k1) == (1.0, 0.0)  # refreshes k1's recency
+        cache.put(k3, (3.0, 0.0))  # evicts k2, the least recent
+        assert cache.get(k2) is None
+        assert cache.get(k1) == (1.0, 0.0)
+        assert cache.get(k3) == (3.0, 0.0)
+        assert cache.stats.evictions == 1
+        assert cache.stats.hits == 3 and cache.stats.misses == 1
+        assert 0 < cache.stats.hit_rate < 1
+
+    def test_key_separates_seed_backend_and_fingerprint(self):
+        pt = point_key(O_SWEEP[0])
+        base = CacheKey("fp1", pt, None, "auto")
+        assert base != CacheKey("fp1", pt, 7, "auto")
+        assert base != CacheKey("fp1", pt, None, "machine")
+        assert base != CacheKey("fp2", pt, None, "auto")
+
+    def test_point_key_distinguishes_loggp(self):
+        from repro.core import LogGPParams
+
+        logp = LogPParams(L=6, o=2, g=4, P=2)
+        loggp = LogGPParams(L=6, o=2, g=4, P=2, G=0.5)
+        assert point_key(logp) != point_key(loggp)
+
+    def test_tiny_cache_still_serves_correct_results(self):
+        served = serve_sweep(
+            SweepRequest.make("stream", O_SWEEP, args={"k": 4}),
+            config=ServeConfig(cache_entries=2),
+        )
+        assert served == _serial_reference("stream", {"k": 4}, O_SWEEP)
+
+
+class TestRegistry:
+    def test_fingerprint_stable_and_arg_sensitive(self):
+        a = fingerprint("stream", {"k": 4})
+        assert a == fingerprint("stream", {"k": 4})
+        assert a != fingerprint("stream", {"k": 5})
+        assert a != fingerprint("flood", {"k": 4})
+
+    def test_unknown_args_refuse(self):
+        with pytest.raises(ValueError, match="unknown args"):
+            build("stream", {"k": 4, "bogus": 1}, None)
+
+    def test_families_lists_builtins(self):
+        from repro.serve import families
+
+        names = families()
+        for expected in ("stream", "flood", "bcast_tree"):
+            assert expected in names and names[expected]
+
+
+class TestWireProtocol:
+    def test_tcp_roundtrip_with_progress_and_stats(self):
+        from repro.serve.protocol import ServeClient, start_tcp_server
+
+        points = [
+            {"L": 6.0, "o": 0.5 + i, "g": 4.0, "P": 4} for i in range(4)
+        ]
+        want = _serial_reference(
+            "stream",
+            {"k": 4},
+            [LogPParams(L=d["L"], o=d["o"], g=d["g"], P=d["P"]) for d in points],
+        )
+
+        async def run():
+            server = SimulationServer()
+            tcp = await start_tcp_server(server)
+            host, port = tcp.sockets[0].getsockname()[:2]
+            client = await ServeClient.connect(host, port)
+            try:
+                assert await client.ping()
+                frame = await client.submit(
+                    "stream", points, args={"k": 4}, stream=True
+                )
+                stats = await client.stats()
+                with pytest.raises(RuntimeError, match="unknown program"):
+                    await client.submit("nope", points)
+                return frame, stats
+            finally:
+                await client.aclose()
+                tcp.close()
+                await tcp.wait_closed()
+                await server.aclose()
+
+        frame, stats = _serve(run())
+        assert [tuple(p) for p in frame["results"]] == want
+        assert frame["progress"][-1] == [len(points), len(points)]
+        assert stats["requests"] == 1
+        assert stats["cache"]["entries"] == len(points)
+
+    def test_malformed_frames_keep_the_connection_alive(self):
+        from repro.serve.protocol import ServeClient, start_tcp_server
+
+        async def run():
+            server = SimulationServer()
+            tcp = await start_tcp_server(server)
+            host, port = tcp.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(b"this is not json\n")
+                writer.write(b'{"op": "teleport"}\n')
+                writer.write(b'{"op": "ping"}\n')
+                await writer.drain()
+                frames = [
+                    __import__("json").loads(await reader.readline())
+                    for _ in range(3)
+                ]
+                return frames
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                tcp.close()
+                await tcp.wait_closed()
+                await server.aclose()
+
+        frames = _serve(run())
+        assert frames[0]["op"] == "error" and "JSON" in frames[0]["error"]
+        assert frames[1]["op"] == "error" and "teleport" in frames[1]["error"]
+        assert frames[2]["op"] == "pong"

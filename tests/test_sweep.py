@@ -16,7 +16,14 @@ import pytest
 
 from repro.sim import FixedLatency, LogPMachine, stall_report
 from repro.sim.fuzz import make_case
-from repro.sim.sweep import ENV_WORKERS, resolve_workers, sweep_map
+from repro.sim.sweep import (
+    ENV_WORKERS,
+    SweepItemError,
+    WorkerPool,
+    plan_sweep,
+    resolve_workers,
+    sweep_map,
+)
 
 SEEDS = list(range(110))
 
@@ -282,10 +289,19 @@ class TestResolveWorkers:
         monkeypatch.delenv(ENV_WORKERS, raising=False)
         assert resolve_workers() == (os.cpu_count() or 1)
 
-    def test_floor_of_one(self, monkeypatch):
-        monkeypatch.setenv(ENV_WORKERS, "0")
-        assert resolve_workers() == 1
+    def test_explicit_argument_clamps_to_one(self):
+        # Callers pass computed counts (len(items) // min_chunk) that
+        # may legitimately reach 0: the documented clamp applies.
+        assert resolve_workers(0) == 1
         assert resolve_workers(-3) == 1
+
+    def test_env_below_one_refuses_loudly(self, monkeypatch):
+        # A misconfigured environment is a configuration error, not a
+        # request for a serial sweep (the repo's refuse-loudly contract).
+        for bad in ("0", "-1", "-100"):
+            monkeypatch.setenv(ENV_WORKERS, bad)
+            with pytest.raises(ValueError, match=ENV_WORKERS):
+                resolve_workers()
 
     def test_invalid_env_raises(self, monkeypatch):
         monkeypatch.setenv(ENV_WORKERS, "many")
@@ -344,3 +360,142 @@ class TestMinChunk:
         monkeypatch.setattr(sweep_mod.multiprocessing, "get_context", boom)
         summary = fuzz_sweep(range(60), ("fixed",), workers=2)
         assert summary.ok and summary.cases == 60
+
+
+class TestIndexedWorkerFailure:
+    """A pool-worker exception must say *which* item failed: the server's
+    error reports (and anyone debugging a 10k-point sweep) need the
+    submission index, which the bare Pool.map traceback does not carry."""
+
+    def test_cause_names_the_submission_index(self):
+        with pytest.raises(ZeroDivisionError) as excinfo:
+            sweep_map(_reciprocal, [1, 0, 2], workers=2, chunksize=1)
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, SweepItemError)
+        assert cause.index == 1
+        assert cause.total == 3
+        assert "item 1 of 3" in str(cause)
+
+    def test_lowest_failing_index_wins_deterministically(self):
+        # Items 1 and 3 both fail; whichever chunk finishes first, the
+        # re-raised failure must be the lowest submission index.
+        for _ in range(3):
+            with pytest.raises(ZeroDivisionError) as excinfo:
+                sweep_map(
+                    _reciprocal, [1, 0, 2, 0, 5], workers=2, chunksize=1
+                )
+            assert excinfo.value.__cause__.index == 1
+
+    def test_serial_path_keeps_plain_traceback(self):
+        # workers=1 is the reference semantics: the exception propagates
+        # from the comprehension itself, unchained.
+        with pytest.raises(ZeroDivisionError) as excinfo:
+            sweep_map(_reciprocal, [1, 0, 2], workers=1)
+        assert excinfo.value.__cause__ is None
+
+
+class TestPlanSweep:
+    """The placement decision is pure and inspectable."""
+
+    def test_plan_is_deterministic(self):
+        a = plan_sweep(100, workers=4, min_chunk=10)
+        b = plan_sweep(100, workers=4, min_chunk=10)
+        assert a == b and not a.serial and a.workers == 4
+
+    def test_min_chunk_degrades_to_serial(self):
+        plan = plan_sweep(60, workers=2, min_chunk=48)
+        assert plan.serial and "min_chunk" in plan.reason
+
+    def test_default_chunksize_is_quarter_share(self):
+        plan = plan_sweep(80, workers=2)
+        assert plan.chunksize == 10  # ceil(80 / (4 * 2))
+
+    def test_single_item_is_serial(self):
+        assert plan_sweep(1, workers=8).serial
+
+    def test_invalid_min_chunk(self):
+        with pytest.raises(ValueError, match="min_chunk"):
+            plan_sweep(10, workers=2, min_chunk=0)
+
+
+class TestWorkerPool:
+    """The persistent pool: lazy start, reuse, identical results."""
+
+    def test_lazy_until_first_parallel_sweep(self):
+        with WorkerPool(workers=2) as pool:
+            assert not pool.started
+            out = sweep_map(_square, [3], workers=2, pool=pool)
+            assert out == [9]
+            assert not pool.started  # single item stayed serial
+
+    def test_reused_across_sweeps_with_serial_results(self):
+        serial = [x * x for x in range(20)]
+        with WorkerPool(workers=2) as pool:
+            first = sweep_map(_square, range(20), pool=pool)
+            assert pool.started
+            second = sweep_map(_square, range(20), pool=pool)
+            assert first == serial and second == serial
+
+    def test_pool_failure_still_carries_index(self):
+        with WorkerPool(workers=2) as pool:
+            with pytest.raises(ZeroDivisionError) as excinfo:
+                sweep_map(
+                    _reciprocal, [2, 1, 0], pool=pool, chunksize=1
+                )
+            assert excinfo.value.__cause__.index == 2
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(workers=2)
+        pool.close()
+        pool.close()
+
+
+class TestGridMapUnfilled:
+    """grid_map must refuse loudly when any point goes unfilled — a
+    silently shortened list misaligns every later submission-order
+    consumer (the serve batch coalescer maps results back by position)."""
+
+    def _grid(self):
+        from repro.core import LogPParams
+
+        return [LogPParams(L=6, o=o, g=4, P=2) for o in (1.0, 2.0, 3.0)]
+
+    def test_short_backend_return_names_missing_indices(self, monkeypatch):
+        import repro.sim.compiled as compiled_mod
+
+        real = compiled_mod.evaluate_grid
+
+        def truncated(prog, pts, **kw):
+            gr = real(prog, pts, **kw)
+            gr.makespans.pop()  # drop the last point's result
+            gr.total_stall_times.pop()
+            return gr
+
+        monkeypatch.setattr(compiled_mod, "evaluate_grid", truncated)
+        from repro.serve.registry import build
+        from repro.sim.sweep import grid_map
+
+        with pytest.raises(RuntimeError, match=r"indices 2"):
+            grid_map(
+                build("stream", {"k": 2}, None),
+                self._grid(),
+                backend="compiled",
+            )
+
+    def test_require_filled_lists_first_twenty(self):
+        from repro.sim.sweep import _require_filled
+
+        out = [None] * 25
+        with pytest.raises(RuntimeError) as excinfo:
+            _require_filled(out)
+        msg = str(excinfo.value)
+        assert "25 of 25" in msg and "(5 more)" in msg
+
+    def test_full_grid_passes_unchanged(self):
+        from repro.serve.registry import build
+        from repro.sim.sweep import grid_map
+
+        grid = self._grid()
+        out = grid_map(build("stream", {"k": 2}, None), grid)
+        assert len(out) == len(grid)
+        assert all(isinstance(p, tuple) and len(p) == 2 for p in out)
