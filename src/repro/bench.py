@@ -31,6 +31,19 @@ pytest-benchmark suite:
   and schedule-region boundaries, stalls included); the machine runs
   the same grid untimed and every ``(makespan, stall_time)`` pair must
   be bit-identical, or the benchmark aborts;
+* ``compiled_seed_sweep`` / ``compiled_seed_sweep_machine`` — a
+  binomial broadcast+reduce under seeded :class:`JitteredLatency`
+  replayed over a (point x seed) product grid through
+  :func:`~repro.sim.compiled.grid.evaluate_seed_grid` versus one
+  serial machine run per (point, seed); bit-identity on every column
+  is verified before timing, and the report records
+  ``compiled_seed_sweep_speedup`` (target >= 5x at 500 seeds);
+* ``compiled_topology_grid`` / ``compiled_topology_grid_machine`` —
+  the pipelined-broadcast o-sweep routed through a deterministic ring
+  :class:`~repro.sim.net.TopologyFabric` on both backends (the per-hop
+  delay lowering's headline grid), compiled-vs-machine parity checked
+  before timing, speedup recorded as
+  ``compiled_topology_grid_speedup``;
 * ``serve_throughput`` / ``serve_cache_hit`` — the :mod:`repro.serve`
   job server under sustained sequential traffic: single-point requests
   cycling over a fixed parameter pool (first cycle computes, the rest
@@ -386,6 +399,125 @@ def _compiled_vs_machine(n_o: int, box: int, k: int) -> None:
         )
 
 
+def _bcast_reduce_factory():
+    """Binomial broadcast then binomial reduce: the seeded-sweep shape.
+
+    Single-phase tree traffic (14 messages at P=8) keeps the recorded
+    tape count low under drawn latencies — the regime the seed axis
+    vectorizes.  Order-sensitive collectives (all-reduce, multi-round
+    exchanges) fragment into one region per global message ordering and
+    replay scalar instead: still exact, just not the fast path this
+    workload gates.
+    """
+    from .sim.collectives import binomial_broadcast, binomial_reduce
+
+    def factory(rank: int, P: int):
+        got = yield from binomial_broadcast(rank, P, 17)
+        return (yield from binomial_reduce(rank, P, got + rank))
+
+    return factory
+
+
+def _seed_sweep_latency(params: LogPParams, seed: int):
+    from .sim.latency import JitteredLatency
+
+    return JitteredLatency(params.L, scale_frac=0.02, seed=seed)
+
+
+def _seed_sweep_grid() -> list[LogPParams]:
+    # Both points sit in the same schedule-ordering regime, so the
+    # recorded tapes stay few (~5); an o=1 point would fragment the
+    # region cover (~13 tapes) and halve the headline speedup.
+    return [
+        LogPParams(L=6.0, o=2.0, g=4.0, P=8),
+        LogPParams(L=6.0, o=3.0, g=4.0, P=8),
+    ]
+
+
+def _compiled_seed_sweep(seeds: range) -> None:
+    from .sim.compiled import compile_programs
+    from .sim.compiled.grid import evaluate_seed_grid
+
+    prog = compile_programs(_bcast_reduce_factory(), 8)
+    res = evaluate_seed_grid(
+        prog, _seed_sweep_grid(), seeds, _seed_sweep_latency
+    )
+    if res.fallbacks:
+        raise RuntimeError(
+            f"compiled_seed_sweep: {res.fallbacks} scalar fallbacks — "
+            "tape coverage regressed, the timing no longer measures the "
+            "vectorized path"
+        )
+
+
+def _seed_sweep_machine(seeds: range) -> list[tuple[float, float]]:
+    factory = _bcast_reduce_factory()
+    out: list[tuple[float, float]] = []
+    for params in _seed_sweep_grid():
+        for s in seeds:
+            res = LogPMachine(
+                params, latency=_seed_sweep_latency(params, s), trace=False
+            ).run(factory)
+            out.append((res.makespan, res.total_stall_time))
+    return out
+
+
+def _seed_sweep_verify(seeds: range) -> int:
+    """Bit-identity of every (point, seed) column vs the serial machine.
+
+    Runs once before the timed passes; returns the recorded tape count
+    for the report.  Any drift aborts the benchmark — the speedup is
+    only worth reporting for an exact replay.
+    """
+    from .sim.compiled import compile_programs
+    from .sim.compiled.grid import evaluate_seed_grid
+
+    prog = compile_programs(_bcast_reduce_factory(), 8)
+    res = evaluate_seed_grid(
+        prog, _seed_sweep_grid(), seeds, _seed_sweep_latency
+    )
+    got = list(zip(res.makespans, res.total_stall_times))
+    want = _seed_sweep_machine(seeds)
+    if got != want:
+        bad = sum(1 for a, b in zip(got, want) if a != b)
+        raise RuntimeError(
+            f"compiled_seed_sweep divergence on {bad}/{len(want)} "
+            "(point, seed) columns"
+        )
+    return res.tapes
+
+
+def _topology_grid(n_o: int) -> list[LogPParams]:
+    return _o_sweep_grid(n_o, (8,))
+
+
+def _compiled_topology_grid(n_o: int, k: int, backend: str) -> None:
+    from .sim.sweep import grid_map
+
+    grid_map(
+        _bcast_stream_factory(k),
+        _topology_grid(n_o),
+        backend=backend,
+        fabric=TopologyFabric.ring(8, L=6),
+    )
+
+
+def _topology_grid_verify(n_o: int, k: int) -> None:
+    """Compiled-vs-machine parity for the routed grid, run once untimed."""
+    from .sim.sweep import grid_map
+
+    fac = _bcast_stream_factory(k)
+    grid = _topology_grid(n_o)
+    fabric = TopologyFabric.ring(8, L=6)
+    compiled = grid_map(fac, grid, backend="compiled", fabric=fabric)
+    machine = grid_map(fac, grid, backend="machine", fabric=fabric)
+    if compiled != machine:
+        bad = sum(1 for a, b in zip(compiled, machine) if a != b)
+        raise RuntimeError(
+            f"compiled_topology_grid divergence on {bad}/{len(grid)} points"
+        )
+
+
 # ----------------------------------------------------------------------
 
 
@@ -411,6 +543,8 @@ def run_all(
     k_grid = 16 if smoke else 32
     vs_n_o = 32 if smoke else 64
     vs_box = 8 if smoke else 16
+    n_seeds = 50 if smoke else 500
+    topo_n_o = 64 if smoke else 512
     serve_reqs = 64 if smoke else 512
     serve_distinct = 16 if smoke else 64
     serve_hit_reqs = 16 if smoke else 128
@@ -462,6 +596,26 @@ def run_all(
     if want("compiled_vs_machine"):
         timings["compiled_vs_machine_s"] = _best_of(
             lambda: _compiled_vs_machine(vs_n_o, vs_box, k_grid),
+            max(1, reps // 3),
+        )
+    seed_sweep_tapes: int | None = None
+    if want("compiled_seed_sweep"):
+        seed_axis = range(n_seeds)
+        seed_sweep_tapes = _seed_sweep_verify(seed_axis)
+        timings["compiled_seed_sweep_s"] = _best_of(
+            lambda: _compiled_seed_sweep(seed_axis), max(1, reps // 2)
+        )
+        timings["compiled_seed_sweep_machine_s"] = _best_of(
+            lambda: _seed_sweep_machine(seed_axis), max(1, reps // 3)
+        )
+    if want("compiled_topology_grid"):
+        _topology_grid_verify(topo_n_o, k_grid)
+        timings["compiled_topology_grid_s"] = _best_of(
+            lambda: _compiled_topology_grid(topo_n_o, k_grid, "compiled"),
+            max(1, reps // 2),
+        )
+        timings["compiled_topology_grid_machine_s"] = _best_of(
+            lambda: _compiled_topology_grid(topo_n_o, k_grid, "machine"),
             max(1, reps // 3),
         )
     serve_metrics: dict[str, float] = {}
@@ -533,6 +687,19 @@ def run_all(
                 "box": vs_box,
                 "k": k_grid,
             },
+            "compiled_seed_sweep": {
+                "family": "binomial bcast+reduce",
+                "P": 8,
+                "points": len(_seed_sweep_grid()),
+                "seeds": n_seeds,
+                "latency": "jittered(scale_frac=0.02)",
+                "tapes": seed_sweep_tapes,
+            },
+            "compiled_topology_grid": {
+                "n_o": topo_n_o,
+                "k": k_grid,
+                "fabric": "TopologyFabric[Ring8]",
+            },
             "serve_throughput": {
                 "requests": serve_reqs,
                 "distinct_points": serve_distinct,
@@ -559,6 +726,10 @@ def run_all(
         report["compiled_grid_speedup"] = round(
             timings["compiled_grid_machine_s"] / timings["compiled_grid_s"], 2
         )
+    for stem in ("compiled_seed_sweep", "compiled_topology_grid"):
+        fast, ref = timings.get(f"{stem}_s"), timings.get(f"{stem}_machine_s")
+        if fast and ref:
+            report[f"{stem}_speedup"] = round(ref / fast, 2)
     if not smoke and all(key in timings for key in PR1_BASELINE):
         report["baseline_pr1_s"] = dict(PR1_BASELINE)
         report["speedup_vs_pr1"] = {
@@ -641,11 +812,13 @@ def main(argv: list[str] | None = None) -> int:
         print(line)
     for w, val in report["sweep_scaling_s"].items():
         print(f"{'sweep[workers=' + w + ']':24s} {val * 1e3:9.2f} ms")
-    if "compiled_grid_speedup" in report:
-        print(
-            f"{'compiled_grid speedup':24s} "
-            f"{report['compiled_grid_speedup']:9.2f} x (machine / compiled)"
-        )
+    for stem in ("compiled_grid", "compiled_seed_sweep", "compiled_topology_grid"):
+        key = f"{stem}_speedup"
+        if key in report:
+            print(
+                f"{stem + ' speedup':24s} "
+                f"{report[key]:9.2f} x (machine / compiled)"
+            )
     if "serve_requests_per_s" in report:
         print(
             f"{'serve requests/sec':24s} "

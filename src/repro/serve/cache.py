@@ -11,6 +11,9 @@ value, per the serving contract:
   corrupts;
 * ``point`` — the canonicalized parameter point ``(L, o, g, P, G)``;
 * ``seed`` — the request seed the family derives randomness from;
+* ``latency`` — the canonical shared-latency spec tuple
+  (:func:`repro.serve.server.canonical_latency`), so a seeded-jitter
+  sweep and the fixed-``L`` sweep of the same family never collide;
 * ``backend`` — the *resolved* backend (``machine`` / ``compiled``).
   The two backends are bit-identical by the compiled evaluator's
   contract, so sharing entries across them would be sound — but keying
@@ -59,6 +62,9 @@ class CacheKey:
     point: tuple
     seed: int | None
     backend: str
+    #: Canonical shared-latency spec tuple
+    #: (:func:`repro.serve.server.canonical_latency`); None = fixed-L.
+    latency: tuple | None = None
 
 
 @dataclass(slots=True)

@@ -6,7 +6,8 @@ frames when it pipelines requests:
 
 ``{"op": "submit", "program": "...", "points": [{"L":..,"o":..,"g":..,
 "P":..}, ...], "args": {...}, "seed": null, "backend": "auto",
-"stream": true, "tag": "r1"}``
+"latency": {"kind": "jittered", "L": 6.0, "scale_frac": 0.1,
+"seed": 7}, "stream": true, "tag": "r1"}``
     Submit a sweep.  The server answers ``accepted`` (job id + point
     count), then — when ``stream`` — ``progress`` frames after every
     resolved point group, then one ``result`` frame with the
@@ -66,6 +67,7 @@ async def handle_connection(
                 args=msg.get("args"),
                 seed=msg.get("seed"),
                 backend=msg.get("backend", "auto"),
+                latency=msg.get("latency"),
             )
         except KeyError as exc:
             await send(
@@ -207,6 +209,7 @@ class ServeClient:
         args: dict | None = None,
         seed: int | None = None,
         backend: str = "auto",
+        latency: dict | None = None,
         stream: bool = False,
     ) -> dict:
         """Submit and collect: returns the ``result`` frame with an extra
@@ -220,6 +223,7 @@ class ServeClient:
                 "args": args or {},
                 "seed": seed,
                 "backend": backend,
+                "latency": latency,
                 "stream": stream,
             }
         )

@@ -57,6 +57,8 @@ __all__ = [
     "ServeConfig",
     "SimulationServer",
     "SweepRequest",
+    "build_latency",
+    "canonical_latency",
     "parse_point",
 ]
 
@@ -97,6 +99,76 @@ def parse_point(spec) -> LogPParams:
 
 _BACKENDS = ("machine", "compiled", "auto")
 
+#: Wire-level latency kinds -> required numeric fields beyond "kind".
+_LATENCY_KINDS = {
+    "fixed": ("L",),
+    "uniform": ("L", "lo_frac", "seed"),
+    "jittered": ("L", "scale_frac", "seed"),
+}
+
+
+def canonical_latency(spec) -> tuple | None:
+    """Canonicalize a wire latency spec into a hashable tuple.
+
+    ``None`` means the machine's default (every flight exactly the
+    point's ``L``).  Otherwise a mapping like ``{"kind": "uniform",
+    "L": 6.0, "lo_frac": 0.25, "seed": 7}`` — the bound ``L`` is
+    explicit (one shared model across the sweep, exactly
+    :func:`repro.sim.sweep.grid_map`'s ``latency=`` semantics), and the
+    tuple form ``("uniform", ("L", 6.0), ("lo_frac", 0.25),
+    ("seed", 7))`` keys caching and batch coalescing.  Malformed specs
+    refuse loudly at submit time.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, tuple):
+        return spec  # already canonical (an internal resubmission)
+    if not isinstance(spec, dict):
+        raise TypeError(
+            f"latency must be a mapping or None, got {type(spec).__name__}"
+        )
+    kind = spec.get("kind")
+    if kind not in _LATENCY_KINDS:
+        raise ValueError(
+            f"latency kind must be one of {sorted(_LATENCY_KINDS)}, "
+            f"got {kind!r}"
+        )
+    fields = _LATENCY_KINDS[kind]
+    unknown = set(spec) - {"kind", *fields}
+    if unknown:
+        raise ValueError(
+            f"unknown latency fields {sorted(unknown)} for kind {kind!r}; "
+            f"expected {list(fields)}"
+        )
+    out = [kind]
+    for name in fields:
+        if name not in spec:
+            raise ValueError(f"latency spec missing field {name!r}")
+        val = int(spec[name]) if name == "seed" else float(spec[name])
+        out.append((name, val))
+    return tuple(out)
+
+
+def build_latency(lat: tuple | None):
+    """Instantiate the shared latency model for a canonical spec.
+
+    Module-level so pool shards can rebuild the model worker-side; a
+    fresh instance per call keeps RNG state out of the coalescing key.
+    """
+    if lat is None:
+        return None
+    from ..sim.latency import FixedLatency, JitteredLatency, UniformLatency
+
+    kind, *pairs = lat
+    kw = dict(pairs)
+    if kind == "fixed":
+        return FixedLatency(kw["L"])
+    if kind == "uniform":
+        return UniformLatency(kw["L"], lo_frac=kw["lo_frac"], seed=kw["seed"])
+    return JitteredLatency(
+        kw["L"], scale_frac=kw["scale_frac"], seed=kw["seed"]
+    )
+
 
 @dataclass(frozen=True)
 class SweepRequest:
@@ -114,6 +186,9 @@ class SweepRequest:
     args: tuple = ()
     seed: int | None = None
     backend: str = "auto"
+    #: Canonical shared-latency spec (see :func:`canonical_latency`);
+    #: None means every flight takes exactly the point's ``L``.
+    latency: tuple | None = None
 
     @classmethod
     def make(
@@ -124,6 +199,7 @@ class SweepRequest:
         args: dict | None = None,
         seed: int | None = None,
         backend: str = "auto",
+        latency: dict | tuple | None = None,
     ) -> "SweepRequest":
         get_family(program)  # unknown family refuses at submit time
         if backend not in _BACKENDS:
@@ -141,6 +217,7 @@ class SweepRequest:
             args=canonical_args(args),
             seed=seed,
             backend=backend,
+            latency=canonical_latency(latency),
         )
 
     @property
@@ -224,12 +301,15 @@ class Job:
 # ----------------------------------------------------------------------
 
 
-def _eval_shard(program, args, seed, backend, raw_pts):
+def _eval_shard(program, args, seed, backend, latency, raw_pts):
     """Rebuild the family from its name and evaluate one point chunk.
 
     Runs inside a pool worker (or inline for unsharded batches): only
     names and plain tuples cross the process boundary, the program
-    object is rebuilt from the registry on this side.
+    object (and the shared latency model, when the request carries a
+    spec) is rebuilt from the registry on this side.  A fresh model per
+    shard is sound: the machine and the compiled grid replay both reset
+    it per point, so shard boundaries cannot leak RNG state.
     """
     programs = build(program, dict(args), seed)
     pts = [
@@ -238,7 +318,9 @@ def _eval_shard(program, args, seed, backend, raw_pts):
         else LogPParams(L=L, o=o, g=g, P=P)
         for (L, o, g, P, G) in raw_pts
     ]
-    return grid_map(programs, pts, backend=backend)
+    return grid_map(
+        programs, pts, backend=backend, latency=build_latency(latency)
+    )
 
 
 def _eval_batch(
@@ -246,6 +328,7 @@ def _eval_batch(
     args,
     seed,
     backend,
+    latency,
     raw_pts: list,
     *,
     workers: int,
@@ -261,11 +344,11 @@ def _eval_batch(
     n = len(raw_pts)
     shards = min(workers, n // shard_min_points) if shard_min_points else 0
     if shards <= 1 or pool is None:
-        return _eval_shard(program, args, seed, backend, raw_pts)
+        return _eval_shard(program, args, seed, backend, latency, raw_pts)
     size = -(-n // shards)
     chunks = [raw_pts[i : i + size] for i in range(0, n, size)]
     per_chunk = sweep_map(
-        partial(_eval_shard, program, args, seed, backend),
+        partial(_eval_shard, program, args, seed, backend, latency),
         chunks,
         workers=shards,
         chunksize=1,
@@ -278,7 +361,7 @@ def _eval_batch(
 class _Group:
     """Pending computations coalescable into one grid evaluation."""
 
-    request_shape: tuple  # (program, args, seed, backend)
+    request_shape: tuple  # (program, args, seed, backend, latency)
     entries: list = field(default_factory=list)  # (CacheKey, raw point)
 
 
@@ -366,10 +449,18 @@ class SimulationServer:
         self.stats["requests"] += 1
         self.stats["points"] += len(request.points)
         loop = asyncio.get_running_loop()
-        shape = (request.program, request.args, request.seed, request.backend)
+        shape = (
+            request.program,
+            request.args,
+            request.seed,
+            request.backend,
+            request.latency,
+        )
         for params in request.points:
             raw = point_key(params)
-            key = CacheKey(fp, raw, request.seed, request.backend)
+            key = CacheKey(
+                fp, raw, request.seed, request.backend, request.latency
+            )
             pair = self.cache.get(key)
             if pair is not None:
                 fut = loop.create_future()
@@ -426,7 +517,7 @@ class SimulationServer:
                 await self._run_group(group)
 
     async def _run_group(self, group: _Group) -> None:
-        program, args, seed, backend = group.request_shape
+        program, args, seed, backend, latency = group.request_shape
         keys = [key for key, _raw in group.entries]
         raw_pts = [raw for _key, raw in group.entries]
         self.stats["batches"] += 1
@@ -447,6 +538,7 @@ class SimulationServer:
                 args,
                 seed,
                 backend,
+                latency,
                 raw_pts,
                 workers=self.workers,
                 shard_min_points=self.config.shard_min_points,

@@ -8,9 +8,12 @@ end-to-end check against a real TCP server on an ephemeral port:
    semantics) — is submitted over the wire three ways: cold cache via
    ``backend="compiled"``, the identical request again (warm cache),
    and ``backend="machine"``; two half-sweeps are also submitted
-   concurrently so the batcher coalesces them.  Every served pair must
-   be *bit-identical* to ``grid_map`` computed directly in this
-   process, and the warm pass must be served entirely from cache.
+   concurrently so the batcher coalesces them, and a seeded
+   jittered-latency request (two coalesced halves, compiled backend)
+   must match the machine backend's ground truth bit for bit.  Every
+   served pair must be *bit-identical* to ``grid_map`` computed
+   directly in this process, and the warm pass must be served entirely
+   from cache.
 2. **Throughput.**  A burst of small submissions over one connection;
    sustained requests/sec is recorded (informational here — the gated
    numbers live in ``repro.bench``'s ``serve_throughput`` workload).
@@ -31,7 +34,12 @@ from ..core import LogPParams
 from ..sim.sweep import grid_map
 from .protocol import ServeClient, start_tcp_server
 from .registry import build
-from .server import ServeConfig, SimulationServer
+from .server import (
+    ServeConfig,
+    SimulationServer,
+    build_latency,
+    canonical_latency,
+)
 
 __all__ = ["run_smoke"]
 
@@ -45,10 +53,21 @@ def _mixed_points(n_o: int) -> list[dict]:
     ]
 
 
-def _expected(program: str, args: dict, points: list[dict], backend: str):
+def _expected(
+    program: str,
+    args: dict,
+    points: list[dict],
+    backend: str,
+    latency: dict | None = None,
+):
     """The ground truth: grid_map run directly, no server involved."""
     pts = [LogPParams(L=d["L"], o=d["o"], g=d["g"], P=d["P"]) for d in points]
-    return grid_map(build(program, dict(args), None), pts, backend=backend)
+    return grid_map(
+        build(program, dict(args), None),
+        pts,
+        backend=backend,
+        latency=build_latency(canonical_latency(latency)),
+    )
 
 
 async def _smoke(n_o: int, burst: int) -> dict:
@@ -144,6 +163,37 @@ async def _smoke(n_o: int, burst: int) -> dict:
             "coalesced_into_few_batches",
             post_batches - pre_batches <= 2,
             f"{post_batches - pre_batches} batches for 2 concurrent jobs",
+        )
+
+        # 1e. Seeded-latency sweep: two concurrent halves of a jittered
+        # request coalesce into one batch, the compiled backend serves
+        # it, and every pair is bit-identical to the machine backend
+        # under the same spec — the seed-axis lowering's wire witness.
+        jitter = {"kind": "jittered", "L": 6.0, "scale_frac": 0.1, "seed": 11}
+        c4 = await ServeClient.connect(host, port)
+        c5 = await ServeClient.connect(host, port)
+        try:
+            r4, r5 = await asyncio.gather(
+                c4.submit(
+                    "bcast_tree", parts[0], args={"k": 7},
+                    backend="compiled", latency=jitter,
+                ),
+                c5.submit(
+                    "bcast_tree", parts[1], args={"k": 7},
+                    backend="compiled", latency=jitter,
+                ),
+            )
+        finally:
+            await c4.aclose()
+            await c5.aclose()
+        want_jit = _expected(
+            "bcast_tree", {"k": 7}, sweep_points, "machine", latency=jitter
+        )
+        got_jit = [tuple(p) for p in r4["results"] + r5["results"]]
+        check(
+            "seeded_latency_compiled_parity",
+            got_jit == want_jit,
+            f"{len(got_jit)} jittered points vs machine ground truth",
         )
 
         # 2. Throughput burst: distinct tiny requests, then re-request.

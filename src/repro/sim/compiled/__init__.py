@@ -13,25 +13,45 @@ then be evaluated:
   (:mod:`.grid`), which records one evaluation as a *tape* of float
   operations and branch constraints and replays it vectorized (numpy
   when available) over every grid point whose control flow matches,
-  re-recording for the points where it does not.
+  re-recording for the points where it does not;
+* across a ``(point, seed)`` product with :func:`evaluate_seed_grid`:
+  seeded latency draws become per-column tape inputs, so a 500-seed
+  sweep replays as one vectorized evaluation instead of 500 machine
+  runs.
 
-Eligibility is deterministic timing: a fixed latency model (the
-default ``FixedLatency``, bare or wrapped in a ``LatencyFabric``).
-Random latency draws, topology contention and lossy fabrics change
-event *order* at runtime, which a static schedule cannot represent —
+Eligibility is deterministic timing: any latency model honouring the
+``reset()`` reproducibility contract (bare or in a ``LatencyFabric``)
+and the deterministic per-hop :class:`~repro.sim.net.TopologyFabric`
+all lower exactly.  Contention and lossy fabrics resolve delivery from
+runtime load, which a static schedule cannot represent —
 :func:`backend_ineligibility` explains refusals, and the ``auto``
 backend in :mod:`repro.sim.sweep` / :mod:`repro.bench` raises rather
-than silently falling back.
+than silently falling back.  Programs observing ``Now`` lower per
+parameter point via :func:`compile_at` (fixed-point clock assumption)
+and per grid region via :func:`evaluate_forked` (branch-splitting on
+the recorded ``OP_NOW`` constraints).
 """
 
 from .backend import BACKENDS, backend_ineligibility, resolve_backend
 from .compiler import (
     CompiledProgram,
     CompileError,
+    TimingDependentError,
     compile_programs,
 )
-from .evaluator import CompiledResult, evaluate
-from .grid import GridResult, evaluate_grid
+from .evaluator import (
+    CompiledResult,
+    TimingDivergence,
+    compile_at,
+    evaluate,
+)
+from .grid import (
+    GridResult,
+    SeedGridResult,
+    evaluate_forked,
+    evaluate_grid,
+    evaluate_seed_grid,
+)
 
 __all__ = [
     "BACKENDS",
@@ -39,9 +59,15 @@ __all__ = [
     "CompiledProgram",
     "CompiledResult",
     "GridResult",
+    "SeedGridResult",
+    "TimingDependentError",
+    "TimingDivergence",
     "backend_ineligibility",
+    "compile_at",
     "compile_programs",
     "evaluate",
+    "evaluate_forked",
     "evaluate_grid",
+    "evaluate_seed_grid",
     "resolve_backend",
 ]

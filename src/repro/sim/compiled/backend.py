@@ -1,30 +1,33 @@
 """Backend selection for compiled evaluation: explicit and safe.
 
-The compiled fast path reproduces the machine bit-for-bit only when
-flight times are the constant ``L`` for every message: a nondeterministic
-latency model draws per message, and a topology/contention/lossy fabric
-makes delivery depend on runtime load — both change event *order*, which
-a statically recorded schedule cannot represent.  Callers pick a
-``backend``:
+The compiled fast path reproduces the machine bit-for-bit whenever
+flight times are *deterministic given the configuration*: the constant
+``L``, a seeded latency model (its ``reset()`` contract makes every
+run replay the same draw sequence, which the grid tape vectorizes as
+per-point draw inputs), or a :class:`~repro.sim.net.TopologyFabric`'s
+per-hop routed flight (a pure function of (src, dst)).  What it cannot
+represent is timing resolved from *runtime load*: contention queues and
+lossy ARQ retries change delivery as a function of the schedule being
+executed, and fault plans / heartbeat detectors inject traffic the
+compiled opcode stream does not contain.  Callers pick a ``backend``:
 
-* ``"machine"`` — always the event machine; any latency model or fabric.
+* ``"machine"`` — always the event machine; any configuration.
 * ``"compiled"`` — always the compiled evaluator; raises ``ValueError``
   when the timing configuration is ineligible and ``CompileError`` when
   the program itself cannot be lowered.
 * ``"auto"`` — the compiled evaluator when the timing configuration is
-  deterministic, with one deliberate asymmetry: an *ineligible timing
+  eligible, with one deliberate asymmetry: an *ineligible timing
   configuration* is a loud ``ValueError``, never a silent fall back to
   the machine.  Auto-selecting the slow path there would make a sweep
-  silently 10× slower the day someone swaps in a jittered latency model;
-  the caller must say ``backend="machine"`` to mean that.  A program
-  that merely cannot be *lowered* (uses ``Now``, branches on timing)
-  falls back to the machine — that is a property of the program, not a
-  configuration mistake.
+  silently 10× slower the day someone swaps in a contended fabric; the
+  caller must say ``backend="machine"`` to mean that.  A program that
+  merely cannot be *lowered* (unbounded timing dependence, no
+  fixed-point clock) falls back to the machine — that is a property of
+  the program, not a configuration mistake — and the fallback carries
+  the ``CompileError`` reason (see ``sweep.grid_map``'s report).
 """
 
 from __future__ import annotations
-
-from ..latency import FixedLatency
 
 __all__ = ["BACKENDS", "backend_ineligibility", "resolve_backend"]
 
@@ -36,30 +39,25 @@ def backend_ineligibility(
 ) -> str | None:
     """Why this timing configuration cannot use the compiled evaluator.
 
-    Returns ``None`` when eligible: no latency model / fabric / faults,
-    a bare :class:`~repro.sim.latency.FixedLatency`, or a
-    :class:`~repro.sim.net.LatencyFabric` wrapping one.  Otherwise a
+    Returns ``None`` when eligible: no faults, and flight times from
+    any :class:`~repro.sim.latency.LatencyModel` (bare or wrapped in a
+    :class:`~repro.sim.net.LatencyFabric` — seeded models replay their
+    draw sequence exactly under the ``reset()`` contract) or a
+    deterministic :class:`~repro.sim.net.TopologyFabric`.  Otherwise a
     human-readable reason (used verbatim in the ``ValueError``).
     """
-    if latency is not None and type(latency) is not FixedLatency:
-        return (
-            f"latency model {type(latency).__name__} draws per-message "
-            "flight times; the compiled evaluator requires the "
-            "deterministic FixedLatency"
-        )
     if fabric is not None:
-        from ..net import LatencyFabric
+        from ..net import LatencyFabric, TopologyFabric
 
-        if not isinstance(fabric, LatencyFabric):
+        eligible = type(fabric) is LatencyFabric or (
+            type(fabric) is TopologyFabric and not fabric.lossy
+        )
+        if not eligible:
             return (
-                f"fabric {type(fabric).__name__} routes or contends "
-                "messages at runtime; the compiled evaluator supports "
-                "only LatencyFabric"
-            )
-        if type(fabric.model) is not FixedLatency:
-            return (
-                f"LatencyFabric wraps {type(fabric.model).__name__}; "
-                "the compiled evaluator requires FixedLatency"
+                f"fabric {type(fabric).__name__} resolves delivery "
+                "from runtime load (contention queues, ARQ retries); "
+                "the compiled evaluator supports LatencyFabric and "
+                "the deterministic TopologyFabric"
             )
     if fault_plan is not None:
         return (

@@ -25,8 +25,19 @@ Compile-time execution mirrors the machine's *matching* semantics
 
 Restrictions (the price of timing-free lowering):
 
-* ``Now`` is rejected: its resume value is simulated time, so any
-  program observing it is timing-dependent by construction.
+* ``Now`` is rejected by default: its resume value is simulated time,
+  so any program observing it is timing-dependent by construction.
+  The rejection is the distinct :class:`TimingDependentError` so
+  callers can tell "needs a clock" from "cannot compile at all".
+  Passing ``now_values`` (per-rank FIFO oracles of resume values)
+  lowers such a program *at an assumed clock*: each ``Now`` records an
+  ``(OP_NOW, value)`` op carrying the oracle value it consumed, and
+  the evaluator checks the assumption at run time.
+  :func:`repro.sim.compiled.compile_at` iterates compile→evaluate to a
+  fixed point so the assumed values are the machine's true ones at one
+  parameter point; the grid recorder turns each assumption into an
+  equality constraint, so other points sharing the schedule replay
+  vectorized and divergent points re-record (branch-splitting).
 * ``Poll`` compiles (it is timing-only: the evaluator replays its drain
   semantics), but its compile-time resume value is always ``0`` —
   a program that *branches its action sequence* on the drained count is
@@ -61,7 +72,9 @@ __all__ = [
     "OP_SLEEP",
     "OP_POLL",
     "OP_BARRIER",
+    "OP_NOW",
     "CompileError",
+    "TimingDependentError",
     "CompiledProgram",
     "compile_programs",
 ]
@@ -73,13 +86,27 @@ __all__ = [
 #   (OP_SLEEP, cycles)
 #   (OP_POLL,)
 #   (OP_BARRIER,)
-OP_SEND, OP_RECV, OP_COMPUTE, OP_SLEEP, OP_POLL, OP_BARRIER = range(6)
+#   (OP_NOW, assumed_time)
+OP_SEND, OP_RECV, OP_COMPUTE, OP_SLEEP, OP_POLL, OP_BARRIER, OP_NOW = (
+    range(7)
+)
 
 ProgramFactory = Callable[[int, int], Generator]
 
 
 class CompileError(ValueError):
     """A program cannot be lowered to a static schedule."""
+
+
+class TimingDependentError(CompileError):
+    """The program observes ``Now`` — it needs a clock to lower.
+
+    Raised by :func:`compile_programs` when no ``now_values`` oracle is
+    supplied.  Distinct from a bare :class:`CompileError` so the grid
+    layer can route such programs through the fixed-point
+    branch-splitting path (:func:`repro.sim.compiled.compile_at`)
+    instead of giving up.
+    """
 
 
 @dataclass(frozen=True, slots=True)
@@ -101,6 +128,9 @@ class CompiledProgram:
     #: Largest ``Send.words`` anywhere; > 1 requires LogGP params (G).
     max_words: int = 1
     uses_barrier: bool = False
+    #: True when any rank observed ``Now``: the schedule embeds assumed
+    #: clock readings (``OP_NOW`` ops) that the evaluator must check.
+    uses_now: bool = False
 
     @property
     def n_ops(self) -> int:
@@ -135,6 +165,8 @@ def _take(mailbox: list, tag) -> "tuple | None":
 def compile_programs(
     programs: "ProgramFactory | Sequence[Generator]",
     P: int,
+    *,
+    now_values: "Sequence[Sequence[float]] | None" = None,
 ) -> CompiledProgram:
     """Drive ``programs`` to completion at compile time; record the ops.
 
@@ -142,8 +174,17 @@ def compile_programs(
     machine's usual form) or a sequence of ``P`` already-built
     generators.  Either way the generators are *consumed* here.
 
+    Args:
+        now_values: per-rank FIFO oracles of ``Now`` resume values.
+            When given, each ``Now`` consumes the next value for its
+            rank (0.0 once a rank's oracle runs dry — the provisional
+            first pass of :func:`repro.sim.compiled.compile_at`) and
+            records it in an ``(OP_NOW, value)`` op.  Without it, any
+            ``Now`` raises :class:`TimingDependentError`.
+
     Raises:
-        CompileError: on ``Now``, an unknown action, an invalid or
+        TimingDependentError: on ``Now`` with no ``now_values`` oracle.
+        CompileError: on an unknown action, an invalid or
             self-targeted send, a non-generator program, or a schedule
             that deadlocks at compile time (circular receive waits, a
             barrier not reached by every rank).
@@ -165,9 +206,20 @@ def compile_programs(
                 f"(got {type(g).__name__})"
             )
     ranks = [_RankState(gen=g) for g in gens]
+    if now_values is None:
+        now_feed = None
+    else:
+        if len(now_values) != P:
+            raise CompileError(
+                f"now_values must have one oracle per rank "
+                f"({P}), got {len(now_values)}"
+            )
+        now_feed = [list(vals) for vals in now_values]
+        now_cursor = [0] * P
     n_messages = 0
     max_words = 1
     uses_barrier = False
+    uses_now = False
     remaining = P
 
     def _step(rank: int) -> bool:
@@ -175,7 +227,7 @@ def compile_programs(
 
         Returns True if at least one action was executed (progress).
         """
-        nonlocal n_messages, max_words, uses_barrier, remaining
+        nonlocal n_messages, max_words, uses_barrier, uses_now, remaining
         st = ranks[rank]
         progressed = False
         resume = None
@@ -240,11 +292,20 @@ def compile_programs(
                 uses_barrier = True
                 return True
             elif cls is Now:
-                raise CompileError(
-                    f"proc {rank} used Now: simulated time is not "
-                    "available at compile time, so the schedule is "
-                    "timing-dependent — run it on the event machine"
-                )
+                if now_feed is None:
+                    raise TimingDependentError(
+                        f"proc {rank} used Now: simulated time is not "
+                        "available at compile time, so the schedule is "
+                        "timing-dependent — run it on the event machine"
+                    )
+                feed = now_feed[rank]
+                cur = now_cursor[rank]
+                assumed = feed[cur] if cur < len(feed) else 0.0
+                now_cursor[rank] = cur + 1
+                st.ops.append((OP_NOW, assumed))
+                resume = assumed
+                uses_now = True
+                progressed = True
             else:
                 raise CompileError(
                     f"proc {rank} yielded unknown action {action!r}"
@@ -288,6 +349,7 @@ def compile_programs(
         n_messages=n_messages,
         max_words=max_words,
         uses_barrier=uses_barrier,
+        uses_now=uses_now,
     )
 
 

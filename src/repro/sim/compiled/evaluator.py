@@ -15,12 +15,27 @@ Every ``engine.schedule`` call in the machine has a ``_sched`` call
 here, in the same program position, so sequence numbers — and therefore
 tie-breaks — coincide.
 
-What it drops is everything a deterministic fixed-latency run never
-touches: generator dispatch and action allocation, trace records,
-fabric submit calls, the lossy/ARQ machinery, Schedule assembly.  What
-remains is pure float arithmetic over int opcodes — ~2× the machine's
-speed per run, and the reference semantics for the vectorized grid
-replay in :mod:`repro.sim.compiled.grid`.
+What it drops is everything a deterministic run never touches:
+generator dispatch and action allocation, trace records, the lossy/ARQ
+machinery, Schedule assembly.  What remains is pure float arithmetic
+over int opcodes — ~2× the machine's speed per run, and the reference
+semantics for the vectorized grid replay in
+:mod:`repro.sim.compiled.grid`.
+
+Timing configuration mirrors the machine's: the default is the
+inlined ``FixedLatency`` fast path, a seeded latency model (bare or
+inside a :class:`~repro.sim.net.LatencyFabric`) is reset at run start
+and drawn from once per injection in event order, and any non-lossy
+fabric's ``submit`` is called at exactly the machine's call sites — so
+the draw/submit sequences, and therefore the float operation
+orderings, coincide bit for bit.
+
+Timing-dependent schedules (``OP_NOW`` ops, from
+``compile_programs(..., now_values=...)``) carry the clock readings
+they were compiled against; the evaluator checks each one against the
+actual dispatch time and raises :class:`TimingDivergence` on mismatch
+(``check_now=False`` records the observed values instead — the
+probe mode :func:`compile_at` iterates to a fixed point).
 
 The contract is enforced two ways: the fuzz harness
 (:func:`repro.sim.fuzz.run_case`) diffs this evaluator against the
@@ -40,18 +55,32 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..engine import SimulationError
+from ..latency import FixedLatency
+from ..net import LatencyFabric
 from ..trace import StallEvent, StallReport, WakeupEvent, stall_report
 from .compiler import (
     OP_BARRIER,
     OP_COMPUTE,
+    OP_NOW,
     OP_POLL,
     OP_RECV,
     OP_SEND,
     OP_SLEEP,
+    CompileError,
     CompiledProgram,
+    compile_programs,
 )
 
-__all__ = ["CompiledResult", "evaluate"]
+__all__ = ["CompiledResult", "TimingDivergence", "compile_at", "evaluate"]
+
+
+class TimingDivergence(SimulationError):
+    """An ``OP_NOW`` assumption failed: the schedule was compiled
+    against a clock reading that this evaluation did not reproduce.
+    The compiled ops after that point encode the wrong control flow —
+    refuse rather than return plausible garbage.  The grid layer
+    catches this to trigger a per-region recompile
+    (:func:`repro.sim.compiled.compile_at`)."""
 
 # Processor states (machine.py uses interned strings; ints here).
 _RUNNING = 0
@@ -150,6 +179,9 @@ class CompiledResult:
     #: Stall/wakeup feed, populated only under ``collect_stalls=True``.
     stall_events: list = field(default_factory=list)
     collected_stalls: bool = False
+    #: Per-rank observed ``Now`` readings (``None`` unless the compiled
+    #: program ``uses_now``); what :func:`compile_at` iterates on.
+    now_values: list | None = None
 
     def stall_report(self) -> StallReport:
         if not self.collected_stalls:
@@ -168,13 +200,15 @@ class _Evaluator:
         compiled: CompiledProgram,
         params,
         *,
-        L: float,
+        fixed_L: float | None,
+        submit: Callable | None,
         enforce_capacity: bool,
         capacity: int,
         hw_barrier_cost: float,
         compute_jitter: Callable[[int, float], float] | None,
         collect_stalls: bool,
         max_events: int,
+        check_now: bool = True,
     ):
         P = compiled.P
         self._P = P
@@ -182,8 +216,15 @@ class _Evaluator:
         self._o = float(params.o)
         self._g = float(params.g)
         self._si = float(params.send_interval)
-        self._L = float(L)
+        # Exactly one of the two is set: the inlined FixedLatency flight
+        # or the fabric's submit, mirroring the machine's _fixed_L gate.
+        self._fixed_L = fixed_L
+        self._submit = submit
         self._G = getattr(params, "G", None)
+        self._check_now = check_now
+        self._now_values: list[list[float]] | None = (
+            [[] for _ in range(P)] if compiled.uses_now else None
+        )
         self._capacity = capacity
         self._enforce = enforce_capacity
         self._hw_barrier = float(hw_barrier_cost)
@@ -283,6 +324,7 @@ class _Evaluator:
             stall_time=[p.stall_time for p in procs],
             stall_events=self._feed,
             collected_stalls=self._collect,
+            now_values=self._now_values,
         )
 
     # -- activation plumbing (mirrors machine.py) --------------------
@@ -426,6 +468,21 @@ class _Evaluator:
                 proc.pending = None
                 proc.state = _RUNNING
                 continue
+            if kind == OP_NOW:
+                # The machine resumes the generator with the clock and
+                # pays nothing; here the reading was baked in at compile
+                # time — check (or record) it and move on.
+                self._now_values[rank].append(now)
+                if self._check_now and now != op[1]:
+                    raise TimingDivergence(
+                        f"proc {rank} observed Now()={now} but the "
+                        f"schedule was compiled assuming {op[1]}; "
+                        "control flow after this point is not this "
+                        "schedule's — recompile at this parameter "
+                        "point (compile_at) or use the event machine"
+                    )
+                proc.pending = None
+                continue
             # OP_BARRIER
             proc.pending = None
             proc.state = _WAIT_BARRIER
@@ -542,14 +599,23 @@ class _Evaluator:
             proc.queued_on = None
             proc.needs_src = False
             proc.needs_dst = False
+        # Float orderings mirror machine._try_inject exactly: the fixed
+        # path folds stream before L, the fabric path adds stream to the
+        # submitted arrival — same expressions, bit-identical results.
         words = msg.words
+        fixed = self._fixed_L
         if words > 1:
             stream = (words - 1) * (self._G or 0.0)
-            msg.arrive = now + stream + self._L
+            if fixed is not None:
+                msg.arrive = now + stream + fixed
+            else:
+                msg.arrive = self._submit(rank, dst, now)[0] + stream
             if stream > 0:
                 proc.port_free = now + stream
+        elif fixed is not None:
+            msg.arrive = now + fixed
         else:
-            msg.arrive = now + self._L
+            msg.arrive = self._submit(rank, dst, now)[0]
         self._inflight_from[rank] += 1
         self._inflight_to[dst] += 1
         proc.pending_inject = None
@@ -671,21 +737,85 @@ class _Evaluator:
                 )
 
 
+def _resolve_timing(params, L, latency, fabric):
+    """Mirror the machine's latency/fabric normalization and bounds.
+
+    Returns ``(fixed_L, fab)``: the inlined constant flight (``None``
+    off the fixed fast path) and the Fabric whose ``submit`` feeds
+    injections (``None`` when the constant path needs no fabric at
+    all).  Validation — bound checks, both-given refusal — raises the
+    machine's exact ``ValueError`` messages, so backend switches never
+    change which configurations are accepted.
+    """
+    if fabric is not None:
+        if latency is not None:
+            raise ValueError(
+                "give latency or fabric, not both (a plain latency "
+                "model is run as a LatencyFabric)"
+            )
+        if L is not None:
+            raise ValueError(
+                "give L or fabric, not both (the fabric defines "
+                "flight times)"
+            )
+        if fabric.lossy:
+            raise ValueError(
+                "the compiled evaluator does not support lossy "
+                "fabrics: ARQ timeout-and-retry is timing-dependent "
+                "control flow — use the event machine"
+            )
+        if fabric.bound > params.L + 1e-12:
+            raise ValueError(
+                f"fabric unloaded bound {fabric.bound} exceeds "
+                f"L={params.L}"
+            )
+        if (
+            type(fabric) is LatencyFabric
+            and type(fabric.model) is FixedLatency
+        ):
+            return float(fabric.model.L), fabric
+        return None, fabric
+    if latency is not None:
+        if L is not None:
+            raise ValueError(
+                "give L or latency, not both (the model defines "
+                "flight times)"
+            )
+        if latency.L > params.L + 1e-12:
+            raise ValueError(
+                f"latency model bound {latency.L} exceeds L={params.L}"
+            )
+        if type(latency) is FixedLatency:
+            return float(latency.L), None
+        return None, LatencyFabric(latency)
+    if L is None:
+        return float(params.L), None
+    if L > params.L + 1e-12:
+        raise ValueError(
+            f"latency L={L} exceeds params.L={params.L}; capacity "
+            "ceil(L/g) would be wrong for this model"
+        )
+    return float(L), None
+
+
 def evaluate(
     compiled: CompiledProgram,
     params,
     *,
     L: float | None = None,
+    latency=None,
+    fabric=None,
     enforce_capacity: bool = True,
     capacity: int | None = None,
     hw_barrier_cost: float = 0.0,
     compute_jitter: Callable[[int, float], float] | None = None,
     collect_stalls: bool = False,
     max_events: int = 50_000_000,
+    check_now: bool = True,
 ) -> CompiledResult:
     """Run one compiled program at concrete parameters.
 
-    Semantically ``LogPMachine(params, latency=FixedLatency(L), ...)
+    Semantically ``LogPMachine(params, latency=..., fabric=...)
     .run(factory)`` for the factory that produced ``compiled`` — bit
     identical, enforced by the fuzz differential.  Keyword arguments
     mirror the machine's:
@@ -697,6 +827,14 @@ def evaluate(
         L: fixed message latency; defaults to ``params.L``.  Like the
             machine's latency-bound check, ``L`` may not exceed
             ``params.L`` (capacity is derived from ``params.L``).
+            Mutually exclusive with ``latency``/``fabric``.
+        latency: a :class:`~repro.sim.latency.LatencyModel`, exactly as
+            the machine takes it — reset at run start, drawn once per
+            injection in event order, so seeded models reproduce the
+            machine's draw sequence bit for bit.
+        fabric: a non-lossy :class:`~repro.sim.net.Fabric`; its
+            ``submit`` is called at the machine's exact call sites.
+            Mutually exclusive with ``latency``.
         enforce_capacity: apply the ceil(L/g) in-flight limit.
         capacity: override the per-endpoint in-flight limit.
         hw_barrier_cost: cost added at barrier release.
@@ -705,6 +843,11 @@ def evaluate(
         collect_stalls: record the StallEvent/WakeupEvent feed so
             :meth:`CompiledResult.stall_report` works.
         max_events: safety budget, as in the machine.
+        check_now: verify each ``OP_NOW`` assumption against the actual
+            clock, raising :class:`TimingDivergence` on mismatch.
+            ``False`` records observations instead (:func:`compile_at`'s
+            probe mode) — results of a mismatched probe run are
+            internal iteration state, not machine-identical output.
     """
     if params.P != compiled.P:
         raise ValueError(
@@ -714,13 +857,10 @@ def evaluate(
         raise ValueError(
             f"hw_barrier_cost must be >= 0, got {hw_barrier_cost}"
         )
-    if L is None:
-        L = float(params.L)
-    elif L > params.L + 1e-12:
-        raise ValueError(
-            f"latency L={L} exceeds params.L={params.L}; capacity "
-            "ceil(L/g) would be wrong for this model"
-        )
+    fixed_L, fab = _resolve_timing(params, L, latency, fabric)
+    if fab is not None:
+        fab.reset()
+        fab.attach(None, compiled.P, False)
     if capacity is None:
         capacity = params.capacity
     if capacity < 1:
@@ -733,11 +873,107 @@ def evaluate(
     return _Evaluator(
         compiled,
         params,
-        L=float(L),
+        fixed_L=fixed_L,
+        submit=fab.submit if fab is not None else None,
         enforce_capacity=enforce_capacity,
         capacity=capacity,
         hw_barrier_cost=hw_barrier_cost,
         compute_jitter=compute_jitter,
         collect_stalls=collect_stalls,
         max_events=max_events,
+        check_now=check_now,
     ).run()
+
+
+def compile_at(
+    programs,
+    P: int,
+    params,
+    *,
+    max_passes: int = 16,
+    latency=None,
+    fabric=None,
+    enforce_capacity: bool = True,
+    capacity: int | None = None,
+    hw_barrier_cost: float = 0.0,
+    compute_jitter: Callable[[int, float], float] | None = None,
+    max_events: int = 50_000_000,
+) -> CompiledProgram:
+    """Lower a timing-dependent program at one parameter point.
+
+    A program that observes ``Now`` cannot compile parameter-free, but
+    it *can* compile against an assumed clock: feed ``Now`` resume
+    values from an oracle, evaluate the resulting schedule at
+    ``params``, observe the actual clock readings, and iterate until
+    the observations equal the assumptions exactly (``==``, no
+    tolerance).  At the fixed point the generators were driven with
+    precisely the resume values the machine would deliver, so the
+    schedule — and its evaluation — is the machine's, bit for bit.
+
+    Bounded timing dependence (``Now`` feeding comparisons against
+    schedule-derived times) reaches the fixed point in a couple of
+    passes — each pass resolves one layer of the clock-dependency
+    chain.  Programs whose action sequence feeds back into its own
+    observation times may cycle; after ``max_passes`` the refusal is a
+    loud :class:`CompileError` (so ``backend="auto"`` falls back to the
+    machine with the reason).
+
+    ``programs`` must be a *factory* ``(rank, P) -> generator`` —
+    every pass drives fresh generators.
+    """
+    if not callable(programs):
+        raise CompileError(
+            "timing-dependent lowering recompiles per pass, which "
+            "requires a program factory (rank, P) -> generator, not "
+            "a sequence of already-built generators"
+        )
+    oracle: list[list[float]] = [[] for _ in range(P)]
+    for _ in range(max_passes):
+        try:
+            compiled = compile_programs(programs, P, now_values=oracle)
+        except CompileError:
+            raise
+        except Exception as exc:
+            # A provisional clock can steer the program into errors the
+            # true schedule never hits (negative compute from 0.0 - x,
+            # assertion failures on branch shape).  That is a lowering
+            # failure, not a configuration error — refuse as
+            # CompileError so backend="auto" can take the machine path.
+            raise CompileError(
+                "timing-dependent lowering failed while driving "
+                f"generators at an assumed clock: {exc}"
+            ) from exc
+        if not compiled.uses_now:
+            return compiled
+        try:
+            res = evaluate(
+                compiled,
+                params,
+                latency=latency,
+                fabric=fabric,
+                enforce_capacity=enforce_capacity,
+                capacity=capacity,
+                hw_barrier_cost=hw_barrier_cost,
+                compute_jitter=compute_jitter,
+                max_events=max_events,
+                check_now=False,
+            )
+        except SimulationError as exc:
+            raise CompileError(
+                "timing-dependent lowering failed while probing an "
+                f"assumed clock: {exc}"
+            ) from exc
+        assumed = [
+            [op[1] for op in rank_ops if op[0] == OP_NOW]
+            for rank_ops in compiled.ops
+        ]
+        observed = res.now_values
+        if observed == assumed:
+            return compiled
+        oracle = observed
+    raise CompileError(
+        f"timing-dependent schedule did not reach a fixed point in "
+        f"{max_passes} passes at {params!r}: the program's action "
+        "sequence feeds back into its own clock observations — run "
+        "it on the event machine"
+    )

@@ -46,6 +46,33 @@ module exploits that:
    fall back to the scalar evaluator.  The fallback changes cost only,
    never results.
 
+Beyond the fixed-``L`` default, the tape lowers the machine's other
+deterministic timing configurations:
+
+* **Seeded latency models** (:func:`evaluate_grid` ``latency=`` /
+  ``fabric=LatencyFabric(model)``): each injection consumes one
+  ``model.draw(src, dst)``; the tape records the draw's *stream index*
+  (term ``_T_DRAW``) instead of its value, and replay feeds per-point
+  draw values through a draws matrix.  Draws come off one shared RNG
+  stream in global injection order, so every draw-consuming injection
+  touches a dedicated RNG footprint cell — covered points provably
+  consume the stream in the recorded order.  :func:`evaluate_seed_grid`
+  stacks a **seed axis** on top: columns are (point, seed) pairs, each
+  with its own freshly-reset model, so a 500-seed sweep replays as one
+  vectorized evaluation.
+* **Topology routing** (:func:`evaluate_grid`
+  ``fabric=TopologyFabric(...)``): the per-hop flight
+  ``serialization + hops(src, dst) * hop_delay`` is a pure function of
+  the pair, so it lowers to per-pair literal terms on the arrival slot
+  — same float expression shape as ``TopologyFabric.submit``, bit for
+  bit.
+* **Bounded timing dependence** (:func:`evaluate_forked`): a schedule
+  compiled at an assumed clock (:func:`.evaluator.compile_at`) records
+  each ``OP_NOW`` reading as an equality constraint; points that
+  cannot satisfy it are *divergent* — they lie in a different
+  branch-split region and get their own recompile, up to a fork
+  budget, with exact per-point lowering for stragglers.
+
 ``tests/test_compiled.py`` pins grid output per-point equal to machine
 runs across fuzz-generated programs and parameter grids.
 """
@@ -53,12 +80,15 @@ runs across fuzz-generated programs and parameter grids.
 from __future__ import annotations
 
 from bisect import insort
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ..engine import SimulationError
+from ..latency import FixedLatency
+from ..net import LatencyFabric, TopologyFabric
 from .compiler import (
     OP_COMPUTE,
+    OP_NOW,
     OP_POLL,
     OP_RECV,
     OP_SEND,
@@ -82,10 +112,18 @@ from .evaluator import (
     _WAIT_BARRIER,
     _WAIT_GAP,
     _WAIT_RECV,
+    TimingDivergence,
+    compile_at,
     evaluate,
 )
 
-__all__ = ["GridResult", "evaluate_grid"]
+__all__ = [
+    "GridResult",
+    "SeedGridResult",
+    "evaluate_forked",
+    "evaluate_grid",
+    "evaluate_seed_grid",
+]
 
 try:  # numpy is optional; the pure-python replay is exact, just slower
     import numpy as _np
@@ -106,6 +144,7 @@ _T_O = 2      # per-point o
 _T_G = 3      # per-point gap g
 _T_SI = 4     # per-point send interval max(g, o)
 _T_GLONG = 5  # k * per-point LogGP long-message Gap
+_T_DRAW = 6   # per-point latency-draw input k (index into the D matrix)
 
 # Constraints: all must hold for a replayed point to be valid.
 _C_LE = 0     # slots[a] <= slots[b]
@@ -200,6 +239,7 @@ class _TapeEvaluator:
         hw_barrier_cost: float,
         compute_jitter,
         max_events: int,
+        timing: tuple = ("params",),
     ):
         P = compiled.P
         self._P = P
@@ -208,6 +248,32 @@ class _TapeEvaluator:
         self._si = float(params.send_interval)
         self._L = float(params.L)
         self._Gl = getattr(params, "G", None)
+        # Flight-time lowering mode.  ``_flight_fixed`` modes take the
+        # machine's fixed fast path (arrive = (now + stream) + flight):
+        #   ("params",)         flight is the per-point L      (_T_L)
+        #   ("const", c)        flight is the model constant c (_T_LIT)
+        #   ("const_axis", c)   flight is per-column input 0   (_T_DRAW)
+        # Fabric modes take the submit path (arrive = submit + stream):
+        #   ("draw", model)     one model.draw per injection   (_T_DRAW)
+        #   ("topo", fabric)    per-(src, dst) route literals  (_T_LIT)
+        mode = timing[0]
+        self._flight_fixed = None
+        self._flight_model = None
+        self._flight_topo = None
+        if mode == "params":
+            self._flight_fixed = (_T_L, 0.0, self._L)
+        elif mode == "const":
+            self._flight_fixed = (_T_LIT, timing[1], timing[1])
+        elif mode == "const_axis":
+            self._flight_fixed = (_T_DRAW, 0, timing[1])
+        elif mode == "draw":
+            self._flight_model = timing[1]
+        else:  # "topo"
+            self._flight_topo = timing[1]
+        self._topo_flight: dict = {}
+        #: (src, dst) of each consumed draw, in stream order; replay
+        #: rebuilds per-point draw values by walking this sequence.
+        self.draw_pairs: list = []
         self._capacity = capacity
         self._enforce = enforce_capacity
         self._hw_barrier = float(hw_barrier_cost)
@@ -240,10 +306,11 @@ class _TapeEvaluator:
         self._cur_seq = -1
         self._events = 0
         #: State cells touched by the current handler execution:
-        #: 0..P-1 per processor, P for the barrier.
+        #: 0..P-1 per processor, P for the barrier, P+1 for the latency
+        #: RNG stream (draw mode: draws must replay in recorded order).
         self._fp: set = set()
         #: Per cell, the seq of the last executed event that touched it.
-        self._last_touch: list = [None] * (P + 1)
+        self._last_touch: list = [None] * (P + 2)
         #: Ordered pairs already constrained (memo for :meth:`_order`).
         self._ordpairs: set = set()
         #: Per scheduled seq: its (post-clamp) time slot and the seq of
@@ -649,6 +716,20 @@ class _TapeEvaluator:
                 proc.pending = None
                 proc.state = _RUNNING
                 continue
+            if kind == OP_NOW:
+                assumed = self._lit(op[1])
+                if now[0] != assumed[0]:
+                    raise TimingDivergence(
+                        f"proc {rank} observed Now()={now[0]} at the "
+                        f"recording reference but the schedule assumed "
+                        f"{op[1]} — this point belongs to a different "
+                        "branch-split region"
+                    )
+                # A replayed point takes this schedule's control flow
+                # only if it reproduces the compiled clock reading.
+                self._con2(_C_EQ, now[1], assumed[1])
+                proc.pending = None
+                continue
             # OP_BARRIER
             proc.pending = None
             proc.state = _WAIT_BARRIER
@@ -781,26 +862,73 @@ class _TapeEvaluator:
             self._stall_queue[proc.queued_on].remove(rank)
             proc.queued_on = None
         words = msg.words
+        fixed = self._flight_fixed
         if words > 1:
             k = float(words - 1)
             gl = self._Gl or 0.0
-            withstream = self._add(now, _T_GLONG, k, k * gl)
-            msg.arrive = self._add(withstream, _T_L, 0.0, self._L)
             # stream > 0 iff the per-point long Gap > 0 (k >= 1): a
             # grid-dependent branch, so it needs its own constraint.
             positive = k * gl > 0
             if ("gl", positive) not in self._cap_seen:
                 self._cap_seen.add(("gl", positive))
                 self.tape.cons.append((_C_GLPOS, positive))
-            if positive:
-                proc.port_free = withstream
+            if fixed is not None:
+                # Fixed fast path: arrive = (now + stream) + flight.
+                withstream = self._add(now, _T_GLONG, k, k * gl)
+                msg.arrive = self._add(
+                    withstream, fixed[0], fixed[1], fixed[2]
+                )
+                if positive:
+                    proc.port_free = withstream
+            else:
+                # Fabric path: arrive = submit(now) + stream, with
+                # port_free = now + stream computed separately — the
+                # machine's exact expressions.
+                msg.arrive = self._add(
+                    self._flight_submit(now, rank, dst),
+                    _T_GLONG,
+                    k,
+                    k * gl,
+                )
+                if positive:
+                    proc.port_free = self._add(now, _T_GLONG, k, k * gl)
+        elif fixed is not None:
+            msg.arrive = self._add(now, fixed[0], fixed[1], fixed[2])
         else:
-            msg.arrive = self._add(now, _T_L, 0.0, self._L)
+            msg.arrive = self._flight_submit(now, rank, dst)
         self._inflight_from[rank] += 1
         self._inflight_to[dst] += 1
         proc.pending_inject = None
         self._sched(msg.arrive, _EV_ARRIVAL, msg)
         return True
+
+    def _flight_submit(self, now, src: int, dst: int):
+        """Tape the fabric path's ``submit`` arrival (pre-streaming)."""
+        model = self._flight_model
+        if model is not None:
+            # LatencyFabric.submit: t + model.draw(src, dst).  Record
+            # the stream *index*; replay supplies per-point values.
+            # No ancestor edge for the draw term: nothing structural
+            # guarantees another point's draw keeps the sum monotone,
+            # so every ordering constraint on it stays explicit.
+            idx = len(self.draw_pairs)
+            val = float(model.draw(src, dst))
+            self.draw_pairs.append((src, dst))
+            self._fp.add(self._P + 1)
+            out = self._slot()
+            self.tape.code.append((_I_ADD, out, now[1], _T_DRAW, idx))
+            return (now[0] + val, out)
+        # TopologyFabric.submit: (t + serialization) + hops * hop_delay
+        # — both terms pure functions of (src, dst), literal on every
+        # grid point.
+        fab = self._flight_topo
+        key = (src, dst)
+        hop = self._topo_flight.get(key)
+        if hop is None:
+            hop = len(fab._route_links(src, dst)) * fab.hop_delay
+            self._topo_flight[key] = hop
+        ser = fab.serialization
+        return self._add(self._add(now, _T_LIT, ser, ser), _T_LIT, hop, hop)
 
     def _park(self, proc, dst) -> None:
         if proc.stall_started is None:
@@ -915,10 +1043,31 @@ class GridResult:
     tapes: int
     #: Points the tapes did not cover, evaluated scalar (exact, slower).
     fallbacks: int
+    #: Points whose clock observations contradict every recorded
+    #: ``OP_NOW`` assumption — their entries are *unfilled*; the caller
+    #: recompiles them at their own parameters (:func:`evaluate_forked`).
+    divergent: list[int] = field(default_factory=list)
 
 
-def _term_values(term: int, k: float, arrs):
-    L, o, g, si, Gl = arrs
+@dataclass(slots=True)
+class SeedGridResult:
+    """Per-(point, seed) results, point-major: column ``p * n_seeds + s``."""
+
+    makespans: list[float]
+    total_stall_times: list[float]
+    n_points: int
+    n_seeds: int
+    #: Number of control-flow regions recorded (reference runs).
+    tapes: int
+    #: Columns the tapes did not cover, evaluated scalar (exact, slower).
+    fallbacks: int
+    #: Columns divergent from every recorded ``OP_NOW`` assumption
+    #: (unfilled — see :class:`GridResult`).
+    divergent: list[int] = field(default_factory=list)
+
+
+def _term_values(term: int, k, arrs):
+    L, o, g, si, Gl, D = arrs
     if term == _T_LIT:
         return k
     if term == _T_L:
@@ -929,7 +1078,9 @@ def _term_values(term: int, k: float, arrs):
         return g
     if term == _T_SI:
         return si
-    return k * Gl  # _T_GLONG
+    if term == _T_GLONG:
+        return k * Gl
+    return D[k]  # _T_DRAW: k is the draw-stream index
 
 
 #: Constraint rows batched per fancy-indexing chunk — bounds the
@@ -1010,8 +1161,8 @@ def _replay_python(tape: _Tape, pts, caps):
     oks = []
     mks = []
     sts = []
-    for (L, o, g, si, Gl), cap in zip(pts, caps):
-        arrs = (L, o, g, si, Gl)
+    for (L, o, g, si, Gl, D), cap in zip(pts, caps):
+        arrs = (L, o, g, si, Gl, D)
         slots: list = [0.0] * tape.n_slots
         for ins in tape.code:
             op = ins[0]
@@ -1057,10 +1208,109 @@ def _replay_python(tape: _Tape, pts, caps):
     return oks, mks, sts
 
 
+def _grid_timing(pts, latency, fabric):
+    """Resolve the grid's shared timing configuration.
+
+    The vectorized analogue of :func:`.evaluator._resolve_timing`:
+    same mutual-exclusion and bound validation (machine-identical
+    ``ValueError`` messages, checked at *every* grid point), returning
+    the recorder ``timing`` spec plus the latency model whose draw
+    stream feeds the replay (``None`` off the draw path).
+    """
+    if fabric is not None:
+        if latency is not None:
+            raise ValueError(
+                "give latency or fabric, not both (a plain latency "
+                "model is run as a LatencyFabric)"
+            )
+        if fabric.lossy:
+            raise ValueError(
+                "the compiled evaluator does not support lossy "
+                "fabrics: ARQ timeout-and-retry is timing-dependent "
+                "control flow — use the event machine"
+            )
+        for p in pts:
+            if fabric.bound > p.L + 1e-12:
+                raise ValueError(
+                    f"fabric unloaded bound {fabric.bound} exceeds "
+                    f"L={p.L}"
+                )
+        if type(fabric) is LatencyFabric:
+            model = fabric.model
+            if type(model) is FixedLatency:
+                return ("const", float(model.L)), None
+            return ("draw", model), model
+        if type(fabric) is TopologyFabric:
+            return ("topo", fabric), None
+        raise ValueError(
+            "the compiled grid replay supports LatencyFabric and the "
+            f"deterministic TopologyFabric, not {type(fabric).__name__}"
+            " — use the event machine"
+        )
+    if latency is not None:
+        for p in pts:
+            if latency.L > p.L + 1e-12:
+                raise ValueError(
+                    f"latency model bound {latency.L} exceeds L={p.L}"
+                )
+        if type(latency) is FixedLatency:
+            return ("const", float(latency.L)), None
+        return ("draw", latency), latency
+    return ("params",), None
+
+
+def _validate_grid(compiled, pts, hw_barrier_cost, max_tapes, capacity):
+    """Shared grid validation; returns per-point effective capacities."""
+    if hw_barrier_cost < 0:
+        raise ValueError(
+            f"hw_barrier_cost must be >= 0, got {hw_barrier_cost}"
+        )
+    if max_tapes < 0:
+        raise ValueError(f"max_tapes must be >= 0, got {max_tapes}")
+    for p in pts:
+        if p.P != compiled.P:
+            raise ValueError(
+                f"grid point P={p.P} does not match compiled "
+                f"P={compiled.P}; group grid points by P"
+            )
+        if compiled.max_words > 1 and getattr(p, "G", None) is None:
+            raise SimulationError(
+                f"multi-word send (words={compiled.max_words}) requires "
+                "LogGP parameters with a per-word gap G"
+            )
+    caps = [
+        (p.capacity if capacity is None else capacity) for p in pts
+    ]
+    for c in caps:
+        if c < 1:
+            raise ValueError(f"capacity must be >= 1, got {c}")
+    return caps
+
+
+def _resolve_use_numpy(use_numpy):
+    if use_numpy is None:
+        return _np is not None
+    if use_numpy and _np is None:
+        raise RuntimeError("numpy requested but not importable")
+    return use_numpy
+
+
+def _raw_point(p):
+    return (
+        float(p.L),
+        float(p.o),
+        float(p.g),
+        float(p.send_interval),
+        float(getattr(p, "G", None) or 0.0),
+    )
+
+
 def evaluate_grid(
     compiled: CompiledProgram,
     grid: Sequence,
     *,
+    latency=None,
+    fabric=None,
     enforce_capacity: bool = True,
     capacity: int | None = None,
     hw_barrier_cost: float = 0.0,
@@ -1083,56 +1333,42 @@ def evaluate_grid(
             (vectorization is over ``(L, o, g)`` — fan out over ``P``
             by compiling per processor count, as ``sweep.grid_map``
             does).
+        latency: a :class:`~repro.sim.latency.LatencyModel` shared by
+            every point, exactly as the machine takes it: reset before
+            each point's run, drawn once per injection in event order.
+            Seeded models replay vectorized through the tape's draw
+            inputs.  Mutually exclusive with ``fabric``.
+        fabric: a :class:`~repro.sim.net.LatencyFabric` or
+            deterministic :class:`~repro.sim.net.TopologyFabric`;
+            per-hop routed flight lowers to per-pair literals.
         use_numpy: force (True) or forbid (False) the numpy replay;
             ``None`` uses numpy when importable.
+
+    A ``uses_now`` schedule (compiled by :func:`.evaluator.compile_at`)
+    evaluates only at points reproducing its assumed clock readings;
+    the rest are returned *unfilled* in ``GridResult.divergent`` for
+    the caller to recompile (:func:`evaluate_forked` automates this).
     """
     pts = list(grid)
     if not pts:
         return GridResult([], [], 0, 0)
-    if hw_barrier_cost < 0:
-        raise ValueError(
-            f"hw_barrier_cost must be >= 0, got {hw_barrier_cost}"
-        )
-    if max_tapes < 0:
-        raise ValueError(f"max_tapes must be >= 0, got {max_tapes}")
-    for p in pts:
-        if p.P != compiled.P:
-            raise ValueError(
-                f"grid point P={p.P} does not match compiled "
-                f"P={compiled.P}; group grid points by P"
-            )
-        if compiled.max_words > 1 and getattr(p, "G", None) is None:
-            raise SimulationError(
-                f"multi-word send (words={compiled.max_words}) requires "
-                "LogGP parameters with a per-word gap G"
-            )
-    if use_numpy is None:
-        use_numpy = _np is not None
-    elif use_numpy and _np is None:
-        raise RuntimeError("numpy requested but not importable")
+    caps = _validate_grid(compiled, pts, hw_barrier_cost, max_tapes, capacity)
+    timing, model = _grid_timing(pts, latency, fabric)
+    if fabric is not None:
+        fabric.reset()
+        fabric.attach(None, compiled.P, False)
+    use_numpy = _resolve_use_numpy(use_numpy)
     n = len(pts)
-    caps = [
-        (p.capacity if capacity is None else capacity) for p in pts
-    ]
-    for c in caps:
-        if c < 1:
-            raise ValueError(f"capacity must be >= 1, got {c}")
-    raw = [
-        (
-            float(p.L),
-            float(p.o),
-            float(p.g),
-            float(p.send_interval),
-            float(getattr(p, "G", None) or 0.0),
-        )
-        for p in pts
-    ]
+    raw = [_raw_point(p) for p in pts]
     makespans = [0.0] * n
     stalls = [0.0] * n
     remaining = list(range(n))
     tapes = 0
+    divergent: list[int] = []
     while remaining and tapes < max_tapes:
         ref = remaining[0]
+        if model is not None:
+            model.reset()
         rec = _TapeEvaluator(
             compiled,
             pts[ref],
@@ -1141,8 +1377,14 @@ def evaluate_grid(
             hw_barrier_cost=hw_barrier_cost,
             compute_jitter=compute_jitter,
             max_events=max_events,
+            timing=timing,
         )
-        out = rec.run()
+        try:
+            out = rec.run()
+        except TimingDivergence:
+            divergent.append(ref)
+            remaining = remaining[1:]
+            continue
         tapes += 1
         makespans[ref] = out["makespan"]
         stalls[ref] = out["total_stall_time"]
@@ -1150,12 +1392,20 @@ def evaluate_grid(
         if not rest:
             remaining = []
             break
+        if model is not None and rec.draw_pairs:
+            # One shared model: its params are fixed at construction
+            # and it is reset per point, so every point sees the same
+            # draw sequence — per-tape constants on the draw inputs.
+            model.reset()
+            draws = [float(v) for v in model.draw_batch(rec.draw_pairs)]
+        else:
+            draws = None
         if use_numpy:
             np = _np
             arrs = tuple(
                 np.asarray([raw[i][k] for i in rest], dtype=float)
                 for k in range(5)
-            )
+            ) + (draws,)
             cap_arr = np.asarray([caps[i] for i in rest], dtype=np.int64)
             ok, mk, st = _replay_numpy(rec.tape, arrs, cap_arr)
             next_remaining = []
@@ -1169,7 +1419,7 @@ def evaluate_grid(
         else:
             ok, mk, st = _replay_python(
                 rec.tape,
-                [raw[i] for i in rest],
+                [(*raw[i], draws) for i in rest],
                 [caps[i] for i in rest],
             )
             next_remaining = []
@@ -1180,17 +1430,340 @@ def evaluate_grid(
                 else:
                     next_remaining.append(i)
             remaining = next_remaining
-    fallbacks = len(remaining)
+    fallbacks = 0
     for i in remaining:
-        res = evaluate(
-            compiled,
-            pts[i],
+        try:
+            res = evaluate(
+                compiled,
+                pts[i],
+                latency=latency,
+                fabric=fabric,
+                enforce_capacity=enforce_capacity,
+                capacity=capacity,
+                hw_barrier_cost=hw_barrier_cost,
+                compute_jitter=compute_jitter,
+                max_events=max_events,
+            )
+        except TimingDivergence:
+            divergent.append(i)
+            continue
+        fallbacks += 1
+        makespans[i] = res.makespan
+        stalls[i] = res.total_stall_time
+    divergent.sort()
+    return GridResult(makespans, stalls, tapes, fallbacks, divergent)
+
+
+def evaluate_seed_grid(
+    compiled: CompiledProgram,
+    grid: Sequence,
+    seeds: Sequence[int],
+    latency_factory,
+    *,
+    enforce_capacity: bool = True,
+    capacity: int | None = None,
+    hw_barrier_cost: float = 0.0,
+    compute_jitter: Callable[[int, float], float] | None = None,
+    max_events: int = 50_000_000,
+    max_tapes: int = 32,
+    use_numpy: bool | None = None,
+) -> SeedGridResult:
+    """Evaluate a compiled program over a (point x seed) product grid.
+
+    Column ``p * len(seeds) + s`` is exactly
+    ``LogPMachine(grid[p], latency=latency_factory(grid[p], seeds[s]))``
+    run on the compiled program's factory — bit identical, enforced by
+    the seed-axis differential tests.  One recorded tape covers every
+    column whose control flow matches; the per-seed latency draws enter
+    the replay as a draws matrix (one row per consumed draw, one column
+    per (point, seed) pair), so a 500-seed sweep is a single vectorized
+    evaluation rather than 500 machine runs.
+
+    Args:
+        compiled: output of :func:`compile_programs`.
+        grid: LogPParams points, all with ``P == compiled.P``.
+        seeds: seed values, passed to ``latency_factory`` verbatim.
+        latency_factory: ``(params, seed) ->``
+            :class:`~repro.sim.latency.LatencyModel`; called once per
+            column.  Models are reset before every use, so a column
+            replays the machine's exact draw sequence.
+
+    ``FixedLatency`` columns take the machine's fixed fast path (a
+    different float ordering than drawn flights), so they share tapes
+    only with each other; mixed factories are handled by partitioning.
+    """
+    pts = list(grid)
+    seed_list = list(seeds)
+    npts = len(pts)
+    nseeds = len(seed_list)
+    ncols = npts * nseeds
+    if ncols == 0:
+        return SeedGridResult([], [], npts, nseeds, 0, 0)
+    caps = _validate_grid(compiled, pts, hw_barrier_cost, max_tapes, capacity)
+    use_numpy = _resolve_use_numpy(use_numpy)
+    raw = [_raw_point(p) for p in pts]
+    models = []
+    for p in pts:
+        for s in seed_list:
+            m = latency_factory(p, s)
+            if m.L > p.L + 1e-12:
+                raise ValueError(
+                    f"latency model bound {m.L} exceeds L={p.L}"
+                )
+            models.append(m)
+    makespans = [0.0] * ncols
+    stalls = [0.0] * ncols
+    tapes = 0
+    fallbacks = 0
+    divergent: list[int] = []
+    drawn_cols = [
+        c for c in range(ncols) if type(models[c]) is not FixedLatency
+    ]
+    fixed_cols = [
+        c for c in range(ncols) if type(models[c]) is FixedLatency
+    ]
+    n_msgs = compiled.n_messages
+    draw_cache: dict[int, list[float]] = {}
+
+    def _draw_col(c: int, pairs) -> list[float]:
+        """Column ``c``'s draw values along the tape's pair sequence.
+
+        A pair-independent model's stream is a pure function of
+        position, and every tape consumes exactly one draw per message,
+        so the same values serve every tape — computed once per column
+        instead of once per (tape, column).
+        """
+        mc = models[c]
+        if not mc.pair_dependent and len(pairs) == n_msgs:
+            cached = draw_cache.get(c)
+            if cached is None:
+                mc.reset()
+                cached = [float(v) for v in mc.draw_batch(pairs)]
+                draw_cache[c] = cached
+            return cached
+        mc.reset()
+        return [float(v) for v in mc.draw_batch(pairs)]
+
+    for group, is_fixed in ((drawn_cols, False), (fixed_cols, True)):
+        remaining = group
+        while remaining and tapes < max_tapes:
+            ref = remaining[0]
+            m = models[ref]
+            p = pts[ref // nseeds]
+            if is_fixed:
+                timing = ("const_axis", float(m.L))
+            else:
+                m.reset()
+                timing = ("draw", m)
+            rec = _TapeEvaluator(
+                compiled,
+                p,
+                enforce_capacity=enforce_capacity,
+                capacity=caps[ref // nseeds],
+                hw_barrier_cost=hw_barrier_cost,
+                compute_jitter=compute_jitter,
+                max_events=max_events,
+                timing=timing,
+            )
+            try:
+                out = rec.run()
+            except TimingDivergence:
+                divergent.append(ref)
+                remaining = remaining[1:]
+                continue
+            tapes += 1
+            makespans[ref] = out["makespan"]
+            stalls[ref] = out["total_stall_time"]
+            rest = remaining[1:]
+            if not rest:
+                remaining = []
+                break
+            pairs = rec.draw_pairs
+            n_draws = 1 if is_fixed else len(pairs)
+            rest_caps = [caps[c // nseeds] for c in rest]
+            if use_numpy:
+                np = _np
+                if is_fixed:
+                    D = np.asarray(
+                        [[float(models[c].L) for c in rest]], dtype=float
+                    )
+                else:
+                    D = np.asarray(
+                        [_draw_col(c, pairs) for c in rest], dtype=float
+                    ).reshape(len(rest), n_draws).T
+                arrs = tuple(
+                    np.asarray(
+                        [raw[c // nseeds][k] for c in rest], dtype=float
+                    )
+                    for k in range(5)
+                ) + (D,)
+                cap_arr = np.asarray(rest_caps, dtype=np.int64)
+                ok, mk, st = _replay_numpy(rec.tape, arrs, cap_arr)
+                next_remaining = []
+                for j, c in enumerate(rest):
+                    if ok[j]:
+                        makespans[c] = float(mk[j])
+                        stalls[c] = float(st[j])
+                    else:
+                        next_remaining.append(c)
+                remaining = next_remaining
+            else:
+                rows = []
+                for c in rest:
+                    if is_fixed:
+                        dcol = [float(models[c].L)]
+                    else:
+                        dcol = _draw_col(c, pairs)
+                    rows.append((*raw[c // nseeds], dcol))
+                ok, mk, st = _replay_python(rec.tape, rows, rest_caps)
+                next_remaining = []
+                for j, c in enumerate(rest):
+                    if ok[j]:
+                        makespans[c] = mk[j]
+                        stalls[c] = st[j]
+                    else:
+                        next_remaining.append(c)
+                remaining = next_remaining
+        for c in remaining:
+            try:
+                res = evaluate(
+                    compiled,
+                    pts[c // nseeds],
+                    latency=models[c],
+                    enforce_capacity=enforce_capacity,
+                    capacity=capacity,
+                    hw_barrier_cost=hw_barrier_cost,
+                    compute_jitter=compute_jitter,
+                    max_events=max_events,
+                )
+            except TimingDivergence:
+                divergent.append(c)
+                continue
+            fallbacks += 1
+            makespans[c] = res.makespan
+            stalls[c] = res.total_stall_time
+    divergent.sort()
+    return SeedGridResult(
+        makespans, stalls, npts, nseeds, tapes, fallbacks, divergent
+    )
+
+
+def evaluate_forked(
+    programs,
+    P: int,
+    grid: Sequence,
+    *,
+    latency=None,
+    fabric=None,
+    enforce_capacity: bool = True,
+    capacity: int | None = None,
+    hw_barrier_cost: float = 0.0,
+    compute_jitter: Callable[[int, float], float] | None = None,
+    max_events: int = 50_000_000,
+    max_tapes: int = 32,
+    use_numpy: bool | None = None,
+    max_forks: int | None = None,
+) -> GridResult:
+    """Branch-splitting grid evaluation of a timing-dependent program.
+
+    A program that observes ``Now`` has no parameter-free schedule, but
+    its control flow is still piecewise-constant over the grid: lower
+    it at the first uncovered point (:func:`.evaluator.compile_at`),
+    evaluate that schedule across the remaining points — the recorded
+    ``OP_NOW`` equality constraints admit exactly the points sharing
+    its branch decisions — and re-fork on the divergent rest.  Each
+    fork resolves at least its own reference point, so the loop
+    terminates; after ``max_forks`` regions (default: the ``max_tapes``
+    budget) stragglers get an exact per-point recompile.  Results are
+    bit-identical to the machine everywhere, and a program whose clock
+    observations never reach a fixed point refuses loudly with
+    :class:`~repro.sim.compiled.CompileError` (from ``compile_at``).
+
+    ``programs`` must be a factory ``(rank, P) -> generator`` — each
+    fork drives fresh generators.
+    """
+    pts = list(grid)
+    n = len(pts)
+    if n == 0:
+        return GridResult([], [], 0, 0)
+    if max_forks is None:
+        max_forks = max_tapes
+    makespans = [0.0] * n
+    stalls = [0.0] * n
+    remaining = list(range(n))
+    tapes = 0
+    fallbacks = 0
+    forks = 0
+    while remaining and forks < max_forks:
+        ref = remaining[0]
+        compiled = compile_at(
+            programs,
+            P,
+            pts[ref],
+            latency=latency,
+            fabric=fabric,
             enforce_capacity=enforce_capacity,
             capacity=capacity,
             hw_barrier_cost=hw_barrier_cost,
             compute_jitter=compute_jitter,
             max_events=max_events,
         )
+        forks += 1
+        gr = evaluate_grid(
+            compiled,
+            [pts[i] for i in remaining],
+            latency=latency,
+            fabric=fabric,
+            enforce_capacity=enforce_capacity,
+            capacity=capacity,
+            hw_barrier_cost=hw_barrier_cost,
+            compute_jitter=compute_jitter,
+            max_events=max_events,
+            max_tapes=max_tapes,
+            use_numpy=use_numpy,
+        )
+        tapes += gr.tapes
+        fallbacks += gr.fallbacks
+        div = set(gr.divergent)
+        nxt = []
+        for j, i in enumerate(remaining):
+            if j in div:
+                nxt.append(i)
+            else:
+                makespans[i] = gr.makespans[j]
+                stalls[i] = gr.total_stall_times[j]
+        if len(nxt) == len(remaining):  # pragma: no cover - compile_at
+            # converged at ref, so ref always evaluates clean
+            raise SimulationError(
+                "branch-splitting made no progress over "
+                f"{len(remaining)} points"
+            )
+        remaining = nxt
+    for i in remaining:
+        compiled = compile_at(
+            programs,
+            P,
+            pts[i],
+            latency=latency,
+            fabric=fabric,
+            enforce_capacity=enforce_capacity,
+            capacity=capacity,
+            hw_barrier_cost=hw_barrier_cost,
+            compute_jitter=compute_jitter,
+            max_events=max_events,
+        )
+        res = evaluate(
+            compiled,
+            pts[i],
+            latency=latency,
+            fabric=fabric,
+            enforce_capacity=enforce_capacity,
+            capacity=capacity,
+            hw_barrier_cost=hw_barrier_cost,
+            compute_jitter=compute_jitter,
+            max_events=max_events,
+        )
+        fallbacks += 1
         makespans[i] = res.makespan
         stalls[i] = res.total_stall_time
     return GridResult(makespans, stalls, tapes, fallbacks)

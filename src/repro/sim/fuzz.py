@@ -22,7 +22,8 @@ cross-checks every run three ways:
    no-regression witness), and a ring
    :class:`~repro.sim.net.ContentionFabric` calibrated to ``L`` must
    deliver the same messages and values under hop-consistent,
-   semantically valid routing; finally the schedule is lowered by
+   semantically valid routing; finally — under *every* latency model,
+   fixed and seeded-draw alike — the schedule is lowered by
    :mod:`repro.sim.compiled` and the engine-free compiled evaluator
    must reproduce the machine *bit-identically* — makespan, event
    counts, per-rank accounting, return values, and the full
@@ -594,10 +595,23 @@ def run_case(
     if fixed:
         out.failures.extend(_check_fabrics(case, res, where))
 
-    # 5. Compiled-evaluator differential (deterministic latency only):
-    # the engine-free fast path must be *bit-identical* to the machine.
-    if fixed and compiled_check:
-        out.failures.extend(_check_compiled(case, res, where))
+    # 5. Compiled-evaluator differential: the engine-free fast path must
+    # be *bit-identical* to the machine — under the fixed model and the
+    # seeded draw models alike (the evaluator consumes the same reset
+    # draw stream at the same injections).
+    if compiled_check:
+        out.failures.extend(
+            _check_compiled(
+                case,
+                res,
+                where,
+                latency=(
+                    None
+                    if fixed
+                    else make_latency(case.params.L, case.seed)
+                ),
+            )
+        )
 
     # 6. Chaos: the same case under a seeded processor fault plan (and,
     # on a third of the seeds, a lossy fabric) must terminate, deliver
@@ -709,14 +723,20 @@ def _check_fabrics(
 
 
 def _check_compiled(
-    case: FuzzCase, res: MachineResult, where: str
+    case: FuzzCase,
+    res: MachineResult,
+    where: str,
+    *,
+    latency: LatencyModel | None = None,
 ) -> list[str]:
     """Diff the compiled evaluator against the traced machine run.
 
     Everything is compared with ``==`` — bit-identity, no tolerance:
     makespan, message/event counts, per-rank accounting, program return
     values, the raw stall/wakeup event feed, and the condensed
-    ``stall_report()`` the feed folds into.
+    ``stall_report()`` the feed folds into.  ``latency`` is a fresh
+    same-seed model when the machine run drew flight times; the
+    evaluator resets it and must consume the identical stream.
     """
     from .compiled import CompileError, compile_programs, evaluate
 
@@ -732,6 +752,7 @@ def _check_compiled(
         comp = evaluate(
             prog,
             case.params,
+            latency=latency,
             collect_stalls=True,
             max_events=2_000_000,
         )

@@ -79,6 +79,8 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 __all__ = [
     "ENV_WORKERS",
+    "GridGroupReport",
+    "GridMapReport",
     "SweepItemError",
     "SweepPlan",
     "WorkerPool",
@@ -375,6 +377,49 @@ def _require_filled(out: list) -> list:
     return out
 
 
+@dataclass(frozen=True, slots=True)
+class GridGroupReport:
+    """How one ``P`` group of a :func:`grid_map` call was evaluated.
+
+    ``path`` is ``"compiled"`` (one straight-line tape set),
+    ``"compiled-forked"`` (branch-split regions for a ``Now``-observing
+    program), or ``"machine"`` (the group degraded to the event
+    machine).  ``reason`` mirrors :class:`SweepPlan.reason`: for a
+    machine degrade it carries the ``CompileError`` text verbatim, so
+    callers (and the server's stats) can report *why* a sweep ran on
+    the slow path, not merely that it did.
+    """
+
+    P: int
+    n_points: int
+    path: str
+    reason: str = ""
+    tapes: int = 0
+    fallbacks: int = 0
+
+
+@dataclass(slots=True)
+class GridMapReport:
+    """Filled in by ``grid_map(..., report=...)``: the dispatch story.
+
+    ``backend`` is the resolved backend; ``groups`` holds one
+    :class:`GridGroupReport` per distinct ``P``, in first-appearance
+    order.
+    """
+
+    backend: str = ""
+    groups: list = None  # list[GridGroupReport]; None until filled
+
+    def __post_init__(self):
+        if self.groups is None:
+            self.groups = []
+
+    @property
+    def degraded(self) -> list:
+        """The groups that fell back to the event machine."""
+        return [g for g in self.groups if g.path == "machine"]
+
+
 def grid_map(
     programs,
     grid: Sequence,
@@ -389,7 +434,9 @@ def grid_map(
     fault_plan=None,
     heartbeat=None,
     max_events: int = 50_000_000,
+    max_tapes: int = 32,
     use_numpy: bool | None = None,
+    report: GridMapReport | None = None,
 ) -> list[tuple[float, float]]:
     """Evaluate one program family at every parameter point of ``grid``.
 
@@ -408,23 +455,31 @@ def grid_map(
             by ``P`` and each group compiles once.
         backend: ``"machine"``, ``"compiled"``, or ``"auto"`` (see
             :func:`repro.sim.compiled.resolve_backend`): ``auto`` uses
-            the compiled fast path, raises ``ValueError`` on a
-            nondeterministic latency model or non-Latency fabric, and
-            falls back to the machine only for programs that cannot be
-            *lowered* (timing-dependent control flow).
-        latency / fabric: timing configuration, shared across points
-            (the machine path constructs one machine per point around
-            them; the compiled path refuses anything nondeterministic).
+            the compiled fast path, raises ``ValueError`` on an
+            ineligible timing configuration (contended or lossy
+            fabrics, faults), and falls back to the machine only for
+            programs that cannot be *lowered* at all.
+        latency / fabric: timing configuration, shared across points.
+            The compiled path lowers any seeded
+            :class:`~repro.sim.latency.LatencyModel` (bare or in a
+            ``LatencyFabric``) and the deterministic per-hop
+            :class:`~repro.sim.net.TopologyFabric`; everything that
+            resolves delivery from runtime load stays machine-only.
         fault_plan / heartbeat: fault injection and failure detection
             (see :mod:`repro.sim.faults`), shared across points.  Both
             are machine-only: ``backend="auto"`` or ``"compiled"``
             refuses them loudly, exactly like a lossy fabric.
-        use_numpy: forwarded to
+        max_tapes / use_numpy: forwarded to
             :func:`repro.sim.compiled.evaluate_grid`.
+        report: a :class:`GridMapReport` to fill with the per-``P``
+            dispatch decisions (which path ran, and the ``CompileError``
+            reason when a group degraded to the machine).
     """
     from .compiled import (
         CompileError,
+        TimingDependentError,
         compile_programs,
+        evaluate_forked,
         evaluate_grid,
         resolve_backend,
     )
@@ -437,6 +492,9 @@ def grid_map(
         fault_plan=fault_plan,
         heartbeat=heartbeat,
     )
+    if report is not None:
+        report.backend = resolved
+        report.groups = []
     out: list[tuple[float, float] | None] = [None] * len(pts)
 
     def _machine(indices: list[int]) -> None:
@@ -458,35 +516,78 @@ def grid_map(
             ).run(programs)
             out[i] = (res.makespan, res.total_stall_time)
 
+    def _note(**kw) -> None:
+        if report is not None:
+            report.groups.append(GridGroupReport(**kw))
+
     if resolved == "machine":
         _machine(list(range(len(pts))))
+        if report is not None and pts:
+            _note(
+                P=pts[0].P, n_points=len(pts), path="machine",
+                reason="backend='machine' requested",
+            )
         return _require_filled(out)
 
     by_p: dict[int, list[int]] = {}
     for i, p in enumerate(pts):
         by_p.setdefault(p.P, []).append(i)
     for P, indices in by_p.items():
-        try:
-            prog = compile_programs(programs, P)
-        except CompileError:
-            if backend == "compiled":
-                raise
-            # auto: the *program* is timing-dependent at this P — a
-            # property of the schedule, not a configuration error.
-            _machine(indices)
-            continue
-        gr = evaluate_grid(
-            prog,
-            [pts[i] for i in indices],
+        group_pts = [pts[i] for i in indices]
+        common = dict(
+            latency=latency,
+            fabric=fabric,
             enforce_capacity=enforce_capacity,
             capacity=capacity,
             hw_barrier_cost=hw_barrier_cost,
             compute_jitter=compute_jitter,
             max_events=max_events,
+            max_tapes=max_tapes,
             use_numpy=use_numpy,
         )
+        try:
+            prog = compile_programs(programs, P)
+        except TimingDependentError:
+            # The program observes Now: lower it per parameter point at
+            # an assumed clock and branch-split across the grid.
+            try:
+                gr = evaluate_forked(programs, P, group_pts, **common)
+            except CompileError as exc:
+                if backend == "compiled":
+                    raise
+                _machine(indices)
+                _note(
+                    P=P, n_points=len(indices), path="machine",
+                    reason=str(exc),
+                )
+                continue
+            _note(
+                P=P, n_points=len(indices), path="compiled-forked",
+                tapes=gr.tapes, fallbacks=gr.fallbacks,
+            )
+        except CompileError as exc:
+            if backend == "compiled":
+                raise
+            # auto: the *program* cannot be lowered at this P — a
+            # property of the schedule, not a configuration error.
+            _machine(indices)
+            _note(
+                P=P, n_points=len(indices), path="machine",
+                reason=str(exc),
+            )
+            continue
+        else:
+            gr = evaluate_grid(prog, group_pts, **common)
+            _note(
+                P=P, n_points=len(indices), path="compiled",
+                tapes=gr.tapes, fallbacks=gr.fallbacks,
+            )
         # zip, not indexing: a backend returning too few results leaves
         # holes for _require_filled to name instead of crashing here.
-        for i, mk, st in zip(indices, gr.makespans, gr.total_stall_times):
-            out[i] = (mk, st)
+        divergent = set(gr.divergent)
+        for j, (i, mk, st) in enumerate(
+            zip(indices, gr.makespans, gr.total_stall_times)
+        ):
+            if j not in divergent:
+                out[i] = (mk, st)
     return _require_filled(out)

@@ -10,9 +10,14 @@ Also covered: the machine-kwarg variants the evaluator mirrors
 (capacity override, ``enforce_capacity=False``, ``hw_barrier_cost``,
 ``merge_overhead_into_gap`` parameter sets, LogGP long messages),
 capacity-stall accounting cross-checked through ``stall_report()``,
-numpy-vs-pure-python replay parity, and the backend selection rules:
-``compiled``/``auto`` refuse nondeterministic timing loudly instead of
-silently falling back to the machine.
+numpy-vs-pure-python replay parity, the seed-axis differential (seeded
+latency draws replayed as per-column tape inputs, pinned bit-identical
+over 100 seeds x 3 fuzz families), TopologyFabric per-hop lowering on
+the Section 5 topologies, branch-splitting for bounded ``Now``
+programs, and the backend selection rules: ``compiled``/``auto``
+refuse load-dependent timing (contention, loss, faults) loudly instead
+of silently falling back, while seeded models and deterministic routed
+fabrics compile.
 """
 
 from __future__ import annotations
@@ -34,15 +39,17 @@ from repro.sim import (
 from repro.sim.compiled import (
     BACKENDS,
     CompileError,
+    TimingDependentError,
     backend_ineligibility,
     compile_programs,
     evaluate,
     evaluate_grid,
+    evaluate_seed_grid,
     resolve_backend,
 )
-from repro.sim.fuzz import make_case
+from repro.sim.fuzz import LATENCIES, make_case
 from repro.sim.net import LatencyFabric, TopologyFabric
-from repro.sim.sweep import grid_map
+from repro.sim.sweep import GridMapReport, grid_map
 
 BASE = LogPParams(L=6, o=2, g=4, P=8)
 
@@ -208,7 +215,10 @@ def test_stall_report_cross_check():
 
 
 def test_compile_error_on_timing_dependence():
-    with pytest.raises(CompileError, match="Now"):
+    """Bare lowering (no clock oracle) still refuses ``Now`` — with the
+    dedicated subclass grid_map routes to the branch-splitting path."""
+    assert issubclass(TimingDependentError, CompileError)
+    with pytest.raises(TimingDependentError, match="Now"):
         compile_programs(_now_prog, 2)
 
 
@@ -280,18 +290,32 @@ def test_backend_machine_always_allowed():
 
 
 @pytest.mark.parametrize("backend", ["compiled", "auto"])
-def test_backend_refuses_nondeterministic_latency(backend):
-    lat = UniformLatency(6.0)
-    assert backend_ineligibility(lat, None) is not None
-    with pytest.raises(ValueError, match="nondeterministic|UniformLatency"):
-        resolve_backend(backend, latency=lat, fabric=None)
+def test_backend_accepts_seeded_latency(backend):
+    """Seeded draws replay exactly under the reset() contract, so any
+    LatencyModel is compiled-eligible since the seed-axis lowering."""
+    lat = UniformLatency(6.0, lo_frac=0.25, seed=3)
+    assert backend_ineligibility(lat, None) is None
+    assert resolve_backend(backend, latency=lat, fabric=None) == "compiled"
+
+
+def test_backend_accepts_deterministic_topology_fabric():
+    fabric = TopologyFabric.ring(8, L=6)
+    assert backend_ineligibility(None, fabric) is None
+    assert (
+        resolve_backend("auto", latency=None, fabric=fabric) == "compiled"
+    )
 
 
 @pytest.mark.parametrize("backend", ["compiled", "auto"])
-def test_backend_refuses_topology_fabric(backend):
-    fabric = TopologyFabric.ring(8, L=6)
-    assert backend_ineligibility(None, fabric) is not None
-    with pytest.raises(ValueError):
+def test_backend_refuses_load_dependent_fabric(backend):
+    """Contention queues resolve delivery from runtime load — still
+    machine-only, and the refusal reason names the clause."""
+    from repro.sim.net import ContentionFabric
+
+    fabric = ContentionFabric.ring(8, L=8)
+    reason = backend_ineligibility(None, fabric)
+    assert reason is not None and "runtime load" in reason
+    with pytest.raises(ValueError, match="runtime load"):
         resolve_backend(backend, latency=None, fabric=fabric)
 
 
@@ -364,13 +388,14 @@ def test_grid_map_machine_runs_fault_plan():
 
 def test_grid_map_refuses_loudly_not_silently():
     """The refusal surfaces from grid_map itself, before any work."""
-    with pytest.raises(ValueError):
-        grid_map(_bcast, [BASE], backend="auto", latency=UniformLatency(6.0))
-    with pytest.raises(ValueError):
-        grid_map(
-            _bcast, [BASE], backend="compiled",
-            fabric=TopologyFabric.ring(8, L=6),
-        )
+    from repro.sim.net import ContentionFabric
+
+    for backend in ("auto", "compiled"):
+        with pytest.raises(ValueError, match="runtime load"):
+            grid_map(
+                _bcast, [BASE], backend=backend,
+                fabric=ContentionFabric.ring(8, L=8),
+            )
 
 
 def test_grid_map_parity_mixed_p():
@@ -386,12 +411,231 @@ def test_grid_map_parity_mixed_p():
     assert compiled == machine
 
 
-def test_grid_map_auto_falls_back_only_on_compile_error():
-    compiled = grid_map(_now_prog, [LogPParams(L=4, o=1, g=2, P=2)],
-                        backend="auto")
-    machine = grid_map(_now_prog, [LogPParams(L=4, o=1, g=2, P=2)],
-                       backend="machine")
+def test_grid_map_now_program_branch_splits_on_both_backends():
+    """Bounded timing dependence no longer forces the machine: both
+    ``auto`` and ``compiled`` lower the Now-observing program per
+    branch region and stay bit-identical to the machine."""
+    grid = [
+        LogPParams(L=4, o=1, g=2, P=2),
+        LogPParams(L=9, o=1, g=2, P=2),
+    ]
+    machine = grid_map(_now_prog, grid, backend="machine")
+    assert grid_map(_now_prog, grid, backend="auto") == machine
+    assert grid_map(_now_prog, grid, backend="compiled") == machine
+
+
+# ----------------------------------------------------------------------
+# Seed-axis replay
+# ----------------------------------------------------------------------
+
+N_SEEDS = 100
+
+
+def _distinct_family_cases(n: int = 3) -> list:
+    """The first fuzz case of each of ``n`` distinct program families."""
+    cases, seen = [], set()
+    for seed in range(200):
+        case = make_case(seed)
+        if case.family not in seen:
+            seen.add(case.family)
+            cases.append(case)
+            if len(cases) == n:
+                return cases
+    raise AssertionError(f"fewer than {n} families in 200 fuzz seeds")
+
+
+@pytest.mark.parametrize("lat_name", ["uniform", "jittered"])
+def test_seed_grid_differential_fuzz_families(lat_name):
+    """The seed-axis pin: every (point, seed) column of
+    evaluate_seed_grid equals one machine run with a fresh same-seed
+    latency model — 100 seeds x 3 fuzz families, exact equality."""
+    make = LATENCIES[lat_name]
+    seeds = range(N_SEEDS)
+    for case in _distinct_family_cases():
+        prog = compile_programs(case.factory, case.params.P)
+        res = evaluate_seed_grid(
+            prog, [case.params], seeds, lambda p, s: make(p.L, s)
+        )
+        assert (res.n_points, res.n_seeds) == (1, N_SEEDS)
+        assert not res.divergent
+        for s in seeds:
+            mres = LogPMachine(
+                case.params, latency=make(case.params.L, s), trace=False
+            ).run(case.factory)
+            assert (res.makespans[s], res.total_stall_times[s]) == (
+                mres.makespan,
+                mres.total_stall_time,
+            ), f"family {case.family} seed {s} diverged under {lat_name}"
+
+
+def test_seed_grid_numpy_python_replay_parity():
+    pytest.importorskip("numpy")
+    make = LATENCIES["jittered"]
+    for case in _distinct_family_cases():
+        prog = compile_programs(case.factory, case.params.P)
+        a, b = (
+            evaluate_seed_grid(
+                prog,
+                [case.params],
+                range(N_SEEDS),
+                lambda p, s: make(p.L, s),
+                use_numpy=use,
+            )
+            for use in (True, False)
+        )
+        assert a.makespans == b.makespans, case.family
+        assert a.total_stall_times == b.total_stall_times, case.family
+
+
+def test_seed_grid_point_major_layout():
+    """Column p * n_seeds + s: two points x three seeds line up with
+    per-point machine runs in point-major order."""
+    make = LATENCIES["uniform"]
+    grid = [
+        LogPParams(L=6.0, o=2.0, g=4.0, P=4),
+        LogPParams(L=9.0, o=1.0, g=3.0, P=4),
+    ]
+    seeds = [3, 11, 42]
+    res = evaluate_seed_grid(
+        compile_programs(_bcast, 4), grid, seeds, lambda p, s: make(p.L, s)
+    )
+    want = []
+    for p in grid:
+        for s in seeds:
+            mres = LogPMachine(
+                p, latency=make(p.L, s), trace=False
+            ).run(_bcast)
+            want.append((mres.makespan, mres.total_stall_time))
+    assert list(zip(res.makespans, res.total_stall_times)) == want
+
+
+def test_grid_map_seeded_latency_shared_model_parity():
+    """grid_map's shared seeded model equals a fresh same-seed model per
+    point: both backends reset the model before every point."""
+    grid = [LogPParams(L=4.0, o=o, g=2.0, P=4) for o in (0.5, 1.0, 2.0)]
+    compiled = grid_map(
+        _bcast,
+        grid,
+        backend="compiled",
+        latency=UniformLatency(4.0, lo_frac=0.25, seed=5),
+    )
+    want = []
+    for p in grid:
+        mres = LogPMachine(
+            p,
+            latency=UniformLatency(4.0, lo_frac=0.25, seed=5),
+            trace=False,
+        ).run(_bcast)
+        want.append((mres.makespan, mres.total_stall_time))
+    assert compiled == want
+
+
+# ----------------------------------------------------------------------
+# TopologyFabric lowering
+# ----------------------------------------------------------------------
+
+
+def _section5_fabrics() -> list:
+    from repro.topology import FatTree, Mesh2D
+
+    return [
+        pytest.param(TopologyFabric.ring(8, L=6), id="ring8"),
+        pytest.param(
+            TopologyFabric.for_topology(Mesh2D(16), L=6), id="mesh2d16"
+        ),
+        pytest.param(
+            TopologyFabric.for_topology(FatTree(16), L=6), id="fattree16"
+        ),
+    ]
+
+
+@pytest.mark.parametrize("fabric", _section5_fabrics())
+@pytest.mark.parametrize("factory", [_bcast, _flood])
+def test_topology_fabric_grid_parity(fabric, factory):
+    """Deterministic per-hop flights lower exactly: compiled grids over
+    ring / mesh / fat-tree match the machine point for point."""
+    grid = [
+        LogPParams(L=6.0, o=o, g=float(g), P=fabric.P)
+        for o in (0.5, 2.0)
+        for g in (1, 4)
+    ]
+    compiled = grid_map(factory, grid, backend="compiled", fabric=fabric)
+    machine = grid_map(factory, grid, backend="machine", fabric=fabric)
     assert compiled == machine
-    with pytest.raises(CompileError):
-        grid_map(_now_prog, [LogPParams(L=4, o=1, g=2, P=2)],
-                 backend="compiled")
+
+
+def test_topology_fabric_scalar_evaluate_parity():
+    """The scalar evaluator path with a fabric: same flights, same
+    makespan, message counts intact."""
+    fabric = TopologyFabric.ring(8, L=6)
+    machine = LogPMachine(BASE, fabric=fabric, trace=False).run(_bcast)
+    comp = evaluate(
+        compile_programs(_bcast, 8), BASE, fabric=fabric,
+        collect_stalls=True,
+    )
+    assert comp.makespan == machine.makespan
+    assert comp.total_stall_time == machine.total_stall_time
+    assert comp.total_messages == machine.total_messages
+
+
+# ----------------------------------------------------------------------
+# Branch-splitting fallback and dispatch reporting
+# ----------------------------------------------------------------------
+
+
+def _fragile_now(rank: int, P: int):
+    """Lowers only at the true clock: the provisional pass (assumed
+    t=0) drives ``Compute`` negative, so branch-splitting refuses."""
+
+    def run():
+        yield Compute(2.0)
+        t = yield Now()
+        yield Compute(t - 1.0)
+        return t
+
+    return run()
+
+
+def test_forked_fallback_refusal_semantics():
+    """When branch-splitting cannot lower the program, ``auto`` degrades
+    to the machine carrying the CompileError reason; ``compiled`` raises
+    the same error instead of silently running the slow path."""
+    pts = [LogPParams(L=4, o=1, g=2, P=2)]
+    report = GridMapReport()
+    auto = grid_map(_fragile_now, pts, backend="auto", report=report)
+    assert auto == grid_map(_fragile_now, pts, backend="machine")
+    [group] = report.groups
+    assert group.path == "machine"
+    assert "assumed clock" in group.reason
+    assert report.degraded == [group]
+    with pytest.raises(CompileError, match="assumed clock"):
+        grid_map(_fragile_now, pts, backend="compiled")
+
+
+def test_grid_map_report_names_dispatch_paths():
+    """The report distinguishes straight-line tapes from branch-split
+    regions, and records tape counts for both."""
+    report = GridMapReport()
+    grid_map(_bcast, [BASE], backend="auto", report=report)
+    assert report.backend == "compiled"
+    [group] = report.groups
+    assert (group.path, group.P, group.n_points) == ("compiled", 8, 1)
+    assert group.tapes >= 1 and group.reason == ""
+
+    report = GridMapReport()
+    grid = [LogPParams(L=4, o=1, g=2, P=2), LogPParams(L=9, o=1, g=2, P=2)]
+    res = grid_map(_now_prog, grid, backend="auto", report=report)
+    [group] = report.groups
+    assert group.path == "compiled-forked" and group.tapes >= 1
+    assert not report.degraded
+    assert res == grid_map(_now_prog, grid, backend="machine")
+
+
+def test_compile_at_requires_factory():
+    """Per-pass recompilation needs fresh generators: a pre-built
+    sequence is refused up front, not half-consumed."""
+    from repro.sim.compiled import compile_at
+
+    gens = [_now_prog(r, 2) for r in range(2)]
+    with pytest.raises(CompileError, match="factory"):
+        compile_at(gens, 2, LogPParams(L=4, o=1, g=2, P=2))
