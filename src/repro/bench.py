@@ -651,9 +651,12 @@ def run_all(
             for w in (1, 2)
         }
 
+    from .hostinfo import host_fingerprint
+
     report: dict = {
         "date": datetime.date.today().isoformat(),
         "python": platform.python_version(),
+        "host": host_fingerprint(),
         "smoke": smoke,
         "reps": reps,
         "workloads": {

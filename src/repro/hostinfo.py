@@ -1,0 +1,28 @@
+"""Host fingerprinting for benchmark and live-run reports.
+
+A measured number without the machine it was measured on is noise a
+week later.  :func:`host_fingerprint` captures the minimal identifying
+context — platform, CPU count, Python build — using only the standard
+library, cheap enough to embed in every report artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+
+__all__ = ["host_fingerprint"]
+
+
+def host_fingerprint() -> dict:
+    """Identifying facts about the machine producing a report."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor() or platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "executable": sys.executable,
+    }

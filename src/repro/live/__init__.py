@@ -1,0 +1,69 @@
+"""``repro.live``: a real multiprocess/TCP execution backend.
+
+Every other backend in this repository — the event-driven
+:class:`~repro.sim.machine.LogPMachine`, the compiled schedule
+evaluator, the serve layer — is simulation all the way down.  This
+package closes the loop the paper itself closes against the CM-5:
+it runs *unmodified* :mod:`repro.sim.program` programs as ``P`` real
+operating-system processes connected over localhost TCP sockets, logs
+every send/delivery/compute span with wall-clock timestamps and Lamport
+logical clocks, fits effective ``(L, o, g)`` parameters to the host
+with the same microbenchmark structure :mod:`repro.machines.fit` uses
+against the simulator, and differentially validates the physical run
+against a :class:`~repro.sim.machine.LogPMachine` replay at the fitted
+parameters.
+
+Layers (bottom up):
+
+* :mod:`.transport` — length-prefixed pickle frames over a full TCP
+  mesh, per-rank Lamport clocks, the mailbox, and the live heartbeat
+  failure detector (a real thread emitting real packets).
+* :mod:`.logs` — the structured event log each rank records, the
+  cross-rank merge, and :class:`~repro.live.logs.LiveResult` (the
+  live mirror of :class:`~repro.sim.machine.MachineResult`, including
+  a :class:`~repro.core.schedule.Schedule` view of the run).
+* :mod:`.ranks` — the per-process action interpreter: drives a program
+  generator, giving ``Send``/``Recv``/``Compute``/``Barrier``/``Poll``/
+  ``Now``/``Suspects`` their physical semantics.
+* :mod:`.coordinator` — :func:`~repro.live.coordinator.run_live`:
+  spawns ranks, brokers the mesh, serves the hardware barrier, injects
+  chaos (``SIGKILL`` mid-run), and assembles the result.
+* :mod:`.calibrate` — :func:`~repro.live.calibrate.fit_live`: the
+  microbenchmark suite against the live transport.
+* :mod:`.validate_live` — exact ordering/delivery invariants plus
+  tolerance-band timing clauses and the differential check against the
+  simulator (see ``REPRO_LIVE_SLACK``).
+
+Quickstart: ``python -m repro.live --validate`` (see ``--help``).
+"""
+
+from __future__ import annotations
+
+from .calibrate import LiveRunner, fit_live
+from .coordinator import ChaosSpec, family_program, run_chaos, run_live
+from .logs import LiveEvent, LiveResult
+from .transport import LiveConfig
+from .validate_live import (
+    EXACT_CLAUSES,
+    TIMING_CLAUSES,
+    LiveValidation,
+    live_slack,
+    validate_live,
+)
+
+__all__ = [
+    "ChaosSpec",
+    "EXACT_CLAUSES",
+    "LiveConfig",
+    "LiveEvent",
+    "LiveResult",
+    "LiveRunner",
+    "LiveValidation",
+    "TIMING_CLAUSES",
+    "family_program",
+    "fit_live",
+    "live_slack",
+    "run_chaos",
+    "run_live",
+    "validate_live",
+]

@@ -24,6 +24,16 @@ on, implemented against the simulator's program API:
   round trips the network pipeline holds (equal to the model's
   `ceil(L/g)` exactly when `o = 0`).
 
+The suite is written against a *runner* — anything with a ``P`` and a
+``run_values(factory)`` that executes a ``(rank, P) -> generator``
+program and returns the per-rank values.  :class:`SimulatorRunner`
+adapts a :class:`~repro.core.params.LogPParams`; the live backend's
+:class:`~repro.live.calibrate.LiveRunner` adapts real processes over
+TCP, so the *same* probes that recover hidden parameters from the
+simulator fit effective ``(L, o, g)`` to the host.  To that end every
+probe program is a module-level class (picklable — closures cannot
+cross the process boundary to live ranks).
+
 Because these run on the simulator, the suite is *closed-loop testable*:
 hide a parameter set, measure it back, compare.  The tests recover `o`,
 `L` and `max(g, o)` exactly on every grid machine; on a real cluster the
@@ -32,13 +42,14 @@ same program structure is what one would time with MPI.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
 from ..core.params import LogPParams
 from ..sim.machine import run_programs
-from ..sim.program import Now, Recv, Send
+from ..sim.program import Now, Recv, Send, Sleep
 
-__all__ = ["MeasuredLogP", "measure_logp"]
+__all__ = ["MeasuredLogP", "SimulatorRunner", "measure_logp"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,9 +70,11 @@ class MeasuredLogP:
     def as_params(self, P: int, name: str = "measured") -> LogPParams:
         """A parameter set usable for analysis: ``g`` is the effective
         gap (conservative when the true ``g < o``, per Section 3.1's own
-        merge rule)."""
+        merge rule).  ``L`` is clamped to 0 — a physical fit can return
+        a slightly negative latency when the RTT decomposition's ``4o``
+        term overshoots (jittery hosts)."""
         return LogPParams(
-            L=self.L, o=self.o, g=self.effective_g, P=P, name=name
+            L=max(self.L, 0.0), o=self.o, g=self.effective_g, P=P, name=name
         )
 
     def gap_bounds(self) -> tuple[float, float]:
@@ -75,43 +88,68 @@ class MeasuredLogP:
         return (min(lo, self.effective_g), self.effective_g)
 
 
-def _measure_overhead(p: LogPParams) -> float:
+class SimulatorRunner:
+    """The default runner: execute probes on a :class:`LogPMachine`."""
+
+    def __init__(self, params: LogPParams):
+        self.params = params
+        self.P = params.P
+
+    def run_values(self, factory) -> list:
+        """Run ``factory`` on the simulator; return per-rank values."""
+        return run_programs(self.params, factory, trace=False).values()
+
+
+# ----------------------------------------------------------------------
+# Probe programs.  Module-level classes, not closures: the live backend
+# pickles them across the process boundary to real ranks.
+# ----------------------------------------------------------------------
+
+
+class _OverheadProbe:
     """Clock one Send on an otherwise idle processor."""
 
-    def prog(rank, P):
-        if rank == 0:
-            t0 = yield Now()
-            yield Send(1, tag="o")
-            t1 = yield Now()
-            return t1 - t0
-        elif rank == 1:
-            yield Recv(tag="o")
-        return None
+    def __call__(self, rank: int, P: int):
+        def run():
+            if rank == 0:
+                t0 = yield Now()
+                yield Send(1, tag="o")
+                t1 = yield Now()
+                return t1 - t0
+            elif rank == 1:
+                yield Recv(tag="o")
+            return None
 
-    return run_programs(p, prog, trace=False).value(0)
-
-
-def _measure_round_trip(p: LogPParams, reps: int = 4) -> float:
-    """Mean empty request/reply time = 2L + 4o."""
-
-    def prog(rank, P):
-        if rank == 0:
-            t0 = yield Now()
-            for i in range(reps):
-                yield Send(1, tag=("q", i))
-                yield Recv(tag=("a", i))
-            t1 = yield Now()
-            return (t1 - t0) / reps
-        elif rank == 1:
-            for i in range(reps):
-                yield Recv(tag=("q", i))
-                yield Send(0, tag=("a", i))
-        return None
-
-    return run_programs(p, prog, trace=False).value(0)
+        return run()
 
 
-def _measure_gap(p: LogPParams, k: int = 40) -> float:
+class _RoundTripProbe:
+    """Mean empty request/reply time = 2L + 4o over ``reps`` rounds."""
+
+    def __init__(self, reps: int = 4):
+        self.reps = reps
+
+    def __call__(self, rank: int, P: int):
+        reps = self.reps
+
+        def run():
+            if rank == 0:
+                t0 = yield Now()
+                for i in range(reps):
+                    yield Send(1, tag=("q", i))
+                    yield Recv(tag=("a", i))
+                t1 = yield Now()
+                return (t1 - t0) / reps
+            elif rank == 1:
+                for i in range(reps):
+                    yield Recv(tag=("q", i))
+                    yield Send(0, tag=("a", i))
+            return None
+
+        return run()
+
+
+class _GapProbe:
     """Receiver drain interval under saturation: ``max(g, o)``.
 
     Two senders flood one receiver so the stream is never starved; the
@@ -120,48 +158,53 @@ def _measure_gap(p: LogPParams, k: int = 40) -> float:
     (senders stall via the capacity constraint whenever they could go
     faster).
     """
-    if p.P < 3:
-        raise ValueError("gap measurement needs P >= 3")
 
-    def prog(rank, P):
-        if rank in (1, 2):
-            for _ in range(k):
-                yield Send(0, tag="f")
+    def __init__(self, k: int = 40):
+        self.k = k
+
+    def __call__(self, rank: int, P: int):
+        k = self.k
+
+        def run():
+            if rank in (1, 2):
+                for _ in range(k):
+                    yield Send(0, tag="f")
+                return None
+            if rank == 0:
+                times = []
+                for _ in range(2 * k):
+                    yield Recv(tag="f")
+                    t = yield Now()
+                    times.append(t)
+                # Steady state: drop the warmup third.
+                cut = len(times) // 3
+                spans = [
+                    b - a for a, b in zip(times[cut:], times[cut + 1 :])
+                ]
+                return sum(spans) / len(spans)
             return None
-        if rank == 0:
-            times = []
-            for _ in range(2 * k):
-                yield Recv(tag="f")
-                t = yield Now()
-                times.append(t)
-            # Steady state: drop the warmup third.
-            cut = len(times) // 3
-            spans = [
-                b - a for a, b in zip(times[cut:], times[cut + 1 :])
-            ]
-            return sum(spans) / len(spans)
-        return None
 
-    return run_programs(p, prog, trace=False).value(0)
+        return run()
 
 
-def _measure_capacity(p: LogPParams, g_est: float, rounds: int = 30) -> int:
-    """Find the throughput knee of the outstanding-ops curve.
+class _CapacityProbe:
+    """``v`` one-way operations in flight, timed at rank 0.
 
-    Issues ``v`` one-way operations in flight (each considered complete
-    ``L + 2o`` after issue, timed locally); the measured ops/cycle stops
-    improving once ``v`` exceeds the network's in-flight allowance.
+    Each op is considered complete ``op_latency = L + 2o`` after issue
+    (timed locally, ``o`` subtracted so back-to-back issue is allowed);
+    returns ops/cycle at rank 0.
     """
-    import heapq
 
-    rtt = _measure_round_trip(p)
-    o = _measure_overhead(p)
-    op_latency = rtt / 2  # L + 2o
+    def __init__(self, v: int, rounds: int, o: float, op_latency: float):
+        self.v = v
+        self.rounds = rounds
+        self.o = o
+        self.op_latency = op_latency
 
-    def throughput(v: int) -> float:
-        def prog(rank, P):
-            from ..sim.program import Sleep
+    def __call__(self, rank: int, P: int):
+        v, rounds, o, op_latency = self.v, self.rounds, self.o, self.op_latency
 
+        def run():
             if rank == 0:
                 total = v * rounds
                 ready = [(0.0, i) for i in range(v)]
@@ -181,11 +224,54 @@ def _measure_capacity(p: LogPParams, g_est: float, rounds: int = 30) -> int:
                     yield Recv(tag="op")
             return None
 
-        return run_programs(p, prog, trace=False).value(0)
+        return run()
+
+
+# ----------------------------------------------------------------------
+# The measurement passes.
+# ----------------------------------------------------------------------
+
+
+def _value0(runner, factory):
+    return runner.run_values(factory)[0]
+
+
+def _measure_overhead(runner) -> float:
+    return _value0(runner, _OverheadProbe())
+
+
+def _measure_round_trip(runner, reps: int = 4) -> float:
+    return _value0(runner, _RoundTripProbe(reps))
+
+
+def _measure_gap(runner, k: int = 40) -> float:
+    if runner.P < 3:
+        raise ValueError("gap measurement needs P >= 3")
+    return _value0(runner, _GapProbe(k))
+
+
+def _measure_capacity(
+    runner,
+    o: float,
+    rtt: float,
+    rounds: int = 30,
+    max_depth: int = 4096,
+) -> int:
+    """Find the throughput knee of the outstanding-ops curve.
+
+    ``o``/``rtt`` come from the earlier passes (re-measuring here would
+    double the live wall-clock for no information); the measured
+    ops/cycle stops improving once ``v`` exceeds the network's in-flight
+    allowance.
+    """
+    op_latency = rtt / 2  # L + 2o
+
+    def throughput(v: int) -> float:
+        return _value0(runner, _CapacityProbe(v, rounds, o, op_latency))
 
     prev = throughput(1)
     v = 1
-    while v < 4096:
+    while v < max_depth:
         nxt = throughput(v + 1)
         if nxt < prev * 1.02:  # no longer improving: the knee
             return v
@@ -194,18 +280,34 @@ def _measure_capacity(p: LogPParams, g_est: float, rounds: int = 30) -> int:
     return v
 
 
-def measure_logp(p: LogPParams, measure_depth: bool = True) -> MeasuredLogP:
+def measure_logp(
+    machine,
+    measure_depth: bool = True,
+    max_depth: int = 4096,
+) -> MeasuredLogP:
     """Run the full microbenchmark suite against a machine.
 
-    ``p`` provides the machine under test (the suite only uses its
-    program API; the parameters are treated as hidden).  Requires
-    ``P >= 3`` for the receiver-saturation gap measurement.
+    ``machine`` is either a :class:`~repro.core.params.LogPParams` (run
+    on the simulator, parameters treated as hidden) or any runner with
+    ``P`` and ``run_values(factory)`` — e.g. the live backend's
+    :class:`~repro.live.calibrate.LiveRunner`, in which case the same
+    probes time real sockets.  Requires ``P >= 3`` for the
+    receiver-saturation gap measurement.  ``max_depth`` bounds the
+    capacity search (each step is a full run — live runners want a
+    small bound).
     """
-    o = _measure_overhead(p)
-    rtt = _measure_round_trip(p)
+    runner = (
+        SimulatorRunner(machine) if isinstance(machine, LogPParams) else machine
+    )
+    o = _measure_overhead(runner)
+    rtt = _measure_round_trip(runner)
     L = (rtt - 4 * o) / 2
-    g_eff = _measure_gap(p)
-    depth = _measure_capacity(p, g_eff) if measure_depth else 0
+    g_eff = _measure_gap(runner)
+    depth = (
+        _measure_capacity(runner, o, rtt, max_depth=max_depth)
+        if measure_depth
+        else 0
+    )
     return MeasuredLogP(
         o=o, L=L, effective_g=g_eff, pipeline_depth=depth, round_trip=rtt
     )

@@ -27,6 +27,7 @@ from .registry import families, fingerprint, register
 from .server import (
     Job,
     ServeConfig,
+    ServerShutdown,
     SimulationServer,
     SweepRequest,
     parse_point,
@@ -39,6 +40,7 @@ __all__ = [
     "Job",
     "ResultCache",
     "ServeConfig",
+    "ServerShutdown",
     "SimulationServer",
     "SweepRequest",
     "families",

@@ -32,7 +32,7 @@ import asyncio
 import json
 
 from .registry import families
-from .server import SimulationServer, SweepRequest
+from .server import ServerShutdown, SimulationServer, SweepRequest
 
 __all__ = ["ServeClient", "handle_connection", "start_tcp_server"]
 
@@ -81,7 +81,14 @@ async def handle_connection(
                  "error": f"{type(exc).__name__}: {exc}"}
             )
             return
-        job = await server.submit(request)
+        try:
+            job = await server.submit(request)
+        except ServerShutdown as exc:
+            await send(
+                {"op": "error", "tag": tag,
+                 "error": "server-shutdown", "detail": str(exc)}
+            )
+            return
         await send(
             {"op": "accepted", "tag": tag, "job": job.id,
              "total": job.total}
@@ -94,6 +101,12 @@ async def handle_connection(
                 )
         try:
             results = await job.wait()
+        except ServerShutdown as exc:
+            await send(
+                {"op": "error", "tag": tag, "job": job.id,
+                 "error": "server-shutdown", "detail": str(exc)}
+            )
+            return
         except Exception as exc:  # noqa: BLE001 - reported to the client
             await send(
                 {"op": "error", "tag": tag, "job": job.id,

@@ -55,12 +55,24 @@ from .registry import build, canonical_args, fingerprint, get_family
 __all__ = [
     "Job",
     "ServeConfig",
+    "ServerShutdown",
     "SimulationServer",
     "SweepRequest",
     "build_latency",
     "canonical_latency",
     "parse_point",
 ]
+
+
+class ServerShutdown(RuntimeError):
+    """The server is shutting down (or has shut down).
+
+    Raised by :meth:`SimulationServer.submit` after close, and set on
+    every abandoned in-flight future by ``aclose(drain=False)`` — so a
+    job interrupted by shutdown fails with an explicit, typed error
+    (surfaced on the wire as a ``server-shutdown`` error frame), never
+    with a bare ``CancelledError`` that looks like a client bug.
+    """
 
 
 def parse_point(spec) -> LogPParams:
@@ -410,8 +422,31 @@ class SimulationServer:
             )
         return self
 
-    async def aclose(self) -> None:
+    async def aclose(self, drain: bool = True) -> None:
+        """Shut down; ``drain`` picks the in-flight jobs' fate.
+
+        ``drain=True`` (default) refuses new submissions but keeps the
+        batcher alive until every already-accepted point has resolved —
+        attached jobs complete normally.  ``drain=False`` abandons them:
+        every unresolved future fails with :class:`ServerShutdown`
+        (clients see an explicit ``server-shutdown`` error frame, not a
+        hang or a cancellation).
+        """
         self._closed = True
+        if drain and self._batcher is not None:
+            # The batcher keeps consuming _pending; in-flight futures
+            # resolve as their groups evaluate.  New work cannot arrive
+            # (submit refuses once _closed), so this converges.
+            while self._inflight or self._pending:
+                if self._pending:
+                    self._have_pending.set()
+                futs = [f for f in self._inflight.values() if not f.done()]
+                if futs:
+                    await asyncio.gather(*futs, return_exceptions=True)
+                else:
+                    # Points queued but not yet picked up: let the
+                    # batcher's coalescing window elapse.
+                    await asyncio.sleep(0.001)
         if self._batcher is not None:
             self._batcher.cancel()
             try:
@@ -421,11 +456,19 @@ class SimulationServer:
             self._batcher = None
         for fut in self._inflight.values():
             if not fut.done():
-                fut.cancel()
+                fut.set_exception(
+                    ServerShutdown(
+                        "server-shutdown: job abandoned by aclose(drain=False)"
+                    )
+                )
         self._inflight.clear()
         self._pending.clear()
         if self._pool is not None:
             self._pool.close()
+
+    async def close(self, drain: bool = True) -> None:
+        """Alias for :meth:`aclose`."""
+        await self.aclose(drain=drain)
 
     async def __aenter__(self) -> "SimulationServer":
         return await self.start()
@@ -437,13 +480,13 @@ class SimulationServer:
 
     async def submit(self, request: SweepRequest) -> Job:
         """Route every point of ``request`` and return its :class:`Job`."""
+        if self._closed:
+            raise ServerShutdown("server is closed")
         if self._batcher is None:
             raise RuntimeError(
                 "server not started; use 'async with SimulationServer()' "
                 "or await server.start()"
             )
-        if self._closed:
-            raise RuntimeError("server is closed")
         fp = request.fingerprint
         job = Job(len(request.points), request)
         self.stats["requests"] += 1

@@ -46,9 +46,40 @@ from dataclasses import dataclass, field
 from ..core.params import LogPParams
 from ..core.schedule import Activity, Schedule
 
-__all__ = ["Violation", "ValidationReport", "validate_schedule"]
+__all__ = ["ToleranceBand", "Violation", "ValidationReport", "validate_schedule"]
 
 _EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class ToleranceBand:
+    """Slack for validating *physical* traces against the model.
+
+    Simulated schedules satisfy the clauses to floating-point epsilon;
+    a wall-clock trace of real processes cannot (scheduler preemption,
+    syscall jitter), so the live backend validates its timing clauses
+    within ``slack(scale) = abs + rel * scale`` of the model value,
+    where ``scale`` is the clause's own magnitude (``o`` for overheads,
+    ``L`` for flights, ``max(g, o)`` for spacings).  Ordering and
+    delivery clauses are never banded — those stay exact everywhere.
+
+    ``band=None`` (the default everywhere) keeps the historical exact
+    behavior: tolerance is floating-point epsilon.
+    """
+
+    rel: float = 0.0
+    abs: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rel < 0 or self.abs < 0:
+            raise ValueError(f"tolerances must be >= 0, got {self}")
+
+    def slack(self, scale: float) -> float:
+        return self.abs + self.rel * max(scale, 0.0)
+
+
+def _tol(band: ToleranceBand | None, scale: float) -> float:
+    return _EPS if band is None else max(band.slack(scale), _EPS)
 
 
 @dataclass(frozen=True, slots=True)
@@ -100,6 +131,7 @@ def validate_schedule(
     fault_plan=None,
     fault_report=None,
     heartbeat=None,
+    band: ToleranceBand | None = None,
 ) -> ValidationReport:
     """Check a schedule against the LogP semantics of its parameters.
 
@@ -127,13 +159,19 @@ def validate_schedule(
             exceeding the detector timeout.
         heartbeat: the :class:`~repro.sim.faults.HeartbeatConfig` the
             run used (required for the suspicion checks).
+        band: a :class:`ToleranceBand` loosening the *timing* clauses
+            (gaps, overheads, latency) to physical-trace tolerances.
+            Ordering clauses (busy-overlap, capacity, hop-consistency)
+            stay exact regardless — a band never excuses a reordering.
     """
     p = schedule.params
     report = ValidationReport()
     _check_busy_overlap(schedule, report)
-    _check_gaps(schedule, p, report, plan=fault_plan)
-    _check_overheads(schedule, p, report, plan=fault_plan)
-    _check_latency(schedule, p, report, exact=exact_latency, plan=fault_plan)
+    _check_gaps(schedule, p, report, plan=fault_plan, band=band)
+    _check_overheads(schedule, p, report, plan=fault_plan, band=band)
+    _check_latency(
+        schedule, p, report, exact=exact_latency, plan=fault_plan, band=band
+    )
     if check_capacity:
         _check_capacity(schedule, p, report, plan=fault_plan)
     if fabric is not None and fabric.deterministic:
@@ -166,7 +204,11 @@ def _check_busy_overlap(schedule: Schedule, report: ValidationReport) -> None:
 
 
 def _check_gaps(
-    schedule: Schedule, p: LogPParams, report: ValidationReport, plan=None
+    schedule: Schedule,
+    p: LogPParams,
+    report: ValidationReport,
+    plan=None,
+    band: ToleranceBand | None = None,
 ) -> None:
     send_spacing = p.send_interval
     for rank, tl in schedule.timelines.items():
@@ -174,7 +216,7 @@ def _check_gaps(
             iv.start for iv in tl.intervals if iv.kind is Activity.SEND
         )
         for t0, t1 in zip(sends, sends[1:]):
-            if t1 - t0 < send_spacing - _EPS:
+            if t1 - t0 < send_spacing - _tol(band, send_spacing):
                 # A crash between the two sends resets the port: the
                 # recovered incarnation owes the dead one no spacing.
                 if _down_overlaps(plan, rank, t0, t1):
@@ -190,7 +232,7 @@ def _check_gaps(
             iv.start for iv in tl.intervals if iv.kind is Activity.RECV
         )
         for t0, t1 in zip(recvs, recvs[1:]):
-            if t1 - t0 < p.g - _EPS:
+            if t1 - t0 < p.g - _tol(band, p.g):
                 if _down_overlaps(plan, rank, t0, t1):
                     continue
                 report.add(
@@ -202,12 +244,16 @@ def _check_gaps(
 
 
 def _check_overheads(
-    schedule: Schedule, p: LogPParams, report: ValidationReport, plan=None
+    schedule: Schedule,
+    p: LogPParams,
+    report: ValidationReport,
+    plan=None,
+    band: ToleranceBand | None = None,
 ) -> None:
     for rank, tl in schedule.timelines.items():
         for iv in tl.intervals:
             if iv.kind in (Activity.SEND, Activity.RECV):
-                if abs(iv.duration - p.o) > _EPS:
+                if abs(iv.duration - p.o) > _tol(band, p.o):
                     # An overhead truncated by the rank's own crash.
                     if _down_overlaps(plan, rank, iv.start, iv.end):
                         continue
@@ -226,6 +272,7 @@ def _check_latency(
     *,
     exact: bool,
     plan=None,
+    band: ToleranceBand | None = None,
 ) -> None:
     G = getattr(p, "G", 0.0) or 0.0
     for m in schedule.messages:
@@ -247,7 +294,7 @@ def _check_latency(
             )
         # The LogP bound governs the *unloaded* flight; fabric queueing
         # excess is accounted separately (and reported, not hidden).
-        if flight - m.net_stall > p.L + stream + _EPS:
+        if flight - m.net_stall > p.L + stream + _tol(band, p.L + stream):
             report.add(
                 "latency-bound",
                 m.src,
@@ -256,7 +303,7 @@ def _check_latency(
                 f"(net stall {m.net_stall}) "
                 f"> L + (words-1)G = {p.L + stream}",
             )
-        if exact and abs(flight - (p.L + stream)) > _EPS:
+        if exact and abs(flight - (p.L + stream)) > _tol(band, p.L + stream):
             report.add(
                 "latency-exact",
                 m.src,
@@ -264,7 +311,7 @@ def _check_latency(
                 f"message {m.src}->{m.dst} flew {flight}, expected exactly "
                 f"{p.L + stream}",
             )
-        if m.inject - m.send_start < p.o - _EPS:
+        if m.inject - m.send_start < p.o - _tol(band, p.o):
             report.add(
                 "inject-before-overhead",
                 m.src,

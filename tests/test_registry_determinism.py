@@ -1,0 +1,106 @@
+"""Every registry family must rebuild bit-identically across processes.
+
+The live backend ships programs to rank processes as pickles (or
+rebuilds them by registry name on the worker side), and the serve
+layer's pool shards do the same — so a family whose pickle or rebuild
+drifts from the parent's build would silently produce different
+physics on different backends.  These tests pin the guarantee with a
+*spawn*-context child (the strictest start method: nothing inherited,
+everything crosses as bytes): for every registered family, a child
+process rebuilds the program and runs it on the reference machine, and
+the makespan and per-rank values must equal the parent's bit for bit.
+Failures name the family.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.core import LogPParams
+from repro.serve.registry import build, families
+from repro.sim.machine import run_programs
+
+_PARAMS = LogPParams(L=6.0, o=2.0, g=4.0, P=4)
+_ARGS = {"k": 6}
+_SEED = 11
+
+
+def _reference(name: str):
+    res = run_programs(_PARAMS, build(name, dict(_ARGS), _SEED), trace=False)
+    return res.makespan, res.values()
+
+
+def _child_rebuild(name, conn) -> None:
+    """Spawn-side: rebuild the family *by name* and run it."""
+    try:
+        makespan, values = _reference(name)
+        conn.send(("ok", makespan, values))
+    except Exception as exc:  # noqa: BLE001 - shipped to the parent
+        conn.send(("error", f"{type(exc).__name__}: {exc}", None))
+    finally:
+        conn.close()
+
+
+def _child_unpickle(blob, conn) -> None:
+    """Spawn-side: unpickle the parent's *program object* and run it."""
+    try:
+        programs = pickle.loads(blob)
+        res = run_programs(_PARAMS, programs, trace=False)
+        conn.send(("ok", res.makespan, res.values()))
+    except Exception as exc:  # noqa: BLE001 - shipped to the parent
+        conn.send(("error", f"{type(exc).__name__}: {exc}", None))
+    finally:
+        conn.close()
+
+
+def _run_in_child(target, payload):
+    ctx = multiprocessing.get_context("spawn")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=target, args=(payload, child_conn))
+    proc.start()
+    child_conn.close()
+    try:
+        reply = parent_conn.recv()
+    finally:
+        proc.join(timeout=30)
+        parent_conn.close()
+    return reply
+
+
+@pytest.mark.parametrize("name", sorted(families()))
+def test_family_rebuilds_bit_identical_in_child_process(name):
+    want_makespan, want_values = _reference(name)
+    status, makespan, values = _run_in_child(_child_rebuild, name)
+    assert status == "ok", (
+        f"family {name!r} failed to rebuild in a spawned child: {makespan}"
+    )
+    assert makespan == want_makespan and values == want_values, (
+        f"family {name!r} is not deterministic across the process "
+        f"boundary: parent (makespan={want_makespan}, values={want_values}) "
+        f"vs child (makespan={makespan}, values={values})"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(families()))
+def test_family_program_object_pickles_and_reruns_identically(name):
+    programs = build(name, dict(_ARGS), _SEED)
+    try:
+        blob = pickle.dumps(programs, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # noqa: BLE001 - the assertion message matters
+        pytest.fail(
+            f"family {name!r} built an unpicklable program object "
+            f"({type(exc).__name__}: {exc}) — the live backend and pool "
+            "shards cannot ship it across the process boundary"
+        )
+    want_makespan, want_values = _reference(name)
+    status, makespan, values = _run_in_child(_child_unpickle, blob)
+    assert status == "ok", (
+        f"family {name!r}'s pickled program failed in a spawned child: "
+        f"{makespan}"
+    )
+    assert makespan == want_makespan and values == want_values, (
+        f"family {name!r}'s pickle does not rebuild bit-identically: "
+        f"parent (makespan={want_makespan}, values={want_values}) "
+        f"vs child (makespan={makespan}, values={values})"
+    )

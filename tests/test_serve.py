@@ -379,3 +379,103 @@ class TestWireProtocol:
         assert frames[0]["op"] == "error" and "JSON" in frames[0]["error"]
         assert frames[1]["op"] == "error" and "teleport" in frames[1]["error"]
         assert frames[2]["op"] == "pong"
+
+
+class TestGracefulShutdown:
+    """``aclose(drain=...)``: finish accepted jobs, or fail them loudly."""
+
+    def test_drain_completes_inflight_jobs(self):
+        from repro.serve import ServerShutdown
+
+        points = O_SWEEP[:6]
+        want = _serial_reference("stream", {"k": 4}, points)
+
+        async def run():
+            server = await SimulationServer(
+                ServeConfig(use_pool=False, batch_window=0.01)
+            ).start()
+            req = SweepRequest.make("stream", points, args={"k": 4})
+            job = await server.submit(req)
+            # Close immediately: the batcher has not evaluated yet.
+            await server.aclose()  # drain=True default
+            results = await job.wait()
+            with pytest.raises(ServerShutdown):
+                await server.submit(req)
+            return results
+
+        assert _serve(run()) == want
+
+    def test_abandon_fails_jobs_with_server_shutdown(self):
+        from repro.serve import ServerShutdown
+
+        async def run():
+            # A long coalescing window guarantees the batch is still
+            # pending when the server abandons it.
+            server = await SimulationServer(
+                ServeConfig(use_pool=False, batch_window=30.0)
+            ).start()
+            req = SweepRequest.make("stream", O_SWEEP[:4], args={"k": 4})
+            job = await server.submit(req)
+            await server.aclose(drain=False)
+            with pytest.raises(ServerShutdown, match="server-shutdown"):
+                await job.wait()
+
+        _serve(run())
+
+    def test_close_is_an_alias(self):
+        from repro.serve import ServerShutdown
+
+        async def run():
+            server = await SimulationServer(
+                ServeConfig(use_pool=False)
+            ).start()
+            await server.close()
+            with pytest.raises(ServerShutdown):
+                await server.submit(
+                    SweepRequest.make("stream", O_SWEEP[:1], args={"k": 4})
+                )
+
+        _serve(run())
+
+    def test_tcp_client_sees_server_shutdown_error_frame(self):
+        import json
+
+        from repro.serve.protocol import start_tcp_server
+
+        async def run():
+            server = SimulationServer(
+                ServeConfig(use_pool=False, batch_window=30.0)
+            )
+            tcp = await start_tcp_server(server)
+            host, port = tcp.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                writer.write(
+                    json.dumps(
+                        {
+                            "op": "submit",
+                            "program": "stream",
+                            "points": [
+                                {"L": 6.0, "o": 1.0, "g": 4.0, "P": 4}
+                            ],
+                            "args": {"k": 4},
+                        }
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                accepted = json.loads(await reader.readline())
+                await server.aclose(drain=False)
+                error = json.loads(await reader.readline())
+                return accepted, error
+            finally:
+                writer.close()
+                await writer.wait_closed()
+                tcp.close()
+                await tcp.wait_closed()
+
+        accepted, error = _serve(run())
+        assert accepted["op"] == "accepted"
+        assert error["op"] == "error"
+        assert error["error"] == "server-shutdown"
+        assert "abandoned" in error["detail"]
