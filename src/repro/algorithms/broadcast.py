@@ -31,12 +31,17 @@ from ..core.schedule import Activity, MessageRecord, Schedule
 
 __all__ = [
     "BroadcastTree",
+    "FoldedTree",
+    "FoldedTreeClass",
     "optimal_broadcast_tree",
+    "optimal_broadcast_tree_folded",
     "optimal_broadcast_time",
     "tree_delivery_times",
+    "tree_delivery_times_folded",
     "linear_tree",
     "flat_tree",
     "binomial_tree",
+    "binomial_tree_folded",
     "broadcast_schedule",
     "broadcast_program",
     "pipelined_tree_time",
@@ -77,15 +82,18 @@ class BroadcastTree:
         return max(self.recv_time)
 
     def depth(self) -> int:
-        """Longest root-to-leaf path (in messages)."""
+        """Longest root-to-leaf path (in messages), in one BFS pass."""
         best = 0
-        for r in range(self.params.P):
-            d = 0
-            node: int | None = r
-            while self.parent[node] is not None:  # type: ignore[index]
-                node = self.parent[node]  # type: ignore[index]
-                d += 1
-            best = max(best, d)
+        depth = [0] * self.params.P
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            d = depth[node] + 1
+            for child in self.children[node]:
+                depth[child] = d
+                if d > best:
+                    best = d
+                stack.append(child)
         return best
 
     def fanout(self, rank: int) -> int:
@@ -190,6 +198,485 @@ def binomial_tree(P: int, root: int = 0) -> list[list[int]]:
     return [binomial_children(r, P, root) for r in range(P)]
 
 
+# ----------------------------------------------------------------------
+# Class-compact trees: the huge-P forms (P = 2^20 without per-rank
+# objects).  ``repro.sim.compiled.fold.fold_tree`` consumes these
+# directly in Θ(C).
+# ----------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class FoldedTreeClass:
+    """One equivalence class of interchangeable tree ranks.
+
+    Attributes:
+        index: position in :attr:`FoldedTree.classes` (topological:
+            ``parent < index``).
+        size: number of member ranks.
+        rep: the smallest member rank.
+        depth: hops from the root (0 for the root class).
+        parent: index of *a* class containing a parent of every
+            member (-1 for the root class).  All candidate parents
+            produce the same arrival form; members' actual parents
+            may span several classes.
+        parent_send: 0-based send index within ``parent`` whose
+            arrival is this class's arrival (-1 for the root class).
+        children: child class index per send, in send order —
+            ``len(children)`` is the class fanout.
+        recv_lattice: ``(a, b)`` — members receive the datum at
+            ``a * max(g, o) + b * (L + 2o)``.
+    """
+
+    index: int
+    size: int
+    rep: int
+    depth: int
+    parent: int
+    parent_send: int
+    children: list[int]
+    recv_lattice: tuple[int, int]
+
+    @property
+    def fanout(self) -> int:
+        return len(self.children)
+
+
+@dataclass(slots=True)
+class FoldedTree:
+    """A broadcast tree folded to rank equivalence classes.
+
+    ``classes`` is topologically ordered and Θ(C); no per-rank
+    structure is ever materialized.  ``classify(rank)`` maps a rank to
+    its class index on demand.
+    """
+
+    P: int
+    root: int
+    classes: list[FoldedTreeClass]
+    classify: "callable"
+    source: str = "tree"
+    expander: "callable | None" = None
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    def expand(self) -> list[list[int]]:
+        """Materialize explicit per-rank children lists — Θ(P), for
+        small-P differential checks against the folded form."""
+        if self.expander is None:
+            raise ValueError(
+                f"{self.source} FoldedTree has no expander"
+            )
+        return self.expander()
+
+    def sizes(self) -> list[int]:
+        return [c.size for c in self.classes]
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path (in messages)."""
+        return max(c.depth for c in self.classes)
+
+    def completion_time(self, p: LogPParams) -> float:
+        """Delivery time of the last class under ``p``."""
+        return max(tree_delivery_times_folded(p, self))
+
+
+def tree_delivery_times_folded(
+    p: LogPParams, tree: FoldedTree
+) -> list[float]:
+    """Per-*class* delivery times (Θ(C) counterpart of
+    :func:`tree_delivery_times`)."""
+    interval = p.send_interval
+    deliver = p.L + 2 * p.o
+    return [
+        a * interval + b * deliver
+        for (a, b) in (c.recv_lattice for c in tree.classes)
+    ]
+
+
+def _min_value_subset(j: int, m: int, t: int) -> list[int]:
+    """The ``j``-subset of ``{0..m-1}`` with sum ``t`` whose bit value
+    ``sum(2^p)`` is minimal: greedily take the smallest feasible
+    maximum position, then recurse below it."""
+    out: list[int] = []
+    while j:
+        for h in range(j - 1, m):
+            rem = t - h
+            lo = (j - 1) * (j - 2) // 2
+            hi = (j - 1) * (2 * h - j) // 2
+            if lo <= rem <= hi:
+                out.append(h)
+                t, m, j = rem, h, j - 1
+                break
+        else:  # pragma: no cover - callers pass feasible (j, m, t)
+            raise ValueError(f"infeasible subset ({j}, {m}, {t})")
+    return out
+
+
+def binomial_tree_folded(P: int, root: int = 0) -> FoldedTree:
+    """Class-compact binomial tree for ``P`` a power of two.
+
+    A rank's schedule is determined by ``(d, S, h)`` — the popcount,
+    bit-position sum, and highest bit of its root-relative rank: its
+    arrival lattice is ``(d*(k-1) - S, d)`` (each hop adding bit ``p``
+    is its parent's send number ``k-1-p``) and its fanout is
+    ``k-1-h``.  Classes are enumerated directly on that lattice —
+    Θ(C·k) with C ≈ k⁴/12 — and sized by a distinct-subset-sum DP,
+    never touching the ``P`` ranks.  The partition is exactly what
+    :func:`repro.sim.compiled.fold.fold_program` discovers on the
+    explicit :func:`binomial_tree` (pinned in ``tests/test_fold.py``:
+    386 classes at P = 2^10, 6196 at 2^20).
+
+    Raises ``ValueError`` for non-powers of two, where truncation
+    makes fanout depend on the rank value, not its class — build
+    :func:`binomial_tree` explicitly there.
+    """
+    if P < 1 or P & (P - 1):
+        raise ValueError(
+            f"binomial_tree_folded needs a power-of-two P, got {P}: "
+            "truncated binomial trees are not class-compact; use "
+            "binomial_tree() + fold_program()"
+        )
+    if not 0 <= root < P:
+        raise ValueError(f"root {root} out of range for P={P}")
+    k = P.bit_length() - 1
+    root_cls = FoldedTreeClass(
+        index=0, size=1, rep=root, depth=0, parent=-1,
+        parent_send=-1, children=[], recv_lattice=(0, 0),
+    )
+    classes = [root_cls]
+    if P == 1:
+        return FoldedTree(
+            P=1, root=root, classes=classes,
+            classify=lambda rank: 0, source="binomial",
+            expander=lambda: [[]],
+        )
+
+    # cnt[m][j][t]: j-subsets of {0..m-1} with sum t.
+    max_t = k * (k - 1) // 2 + 1
+    cnt = [[[0] * max_t for _ in range(k + 1)] for _ in range(k + 1)]
+    for m in range(k + 1):
+        cnt[m][0][0] = 1
+    for m in range(1, k + 1):
+        for j in range(1, k + 1):
+            row, prev, take = cnt[m][j], cnt[m - 1][j], cnt[m - 1][j - 1]
+            for t in range(max_t):
+                row[t] = prev[t] + (take[t - m + 1] if t >= m - 1 else 0)
+
+    index_of: dict[tuple[int, int, int], int] = {}
+    # (d, h, S): d set bits, highest h, position-sum S — enumerated in
+    # depth order, which is topological.
+    for d in range(1, k + 1):
+        for h in range(d - 1, k):
+            lo = (d - 1) * (d - 2) // 2
+            hi = (d - 1) * (2 * h - d) // 2
+            for S in range(h + lo, h + hi + 1):
+                size = cnt[h][d - 1][S - h]
+                if not size:  # pragma: no cover - range is exact
+                    continue
+                rel = (1 << h) + sum(
+                    1 << p
+                    for p in _min_value_subset(d - 1, h, S - h)
+                )
+                if d == 1:
+                    parent, psend = 0, k - 1 - h
+                else:
+                    low = rel ^ (1 << h)
+                    h2 = low.bit_length() - 1
+                    parent = index_of[(d - 1, h2, S - h)]
+                    psend = k - 1 - h
+                idx = len(classes)
+                index_of[(d, h, S)] = idx
+                classes.append(
+                    FoldedTreeClass(
+                        index=idx, size=size,
+                        rep=(rel + root) % P, depth=d,
+                        parent=parent, parent_send=psend,
+                        children=[],
+                        recv_lattice=(d * (k - 1) - S, d),
+                    )
+                )
+    # i-th send of a fanout-f class adds bit k-1-i (largest subtree
+    # first), producing a child of fanout i.
+    for key, idx in index_of.items():
+        d, h, S = key
+        cls = classes[idx]
+        cls.children = [
+            index_of[(d + 1, k - 1 - i, S + k - 1 - i)]
+            for i in range(k - 1 - h)
+        ]
+    root_cls.children = [
+        index_of[(1, k - 1 - i, k - 1 - i)] for i in range(k)
+    ]
+
+    def classify(rank: int) -> int:
+        if not 0 <= rank < P:
+            raise IndexError(f"rank {rank} out of range 0..{P - 1}")
+        rel = (rank - root) % P
+        if rel == 0:
+            return 0
+        d = rel.bit_count()
+        h = rel.bit_length() - 1
+        S = sum(p for p in range(k) if rel >> p & 1)
+        return index_of[(d, h, S)]
+
+    return FoldedTree(
+        P=P, root=root, classes=classes, classify=classify,
+        source="binomial", expander=lambda: binomial_tree(P, root),
+    )
+
+
+class _Cohort:
+    """A batch of greedy-interchangeable ranks during folded
+    construction: same informed lattice point, hence the same float
+    history.  ``blocks`` lists the members' contiguous slot runs in
+    member order; ``pops`` mirrors ``children`` with the slot range
+    each send round produced (for :meth:`FoldedTree` expansion)."""
+
+    __slots__ = (
+        "blocks", "size", "lattice", "parent", "parent_send",
+        "round", "children", "pops", "cut",
+    )
+
+    def __init__(self, blocks, size, lattice, parent, parent_send):
+        self.blocks = blocks
+        self.size = size
+        self.lattice = lattice
+        self.parent = parent
+        self.parent_send = parent_send
+        self.round = 0
+        self.children: list[int] = []
+        self.pops: list[tuple[int, int]] = []
+        self.cut: int | None = None
+
+
+def optimal_broadcast_tree_folded(
+    p: LogPParams, root: int = 0
+) -> FoldedTree:
+    """Greedy-optimal broadcast tree, folded during construction.
+
+    Runs the same earliest-delivery greedy as
+    :func:`optimal_broadcast_tree` but over *cohorts* — batches of
+    ranks informed at the same delivery-lattice point
+    ``a·max(g,o) + b·(L+2o)`` — so time and memory track the class
+    count, not Θ(P log P).  All ranks delivered in one heap pop run
+    are interchangeable (identical delivery time and identical
+    futures), so cohorts merge by lattice point per run; distinct
+    lattice points that collide in float are kept apart — they are
+    distinct arrival *forms* and the generic fold would split them.
+    The final partial run splits at most one cohort by fanout.
+
+    The result has the same delivery-time multiset, completion time,
+    and class structure as :func:`optimal_broadcast_tree`, with a
+    canonical rank naming that groups each run's deliveries by
+    lattice point instead of interleaving them (the scalar greedy's
+    naming is itself arbitrary — see its docstring).  ``expand()``
+    materializes explicit children lists for differential checks at
+    small P; ``tests/test_fold.py`` pins both directions.
+
+    Raises :class:`repro.sim.compiled.fold.FoldError` in the
+    degenerate corner ``max(g, o) == L + 2o``, where a sender's next
+    send ties its own previous delivery and re-sends interleave with
+    deliveries at the same instant.
+    """
+    from ..sim.compiled.fold import FoldError
+
+    if not 0 <= root < p.P:
+        raise ValueError(f"root {root} out of range for P={p.P}")
+    P = p.P
+    interval = p.send_interval
+    deliver = p.L + 2 * p.o
+    if P > 1 and interval == deliver:
+        raise FoldError(
+            f"degenerate greedy lattice: send interval {interval} "
+            f"equals delivery time {deliver}, so a sender's next "
+            "send ties its own previous delivery and batches "
+            "interleave per rank — build the explicit "
+            "optimal_broadcast_tree instead"
+        )
+
+    cohorts = [_Cohort([], 1, (0, 0), -1, -1)]
+    if P > 1:
+        heap: list[tuple[float, int, int]] = [(0.0, 0, 0)]
+        seq = 1
+        remaining = P - 1
+        next_slot = 0
+        while remaining:
+            t = heap[0][0]
+            run: list[int] = []
+            while heap and heap[0][0] == t:
+                run.append(heapq.heappop(heap)[2])
+            born_map: dict[tuple[int, int], int] = {}
+            for ci in run:
+                if not remaining:
+                    break
+                c = cohorts[ci]
+                take = min(c.size, remaining)
+                born = (c.lattice[0] + c.round, c.lattice[1] + 1)
+                child = born_map.get(born)
+                if child is None:
+                    child = len(cohorts)
+                    born_map[born] = child
+                    cohorts.append(
+                        _Cohort([(next_slot, take)], take, born,
+                                ci, c.round)
+                    )
+                    heapq.heappush(heap, (t + deliver, seq, child))
+                    seq += 1
+                else:
+                    b = cohorts[child]
+                    last = b.blocks[-1]
+                    if last[0] + last[1] == next_slot:
+                        b.blocks[-1] = (last[0], last[1] + take)
+                    else:
+                        b.blocks.append((next_slot, take))
+                    b.size += take
+                c.children.append(child)
+                c.pops.append((next_slot, take))
+                next_slot += take
+                remaining -= take
+                if take < c.size:
+                    c.cut = take
+                else:
+                    c.round += 1
+                    heapq.heappush(heap, (t + interval, seq, ci))
+                    seq += 1
+
+    # Regroup cohorts into classes keyed (lattice, fanout): equal
+    # lattice = equal arrival form, equal fanout = equal skeleton.
+    classes: list[FoldedTreeClass] = []
+    index_of: dict[tuple, int] = {}
+    cls_of_cohort: list[int] = [-1] * len(cohorts)
+    cls_blocks: list[list[tuple[int, int]]] = []
+    suffix_cls: dict[int, int] = {}
+
+    def _get(key, size, rep, depth, parent, psend, lattice):
+        idx = index_of.get(key)
+        if idx is None:
+            idx = len(classes)
+            index_of[key] = idx
+            classes.append(
+                FoldedTreeClass(
+                    index=idx, size=size, rep=rep, depth=depth,
+                    parent=parent, parent_send=psend, children=[],
+                    recv_lattice=lattice,
+                )
+            )
+            cls_blocks.append([])
+        else:
+            cls = classes[idx]
+            cls.size += size
+            if rep < cls.rep:
+                cls.rep = rep
+        return idx
+
+    def _rank(slot: int) -> int:
+        return slot if slot < root else slot + 1
+
+    def _split_blocks(blocks, count):
+        head, tail, need = [], [], count
+        for first, size in blocks:
+            if need >= size:
+                head.append((first, size))
+                need -= size
+            elif need > 0:
+                head.append((first, need))
+                tail.append((first + need, size - need))
+                need = 0
+            else:
+                tail.append((first, size))
+        return head, tail
+
+    for ci, c in enumerate(cohorts):
+        if ci == 0:
+            cls_of_cohort[0] = _get(
+                ("root",), 1, root, 0, -1, -1, (0, 0)
+            )
+            continue
+        depth = c.lattice[1]
+        parent = cls_of_cohort[c.parent]
+        rep = _rank(min(first for first, _ in c.blocks))
+        if c.cut is None:
+            idx = _get(
+                (c.lattice, c.round), c.size, rep,
+                depth, parent, c.parent_send, c.lattice,
+            )
+            cls_blocks[idx].extend(c.blocks)
+        else:
+            # The final partial pop: the member prefix sent one more
+            # round than the suffix.
+            head, tail = _split_blocks(c.blocks, c.cut)
+            idx = _get(
+                (c.lattice, c.round + 1), c.cut,
+                _rank(min(first for first, _ in head)),
+                depth, parent, c.parent_send, c.lattice,
+            )
+            cls_blocks[idx].extend(head)
+            idx2 = _get(
+                (c.lattice, c.round), c.size - c.cut,
+                _rank(min(first for first, _ in tail)),
+                depth, parent, c.parent_send, c.lattice,
+            )
+            cls_blocks[idx2].extend(tail)
+            suffix_cls[ci] = idx2
+            # idx stays the prefix class: children of a cut cohort
+            # resolve their parent link against the larger fanout.
+        cls_of_cohort[ci] = idx
+
+    for ci, c in enumerate(cohorts):
+        kids = [cls_of_cohort[ch] for ch in c.children]
+        cls = classes[cls_of_cohort[ci]]
+        if not cls.children and kids:
+            cls.children = kids
+        if c.cut is not None and c.round:
+            scls = classes[suffix_cls[ci]]
+            if not scls.children:
+                # The suffix missed the final (partial) round.
+                scls.children = kids[: c.round]
+
+    blocks: list[tuple[int, int, int]] = []
+    for idx, bl in enumerate(cls_blocks):
+        for first, size in bl:
+            blocks.append((first, size, idx))
+    blocks.sort()
+    starts = [b[0] for b in blocks]
+    owner = [b[2] for b in blocks]
+
+    from bisect import bisect_right
+
+    root_cls = cls_of_cohort[0]
+
+    def classify(rank: int) -> int:
+        if not 0 <= rank < P:
+            raise IndexError(f"rank {rank} out of range 0..{P - 1}")
+        if rank == root:
+            return root_cls
+        slot = rank if rank < root else rank - 1
+        return owner[bisect_right(starts, slot) - 1]
+
+    def _expand() -> list[list[int]]:
+        children: list[list[int]] = [[] for _ in range(P)]
+        for ci, c in enumerate(cohorts):
+            if ci == 0:
+                members = [root]
+            else:
+                members = [
+                    _rank(s)
+                    for first, size in c.blocks
+                    for s in range(first, first + size)
+                ]
+            for start, take in c.pops:
+                for j in range(take):
+                    children[members[j]].append(_rank(start + j))
+        return children
+
+    return FoldedTree(
+        P=P, root=root, classes=classes, classify=classify,
+        source="optimal", expander=_expand,
+    )
+
+
 def broadcast_schedule(tree: BroadcastTree) -> Schedule:
     """Render a broadcast tree as an explicit activity schedule — the
     right-hand panel of Figure 3 (send/receive overhead bars per
@@ -285,7 +772,12 @@ def pipelined_broadcast_program(children: list[list[int]], items, root: int = 0)
 
 
 def best_pipelined_tree(
-    p: LogPParams, k: int, root: int = 0, *, backend: str | None = None
+    p: LogPParams,
+    k: int,
+    root: int = 0,
+    *,
+    backend: str | None = None,
+    fold: str = "auto",
 ) -> tuple[str, list[list[int]]]:
     """Pick the best of {optimal single-item tree, binomial, chain} for
     a ``k``-item pipelined broadcast.
@@ -299,7 +791,11 @@ def best_pipelined_tree(
     ``g < 2o``).  Pass ``backend`` (``"machine"``, ``"compiled"`` or
     ``"auto"``; see :func:`repro.sim.sweep.grid_map`) to rank by *exact
     executed* makespan instead — each candidate tree's program runs
-    through the chosen simulation backend.
+    through the chosen simulation backend.  ``fold`` is forwarded to
+    :func:`~repro.sim.sweep.grid_map` on that path: the default
+    ``"auto"`` evaluates each candidate by rank equivalence classes
+    when its schedule folds, which is what makes ranking candidates at
+    very large ``P`` tractable.
     """
     candidates = {
         "optimal-single": optimal_broadcast_tree(p, root).children,
@@ -319,6 +815,7 @@ def best_pipelined_tree(
                 pipelined_broadcast_program(children, range(k), root),
                 [p],
                 backend=backend,
+                fold=fold,
             )[0][0]
             for name, children in candidates.items()
         }

@@ -44,6 +44,17 @@ pytest-benchmark suite:
   delay lowering's headline grid), compiled-vs-machine parity checked
   before timing, speedup recorded as
   ``compiled_topology_grid_speedup``;
+* ``folded_broadcast_grid`` — a binomial broadcast at ``P = 2**17``
+  built class-compactly (:func:`~repro.algorithms.broadcast.binomial_tree_folded`),
+  folded (:func:`~repro.sim.compiled.fold_tree`), and evaluated over an
+  o-sweep grid by rank equivalence classes
+  (:func:`~repro.sim.compiled.evaluate_folded_grid`) — ~3 200 classes
+  standing in for 131 072 ranks, no per-rank object ever materialized;
+* ``folded_vs_unfolded`` — the same binomial broadcast pipeline at
+  ``P = 2**14`` end to end on both paths: generators compiled and
+  evaluated per rank versus the class-compact constructor folded and
+  evaluated per class, bit-identity verified first, with the headline
+  ``folded_vs_unfolded_speedup`` recorded (target >= 50x);
 * ``serve_throughput`` / ``serve_cache_hit`` — the :mod:`repro.serve`
   job server under sustained sequential traffic: single-point requests
   cycling over a fixed parameter pool (first cycle computes, the rest
@@ -53,7 +64,15 @@ pytest-benchmark suite:
   first-class serving baselines.
 
 ``--only PREFIX`` runs just the workloads whose name starts with
-``PREFIX`` (e.g. ``--only compiled`` for the grid-evaluator pair).
+``PREFIX`` (e.g. ``--only compiled`` for the grid-evaluator pair, or
+``--only folded`` for ``folded_broadcast_grid`` + ``folded_vs_unfolded``).
+
+Every report records the process peak RSS (``max_rss_kb``, from
+``resource.getrusage``) alongside the timings; ``--baseline`` gates it
+with its own, looser slack (``--max-mem-regression``, default 25%),
+because an allocator high-watermark is coarser than a best-of-N timing
+but a symmetry-folding or tape-layout regression that doubles memory
+must still fail loudly.
 ``--backend {machine,compiled,auto}`` selects the backend timed by
 ``compiled_grid`` (default ``compiled``; the machine reference timing
 is always taken on the machine).  Backend resolution has the same
@@ -98,6 +117,22 @@ PR1_BASELINE: dict[str, float] = {
     "stream_traced_s": 0.052693,
     "stalls_s": 0.037877,
 }
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS in KB (``ru_maxrss``; high-watermark, monotone).
+
+    0 where the :mod:`resource` module is unavailable (non-POSIX) —
+    the report then records no memory figure rather than a wrong one.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - POSIX-only module
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
+        rss //= 1024
+    return rss
 
 
 def _best_of(fn: Callable[[], None], reps: int) -> float:
@@ -502,6 +537,80 @@ def _compiled_topology_grid(n_o: int, k: int, backend: str) -> None:
     )
 
 
+def _folded_points(P: int, n_o: int) -> list[LogPParams]:
+    """Dyadic o-sweep (multiples of 1/8) at fixed L=8, g=4 — the
+    folded evaluator's exactness guard requires dyadic parameters."""
+    return [
+        LogPParams(L=8.0, o=0.25 + 0.125 * i, g=4.0, P=P)
+        for i in range(n_o)
+    ]
+
+
+def _folded_broadcast_grid(P: int, n_o: int) -> int:
+    """Build + fold + grid-evaluate a binomial broadcast at huge ``P``.
+
+    The whole pipeline is Θ(classes): the class-compact constructor
+    never materializes per-rank children lists, ``fold_tree`` converts
+    classes directly, and the folded grid tapes weight aggregates by
+    class multiplicity.  Returns the class count for the report.
+    """
+    from .algorithms.broadcast import binomial_tree_folded
+    from .sim.compiled import evaluate_folded_grid, fold_tree
+
+    folded = fold_tree(binomial_tree_folded(P))
+    res = evaluate_folded_grid(folded, _folded_points(P, n_o))
+    if res.divergent:
+        raise RuntimeError(
+            f"folded_broadcast_grid: {len(res.divergent)} point(s) "
+            "diverged — the workload no longer measures the folded path"
+        )
+    return res.classes
+
+
+def _unfolded_broadcast_pipeline(P: int, pts: list[LogPParams]) -> list:
+    """The per-rank reference pipeline: compile generators, evaluate."""
+    from .algorithms.broadcast import binomial_tree
+    from .sim.collectives import tree_broadcast
+    from .sim.compiled import compile_programs, evaluate
+
+    kids = binomial_tree(P)
+
+    def fac(rank: int, P_: int):
+        return tree_broadcast(
+            rank, P_, 7 if rank == 0 else None, kids, root=0
+        )
+
+    prog = compile_programs(fac, P)
+    return [
+        (r.makespan, r.total_stall_time)
+        for r in (evaluate(prog, p) for p in pts)
+    ]
+
+
+def _folded_broadcast_pipeline(P: int, pts: list[LogPParams]) -> list:
+    """The per-class pipeline for the same broadcast, Θ(classes)."""
+    from .algorithms.broadcast import binomial_tree_folded
+    from .sim.compiled import evaluate_folded, fold_tree
+
+    folded = fold_tree(binomial_tree_folded(P))
+    return [
+        (r.makespan, r.total_stall_time)
+        for r in (evaluate_folded(folded, p) for p in pts)
+    ]
+
+
+def _folded_vs_unfolded_verify(P: int, pts: list[LogPParams]) -> None:
+    """Bit-identity of the two pipelines, run once before timing."""
+    folded = _folded_broadcast_pipeline(P, pts)
+    unfolded = _unfolded_broadcast_pipeline(P, pts)
+    if folded != unfolded:
+        bad = sum(1 for a, b in zip(folded, unfolded) if a != b)
+        raise RuntimeError(
+            f"folded_vs_unfolded divergence on {bad}/{len(pts)} points "
+            f"at P={P}"
+        )
+
+
 def _topology_grid_verify(n_o: int, k: int) -> None:
     """Compiled-vs-machine parity for the routed grid, run once untimed."""
     from .sim.sweep import grid_map
@@ -545,6 +654,9 @@ def run_all(
     vs_box = 8 if smoke else 16
     n_seeds = 50 if smoke else 500
     topo_n_o = 64 if smoke else 512
+    folded_P = 2**17
+    folded_n_o = 16 if smoke else 64
+    fvu_P = 2**10 if smoke else 2**14
     serve_reqs = 64 if smoke else 512
     serve_distinct = 16 if smoke else 64
     serve_hit_reqs = 16 if smoke else 128
@@ -616,6 +728,30 @@ def run_all(
         )
         timings["compiled_topology_grid_machine_s"] = _best_of(
             lambda: _compiled_topology_grid(topo_n_o, k_grid, "machine"),
+            max(1, reps // 3),
+        )
+    folded_classes: int | None = None
+    folded_rss_kb: int | None = None
+    if want("folded_broadcast_grid"):
+        # The full P=2**17 size runs even under --smoke: huge P at small
+        # cost is the point of the folded path, and CI's folded-smoke
+        # job pins exactly this workload.  Only the grid width shrinks.
+        rss0 = _peak_rss_kb()
+        folded_classes = _folded_broadcast_grid(folded_P, folded_n_o)
+        folded_rss_kb = _peak_rss_kb() - rss0
+        timings["folded_broadcast_grid_s"] = _best_of(
+            lambda: _folded_broadcast_grid(folded_P, folded_n_o),
+            max(1, reps // 2),
+        )
+    if want("folded_vs_unfolded"):
+        fvu_pts = _folded_points(fvu_P, 8)
+        _folded_vs_unfolded_verify(fvu_P, fvu_pts)
+        timings["folded_vs_unfolded_folded_s"] = _best_of(
+            lambda: _folded_broadcast_pipeline(fvu_P, fvu_pts),
+            max(1, reps // 2),
+        )
+        timings["folded_vs_unfolded_unfolded_s"] = _best_of(
+            lambda: _unfolded_broadcast_pipeline(fvu_P, fvu_pts),
             max(1, reps // 3),
         )
     serve_metrics: dict[str, float] = {}
@@ -703,6 +839,20 @@ def run_all(
                 "k": k_grid,
                 "fabric": "TopologyFabric[Ring8]",
             },
+            "folded_broadcast_grid": {
+                "P": folded_P,
+                "n_o": folded_n_o,
+                "L": 8,
+                "g": 4,
+                "family": "binomial broadcast",
+                "classes": folded_classes,
+                "rss_delta_kb": folded_rss_kb,
+            },
+            "folded_vs_unfolded": {
+                "P": fvu_P,
+                "points": 8,
+                "family": "binomial broadcast",
+            },
             "serve_throughput": {
                 "requests": serve_reqs,
                 "distinct_points": serve_distinct,
@@ -733,6 +883,13 @@ def run_all(
         fast, ref = timings.get(f"{stem}_s"), timings.get(f"{stem}_machine_s")
         if fast and ref:
             report[f"{stem}_speedup"] = round(ref / fast, 2)
+    fast = timings.get("folded_vs_unfolded_folded_s")
+    ref = timings.get("folded_vs_unfolded_unfolded_s")
+    if fast and ref:
+        report["folded_vs_unfolded_speedup"] = round(ref / fast, 2)
+    rss = _peak_rss_kb()
+    if rss:
+        report["max_rss_kb"] = rss
     if not smoke and all(key in timings for key in PR1_BASELINE):
         report["baseline_pr1_s"] = dict(PR1_BASELINE)
         report["speedup_vs_pr1"] = {
@@ -743,7 +900,11 @@ def run_all(
 
 
 def compare_reports(
-    report: dict, baseline: dict, *, max_regression: float = 0.05
+    report: dict,
+    baseline: dict,
+    *,
+    max_regression: float = 0.05,
+    max_mem_regression: float = 0.25,
 ) -> tuple[dict[str, float], list[str]]:
     """Compare a report against a prior ``BENCH_*.json``.
 
@@ -752,6 +913,13 @@ def compare_reports(
     list of workloads whose ratio exceeds ``1 + max_regression``.
     Workloads only one side measured are skipped — reports from
     different PRs stay comparable as workloads are added.
+
+    Peak RSS (``max_rss_kb``) is gated too, under its own
+    ``max_mem_regression`` slack: an allocator high-watermark is
+    coarser than a best-of-N timing (interpreter heap reuse, import
+    order), so 25% by default — wide enough for noise, narrow enough
+    that a folding or tape-layout change reintroducing per-rank
+    materialization fails loudly.
     """
     base_timings = baseline.get("timings_s", {})
     timings = report.get("timings_s", {})
@@ -765,6 +933,13 @@ def compare_reports(
         ratios[key] = round(ratio, 3)
         if ratio > 1.0 + max_regression:
             regressions.append(key)
+    base_rss = baseline.get("max_rss_kb", 0)
+    rss = report.get("max_rss_kb", 0)
+    if base_rss > 0 and rss > 0:
+        ratio = rss / base_rss
+        ratios["max_rss_kb"] = round(ratio, 3)
+        if ratio > 1.0 + max_mem_regression:
+            regressions.append("max_rss_kb")
     return ratios, regressions
 
 
@@ -789,8 +964,16 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed slowdown vs --baseline before failing (default 0.05)",
     )
     parser.add_argument(
+        "--max-mem-regression", type=float, default=0.25, metavar="FRAC",
+        help="allowed peak-RSS growth vs --baseline before failing "
+        "(default 0.25; looser than timings — see compare_reports)",
+    )
+    parser.add_argument(
         "--only", default=None, metavar="PREFIX",
-        help="run only workloads whose name starts with PREFIX",
+        help="run only workloads whose name starts with PREFIX "
+        "(e.g. 'compiled' for the grid-evaluator pair, 'folded' for "
+        "folded_broadcast_grid + folded_vs_unfolded, 'serve' for the "
+        "job-server pair)",
     )
     parser.add_argument(
         "--fault-report-out", default=None, metavar="PATH",
@@ -822,6 +1005,14 @@ def main(argv: list[str] | None = None) -> int:
                 f"{stem + ' speedup':24s} "
                 f"{report[key]:9.2f} x (machine / compiled)"
             )
+    if "folded_vs_unfolded_speedup" in report:
+        print(
+            f"{'folded speedup':24s} "
+            f"{report['folded_vs_unfolded_speedup']:9.2f} x "
+            "(unfolded / folded)"
+        )
+    if "max_rss_kb" in report:
+        print(f"{'peak RSS':24s} {report['max_rss_kb'] / 1024:9.1f} MB")
     if "serve_requests_per_s" in report:
         print(
             f"{'serve requests/sec':24s} "
@@ -838,7 +1029,10 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
         ratios, regressions = compare_reports(
-            report, baseline, max_regression=args.max_regression
+            report,
+            baseline,
+            max_regression=args.max_regression,
+            max_mem_regression=args.max_mem_regression,
         )
         report["baseline_path"] = args.baseline
         report["baseline_ratio"] = ratios

@@ -30,14 +30,45 @@ than silently falling back.  Programs observing ``Now`` lower per
 parameter point via :func:`compile_at` (fixed-point clock assumption)
 and per grid region via :func:`evaluate_forked` (branch-splitting on
 the recorded ``OP_NOW`` constraints).
+
+On top of the compiled path sits *symmetry folding* (:mod:`.fold`):
+ranks whose opcode schedules are identical up to peer renaming are
+collapsed into equivalence classes, one representative is evaluated
+per class (:func:`evaluate_folded`, Θ(classes) instead of Θ(P)), and
+grid tapes weight aggregate terms by class multiplicity
+(:func:`evaluate_folded_grid`).  A binomial broadcast at ``P = 2**20``
+folds to ~6 000 classes; the dyadic-exactness guard keeps every
+aggregate bit-identical to the unfolded evaluator.  Folding is a
+stricter tier than compilation — it needs class-invariant flight and a
+restricted program shape — and refuses loudly with a
+:class:`FoldError` naming the first offending rank or op
+(:func:`fold_ineligibility` covers the timing side).
 """
 
-from .backend import BACKENDS, backend_ineligibility, resolve_backend
+from .backend import (
+    BACKENDS,
+    FOLD_MODES,
+    backend_ineligibility,
+    fold_ineligibility,
+    resolve_backend,
+    resolve_fold,
+)
 from .compiler import (
     CompiledProgram,
     CompileError,
     TimingDependentError,
     compile_programs,
+    compile_representatives,
+)
+from .fold import (
+    FoldError,
+    FoldedProgram,
+    FoldedResult,
+    RankClass,
+    evaluate_folded,
+    evaluate_folded_grid,
+    fold_program,
+    fold_tree,
 )
 from .evaluator import (
     CompiledResult,
@@ -55,19 +86,31 @@ from .grid import (
 
 __all__ = [
     "BACKENDS",
+    "FOLD_MODES",
     "CompileError",
     "CompiledProgram",
     "CompiledResult",
+    "FoldError",
+    "FoldedProgram",
+    "FoldedResult",
     "GridResult",
+    "RankClass",
     "SeedGridResult",
     "TimingDependentError",
     "TimingDivergence",
     "backend_ineligibility",
     "compile_at",
     "compile_programs",
+    "compile_representatives",
     "evaluate",
+    "evaluate_folded",
+    "evaluate_folded_grid",
     "evaluate_forked",
     "evaluate_grid",
     "evaluate_seed_grid",
+    "fold_ineligibility",
+    "fold_program",
+    "fold_tree",
     "resolve_backend",
+    "resolve_fold",
 ]

@@ -25,13 +25,42 @@ compiled opcode stream does not contain.  Callers pick a ``backend``:
   fixed-point clock) falls back to the machine — that is a property of
   the program, not a configuration mistake — and the fallback carries
   the ``CompileError`` reason (see ``sweep.grid_map``'s report).
+
+Symmetry folding (:mod:`.fold`) is a second, stricter tier *inside*
+the compiled path: it collapses ranks into equivalence classes and
+needs flight times that are not merely deterministic but
+*class-invariant* — one constant per message, independent of which
+rank sends it.  ``fold`` modes follow the same philosophy:
+
+* ``"off"`` — never fold; the plain compiled evaluator.
+* ``"on"`` — always fold; raises ``ValueError`` when the timing
+  configuration is fold-ineligible (:func:`fold_ineligibility`) and
+  lets :class:`~.fold.FoldError` propagate when the program's shape
+  cannot be folded.
+* ``"auto"`` — fold when the timing configuration allows it and the
+  program folds; a :class:`~.fold.FoldError` (a property of the
+  program, not a configuration mistake) degrades to the unfolded
+  compiled evaluator with the reason recorded in the dispatch report.
+  A fold-ineligible *timing configuration* under ``"auto"`` is **not**
+  an error — unlike backend auto-selection there is no silent 10×
+  cliff: the unfolded compiled path is the normal, fully supported
+  evaluator, so auto simply runs unfolded.
 """
 
 from __future__ import annotations
 
-__all__ = ["BACKENDS", "backend_ineligibility", "resolve_backend"]
+__all__ = [
+    "BACKENDS",
+    "FOLD_MODES",
+    "backend_ineligibility",
+    "fold_ineligibility",
+    "resolve_backend",
+    "resolve_fold",
+]
 
 BACKENDS = ("machine", "compiled", "auto")
+
+FOLD_MODES = ("auto", "on", "off")
 
 
 def backend_ineligibility(
@@ -70,6 +99,79 @@ def backend_ineligibility(
             "ports; compiled schedules assume fault-free execution"
         )
     return None
+
+
+def fold_ineligibility(
+    latency=None, fabric=None, compute_jitter=None
+) -> str | None:
+    """Why this timing configuration cannot use symmetry folding.
+
+    Folding needs *class-invariant* flight: every message in the run
+    takes the same fixed time regardless of sender, receiver, or event
+    order.  That admits the constant ``L`` and a
+    :class:`~repro.sim.latency.FixedLatency` model (bare or wrapped in
+    a :class:`~repro.sim.net.LatencyFabric`); it excludes seeded
+    latency models (draws are consumed in event order, which folding
+    does not reproduce), topology fabrics (flight is a function of the
+    (src, dst) pair), and ``compute_jitter`` (rank-indexed by
+    construction).  Returns ``None`` when eligible, else a
+    human-readable reason.
+    """
+    if compute_jitter is not None:
+        return (
+            "compute_jitter is rank-indexed — per-rank cycles are not "
+            "class-invariant"
+        )
+    if fabric is not None:
+        from ..net import LatencyFabric
+
+        if type(fabric) is not LatencyFabric:
+            return (
+                f"fabric {type(fabric).__name__} resolves flight per "
+                "(src, dst) pair or from runtime load — not "
+                "class-invariant"
+            )
+        latency = fabric.model
+    if latency is not None:
+        from ..latency import FixedLatency
+
+        if type(latency) is not FixedLatency:
+            return (
+                f"latency model {type(latency).__name__} draws per "
+                "message in event order — draws are not class-invariant"
+            )
+    return None
+
+
+def resolve_fold(
+    fold: str, *, latency=None, fabric=None, compute_jitter=None
+) -> str:
+    """Validate ``fold`` against the timing configuration.
+
+    Returns ``"on"`` or ``"off"``.  ``"on"`` raises ``ValueError`` when
+    :func:`fold_ineligibility` reports a reason; ``"auto"`` resolves to
+    ``"off"`` instead — the unfolded compiled evaluator is the normal
+    path, not a performance cliff (see the module docstring).  Whether
+    the *program* folds is decided later by
+    :func:`~.fold.fold_program`; under ``"auto"`` a
+    :class:`~.fold.FoldError` there degrades to unfolded with the
+    reason recorded in the caller's report.
+    """
+    if fold not in FOLD_MODES:
+        raise ValueError(f"fold must be one of {FOLD_MODES}, got {fold!r}")
+    if fold == "off":
+        return "off"
+    reason = fold_ineligibility(
+        latency=latency, fabric=fabric, compute_jitter=compute_jitter
+    )
+    if reason is None:
+        return "on"
+    if fold == "on":
+        raise ValueError(
+            f"fold='on' cannot use symmetry folding: {reason}. Pass "
+            "fold='auto' or fold='off' to run unfolded."
+        )
+    return "off"
 
 
 def resolve_backend(

@@ -77,6 +77,7 @@ __all__ = [
     "TimingDependentError",
     "CompiledProgram",
     "compile_programs",
+    "compile_representatives",
 ]
 
 # Opcodes.  Each compiled op is a plain tuple with the opcode first:
@@ -358,3 +359,106 @@ def compile_iterable(
 ) -> CompiledProgram:
     """Convenience wrapper: compile from any iterable of generators."""
     return compile_programs(list(programs), P)
+
+
+def compile_representatives(
+    programs: ProgramFactory,
+    P: int,
+    ranks: "Sequence[int]",
+) -> dict[int, tuple[tuple, ...]]:
+    """Compile only the listed ranks, each driven solo — Θ(reps), not Θ(P).
+
+    The symmetry-folding layer (:mod:`.fold`) groups ranks into
+    equivalence classes and needs one opcode schedule per class
+    *representative*.  Building that through :func:`compile_programs`
+    would instantiate and drive all ``P`` generators — exactly the
+    Θ(P) cost folding exists to avoid.  This drives each listed rank's
+    generator alone instead: a ``Recv`` resumes immediately with a
+    placeholder :class:`~repro.sim.program.ReceivedMessage` (unknown
+    ``src``, ``None`` payload), since no peer runs to deliver the real
+    one.
+
+    The contract this rests on is the fold layer's own eligibility
+    shape: the rank's *action sequence* must not depend on the payload
+    or source of a received message (forwarding an opaque payload is
+    fine — folding only compares opcode skeletons, never payloads).  A
+    program that branches on received data produces a wrong schedule
+    here, which the fold layer's differential tests exist to catch;
+    programs needing cross-rank resolution (``Barrier``) or a clock
+    (``Now``) raise :class:`CompileError` because solo driving cannot
+    resolve them faithfully.
+
+    Returns ``{rank: ops}`` with the same per-rank op-tuple format as
+    :class:`CompiledProgram.ops`.
+    """
+    if P < 1:
+        raise CompileError(f"P must be >= 1, got {P}")
+    out: dict[int, tuple[tuple, ...]] = {}
+    for rank in ranks:
+        if not 0 <= rank < P:
+            raise CompileError(
+                f"representative rank {rank} out of range (P={P})"
+            )
+        if rank in out:
+            continue
+        gen = programs(rank, P)
+        if not hasattr(gen, "send"):
+            raise CompileError(
+                f"program for rank {rank} is not a generator "
+                f"(got {type(gen).__name__})"
+            )
+        ops: list = []
+        resume = None
+        while True:
+            try:
+                action = gen.send(resume)
+            except StopIteration:
+                break
+            resume = None
+            cls = type(action)
+            if cls is Send:
+                dst = action.dst
+                if dst == rank:
+                    raise CompileError(
+                        f"proc {rank} tried to send to itself"
+                    )
+                if not 0 <= dst < P:
+                    raise CompileError(
+                        f"proc {rank} sent to invalid destination {dst} "
+                        f"(P={P})"
+                    )
+                ops.append((OP_SEND, dst, action.words, action.tag))
+            elif cls is Recv:
+                ops.append((OP_RECV, action.tag))
+                resume = ReceivedMessage(
+                    src=-1,
+                    payload=None,
+                    tag=action.tag,
+                    sent_at=math.nan,
+                    received_at=math.nan,
+                )
+            elif cls is Compute:
+                ops.append((OP_COMPUTE, float(action.cycles)))
+            elif cls is Sleep:
+                ops.append((OP_SLEEP, float(action.cycles)))
+            elif cls is Poll:
+                ops.append((OP_POLL,))
+                resume = 0
+            elif cls is Barrier:
+                raise CompileError(
+                    f"proc {rank} used Barrier: barrier release needs "
+                    "every rank, so a solo representative compile "
+                    "cannot resolve it — use compile_programs"
+                )
+            elif cls is Now:
+                raise TimingDependentError(
+                    f"proc {rank} used Now: simulated time is not "
+                    "available at compile time, so the schedule is "
+                    "timing-dependent — run it on the event machine"
+                )
+            else:
+                raise CompileError(
+                    f"proc {rank} yielded unknown action {action!r}"
+                )
+        out[rank] = tuple(ops)
+    return out

@@ -136,6 +136,7 @@ _I_ADD = 1    # (out, a, term, k)         v = slots[a] + term
 _I_ADDS = 2   # (out, a, b)               v = slots[a] + slots[b]
 _I_MAX = 3    # (out, a, b)               v = max(slots[a], slots[b])
 _I_STALL = 4  # (out, acc, now, start)    v = slots[acc] + (slots[now]-slots[start])
+_I_WADD = 5   # (out, a, b, w)            v = slots[a] + w * slots[b]
 
 # Parameter terms a tape instruction may reference.
 _T_LIT = 0    # literal float k
@@ -1047,6 +1048,13 @@ class GridResult:
     #: ``OP_NOW`` assumption — their entries are *unfilled*; the caller
     #: recompiles them at their own parameters (:func:`evaluate_forked`).
     divergent: list[int] = field(default_factory=list)
+    #: True when produced by the symmetry-folded path (:mod:`.fold`):
+    #: per-class evaluation, ``classes`` equivalence classes standing
+    #: in for P ranks.  Unfilled ``divergent`` entries there are
+    #: points the fold refuses at their own parameters (e.g. a
+    #: capacity stall) — the caller evaluates them unfolded.
+    folded: bool = False
+    classes: int = 0
 
 
 @dataclass(slots=True)
@@ -1064,6 +1072,10 @@ class SeedGridResult:
     #: Columns divergent from every recorded ``OP_NOW`` assumption
     #: (unfilled — see :class:`GridResult`).
     divergent: list[int] = field(default_factory=list)
+    #: Folded-path markers, for API symmetry with :class:`GridResult`
+    #: (seeded draws are not foldable today, so always the defaults).
+    folded: bool = False
+    classes: int = 0
 
 
 def _term_values(term: int, k, arrs):
@@ -1108,6 +1120,9 @@ def _replay_numpy(tape: _Tape, arrs, caps):
             S[ins[1]] = _term_values(ins[2], ins[3], arrs)
         elif op == _I_ADDS:
             np.add(S[ins[2]], S[ins[3]], out=S[ins[1]])
+        elif op == _I_WADD:
+            np.multiply(S[ins[3]], ins[4], out=S[ins[1]])
+            np.add(S[ins[2]], S[ins[1]], out=S[ins[1]])
         else:  # _I_STALL
             np.subtract(S[ins[3]], S[ins[4]], out=S[ins[1]])
             np.add(S[ins[2]], S[ins[1]], out=S[ins[1]])
@@ -1178,6 +1193,8 @@ def _replay_python(tape: _Tape, pts, caps):
                 slots[ins[1]] = _term_values(ins[2], ins[3], arrs)
             elif op == _I_ADDS:
                 slots[ins[1]] = slots[ins[2]] + slots[ins[3]]
+            elif op == _I_WADD:
+                slots[ins[1]] = slots[ins[2]] + ins[4] * slots[ins[3]]
             else:
                 slots[ins[1]] = slots[ins[2]] + (
                     slots[ins[3]] - slots[ins[4]]

@@ -68,10 +68,14 @@ __all__ = [
     "CaseOutcome",
     "FuzzSummary",
     "FAMILIES",
+    "FOLD_FAMILIES",
     "LATENCIES",
     "make_case",
+    "make_fold_case",
     "run_case",
+    "run_fold_case",
     "fuzz_sweep",
+    "fold_fuzz_sweep",
 ]
 
 FAMILIES = (
@@ -83,6 +87,10 @@ FAMILIES = (
     "poll_sleep",
     "mixed",
 )
+
+#: Broadcast-tree shapes exercised by the symmetry-folding fuzz
+#: dimension (:func:`fold_fuzz_sweep`).
+FOLD_FAMILIES = ("linear", "flat", "binomial", "optimal", "random")
 
 #: Latency models exercised per case: name -> constructor(L, seed).
 LATENCIES: dict[str, Callable[[float, int], LatencyModel]] = {
@@ -819,6 +827,266 @@ def _sweep_seed(
     ]
 
 
+# ----------------------------------------------------------------------
+# Symmetry-folding fuzz dimension: random broadcast trees, three ways
+# ----------------------------------------------------------------------
+
+
+def _fold_children(family: str, P: int, rng) -> list:
+    """Children lists for one fold-fuzz tree family at ``P`` ranks."""
+    from ..algorithms.broadcast import (
+        binomial_tree,
+        flat_tree,
+        linear_tree,
+    )
+
+    if family == "linear":
+        return linear_tree(P)
+    if family == "flat":
+        return flat_tree(P)
+    if family == "binomial":
+        return binomial_tree(P)
+    if family == "random":
+        children: list = [[] for _ in range(P)]
+        for i in range(1, P):
+            children[int(rng.integers(0, i))].append(i)
+        return children
+    raise ValueError(f"unknown fold family {family!r}")
+
+
+def make_fold_case(seed: int) -> FuzzCase:
+    """Generate the deterministic fold-fuzz case for ``seed``.
+
+    A broadcast over a random tree shape (:data:`FOLD_FAMILIES`) at a
+    larger ``P`` than the main fuzz draw (folding is about many ranks),
+    on the same 0.5-cycle dyadic parameter grid the folded evaluator's
+    exactness guard requires.
+    """
+    rng = np.random.default_rng([int(seed), 0xF01D])
+    family = FOLD_FAMILIES[int(rng.integers(0, len(FOLD_FAMILIES)))]
+    base = _draw_params(rng)
+    P = int(rng.integers(2, 65))
+    p = LogPParams(L=base.L, o=base.o, g=base.g, P=P)
+    if family == "optimal":
+        from ..algorithms.broadcast import optimal_broadcast_tree
+
+        children = optimal_broadcast_tree(p).children
+    else:
+        children = _fold_children(family, P, rng)
+    payload = _checksum(0, seed)
+
+    def factory(rank: int, P_: int):
+        from .collectives import tree_broadcast
+
+        return tree_broadcast(
+            rank, P_, payload if rank == 0 else None, children, root=0
+        )
+
+    return FuzzCase(
+        seed=seed,
+        family=family,
+        params=p,
+        factory=factory,
+        expected_messages=P - 1,
+        closed_form=None,
+        lower_bound=0.0,
+        upper_bound=_lin_bound(p, P - 1),
+        expected_values={r: payload for r in range(P)},
+    )
+
+
+def run_fold_case(case: FuzzCase, latency_name: str = "fixed") -> CaseOutcome:
+    """One fold-fuzz case under one latency model: three-way differential.
+
+    The machine is the semantics; the unfolded compiled evaluator must
+    match it bit-identically; the folded path must match *both* —
+    aggregates and every expanded per-rank view — whenever the timing
+    configuration and the schedule fold.  Under the seeded draw models
+    folding is ineligible by design (draws are consumed in event order);
+    the check there is that ``fold="auto"`` degrades to the unfolded
+    compiled path *with the ineligibility reason recorded* and values
+    unchanged.
+    """
+    from .compiled import (
+        CompileError,
+        FoldError,
+        compile_programs,
+        evaluate,
+        evaluate_folded,
+        fold_program,
+        resolve_fold,
+    )
+    from .sweep import GridMapReport, grid_map
+
+    where = (
+        f"fold seed={case.seed} family={case.family} {case.params} "
+        f"[{latency_name}]"
+    )
+    make_latency = LATENCIES[latency_name]
+    fixed = latency_name == "fixed"
+    out = CaseOutcome(
+        seed=case.seed,
+        family=case.family,
+        latency=latency_name,
+        makespan=0.0,
+        messages=0,
+        stalls=0,
+    )
+
+    try:
+        res = _run_machine(
+            case, make_latency(case.params.L, case.seed), trace=False
+        )
+    except Exception as exc:  # noqa: BLE001 - any crash is a finding
+        out.failures.append(f"{where}: machine run crashed: {exc!r}")
+        return out
+    out.makespan = res.makespan
+    out.messages = res.total_messages
+    for rank, expect in case.expected_values.items():
+        if res.value(rank) != expect:
+            out.failures.append(
+                f"{where}: machine P{rank} returned {res.value(rank)!r}, "
+                f"expected {expect!r}"
+            )
+
+    eval_latency = None if fixed else make_latency(case.params.L, case.seed)
+    try:
+        prog = compile_programs(case.factory, case.params.P)
+        comp = evaluate(prog, case.params, latency=eval_latency)
+    except CompileError as exc:
+        out.failures.append(f"{where}: schedule failed to compile: {exc}")
+        return out
+    if comp.makespan != res.makespan:
+        out.failures.append(
+            f"{where}: compiled makespan {comp.makespan} != machine "
+            f"{res.makespan}"
+        )
+    if comp.total_stall_time != res.total_stall_time:
+        out.failures.append(
+            f"{where}: compiled stall time {comp.total_stall_time} != "
+            f"machine {res.total_stall_time}"
+        )
+
+    mode = resolve_fold("auto", latency=eval_latency)
+    if mode == "on":
+        try:
+            folded = fold_program(prog)
+        except FoldError as exc:
+            out.failures.append(
+                f"{where}: broadcast tree failed to fold: {exc}"
+            )
+            return out
+        try:
+            fr = evaluate_folded(folded, case.params)
+        except FoldError:
+            # A per-point refusal (capacity stall at this point) is
+            # legitimate — the auto path covers it with the unfolded
+            # evaluator, checked through grid_map below.
+            fr = None
+        if fr is not None:
+            if fr.makespan != res.makespan:
+                out.failures.append(
+                    f"{where}: folded makespan {fr.makespan} != machine "
+                    f"{res.makespan}"
+                )
+            if fr.total_stall_time != res.total_stall_time:
+                out.failures.append(
+                    f"{where}: folded stall time {fr.total_stall_time} "
+                    f"!= machine {res.total_stall_time}"
+                )
+            if fr.total_messages != res.total_messages:
+                out.failures.append(
+                    f"{where}: folded message count {fr.total_messages} "
+                    f"!= machine {res.total_messages}"
+                )
+            for rank in range(case.params.P):
+                if fr.finished_at(rank) != comp.finished_at[rank]:
+                    out.failures.append(
+                        f"{where}: folded P{rank} finished at "
+                        f"{fr.finished_at(rank)}, compiled at "
+                        f"{comp.finished_at[rank]}"
+                    )
+                    break
+            for rank, expect in case.expected_values.items():
+                if fr.value(rank) != expect:
+                    out.failures.append(
+                        f"{where}: folded P{rank} returned "
+                        f"{fr.value(rank)!r}, expected {expect!r}"
+                    )
+                    break
+    elif fixed:  # pragma: no cover - fixed latency is always eligible
+        out.failures.append(
+            f"{where}: fold='auto' refused a fixed-latency configuration"
+        )
+
+    # Dispatch-layer differential: grid_map(fold="auto") must return
+    # the machine's numbers and report the fold decision truthfully.
+    report = GridMapReport()
+    got = grid_map(
+        case.factory,
+        [case.params],
+        fold="auto",
+        latency=None if fixed else make_latency(case.params.L, case.seed),
+        report=report,
+    )
+    if got[0] != (res.makespan, res.total_stall_time):
+        out.failures.append(
+            f"{where}: grid_map(fold='auto') returned {got[0]}, machine "
+            f"says {(res.makespan, res.total_stall_time)}"
+        )
+    group = report.groups[0]
+    if not fixed:
+        if group.fold != "off":
+            out.failures.append(
+                f"{where}: seeded-draw group reported fold={group.fold!r}"
+            )
+        if not group.fold_reason:
+            out.failures.append(
+                f"{where}: seeded-draw fallback recorded no fold_reason"
+            )
+    return out
+
+
+def _fold_sweep_seed(
+    seed: int, latencies: tuple[str, ...]
+) -> tuple[str, list[CaseOutcome]]:
+    """Per-seed fold-fuzz work unit; module-level so it pickles."""
+    case = make_fold_case(int(seed))
+    return case.family, [run_fold_case(case, name) for name in latencies]
+
+
+def fold_fuzz_sweep(
+    seeds: "range | list[int]",
+    latencies: tuple[str, ...] = ("fixed", "uniform", "jittered"),
+    *,
+    max_failures: int = 50,
+    workers: int | None = None,
+    min_chunk: int | None = None,
+) -> FuzzSummary:
+    """Differential sweep of the symmetry-folding dimension.
+
+    Every (seed, latency model) pair runs :func:`run_fold_case`; the
+    accounting and determinism contract match :func:`fuzz_sweep`.
+    """
+    summary = FuzzSummary(cases=0, runs=0, total_messages=0)
+    per_seed = sweep_map(
+        partial(_fold_sweep_seed, latencies=tuple(latencies)),
+        [int(s) for s in seeds],
+        workers=workers,
+        min_chunk=MIN_SEEDS_PER_WORKER if min_chunk is None else min_chunk,
+    )
+    for family, outcomes in per_seed:
+        summary.cases += 1
+        summary.by_family[family] = summary.by_family.get(family, 0) + 1
+        for out in outcomes:
+            summary.runs += 1
+            summary.total_messages += out.messages
+            summary.failures.extend(out.failures)
+            if len(summary.failures) >= max_failures:
+                return summary
+    return summary
+
+
 #: Smallest per-worker share of a fuzz sweep worth a process dispatch.
 #: One seed costs a few milliseconds; below ~this many seeds per worker,
 #: pool startup and per-task IPC exceed the work shipped and sweep_map
@@ -921,8 +1189,16 @@ def main(argv: list[str] | None = None) -> int:
         help="process count for the sweep (default: REPRO_SWEEP_WORKERS "
         "env var, then cpu count; 1 = serial)",
     )
+    parser.add_argument(
+        "--fold",
+        action="store_true",
+        help="run the symmetry-folding dimension (random broadcast "
+        "trees, folded == unfolded == machine) instead of the main "
+        "program families",
+    )
     args = parser.parse_args(argv)
-    summary = fuzz_sweep(
+    sweep = fold_fuzz_sweep if args.fold else fuzz_sweep
+    summary = sweep(
         range(args.start, args.start + args.seeds),
         tuple(args.latencies),
         workers=args.workers,

@@ -382,12 +382,20 @@ class GridGroupReport:
     """How one ``P`` group of a :func:`grid_map` call was evaluated.
 
     ``path`` is ``"compiled"`` (one straight-line tape set),
+    ``"compiled-folded"`` (rank equivalence classes, Θ(classes) tapes),
     ``"compiled-forked"`` (branch-split regions for a ``Now``-observing
     program), or ``"machine"`` (the group degraded to the event
     machine).  ``reason`` mirrors :class:`SweepPlan.reason`: for a
     machine degrade it carries the ``CompileError`` text verbatim, so
     callers (and the server's stats) can report *why* a sweep ran on
     the slow path, not merely that it did.
+
+    The fold dimension: ``fold`` is ``"on"`` when the group evaluated
+    by symmetry classes and ``"off"`` otherwise; ``classes`` is the
+    equivalence-class count (0 when unfolded); ``fold_reason`` carries
+    the ``FoldError`` text verbatim when folding was attempted under
+    ``fold="auto"`` but the program's shape refused, or a note when
+    individual points diverged back to the unfolded evaluator.
     """
 
     P: int
@@ -396,6 +404,9 @@ class GridGroupReport:
     reason: str = ""
     tapes: int = 0
     fallbacks: int = 0
+    fold: str = "off"
+    classes: int = 0
+    fold_reason: str = ""
 
 
 @dataclass(slots=True)
@@ -419,12 +430,18 @@ class GridMapReport:
         """The groups that fell back to the event machine."""
         return [g for g in self.groups if g.path == "machine"]
 
+    @property
+    def folded(self) -> list:
+        """The groups that evaluated by rank equivalence classes."""
+        return [g for g in self.groups if g.fold == "on"]
+
 
 def grid_map(
     programs,
     grid: Sequence,
     *,
     backend: str = "auto",
+    fold: str = "auto",
     latency=None,
     fabric=None,
     enforce_capacity: bool = True,
@@ -459,6 +476,18 @@ def grid_map(
             ineligible timing configuration (contended or lossy
             fabrics, faults), and falls back to the machine only for
             programs that cannot be *lowered* at all.
+        fold: ``"auto"``, ``"on"``, or ``"off"`` (see
+            :func:`repro.sim.compiled.resolve_fold`): whether the
+            compiled path collapses ranks into equivalence classes and
+            evaluates Θ(classes) per point instead of Θ(P).  ``auto``
+            folds when the timing configuration is class-invariant,
+            the program's shape folds, and folding actually compresses
+            (fewer classes than ranks) — a shape refusal degrades to
+            the unfolded compiled path with the ``FoldError`` reason
+            in the report's ``fold_reason``.  ``on`` raises instead:
+            ``ValueError`` for an ineligible timing configuration,
+            ``FoldError`` for an unfoldable program.  Results are
+            bit-identical either way; only the cost changes.
         latency / fabric: timing configuration, shared across points.
             The compiled path lowers any seeded
             :class:`~repro.sim.latency.LatencyModel` (bare or in a
@@ -477,11 +506,15 @@ def grid_map(
     """
     from .compiled import (
         CompileError,
+        FoldError,
         TimingDependentError,
         compile_programs,
+        evaluate_folded_grid,
         evaluate_forked,
         evaluate_grid,
+        fold_program,
         resolve_backend,
+        resolve_fold,
     )
 
     pts = list(grid)
@@ -492,6 +525,24 @@ def grid_map(
         fault_plan=fault_plan,
         heartbeat=heartbeat,
     )
+    want_fold = resolve_fold(
+        fold, latency=latency, fabric=fabric, compute_jitter=compute_jitter
+    )
+    timing_fold_reason = ""
+    if fold != "off" and want_fold == "off":
+        from .compiled import fold_ineligibility
+
+        timing_fold_reason = (
+            fold_ineligibility(
+                latency=latency, fabric=fabric, compute_jitter=compute_jitter
+            )
+            or ""
+        )
+    if resolved == "machine" and fold == "on":
+        raise ValueError(
+            "fold='on' requires the compiled backend; "
+            f"backend={backend!r} resolved to the event machine"
+        )
     if report is not None:
         report.backend = resolved
         report.groups = []
@@ -577,11 +628,63 @@ def grid_map(
             )
             continue
         else:
-            gr = evaluate_grid(prog, group_pts, **common)
-            _note(
-                P=P, n_points=len(indices), path="compiled",
-                tapes=gr.tapes, fallbacks=gr.fallbacks,
-            )
+            gr = None
+            unfold_reason = timing_fold_reason
+            if want_fold == "on":
+                try:
+                    folded_prog = fold_program(prog)
+                except FoldError as exc:
+                    if fold == "on":
+                        raise
+                    # auto: the program's shape does not fold — a
+                    # property of the schedule; run unfolded and say why.
+                    unfold_reason = str(exc)
+                else:
+                    if fold == "auto" and folded_prog.n_classes >= P:
+                        unfold_reason = (
+                            f"no compression: {folded_prog.n_classes} "
+                            f"classes for P={P}"
+                        )
+                    else:
+                        gr = evaluate_folded_grid(
+                            folded_prog, group_pts, **common
+                        )
+                        fold_reason = ""
+                        div = gr.divergent
+                        if div:
+                            # Per-point fold refusals (capacity stalls
+                            # at a recording reference): fill from the
+                            # unfolded evaluator — bit-identical values,
+                            # just the Θ(P) cost for those points.
+                            sub = evaluate_grid(
+                                prog,
+                                [group_pts[j] for j in div],
+                                **common,
+                            )
+                            for k, j in enumerate(div):
+                                gr.makespans[j] = sub.makespans[k]
+                                gr.total_stall_times[j] = (
+                                    sub.total_stall_times[k]
+                                )
+                            fold_reason = (
+                                f"{len(div)} point(s) diverged to the "
+                                "unfolded evaluator"
+                            )
+                            div.clear()
+                        _note(
+                            P=P, n_points=len(indices),
+                            path="compiled-folded",
+                            tapes=gr.tapes, fallbacks=gr.fallbacks,
+                            fold="on", classes=gr.classes,
+                            fold_reason=fold_reason,
+                        )
+            if gr is None:
+                gr = evaluate_grid(prog, group_pts, **common)
+                _note(
+                    P=P, n_points=len(indices), path="compiled",
+                    tapes=gr.tapes, fallbacks=gr.fallbacks,
+                    fold_reason=unfold_reason,
+                )
         # zip, not indexing: a backend returning too few results leaves
         # holes for _require_filled to name instead of crashing here.
         divergent = set(gr.divergent)
