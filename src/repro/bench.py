@@ -62,6 +62,13 @@ pytest-benchmark suite:
   until it is pure cache hits.  Beyond the gated timings, the report
   records ``serve_requests_per_s`` and ``serve_cache_hit_rate`` as
   first-class serving baselines.
+* ``serve_degraded`` — serving throughput *under fire*: machine-backend
+  sweeps sharded across a :class:`~repro.sim.supervise.SupervisedPool`
+  while a killer thread SIGKILLs one pool worker per period.  Every
+  result is checked bit-identical to the serial ``grid_map`` before the
+  timing counts (a parity failure raises), and the report records
+  ``serve_degraded_requests_per_s`` plus the observed worker-death
+  count — the self-healing overhead baseline.
 
 ``--only PREFIX`` runs just the workloads whose name starts with
 ``PREFIX`` (e.g. ``--only compiled`` for the grid-evaluator pair, or
@@ -348,6 +355,93 @@ def _serve_throughput_requests(n_requests: int, distinct: int) -> list:
         )
         for i in range(n_requests)
     ]
+
+
+def _serve_degraded_requests(
+    n_requests: int, n_points: int
+) -> tuple[list, list]:
+    """``n_requests`` distinct machine-backend sweeps plus their serial
+    ground truth.  Distinct points and seeds everywhere: no request is
+    servable from cache, so every one exercises the supervised pool."""
+    from .serve import SweepRequest
+    from .serve.server import _eval_shard, canonical_latency
+
+    requests, expected = [], []
+    for r in range(n_requests):
+        raw = [
+            (4.0 + 0.01 * (r * n_points + i), 1.0, 4.0, 8, None)
+            for i in range(n_points)
+        ]
+        pts = [LogPParams(L=L, o=o, g=g, P=P) for (L, o, g, P, _G) in raw]
+        requests.append(
+            SweepRequest.make(
+                "flood", pts, args={"k": 12}, seed=r, backend="machine"
+            )
+        )
+        expected.append(
+            _eval_shard(
+                "flood", {"k": 12}, r, "machine", canonical_latency(None), raw
+            )
+        )
+    return requests, expected
+
+
+def _serve_degraded(
+    requests: list, expected: list, *, kill_period: float
+) -> tuple[float, int, dict]:
+    """Serve ``requests`` on a supervised 2-worker server while a killer
+    thread SIGKILLs one random pool worker every ``kill_period`` seconds.
+
+    Returns ``(elapsed_s, worker_deaths, stats)``.  Raises if any served
+    pair deviates from the precomputed serial ground truth — degraded
+    throughput is only worth measuring when it is still correct.
+    """
+    import asyncio
+    import os as _os
+    import random as _random
+    import signal as _signal
+    import threading
+
+    from .serve import ServeConfig, SimulationServer
+
+    async def _run() -> tuple[float, int, dict]:
+        config = ServeConfig(
+            workers=2, batch_window=0.0, shard_min_points=2, supervised=True
+        )
+        async with SimulationServer(config) as server:
+            stop = threading.Event()
+            rng = _random.Random(0xDE6)
+
+            def killer() -> None:
+                while not stop.wait(kill_period):
+                    pool = server._pool
+                    pids = pool.pids() if hasattr(pool, "pids") else []
+                    if pids:
+                        try:
+                            _os.kill(rng.choice(pids), _signal.SIGKILL)
+                        except ProcessLookupError:
+                            pass
+
+            thread = threading.Thread(target=killer, daemon=True)
+            t0 = time.perf_counter()
+            thread.start()
+            try:
+                for i, (request, want) in enumerate(zip(requests, expected)):
+                    job = await server.submit(request)
+                    got = await job.wait()
+                    if list(got) != list(want):
+                        raise RuntimeError(
+                            f"serve_degraded parity failure on request {i}: "
+                            "supervised result deviates from serial grid_map"
+                        )
+            finally:
+                stop.set()
+                thread.join()
+            elapsed = time.perf_counter() - t0
+            deaths = getattr(server._pool, "deaths", 0)
+            return elapsed, deaths, server.stats_snapshot()
+
+    return asyncio.run(_run())
 
 
 def _serve_cache_hit_requests(n_requests: int, n_points: int) -> list:
@@ -661,6 +755,9 @@ def run_all(
     serve_distinct = 16 if smoke else 64
     serve_hit_reqs = 16 if smoke else 128
     serve_hit_points = 16 if smoke else 32
+    degraded_reqs = 10 if smoke else 48
+    degraded_points = 8 if smoke else 16
+    degraded_kill_period = 0.03 if smoke else 1.0
 
     def want(name: str) -> bool:
         return only is None or name.startswith(only)
@@ -779,6 +876,23 @@ def run_all(
         serve_metrics["serve_cache_hit_rate"] = hit_stats["cache"][
             "hit_rate"
         ]
+    degraded_deaths = 0
+    if want("serve_degraded"):
+        # One instrumented run (not best-of-N): the SIGKILL schedule is
+        # wall-clock-driven, so repeats would not reduce variance — the
+        # correctness check inside is the hard gate, the timing a
+        # baseline with the usual --baseline slack.
+        dg_requests, dg_expected = _serve_degraded_requests(
+            degraded_reqs, degraded_points
+        )
+        dg_elapsed, degraded_deaths, _dg_stats = _serve_degraded(
+            dg_requests, dg_expected, kill_period=degraded_kill_period
+        )
+        timings["serve_degraded_s"] = round(dg_elapsed, 4)
+        serve_metrics["serve_degraded_requests_per_s"] = round(
+            len(dg_requests) / dg_elapsed, 1
+        )
+        serve_metrics["serve_degraded_worker_deaths"] = degraded_deaths
     sweep_scaling: dict[str, float] = {}
     if want("sweep"):
         _fuzz(seeds, 1)  # warm up (imports, generator JIT-ish costs)
@@ -862,6 +976,15 @@ def run_all(
                 "requests": serve_hit_reqs,
                 "points": serve_hit_points,
                 "family": "bcast_tree",
+            },
+            "serve_degraded": {
+                "requests": degraded_reqs,
+                "points": degraded_points,
+                "kill_period_s": degraded_kill_period,
+                "worker_deaths": degraded_deaths,
+                "family": "flood",
+                "backend": "machine",
+                "pool": "SupervisedPool[2]",
             },
         },
         "timings_s": timings,

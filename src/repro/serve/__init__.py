@@ -15,18 +15,33 @@ existing execution stack:
   into single vectorized compiled-grid evaluations, process-pool
   sharding for large sweeps, and per-job progress streaming;
 * :mod:`.protocol` — a JSON-lines TCP protocol plus a thin client;
+* :mod:`.chaos` — the service-level chaos harness: SIGKILLed pool
+  workers, a server killed and restarted mid-job, a journal truncated
+  mid-write — results must stay bit-identical and deadline-bounded;
 * ``python -m repro.serve`` (:mod:`.__main__`) — run the TCP server,
-  or ``--smoke`` for the self-checking parity/throughput probe CI runs.
+  ``--smoke`` for the self-checking parity/throughput probe CI runs,
+  or ``--chaos`` for the service chaos drill.
+
+The service fault model (DESIGN.md §12): sharded batches run on a
+:class:`repro.sim.supervise.SupervisedPool` (worker death → restart +
+retry + poison quarantine), jobs carry deadlines and can be cancelled,
+admission is bounded (``overloaded`` error frames, never silent
+queueing), and with ``--cache-dir`` the result cache persists across
+restarts via a write-ahead journal + snapshot.
 
 Serving invariant, pinned by ``tests/test_serve.py``: every result is
-bit-identical to the serial sweep, whichever path produced it.
+bit-identical to the serial sweep, whichever path produced it —
+including results replayed from the journal after a crash.
 """
 
-from .cache import CacheKey, CacheStats, ResultCache
+from .cache import CacheKey, CachePersistence, CacheStats, ResultCache
 from .registry import families, fingerprint, register
 from .server import (
     Job,
+    JobCancelledError,
+    JobDeadlineError,
     ServeConfig,
+    ServerOverloaded,
     ServerShutdown,
     SimulationServer,
     SweepRequest,
@@ -36,10 +51,14 @@ from .server import (
 
 __all__ = [
     "CacheKey",
+    "CachePersistence",
     "CacheStats",
     "Job",
+    "JobCancelledError",
+    "JobDeadlineError",
     "ResultCache",
     "ServeConfig",
+    "ServerOverloaded",
     "ServerShutdown",
     "SimulationServer",
     "SweepRequest",

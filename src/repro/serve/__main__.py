@@ -1,9 +1,11 @@
-"""``python -m repro.serve``: run the TCP simulation server (or --smoke).
+"""``python -m repro.serve``: run the TCP simulation server (or a probe).
 
 Normal mode binds the JSON-lines protocol (:mod:`repro.serve.protocol`)
 and serves until interrupted::
 
-    python -m repro.serve --host 127.0.0.1 --port 7413
+    python -m repro.serve --host 127.0.0.1 --port 7413 \
+        --cache-dir /var/tmp/repro-cache --max-pending 100000 \
+        --default-deadline 300
 
 ``--smoke`` instead runs the self-checking parity/throughput probe
 (:mod:`repro.serve.smoke`) against an in-process server on an ephemeral
@@ -11,6 +13,14 @@ port and exits nonzero on any parity failure — the CI serve job's
 entry point::
 
     python -m repro.serve --smoke --out serve_smoke.json
+
+``--chaos`` runs the service chaos harness (:mod:`repro.serve.chaos`):
+SIGKILLs pool workers mid-sweep, kills and restarts a real server
+subprocess mid-job, truncates the cache journal mid-write — and exits
+nonzero unless every surviving result stayed bit-identical to the
+serial ``grid_map`` and no run outlived its deadline::
+
+    python -m repro.serve --chaos --out serve_chaos.json
 """
 
 from __future__ import annotations
@@ -28,7 +38,12 @@ async def _serve_forever(args) -> int:
     config = ServeConfig(
         workers=args.workers,
         batch_window=args.batch_window,
+        shard_min_points=args.shard_min_points,
         cache_entries=args.cache_entries,
+        max_pending_points=args.max_pending,
+        default_deadline=args.default_deadline,
+        cache_dir=args.cache_dir,
+        snapshot_every=args.snapshot_every,
     )
     server = SimulationServer(config)
     tcp = await start_tcp_server(server, args.host, args.port)
@@ -71,16 +86,61 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--cache-entries", type=int, default=65_536)
     parser.add_argument(
+        "--shard-min-points", type=int, default=512, metavar="N",
+        help="smallest per-worker share of a batch worth a process "
+        "dispatch (default 512)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist the result cache under DIR (write-ahead journal + "
+        "snapshot, replayed on restart with fingerprint validation); "
+        "default: in-memory only",
+    )
+    parser.add_argument(
+        "--snapshot-every", type=int, default=256, metavar="N",
+        help="with --cache-dir: compact the journal into a snapshot "
+        "every N journaled results (default 256)",
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=None, metavar="POINTS",
+        help="admission bound: refuse (overloaded error frame) any "
+        "request that would push the in-flight point count past this; "
+        "default: unbounded",
+    )
+    parser.add_argument(
+        "--default-deadline", type=float, default=None, metavar="SECONDS",
+        help="deadline applied to jobs that don't carry their own; "
+        "an expired job fails with a deadline-exceeded error frame "
+        "(default: none)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="run the self-checking parity/throughput probe and exit",
     )
     parser.add_argument(
+        "--chaos", action="store_true",
+        help="run the service chaos harness (worker SIGKILLs, server "
+        "kill -9 + journal replay, torn-tail recovery, deadline and "
+        "overload drills) and exit",
+    )
+    parser.add_argument(
+        "--chaos-points", type=int, default=500, metavar="N",
+        help="with --chaos: sweep size for the worker-kill drill "
+        "(default 500, the acceptance grid)",
+    )
+    parser.add_argument(
         "--out", default=None, metavar="PATH",
-        help="with --smoke: write the JSON report artifact to PATH",
+        help="with --smoke/--chaos: write the JSON report artifact",
     )
     args = parser.parse_args(argv)
+    if args.smoke and args.chaos:
+        parser.error("--smoke and --chaos are mutually exclusive")
     if args.smoke:
         return run_smoke(args.out)
+    if args.chaos:
+        from .chaos import run_service_chaos
+
+        return run_service_chaos(args.out, points=args.chaos_points)
     try:
         return asyncio.run(_serve_forever(args))
     except KeyboardInterrupt:

@@ -27,14 +27,49 @@ pins cold-vs-warm.
 The store is a plain LRU (``OrderedDict`` move-to-end) with hit/miss/
 eviction counters surfaced through the server's stats endpoint and the
 ``serve_cache_hit`` bench workload.
+
+Persistence (:class:`CachePersistence`) makes the cache survive server
+restarts: every ``put`` is appended to a write-ahead JSONL journal
+(``journal.jsonl`` under ``cache_dir``), periodically compacted into a
+snapshot (``snapshot.jsonl``, written atomically via a temp file +
+``os.replace``, after which the journal restarts empty).  On startup
+the snapshot is replayed first, then the journal.  Replay is defensive
+in exactly two ways, both loud:
+
+* **Fingerprint validation.**  Each record stores the family name and
+  canonical args alongside the fingerprint it was computed under; at
+  replay the fingerprint is *recomputed* against the current code and a
+  mismatch (the family's builder changed, or the family no longer
+  exists) drops the entry with a ``RuntimeWarning`` and a counter —
+  stale code must never serve stale bits as a "hit".
+* **Torn-tail tolerance.**  A server SIGKILLed mid-append leaves a
+  truncated last line; replay keeps every record up to the tear, counts
+  it, and truncates the file back to the last good byte so future
+  appends cannot concatenate into the torn fragment.  Anything after a
+  tear is unreadable by construction (appends are sequential), so
+  nothing silently skips.
+
+JSON round-trips Python floats exactly (shortest-repr), so a replayed
+``(makespan, stall)`` pair is bit-identical to the pair that was
+journaled — restart cannot corrupt served values, it can only forget
+the un-journaled tail of the very last write.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 
-__all__ = ["CacheKey", "CacheStats", "ResultCache", "point_key"]
+__all__ = [
+    "CacheKey",
+    "CachePersistence",
+    "CacheStats",
+    "ResultCache",
+    "point_key",
+]
 
 
 def point_key(params) -> tuple:
@@ -119,6 +154,23 @@ class ResultCache:
         self.stats.hits += 1
         return pair
 
+    def peek(self, key: CacheKey) -> tuple[float, float] | None:
+        """A side-effect-free lookup: no stats, no LRU reorder.
+
+        Admission control asks "would this point be a miss?" *before*
+        deciding to accept a request; that probe must not inflate the
+        hit counters or refresh recency for a request that may be shed.
+        """
+        return self._store.get(key)
+
+    def items(self):
+        """Snapshot iteration in LRU order (coldest first).
+
+        For :class:`CachePersistence` snapshots; the caller must not
+        mutate the cache while iterating.
+        """
+        return iter(self._store.items())
+
     def put(self, key: CacheKey, pair: tuple[float, float]) -> None:
         store = self._store
         if key in store:
@@ -134,3 +186,233 @@ class ResultCache:
     def clear(self) -> None:
         self._store.clear()
         self.stats.entries = 0
+
+
+# ----------------------------------------------------------------------
+# Persistence: write-ahead journal + snapshot (see module docstring)
+# ----------------------------------------------------------------------
+
+
+def _retuple(obj):
+    """JSON turns tuples into lists; keys need them back, recursively."""
+    if isinstance(obj, list):
+        return tuple(_retuple(x) for x in obj)
+    return obj
+
+
+class CachePersistence:
+    """Journal/snapshot store under ``cache_dir``; owns no cache.
+
+    The server calls :meth:`record` after every cache ``put`` and
+    :meth:`load` once at startup (replaying entries *into* its cache);
+    :meth:`snapshot` compacts on the server's cadence
+    (``snapshot_every`` records, plus one on graceful close).  Counters
+    in :attr:`stats` surface through the ``stats`` endpoint's
+    ``persistence`` block so an operator can see replay results without
+    reading logs.
+    """
+
+    JOURNAL = "journal.jsonl"
+    SNAPSHOT = "snapshot.jsonl"
+
+    def __init__(self, cache_dir: str, *, snapshot_every: int = 256):
+        if snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        self.cache_dir = cache_dir
+        self.snapshot_every = snapshot_every
+        os.makedirs(cache_dir, exist_ok=True)
+        self.journal_path = os.path.join(cache_dir, self.JOURNAL)
+        self.snapshot_path = os.path.join(cache_dir, self.SNAPSHOT)
+        self._journal_fh = None
+        self._since_snapshot = 0
+        self.stats = {
+            "loaded": 0,
+            "dropped_stale": 0,
+            "torn_tails": 0,
+            "journal_records": 0,
+            "snapshots": 0,
+        }
+
+    # -- encoding ------------------------------------------------------
+
+    @staticmethod
+    def _encode(program: str, args: tuple, key: CacheKey, pair) -> str:
+        return json.dumps(
+            {
+                "p": program,
+                "a": [list(kv) for kv in args],
+                "fp": key.fingerprint,
+                "k": [
+                    list(key.point),
+                    key.seed,
+                    key.backend,
+                    None if key.latency is None else list(
+                        x if not isinstance(x, tuple) else list(x)
+                        for x in key.latency
+                    ),
+                ],
+                "v": list(pair),
+            },
+            separators=(",", ":"),
+        )
+
+    @staticmethod
+    def _decode(obj: dict):
+        program = obj["p"]
+        args = tuple((str(k), v) for k, v in obj["a"])
+        raw_pt, seed, backend, latency = obj["k"]
+        L, o, g, P, G = raw_pt
+        point = (
+            float(L), float(o), float(g), int(P),
+            None if G is None else float(G),
+        )
+        key = CacheKey(
+            fingerprint=obj["fp"],
+            point=point,
+            seed=seed,
+            backend=backend,
+            latency=None if latency is None else _retuple(latency),
+        )
+        pair = (float(obj["v"][0]), float(obj["v"][1]))
+        return program, args, key, pair
+
+    # -- replay --------------------------------------------------------
+
+    def load(self) -> list:
+        """Replay snapshot then journal; see the module docstring.
+
+        Returns validated ``(program, args, key, pair)`` tuples in
+        write order (so an LRU refilled in order keeps recency), with
+        stale-fingerprint entries dropped loudly and torn tails
+        truncated in place.
+        """
+        from .registry import fingerprint
+
+        entries = []
+        current_fp: dict[tuple, str | None] = {}
+        for path in (self.snapshot_path, self.journal_path):
+            for obj in self._read_records(path):
+                try:
+                    program, args, key, pair = self._decode(obj)
+                except (KeyError, TypeError, ValueError, IndexError):
+                    self.stats["dropped_stale"] += 1
+                    continue
+                ident = (program, args)
+                if ident not in current_fp:
+                    try:
+                        current_fp[ident] = fingerprint(program, dict(args))
+                    except (KeyError, TypeError, ValueError):
+                        current_fp[ident] = None  # family gone
+                if current_fp[ident] != key.fingerprint:
+                    self.stats["dropped_stale"] += 1
+                    continue
+                entries.append((program, args, key, pair))
+                self.stats["loaded"] += 1
+        if self.stats["dropped_stale"]:
+            warnings.warn(
+                f"cache replay dropped {self.stats['dropped_stale']} "
+                f"stale entr(ies) under {self.cache_dir}: the recorded "
+                "fingerprint no longer matches the current code (family "
+                "changed or removed); those points will recompute",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return entries
+
+    def _read_records(self, path: str):
+        """Yield decoded JSON records; truncate the file at a torn line.
+
+        Appends are sequential, so the first undecodable line means
+        everything after it is the debris of an interrupted write —
+        truncating back to the last good byte keeps future appends from
+        concatenating into the fragment.
+        """
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            return
+        good_end = 0
+        for line in data.splitlines(keepends=True):
+            stripped = line.strip()
+            if stripped:
+                try:
+                    obj = json.loads(stripped)
+                except json.JSONDecodeError:
+                    break
+                if not line.endswith(b"\n"):
+                    # Decodable but unterminated: the flush raced the
+                    # kill mid-line; a future append would corrupt it.
+                    break
+                yield obj
+            good_end += len(line)
+        if good_end < len(data):
+            self.stats["torn_tails"] += 1
+            warnings.warn(
+                f"cache journal {path} had a torn tail "
+                f"({len(data) - good_end} byte(s) after the last complete "
+                "record); truncated back to the last good record",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            with open(path, "rb+") as fh:
+                fh.truncate(good_end)
+
+    # -- writing -------------------------------------------------------
+
+    def record(self, program: str, args: tuple, key: CacheKey, pair) -> None:
+        """Append one write-ahead record and flush it.
+
+        A flush is durability enough for the fault model here (process
+        SIGKILL): the bytes live in the OS page cache, which survives
+        the process.  Machine-level power loss is out of scope.
+        """
+        if self._journal_fh is None:
+            self._journal_fh = open(
+                self.journal_path, "a", encoding="utf-8"
+            )
+        self._journal_fh.write(self._encode(program, args, key, pair) + "\n")
+        self._journal_fh.flush()
+        self.stats["journal_records"] += 1
+        self._since_snapshot += 1
+
+    @property
+    def snapshot_due(self) -> bool:
+        return self._since_snapshot >= self.snapshot_every
+
+    def snapshot(self, entries) -> None:
+        """Compact: atomically rewrite the snapshot, restart the journal.
+
+        ``entries`` iterates ``(program, args, key, pair)`` — the
+        cache's current contents (evicted entries drop out of
+        persistence here, by design: persistence mirrors the cache, it
+        is not an archive).  The snapshot lands via temp file +
+        ``os.replace`` so a kill mid-compaction leaves the old snapshot
+        intact; only after the replace is the journal reset.
+        """
+        tmp = self.snapshot_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for program, args, key, pair in entries:
+                fh.write(self._encode(program, args, key, pair) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.snapshot_path)
+        if self._journal_fh is not None:
+            self._journal_fh.close()
+        self._journal_fh = open(self.journal_path, "w", encoding="utf-8")
+        self._journal_fh.flush()
+        self.stats["snapshots"] += 1
+        self._since_snapshot = 0
+
+    def close(self) -> None:
+        if self._journal_fh is not None:
+            self._journal_fh.close()
+            self._journal_fh = None
+
+    def stats_snapshot(self) -> dict:
+        snap = dict(self.stats)
+        snap["cache_dir"] = self.cache_dir
+        snap["since_snapshot"] = self._since_snapshot
+        return snap

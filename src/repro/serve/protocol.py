@@ -7,16 +7,32 @@ frames when it pipelines requests:
 ``{"op": "submit", "program": "...", "points": [{"L":..,"o":..,"g":..,
 "P":..}, ...], "args": {...}, "seed": null, "backend": "auto",
 "latency": {"kind": "jittered", "L": 6.0, "scale_frac": 0.1,
-"seed": 7}, "stream": true, "tag": "r1"}``
+"seed": 7}, "deadline": 30.0, "stream": true, "tag": "r1"}``
     Submit a sweep.  The server answers ``accepted`` (job id + point
     count), then — when ``stream`` — ``progress`` frames after every
     resolved point group, then one ``result`` frame with the
     submission-order ``[makespan, total_stall_time]`` pairs and the
-    per-source serving counts, or an ``error`` frame.
+    per-source serving counts, or an ``error`` frame.  ``deadline``
+    (seconds, optional) bounds how long the job may wait before it
+    fails with a ``deadline-exceeded`` error frame.
+
+``{"op": "cancel", "job": 7, "tag": "c1"}``
+    Cancel a job by id (the id from its ``accepted`` frame — usable
+    from any connection).  Answers ``{"op": "cancelled", "job": 7,
+    "ok": true}``; an unknown or already-finished job has ``ok`` false.
+    The cancelled submission's own stream ends with a ``cancelled``
+    error frame.
 
 ``{"op": "stats"}`` / ``{"op": "families"}`` / ``{"op": "ping"}``
-    Introspection: server counters + cache stats, the program registry,
-    liveness.
+    Introspection: server counters + cache stats + health/readiness
+    (+ persistence replay counters when ``--cache-dir`` is set), the
+    program registry, liveness.
+
+Typed error frames a client can branch on (the ``error`` field):
+``overloaded`` (admission refused, with a ``retry_after`` hint —
+back off and resubmit), ``deadline-exceeded``, ``cancelled``, and
+``server-shutdown``.  Anything else is an exception rendered as
+``TypeName: message``.
 
 Frames the server sends are never interleaved mid-line (a writer lock
 serializes them); submissions on one connection run concurrently, so a
@@ -32,7 +48,14 @@ import asyncio
 import json
 
 from .registry import families
-from .server import ServerShutdown, SimulationServer, SweepRequest
+from .server import (
+    JobCancelledError,
+    JobDeadlineError,
+    ServerOverloaded,
+    ServerShutdown,
+    SimulationServer,
+    SweepRequest,
+)
 
 __all__ = ["ServeClient", "handle_connection", "start_tcp_server"]
 
@@ -68,6 +91,7 @@ async def handle_connection(
                 seed=msg.get("seed"),
                 backend=msg.get("backend", "auto"),
                 latency=msg.get("latency"),
+                deadline=msg.get("deadline"),
             )
         except KeyError as exc:
             await send(
@@ -89,6 +113,14 @@ async def handle_connection(
                  "error": "server-shutdown", "detail": str(exc)}
             )
             return
+        except ServerOverloaded as exc:
+            # Explicit load-shedding: the client backs off and retries;
+            # nothing was accepted, so a retry is safe and complete.
+            await send(
+                {"op": "error", "tag": tag, "error": "overloaded",
+                 "detail": str(exc), "retry_after": exc.retry_after}
+            )
+            return
         await send(
             {"op": "accepted", "tag": tag, "job": job.id,
              "total": job.total}
@@ -105,6 +137,18 @@ async def handle_connection(
             await send(
                 {"op": "error", "tag": tag, "job": job.id,
                  "error": "server-shutdown", "detail": str(exc)}
+            )
+            return
+        except JobDeadlineError as exc:
+            await send(
+                {"op": "error", "tag": tag, "job": job.id,
+                 "error": "deadline-exceeded", "detail": str(exc)}
+            )
+            return
+        except JobCancelledError as exc:
+            await send(
+                {"op": "error", "tag": tag, "job": job.id,
+                 "error": "cancelled", "detail": str(exc)}
             )
             return
         except Exception as exc:  # noqa: BLE001 - reported to the client
@@ -149,6 +193,13 @@ async def handle_connection(
                 await send(
                     {"op": "families", "tag": msg.get("tag"),
                      "families": families()}
+                )
+            elif op == "cancel":
+                job_id = msg.get("job")
+                ok = isinstance(job_id, int) and server.cancel_job(job_id)
+                await send(
+                    {"op": "cancelled", "tag": msg.get("tag"),
+                     "job": job_id, "ok": bool(ok)}
                 )
             elif op == "ping":
                 await send({"op": "pong", "tag": msg.get("tag")})
@@ -223,11 +274,14 @@ class ServeClient:
         seed: int | None = None,
         backend: str = "auto",
         latency: dict | None = None,
+        deadline: float | None = None,
         stream: bool = False,
     ) -> dict:
         """Submit and collect: returns the ``result`` frame with an extra
         ``"progress"`` list of ``[done, total]`` pairs when streaming.
-        Raises ``RuntimeError`` on an ``error`` frame."""
+        Raises ``RuntimeError`` on an ``error`` frame — the message is
+        the typed error code (``overloaded``, ``deadline-exceeded``,
+        ``cancelled``, ``server-shutdown``) when the server sent one."""
         await self._send(
             {
                 "op": "submit",
@@ -237,6 +291,7 @@ class ServeClient:
                 "seed": seed,
                 "backend": backend,
                 "latency": latency,
+                "deadline": deadline,
                 "stream": stream,
             }
         )
@@ -252,6 +307,15 @@ class ServeClient:
                 frame["progress"] = progress
                 return frame
             # "accepted" and unknown frames: keep reading
+
+    async def cancel(self, job_id: int) -> bool:
+        """Cancel a job by id (use a *separate* client connection when
+        the submitting one is mid-stream).  Returns the server's ``ok``."""
+        await self._send({"op": "cancel", "job": job_id})
+        frame = await self._recv()
+        if frame.get("op") != "cancelled":
+            raise RuntimeError(f"expected cancelled frame, got {frame}")
+        return bool(frame.get("ok"))
 
     async def stats(self) -> dict:
         await self._send({"op": "stats"})

@@ -48,13 +48,17 @@ from functools import partial
 from typing import Iterable, Sequence
 
 from ..core import LogGPParams, LogPParams
+from ..sim.supervise import SupervisedPool
 from ..sim.sweep import WorkerPool, grid_map, resolve_workers, sweep_map
-from .cache import CacheKey, ResultCache, point_key
+from .cache import CacheKey, CachePersistence, ResultCache, point_key
 from .registry import build, canonical_args, fingerprint, get_family
 
 __all__ = [
     "Job",
+    "JobCancelledError",
+    "JobDeadlineError",
     "ServeConfig",
+    "ServerOverloaded",
     "ServerShutdown",
     "SimulationServer",
     "SweepRequest",
@@ -73,6 +77,61 @@ class ServerShutdown(RuntimeError):
     (surfaced on the wire as a ``server-shutdown`` error frame), never
     with a bare ``CancelledError`` that looks like a client bug.
     """
+
+
+class ServerOverloaded(RuntimeError):
+    """Admission refused: accepting the request would exceed the bound.
+
+    Load-shedding is explicit by design — a client must see an
+    ``overloaded`` error frame it can back off on, never a silently
+    growing queue that turns into a hang.  ``retry_after`` is a hint in
+    seconds (one batch window: by then the current batch has drained).
+    """
+
+    def __init__(self, inflight: int, requested: int, limit: int,
+                 retry_after: float):
+        super().__init__(
+            f"admission refused: {inflight} point(s) in flight + "
+            f"{requested} new would exceed max_pending_points={limit}; "
+            f"retry after ~{retry_after}s"
+        )
+        self.inflight = inflight
+        self.requested = requested
+        self.limit = limit
+        self.retry_after = retry_after
+
+
+class JobDeadlineError(RuntimeError):
+    """The job's deadline elapsed before every point resolved.
+
+    Set on the job's *own* (mirror) futures only: the shared
+    computation keeps running and still lands in the cache — the
+    deadline bounds how long this client waits, it does not waste the
+    work.  Surfaced on the wire as a ``deadline-exceeded`` error frame.
+    """
+
+    def __init__(self, job_id: int, deadline: float, pending: int):
+        super().__init__(
+            f"job {job_id} missed its {deadline}s deadline with "
+            f"{pending} point(s) unresolved"
+        )
+        self.job_id = job_id
+        self.deadline = deadline
+        self.pending = pending
+
+
+class JobCancelledError(RuntimeError):
+    """The job was cancelled (``cancel`` op or :meth:`Job.cancel`).
+
+    Like a deadline, cancellation fails only this job's mirror futures;
+    shared in-flight computation other jobs depend on is untouched.
+    Surfaced on the wire as a ``cancelled`` error frame.
+    """
+
+    def __init__(self, job_id: int, reason: str):
+        super().__init__(f"job {job_id} cancelled: {reason}")
+        self.job_id = job_id
+        self.reason = reason
 
 
 def parse_point(spec) -> LogPParams:
@@ -201,6 +260,10 @@ class SweepRequest:
     #: Canonical shared-latency spec (see :func:`canonical_latency`);
     #: None means every flight takes exactly the point's ``L``.
     latency: tuple | None = None
+    #: Per-job deadline in seconds; ``None`` defers to the server's
+    #: ``default_deadline``.  Not part of the cache/coalescing identity:
+    #: a deadline bounds the wait, never the value.
+    deadline: float | None = None
 
     @classmethod
     def make(
@@ -212,6 +275,7 @@ class SweepRequest:
         seed: int | None = None,
         backend: str = "auto",
         latency: dict | tuple | None = None,
+        deadline: float | None = None,
     ) -> "SweepRequest":
         get_family(program)  # unknown family refuses at submit time
         if backend not in _BACKENDS:
@@ -220,6 +284,12 @@ class SweepRequest:
             )
         if seed is not None and not isinstance(seed, int):
             raise TypeError(f"seed must be int or None, got {seed!r}")
+        if deadline is not None:
+            deadline = float(deadline)
+            if deadline <= 0:
+                raise ValueError(
+                    f"deadline must be > 0 seconds, got {deadline}"
+                )
         pts = tuple(parse_point(p) for p in points)
         if not pts:
             raise ValueError("a sweep request needs at least one point")
@@ -230,6 +300,7 @@ class SweepRequest:
             seed=seed,
             backend=backend,
             latency=canonical_latency(latency),
+            deadline=deadline,
         )
 
     @property
@@ -247,6 +318,17 @@ class ServeConfig:
     tick), it just never *waits* for more.  ``shard_min_points`` is the
     smallest per-worker share of a batch worth a process dispatch —
     the server-side analogue of the scheduler's ``min_chunk``.
+
+    The robustness knobs: ``supervised`` puts sharded batches on a
+    :class:`~repro.sim.supervise.SupervisedPool` (worker death is
+    detected, retried, and quarantined) instead of a bare
+    :class:`~repro.sim.sweep.WorkerPool`; ``max_pending_points`` bounds
+    admission (``None`` = unbounded — a request that would push the
+    in-flight point count past the bound is refused with
+    :class:`ServerOverloaded`, never queued into a silent hang);
+    ``default_deadline`` applies to jobs that don't carry their own;
+    ``cache_dir`` enables cache persistence (write-ahead journal +
+    snapshot every ``snapshot_every`` records, replayed on restart).
     """
 
     workers: int | None = None
@@ -254,31 +336,105 @@ class ServeConfig:
     shard_min_points: int = 512
     cache_entries: int = 65_536
     use_pool: bool = True
+    supervised: bool = True
+    max_pending_points: int | None = None
+    default_deadline: float | None = None
+    cache_dir: str | None = None
+    snapshot_every: int = 256
 
 
 class Job:
-    """A submitted sweep: per-point futures in submission order."""
+    """A submitted sweep: per-point futures in submission order.
+
+    Every point holds a *mirror* future chained from the shared
+    in-flight future, never the shared future itself — so a deadline
+    expiry or cancellation can fail *this* job's points without
+    touching the shared computation (or the other jobs attached to
+    it), and the computed value still lands in the cache.
+    """
 
     _ids = itertools.count(1)
 
-    def __init__(self, total: int, request: SweepRequest):
+    def __init__(
+        self,
+        total: int,
+        request: SweepRequest,
+        loop: asyncio.AbstractEventLoop | None = None,
+    ):
         self.id = next(Job._ids)
         self.request = request
         self.total = total
         self.done = 0
         #: How each point was served: cache / inflight / computed.
         self.sources = {"cache": 0, "inflight": 0, "computed": 0}
+        self._loop = loop or asyncio.get_event_loop()
         self._futures: list[asyncio.Future] = []
         self._wake = asyncio.Event()
+        #: Server hook, fired once when the last point resolves
+        #: (deadline timer cancel + registry cleanup).
+        self._on_finished = None
 
     def _attach(self, fut: asyncio.Future, source: str) -> None:
         self.sources[source] += 1
-        self._futures.append(fut)
-        fut.add_done_callback(self._on_point)
+        mine = self._loop.create_future()
+        self._futures.append(mine)
+        mine.add_done_callback(self._on_point)
+
+        def _copy(shared: asyncio.Future, mine=mine) -> None:
+            # Observe the shared outcome unconditionally: reading
+            # .exception() marks it retrieved, so a shared failure whose
+            # every mirror was already deadline/cancel-failed doesn't
+            # log a spurious "exception was never retrieved".
+            cancelled = shared.cancelled()
+            exc = None if cancelled else shared.exception()
+            if mine.done():
+                return  # already failed by deadline/cancel/shutdown
+            if cancelled:
+                mine.set_exception(
+                    ServerShutdown("shared computation cancelled")
+                )
+            elif exc is not None:
+                mine.set_exception(exc)
+            else:
+                mine.set_result(shared.result())
+
+        if fut.done():
+            _copy(fut)
+        else:
+            fut.add_done_callback(_copy)
 
     def _on_point(self, fut: asyncio.Future) -> None:
+        if not fut.cancelled():
+            # Mark retrieved: failures surface in wait(); a mirror whose
+            # job was deadline-failed must not log "exception was never
+            # retrieved" when the gather that raised skipped it.
+            fut.exception()
         self.done += 1
         self._wake.set()
+        if self.done >= self.total and self._on_finished is not None:
+            hook, self._on_finished = self._on_finished, None
+            hook()
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        for f in self._futures:
+            if not f.done():
+                f.set_exception(exc)
+
+    def cancel(self, reason: str = "cancelled by client") -> bool:
+        """Fail this job's unresolved points with
+        :class:`JobCancelledError`; shared computation is untouched.
+        Returns whether anything was actually cancelled."""
+        if self.finished:
+            return False
+        self._fail_pending(JobCancelledError(self.id, reason))
+        return True
+
+    def _expire(self, deadline: float) -> None:
+        if self.finished:
+            return
+        self._fail_pending(
+            JobDeadlineError(self.id, deadline, self.total - self.done)
+        )
 
     @property
     def finished(self) -> bool:
@@ -345,7 +501,7 @@ def _eval_batch(
     *,
     workers: int,
     shard_min_points: int,
-    pool: WorkerPool | None,
+    pool: WorkerPool | SupervisedPool | None,
 ):
     """One coalesced batch: shard across the pool when big enough.
 
@@ -390,16 +546,27 @@ class SimulationServer:
         self.config = config or ServeConfig()
         self.cache = ResultCache(self.config.cache_entries)
         self.workers = resolve_workers(self.config.workers)
-        self._pool = (
-            WorkerPool(self.workers)
-            if self.config.use_pool and self.workers > 1
-            else None
-        )
+        if self.config.use_pool and self.workers > 1:
+            # Supervised by default: a SIGKILLed pool worker (OOM, chaos)
+            # is restarted and its chunk retried instead of wedging the
+            # batch; results are bit-identical either way.
+            self._pool = (
+                SupervisedPool(self.workers)
+                if self.config.supervised
+                else WorkerPool(self.workers)
+            )
+        else:
+            self._pool = None
         self._inflight: dict[CacheKey, asyncio.Future] = {}
         self._pending: dict[tuple, _Group] = {}
         self._have_pending: asyncio.Event | None = None
         self._batcher: asyncio.Task | None = None
         self._closed = False
+        self._jobs: dict[int, Job] = {}
+        #: fingerprint -> (program, canonical args): lets the snapshot
+        #: writer re-emit full records for every cached key.
+        self._families_by_fp: dict[str, tuple] = {}
+        self._persist: CachePersistence | None = None
         self.stats = {
             "requests": 0,
             "points": 0,
@@ -410,7 +577,19 @@ class SimulationServer:
             "largest_batch": 0,
             "sharded_batches": 0,
             "errors": 0,
+            "shed": 0,
+            "cancelled": 0,
+            "deadline_expired": 0,
         }
+        if self.config.cache_dir:
+            self._persist = CachePersistence(
+                self.config.cache_dir,
+                snapshot_every=self.config.snapshot_every,
+            )
+            # Replay in write order so the LRU's recency survives too.
+            for program, args, key, pair in self._persist.load():
+                self.cache.put(key, pair)
+                self._families_by_fp[key.fingerprint] = (program, args)
 
     # -- lifecycle ----------------------------------------------------
 
@@ -463,8 +642,18 @@ class SimulationServer:
                 )
         self._inflight.clear()
         self._pending.clear()
+        for job in list(self._jobs.values()):
+            if not job.finished:
+                job._fail_pending(
+                    ServerShutdown("server-shutdown: job abandoned by aclose")
+                )
+        if self._persist is not None:
+            # Graceful close compacts: snapshot the live cache and reset
+            # the journal, so the next start replays one clean file.
+            self._snapshot()
+            self._persist.close()
         if self._pool is not None:
-            self._pool.close()
+            self._pool.close(drain=drain)
 
     async def close(self, drain: bool = True) -> None:
         """Alias for :meth:`aclose`."""
@@ -479,7 +668,13 @@ class SimulationServer:
     # -- submission ---------------------------------------------------
 
     async def submit(self, request: SweepRequest) -> Job:
-        """Route every point of ``request`` and return its :class:`Job`."""
+        """Route every point of ``request`` and return its :class:`Job`.
+
+        Raises :class:`ServerOverloaded` (load-shedding, nothing
+        accepted) when admission would push the in-flight point count
+        past ``max_pending_points`` — all-or-nothing, so a shed request
+        leaves no partial state behind.
+        """
         if self._closed:
             raise ServerShutdown("server is closed")
         if self._batcher is None:
@@ -488,10 +683,33 @@ class SimulationServer:
                 "or await server.start()"
             )
         fp = request.fingerprint
-        job = Job(len(request.points), request)
+        limit = self.config.max_pending_points
+        if limit is not None:
+            # Side-effect-free probe (peek: no stats, no LRU churn).
+            # No await between here and the routing loop below, so the
+            # count cannot go stale before the points are attached.
+            fresh = set()
+            for params in request.points:
+                key = CacheKey(
+                    fp, point_key(params), request.seed, request.backend,
+                    request.latency,
+                )
+                if (
+                    key not in self._inflight
+                    and self.cache.peek(key) is None
+                ):
+                    fresh.add(key)
+            if fresh and len(self._inflight) + len(fresh) > limit:
+                self.stats["shed"] += 1
+                raise ServerOverloaded(
+                    len(self._inflight), len(fresh), limit,
+                    retry_after=max(self.config.batch_window, 0.01),
+                )
+        loop = asyncio.get_running_loop()
+        job = Job(len(request.points), request, loop)
         self.stats["requests"] += 1
         self.stats["points"] += len(request.points)
-        loop = asyncio.get_running_loop()
+        self._families_by_fp[fp] = (request.program, request.args)
         shape = (
             request.program,
             request.args,
@@ -524,9 +742,51 @@ class SimulationServer:
             group.entries.append((key, raw))
             job._attach(fut, "computed")
             self.stats["computed"] += 1
+        self._register(job, loop)
         if self._pending:
             self._have_pending.set()
         return job
+
+    def _register(self, job: Job, loop: asyncio.AbstractEventLoop) -> None:
+        """Track the job until finished: deadline timer + cancel registry."""
+        deadline = job.request.deadline
+        if deadline is None:
+            deadline = self.config.default_deadline
+        handle = (
+            loop.call_later(deadline, self._expire_job, job, deadline)
+            if deadline is not None
+            else None
+        )
+        self._jobs[job.id] = job
+
+        def _finalize() -> None:
+            if handle is not None:
+                handle.cancel()
+            self._jobs.pop(job.id, None)
+
+        if job.finished:
+            _finalize()
+        else:
+            job._on_finished = _finalize
+
+    def _expire_job(self, job: Job, deadline: float) -> None:
+        if job.finished:
+            return
+        self.stats["deadline_expired"] += 1
+        job._expire(deadline)
+
+    def cancel_job(
+        self, job_id: int, reason: str = "cancelled by client"
+    ) -> bool:
+        """Cancel a registered job by id; unknown/finished ids return
+        False.  Shared in-flight computation is never cancelled."""
+        job = self._jobs.get(job_id)
+        if job is None or job.finished:
+            return False
+        if job.cancel(reason):
+            self.stats["cancelled"] += 1
+            return True
+        return False
 
     async def run_request(self, request: SweepRequest) -> list:
         """Submit and wait: the one-call client path."""
@@ -541,6 +801,34 @@ class SimulationServer:
             self._pool.started if self._pool is not None else False
         )
         snap["inflight"] = len(self._inflight)
+        limit = self.config.max_pending_points
+        if self._closed:
+            status = "closed"
+        elif limit is not None and len(self._inflight) >= limit:
+            status = "overloaded"
+        else:
+            status = "ok"
+        health = {
+            "status": status,
+            # readiness: started, not closed — the load balancer's bit.
+            "ready": self._batcher is not None and not self._closed,
+            "inflight_points": len(self._inflight),
+            "pending_groups": len(self._pending),
+            "active_jobs": len(self._jobs),
+            "max_pending_points": limit,
+            "default_deadline": self.config.default_deadline,
+        }
+        pool = self._pool
+        health["pool"] = {
+            "kind": type(pool).__name__ if pool is not None else None,
+            "workers": self.workers,
+            "started": pool.started if pool is not None else False,
+            "restarts": getattr(pool, "restarts", 0),
+            "worker_deaths": getattr(pool, "deaths", 0),
+        }
+        snap["health"] = health
+        if self._persist is not None:
+            snap["persistence"] = self._persist.stats_snapshot()
         return snap
 
     # -- the batcher --------------------------------------------------
@@ -596,9 +884,23 @@ class SimulationServer:
             return
         for key, pair in zip(keys, pairs):
             self.cache.put(key, pair)
+            if self._persist is not None:
+                # Write-ahead: journaled before any client observes the
+                # value, so a crash cannot have served un-replayable bits.
+                self._persist.record(program, args, key, pair)
             fut = self._inflight.pop(key, None)
             if fut is not None and not fut.done():
                 fut.set_result(pair)
+        if self._persist is not None and self._persist.snapshot_due:
+            self._snapshot()
+
+    def _snapshot(self) -> None:
+        entries = []
+        for key, pair in self.cache.items():
+            ident = self._families_by_fp.get(key.fingerprint)
+            if ident is not None:
+                entries.append((ident[0], ident[1], key, pair))
+        self._persist.snapshot(entries)
 
 
 def serve_sweep(

@@ -218,6 +218,15 @@ async def _smoke(n_o: int, burst: int) -> dict:
             stats["cache"]["hits"] >= len(sweep_points) + burst,
             f"hit_rate={stats['cache']['hit_rate']}",
         )
+        health = stats.get("health", {})
+        check(
+            "health_ready",
+            health.get("status") == "ok"
+            and health.get("ready") is True
+            and health.get("inflight_points") == 0,
+            f"status={health.get('status')} "
+            f"pool={health.get('pool', {}).get('kind')}",
+        )
         await client.aclose()
     finally:
         tcp.close()

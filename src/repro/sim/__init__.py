@@ -72,7 +72,13 @@ from .program import (
     Sleep,
     Suspects,
 )
-from .sweep import resolve_workers, sweep_map
+from .supervise import (
+    PoisonItemError,
+    SupervisedPool,
+    SweepDeadlineError,
+    WorkerRestartStorm,
+)
+from .sweep import SweepShortfallError, resolve_workers, sweep_map
 from .trace import (
     CrashEvent,
     FaultReport,
@@ -185,6 +191,11 @@ __all__ = [
     "LossyOutcome",
     "sweep_map",
     "resolve_workers",
+    "SweepShortfallError",
+    "SupervisedPool",
+    "PoisonItemError",
+    "SweepDeadlineError",
+    "WorkerRestartStorm",
     "validate_schedule",
     "ValidationReport",
     "Violation",

@@ -347,12 +347,33 @@ class RetryPolicy:
     ``budget`` optionally caps the *total* cycles a message may spend
     unacked; ``None`` means only the machine's ``max_retries`` bounds
     the protocol.
+
+    The policy is unit-agnostic: the machine reads ``delay`` in model
+    cycles, while :class:`repro.sim.supervise.SupervisedPool` reuses
+    the same taxonomy with seconds for resubmitting chunks orphaned by
+    a dead worker — one retry vocabulary for in-model ARQ and
+    infrastructure-level supervision alike.
     """
 
     budget: float | None = None
 
     def delay(self, attempt: int, seq: int = 0) -> float:
         raise NotImplementedError
+
+    def next_delay(
+        self, attempt: int, seq: int = 0, *, spent: float = 0.0
+    ) -> float | None:
+        """Budget-aware schedule step: the wait before ``attempt``.
+
+        Returns ``None`` when ``spent`` (the cumulative wait already
+        charged) plus this attempt's delay would exceed ``budget`` —
+        the caller should give up (the machine records the send as
+        undeliverable; the supervisor quarantines the item).
+        """
+        d = self.delay(attempt, seq)
+        if self.budget is not None and spent + d > self.budget:
+            return None
+        return d
 
 
 @dataclass(frozen=True)
@@ -405,7 +426,15 @@ class ExponentialBackoffRetry(RetryPolicy):
             )
 
     def delay(self, attempt: int, seq: int = 0) -> float:
-        d = min(self.base * self.mult ** (attempt - 1), self.cap)
+        # Guard the exponentiation: a long crash-retry loop can push
+        # ``attempt`` past float range long before anything else stops
+        # it, and an OverflowError from the *backoff policy* must never
+        # be what kills a supervised map.
+        try:
+            raw = self.base * self.mult ** (attempt - 1)
+        except OverflowError:
+            raw = float("inf")
+        d = min(raw, self.cap)
         if self.jitter:
             u = random.Random((self.seed, seq, attempt)).random()
             d *= 1.0 + u * self.jitter

@@ -1,0 +1,594 @@
+"""Supervised process pool: crash-tolerant fan-out for :func:`sweep_map`.
+
+:class:`~repro.sim.sweep.WorkerPool` wraps ``multiprocessing.Pool``,
+whose blocking ``map()`` has no story for a worker that *dies*: a
+SIGKILLed child (the OOM killer at a 2^20-point folded grid, a chaos
+drill, a segfaulting extension) either hangs the call or poisons the
+whole pool.  The simulated machine learned crash-stop/detect/recover
+discipline in :mod:`repro.sim.faults`; this module gives the
+*infrastructure that runs the simulations* the same discipline.
+
+:class:`SupervisedPool` keeps one ``multiprocessing.Process`` per
+worker slot with a dedicated duplex pipe, and dispatches chunks
+asynchronously from a supervision loop:
+
+* **Death detection.**  The loop waits on every worker's pipe *and*
+  process sentinel (``multiprocessing.connection.wait``), so a killed
+  worker is noticed within one tick even mid-chunk; an optional
+  per-chunk heartbeat deadline (``chunk_timeout``) additionally SIGKILLs
+  and replaces a worker whose chunk has produced nothing for too long
+  (a wedged worker is indistinguishable from a dead one to callers).
+* **Restart.**  A dead worker slot is refilled immediately; the
+  ``restarts`` counter is surfaced through the server's health stats.
+* **Retry with backoff.**  The dead worker's orphaned chunk is
+  resubmitted under a :class:`~repro.sim.faults.RetryPolicy` — the same
+  ``Fixed`` / ``ExponentialBackoff`` / ``Budgeted`` taxonomy the lossy
+  fabric ARQ uses, with seconds in place of cycles — after
+  ``policy.next_delay(attempt, index, spent=...)``.  A multi-item chunk
+  is first *split into singletons* so one poison item cannot starve its
+  innocent chunk-mates.
+* **Quarantine.**  A singleton item that has killed its worker
+  ``max_attempts`` times (or exhausted the policy's budget) is
+  quarantined, and the sweep fails with a structured
+  :class:`PoisonItemError` naming the item — deterministically the
+  *lowest* quarantined submission index, for any worker count, matching
+  :class:`~repro.sim.sweep.SweepItemError`'s lowest-index contract.
+  Items below the poison index still run to completion first, so the
+  raised index never depends on scheduling order.
+* **Deadline.**  ``map(..., deadline=...)`` (or the pool-wide
+  ``map_deadline``) bounds the whole call: on expiry every worker is
+  killed and :class:`SweepDeadlineError` names the unresolved item
+  count — a supervised sweep never hangs past its deadline.
+
+The determinism contract is :func:`~repro.sim.sweep.sweep_map`'s:
+results merge in submission order, bit-identical to the serial loop for
+any worker count and any interleaving of worker deaths, because retries
+recompute items from the same pickled inputs and a deterministic ``fn``
+(the repository-wide requirement) produces the same bytes on any
+attempt.  The pool duck-types :class:`~repro.sim.sweep.WorkerPool`
+(``workers`` / ``started`` / ``map`` / ``close``), so
+``sweep_map(..., pool=SupervisedPool(...))`` and the
+:mod:`repro.serve` server drop it in unchanged.
+
+What is *not* retried: an ordinary Python exception raised by ``fn``
+crosses the pipe and fails the call immediately (exceptions are
+deterministic — retrying one is wasted work); under ``sweep_map`` the
+guarded wrapper converts those into indexed
+:class:`~repro.sim.sweep.SweepItemError` failures exactly as before.
+Only worker *death* — the nondeterministic, infrastructure-level
+failure — enters the retry/quarantine path.
+"""
+
+from __future__ import annotations
+
+import pickle
+import signal
+import time
+import multiprocessing
+from multiprocessing import connection as mp_connection
+
+from .faults import ExponentialBackoffRetry, RetryPolicy
+from .sweep import resolve_workers
+
+__all__ = [
+    "PoisonItemError",
+    "SupervisedPool",
+    "SweepDeadlineError",
+    "WorkerRestartStorm",
+]
+
+_OK = "ok"
+_EXC = "exc"
+_MISSING = object()
+
+
+class PoisonItemError(RuntimeError):
+    """A sweep item repeatedly killed its worker and was quarantined.
+
+    ``index`` is the submission index (deterministically the lowest
+    quarantined one), ``attempts`` how many workers it killed before
+    quarantine.  The item's ``repr`` is embedded in the message so logs
+    name the poison input, not just its position.
+    """
+
+    def __init__(self, index: int, total: int, attempts: int, item_repr: str):
+        super().__init__(
+            f"sweep item {index} of {total} killed its worker "
+            f"{attempts} time(s) and was quarantined as poison: {item_repr}"
+        )
+        self.index = index
+        self.total = total
+        self.attempts = attempts
+
+
+class SweepDeadlineError(RuntimeError):
+    """A supervised ``map`` exceeded its deadline; all workers killed.
+
+    ``pending`` counts the items that never produced a result.  Raised
+    instead of hanging — the point of the deadline.
+    """
+
+    def __init__(self, deadline: float, pending: int, total: int):
+        super().__init__(
+            f"supervised sweep missed its {deadline}s deadline with "
+            f"{pending} of {total} item(s) unresolved; workers killed"
+        )
+        self.deadline = deadline
+        self.pending = pending
+        self.total = total
+
+
+class WorkerRestartStorm(RuntimeError):
+    """Workers are dying faster than supervision can make progress.
+
+    The supervisor bounds total deaths per ``map`` call at
+    ``8 + max_attempts * n_items``; exceeding it means the environment
+    (not any one item) is killing workers — e.g. fork failure or a
+    machine-wide OOM — and retrying forever would hang, so refuse
+    loudly instead.
+    """
+
+
+def _supervised_worker(conn) -> None:
+    """Child main loop: recv ``(chunk_id, fn, items)``, send results.
+
+    An ordinary exception from ``fn`` is shipped back as an ``exc``
+    frame (downgraded to a picklable ``RuntimeError`` if needed) — the
+    worker survives and takes the next chunk.  Only process death ends
+    the loop, which is exactly what the parent's sentinel watch is for.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        chunk_id, fn, items = task
+        try:
+            out = [fn(item) for item in items]
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            try:
+                pickle.loads(pickle.dumps(exc))
+            except Exception:  # noqa: BLE001 - unpicklable exception
+                exc = RuntimeError(
+                    f"unpicklable worker exception "
+                    f"{type(exc).__name__}: {exc!r}"
+                )
+            try:
+                conn.send((chunk_id, _EXC, exc))
+            except (EOFError, OSError, BrokenPipeError):
+                return
+            continue
+        try:
+            conn.send((chunk_id, _OK, out))
+        except (EOFError, OSError, BrokenPipeError):
+            return
+        except Exception as exc:  # noqa: BLE001 - unpicklable result
+            conn.send(
+                (
+                    chunk_id,
+                    _EXC,
+                    RuntimeError(
+                        f"unpicklable worker result for chunk {chunk_id}: "
+                        f"{type(exc).__name__}: {exc!r}"
+                    ),
+                )
+            )
+
+
+class _Chunk:
+    """A contiguous [lo, hi) slice of the sweep with its retry history."""
+
+    __slots__ = ("cid", "lo", "hi", "attempts", "not_before", "spent")
+
+    def __init__(self, cid, lo, hi, attempts=0, not_before=0.0, spent=0.0):
+        self.cid = cid
+        self.lo = lo
+        self.hi = hi
+        self.attempts = attempts  # worker deaths charged to this slice
+        self.not_before = not_before  # monotonic dispatch gate (backoff)
+        self.spent = spent  # cumulative backoff, for policy budgets
+
+
+class _WorkerHandle:
+    __slots__ = ("proc", "conn", "chunk", "since")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.chunk = None  # the in-flight _Chunk, if any
+        self.since = 0.0  # monotonic dispatch time of that chunk
+
+
+class _MapFailed(Exception):
+    """Internal control flow: a worker shipped an ordinary exception."""
+
+    def __init__(self, original: BaseException):
+        self.original = original
+
+
+class SupervisedPool:
+    """A self-healing process pool; see the module docstring.
+
+    Drop-in for :class:`~repro.sim.sweep.WorkerPool` wherever one is
+    passed to ``sweep_map(..., pool=...)``.  Not thread-safe: one
+    ``map`` at a time (the serve batcher and the bench loops already
+    serialize their sweeps).
+
+    Args:
+        workers: slot count; ``None`` resolves via
+            :func:`~repro.sim.sweep.resolve_workers`.
+        retry: backoff schedule for orphaned chunks, any
+            :class:`~repro.sim.faults.RetryPolicy` read in *seconds*.
+            Default ``ExponentialBackoffRetry(base=0.05, cap=1.0)``.
+        max_attempts: worker deaths a single item may cause before
+            quarantine (>= 1).
+        chunk_timeout: per-chunk heartbeat deadline in seconds; a worker
+            silent on one chunk for longer is SIGKILLed and the chunk
+            enters the ordinary orphan/retry path.  ``None`` disables.
+        map_deadline: default overall deadline per ``map`` call in
+            seconds (overridable per call); ``None`` means unbounded.
+        tick: supervision loop wake-up bound in seconds.
+        death_budget: worker deaths a single ``map`` call tolerates
+            before :class:`WorkerRestartStorm`; ``None`` (the default)
+            derives ``8 + max_attempts * len(items)`` — generous enough
+            that legitimate retries never trip it, finite enough that a
+            crash loop (e.g. an external killer faster than progress)
+            cannot spin forever.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        retry: RetryPolicy | None = None,
+        max_attempts: int = 3,
+        chunk_timeout: float | None = None,
+        map_deadline: float | None = None,
+        tick: float = 0.05,
+        death_budget: int | None = None,
+    ):
+        self.workers = resolve_workers(workers)
+        self.retry = (
+            retry
+            if retry is not None
+            else ExponentialBackoffRetry(base=0.05, mult=2.0, cap=1.0)
+        )
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ValueError(
+                f"chunk_timeout must be > 0, got {chunk_timeout}"
+            )
+        if death_budget is not None and death_budget < 1:
+            raise ValueError(
+                f"death_budget must be >= 1, got {death_budget}"
+            )
+        self.max_attempts = max_attempts
+        self.chunk_timeout = chunk_timeout
+        self.map_deadline = map_deadline
+        self.tick = tick
+        self.death_budget = death_budget
+        #: Worker processes replaced after a death (cumulative).
+        self.restarts = 0
+        #: Worker deaths observed (cumulative; includes heartbeat kills).
+        self.deaths = 0
+        self._handles: list[_WorkerHandle] = []
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        self._next_cid = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return bool(self._handles)
+
+    def pids(self) -> list[int]:
+        """Live worker PIDs — what a chaos harness aims its SIGKILLs at."""
+        return [
+            h.proc.pid
+            for h in self._handles
+            if h.proc.pid is not None and h.proc.is_alive()
+        ]
+
+    def _spawn(self) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_supervised_worker, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        return _WorkerHandle(proc, parent_conn)
+
+    def _ensure_started(self) -> None:
+        # Replace slots whose worker died while the pool sat idle
+        # (between map calls nobody watches the sentinels).
+        alive = []
+        for h in self._handles:
+            if h.proc.is_alive():
+                alive.append(h)
+            else:
+                self._discard(h)
+                self.restarts += 1
+        self._handles = alive
+        while len(self._handles) < self.workers:
+            self._handles.append(self._spawn())
+
+    def _discard(self, h: _WorkerHandle) -> None:
+        try:
+            h.conn.close()
+        except OSError:
+            pass
+        if h.proc.is_alive():
+            h.proc.kill()
+        h.proc.join(timeout=5.0)
+
+    def _replace(self, h: _WorkerHandle) -> None:
+        self._discard(h)
+        self.restarts += 1
+        self._handles[self._handles.index(h)] = self._spawn()
+
+    def close(self, drain: bool = True) -> None:
+        """Tear the pool down.
+
+        ``drain=True`` (default) asks each worker to finish and exit via
+        a shutdown frame and joins it; a worker that ignores the frame
+        for 5s is killed.  ``drain=False`` SIGKILLs immediately.  ``map``
+        is synchronous, so there is never un-returned work to lose at
+        close time — drain only changes how politely workers exit.
+        """
+        for h in self._handles:
+            if drain:
+                try:
+                    h.conn.send(None)
+                except (OSError, BrokenPipeError):
+                    pass
+            else:
+                h.proc.kill()
+        for h in self._handles:
+            h.proc.join(timeout=5.0 if drain else 1.0)
+            if h.proc.is_alive():
+                h.proc.kill()
+                h.proc.join(timeout=1.0)
+            try:
+                h.conn.close()
+            except OSError:
+                pass
+        self._handles = []
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the supervised map --------------------------------------------
+
+    def map(
+        self,
+        fn,
+        items: list,
+        chunksize: int = 1,
+        *,
+        deadline: float | None = None,
+    ) -> list:
+        """Submission-order map with supervision; see the module docstring."""
+        items = list(items)
+        n = len(items)
+        if n == 0:
+            return []
+        if deadline is None:
+            deadline = self.map_deadline
+        deadline_at = (
+            None if deadline is None else time.monotonic() + deadline
+        )
+        chunksize = max(1, int(chunksize))
+        self._ensure_started()
+
+        queue: list[_Chunk] = []
+        for lo in range(0, n, chunksize):
+            queue.append(
+                _Chunk(self._next_cid, lo, min(lo + chunksize, n))
+            )
+            self._next_cid += 1
+        results: list = [_MISSING] * n
+        quarantined: dict[int, int] = {}  # index -> attempts at quarantine
+        death_budget = (
+            self.death_budget
+            if self.death_budget is not None
+            else 8 + self.max_attempts * n
+        )
+        deaths_at_start = self.deaths
+
+        def outstanding_below(bound: int) -> bool:
+            if any(c.lo < bound for c in queue):
+                return True
+            return any(
+                h.chunk is not None and h.chunk.lo < bound
+                for h in self._handles
+            )
+
+        def schedule(cid, lo, hi, attempts, spent, now) -> None:
+            # One retry step for an orphaned slice: quarantine at the
+            # attempt cap or on budget exhaustion, else backoff-gate it.
+            if hi - lo == 1 and attempts >= self.max_attempts:
+                quarantined[lo] = attempts
+                return
+            d = self.retry.next_delay(attempts, lo, spent=spent)
+            if d is None:
+                if hi - lo == 1:
+                    quarantined[lo] = attempts
+                    return
+                d = 0.0  # multi-item slices always retry (split below)
+            queue.append(
+                _Chunk(cid, lo, hi, attempts, now + d, spent + d)
+            )
+
+        def orphan(c: _Chunk, now: float) -> None:
+            attempts = c.attempts + 1
+            if c.hi - c.lo > 1:
+                # Split to singletons: blame lands on exactly one item
+                # and innocents retry without inheriting its fate beyond
+                # this shared death.
+                for i in range(c.lo, c.hi):
+                    schedule(self._next_cid, i, i + 1, attempts, c.spent, now)
+                    self._next_cid += 1
+            else:
+                schedule(c.cid, c.lo, c.hi, attempts, c.spent, now)
+
+        def on_death(h: _WorkerHandle, now: float) -> None:
+            self.deaths += 1
+            c, h.chunk = h.chunk, None
+            if c is not None:
+                orphan(c, now)
+            self._replace(h)
+            if self.deaths - deaths_at_start > death_budget:
+                self._fail_inflight()
+                raise WorkerRestartStorm(
+                    f"{self.deaths - deaths_at_start} worker deaths for a "
+                    f"{n}-item sweep (budget {death_budget}); the "
+                    "environment is killing workers faster than "
+                    "supervision can make progress"
+                )
+
+        def on_message(h: _WorkerHandle, msg) -> None:
+            cid, kind, payload = msg
+            c = h.chunk
+            if c is None or c.cid != cid:
+                return  # stale frame from an abandoned dispatch
+            h.chunk = None
+            if kind == _EXC:
+                raise _MapFailed(payload)
+            for off, val in enumerate(payload):
+                results[c.lo + off] = val
+
+        try:
+            while True:
+                qmin = min(quarantined) if quarantined else None
+                if qmin is not None:
+                    # Results at/above the poison index will never be
+                    # returned; drop their queued work and, once every
+                    # item below the poison index has resolved, raise.
+                    queue = [c for c in queue if c.lo < qmin]
+                    if not outstanding_below(qmin):
+                        self._fail_inflight()
+                        raise PoisonItemError(
+                            qmin, n, quarantined[qmin],
+                            repr(items[qmin])[:200],
+                        )
+                elif not queue and all(
+                    h.chunk is None for h in self._handles
+                ):
+                    break
+                now = time.monotonic()
+                if deadline_at is not None and now >= deadline_at:
+                    pending = sum(1 for r in results if r is _MISSING)
+                    self._fail_inflight()
+                    raise SweepDeadlineError(deadline, pending, n)
+
+                # Dispatch ready chunks to idle workers in index order.
+                queue.sort(key=lambda c: c.lo)
+                for h in self._handles:
+                    if h.chunk is not None:
+                        continue
+                    c = next(
+                        (c for c in queue if c.not_before <= now), None
+                    )
+                    if c is None:
+                        break
+                    try:
+                        h.conn.send(
+                            (c.cid, fn, items[c.lo : c.hi])
+                        )
+                    except (OSError, BrokenPipeError):
+                        # Died before dispatch: the chunk stays queued.
+                        on_death(h, now)
+                        continue
+                    queue.remove(c)
+                    h.chunk = c
+                    h.since = now
+
+                # How long may we sleep without missing a wake-up?
+                timeout = self.tick
+                for c in queue:
+                    timeout = min(timeout, max(0.0, c.not_before - now))
+                if deadline_at is not None:
+                    timeout = min(timeout, max(0.0, deadline_at - now))
+                if self.chunk_timeout is not None:
+                    for h in self._handles:
+                        if h.chunk is not None:
+                            timeout = min(
+                                timeout,
+                                max(
+                                    0.0,
+                                    h.since + self.chunk_timeout - now,
+                                ),
+                            )
+
+                by_obj = {}
+                waitables = []
+                for h in self._handles:
+                    if h.chunk is not None:
+                        waitables.append(h.conn)
+                        by_obj[h.conn] = h
+                    waitables.append(h.proc.sentinel)
+                    by_obj[h.proc.sentinel] = h
+                ready = (
+                    mp_connection.wait(waitables, timeout)
+                    if waitables
+                    else []
+                )
+                now = time.monotonic()
+                handled: set[int] = set()
+                for obj in ready:
+                    h = by_obj[obj]
+                    if id(h) in handled:
+                        continue
+                    handled.add(id(h))
+                    # Even when the *sentinel* fired, drain a buffered
+                    # result first: a worker killed after sending has
+                    # still done the work.
+                    got = False
+                    if h.chunk is not None:
+                        try:
+                            if h.conn.poll(0):
+                                on_message(h, h.conn.recv())
+                                got = True
+                        except (EOFError, OSError):
+                            pass
+                    if not got and not h.proc.is_alive():
+                        on_death(h, now)
+
+                # Per-chunk heartbeat: a silent worker is a dead worker.
+                if self.chunk_timeout is not None:
+                    for h in list(self._handles):
+                        if (
+                            h.chunk is not None
+                            and now - h.since > self.chunk_timeout
+                        ):
+                            h.proc.kill()
+                            on_death(h, now)
+        except _MapFailed as mf:
+            self._fail_inflight()
+            raise mf.original from None
+
+        assert all(r is not _MISSING for r in results)
+        return results
+
+    def _fail_inflight(self) -> None:
+        """Abandon in-flight chunks: kill their workers, refill slots.
+
+        Called on any path that raises out of ``map`` — the results of
+        still-running chunks are moot and a worker mid-poison-item must
+        not outlive the call.
+        """
+        for h in list(self._handles):
+            if h.chunk is not None:
+                h.chunk = None
+                h.proc.kill()
+                self._replace(h)

@@ -51,6 +51,13 @@ The determinism contract, shared by every layer:
   submission index — the lowest failing index, deterministically, even
   when several chunks fail — so error reports (the server's included)
   can say *which* grid point or seed died.
+* **No silent shortfall.**  Every submitted index must come back: a
+  pool that returns short (a dead worker's ``Pool.map`` can) raises
+  :class:`SweepShortfallError` naming the missing indices instead of
+  handing back a shortened, misaligned list.  Callers that need the
+  sweep to *survive* worker death rather than merely diagnose it pass
+  a :class:`repro.sim.supervise.SupervisedPool` via ``pool=`` — same
+  contract, plus restart/retry/quarantine.
 
 Worker-count resolution (:func:`resolve_workers`): an explicit argument
 wins and is clamped to at least 1 (callers pass computed counts, e.g.
@@ -83,6 +90,7 @@ __all__ = [
     "GridMapReport",
     "SweepItemError",
     "SweepPlan",
+    "SweepShortfallError",
     "WorkerPool",
     "grid_map",
     "plan_sweep",
@@ -197,10 +205,12 @@ def _serial(fn: Callable[[_T], _R], items: list[_T]) -> list[_R]:
 
 
 def _guarded_call(fn, indexed):
-    """Worker-side wrapper: capture the exception with its item index.
+    """Worker-side wrapper: carry the item index with every outcome.
 
-    Returns ``(True, result)`` or ``(False, (index, exc))`` so the
-    parent can pick the *lowest* failing submission index
+    Returns ``(index, True, result)`` or ``(index, False, exc)``.
+    Successes carry their index too, so the parent can *verify* the
+    pool returned every submitted item (a dead worker's pool may
+    return short) and pick the lowest failing submission index
     deterministically, rather than whichever chunk's failure crossed
     the pipe first.  An exception that cannot itself cross the process
     boundary is downgraded to a picklable ``RuntimeError`` carrying its
@@ -208,7 +218,7 @@ def _guarded_call(fn, indexed):
     """
     i, item = indexed
     try:
-        return True, fn(item)
+        return i, True, fn(item)
     except Exception as exc:  # noqa: BLE001 - re-raised in the parent
         try:
             pickle.loads(pickle.dumps(exc))
@@ -216,19 +226,57 @@ def _guarded_call(fn, indexed):
             exc = RuntimeError(
                 f"unpicklable worker exception {type(exc).__name__}: {exc!r}"
             )
-        return False, (i, exc)
+        return i, False, exc
+
+
+class SweepShortfallError(RuntimeError):
+    """The pool returned fewer results than items were submitted.
+
+    A healthy pool cannot do this; a dead or misbehaving one used to
+    surface as a bare pipe error (or a silently misaligned result list)
+    far from the cause.  Name the missing submission indices instead so
+    the report says *which* items were lost.
+    """
+
+    def __init__(self, missing: list, total: int):
+        shown = ", ".join(map(str, missing[:20]))
+        if len(missing) > 20:
+            shown += f", ... ({len(missing) - 20} more)"
+        super().__init__(
+            f"sweep pool returned {total - len(missing)} of {total} "
+            f"result(s); missing submission indices: {shown} — the pool "
+            "lost work (dead worker?) without raising"
+        )
+        self.missing = list(missing)
+        self.total = total
 
 
 def _merge_guarded(wrapped: list, n_items: int) -> list:
-    """Unwrap ``_guarded_call`` results; re-raise the lowest-index failure."""
+    """Unwrap ``_guarded_call`` results in submission order.
+
+    Raises :class:`SweepShortfallError` if any submitted index is
+    missing or duplicated, else re-raises the lowest-index failure.
+    """
+    slots: list = [None] * n_items
+    seen = [False] * n_items
     first: tuple | None = None
-    for ok, payload in wrapped:
-        if not ok and (first is None or payload[0] < first[0]):
-            first = payload
+    for i, ok, payload in wrapped:
+        if not 0 <= i < n_items or seen[i]:
+            raise SweepShortfallError(
+                [j for j in range(n_items) if not seen[j]], n_items
+            )
+        seen[i] = True
+        slots[i] = payload
+        if not ok and (first is None or i < first[0]):
+            first = (i, payload)
+    if not all(seen):
+        raise SweepShortfallError(
+            [j for j in range(n_items) if not seen[j]], n_items
+        )
     if first is not None:
         index, exc = first
         raise exc from SweepItemError(index, n_items, exc)
-    return [payload for _ok, payload in wrapped]
+    return slots
 
 
 class WorkerPool:
@@ -265,9 +313,24 @@ class WorkerPool:
         # in submission order regardless of completion order.
         return self._ensure().map(fn, items, chunksize=chunksize)
 
-    def close(self) -> None:
+    def close(self, drain: bool = True) -> None:
+        """Tear the pool down; ``drain`` picks outstanding work's fate.
+
+        The teardown contract (mirroring the server's
+        ``aclose(drain=...)``): ``drain=True`` (default) closes the
+        inbox and *joins* outstanding chunks so already-dispatched work
+        finishes cleanly — since :meth:`map` is synchronous there is
+        normally nothing in flight, making the drain free; it matters
+        for subclasses or futures-based callers.  ``drain=False``
+        terminates the workers immediately (the old unconditional
+        behaviour), abandoning anything in flight — the right call on
+        an error path where results are already moot.
+        """
         if self._pool is not None:
-            self._pool.terminate()
+            if drain:
+                self._pool.close()
+            else:
+                self._pool.terminate()
             self._pool.join()
             self._pool = None
 
@@ -309,9 +372,12 @@ def sweep_map(
             items; a single remaining worker means the serial loop.
             Callers with ~millisecond items (the fuzz sweep) set this
             high enough that pool startup cannot exceed the work shipped.
-        pool: an open :class:`WorkerPool` to dispatch through instead of
-            an ephemeral pool (its worker count caps the plan).  The
-            pool is left open for the caller to reuse.
+        pool: an open :class:`WorkerPool` (or the crash-tolerant
+            :class:`repro.sim.supervise.SupervisedPool` — anything with
+            ``workers`` / ``map(fn, items, chunksize)`` / ``close``) to
+            dispatch through instead of an ephemeral pool (its worker
+            count caps the plan).  The pool is left open for the caller
+            to reuse.
     """
     items = list(items)
     eff_workers = (

@@ -1,0 +1,380 @@
+"""The service fault model (DESIGN.md §12), pinned as tests.
+
+Four failure axes, each with its contract:
+
+* **Cache persistence** — journal + snapshot round-trip bit-exactly
+  (JSON shortest-repr floats are lossless), a stale fingerprint is
+  dropped loudly, a torn journal tail is truncated to the last whole
+  record, and a server killed with ``kill -9`` mid-job replays its
+  journal on restart and serves the same bits warm.
+* **Deadlines** — an expired job fails with
+  :class:`~repro.serve.JobDeadlineError` promptly; the shared
+  computation (and the server) outlives the failed waiter.
+* **Admission** — past ``max_pending_points`` a submission is refused
+  atomically with :class:`~repro.serve.ServerOverloaded`; nothing about
+  the refused request is partially registered.
+* **Cancellation** — ``cancel_job`` fails only the cancelled job's
+  waiters, with :class:`~repro.serve.JobCancelledError`.
+
+Timing assertions carry generous slack: CI runs this on one busy core.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import warnings
+
+import pytest
+
+from repro.core import LogPParams
+from repro.serve import (
+    CachePersistence,
+    JobCancelledError,
+    JobDeadlineError,
+    ServeConfig,
+    ServerOverloaded,
+    SimulationServer,
+    SweepRequest,
+)
+
+POINTS = [
+    LogPParams(L=4.0 + i, o=0.5 + 0.25 * i, g=2.0, P=8) for i in range(4)
+]
+
+#: Distinct machine-backend points: slow enough that a 0.3s deadline
+#: (or a cancel) lands while the batch is genuinely mid-computation.
+HEAVY = [LogPParams(L=4.0 + 0.01 * i, o=1.0, g=4.0, P=16) for i in range(300)]
+
+
+def _request(seed=None, points=POINTS, backend="compiled"):
+    return SweepRequest.make(
+        "bcast_tree", points, args={"k": 6}, seed=seed, backend=backend
+    )
+
+
+def _heavy_request(deadline=None):
+    return SweepRequest.make(
+        "flood", HEAVY, args={"k": 40}, backend="machine", deadline=deadline
+    )
+
+
+async def _serve_once(config: ServeConfig, requests: list) -> list:
+    async with SimulationServer(config) as server:
+        out = []
+        for request in requests:
+            job = await server.submit(request)
+            out.append(await job.wait())
+        return out
+
+
+class TestPersistenceRoundTrip:
+    def test_results_survive_graceful_restart_bit_exactly(self, tmp_path):
+        async def run():
+            config = ServeConfig(
+                batch_window=0.0, use_pool=False, cache_dir=str(tmp_path)
+            )
+            first = await _serve_once(config, [_request()])
+            async with SimulationServer(config) as server:
+                job = await server.submit(_request())
+                warm = await job.wait()
+                return first[0], warm, job.sources, server.stats_snapshot()
+
+        first, warm, sources, stats = asyncio.run(run())
+        assert warm == first  # bit-identical across the restart
+        assert sources["cache"] == len(POINTS)
+        assert stats["persistence"]["loaded"] == len(POINTS)
+        assert stats["persistence"]["dropped_stale"] == 0
+
+    def test_graceful_close_compacts_into_a_snapshot(self, tmp_path):
+        async def run():
+            config = ServeConfig(
+                batch_window=0.0, use_pool=False, cache_dir=str(tmp_path)
+            )
+            await _serve_once(config, [_request()])
+
+        asyncio.run(run())
+        snapshot = tmp_path / CachePersistence.SNAPSHOT
+        journal = tmp_path / CachePersistence.JOURNAL
+        assert snapshot.exists()
+        assert len(snapshot.read_text().splitlines()) == len(POINTS)
+        assert journal.read_text() == ""  # reset after compaction
+
+    def test_snapshot_every_compacts_mid_flight(self, tmp_path):
+        async def run():
+            config = ServeConfig(
+                batch_window=0.0,
+                use_pool=False,
+                cache_dir=str(tmp_path),
+                snapshot_every=2,
+            )
+            reqs = [_request(seed=i) for i in range(3)]
+            await _serve_once(config, reqs)
+
+        asyncio.run(run())
+        persist = CachePersistence(str(tmp_path))
+        entries = persist.load()
+        # 3 requests x 4 points, every one present post-compaction.
+        assert len(entries) == 12
+        assert persist.stats["torn_tails"] == 0
+        assert persist.stats["snapshots"] == 0  # load() never compacts
+
+
+class TestPersistenceUnit:
+    def _seed_journal(self, tmp_path, n=3):
+        from repro.serve.cache import CacheKey
+        from repro.serve.registry import fingerprint
+
+        fp = fingerprint("bcast_tree", {"k": 6})
+        writer = CachePersistence(str(tmp_path))
+        entries = []
+        for i in range(n):
+            key = CacheKey(
+                fingerprint=fp,
+                point=(4.0 + i, 0.5, 2.0, 8, None),
+                seed=None,
+                backend="compiled",
+                latency=None,
+            )
+            pair = (10.123456789 + i, 2.0 * i)
+            writer.record("bcast_tree", (("k", 6),), key, pair)
+            entries.append(("bcast_tree", (("k", 6),), key, pair))
+        writer.close()
+        return entries
+
+    def test_journal_round_trip_is_bit_exact(self, tmp_path):
+        entries = self._seed_journal(tmp_path)
+        loaded = CachePersistence(str(tmp_path)).load()
+        assert loaded == entries  # floats included: shortest-repr JSON
+
+    def test_torn_tail_is_truncated_to_last_whole_record(self, tmp_path):
+        self._seed_journal(tmp_path, n=3)
+        journal = tmp_path / CachePersistence.JOURNAL
+        data = journal.read_bytes()
+        journal.write_bytes(data[:-9])  # tear the final record mid-JSON
+        reader = CachePersistence(str(tmp_path))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            loaded = reader.load()
+        assert len(loaded) == 2
+        assert reader.stats["torn_tails"] == 1
+        assert any("torn" in str(w.message) for w in caught)
+        # The tear was truncated *in place*: a second reader sees a
+        # clean journal ending at the last whole record.
+        again = CachePersistence(str(tmp_path))
+        assert len(again.load()) == 2
+        assert again.stats["torn_tails"] == 0
+
+    def test_unterminated_last_line_is_torn_even_if_decodable(
+        self, tmp_path
+    ):
+        self._seed_journal(tmp_path, n=2)
+        journal = tmp_path / CachePersistence.JOURNAL
+        # Strip only the trailing newline: the bytes parse, but an
+        # unterminated record means the write may not have finished.
+        journal.write_bytes(journal.read_bytes()[:-1])
+        reader = CachePersistence(str(tmp_path))
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            assert len(reader.load()) == 1
+        assert reader.stats["torn_tails"] == 1
+
+    def test_stale_fingerprint_is_dropped_loudly(self, tmp_path):
+        import json
+
+        self._seed_journal(tmp_path, n=2)
+        journal = tmp_path / CachePersistence.JOURNAL
+        lines = journal.read_text().splitlines()
+        record = json.loads(lines[0])
+        record["fp"] = "0" * len(record["fp"])  # another code version
+        lines[0] = json.dumps(record, separators=(",", ":"))
+        journal.write_text("\n".join(lines) + "\n")
+        reader = CachePersistence(str(tmp_path))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            loaded = reader.load()
+        assert len(loaded) == 1
+        assert reader.stats["dropped_stale"] == 1
+        assert any("stale" in str(w.message) for w in caught)
+
+    def test_snapshot_is_atomic_and_resets_journal(self, tmp_path):
+        entries = self._seed_journal(tmp_path, n=3)
+        persist = CachePersistence(str(tmp_path))
+        persist.load()
+        persist.snapshot(entries[:2])  # e.g. one entry was LRU-evicted
+        persist.close()
+        reader = CachePersistence(str(tmp_path))
+        assert reader.load() == entries[:2]
+        assert (tmp_path / CachePersistence.JOURNAL).read_text() == ""
+
+
+class TestKillNineReplay:
+    def test_journal_replay_after_kill_nine(self, tmp_path):
+        """A real server subprocess SIGKILLed after serving: its second
+        life must replay the journal and serve the same bits warm."""
+        from repro.serve.chaos import _spawn_server, _stats_once, _submit_once
+
+        req = {
+            "program": "bcast_tree",
+            "points": [
+                {"L": 4.0 + i, "o": 0.5, "g": 2.0, "P": 8} for i in range(3)
+            ],
+            "args": {"k": 6},
+            "backend": "compiled",
+        }
+        proc, host, port = _spawn_server(str(tmp_path))
+        try:
+            first = _submit_once(host, port, **req)["results"]
+        finally:
+            proc.kill()  # SIGKILL: no aclose, no snapshot — journal only
+            proc.wait(timeout=30)
+        proc, host, port = _spawn_server(str(tmp_path))
+        try:
+            stats = _stats_once(host, port)
+            frame = _submit_once(host, port, **req)
+        finally:
+            proc.kill()
+            proc.wait(timeout=30)
+        assert stats["persistence"]["loaded"] == 3
+        assert stats["persistence"]["dropped_stale"] == 0
+        assert frame["results"] == first
+        assert frame["sources"]["cache"] == 3
+
+
+class TestDeadlines:
+    def test_deadline_fails_the_job_promptly(self):
+        async def run():
+            config = ServeConfig(batch_window=0.0, use_pool=False)
+            async with SimulationServer(config) as server:
+                job = await server.submit(_heavy_request(deadline=0.3))
+                t0 = time.monotonic()
+                with pytest.raises(JobDeadlineError) as excinfo:
+                    await job.wait()
+                elapsed = time.monotonic() - t0
+                return elapsed, excinfo.value, server.stats_snapshot()
+
+        elapsed, err, stats = asyncio.run(run())
+        assert elapsed < 10.0  # a 300-point machine flood takes longer
+        assert err.deadline == 0.3
+        assert stats["deadline_expired"] == 1
+
+    def test_default_deadline_applies_when_request_has_none(self):
+        async def run():
+            config = ServeConfig(
+                batch_window=0.0, use_pool=False, default_deadline=0.3
+            )
+            async with SimulationServer(config) as server:
+                job = await server.submit(_heavy_request())
+                with pytest.raises(JobDeadlineError):
+                    await job.wait()
+                return server.stats_snapshot()
+
+        assert asyncio.run(run())["deadline_expired"] == 1
+
+    def test_fast_job_beats_its_deadline(self):
+        async def run():
+            config = ServeConfig(batch_window=0.0, use_pool=False)
+            request = SweepRequest.make(
+                "bcast_tree", POINTS, args={"k": 6}, deadline=60.0
+            )
+            async with SimulationServer(config) as server:
+                job = await server.submit(request)
+                return await job.wait()
+
+        assert len(asyncio.run(run())) == len(POINTS)
+
+
+class TestAdmission:
+    def test_overload_is_refused_atomically(self):
+        async def run():
+            config = ServeConfig(
+                batch_window=0.5, use_pool=False, max_pending_points=4
+            )
+            async with SimulationServer(config) as server:
+                first = await server.submit(_request(points=POINTS[:3]))
+                with pytest.raises(ServerOverloaded) as excinfo:
+                    await server.submit(
+                        SweepRequest.make(
+                            "bcast_tree",
+                            [
+                                LogPParams(L=30.0 + i, o=1.0, g=2.0, P=8)
+                                for i in range(3)
+                            ],
+                            args={"k": 6},
+                        )
+                    )
+                shed = excinfo.value
+                done = await first.wait()
+                # After the backlog drains, the same shape is admitted.
+                ok = await server.submit(_request(points=POINTS[:1]))
+                await ok.wait()
+                return shed, done, server.stats_snapshot()
+
+        shed, done, stats = asyncio.run(run())
+        assert shed.requested == 3 and shed.limit == 4
+        assert shed.retry_after > 0
+        assert len(done) == 3
+        assert stats["shed"] == 1
+        # Atomic refusal: the shed request contributed zero points.
+        assert stats["points"] == 3 + 1
+
+    def test_cache_hits_are_always_admitted(self):
+        async def run():
+            config = ServeConfig(
+                batch_window=0.0, use_pool=False, max_pending_points=4
+            )
+            async with SimulationServer(config) as server:
+                job = await server.submit(_request())
+                await job.wait()
+                # Warm repeat: needs no in-flight capacity at all.
+                warm = await server.submit(_request())
+                return await warm.wait(), warm.sources
+
+        results, sources = asyncio.run(run())
+        assert sources["cache"] == len(POINTS)
+
+
+class TestCancellation:
+    def test_cancel_fails_only_the_cancelled_job(self):
+        async def run():
+            config = ServeConfig(batch_window=0.0, use_pool=False)
+            async with SimulationServer(config) as server:
+                job = await server.submit(_heavy_request())
+                assert server.cancel_job(job.id)
+                with pytest.raises(JobCancelledError):
+                    await job.wait()
+                assert not server.cancel_job(job.id)  # already finished
+                assert not server.cancel_job(10**9)  # unknown id
+                return server.stats_snapshot()
+
+        assert asyncio.run(run())["cancelled"] == 1
+
+
+class TestHealth:
+    def test_health_reports_ready_then_closed(self):
+        async def run():
+            config = ServeConfig(batch_window=0.0, use_pool=False)
+            server = SimulationServer(config)
+            await server.start()
+            open_health = server.stats_snapshot()["health"]
+            await server.aclose()
+            closed_health = server.stats_snapshot()["health"]
+            return open_health, closed_health
+
+        open_health, closed_health = asyncio.run(run())
+        assert open_health["status"] == "ok" and open_health["ready"]
+        assert closed_health["status"] == "closed"
+        assert not closed_health["ready"]
+
+    def test_health_reports_overloaded_at_the_limit(self):
+        async def run():
+            config = ServeConfig(
+                batch_window=0.5, use_pool=False, max_pending_points=2
+            )
+            async with SimulationServer(config) as server:
+                job = await server.submit(_request(points=POINTS[:2]))
+                status = server.stats_snapshot()["health"]["status"]
+                await job.wait()
+                return status
+
+        assert asyncio.run(run()) == "overloaded"

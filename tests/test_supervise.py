@@ -1,0 +1,259 @@
+"""Tests for the supervised worker pool (``repro.sim.supervise``).
+
+The contract under test, in increasing order of violence:
+
+* fault-free maps are bit-identical to the serial comprehension;
+* a SIGKILLed worker is detected, replaced, and its orphaned chunk
+  resubmitted — the caller still gets the complete, ordered result;
+* an item that *reproducibly* kills its worker is quarantined after
+  ``max_attempts`` and reported as :class:`PoisonItemError` naming the
+  exact submission index — deterministically, at any worker count;
+* hung chunks are bounded by ``chunk_timeout``, whole maps by
+  ``deadline`` (:class:`SweepDeadlineError`), and runaway crash loops
+  by the death budget (:class:`WorkerRestartStorm`);
+* ordinary exceptions are *not* retried — they propagate immediately,
+  exactly as the serial loop would raise them;
+* ``close(drain=True)`` joins workers cleanly; ``drain=False`` kills.
+
+Timing assertions carry generous slack: CI runs this on one busy core.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from functools import partial
+
+import pytest
+
+from repro.sim.supervise import (
+    PoisonItemError,
+    SupervisedPool,
+    SweepDeadlineError,
+    WorkerRestartStorm,
+)
+from repro.sim.sweep import sweep_map
+
+
+# ----------------------------------------------------------------------
+# Worker functions (module-level: they cross the pipe by pickle).
+# ----------------------------------------------------------------------
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _die_once(flag_path: str, x: int) -> int:
+    """SIGKILL the hosting worker on first sight of ``x == 3``."""
+    if x == 3 and not os.path.exists(flag_path):
+        with open(flag_path, "w") as fh:
+            fh.write("died")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * x
+
+
+def _poison(x: int) -> int:
+    """Item 7 kills its worker every single time: a true poison item."""
+    if x == 7:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * x
+
+
+def _hang_once(flag_path: str, x: int) -> int:
+    """Item 2 wedges (sleeps) on its first attempt only."""
+    if x == 2 and not os.path.exists(flag_path):
+        with open(flag_path, "w") as fh:
+            fh.write("hung")
+        time.sleep(60.0)
+    return x * x
+
+
+def _slow(x: int) -> int:
+    time.sleep(0.2)
+    return x
+
+
+def _reciprocal(x: int) -> float:
+    return 1.0 / x
+
+
+def _fast_pool(workers: int, **kw) -> SupervisedPool:
+    """A pool with test-friendly (short) backoff between retries."""
+    from repro.sim.faults import ExponentialBackoffRetry
+
+    kw.setdefault("retry", ExponentialBackoffRetry(base=0.01, mult=2.0, cap=0.1))
+    return SupervisedPool(workers, **kw)
+
+
+class TestFaultFree:
+    def test_matches_serial_comprehension(self):
+        with _fast_pool(2) as pool:
+            assert pool.map(_square, list(range(40))) == [
+                x * x for x in range(40)
+            ]
+            assert pool.deaths == 0 and pool.restarts == 0
+
+    def test_reuse_across_maps(self):
+        with _fast_pool(2) as pool:
+            first = pool.map(_square, list(range(10)), chunksize=3)
+            pids = pool.pids()
+            second = pool.map(_square, list(range(10)), chunksize=2)
+            assert first == second == [x * x for x in range(10)]
+            assert pool.pids() == pids  # same workers, no churn
+
+    def test_empty_map(self):
+        with _fast_pool(2) as pool:
+            assert pool.map(_square, []) == []
+
+    def test_lazy_start(self):
+        pool = _fast_pool(2)
+        assert not pool.started and pool.pids() == []
+        try:
+            pool.map(_square, [1])
+            assert pool.started and len(pool.pids()) == 2
+        finally:
+            pool.close(drain=False)
+
+
+class TestWorkerDeath:
+    def test_sigkilled_worker_is_replaced_and_chunk_resubmitted(
+        self, tmp_path
+    ):
+        flag = str(tmp_path / "died")
+        with _fast_pool(2) as pool:
+            out = pool.map(partial(_die_once, flag), list(range(8)), chunksize=2)
+            assert out == [x * x for x in range(8)]
+            assert pool.deaths == 1 and pool.restarts == 1
+            assert os.path.exists(flag)
+
+    def test_sigkill_mid_sweep_map_is_invisible_to_the_caller(
+        self, tmp_path
+    ):
+        # The acceptance drill in miniature: sweep_map over a supervised
+        # pool with a worker killed mid-flight returns the identical,
+        # complete, submission-order list the serial path produces.
+        flag = str(tmp_path / "died")
+        serial = [x * x for x in range(30)]
+        with _fast_pool(2) as pool:
+            out = sweep_map(
+                partial(_die_once, flag),
+                list(range(30)),
+                workers=2,
+                chunksize=2,
+                pool=pool,
+            )
+            assert out == serial
+            assert pool.deaths == 1
+
+
+class TestPoisonQuarantine:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_poison_item_named_deterministically(self, workers):
+        # sweep_map(workers=1) runs serial in-process — a self-SIGKILL
+        # there would kill pytest — so the quarantine contract is
+        # exercised through pool.map directly at every worker count.
+        with _fast_pool(workers) as pool:
+            with pytest.raises(PoisonItemError) as excinfo:
+                pool.map(_poison, list(range(12)), chunksize=3)
+            err = excinfo.value
+            assert err.index == 7
+            assert err.total == 12
+            assert err.attempts == 3  # the default max_attempts
+            assert "item 7 of 12" in str(err)
+            # Three deaths, all blamed on item 7: the multi-item chunk
+            # was split into singletons after the first kill.
+            assert pool.deaths == 3
+
+    def test_poison_blame_lands_after_split(self):
+        # Item 7 starts inside a 4-item chunk [4..8); innocent
+        # neighbours 4, 5, 6 must not be quarantined with it.
+        with _fast_pool(2) as pool:
+            with pytest.raises(PoisonItemError) as excinfo:
+                pool.map(_poison, list(range(10)), chunksize=4)
+            assert excinfo.value.index == 7
+
+    def test_survivors_before_quarantine_are_complete(self):
+        # The raise is deferred until every index below the quarantined
+        # one has completed — so the failure is deterministic, not a
+        # race between the poison chunk and its predecessors.
+        with _fast_pool(2) as pool:
+            with pytest.raises(PoisonItemError):
+                pool.map(_poison, list(range(12)), chunksize=1)
+            # Pool stays usable after a poison failure.
+            assert pool.map(_square, [5]) == [25]
+
+
+class TestTimeBounds:
+    def test_chunk_timeout_heals_a_hung_worker(self, tmp_path):
+        flag = str(tmp_path / "hung")
+        with _fast_pool(2, chunk_timeout=0.3) as pool:
+            t0 = time.monotonic()
+            out = pool.map(partial(_hang_once, flag), list(range(6)))
+            assert out == [x * x for x in range(6)]
+            assert pool.deaths == 1  # the hung worker was killed
+            assert time.monotonic() - t0 < 30.0  # healed, not waited out
+
+    def test_map_deadline_raises_promptly(self):
+        with _fast_pool(1) as pool:
+            t0 = time.monotonic()
+            with pytest.raises(SweepDeadlineError) as excinfo:
+                pool.map(_slow, list(range(100)), deadline=0.5)
+            elapsed = time.monotonic() - t0
+            assert elapsed < 10.0  # bounded, not 100 * 0.2s
+            assert excinfo.value.pending > 0
+            assert "deadline" in str(excinfo.value)
+
+    def test_restart_storm_is_bounded(self):
+        # One poison item with a huge max_attempts would retry nearly
+        # forever; the per-map death budget cuts the crash loop short.
+        with _fast_pool(1, max_attempts=10**6, death_budget=4) as pool:
+            with pytest.raises(WorkerRestartStorm):
+                pool.map(_poison, [7], deadline=None)
+            assert pool.deaths == 5  # budget + the death that tripped it
+
+
+class TestExceptionsAreNotFaults:
+    def test_fn_exception_propagates_immediately(self):
+        with _fast_pool(2) as pool:
+            with pytest.raises(ZeroDivisionError):
+                pool.map(_reciprocal, [1, 0, 2])
+            assert pool.deaths == 0  # an exception is not a worker death
+
+    def test_sweep_map_integration_keeps_the_index(self):
+        from repro.sim.sweep import SweepItemError
+
+        with _fast_pool(2) as pool:
+            with pytest.raises(ZeroDivisionError) as excinfo:
+                sweep_map(
+                    _reciprocal, [1, 0, 2], workers=2, chunksize=1, pool=pool
+                )
+            cause = excinfo.value.__cause__
+            assert isinstance(cause, SweepItemError) and cause.index == 1
+
+
+class TestTeardown:
+    def test_close_drain_joins_cleanly(self):
+        pool = _fast_pool(2)
+        pool.map(_square, list(range(4)))
+        pids = pool.pids()
+        pool.close(drain=True)
+        assert not pool.started
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    def test_close_is_idempotent_and_reentrant(self):
+        pool = _fast_pool(2)
+        pool.close(drain=True)
+        pool.close(drain=False)
+        pool.close()
+
+    def test_context_manager_closes(self):
+        with _fast_pool(2) as pool:
+            pool.map(_square, [1, 2])
+            pids = pool.pids()
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)

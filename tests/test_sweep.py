@@ -19,7 +19,9 @@ from repro.sim.fuzz import make_case
 from repro.sim.sweep import (
     ENV_WORKERS,
     SweepItemError,
+    SweepShortfallError,
     WorkerPool,
+    _merge_guarded,
     plan_sweep,
     resolve_workers,
     sweep_map,
@@ -394,6 +396,50 @@ class TestIndexedWorkerFailure:
         assert excinfo.value.__cause__ is None
 
 
+class TestShortfall:
+    """A pool that loses work must be named, not silently truncated.
+
+    ``_merge_guarded`` is the single seam every pooled path funnels
+    through; these unit tests drive it directly with the wrapped
+    ``(index, ok, payload)`` triples a misbehaving pool would return."""
+
+    def test_complete_results_unwrap_in_order(self):
+        wrapped = [(2, True, "c"), (0, True, "a"), (1, True, "b")]
+        assert _merge_guarded(wrapped, 3) == ["a", "b", "c"]
+
+    def test_missing_indices_are_named(self):
+        wrapped = [(0, True, "a"), (3, True, "d")]
+        with pytest.raises(SweepShortfallError) as excinfo:
+            _merge_guarded(wrapped, 4)
+        err = excinfo.value
+        assert err.missing == [1, 2]
+        assert err.total == 4
+        assert "1, 2" in str(err) and "dead worker" in str(err)
+
+    def test_duplicate_index_is_a_shortfall(self):
+        wrapped = [(0, True, "a"), (0, True, "a"), (1, True, "b")]
+        with pytest.raises(SweepShortfallError):
+            _merge_guarded(wrapped, 3)
+
+    def test_out_of_range_index_is_a_shortfall(self):
+        with pytest.raises(SweepShortfallError):
+            _merge_guarded([(5, True, "x")], 2)
+
+    def test_long_missing_list_is_truncated_in_message(self):
+        with pytest.raises(SweepShortfallError) as excinfo:
+            _merge_guarded([], 100)
+        assert excinfo.value.missing == list(range(100))
+        assert "..." in str(excinfo.value)
+
+    def test_failure_outranks_shortfall_reporting_order(self):
+        # A present failure at index 1 with index 2 missing: the
+        # shortfall is the structural error and wins — the failure
+        # payload may itself be an artifact of the lost worker.
+        wrapped = [(0, True, "a"), (1, False, ZeroDivisionError("x"))]
+        with pytest.raises(SweepShortfallError):
+            _merge_guarded(wrapped, 3)
+
+
 class TestPlanSweep:
     """The placement decision is pure and inspectable."""
 
@@ -448,6 +494,21 @@ class TestWorkerPool:
         pool = WorkerPool(workers=2)
         pool.close()
         pool.close()
+
+    def test_close_drain_joins_after_inflight_work(self):
+        # drain=True is the graceful teardown contract: in-flight chunks
+        # finish, workers join — no unconditional terminate mid-chunk.
+        pool = WorkerPool(workers=2)
+        out = sweep_map(_square, range(20), pool=pool)
+        pool.close(drain=True)
+        assert out == [x * x for x in range(20)]
+        pool.close(drain=False)  # still idempotent after a drain
+
+    def test_close_without_drain_terminates(self):
+        pool = WorkerPool(workers=2)
+        sweep_map(_square, range(20), pool=pool)
+        pool.close(drain=False)
+        assert pool._pool is None
 
 
 class TestGridMapUnfilled:
